@@ -1,0 +1,84 @@
+"""Ablation D — incremental maintenance vs full rebuild.
+
+The paper defers index maintenance to Jagadish's scheme; this ablation
+measures what that buys: inserting a batch of edges one at a time into
+:class:`DynamicChainIndex` against rebuilding the static index after
+the batch.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.index import ChainIndex
+from repro.core.maintenance import DynamicChainIndex
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import semi_random_dag
+
+
+def _base_graph_and_batch(scale: float, seed: int = 47):
+    nodes = max(50, int(1000 * scale))
+    graph = semi_random_dag(nodes, nodes // 4, seed=seed)
+    rng = random.Random(seed + 1)
+    batch = []
+    n = graph.num_nodes
+    while len(batch) < max(10, nodes // 10):
+        tail = rng.randrange(n - 1)
+        head = rng.randrange(tail + 1, n)
+        if not graph.has_edge(tail, head):
+            batch.append((tail, head))
+    return graph, batch
+
+
+def test_incremental_insertions(benchmark, scale):
+    graph, batch = _base_graph_and_batch(scale)
+
+    def run():
+        index = DynamicChainIndex.from_graph(graph)
+        for tail, head in batch:
+            index.add_edge(tail, head)
+        return index
+
+    index = benchmark(run)
+    benchmark.extra_info["insertions"] = len(batch)
+    assert index.is_reachable(*batch[0])
+
+
+def test_full_rebuild_after_batch(benchmark, scale):
+    graph, batch = _base_graph_and_batch(scale)
+    extended = graph.copy()
+    for tail, head in batch:
+        extended.add_edge(tail, head)
+    index = benchmark(lambda: ChainIndex.build(extended))
+    assert index.is_reachable(extended.node_at(batch[0][0]),
+                              extended.node_at(batch[0][1]))
+
+
+@pytest.mark.parametrize("batch_share", [0.05, 0.25])
+def test_insertion_throughput(benchmark, scale, batch_share):
+    graph, _ = _base_graph_and_batch(scale)
+    rng = random.Random(53)
+    n = graph.num_nodes
+    count = max(5, int(n * batch_share))
+    pairs = []
+    while len(pairs) < count:
+        tail = rng.randrange(n - 1)
+        head = rng.randrange(tail + 1, n)
+        if not graph.has_edge(tail, head):
+            pairs.append((tail, head))
+
+    def run():
+        index = DynamicChainIndex.from_graph(graph)
+        inserted = 0
+        for tail, head in pairs:
+            try:
+                index.add_edge(tail, head)
+                inserted += 1
+            except Exception:  # pragma: no cover - edges are forward
+                pass
+        return inserted
+
+    inserted = benchmark(run)
+    assert inserted == count

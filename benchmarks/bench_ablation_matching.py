@@ -1,0 +1,37 @@
+"""Ablation C — Hopcroft–Karp vs Kuhn augmentation, the paper's choice
+of matching subroutine (Section III.B)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.experiments import run_ablation_matching
+from repro.matching.bipartite import BipartiteGraph
+from repro.matching.hopcroft_karp import hopcroft_karp, kuhn_matching
+
+
+def _random_bipartite(side: int, degree: int, seed: int) -> BipartiteGraph:
+    rng = random.Random(seed)
+    graph = BipartiteGraph(side, side)
+    for top in range(side):
+        for bottom in rng.sample(range(side), degree):
+            graph.add_edge(top, bottom)
+    return graph
+
+
+@pytest.mark.parametrize("algorithm", ["hopcroft_karp", "kuhn"])
+def test_matching_speed(benchmark, algorithm, scale):
+    side = max(20, int(600 * scale))
+    graph = _random_bipartite(side, 4, seed=43)
+    runner = hopcroft_karp if algorithm == "hopcroft_karp" else kuhn_matching
+    matching = benchmark(lambda: runner(graph))
+    benchmark.extra_info["matching_size"] = matching.size()
+
+
+def test_report_ablation_matching(benchmark, scale, results_dir):
+    report = benchmark.pedantic(lambda: run_ablation_matching(scale),
+                                rounds=1, iterations=1)
+    (results_dir / "ablation_matching.txt").write_text(report,
+                                                       encoding="utf-8")

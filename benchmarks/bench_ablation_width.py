@@ -1,0 +1,41 @@
+"""Ablation B — width sensitivity: the O(b·n) space and O(log b) query
+bounds in action on layered DAGs of controlled width."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import run_ablation_width
+from repro.bench.harness import random_queries
+from repro.core.index import ChainIndex
+from repro.graph.generators import layered_random_dag
+
+
+@pytest.mark.parametrize("layer_width", [4, 16, 64])
+def test_build_by_width(benchmark, layer_width, scale):
+    width = max(2, int(layer_width * scale))
+    graph = layered_random_dag([width] * 12, 4.0 / width, seed=41)
+    index = benchmark.pedantic(lambda: ChainIndex.build(graph),
+                               rounds=1, iterations=1)
+    benchmark.extra_info["chains"] = index.num_chains
+    benchmark.extra_info["size_words"] = index.size_words()
+
+
+@pytest.mark.parametrize("layer_width", [4, 64])
+def test_query_by_width(benchmark, layer_width, scale):
+    width = max(2, int(layer_width * scale))
+    graph = layered_random_dag([width] * 12, 4.0 / width, seed=41)
+    index = ChainIndex.build(graph)
+    queries = random_queries(graph, 2000, seed=5)
+
+    def run() -> int:
+        return sum(1 for s, t in queries if index.is_reachable(s, t))
+
+    benchmark(run)
+
+
+def test_report_ablation_width(benchmark, scale, results_dir):
+    report = benchmark.pedantic(lambda: run_ablation_width(scale),
+                                rounds=1, iterations=1)
+    (results_dir / "ablation_width.txt").write_text(report,
+                                                    encoding="utf-8")

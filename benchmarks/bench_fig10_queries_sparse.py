@@ -1,0 +1,44 @@
+"""Fig. 10 — Group I (sparse graphs): accumulated query time.
+
+Benchmarks one full random-query batch per method over the middle
+sparse graph, then regenerates the paper's Fig. 10 series into
+``benchmarks/results/fig10.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import run_fig10
+from repro.bench.harness import build_index, random_queries
+from repro.bench.workloads import QUERY_METHODS, group1_graphs, query_counts
+
+
+@pytest.fixture(scope="module")
+def sparse_graph(scale):
+    return group1_graphs(scale)[2].graph
+
+
+@pytest.fixture(scope="module")
+def query_batch(scale, sparse_graph):
+    return random_queries(sparse_graph, max(query_counts(scale)), seed=23)
+
+
+@pytest.mark.parametrize("method", QUERY_METHODS)
+def test_query_batch_sparse(benchmark, method, sparse_graph, query_batch):
+    index = build_index(method, sparse_graph).index
+
+    def run() -> int:
+        hits = 0
+        for source, target in query_batch:
+            if index.is_reachable(source, target):
+                hits += 1
+        return hits
+
+    benchmark(run)
+
+
+def test_report_fig10(benchmark, scale, results_dir):
+    report = benchmark.pedantic(lambda: run_fig10(scale),
+                                rounds=1, iterations=1)
+    (results_dir / "fig10.txt").write_text(report, encoding="utf-8")

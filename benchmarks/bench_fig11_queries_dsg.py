@@ -1,0 +1,43 @@
+"""Fig. 11 — Group II (DSG): accumulated query time."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import run_fig11
+from repro.bench.harness import build_index, random_queries
+from repro.bench.workloads import (
+    QUERY_METHODS,
+    group2_dsg_graph,
+    query_counts,
+)
+
+
+@pytest.fixture(scope="module")
+def dsg_graph(scale):
+    return group2_dsg_graph(scale).graph
+
+
+@pytest.fixture(scope="module")
+def query_batch(scale, dsg_graph):
+    return random_queries(dsg_graph, max(query_counts(scale)), seed=29)
+
+
+@pytest.mark.parametrize("method", QUERY_METHODS)
+def test_query_batch_dsg(benchmark, method, dsg_graph, query_batch):
+    index = build_index(method, dsg_graph).index
+
+    def run() -> int:
+        hits = 0
+        for source, target in query_batch:
+            if index.is_reachable(source, target):
+                hits += 1
+        return hits
+
+    benchmark(run)
+
+
+def test_report_fig11(benchmark, scale, results_dir):
+    report = benchmark.pedantic(lambda: run_fig11(scale),
+                                rounds=1, iterations=1)
+    (results_dir / "fig11.txt").write_text(report, encoding="utf-8")

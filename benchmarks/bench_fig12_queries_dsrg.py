@@ -1,0 +1,43 @@
+"""Fig. 12 — Group II (DSRG): accumulated query time."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import run_fig12
+from repro.bench.harness import build_index, random_queries
+from repro.bench.workloads import (
+    QUERY_METHODS,
+    group2_dsrg_graph,
+    query_counts,
+)
+
+
+@pytest.fixture(scope="module")
+def dsrg_graph(scale):
+    return group2_dsrg_graph(scale).graph
+
+
+@pytest.fixture(scope="module")
+def query_batch(scale, dsrg_graph):
+    return random_queries(dsrg_graph, max(query_counts(scale)), seed=31)
+
+
+@pytest.mark.parametrize("method", QUERY_METHODS)
+def test_query_batch_dsrg(benchmark, method, dsrg_graph, query_batch):
+    index = build_index(method, dsrg_graph).index
+
+    def run() -> int:
+        hits = 0
+        for source, target in query_batch:
+            if index.is_reachable(source, target):
+                hits += 1
+        return hits
+
+    benchmark(run)
+
+
+def test_report_fig12(benchmark, scale, results_dir):
+    report = benchmark.pedantic(lambda: run_fig12(scale),
+                                rounds=1, iterations=1)
+    (results_dir / "fig12.txt").write_text(report, encoding="utf-8")

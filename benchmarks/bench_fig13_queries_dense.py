@@ -1,0 +1,43 @@
+"""Fig. 13 — Group III (dense 0.25-DAG): accumulated query time."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import run_fig13
+from repro.bench.harness import build_index, random_queries
+from repro.bench.workloads import (
+    QUERY_METHODS,
+    group3_dense_graph,
+    query_counts,
+)
+
+
+@pytest.fixture(scope="module")
+def dense_graph(scale):
+    return group3_dense_graph(scale).graph
+
+
+@pytest.fixture(scope="module")
+def query_batch(scale, dense_graph):
+    return random_queries(dense_graph, max(query_counts(scale)), seed=37)
+
+
+@pytest.mark.parametrize("method", QUERY_METHODS)
+def test_query_batch_dense(benchmark, method, dense_graph, query_batch):
+    index = build_index(method, dense_graph).index
+
+    def run() -> int:
+        hits = 0
+        for source, target in query_batch:
+            if index.is_reachable(source, target):
+                hits += 1
+        return hits
+
+    benchmark(run)
+
+
+def test_report_fig13(benchmark, scale, results_dir):
+    report = benchmark.pedantic(lambda: run_fig13(scale),
+                                rounds=1, iterations=1)
+    (results_dir / "fig13.txt").write_text(report, encoding="utf-8")

@@ -1,0 +1,40 @@
+"""Table 1 — Group I (sparse graphs): index size and build time.
+
+Benchmarks every method's build over one representative sparse graph,
+then regenerates the paper's full Table 1 (averaged over the series of
+five graphs) into ``benchmarks/results/table1.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.two_hop import TwoHopIndex
+from repro.bench.experiments import run_table1
+from repro.bench.workloads import (
+    GROUP1_METHODS,
+    METHOD_BUILDERS,
+    group1_graphs,
+)
+
+
+@pytest.fixture(scope="module")
+def sparse_graph(scale):
+    return group1_graphs(scale)[2].graph
+
+
+@pytest.mark.parametrize("method", GROUP1_METHODS)
+def test_build_sparse(benchmark, method, sparse_graph):
+    if method == "2-hop":
+        # The paper's exhaustive-greedy 2-hop; see EXPERIMENTS.md.
+        builder = lambda: TwoHopIndex.build(sparse_graph, lazy=False)
+    else:
+        builder = lambda: METHOD_BUILDERS[method](sparse_graph)
+    index = benchmark.pedantic(builder, rounds=1, iterations=1)
+    benchmark.extra_info["size_words"] = index.size_words()
+
+
+def test_report_table1(benchmark, scale, results_dir):
+    report = benchmark.pedantic(lambda: run_table1(scale),
+                                rounds=1, iterations=1)
+    (results_dir / "table1.txt").write_text(report, encoding="utf-8")

@@ -1,0 +1,29 @@
+"""Table 2 — Group II graph parameters (generator statistics)."""
+
+from __future__ import annotations
+
+from repro.bench.experiments import run_table2
+from repro.graph.generators import graph_stats
+from repro.bench.workloads import group2_dsg_graph, group2_dsrg_graph
+
+
+def test_dsg_generation(benchmark, scale):
+    workload = benchmark(lambda: group2_dsg_graph(scale))
+    assert workload.graph.num_nodes > 0
+
+
+def test_dsrg_generation(benchmark, scale):
+    workload = benchmark(lambda: group2_dsrg_graph(scale))
+    assert workload.graph.num_nodes > 0
+
+
+def test_graph_stats_dsg(benchmark, scale):
+    graph = group2_dsg_graph(scale).graph
+    stats = benchmark(lambda: graph_stats(graph, seed=1))
+    assert stats.num_nodes == graph.num_nodes
+
+
+def test_report_table2(benchmark, scale, results_dir):
+    report = benchmark.pedantic(lambda: run_table2(scale),
+                                rounds=1, iterations=1)
+    (results_dir / "table2.txt").write_text(report, encoding="utf-8")

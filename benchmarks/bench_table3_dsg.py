@@ -1,0 +1,31 @@
+"""Table 3 — Group II (DSG): index size and build time (no 2-hop)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import run_table3
+from repro.bench.workloads import (
+    GROUP23_METHODS,
+    METHOD_BUILDERS,
+    group2_dsg_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def dsg_graph(scale):
+    return group2_dsg_graph(scale).graph
+
+
+@pytest.mark.parametrize("method", GROUP23_METHODS)
+def test_build_dsg(benchmark, method, dsg_graph):
+    index = benchmark.pedantic(
+        lambda: METHOD_BUILDERS[method](dsg_graph), rounds=1,
+        iterations=1)
+    benchmark.extra_info["size_words"] = index.size_words()
+
+
+def test_report_table3(benchmark, scale, results_dir):
+    report = benchmark.pedantic(lambda: run_table3(scale),
+                                rounds=1, iterations=1)
+    (results_dir / "table3.txt").write_text(report, encoding="utf-8")

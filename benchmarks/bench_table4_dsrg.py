@@ -1,0 +1,31 @@
+"""Table 4 — Group II (DSRG): index size and build time."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import run_table4
+from repro.bench.workloads import (
+    GROUP23_METHODS,
+    METHOD_BUILDERS,
+    group2_dsrg_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def dsrg_graph(scale):
+    return group2_dsrg_graph(scale).graph
+
+
+@pytest.mark.parametrize("method", GROUP23_METHODS)
+def test_build_dsrg(benchmark, method, dsrg_graph):
+    index = benchmark.pedantic(
+        lambda: METHOD_BUILDERS[method](dsrg_graph), rounds=1,
+        iterations=1)
+    benchmark.extra_info["size_words"] = index.size_words()
+
+
+def test_report_table4(benchmark, scale, results_dir):
+    report = benchmark.pedantic(lambda: run_table4(scale),
+                                rounds=1, iterations=1)
+    (results_dir / "table4.txt").write_text(report, encoding="utf-8")

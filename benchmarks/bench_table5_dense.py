@@ -1,0 +1,31 @@
+"""Table 5 — Group III (dense 0.25-DAG): index size and build time."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import run_table5
+from repro.bench.workloads import (
+    GROUP23_METHODS,
+    METHOD_BUILDERS,
+    group3_dense_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def dense_graph(scale):
+    return group3_dense_graph(scale).graph
+
+
+@pytest.mark.parametrize("method", GROUP23_METHODS)
+def test_build_dense(benchmark, method, dense_graph):
+    index = benchmark.pedantic(
+        lambda: METHOD_BUILDERS[method](dense_graph), rounds=1,
+        iterations=1)
+    benchmark.extra_info["size_words"] = index.size_words()
+
+
+def test_report_table5(benchmark, scale, results_dir):
+    report = benchmark.pedantic(lambda: run_table5(scale),
+                                rounds=1, iterations=1)
+    (results_dir / "table5.txt").write_text(report, encoding="utf-8")

@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark suite.
+
+Set ``REPRO_BENCH_SCALE`` to shrink or grow every workload (default
+1.0 — the scaled-down sizes documented in EXPERIMENTS.md).  Paper-style
+report files land in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so editable
+installs work in offline environments whose setuptools predates native
+wheel building (``pip install -e . --no-build-isolation --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""repro — chain-cover graph reachability.
+
+A faithful, production-quality reproduction of Chen & Chen, *An
+Efficient Algorithm for Answering Graph Reachability Queries* (ICDE
+2008): minimum chain decomposition of a DAG via stratification +
+per-level Hopcroft–Karp matching with virtual nodes, chain labels with
+O(log b) queries, SCC condensation for cyclic graphs, and the full set
+of comparison methods from the paper's evaluation.
+
+Quick start::
+
+    from repro import ChainIndex, DiGraph
+
+    g = DiGraph.from_edges([("a", "b"), ("b", "c"), ("a", "d")])
+    index = ChainIndex.build(g)
+    assert index.is_reachable("a", "c")
+    assert not index.is_reachable("d", "b")
+"""
+
+from repro.core.chains import ChainDecomposition
+from repro.core.index import ChainIndex
+from repro.core.maintenance import DynamicChainIndex
+from repro.core.stratification import Stratification, stratify
+from repro.core.stratified import stratified_chain_cover
+from repro.core.width import dag_width, maximum_antichain
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import (
+    GraphError,
+    GraphFormatError,
+    InvalidChainError,
+    NodeNotFoundError,
+    NotADAGError,
+)
+from repro.graph.scc import condense, strongly_connected_components
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChainIndex",
+    "DynamicChainIndex",
+    "DiGraph",
+    "ChainDecomposition",
+    "Stratification",
+    "stratify",
+    "stratified_chain_cover",
+    "dag_width",
+    "maximum_antichain",
+    "condense",
+    "strongly_connected_components",
+    "GraphError",
+    "NodeNotFoundError",
+    "NotADAGError",
+    "InvalidChainError",
+    "GraphFormatError",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""The five comparison methods from the paper's evaluation, plus traversal."""
+
+from repro.baselines.dual import DualLabelingIndex
+from repro.baselines.interface import ReachabilityIndex
+from repro.baselines.jagadish import JagadishIndex, jagadish_chain_cover
+from repro.baselines.traversal import TraversalIndex
+from repro.baselines.tree_encoding import TreeEncodingIndex
+from repro.baselines.two_hop import TwoHopIndex
+from repro.baselines.warren import WarrenIndex
+
+__all__ = [
+    "ReachabilityIndex",
+    "TraversalIndex",
+    "WarrenIndex",
+    "JagadishIndex",
+    "jagadish_chain_cover",
+    "TreeEncodingIndex",
+    "TwoHopIndex",
+    "DualLabelingIndex",
+]

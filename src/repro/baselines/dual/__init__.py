@@ -1,0 +1,16 @@
+"""Dual labeling (Wang et al.) — tree cover, link closure, TLC."""
+
+from repro.baselines.dual.index import DualLabelingIndex
+from repro.baselines.dual.links import LinkSet, build_link_set
+from repro.baselines.dual.tlc import TLCSearchTree, build_tlc
+from repro.baselines.dual.tree_cover import TreeCover, build_tree_cover
+
+__all__ = [
+    "DualLabelingIndex",
+    "TreeCover",
+    "build_tree_cover",
+    "LinkSet",
+    "build_link_set",
+    "TLCSearchTree",
+    "build_tlc",
+]

@@ -1,0 +1,119 @@
+"""Non-tree links and their transitive closure.
+
+With ``t`` non-tree edges ("links"), link ``i`` *directly feeds* link
+``j`` when the source of ``j`` lies in the tree subtree of the target
+of ``i`` — a tree-only descent connects them.  Any path that uses
+non-tree edges decomposes into tree descents between links, so the
+reflexive-transitive closure of this feeds-relation (a ``t × t`` bit
+matrix, the paper's transitive link counting) plus the interval cover
+answers every query.
+
+The feeds-relation is acyclic on a DAG (link sources strictly advance
+in topological order), so the closure is computed in one reverse-topo
+pass.  The inner aggregation — "OR the closure rows of every link whose
+source lies in a subtree" — is a range-OR over links sorted by source
+preorder, served by a segment tree of bit rows: O(t log t) big-int ORs
+instead of the O(t³) dense product.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+
+from repro.baselines.dual.tree_cover import TreeCover
+from repro.graph.digraph import DiGraph
+from repro.graph.topology import topological_order_ids
+
+__all__ = ["LinkSet", "build_link_set"]
+
+
+class _OrSegmentTree:
+    """Point-assign / range-OR segment tree over big-int values."""
+
+    def __init__(self, size: int) -> None:
+        self._size = max(1, size)
+        self._data = [0] * (2 * self._size)
+
+    def assign(self, position: int, value: int) -> None:
+        """Set the value at ``position`` and refresh ancestor ORs."""
+        index = position + self._size
+        self._data[index] = value
+        index //= 2
+        while index:
+            self._data[index] = (self._data[2 * index]
+                                 | self._data[2 * index + 1])
+            index //= 2
+
+    def query(self, lo: int, hi: int) -> int:
+        """OR of values at positions [lo, hi)."""
+        result = 0
+        lo += self._size
+        hi += self._size
+        while lo < hi:
+            if lo & 1:
+                result |= self._data[lo]
+                lo += 1
+            if hi & 1:
+                hi -= 1
+                result |= self._data[hi]
+            lo //= 2
+            hi //= 2
+        return result
+
+
+@dataclass
+class LinkSet:
+    """Non-tree links in source-preorder order, plus their closure.
+
+    ``sources``/``targets`` are dense node ids; ``closure[i]`` is a
+    ``t``-bit row — bit ``j`` set iff link ``i`` (reflexively) reaches
+    link ``j`` through tree descents and links.
+    """
+
+    sources: list[int]
+    targets: list[int]
+    source_starts: list[int]   # start[sources[i]], ascending
+    closure: list[int]
+
+    @property
+    def count(self) -> int:
+        """t — the number of non-tree links."""
+        return len(self.sources)
+
+    def source_range(self, node: int, cover: TreeCover) -> tuple[int, int]:
+        """Links whose source lies in ``node``'s subtree — the paper's
+        ``[x_v, y_v)`` row range."""
+        lo = bisect_left(self.source_starts, cover.start[node])
+        hi = bisect_left(self.source_starts, cover.end[node])
+        return lo, hi
+
+
+def build_link_set(graph: DiGraph, cover: TreeCover) -> LinkSet:
+    """Collect non-tree links and compute their closure."""
+    links = cover.non_tree_edges(graph)
+    links.sort(key=lambda edge: cover.start[edge[0]])
+    sources = [edge[0] for edge in links]
+    targets = [edge[1] for edge in links]
+    source_starts = [cover.start[v] for v in sources]
+    t = len(links)
+    closure = [0] * t
+    if t:
+        position_of = [0] * graph.num_nodes
+        for position, node in enumerate(topological_order_ids(graph)):
+            position_of[node] = position
+        tree = _OrSegmentTree(t)
+        # A link's direct successors all have strictly later topological
+        # source positions, so processing sources latest-first means
+        # every successor row is already in the tree when queried.
+        order = sorted(range(t), key=lambda i: position_of[sources[i]],
+                       reverse=True)
+        for i in order:
+            target = targets[i]
+            lo = bisect_left(source_starts, cover.start[target])
+            hi = bisect_left(source_starts, cover.end[target])
+            row = (1 << i) | tree.query(lo, hi)
+            closure[i] = row
+            tree.assign(i, row)
+    return LinkSet(sources=sources, targets=targets,
+                   source_starts=source_starts, closure=closure)

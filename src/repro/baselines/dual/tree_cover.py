@@ -1,0 +1,81 @@
+"""Spanning-tree interval cover for dual labeling.
+
+Every node gets an interval ``[start, end)`` over preorder numbers of a
+DFS spanning forest; ``v`` lies in ``u``'s tree subtree iff
+``start[u] <= start[v] < end[u]`` — the paper's ``a_u ∈ [a_v, b_v)``
+test.  Edges not used by the forest are the *non-tree links* the TLC
+machinery indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.digraph import DiGraph
+from repro.graph.topology import root_ids
+
+__all__ = ["TreeCover", "build_tree_cover"]
+
+
+@dataclass
+class TreeCover:
+    """DFS spanning forest with subtree intervals."""
+
+    parent: list[int]      # tree parent per dense id (-1 at forest roots)
+    start: list[int]       # preorder number a_v
+    end: list[int]         # b_v — one past the subtree's max preorder
+
+    def in_subtree(self, ancestor: int, node: int) -> bool:
+        """True iff ``node`` lies in ``ancestor``'s tree subtree."""
+        return self.start[ancestor] <= self.start[node] < self.end[ancestor]
+
+    def non_tree_edges(self, graph: DiGraph) -> list[tuple[int, int]]:
+        """Edges (by dense ids) that the spanning forest does not use."""
+        links: list[tuple[int, int]] = []
+        for v in range(graph.num_nodes):
+            for w in graph.successor_ids(v):
+                if self.parent[w] != v:
+                    links.append((v, w))
+        return links
+
+    def children_lists(self, num_nodes: int) -> list[list[int]]:
+        """Tree children per dense id (derived from ``parent``)."""
+        children: list[list[int]] = [[] for _ in range(num_nodes)]
+        for v, p in enumerate(self.parent):
+            if p != -1:
+                children[p].append(v)
+        return children
+
+
+def build_tree_cover(graph: DiGraph) -> TreeCover:
+    """Grow a DFS spanning forest and assign subtree intervals."""
+    n = graph.num_nodes
+    parent = [-1] * n
+    start = [-1] * n
+    end = [0] * n
+    counter = 0
+    for root in root_ids(graph) + list(range(n)):
+        if start[root] != -1:
+            continue
+        start[root] = counter
+        counter += 1
+        stack: list[tuple[int, int]] = [(root, 0)]
+        while stack:
+            v, edge_index = stack[-1]
+            succ = graph.successor_ids(v)
+            advanced = False
+            while edge_index < len(succ):
+                w = succ[edge_index]
+                edge_index += 1
+                if start[w] == -1:
+                    stack[-1] = (v, edge_index)
+                    parent[w] = v
+                    start[w] = counter
+                    counter += 1
+                    stack.append((w, 0))
+                    advanced = True
+                    break
+            if not advanced:
+                end[v] = counter
+                stack.pop()
+    return TreeCover(parent=parent, start=start, end=end)

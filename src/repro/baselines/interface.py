@@ -1,0 +1,42 @@
+"""The common surface of every reachability method in the evaluation.
+
+The paper's experiments (Section V) compare six methods.  Each one here
+implements :class:`ReachabilityIndex`:
+
+* ``build(graph)`` — construct the index over a **DAG** (the paper
+  collapses SCCs before indexing; :class:`repro.core.index.ChainIndex`
+  additionally accepts cyclic graphs and satisfies this interface
+  structurally).
+* ``is_reachable(source, target)`` — reflexive reachability on node
+  objects.
+* ``size_words()`` — data-structure size in 16-bit words, the unit of
+  the paper's Tables 1/3/4/5.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.graph.digraph import DiGraph
+
+__all__ = ["ReachabilityIndex"]
+
+
+class ReachabilityIndex(ABC):
+    """Abstract base for the evaluated reachability methods."""
+
+    #: Short method name used by the benchmark tables ("ours", "DD", …).
+    name: str = "abstract"
+
+    @classmethod
+    @abstractmethod
+    def build(cls, graph: DiGraph) -> "ReachabilityIndex":
+        """Construct the index for a DAG."""
+
+    @abstractmethod
+    def is_reachable(self, source, target) -> bool:
+        """Reflexive reachability between two node objects."""
+
+    @abstractmethod
+    def size_words(self) -> int:
+        """Index size in 16-bit words."""

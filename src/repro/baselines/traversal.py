@@ -1,0 +1,53 @@
+"""Online graph traversal — the no-index reference point.
+
+The paper's complexity table lists plain graph traversal with O(e)
+query time, zero labeling time and zero space.  Queries run a BFS from
+the source and stop as soon as the target is seen.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.interface import ReachabilityIndex
+from repro.graph.digraph import DiGraph
+
+__all__ = ["TraversalIndex"]
+
+
+class TraversalIndex(ReachabilityIndex):
+    """BFS-per-query reachability; the only state is the graph itself."""
+
+    name = "traversal"
+
+    def __init__(self, graph: DiGraph) -> None:
+        self._graph = graph
+
+    @classmethod
+    def build(cls, graph: DiGraph) -> "TraversalIndex":
+        """No precomputation — just remember the graph."""
+        return cls(graph)
+
+    def is_reachable(self, source, target) -> bool:
+        """BFS from ``source``, stopping at ``target`` (reflexive)."""
+        graph = self._graph
+        src = graph.node_id(source)
+        dst = graph.node_id(target)
+        if src == dst:
+            return True
+        seen = bytearray(graph.num_nodes)
+        seen[src] = 1
+        frontier = [src]
+        while frontier:
+            next_frontier: list[int] = []
+            for v in frontier:
+                for w in graph.successor_ids(v):
+                    if w == dst:
+                        return True
+                    if not seen[w]:
+                        seen[w] = 1
+                        next_frontier.append(w)
+            frontier = next_frontier
+        return False
+
+    def size_words(self) -> int:
+        """Zero — there is no index."""
+        return 0

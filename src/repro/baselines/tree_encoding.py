@@ -1,0 +1,139 @@
+"""Chen's tree encoding (the paper's "TE").
+
+Two steps (Section I's review of [6]):
+
+1. A spanning *branching* is grown depth-first; every tree node gets an
+   interval ``[pre, end]`` over preorder numbers that covers exactly its
+   tree subtree (equivalent to the (preorder, postorder) pair test).
+2. A *pair sequence* per node is produced bottom-up (reverse topological
+   order): a node merges its own interval with its children's
+   sequences, discarding dominated pairs.  The kept pairs are strictly
+   increasing in both components, so a single binary search answers a
+   query: ``u ⇝ v`` iff some pair of ``u`` contains ``pre(v)``.
+
+The sequence length is bounded by the number of leaves β of the
+branching, giving O(β·n) space and O(log β) query time — β is at least
+the DAG's width, which is why the paper's method wins on non-sparse
+graphs while TE stays competitive on sparse ones (Table 1 vs Table 3).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.baselines.interface import ReachabilityIndex
+from repro.graph.digraph import DiGraph
+from repro.graph.topology import root_ids, topological_order_ids
+
+__all__ = ["TreeEncodingIndex", "spanning_branching_intervals",
+           "merge_pair_sequences"]
+
+
+def spanning_branching_intervals(graph: DiGraph) -> tuple[list[int],
+                                                          list[int]]:
+    """DFS spanning forest intervals: ``(pre, end)`` per dense id.
+
+    ``pre[v]`` is the preorder number, ``end[v]`` the largest preorder
+    number in ``v``'s tree subtree; ``u`` is a tree descendant of ``v``
+    (or ``v`` itself) iff ``pre[v] <= pre[u] <= end[v]``.
+    """
+    n = graph.num_nodes
+    pre = [-1] * n
+    end = [-1] * n
+    counter = 0
+    for root in root_ids(graph) + list(range(n)):
+        if pre[root] != -1:
+            continue
+        stack: list[tuple[int, int]] = [(root, 0)]
+        pre[root] = counter
+        counter += 1
+        while stack:
+            v, edge_index = stack[-1]
+            succ = graph.successor_ids(v)
+            advanced = False
+            while edge_index < len(succ):
+                w = succ[edge_index]
+                edge_index += 1
+                if pre[w] == -1:
+                    stack[-1] = (v, edge_index)
+                    pre[w] = counter
+                    counter += 1
+                    stack.append((w, 0))
+                    advanced = True
+                    break
+            if not advanced:
+                end[v] = counter - 1
+                stack.pop()
+    return pre, end
+
+
+def merge_pair_sequences(candidates: list[tuple[int, int]]
+                         ) -> list[tuple[int, int]]:
+    """Drop dominated pairs; result strictly increasing in both parts.
+
+    ``(p, q)`` dominates ``(p', q')`` when ``p <= p'`` and ``q >= q'``.
+    """
+    if not candidates:
+        return []
+    candidates.sort(key=lambda pair: (pair[0], -pair[1]))
+    merged: list[tuple[int, int]] = []
+    best_q = -1
+    for p, q in candidates:
+        if q > best_q:
+            merged.append((p, q))
+            best_q = q
+    return merged
+
+
+class TreeEncodingIndex(ReachabilityIndex):
+    """Interval pair sequences over a DFS spanning branching."""
+
+    name = "TE"
+
+    def __init__(self, graph: DiGraph, pre: list[int],
+                 starts: list[tuple[int, ...]],
+                 ends: list[tuple[int, ...]]) -> None:
+        self._graph = graph
+        self._pre = pre
+        self._starts = starts
+        self._ends = ends
+
+    @classmethod
+    def build(cls, graph: DiGraph) -> "TreeEncodingIndex":
+        """Grow the branching, then merge pair sequences bottom-up."""
+        n = graph.num_nodes
+        pre, end = spanning_branching_intervals(graph)
+        sequences: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+        for v in reversed(topological_order_ids(graph)):
+            candidates = [(pre[v], end[v])]
+            for child in graph.successor_ids(v):
+                candidates.extend(sequences[child])
+            sequences[v] = merge_pair_sequences(candidates)
+        starts = [tuple(p for p, _ in seq) for seq in sequences]
+        ends = [tuple(q for _, q in seq) for seq in sequences]
+        return cls(graph, pre, starts, ends)
+
+    def is_reachable(self, source, target) -> bool:
+        """Reflexive reachability: one binary search in the pair sequence."""
+        src = self._graph.node_id(source)
+        dst = self._graph.node_id(target)
+        if src == dst:
+            return True
+        key = self._pre[dst]
+        starts = self._starts[src]
+        index = bisect_right(starts, key) - 1
+        if index < 0:
+            return False
+        # Pairs ascend in both components, so the rightmost pair with
+        # start <= key has the largest end among eligible pairs.
+        return self._ends[src][index] >= key
+
+    def size_words(self) -> int:
+        """Preorder numbers plus two words per kept pair."""
+        # One preorder number per node plus two words per kept pair.
+        return (len(self._pre)
+                + 2 * sum(len(seq) for seq in self._starts))
+
+    def sequence_length(self, node) -> int:
+        """Number of pairs kept for ``node`` (<= branching leaves)."""
+        return len(self._starts[self._graph.node_id(node)])

@@ -1,0 +1,53 @@
+"""Benchmark harness: workloads, runners and paper-style reporting."""
+
+from repro.bench.harness import (
+    build_all,
+    build_index,
+    random_queries,
+    run_query_series,
+    time_query_batch,
+)
+from repro.bench.metrics import BuildResult, QuerySeries, Timer
+from repro.bench.reporting import (
+    render_build_table,
+    render_series,
+    render_table,
+    write_report,
+)
+from repro.bench.workloads import (
+    GROUP1_METHODS,
+    GROUP23_METHODS,
+    METHOD_BUILDERS,
+    QUERY_METHODS,
+    Workload,
+    group1_graphs,
+    group2_dsg_graph,
+    group2_dsrg_graph,
+    group3_dense_graph,
+    query_counts,
+)
+
+__all__ = [
+    "build_index",
+    "build_all",
+    "random_queries",
+    "time_query_batch",
+    "run_query_series",
+    "Timer",
+    "BuildResult",
+    "QuerySeries",
+    "render_table",
+    "render_build_table",
+    "render_series",
+    "write_report",
+    "METHOD_BUILDERS",
+    "GROUP1_METHODS",
+    "GROUP23_METHODS",
+    "QUERY_METHODS",
+    "Workload",
+    "group1_graphs",
+    "group2_dsg_graph",
+    "group2_dsrg_graph",
+    "group3_dense_graph",
+    "query_counts",
+]

@@ -1,0 +1,59 @@
+"""``repro-bench`` / ``python -m repro.bench`` — regenerate the paper's
+tables and figures from the command line.
+
+Examples::
+
+    repro-bench table1
+    repro-bench all --scale 0.5 --out results/
+    repro-bench fig13 --scale 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro-bench argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Reproduce the evaluation of Chen & Chen (ICDE 2008)")
+    parser.add_argument(
+        "experiment",
+        choices=sorted(ALL_EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate")
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload size multiplier (1.0 = the scaled defaults "
+             "documented in EXPERIMENTS.md)")
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="directory to also write one report file per experiment")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: run the chosen experiments, print/write reports."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "all":
+        names = sorted(ALL_EXPERIMENTS)
+    else:
+        names = [args.experiment]
+    for name in names:
+        report = ALL_EXPERIMENTS[name](scale=args.scale)
+        print(report)
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{name}.txt").write_text(report,
+                                                  encoding="utf-8")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,306 @@
+"""One entry point per table and figure of the paper's Section V.
+
+Each ``run_*`` function builds the workload, exercises the methods and
+returns the rendered paper-style report; the CLI and the pytest
+benchmark suite both call these.  Table/figure numbering follows the
+paper:
+
+* Table 1 / Fig. 10 — Group I, sparse graphs.
+* Table 2 — DSG/DSRG graph parameters.
+* Table 3 / Fig. 11 — Group II, DSG.
+* Table 4 / Fig. 12 — Group II, DSRG.
+* Table 5 / Fig. 13 — Group III, dense 0.25-DAG.
+
+Plus three ablations that are not in the paper but probe its design
+choices (chain-cover method, width sensitivity, matching algorithm).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.two_hop import TwoHopIndex
+from repro.bench.harness import (
+    build_all,
+    build_index,
+    run_query_series,
+)
+from repro.bench.metrics import BuildResult, Timer
+from repro.bench.reporting import (
+    render_build_table,
+    render_series,
+    render_table,
+)
+from repro.bench.workloads import (
+    GROUP1_METHODS,
+    GROUP23_METHODS,
+    QUERY_METHODS,
+    group1_graphs,
+    group2_dsg_graph,
+    group2_dsrg_graph,
+    group3_dense_graph,
+    query_counts,
+)
+from repro.core.index import ChainIndex
+from repro.core.stratified import stratified_chain_cover
+from repro.baselines.jagadish import jagadish_chain_cover
+from repro.core.closure_cover import closure_chain_cover
+from repro.graph.generators import graph_stats, layered_random_dag
+from repro.matching.bipartite import BipartiteGraph
+from repro.matching.hopcroft_karp import hopcroft_karp, kuhn_matching
+
+__all__ = [
+    "run_table1", "run_fig10", "run_table2", "run_table3", "run_fig11",
+    "run_table4", "run_fig12", "run_table5", "run_fig13",
+    "run_ablation_chain_methods", "run_ablation_width",
+    "run_ablation_matching", "ALL_EXPERIMENTS",
+]
+
+
+def _with_dual_dense(results: list[BuildResult]) -> list[BuildResult]:
+    """Append a ``Dual-I*`` row: the same dual-labeling index priced
+    with the paper's uncompressed TLC matrix (our search tree
+    compresses far better than the implementation the paper measured,
+    so the dense footprint is what reproduces the Tables 3–5 blow-up).
+    """
+    extended = list(results)
+    for result in results:
+        if result.method == "Dual-II" and hasattr(result.index,
+                                                  "dense_size_words"):
+            extended.append(BuildResult(
+                method="Dual-I*", index=result.index,
+                build_seconds=result.build_seconds,
+                size_words=result.index.dense_size_words()))
+    return extended
+
+
+def _averaged(results_per_graph: list[list[BuildResult]]
+              ) -> list[BuildResult]:
+    """Average size/time per method across a graph series (Table 1
+    reports one row per method over five sparse graphs)."""
+    by_method: dict[str, list[BuildResult]] = {}
+    for results in results_per_graph:
+        for result in results:
+            by_method.setdefault(result.method, []).append(result)
+    averaged = []
+    for method, results in by_method.items():
+        averaged.append(BuildResult(
+            method=method,
+            index=results[-1].index,
+            build_seconds=sum(r.build_seconds
+                              for r in results) / len(results),
+            size_words=round(sum(r.size_words
+                                 for r in results) / len(results)),
+        ))
+    return averaged
+
+
+# ----------------------------------------------------------------------
+# Group I — sparse graphs
+# ----------------------------------------------------------------------
+def _build_group1(scale: float) -> tuple[list, list[list[BuildResult]]]:
+    workloads = group1_graphs(scale)
+    results = []
+    for workload in workloads:
+        per_graph = []
+        for method in GROUP1_METHODS:
+            if method == "2-hop":
+                # The paper's 2-hop used exhaustive greedy re-scoring;
+                # reproduce that cost profile explicitly.
+                with Timer() as timer:
+                    index = TwoHopIndex.build(workload.graph, lazy=False)
+                per_graph.append(BuildResult(
+                    method=method, index=index,
+                    build_seconds=timer.seconds,
+                    size_words=index.size_words()))
+            else:
+                per_graph.append(build_index(method, workload.graph))
+        results.append(per_graph)
+    return workloads, results
+
+
+def run_table1(scale: float = 1.0) -> str:
+    """Table 1: average TC size and build time over sparse graphs."""
+    workloads, results = _build_group1(scale)
+    labels = ", ".join(w.label for w in workloads)
+    return render_build_table(
+        f"Table 1 — sparse graphs ({labels}); averages over the series",
+        _with_dual_dense(_averaged(results)))
+
+
+def run_fig10(scale: float = 1.0) -> str:
+    """Fig. 10: accumulated query time vs query count, Group I.
+
+    Unlike Figs. 11–13, the paper's Fig. 10 includes 2-hop (its label
+    intersections make the slowest line); built lazily here since only
+    query time is plotted.
+    """
+    workload = group1_graphs(scale)[2]       # the middle instance
+    counts = query_counts(scale)
+    series = []
+    for method in QUERY_METHODS + ["2-hop"]:
+        result = build_index(method, workload.graph)
+        series.append(run_query_series(result.index, method,
+                                       workload.graph, counts, seed=23))
+    return render_series(
+        f"Fig. 10 — query time (sec.) on {workload.label}", series)
+
+
+# ----------------------------------------------------------------------
+# Table 2 — graph parameters
+# ----------------------------------------------------------------------
+def run_table2(scale: float = 1.0) -> str:
+    """Table 2: DSG / DSRG graph parameters."""
+    rows = []
+    for name, workload in (("DSG", group2_dsg_graph(scale)),
+                           ("DSRG", group2_dsrg_graph(scale))):
+        stats = graph_stats(workload.graph, seed=1)
+        rows.append((name,) + stats.row())
+    return render_table(
+        "Table 2 — graph parameters for Group II",
+        ["graph", "number of nodes", "number of arcs",
+         "avg out-degree of internal nodes", "average path length"],
+        rows)
+
+
+# ----------------------------------------------------------------------
+# Group II — DSG / DSRG
+# ----------------------------------------------------------------------
+def run_table3(scale: float = 1.0) -> str:
+    """Table 3: DSG TC size and build time (no 2-hop)."""
+    workload = group2_dsg_graph(scale)
+    results = _with_dual_dense(build_all(workload.graph,
+                                         GROUP23_METHODS))
+    return render_build_table(f"Table 3 — {workload.label}", results)
+
+
+def run_fig11(scale: float = 1.0) -> str:
+    """Fig. 11: query time on the DSG."""
+    workload = group2_dsg_graph(scale)
+    counts = query_counts(scale)
+    series = [run_query_series(build_index(m, workload.graph).index, m,
+                               workload.graph, counts, seed=29)
+              for m in QUERY_METHODS]
+    return render_series(
+        f"Fig. 11 — query time (sec.) on {workload.label}", series)
+
+
+def run_table4(scale: float = 1.0) -> str:
+    """Table 4: DSRG TC size and build time."""
+    workload = group2_dsrg_graph(scale)
+    results = _with_dual_dense(build_all(workload.graph,
+                                         GROUP23_METHODS))
+    return render_build_table(f"Table 4 — {workload.label}", results)
+
+
+def run_fig12(scale: float = 1.0) -> str:
+    """Fig. 12: query time on the DSRG."""
+    workload = group2_dsrg_graph(scale)
+    counts = query_counts(scale)
+    series = [run_query_series(build_index(m, workload.graph).index, m,
+                               workload.graph, counts, seed=31)
+              for m in QUERY_METHODS]
+    return render_series(
+        f"Fig. 12 — query time (sec.) on {workload.label}", series)
+
+
+# ----------------------------------------------------------------------
+# Group III — dense graphs
+# ----------------------------------------------------------------------
+def run_table5(scale: float = 1.0) -> str:
+    """Table 5: 0.25-density DAG TC size and build time."""
+    workload = group3_dense_graph(scale)
+    results = _with_dual_dense(build_all(workload.graph,
+                                         GROUP23_METHODS))
+    return render_build_table(f"Table 5 — {workload.label}", results)
+
+
+def run_fig13(scale: float = 1.0) -> str:
+    """Fig. 13: query time on the dense DAG."""
+    workload = group3_dense_graph(scale)
+    counts = query_counts(scale)
+    series = [run_query_series(build_index(m, workload.graph).index, m,
+                               workload.graph, counts, seed=37)
+              for m in QUERY_METHODS]
+    return render_series(
+        f"Fig. 13 — query time (sec.) on {workload.label}", series)
+
+
+# ----------------------------------------------------------------------
+# Ablations (not in the paper)
+# ----------------------------------------------------------------------
+def run_ablation_chain_methods(scale: float = 1.0) -> str:
+    """Chain count and decomposition time per cover algorithm."""
+    rows = []
+    for workload in (group1_graphs(scale)[0], group2_dsg_graph(scale),
+                     group2_dsrg_graph(scale),
+                     group3_dense_graph(scale)):
+        for name, cover_fn in (("stratified", stratified_chain_cover),
+                               ("closure", closure_chain_cover),
+                               ("jagadish", jagadish_chain_cover)):
+            with Timer() as timer:
+                cover = cover_fn(workload.graph)
+            rows.append((workload.label, name, cover.num_chains,
+                         f"{timer.seconds:.3f}"))
+    return render_table(
+        "Ablation A — chain-cover method vs chain count",
+        ["graph", "method", "chains", "decompose (sec.)"],
+        rows)
+
+
+def run_ablation_width(scale: float = 1.0) -> str:
+    """Label size and build time as the graph's width grows."""
+    rows = []
+    depth = 12
+    for width_target in (4, 16, 64, 256):
+        layers = [max(1, int(width_target * scale))] * depth
+        graph = layered_random_dag(layers, 4.0 / width_target, seed=41)
+        with Timer() as timer:
+            index = ChainIndex.build(graph)
+        rows.append((width_target, graph.num_nodes, index.num_chains,
+                     index.size_words(), f"{timer.seconds:.3f}"))
+    return render_table(
+        "Ablation B — width vs label size (layered DAGs, 12 layers)",
+        ["layer width", "nodes", "chains (=width)", "size (16-bit words)",
+         "build (sec.)"],
+        rows)
+
+
+def run_ablation_matching(scale: float = 1.0) -> str:
+    """Hopcroft–Karp vs naive augmentation on level bipartite graphs."""
+    import random
+    rows = []
+    rng = random.Random(43)
+    for side in (200, 400, 800):
+        side = max(10, int(side * scale))
+        graph = BipartiteGraph(side, side)
+        for top in range(side):
+            for bottom in rng.sample(range(side), 4):
+                graph.add_edge(top, bottom)
+        with Timer() as hk_timer:
+            hk_size = hopcroft_karp(graph).size()
+        with Timer() as kuhn_timer:
+            kuhn_size = kuhn_matching(graph).size()
+        assert hk_size == kuhn_size
+        rows.append((side, hk_size, f"{hk_timer.seconds:.4f}",
+                     f"{kuhn_timer.seconds:.4f}"))
+    return render_table(
+        "Ablation C — Hopcroft–Karp vs Kuhn on random 4-regular "
+        "bipartite graphs",
+        ["side size", "matching size", "HK (sec.)", "Kuhn (sec.)"],
+        rows)
+
+
+#: name -> runner, used by the CLI.
+ALL_EXPERIMENTS = {
+    "table1": run_table1,
+    "fig10": run_fig10,
+    "table2": run_table2,
+    "table3": run_table3,
+    "fig11": run_fig11,
+    "table4": run_table4,
+    "fig12": run_fig12,
+    "table5": run_table5,
+    "fig13": run_fig13,
+    "ablation-chain-methods": run_ablation_chain_methods,
+    "ablation-width": run_ablation_width,
+    "ablation-matching": run_ablation_matching,
+}

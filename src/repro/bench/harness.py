@@ -1,0 +1,70 @@
+"""Build/query runners shared by the CLI and the pytest benchmarks."""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.metrics import BuildResult, QuerySeries, Timer
+from repro.bench.workloads import METHOD_BUILDERS
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "build_index",
+    "build_all",
+    "random_queries",
+    "time_query_batch",
+    "run_query_series",
+]
+
+
+def build_index(method: str, graph: DiGraph) -> BuildResult:
+    """Build one method's index, timing it and measuring its size."""
+    builder = METHOD_BUILDERS[method]
+    with Timer() as timer:
+        index = builder(graph)
+    return BuildResult(method=method, index=index,
+                       build_seconds=timer.seconds,
+                       size_words=index.size_words())
+
+
+def build_all(graph: DiGraph, methods: list[str]) -> list[BuildResult]:
+    """Build every requested method over the same graph."""
+    return [build_index(method, graph) for method in methods]
+
+
+def random_queries(graph: DiGraph, count: int,
+                   seed: int = 0) -> list[tuple]:
+    """``count`` random (source, target) node pairs.
+
+    Mirrors the paper: "each query is a pair (x, y) to check whether
+    node x is an ancestor of node y", drawn uniformly.
+    """
+    rng = random.Random(seed)
+    nodes = graph.nodes()
+    if not nodes:
+        return []
+    return [(rng.choice(nodes), rng.choice(nodes))
+            for _ in range(count)]
+
+
+def time_query_batch(index, queries: list[tuple]) -> float:
+    """Accumulated seconds to answer every query in the batch."""
+    is_reachable = index.is_reachable
+    with Timer() as timer:
+        for source, target in queries:
+            is_reachable(source, target)
+    return timer.seconds
+
+
+def run_query_series(index, method: str, graph: DiGraph,
+                     counts: list[int], seed: int = 0) -> QuerySeries:
+    """Accumulated query time at each batch size (one figure line).
+
+    The paper reports accumulated time over the first N of a fixed
+    random query stream, so batches are prefixes of one stream.
+    """
+    series = QuerySeries(method=method, counts=list(counts))
+    stream = random_queries(graph, max(counts) if counts else 0, seed)
+    for count in counts:
+        series.seconds.append(time_query_batch(index, stream[:count]))
+    return series

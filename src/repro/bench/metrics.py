@@ -1,0 +1,47 @@
+"""Timing and size accounting for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "BuildResult", "QuerySeries"]
+
+
+class Timer:
+    """Context-manager wall clock: ``with Timer() as t: ...; t.seconds``."""
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+@dataclass
+class BuildResult:
+    """One method's index over one graph."""
+
+    method: str
+    index: object
+    build_seconds: float
+    size_words: int
+
+    def row(self) -> tuple:
+        """(method, size, time) tuple for table rendering."""
+        return (self.method, self.size_words,
+                round(self.build_seconds, 4))
+
+
+@dataclass
+class QuerySeries:
+    """Accumulated query times at growing batch sizes (Figs. 10–13)."""
+
+    method: str
+    counts: list[int]
+    seconds: list[float] = field(default_factory=list)

@@ -1,0 +1,66 @@
+"""Paper-style rendering of benchmark results.
+
+Tables mirror the layout of the paper's Tables 1–5 ("size of data
+structures (16 bits)" / "time for generating TC (sec.)"); series mirror
+Figures 10–13 (accumulated query seconds against query count).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bench.metrics import BuildResult, QuerySeries
+
+__all__ = ["render_table", "render_build_table", "render_series",
+           "write_report"]
+
+
+def render_table(title: str, headers: list[str],
+                 rows: list[tuple]) -> str:
+    """A plain fixed-width table."""
+    columns = [headers] + [[str(cell) for cell in row] for row in rows]
+    widths = [max(len(column[row_index]) for column in columns)
+              for row_index in range(len(headers))]
+    lines = [title]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(w)
+                               for cell, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def render_build_table(title: str,
+                       results: list[BuildResult]) -> str:
+    """The paper's Tables 1/3/4/5 layout."""
+    rows = [(r.method, r.size_words, f"{r.build_seconds:.3f}")
+            for r in results]
+    return render_table(
+        title,
+        ["method", "size of data structures (16 bits)",
+         "time for generating TC (sec.)"],
+        rows)
+
+
+def render_series(title: str, series: list[QuerySeries]) -> str:
+    """The paper's Figures 10–13 as a numeric table.
+
+    One row per query count, one column per method, cells holding the
+    accumulated query time in seconds.
+    """
+    if not series:
+        return title + "\n(no data)\n"
+    headers = ["queries"] + [s.method for s in series]
+    rows = []
+    for i, count in enumerate(series[0].counts):
+        rows.append(tuple([count] + [f"{s.seconds[i]:.4f}"
+                                     for s in series]))
+    return render_table(title, headers, rows)
+
+
+def write_report(path: str | Path, content: str) -> Path:
+    """Write a report file, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(content, encoding="utf-8")
+    return path

@@ -1,0 +1,133 @@
+"""Experiment specifications for every table and figure in Section V.
+
+Each workload reproduces one of the paper's graph families at a scale a
+pure-Python run completes in seconds-to-minutes; the ``scale`` factor
+multiplies node counts back toward the paper's sizes when more patience
+is available.  EXPERIMENTS.md records the mapping from the paper's
+parameters to the defaults here.
+
+The method registry mirrors the paper's six evaluated methods plus the
+no-index traversal reference; "ours" is the chain-cover index built with
+the paper's stratified algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.dual import DualLabelingIndex
+from repro.baselines.jagadish import JagadishIndex
+from repro.baselines.traversal import TraversalIndex
+from repro.baselines.tree_encoding import TreeEncodingIndex
+from repro.baselines.two_hop import TwoHopIndex
+from repro.baselines.warren import WarrenIndex
+from repro.core.index import ChainIndex
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    dense_dag,
+    semi_random_dag,
+    sparse_random_dag,
+    systematic_dag,
+)
+
+__all__ = [
+    "METHOD_BUILDERS",
+    "GROUP1_METHODS",
+    "GROUP23_METHODS",
+    "QUERY_METHODS",
+    "Workload",
+    "group1_graphs",
+    "group2_dsg_graph",
+    "group2_dsrg_graph",
+    "group3_dense_graph",
+    "query_counts",
+]
+
+
+def _build_ours(graph: DiGraph) -> ChainIndex:
+    return ChainIndex.build(graph, method="stratified")
+
+
+#: method name (as in the paper's tables) -> index builder over a DAG.
+METHOD_BUILDERS = {
+    "ours": _build_ours,
+    "DD": JagadishIndex.build,
+    "TE": TreeEncodingIndex.build,
+    "Dual-II": DualLabelingIndex.build,
+    "2-hop": TwoHopIndex.build,
+    "MM": WarrenIndex.build,
+    "traversal": TraversalIndex.build,
+}
+
+#: Table 1 compares all six indexing methods.
+GROUP1_METHODS = ["ours", "DD", "TE", "Dual-II", "2-hop", "MM"]
+#: Tables 3–5 drop 2-hop ("it took too long to generate labels").
+GROUP23_METHODS = ["ours", "DD", "TE", "Dual-II", "MM"]
+#: Figures 10–13 time queries for the five labeling methods + MM.
+QUERY_METHODS = ["MM", "ours", "DD", "TE", "Dual-II"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named graph instance inside an experiment."""
+
+    label: str
+    graph: DiGraph
+
+
+def group1_graphs(scale: float = 1.0, seed: int = 7) -> list[Workload]:
+    """Group I: sparse random digraphs, SCCs collapsed.
+
+    Paper: 15,000 nodes, 16,000–20,000 edges in steps of 1,000.
+    Default scale: 1,500 nodes, 1,600–2,000 edges in steps of 100.
+    """
+    nodes = max(10, int(1500 * scale))
+    workloads = []
+    for step in range(5):
+        edges = int(nodes * (16 + step) / 15)
+        graph = sparse_random_dag(nodes, edges, seed=seed + step)
+        workloads.append(Workload(f"sparse n={nodes} e={edges}", graph))
+    return workloads
+
+
+def group2_dsg_graph(scale: float = 1.0, seed: int = 11) -> Workload:
+    """Group II(a): the systematically generated DAG.
+
+    Paper: 640 roots, 8 levels, ~4 children / ~3 parents, 31,525 nodes.
+    Default scale: 64 roots, 8 levels (~1,900 nodes).
+    """
+    roots = max(4, int(64 * scale))
+    graph = systematic_dag(num_roots=roots, num_levels=8,
+                           children_per_node=4, parents_per_node=3,
+                           seed=seed)
+    return Workload(f"DSG roots={roots} levels=8", graph)
+
+
+def group2_dsrg_graph(scale: float = 1.0, seed: int = 13) -> Workload:
+    """Group II(b): random tree + acyclic extra edges.
+
+    Paper: ≥20,000 tree nodes + up to 10,000 extra edges.
+    Default scale: 2,000 + 1,000.
+    """
+    nodes = max(10, int(2000 * scale))
+    extra = nodes // 2
+    graph = semi_random_dag(nodes, extra, max_children=6, seed=seed)
+    return Workload(f"DSRG n={nodes} extra={extra}", graph)
+
+
+def group3_dense_graph(scale: float = 1.0, seed: int = 17) -> Workload:
+    """Group III: the 0.25-density DAG.
+
+    Paper: 3,000 nodes, 2,230,196 edges (e/n² ≈ 0.247).  Default
+    scale: 150 nodes (~5,600 edges) — the same density regime, sized so
+    Dual-II's t³-flavoured link machinery still terminates.
+    """
+    nodes = max(10, int(150 * scale))
+    graph = dense_dag(nodes, density=0.25, seed=seed)
+    return Workload(f"dense n={nodes} density=0.25", graph)
+
+
+def query_counts(scale: float = 1.0) -> list[int]:
+    """Figures 10–13 x-axis: paper 10k–100k queries; default 1k–10k."""
+    unit = max(10, int(1000 * scale))
+    return [unit * i for i in range(1, 11)]

@@ -1,0 +1,239 @@
+"""``python -m repro`` — work with graphs and indexes from the shell.
+
+Subcommands operate on the edge-list format of :mod:`repro.graph.io`::
+
+    python -m repro stats graph.txt          # nodes/edges/width/height
+    python -m repro chains graph.txt         # minimum chain cover
+    python -m repro antichain graph.txt      # a maximum antichain
+    python -m repro query graph.txt 0 1 2 3  # reachability pairs
+    python -m repro generate dsrg 500 200 --seed 3 --out graph.txt
+    python -m repro index graph.txt -o graph.idx     # persist the index
+    python -m repro query --index graph.idx 0 1      # query without rebuild
+    python -m repro dot graph.txt --chains           # Graphviz export
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.index import ChainIndex
+from repro.core.width import dag_width, maximum_antichain
+from repro.graph.generators import (
+    citation_dag,
+    dense_dag,
+    graph_stats,
+    semi_random_dag,
+    sparse_random_dag,
+    systematic_dag,
+)
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.scc import condense
+
+__all__ = ["main"]
+
+
+def _load(path: str):
+    return read_edge_list(Path(path))
+
+
+def _cmd_stats(args) -> int:
+    graph = _load(args.graph)
+    condensation = condense(graph)
+    stats = graph_stats(condensation.dag, path_samples=500, seed=0)
+    print(f"nodes:               {graph.num_nodes}")
+    print(f"edges:               {graph.num_edges}")
+    print(f"scc components:      {condensation.num_components}")
+    print(f"height (strata):     {stats.height}")
+    print(f"width (Dilworth):    {dag_width(condensation.dag)}")
+    print(f"avg out-degree:      "
+          f"{stats.average_out_degree_internal:.2f}")
+    return 0
+
+
+def _cmd_chains(args) -> int:
+    graph = _load(args.graph)
+    index = ChainIndex.build(graph, method=args.method)
+    print(f"{index.num_chains} chains "
+          f"({index.num_components} components):")
+    for chain in index.chains():
+        print("  " + " > ".join("/".join(map(str, scc))
+                                for scc in chain))
+    return 0
+
+
+def _cmd_antichain(args) -> int:
+    graph = _load(args.graph)
+    condensation = condense(graph)
+    antichain = maximum_antichain(condensation.dag)
+    members = [condensation.members[c][0] for c in antichain]
+    print(f"maximum antichain ({len(members)} nodes):")
+    print("  " + " ".join(map(str, sorted(members, key=str))))
+    return 0
+
+
+def _cmd_query(args) -> int:
+    pairs = list(args.pairs)
+    if args.index:
+        # With --index the positional "graph" slot, if filled, is
+        # really the first query node.
+        if args.graph is not None:
+            pairs.insert(0, args.graph)
+        from repro.core.persistence import load_index
+        index = load_index(Path(args.index))
+    elif args.graph:
+        try:
+            index = ChainIndex.build(_load(args.graph))
+        except FileNotFoundError:
+            print(f"query: no such graph file: {args.graph} "
+                  f"(or pass --index)", file=sys.stderr)
+            return 2
+    else:
+        print("query needs a graph file or --index", file=sys.stderr)
+        return 2
+    if len(pairs) % 2:
+        print("query expects an even number of nodes (source target "
+              "pairs)", file=sys.stderr)
+        return 2
+    exit_code = 0
+    for i in range(0, len(pairs), 2):
+        source, target = pairs[i], pairs[i + 1]
+        if args.int_labels:
+            source, target = int(source), int(target)
+        answer = index.is_reachable(source, target)
+        print(f"{source} -> {target}: {'yes' if answer else 'no'}")
+        if not answer:
+            exit_code = 1
+    return exit_code
+
+
+_GENERATORS = {
+    "sparse": lambda a: sparse_random_dag(a.size, a.extra, seed=a.seed),
+    "dsg": lambda a: systematic_dag(a.size, max(2, a.extra),
+                                    seed=a.seed),
+    "dsrg": lambda a: semi_random_dag(a.size, a.extra, seed=a.seed),
+    "dense": lambda a: dense_dag(a.size, min(0.5, a.extra / 100),
+                                 seed=a.seed),
+    "citation": lambda a: citation_dag(a.size, max(1, a.extra),
+                                       seed=a.seed),
+}
+
+
+def _cmd_index(args) -> int:
+    from repro.core.persistence import save_index
+    graph = _load(args.graph)
+    index = ChainIndex.build(graph, method=args.method)
+    save_index(index, Path(args.out))
+    print(f"indexed {graph.num_nodes} nodes into {index.num_chains} "
+          f"chains ({index.size_words()} words) -> {args.out}")
+    return 0
+
+
+def _cmd_dot(args) -> int:
+    from repro.graph.dot import chains_to_dot, stratification_to_dot, to_dot
+    graph = _load(args.graph)
+    if args.chains:
+        condensation = condense(graph)
+        index = ChainIndex.build(graph)
+        text = chains_to_dot(condensation.dag,
+                             index._decomposition)  # noqa: SLF001
+    elif args.strata:
+        from repro.core.stratification import stratify
+        condensation = condense(graph)
+        text = stratification_to_dot(condensation.dag,
+                                     stratify(condensation.dag))
+    else:
+        text = to_dot(graph)
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    graph = _GENERATORS[args.family](args)
+    if args.out:
+        write_edge_list(graph, Path(args.out))
+        print(f"wrote {graph.num_nodes} nodes / {graph.num_edges} "
+              f"edges to {args.out}")
+    else:
+        write_edge_list(graph, sys.stdout)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro-graph argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Chain-cover reachability toolkit (Chen & Chen, "
+                    "ICDE 2008)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats = sub.add_parser("stats", help="graph statistics incl. width")
+    stats.add_argument("graph")
+    stats.set_defaults(func=_cmd_stats)
+
+    chains = sub.add_parser("chains", help="minimum chain cover")
+    chains.add_argument("graph")
+    chains.add_argument("--method", default="stratified",
+                        choices=["stratified", "closure", "jagadish"])
+    chains.set_defaults(func=_cmd_chains)
+
+    antichain = sub.add_parser("antichain", help="a maximum antichain")
+    antichain.add_argument("graph")
+    antichain.set_defaults(func=_cmd_antichain)
+
+    query = sub.add_parser("query", help="reachability queries")
+    query.add_argument("graph", nargs="?", default=None)
+    query.add_argument("pairs", nargs="+",
+                       help="source target [source target ...]")
+    query.add_argument("--index", default=None,
+                       help="use a persisted index instead of a graph")
+    query.add_argument("--str-labels", dest="int_labels",
+                       action="store_false",
+                       help="treat node labels as strings")
+    query.set_defaults(func=_cmd_query)
+
+    index = sub.add_parser("index", help="build and persist an index")
+    index.add_argument("graph")
+    index.add_argument("-o", "--out", required=True)
+    index.add_argument("--method", default="stratified",
+                       choices=["stratified", "closure", "jagadish"])
+    index.set_defaults(func=_cmd_index)
+
+    dot = sub.add_parser("dot", help="Graphviz export")
+    dot.add_argument("graph")
+    group = dot.add_mutually_exclusive_group()
+    group.add_argument("--chains", action="store_true",
+                       help="colour the minimum chain cover")
+    group.add_argument("--strata", action="store_true",
+                       help="rank nodes by stratification level")
+    dot.add_argument("--out", default=None)
+    dot.set_defaults(func=_cmd_dot)
+
+    generate = sub.add_parser("generate",
+                              help="emit a benchmark-family graph")
+    generate.add_argument("family", choices=sorted(_GENERATORS))
+    generate.add_argument("size", type=int,
+                          help="node count (dsg: root count)")
+    generate.add_argument("extra", type=int,
+                          help="edges (sparse) / extra edges (dsrg) / "
+                               "levels (dsg) / density%% (dense) / "
+                               "citations per paper (citation)")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", default=None)
+    generate.set_defaults(func=_cmd_generate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: dispatch to the chosen subcommand."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""The paper's contribution: stratified minimum chain cover + labeling."""
+
+from repro.core.chains import ChainDecomposition
+from repro.core.closure_cover import closure_chain_cover
+from repro.core.index import ChainIndex
+from repro.core.inspection import trace_decomposition
+from repro.core.labeling import ChainLabeling, build_labeling
+from repro.core.maintenance import DynamicChainIndex
+from repro.core.persistence import load_index, save_index
+from repro.core.stitch import stitch_chains
+from repro.core.stratification import Stratification, stratify
+from repro.core.stratified import (
+    DecompositionStats,
+    stratified_chain_cover,
+    stratified_chain_cover_with_stats,
+)
+from repro.core.width import dag_width, maximum_antichain
+
+__all__ = [
+    "ChainIndex",
+    "DynamicChainIndex",
+    "stitch_chains",
+    "trace_decomposition",
+    "save_index",
+    "load_index",
+    "ChainDecomposition",
+    "ChainLabeling",
+    "build_labeling",
+    "Stratification",
+    "stratify",
+    "DecompositionStats",
+    "stratified_chain_cover",
+    "stratified_chain_cover_with_stats",
+    "closure_chain_cover",
+    "dag_width",
+    "maximum_antichain",
+]

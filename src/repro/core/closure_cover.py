@@ -1,0 +1,72 @@
+"""Exact minimum chain cover via the Fulkerson reduction.
+
+Dilworth's theorem: the minimum number of chains covering a DAG equals
+its width.  The classical constructive route (the paper's Section I
+credits it to network-flow formulations [15, 19]) builds a bipartite
+graph with a *tail* copy and a *head* copy of every node and an edge
+``(u_tail, v_head)`` whenever ``u ⇝ v`` in the transitive closure; a
+maximum matching ``M`` yields a minimum cover of ``n − |M|`` chains by
+following matched successors.
+
+This is slower than the paper's stratified algorithm — it materialises
+the closure — but it is *provably* minimum, which makes it the
+cross-check oracle for the stratified decomposition and an alternative
+``method="closure"`` for :class:`repro.core.index.ChainIndex`.
+"""
+
+from __future__ import annotations
+
+from repro.graph.closure import descendants_bitsets
+from repro.graph.digraph import DiGraph
+from repro.matching.bipartite import BipartiteGraph, Matching
+from repro.matching.hopcroft_karp import hopcroft_karp
+
+__all__ = ["closure_matching", "closure_chain_cover", "dag_width"]
+
+
+def closure_matching(graph: DiGraph) -> Matching:
+    """Maximum matching of the closure bipartite graph."""
+    n = graph.num_nodes
+    bipartite = BipartiteGraph(n, n)
+    for v, row in enumerate(descendants_bitsets(graph)):
+        while row:
+            low = row & -row
+            w = low.bit_length() - 1
+            bipartite.add_edge(v, w)
+            row ^= low
+    return hopcroft_karp(bipartite)
+
+
+def closure_chain_cover(graph: DiGraph):
+    """A provably minimum chain decomposition (``width(G)`` chains)."""
+    from repro.core.chains import ChainDecomposition
+
+    n = graph.num_nodes
+    matching = closure_matching(graph)
+    chains: list[list[int]] = []
+    is_successor = [False] * n
+    for v in range(n):
+        # v is a chain head iff nothing is matched *to* it.
+        if matching.top_of[v] != Matching.UNMATCHED:
+            is_successor[v] = True
+    for v in range(n):
+        if is_successor[v]:
+            continue
+        chain = [v]
+        current = v
+        while matching.bottom_of[current] != Matching.UNMATCHED:
+            current = matching.bottom_of[current]
+            chain.append(current)
+        chains.append(chain)
+    return ChainDecomposition(chains=chains)
+
+
+def dag_width(graph: DiGraph) -> int:
+    """The DAG's width — size of a largest antichain (Dilworth).
+
+    Computed as ``n − |maximum matching of the closure bipartite
+    graph|``; the paper quotes the same bound via [2].
+    """
+    if graph.num_nodes == 0:
+        return 0
+    return graph.num_nodes - closure_matching(graph).size()

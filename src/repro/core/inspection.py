@@ -1,0 +1,208 @@
+"""Introspection of the decomposition pipeline, in the paper's notation.
+
+:func:`trace_decomposition` re-runs phase 1 of the stratified algorithm
+while recording, for every level, the bipartite graph
+``G(V_{i+1}, V_i'; C_i')``, the maximum matching found, and each
+virtual node with a label rendered the way Definition 4 / Example 1
+write them::
+
+    e[(c, {(1, {b})}), (h, {(1, {g})})]
+
+i.e. per covered parent ``w`` of the stranded node, the odd positions
+``n`` on the alternating path starting at ``w`` whose node has parents
+``S`` one level further up.  (The production code never materialises
+these labels — it re-derives alternating paths at resolution time, see
+``repro/core/stratified.py`` — but the rendered form is invaluable for
+debugging, teaching and for tests pinned to the paper's figures.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.stratification import stratify
+from repro.graph.digraph import DiGraph
+from repro.matching.alternating import alternating_bfs, bottoms_to_tops
+from repro.matching.bipartite import BipartiteGraph
+from repro.matching.hopcroft_karp import hopcroft_karp
+
+__all__ = ["VirtualNodeTrace", "LevelTrace", "DecompositionTrace",
+           "trace_decomposition"]
+
+
+@dataclass
+class VirtualNodeTrace:
+    """One virtual node, in presentation form."""
+
+    name: str                     # e.g. "e'" or "e''"
+    for_node: str                 # the node it was created for
+    base: object                  # the tower's real base node object
+    level: int                    # stratum it was added to
+    entries: list[tuple]          # (parent w, [(position, S set)…])
+
+    def label(self) -> str:
+        """The paper's label string, e.g. ``e[(c, {(1, {b})})]``."""
+        if not self.entries:
+            return f"{self.for_node}[ ]"
+        rendered = []
+        for parent, positions in self.entries:
+            inner = ", ".join(
+                f"({position}, {{{', '.join(map(str, sorted(s, key=str)))}}})"
+                for position, s in positions)
+            rendered.append(f"({parent}, {{{inner}}})")
+        return f"{self.for_node}[{', '.join(rendered)}]"
+
+
+@dataclass
+class LevelTrace:
+    """One level's bipartite graph and matching, in node objects."""
+
+    level: int                              # the bottoms' stratum i
+    tops: list                              # V_{i+1}
+    bottoms: list                           # V_i' (strings for virtuals)
+    edges: list[tuple]                      # (top, bottom) pairs
+    matched: list[tuple]                    # the found M_i'
+    free_bottoms: list
+    virtuals_created: list[VirtualNodeTrace] = field(default_factory=list)
+
+
+@dataclass
+class DecompositionTrace:
+    """The full phase-1 trace."""
+
+    stratification_levels: list[list]
+    levels: list[LevelTrace]
+
+    def render(self) -> str:
+        """Human-readable multi-line report of the whole trace."""
+        lines = []
+        for index, level in enumerate(self.stratification_levels, 1):
+            members = ", ".join(map(str, level))
+            lines.append(f"V{index}: {{{members}}}")
+        for trace in self.levels:
+            lines.append("")
+            lines.append(f"bipartite G(V{trace.level + 1}, "
+                         f"V{trace.level}'; C{trace.level}')")
+            matched = ", ".join(f"({t}, {b})" for t, b in trace.matched)
+            lines.append(f"  matching: {matched or '(empty)'}")
+            if trace.free_bottoms:
+                free = ", ".join(map(str, trace.free_bottoms))
+                lines.append(f"  free bottoms: {free}")
+            for virtual in trace.virtuals_created:
+                lines.append(f"  virtual {virtual.name} -> "
+                             f"{virtual.label()}")
+        return "\n".join(lines) + "\n"
+
+
+def trace_decomposition(graph: DiGraph) -> DecompositionTrace:
+    """Phase 1 of the stratified algorithm, fully recorded.
+
+    The matchings are computed with the same Hopcroft–Karp code as the
+    production path; where the paper's figures show one particular
+    maximum matching, the trace shows the one HK happened to find.
+    """
+    strat = stratify(graph)
+    levels = strat.levels
+    h = len(levels)
+    name_of: dict[object, str] = {}
+
+    def display(ext) -> str:
+        return name_of.get(ext, str(ext))
+
+    trace = DecompositionTrace(
+        stratification_levels=[[graph.node_at(v) for v in level]
+                               for level in levels],
+        levels=[])
+
+    pending: list[tuple[str, object, list]] = []  # (name, for, tops)
+    primes: dict[object, int] = {}
+    virtual_adjacency: dict[str, list[int]] = {}
+    base_of: dict[str, int] = {}
+
+    for bottom_level in range(1, h):
+        tops = levels[bottom_level]
+        bottoms: list = list(levels[bottom_level - 1])
+        bottoms.extend(name for name, _, _ in pending)
+        top_index = {v: i for i, v in enumerate(tops)}
+        bottom_index = {v: i for i, v in enumerate(bottoms)}
+        bipartite = BipartiteGraph(len(tops), len(bottoms))
+        edges: list[tuple] = []
+        for top_local, top in enumerate(tops):
+            for child in strat.children_by_level[top].get(bottom_level,
+                                                          ()):
+                bipartite.add_edge(top_local, bottom_index[child])
+                edges.append((graph.node_at(top), graph.node_at(child)))
+        for name, _, adjacent in pending:
+            for top in adjacent:
+                bipartite.add_edge(top_index[top], bottom_index[name])
+                edges.append((graph.node_at(top), name))
+        matching = hopcroft_karp(bipartite)
+        reverse_adj = bottoms_to_tops(bipartite)
+
+        def show_bottom(local: int) -> object:
+            ext = bottoms[local]
+            return ext if isinstance(ext, str) else graph.node_at(ext)
+
+        level_trace = LevelTrace(
+            level=bottom_level,
+            tops=[graph.node_at(v) for v in tops],
+            bottoms=[show_bottom(i) for i in range(len(bottoms))],
+            edges=edges,
+            matched=[(graph.node_at(tops[t]), show_bottom(b))
+                     for t, b in matching.pairs()],
+            free_bottoms=[show_bottom(b)
+                          for b in matching.free_bottoms()],
+        )
+        trace.levels.append(level_trace)
+
+        next_pending: list[tuple[str, object, list]] = []
+        if bottom_level + 1 <= h - 1:
+            parent_level_up = bottom_level + 2
+            for bottom_local in matching.free_bottoms():
+                ext = bottoms[bottom_local]
+                if isinstance(ext, str):
+                    base = base_of[ext]
+                    shown = ext
+                else:
+                    base = ext
+                    shown = graph.node_at(ext)
+                forest = alternating_bfs(matching, reverse_adj,
+                                         reverse_adj[bottom_local])
+                entries = []
+                adjacent_next: list[int] = list(
+                    strat.parents_by_level[base].get(parent_level_up,
+                                                     ()))
+                for root_local in dict.fromkeys(
+                        forest.root_of[t] for t in forest.order):
+                    positions = []
+                    for top_local in forest.order:
+                        if forest.root_of[top_local] != root_local:
+                            continue
+                        depth = len(forest.path_to(top_local))
+                        s_set = {graph.node_at(p)
+                                 for p in strat.parents_by_level[
+                                     tops[top_local]].get(
+                                         parent_level_up, ())}
+                        positions.append((2 * depth - 1, s_set))
+                        adjacent_next.extend(
+                            strat.parents_by_level[tops[top_local]].get(
+                                parent_level_up, ()))
+                    entries.append((graph.node_at(tops[root_local]),
+                                    positions))
+                primes[base] = primes.get(base, 0) + 1
+                name = f"{graph.node_at(base)}{chr(39) * primes[base]}"
+                name_of[name] = name
+                base_of[name] = base
+                adjacent_next = sorted(set(adjacent_next))
+                virtual_adjacency[name] = adjacent_next
+                virtual = VirtualNodeTrace(
+                    name=name, for_node=shown,
+                    base=graph.node_at(base),
+                    level=bottom_level + 1, entries=entries)
+                level_trace.virtuals_created.append(virtual)
+                if adjacent_next or any(
+                        level > parent_level_up
+                        for level in strat.parents_by_level[base]):
+                    next_pending.append((name, ext, adjacent_next))
+        pending = next_pending
+    return trace

@@ -1,0 +1,153 @@
+"""Saving and loading a built :class:`ChainIndex`.
+
+The index is the product of the expensive part of the pipeline
+(decomposition + labeling); persisting it lets a database open a graph
+snapshot and answer queries immediately.  The format is a single JSON
+document with a version header:
+
+* ``members`` — the SCC membership lists (node labels must be
+  JSON-representable: str, int, float, bool — the usual database key
+  types);
+* ``chains`` — the decomposition over component ids;
+* ``labeling`` — chain coordinates and index sequences.
+
+JSON keeps the format transparent and diff-able; the arrays are flat
+integer lists, so even large indexes stay compact after whatever
+transport compression the deployment applies.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TextIO
+
+from repro.core.chains import ChainDecomposition
+from repro.core.index import ChainIndex
+from repro.core.labeling import ChainLabeling
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import GraphFormatError
+from repro.graph.scc import Condensation
+
+__all__ = ["save_index", "load_index", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+_JSON_SAFE = (str, int, float, bool)
+
+
+def save_index(index: ChainIndex, target: str | Path | TextIO) -> None:
+    """Serialise ``index`` as JSON.
+
+    Raises :class:`GraphFormatError` when a node label is not a JSON
+    scalar (tuples and arbitrary objects do not round-trip).
+    """
+    condensation = index._condensation
+    for members in condensation.members:
+        for node in members:
+            if not isinstance(node, _JSON_SAFE):
+                raise GraphFormatError(
+                    f"node label {node!r} is not JSON-serialisable; "
+                    f"persistence supports str/int/float/bool labels")
+    labeling = index._labeling
+    document = {
+        "format": "repro-chain-index",
+        "version": FORMAT_VERSION,
+        "method": index.method,
+        "members": condensation.members,
+        "dag_edges": [list(edge) for edge in condensation.dag.edges()],
+        "chains": index._decomposition.chains,
+        "labeling": {
+            "num_chains": labeling.num_chains,
+            "chain_of": labeling.chain_of,
+            "position_of": labeling.position_of,
+            "sequence_chains": [list(seq)
+                                for seq in labeling.sequence_chains],
+            "sequence_positions": [list(seq)
+                                   for seq in labeling.sequence_positions],
+        },
+    }
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, separators=(",", ":"))
+    else:
+        json.dump(document, target, separators=(",", ":"))
+
+
+def load_index(source: str | Path | TextIO) -> ChainIndex:
+    """Load an index written by :func:`save_index`.
+
+    Raises :class:`GraphFormatError` on malformed or wrong-version
+    input.  The loaded index is fully equivalent: queries, descendant
+    and ancestor enumeration all behave as on the originally built one.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            document = _parse(handle)
+    else:
+        document = _parse(source)
+
+    members = document["members"]
+    component_of = {}
+    for component, nodes in enumerate(members):
+        for node in nodes:
+            component_of[node] = component
+    dag = DiGraph()
+    for component in range(len(members)):
+        dag.add_node(component)
+    for tail, head in document["dag_edges"]:
+        if not (0 <= tail < len(members) and 0 <= head < len(members)):
+            raise GraphFormatError(
+                f"dag edge ({tail}, {head}) out of range")
+        dag.add_edge(tail, head)
+    condensation = Condensation(dag=dag, component_of=component_of,
+                                members=members)
+    decomposition = ChainDecomposition(chains=document["chains"])
+    raw = document["labeling"]
+    labeling = ChainLabeling(
+        num_chains=raw["num_chains"],
+        chain_of=raw["chain_of"],
+        position_of=raw["position_of"],
+        sequence_chains=[tuple(seq) for seq in raw["sequence_chains"]],
+        sequence_positions=[tuple(seq)
+                            for seq in raw["sequence_positions"]],
+    )
+    _validate(members, decomposition, labeling)
+    return ChainIndex(condensation, decomposition, labeling,
+                      document["method"])
+
+
+def _parse(handle: TextIO) -> dict:
+    try:
+        document = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise GraphFormatError(f"not valid JSON: {exc}") from None
+    if not isinstance(document, dict) or document.get(
+            "format") != "repro-chain-index":
+        raise GraphFormatError("not a repro chain-index file")
+    if document.get("version") != FORMAT_VERSION:
+        raise GraphFormatError(
+            f"unsupported format version {document.get('version')!r} "
+            f"(expected {FORMAT_VERSION})")
+    for key in ("members", "chains", "labeling", "method", "dag_edges"):
+        if key not in document:
+            raise GraphFormatError(f"missing field {key!r}")
+    return document
+
+
+def _validate(members: list, decomposition: ChainDecomposition,
+              labeling: ChainLabeling) -> None:
+    count = len(members)
+    covered = sorted(v for chain in decomposition.chains for v in chain)
+    if covered != list(range(count)):
+        raise GraphFormatError(
+            "chains do not partition the component ids")
+    for field in (labeling.chain_of, labeling.position_of,
+                  labeling.sequence_chains, labeling.sequence_positions):
+        if len(field) != count:
+            raise GraphFormatError("labeling arrays have wrong length")
+    for chains_t, positions_t in zip(labeling.sequence_chains,
+                                     labeling.sequence_positions):
+        if len(chains_t) != len(positions_t):
+            raise GraphFormatError("ragged index sequence")
+        if list(chains_t) != sorted(set(chains_t)):
+            raise GraphFormatError("index sequence not sorted/unique")

@@ -1,0 +1,132 @@
+"""DAG stratification (Definition 1 / Algorithm *graph-stratification*).
+
+The stratification splits the node set into levels ``V1..Vh``: ``V1``
+holds the sinks, and a node sits in ``V_{i+1}`` exactly when all of its
+children live in ``V1..Vi`` with at least one child in ``Vi`` (so a
+node's level is one plus the longest path from it to a sink).  The
+paper's algorithm peels levels off with a remaining-out-degree countdown
+and runs in O(e); we implement that countdown literally.
+
+Alongside the levels we materialise the per-level adjacency the rest of
+the algorithm needs:
+
+* ``children_by_level[v]`` — the paper's ``C_j(v)`` sets: ``v``'s
+  children that live in level ``j``.
+* ``parents_by_level[v]`` — the paper's ``P_j(v)`` sets, used for the
+  virtual-node *edge inheritance* (Fig. 9): when a virtual node is
+  created at level ``i+1``, the parents of the original node at levels
+  ``≥ i+2`` are grafted onto it in O(1) per level by reusing these
+  lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import NotADAGError
+from repro.graph.topology import find_cycle
+
+__all__ = ["Stratification", "stratify"]
+
+
+@dataclass
+class Stratification:
+    """Levels of a DAG, lowest (sinks) first.
+
+    ``levels[0]`` is the paper's ``V1``.  ``level_of[v]`` is 1-based to
+    match the paper's ``l(v)`` notation.
+    """
+
+    levels: list[list[int]]
+    level_of: list[int]
+    children_by_level: list[dict[int, list[int]]]
+    parents_by_level: list[dict[int, list[int]]]
+
+    @property
+    def height(self) -> int:
+        """The paper's ``h`` — the number of levels."""
+        return len(self.levels)
+
+    def level(self, index: int) -> list[int]:
+        """``V_index`` with the paper's 1-based numbering."""
+        return self.levels[index - 1]
+
+    def check(self, graph: DiGraph) -> None:
+        """Verify the stratification invariants (used by tests).
+
+        * levels partition the node set;
+        * every child of a ``V_{i}`` node lives strictly below ``i``;
+        * every non-sink has at least one child exactly one level down.
+        """
+        seen: set[int] = set()
+        for level_index, level in enumerate(self.levels, start=1):
+            for v in level:
+                if v in seen:
+                    raise ValueError(f"node id {v} appears in two levels")
+                seen.add(v)
+                if self.level_of[v] != level_index:
+                    raise ValueError(f"level_of[{v}] disagrees with levels")
+        if len(seen) != graph.num_nodes:
+            raise ValueError("levels do not cover every node")
+        for v in range(graph.num_nodes):
+            children = graph.successor_ids(v)
+            if not children:
+                if self.level_of[v] != 1:
+                    raise ValueError(f"sink {v} not in V1")
+                continue
+            top = max(self.level_of[w] for w in children)
+            if self.level_of[v] != top + 1:
+                raise ValueError(
+                    f"node {v}: level {self.level_of[v]} but deepest child "
+                    f"is at {top}")
+
+
+def stratify(graph: DiGraph) -> Stratification:
+    """Stratify a DAG per Algorithm *graph-stratification* (Sec. III.A).
+
+    Raises :class:`NotADAGError` on cyclic input.
+    """
+    n = graph.num_nodes
+    remaining = [len(graph.successor_ids(v)) for v in range(n)]
+    level_of = [0] * n
+    first_level = [v for v in range(n) if remaining[v] == 0]
+    levels: list[list[int]] = []
+    assigned = 0
+    current = first_level
+    level_index = 1
+    while current:
+        levels.append(current)
+        for v in current:
+            level_of[v] = level_index
+        assigned += len(current)
+        # Count, per parent, how many children sit in the current level;
+        # a parent whose remaining out-degree hits zero has *all* its
+        # children at levels <= level_index, so it joins the next level.
+        counts: dict[int, int] = {}
+        for v in current:
+            for u in graph.predecessor_ids(v):
+                counts[u] = counts.get(u, 0) + 1
+        next_level = []
+        for u, k in counts.items():
+            remaining[u] -= k
+            if remaining[u] == 0:
+                next_level.append(u)
+        current = next_level
+        level_index += 1
+    if assigned != n:
+        raise NotADAGError(cycle=find_cycle(graph))
+
+    children_by_level: list[dict[int, list[int]]] = [{} for _ in range(n)]
+    parents_by_level: list[dict[int, list[int]]] = [{} for _ in range(n)]
+    for v in range(n):
+        for w in graph.successor_ids(v):
+            children_by_level[v].setdefault(level_of[w], []).append(w)
+        for u in graph.predecessor_ids(v):
+            parents_by_level[v].setdefault(level_of[u], []).append(u)
+    return Stratification(
+        levels=levels,
+        level_of=level_of,
+        children_by_level=children_by_level,
+        parents_by_level=parents_by_level,
+    )

@@ -1,0 +1,467 @@
+"""The paper's chain-decomposition algorithm (Section IV).
+
+Phase 1 — Algorithm *chain-generation*: stratify the DAG, then walk the
+levels bottom-up, building the bipartite graph ``G(V_{i+1}, V_i'; C_i')``
+for each level and finding a Hopcroft–Karp maximum matching.  A bottom
+node left free spawns a *virtual node* one level up (Definition 4) whose
+bipartite edges encode (a) inherited real parents of the tower's base
+node and (b) rerouting opportunities: real parents of the tower's
+*support set* — the odd-position tops of the alternating paths starting
+at the stranded node's covered parents, together with the adoption
+surface of the bottoms those transfers would free.  (The paper's labels
+record the one-level slice ``S_gj ⊆ V_{i+2}`` of this set; carrying the
+full support through the tower is the same inheritance idea the paper
+already applies to parent edges, and is what makes the chain count meet
+the Dilworth width on the adversarial cases its one-level slice misses.)
+
+Phase 2 — Algorithm *virtual-resolution*: walk the virtual levels
+top-down.  A virtual node matched from above is eliminated by either
+
+* **transfer** (the paper's rule 2(ii)): find — against the *current*
+  matching one level below — an alternating path from a covered parent
+  of the represented node to an odd top ``x``; flip the prefix so the
+  path's root adopts the stranded chain while the anchor adopts the
+  freed bottom; or
+* **descent** (rule 2 "otherwise"): the anchor adopts the represented
+  node directly — legal unconditionally for a virtual (the next tower
+  level retries), and for the real tower base exactly when the anchor
+  is a genuine ancestor.
+
+Resolution re-derives every alternating path against the current
+matching instead of replaying positions recorded during construction —
+the paper's own Section IV.B shows alternating paths share segments, so
+an earlier transfer invalidates recorded positions.  Because one
+transfer can still consume a path a later resolution needed, each
+resolution runs as a *transaction*: all matching flips and chain links
+are journaled, and when a branch dead-ends the journal rolls back and
+the next transfer candidate is tried.  Every emitted chain link is
+sound by construction (real edge, two-hop through an odd top, or a
+verified ancestor adoption); if no realization of a matched edge exists
+at all the chain is split — counted in
+:class:`DecompositionStats.splits` and cross-checked against the exact
+Dilworth width by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.chains import ChainDecomposition
+from repro.core.stratification import Stratification, stratify
+from repro.core.virtual_nodes import LevelMatching, VirtualNode, VirtualRegistry
+from repro.graph.closure import reachable
+from repro.graph.digraph import DiGraph
+from repro.matching.alternating import alternating_bfs, bottoms_to_tops
+from repro.matching.bipartite import BipartiteGraph, Matching
+from repro.matching.hopcroft_karp import hopcroft_karp
+
+__all__ = ["DecompositionStats", "stratified_chain_cover",
+           "stratified_chain_cover_with_stats"]
+
+#: Upper bound on journaled operations a single resolution transaction
+#: may attempt before giving up (a backstop against pathological
+#: backtracking; never reached on the benchmark families).
+_TRANSACTION_BUDGET = 4000
+
+
+@dataclass
+class DecompositionStats:
+    """Telemetry from one run of the stratified decomposition."""
+
+    num_levels: int = 0
+    num_virtuals: int = 0
+    num_direct_edges: int = 0
+    num_s_edges: int = 0
+    transfers: int = 0
+    descents: int = 0
+    rollbacks: int = 0
+    splits: int = 0
+    stitched: int = 0
+    unanchored: int = 0
+
+
+def stratified_chain_cover(graph: DiGraph,
+                           stratification: Stratification | None = None
+                           ) -> ChainDecomposition:
+    """Minimum chain decomposition via the paper's algorithm."""
+    decomposition, _ = stratified_chain_cover_with_stats(graph,
+                                                         stratification)
+    return decomposition
+
+
+def stratified_chain_cover_with_stats(
+        graph: DiGraph,
+        stratification: Stratification | None = None
+) -> tuple[ChainDecomposition, DecompositionStats]:
+    """As :func:`stratified_chain_cover`, plus telemetry."""
+    stats = DecompositionStats()
+    n = graph.num_nodes
+    if n == 0:
+        return ChainDecomposition(chains=[]), stats
+    strat = stratification if stratification is not None else stratify(graph)
+    stats.num_levels = len(strat.levels)
+    registry = VirtualRegistry(n)
+
+    # Highest stratum holding a parent of each node: a virtual tower for
+    # base ``v`` is worth growing only while parents above remain.
+    max_parent_level = [0] * n
+    for v in range(n):
+        for parent_level in strat.parents_by_level[v]:
+            if parent_level > max_parent_level[v]:
+                max_parent_level[v] = parent_level
+
+    level_matchings = _phase_one(graph, strat, registry, max_parent_level,
+                                 stats)
+    resolution = _Resolution(graph, strat, registry, level_matchings, stats)
+    parent_link = resolution.run()
+    _harvest_matchings(level_matchings, parent_link, n)
+    chains = _assemble_chains(parent_link, n)
+    decomposition = ChainDecomposition(chains=chains)
+    if stats.splits:
+        # A split marks a level-local pairing whose rerouting promise
+        # could not be realised; the global tail-to-head pass recovers
+        # the lost links (see repro/core/stitch.py).
+        from repro.core.stitch import stitch_chains
+        before = decomposition.num_chains
+        decomposition = stitch_chains(graph, decomposition)
+        stats.stitched = before - decomposition.num_chains
+    return decomposition, stats
+
+
+# ----------------------------------------------------------------------
+# phase 1 — chain-generation
+# ----------------------------------------------------------------------
+def _phase_one(graph: DiGraph, strat: Stratification,
+               registry: VirtualRegistry, max_parent_level: list[int],
+               stats: DecompositionStats) -> list[LevelMatching]:
+    levels = strat.levels
+    h = len(levels)
+    level_matchings: list[LevelMatching] = []
+    pending: list[VirtualNode] = []
+
+    for bottom_level in range(1, h):          # the paper's i = 1 .. h-1
+        tops = levels[bottom_level]           # V_{i+1} (0-based index!)
+        bottoms = list(levels[bottom_level - 1])
+        bottoms.extend(v.ext_id for v in pending)
+        top_index = {v: idx for idx, v in enumerate(tops)}
+        bottom_index = {v: idx for idx, v in enumerate(bottoms)}
+
+        bipartite = BipartiteGraph(len(tops), len(bottoms))
+        for top_local, top in enumerate(tops):
+            for child in strat.children_by_level[top].get(bottom_level, ()):
+                bipartite.add_edge(top_local, bottom_index[child])
+        for virtual in pending:
+            bottom_local = bottom_index[virtual.ext_id]
+            for top in virtual.adjacent_tops:
+                bipartite.add_edge(top_index[top], bottom_local)
+
+        matching = hopcroft_karp(bipartite)
+        reverse_adj = bottoms_to_tops(bipartite)
+        record = LevelMatching(
+            level=bottom_level, tops=tops, bottoms=bottoms,
+            top_index=top_index, bottom_index=bottom_index,
+            bipartite=bipartite, matching=matching,
+            reverse_adj=reverse_adj,
+        )
+        level_matchings.append(record)
+
+        pending = []
+        if bottom_level + 1 > h - 1:
+            continue  # bottoms of the last matching spawn nothing
+        parent_level_up = bottom_level + 2    # the paper's V_{i+2}
+        for bottom_local in matching.free_bottoms():
+            free_ext = bottoms[bottom_local]
+            base = registry.base_of(free_ext)
+            direct = list(
+                strat.parents_by_level[base].get(parent_level_up, ()))
+            forest = alternating_bfs(matching, reverse_adj,
+                                     reverse_adj[bottom_local])
+            # Support nodes whose parents all sit at or below the tops
+            # of the *next* matching can never be claimed by a transfer
+            # again, so they are pruned as the tower rises — without
+            # this the cumulative unions grow quadratically.
+            support: set[int] = set()
+
+            def keep(node: int) -> None:
+                if max_parent_level[node] >= parent_level_up:
+                    support.add(node)
+
+            if registry.is_virtual(free_ext):
+                for node in registry.get(free_ext).support:
+                    keep(node)
+            for top_local in forest.order:
+                keep(tops[top_local])
+                # Flipping up to this top frees its matched bottom; the
+                # adopter may also target that bottom directly — the
+                # bottom itself when real, the tower's base and support
+                # when virtual.
+                freed_ext = bottoms[matching.bottom_of[top_local]]
+                if registry.is_virtual(freed_ext):
+                    freed = registry.get(freed_ext)
+                    keep(freed.base)
+                    for node in freed.support:
+                        keep(node)
+                else:
+                    keep(freed_ext)
+            support.discard(base)
+            s_tops: set[int] = set()
+            for node in support:
+                s_tops.update(
+                    strat.parents_by_level[node].get(parent_level_up, ()))
+            s_tops.difference_update(direct)
+            useful_later = max_parent_level[base] > parent_level_up or any(
+                max_parent_level[node] > parent_level_up
+                for node in support)
+            if direct or s_tops or useful_later:
+                virtual = registry.create(
+                    level=bottom_level + 1, for_node=free_ext,
+                    direct_tops=direct, s_tops=sorted(s_tops),
+                    support=tuple(sorted(support)))
+                pending.append(virtual)
+                stats.num_virtuals += 1
+                stats.num_direct_edges += len(direct)
+                stats.num_s_edges += len(s_tops)
+    return level_matchings
+
+
+# ----------------------------------------------------------------------
+# phase 2 — transactional virtual-resolution
+# ----------------------------------------------------------------------
+class _Resolution:
+    """Eliminates every matched virtual node, one transaction at a time.
+
+    The sweep walks virtual levels top-down.  Resolving one matched
+    pair ``(u, X)`` may flip matchings at lower levels and recursively
+    adopt freed virtual bottoms; all of it is journaled so a dead end
+    can roll back and try the next transfer candidate.  A committed
+    transaction leaves only sound chain links behind.
+    """
+
+    def __init__(self, graph: DiGraph, strat: Stratification,
+                 registry: VirtualRegistry,
+                 level_matchings: list[LevelMatching],
+                 stats: DecompositionStats) -> None:
+        self._graph = graph
+        self._strat = strat
+        self._registry = registry
+        self._level_matchings = level_matchings
+        self._stats = stats
+        self._parent_link: dict[int, int] = {}
+        # Journal entries: ("pair", matching, top_local, old_bottom) or
+        # ("link", real_node_id).
+        self._journal: list[tuple] = []
+        self._budget = 0
+
+    # -- journal ------------------------------------------------------
+    def _record_pairs(self, matching: Matching,
+                      top_locals: list[int]) -> None:
+        for top_local in top_locals:
+            self._journal.append(("pair", matching, top_local,
+                                  matching.bottom_of[top_local]))
+
+    def _rollback(self, checkpoint: int) -> None:
+        while len(self._journal) > checkpoint:
+            entry = self._journal.pop()
+            if entry[0] == "pair":
+                _, matching, top_local, old_bottom = entry
+                if old_bottom == Matching.UNMATCHED:
+                    matching.unmatch_top(top_local)
+                else:
+                    matching.match(top_local, old_bottom)
+            else:
+                del self._parent_link[entry[1]]
+        self._stats.rollbacks += 1
+
+    def _link(self, parent: int, child: int) -> None:
+        self._parent_link[child] = parent
+        self._journal.append(("link", child))
+
+    # -- driver -------------------------------------------------------
+    def run(self) -> dict[int, int]:
+        """Resolve every virtual node; returns the chain parent links."""
+        import sys
+
+        h = len(self._strat.levels)
+        # Descents iterate, but *nested transfer adoptions* recurse one
+        # frame per level in the worst case; size the stack for it.
+        needed_limit = 4 * h + 1000
+        old_limit = sys.getrecursionlimit()
+        if needed_limit > old_limit:
+            sys.setrecursionlimit(needed_limit)
+        try:
+            return self._run(h)
+        finally:
+            if needed_limit > old_limit:
+                sys.setrecursionlimit(old_limit)
+
+    def _run(self, h: int) -> dict[int, int]:
+        virtuals_at: dict[int, list[VirtualNode]] = {}
+        for virtual in self._registry.virtuals:
+            virtuals_at.setdefault(virtual.level, []).append(virtual)
+        for level in range(h - 1, 1, -1):
+            here = self._level_matchings[level - 1]  # bottoms at `level`
+            for virtual in virtuals_at.get(level, ()):
+                anchor = here.matched_top_of_bottom(virtual.ext_id)
+                if anchor is None:
+                    self._stats.unanchored += 1
+                    continue
+                here.unmatch_bottom(virtual.ext_id)
+                self._budget = _TRANSACTION_BUDGET
+                checkpoint = len(self._journal)
+                if not self._adopt(anchor, virtual.ext_id):
+                    self._rollback(checkpoint)
+                    self._stats.splits += 1
+        return self._parent_link
+
+    # -- transaction body ----------------------------------------------
+    def _adopt(self, anchor: int, target_ext: int) -> bool:
+        """Try to make real node ``anchor`` the chain parent of the
+        segment currently topped by ``target_ext``; journal on success."""
+        if self._budget <= 0:
+            return False
+        self._budget -= 1
+        registry = self._registry
+        graph = self._graph
+        if not registry.is_virtual(target_ext):
+            if target_ext in self._parent_link:  # pragma: no cover
+                return False
+            if graph.has_edge_ids(anchor, target_ext) or reachable(
+                    graph, graph.node_at(anchor),
+                    graph.node_at(target_ext)):
+                self._link(anchor, target_ext)
+                return True
+            return False
+        return self._resolve(registry.get(target_ext), anchor)
+
+    def _resolve(self, virtual: VirtualNode, anchor: int) -> bool:
+        """Eliminate one virtual node adopted by ``anchor``.
+
+        The tower is walked with an explicit loop: when no transfer is
+        realised at a level, the anchor *descends* to the next tower
+        node and retries there.  Towers can be as tall as the
+        stratification (one virtual per level), far beyond Python's
+        recursion limit, so only nested transfer adoptions recurse.
+        """
+        graph = self._graph
+        registry = self._registry
+        current = virtual
+        descents = 0
+        while True:
+            below = self._level_matchings[current.level - 2]
+            represented = current.for_node
+            if registry.is_virtual(represented):
+                adjacent_tops = registry.get(represented).adjacent_tops
+            else:
+                adjacent_tops = self._strat.parents_by_level[
+                    represented].get(current.level, ())
+            sources = [below.top_index[top] for top in adjacent_tops]
+            forest = alternating_bfs(below.matching, below.reverse_adj,
+                                     sources)
+            candidates = self._ordered_candidates(forest.order, below,
+                                                  anchor)
+            for top_local in candidates:
+                if self._budget <= 0:
+                    break
+                checkpoint = len(self._journal)
+                path = forest.path_to(top_local)
+                if any(below.matching.bottom_of[t] == Matching.UNMATCHED
+                       for t in path):  # pragma: no cover - defensive
+                    continue
+                self._record_pairs(below.matching, path)
+                old_bottoms = [below.matching.bottom_of[t] for t in path]
+                below.matching.unmatch_top(path[0])
+                for i in range(1, len(path)):
+                    below.matching.match(path[i], old_bottoms[i - 1])
+                root = below.tops[path[0]]
+                freed_ext = below.bottoms[old_bottoms[-1]]
+                if (self._adopt(root, represented)
+                        and self._adopt(anchor, freed_ext)):
+                    self._stats.transfers += 1
+                    self._stats.descents += descents
+                    return True
+                self._rollback(checkpoint)
+            # No transfer realised at this level: descend.  A virtual
+            # hop never emits a real chain link, so this is always
+            # sound; the real base at the bottom is guard-checked.
+            if self._budget <= 0:
+                return False
+            self._budget -= 1
+            if not registry.is_virtual(represented):
+                if represented in self._parent_link:  # pragma: no cover
+                    return False
+                if graph.has_edge_ids(anchor, represented) or reachable(
+                        graph, graph.node_at(anchor),
+                        graph.node_at(represented)):
+                    self._link(anchor, represented)
+                    self._stats.descents += descents
+                    return True
+                return False
+            current = registry.get(represented)
+            descents += 1
+
+    def _ordered_candidates(self, forest_order: list[int],
+                            below: LevelMatching,
+                            anchor: int) -> list[int]:
+        """Transfer candidates: likely-sound first, the rest afterward.
+
+        "Likely sound" = the anchor has a real edge to the odd top, to
+        the freed bottom, or into the freed tower's base/support — the
+        paper's label test generalised.  The remaining tops are kept as
+        backtracking fallbacks (full reachability decides there).
+        """
+        graph = self._graph
+        registry = self._registry
+        cheap: list[int] = []
+        rest: list[int] = []
+        for top_local in forest_order:
+            hit = graph.has_edge_ids(anchor, below.tops[top_local])
+            if not hit:
+                freed_ext = below.bottoms[
+                    below.matching.bottom_of[top_local]]
+                if registry.is_virtual(freed_ext):
+                    freed = registry.get(freed_ext)
+                    hit = graph.has_edge_ids(anchor, freed.base) or any(
+                        graph.has_edge_ids(anchor, node)
+                        for node in freed.support)
+                else:
+                    hit = graph.has_edge_ids(anchor, freed_ext)
+            (cheap if hit else rest).append(top_local)
+        return cheap + rest
+
+
+# ----------------------------------------------------------------------
+# chain assembly
+# ----------------------------------------------------------------------
+def _harvest_matchings(level_matchings: list[LevelMatching],
+                       parent_link: dict[int, int], num_real: int) -> None:
+    for record in level_matchings:
+        for top_local, bottom_local in record.matching.pairs():
+            bottom_ext = record.bottoms[bottom_local]
+            if bottom_ext >= num_real:  # pragma: no cover - defensive
+                raise AssertionError(
+                    "virtual node survived resolution in a matching")
+            if bottom_ext in parent_link:  # pragma: no cover - defensive
+                raise AssertionError(
+                    f"node {bottom_ext} received two chain parents")
+            parent_link[bottom_ext] = record.tops[top_local]
+
+
+def _assemble_chains(parent_link: dict[int, int],
+                     num_real: int) -> list[list[int]]:
+    child_of: dict[int, int] = {}
+    for child, parent in parent_link.items():
+        if parent in child_of:  # pragma: no cover - defensive
+            raise AssertionError(
+                f"node {parent} received two chain children")
+        child_of[parent] = child
+    chains: list[list[int]] = []
+    for head in range(num_real):
+        if head in parent_link:
+            continue
+        chain = [head]
+        current = head
+        while current in child_of:
+            current = child_of[current]
+            chain.append(current)
+        chains.append(chain)
+    return chains

@@ -1,0 +1,163 @@
+"""Virtual nodes (Definition 4) and the per-level matching records.
+
+A *virtual node* stands in for a chain top stranded at a lower level: if
+bottom ``v`` ends up free (uncovered) in the matching between ``V_{i+1}``
+and ``V_i'``, a virtual ``v'`` joins ``V_{i+1}'`` so the matching one
+level up can still extend ``v``'s chain.  The virtual node carries two
+kinds of bipartite edges:
+
+* **direct** edges from the real parents (at the next level up) of the
+  *base* node — the real node at the bottom of the virtual tower.  This
+  realises the paper's *edge inheritance* (Fig. 9): instead of grafting
+  linked lists we keep a pointer to the base and read its
+  ``parents_by_level`` lists lazily, which is the same O(1) grafting.
+* **s-edges** from nodes that are parents of an odd-position top on an
+  alternating path starting at one of ``v``'s covered parents — the
+  paper's label entries ``(w_g, {(n_gj, S_gj)})``.  Matching such an
+  edge promises that a prefix of the alternating path can be
+  *transferred* to free a bottom for the matched parent while ``w_g``
+  adopts ``v``.
+
+The label positions themselves are not stored: the resolution phase
+re-derives the alternating paths against the *current* matching (see
+``repro/core/stratified.py``), which both implements the paper's
+Section IV.B redundancy sharing (one multi-source BFS per virtual
+node) and stays correct after earlier transfers have mutated the
+matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.matching.bipartite import BipartiteGraph, Matching
+
+__all__ = ["VirtualNode", "VirtualRegistry", "LevelMatching"]
+
+
+@dataclass
+class VirtualNode:
+    """One virtual node of the decomposition.
+
+    ``ext_id``
+        Extended node id (``>= graph.num_nodes``); real nodes use their
+        dense graph id.
+    ``level``
+        The 1-based stratum the virtual node was *added to* (``i+1``
+        when its original was free at level ``i``).
+    ``for_node``
+        Extended id of the node it was created for (may be virtual).
+    ``base``
+        Dense id of the real node at the bottom of the virtual tower.
+    ``direct_tops`` / ``s_tops``
+        Real node ids (in ``V_{level+1}``) adjacent to this virtual
+        node in the next level's bipartite graph, split by edge kind.
+    ``support``
+        The cumulative *rerouting support set* of the tower: every
+        odd-position top collected by the alternating BFS at each tower
+        level, plus — whenever flipping to such a top would free a
+        virtual bottom — that bottom tower's base and support.  A node
+        whose real parent set touches the support can still claim this
+        stranded chain through a transfer, so each new tower level
+        turns the next stratum's parents of the support into fresh
+        s-edges (the same inheritance the paper applies to the base
+        node's own parent edges; the base itself is kept separate in
+        ``direct_tops``).
+    """
+
+    ext_id: int
+    level: int
+    for_node: int
+    base: int
+    direct_tops: list[int] = field(default_factory=list)
+    s_tops: list[int] = field(default_factory=list)
+    support: tuple[int, ...] = ()
+
+    @property
+    def adjacent_tops(self) -> list[int]:
+        """All bipartite tops adjacent to this virtual node."""
+        return self.direct_tops + self.s_tops
+
+
+class VirtualRegistry:
+    """Maps extended ids to :class:`VirtualNode` records.
+
+    Real nodes occupy ids ``0 .. n-1``; virtual nodes take ``n, n+1, …``
+    in creation order.
+    """
+
+    def __init__(self, num_real: int) -> None:
+        self.num_real = num_real
+        self.virtuals: list[VirtualNode] = []
+
+    def __len__(self) -> int:
+        return len(self.virtuals)
+
+    def is_virtual(self, ext_id: int) -> bool:
+        """True for ids in the virtual range (>= num_real)."""
+        return ext_id >= self.num_real
+
+    def get(self, ext_id: int) -> VirtualNode:
+        """The :class:`VirtualNode` behind an extended id."""
+        return self.virtuals[ext_id - self.num_real]
+
+    def base_of(self, ext_id: int) -> int:
+        """The real node at the bottom of an (arbitrary) tower."""
+        if ext_id < self.num_real:
+            return ext_id
+        return self.get(ext_id).base
+
+    def create(self, level: int, for_node: int,
+               direct_tops: list[int], s_tops: list[int],
+               support: tuple[int, ...]) -> VirtualNode:
+        """Register a new virtual node; assigns the next extended id."""
+        base = self.base_of(for_node)
+        node = VirtualNode(
+            ext_id=self.num_real + len(self.virtuals),
+            level=level,
+            for_node=for_node,
+            base=base,
+            direct_tops=direct_tops,
+            s_tops=s_tops,
+            support=support,
+        )
+        self.virtuals.append(node)
+        return node
+
+    def at_level(self, level: int) -> list[VirtualNode]:
+        """All virtual nodes added to one stratum."""
+        return [v for v in self.virtuals if v.level == level]
+
+
+@dataclass
+class LevelMatching:
+    """Everything the resolution phase needs about one level's matching.
+
+    Matching ``i`` pairs tops ``V_{i+1}`` (always real nodes) with
+    bottoms ``V_i'`` (real level-``i`` nodes plus virtuals at level
+    ``i``).  Local indexes are positions in ``tops`` / ``bottoms``.
+    """
+
+    level: int                      # i — the bottoms' stratum
+    tops: list[int]                 # real node ids, V_{i+1}
+    bottoms: list[int]              # extended ids, V_i'
+    top_index: dict[int, int]
+    bottom_index: dict[int, int]
+    bipartite: BipartiteGraph
+    matching: Matching
+    reverse_adj: list[list[int]]    # bottom local -> adjacent top locals
+
+    def matched_top_of_bottom(self, bottom_ext: int) -> int | None:
+        """Real id of the top currently matched to ``bottom_ext``."""
+        local = self.bottom_index[bottom_ext]
+        top_local = self.matching.top_of[local]
+        if top_local == Matching.UNMATCHED:
+            return None
+        return self.tops[top_local]
+
+    def unmatch_bottom(self, bottom_ext: int) -> None:
+        """Remove the pair covering ``bottom_ext`` (no-op when free)."""
+        local = self.bottom_index[bottom_ext]
+        top_local = self.matching.top_of[local]
+        if top_local != Matching.UNMATCHED:
+            self.matching.unmatch_top(top_local)

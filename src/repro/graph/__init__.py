@@ -1,0 +1,43 @@
+"""Graph substrate: the directed-graph machinery everything else builds on."""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import (
+    DuplicateNodeError,
+    EdgeExistsError,
+    GraphError,
+    GraphFormatError,
+    InvalidChainError,
+    NodeNotFoundError,
+    NotADAGError,
+)
+from repro.graph.scc import Condensation, condense, strongly_connected_components
+from repro.graph.topology import (
+    check_dag,
+    find_cycle,
+    is_dag,
+    longest_path_length,
+    roots,
+    sinks,
+    topological_order,
+)
+
+__all__ = [
+    "DiGraph",
+    "GraphError",
+    "NodeNotFoundError",
+    "DuplicateNodeError",
+    "EdgeExistsError",
+    "NotADAGError",
+    "InvalidChainError",
+    "GraphFormatError",
+    "Condensation",
+    "condense",
+    "strongly_connected_components",
+    "topological_order",
+    "is_dag",
+    "check_dag",
+    "find_cycle",
+    "roots",
+    "sinks",
+    "longest_path_length",
+]

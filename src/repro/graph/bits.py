@@ -1,0 +1,20 @@
+"""Tiny bit-vector helpers shared by the bitset-based algorithms."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+__all__ = ["iter_bits", "bits_to_list"]
+
+
+def iter_bits(value: int) -> Iterator[int]:
+    """Yield the set-bit positions of a non-negative int, ascending."""
+    while value:
+        low = value & -value
+        yield low.bit_length() - 1
+        value ^= low
+
+
+def bits_to_list(value: int) -> list[int]:
+    """Set-bit positions as a list."""
+    return list(iter_bits(value))

@@ -1,0 +1,259 @@
+"""A simple directed graph tuned for the algorithms in this library.
+
+The public surface speaks in caller-supplied *node objects* (any hashable
+value), while internally every node is assigned a dense integer id so the
+algorithmic core can run over plain lists.  Algorithms in
+:mod:`repro.core` and :mod:`repro.baselines` work on the dense view
+(:meth:`DiGraph.successor_ids`, :meth:`DiGraph.predecessor_ids`) and
+translate back at the API boundary.
+
+The graph is *simple*: parallel edges are rejected, self-loops are
+allowed only where they make sense for reachability (a self-loop does not
+change the reflexive closure, so :meth:`add_edge` accepts it but stores
+nothing — this mirrors how the paper collapses strongly connected
+components before indexing).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+
+from repro.graph.errors import (
+    DuplicateNodeError,
+    EdgeExistsError,
+    NodeNotFoundError,
+)
+
+__all__ = ["DiGraph"]
+
+Node = Hashable
+
+
+class DiGraph:
+    """A mutable simple directed graph.
+
+    >>> g = DiGraph.from_edges([("a", "b"), ("b", "c")])
+    >>> g.num_nodes, g.num_edges
+    (3, 2)
+    >>> sorted(g.successors("a"))
+    ['b']
+    """
+
+    __slots__ = ("_id_of", "_node_of", "_succ", "_pred", "_succ_sets",
+                 "_num_edges")
+
+    def __init__(self) -> None:
+        self._id_of: dict[Node, int] = {}
+        self._node_of: list[Node] = []
+        self._succ: list[list[int]] = []
+        self._pred: list[list[int]] = []
+        self._succ_sets: list[set[int]] = []
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[Node, Node]],
+                   nodes: Iterable[Node] = ()) -> "DiGraph":
+        """Build a graph from an edge iterable.
+
+        ``nodes`` may list additional isolated nodes.  Endpoints of the
+        edges are added implicitly.  Duplicate edges are ignored here
+        (unlike :meth:`add_edge`, which raises) because edge lists from
+        random generators and text files routinely contain repeats.
+        """
+        graph = cls()
+        for node in nodes:
+            if node not in graph._id_of:
+                graph.add_node(node)
+        for tail, head in edges:
+            graph.ensure_node(tail)
+            graph.ensure_node(head)
+            if tail != head and not graph.has_edge(tail, head):
+                graph.add_edge(tail, head)
+        return graph
+
+    def add_node(self, node: Node) -> int:
+        """Add ``node`` and return its dense id.
+
+        Raises :class:`DuplicateNodeError` if the node already exists.
+        """
+        if node in self._id_of:
+            raise DuplicateNodeError(node)
+        node_id = len(self._node_of)
+        self._id_of[node] = node_id
+        self._node_of.append(node)
+        self._succ.append([])
+        self._pred.append([])
+        self._succ_sets.append(set())
+        return node_id
+
+    def ensure_node(self, node: Node) -> int:
+        """Add ``node`` if absent; return its dense id either way."""
+        node_id = self._id_of.get(node)
+        if node_id is None:
+            node_id = self.add_node(node)
+        return node_id
+
+    def add_edge(self, tail: Node, head: Node) -> None:
+        """Add the directed edge ``tail -> head``.
+
+        Endpoints must already be present (use :meth:`ensure_node` or
+        :meth:`from_edges` for implicit creation).  A self-loop is a
+        no-op: it never changes reflexive reachability.  A duplicate
+        edge raises :class:`EdgeExistsError`.
+        """
+        tail_id = self.node_id(tail)
+        head_id = self.node_id(head)
+        if tail_id == head_id:
+            return
+        if head_id in self._succ_sets[tail_id]:
+            raise EdgeExistsError(tail, head)
+        self._succ[tail_id].append(head_id)
+        self._succ_sets[tail_id].add(head_id)
+        self._pred[head_id].append(tail_id)
+        self._num_edges += 1
+
+    # ------------------------------------------------------------------
+    # node-object view
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._node_of)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges."""
+        return self._num_edges
+
+    def __len__(self) -> int:
+        return len(self._node_of)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._id_of
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._node_of)
+
+    def nodes(self) -> list[Node]:
+        """All nodes, in insertion order."""
+        return list(self._node_of)
+
+    def edges(self) -> Iterator[tuple[Node, Node]]:
+        """All edges as (tail, head) node pairs."""
+        for tail_id, heads in enumerate(self._succ):
+            tail = self._node_of[tail_id]
+            for head_id in heads:
+                yield (tail, self._node_of[head_id])
+
+    def has_node(self, node: Node) -> bool:
+        """True iff ``node`` is in the graph."""
+        return node in self._id_of
+
+    def has_edge(self, tail: Node, head: Node) -> bool:
+        """True iff the edge exists (False for unknown endpoints)."""
+        tail_id = self._id_of.get(tail)
+        head_id = self._id_of.get(head)
+        if tail_id is None or head_id is None:
+            return False
+        return head_id in self._succ_sets[tail_id]
+
+    def successors(self, node: Node) -> list[Node]:
+        """Child node objects of ``node``."""
+        return [self._node_of[i] for i in self._succ[self.node_id(node)]]
+
+    def predecessors(self, node: Node) -> list[Node]:
+        """Parent node objects of ``node``."""
+        return [self._node_of[i] for i in self._pred[self.node_id(node)]]
+
+    def out_degree(self, node: Node) -> int:
+        """Number of outgoing edges."""
+        return len(self._succ[self.node_id(node)])
+
+    def in_degree(self, node: Node) -> int:
+        """Number of incoming edges."""
+        return len(self._pred[self.node_id(node)])
+
+    # ------------------------------------------------------------------
+    # dense-id view (for the algorithmic core)
+    # ------------------------------------------------------------------
+    def node_id(self, node: Node) -> int:
+        """Dense id of ``node``; raises :class:`NodeNotFoundError`."""
+        try:
+            return self._id_of[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def node_at(self, node_id: int) -> Node:
+        """Node object for a dense id."""
+        return self._node_of[node_id]
+
+    def has_edge_ids(self, tail_id: int, head_id: int) -> bool:
+        """O(1) edge test on dense ids."""
+        return head_id in self._succ_sets[tail_id]
+
+    def successor_ids(self, node_id: int) -> list[int]:
+        """Successor ids of a dense id (the list is owned by the graph)."""
+        return self._succ[node_id]
+
+    def predecessor_ids(self, node_id: int) -> list[int]:
+        """Predecessor ids of a dense id (the list is owned by the graph)."""
+        return self._pred[node_id]
+
+    def adjacency(self) -> list[list[int]]:
+        """The full successor structure, indexed by dense id."""
+        return self._succ
+
+    def reverse_adjacency(self) -> list[list[int]]:
+        """The full predecessor structure, indexed by dense id."""
+        return self._pred
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "DiGraph":
+        """An independent structural copy."""
+        other = DiGraph()
+        for node in self._node_of:
+            other.add_node(node)
+        for tail_id, heads in enumerate(self._succ):
+            other._succ[tail_id] = list(heads)
+            other._succ_sets[tail_id] = set(heads)
+        for head_id, tails in enumerate(self._pred):
+            other._pred[head_id] = list(tails)
+        other._num_edges = self._num_edges
+        return other
+
+    def reversed(self) -> "DiGraph":
+        """A new graph with every edge direction flipped."""
+        other = DiGraph()
+        for node in self._node_of:
+            other.add_node(node)
+        for tail_id, heads in enumerate(self._succ):
+            for head_id in heads:
+                other._succ[head_id].append(tail_id)
+                other._succ_sets[head_id].add(tail_id)
+                other._pred[tail_id].append(head_id)
+        other._num_edges = self._num_edges
+        return other
+
+    def subgraph(self, nodes: Iterable[Node]) -> "DiGraph":
+        """The induced subgraph on ``nodes`` (node objects preserved)."""
+        keep = set(nodes)
+        missing = [n for n in keep if n not in self._id_of]
+        if missing:
+            raise NodeNotFoundError(missing[0])
+        other = DiGraph()
+        for node in self._node_of:
+            if node in keep:
+                other.add_node(node)
+        for tail, head in self.edges():
+            if tail in keep and head in keep:
+                other.add_edge(tail, head)
+        return other
+
+    def __repr__(self) -> str:
+        return (f"<DiGraph nodes={self.num_nodes} "
+                f"edges={self.num_edges}>")

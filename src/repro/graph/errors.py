@@ -1,0 +1,79 @@
+"""Exception hierarchy for the :mod:`repro.graph` substrate.
+
+Every error raised by the library derives from :class:`GraphError`, so a
+caller can catch one type to handle any library failure.  The subclasses
+distinguish the situations a database layer typically wants to react to
+differently: a malformed graph, an unknown node in a query, or an
+operation that requires acyclic input.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "GraphError",
+    "NodeNotFoundError",
+    "DuplicateNodeError",
+    "EdgeExistsError",
+    "NotADAGError",
+    "InvalidChainError",
+    "GraphFormatError",
+]
+
+
+class GraphError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A node referenced by an operation is not part of the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(node)
+        self.node = node
+
+    def __str__(self) -> str:  # KeyError would repr() the args tuple
+        return f"node {self.node!r} is not in the graph"
+
+
+class DuplicateNodeError(GraphError, ValueError):
+    """A node was added twice to a graph that forbids duplicates."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is already in the graph")
+        self.node = node
+
+
+class EdgeExistsError(GraphError, ValueError):
+    """An edge was added twice (the library stores simple digraphs)."""
+
+    def __init__(self, tail: object, head: object) -> None:
+        super().__init__(f"edge ({tail!r}, {head!r}) is already in the graph")
+        self.tail = tail
+        self.head = head
+
+
+class NotADAGError(GraphError, ValueError):
+    """An operation that requires a DAG received a cyclic graph.
+
+    The offending cycle (a list of nodes) is attached when known, so
+    callers can report it or feed the graph through SCC condensation.
+    """
+
+    def __init__(self, message: str = "graph contains a cycle",
+                 cycle: list | None = None) -> None:
+        super().__init__(message)
+        self.cycle = cycle
+
+
+class InvalidChainError(GraphError, ValueError):
+    """A chain decomposition violated a structural invariant."""
+
+
+class GraphFormatError(GraphError, ValueError):
+    """A serialised graph could not be parsed."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number

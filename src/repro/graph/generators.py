@@ -1,0 +1,367 @@
+"""Workload generators for every experiment family in the paper.
+
+Section V of the paper evaluates on four graph families; each gets a
+generator here with the same construction recipe (scaled sizes are chosen
+by the benchmark layer, not here):
+
+* Group I — *sparse graphs*: random edges over ``n`` nodes, strongly
+  connected components collapsed with Tarjan's algorithm
+  (:func:`sparse_random_dag`).
+* Group II(a) — *DSG*, "DAG systematically generated": a fixed number of
+  roots, about four children per non-leaf and three parents per
+  non-root, a fixed number of levels (:func:`systematic_dag`).
+* Group II(b) — *DSRG*, "DAG semi-randomly generated": a random tree
+  with zero to six children per node, then random extra edges that
+  cannot create a cycle (:func:`semi_random_dag`).
+* Group III — *dense graphs*: a random topological order with each
+  forward pair becoming an edge with the probability that yields the
+  requested density ``e / n²`` (:func:`dense_dag`).
+
+All generators are deterministic in their ``seed`` and label nodes with
+consecutive integers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.graph.digraph import DiGraph
+from repro.graph.scc import condense
+from repro.graph.topology import longest_path_length, root_ids
+
+__all__ = [
+    "sparse_random_dag",
+    "systematic_dag",
+    "semi_random_dag",
+    "dense_dag",
+    "random_dag",
+    "random_digraph",
+    "layered_random_dag",
+    "citation_dag",
+    "chain_graph",
+    "antichain_graph",
+    "GraphStats",
+    "graph_stats",
+]
+
+
+def sparse_random_dag(num_nodes: int, num_edges: int,
+                      seed: int = 0) -> DiGraph:
+    """Group-I graph: random digraph, SCCs collapsed into single nodes.
+
+    The paper: "The edges are randomly generated ... Tarjan's algorithm
+    is used to find SCCs as a preprocessor.  All SCCs are then removed."
+    The returned DAG therefore has *at most* ``num_nodes`` nodes; at the
+    sparse densities used in Group I almost none are lost.
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    rng = random.Random(seed)
+    raw = DiGraph()
+    for v in range(num_nodes):
+        raw.add_node(v)
+    added: set[tuple[int, int]] = set()
+    attempts = 0
+    max_attempts = num_edges * 50 + 1000
+    while len(added) < num_edges and attempts < max_attempts:
+        attempts += 1
+        tail = rng.randrange(num_nodes)
+        head = rng.randrange(num_nodes)
+        if tail == head or (tail, head) in added:
+            continue
+        added.add((tail, head))
+        raw.add_edge(tail, head)
+    condensation = condense(raw)
+    dag = condensation.dag
+    # Relabel components 0..k-1 in insertion order (they already are).
+    return dag
+
+
+def systematic_dag(num_roots: int, num_levels: int,
+                   children_per_node: int = 4, parents_per_node: int = 3,
+                   seed: int = 0) -> DiGraph:
+    """Group-II DSG graph: fixed roots / levels / fan-out / fan-in.
+
+    Level sizes grow by the ratio children/parents (each level-ℓ node
+    emits ~``children_per_node`` edges, each level-(ℓ+1) node absorbs
+    ~``parents_per_node``), matching the paper's 640-root, 8-level,
+    four-children / three-parents construction.
+    """
+    if num_roots <= 0 or num_levels <= 0:
+        raise ValueError("num_roots and num_levels must be positive")
+    if children_per_node <= 0 or parents_per_node <= 0:
+        raise ValueError("fan-out and fan-in must be positive")
+    rng = random.Random(seed)
+    graph = DiGraph()
+    current_level = [graph.add_node(v) for v in range(num_roots)]
+    next_label = num_roots
+    for _ in range(num_levels - 1):
+        out_stubs = len(current_level) * children_per_node
+        next_size = max(1, round(out_stubs / parents_per_node))
+        next_level = []
+        for _ in range(next_size):
+            next_level.append(graph.add_node(next_label))
+            next_label += 1
+        # Give every child `parents_per_node` distinct random parents so
+        # fan-in is exact and fan-out is ~children_per_node on average.
+        for child in next_level:
+            k = min(parents_per_node, len(current_level))
+            for parent in rng.sample(current_level, k):
+                if not graph.has_edge(parent, child):
+                    graph.add_edge(parent, child)
+        current_level = next_level
+    return graph
+
+
+def semi_random_dag(min_nodes: int, extra_edges: int,
+                    max_children: int = 6, seed: int = 0) -> DiGraph:
+    """Group-II DSRG graph: random tree plus acyclic random extra edges.
+
+    The tree gives every node a uniform 0..``max_children`` child count
+    (re-seeded with forced children if the frontier would die before
+    ``min_nodes`` is reached).  Extra edges always point from an older
+    node to a newer one, which can never close a cycle — this implements
+    the paper's "add randomly up to 10000 edges to the tree while
+    ensuring that no cycle is formed".
+    """
+    if min_nodes <= 0:
+        raise ValueError("min_nodes must be positive")
+    rng = random.Random(seed)
+    graph = DiGraph()
+    graph.add_node(0)
+    frontier = [0]
+    next_label = 1
+    while next_label < min_nodes:
+        if not frontier:
+            # The whole frontier rolled zero children; restart growth
+            # from a random existing node so the tree reaches min_nodes.
+            frontier = [rng.randrange(next_label)]
+        node = frontier.pop(rng.randrange(len(frontier)))
+        num_children = rng.randint(0, max_children)
+        if not frontier and num_children == 0:
+            num_children = 1
+        for _ in range(num_children):
+            if next_label >= min_nodes:
+                break
+            child = graph.add_node(next_label)
+            graph.add_edge(node, child)
+            frontier.append(next_label)
+            next_label += 1
+    n = graph.num_nodes
+    added = 0
+    attempts = 0
+    max_attempts = extra_edges * 50 + 1000
+    while added < extra_edges and attempts < max_attempts and n > 1:
+        attempts += 1
+        tail = rng.randrange(n - 1)
+        head = rng.randrange(tail + 1, n)
+        if not graph.has_edge(tail, head):
+            graph.add_edge(tail, head)
+            added += 1
+    return graph
+
+
+def dense_dag(num_nodes: int, density: float = 0.25,
+              seed: int = 0) -> DiGraph:
+    """Group-III graph with ``num_edges / num_nodes² ≈ density``.
+
+    A random permutation fixes a topological order; each forward pair is
+    an edge with probability ``density · n² / (n(n-1)/2)`` so the
+    *paper's* density measure ``E/V²`` comes out at the requested value.
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    if not 0.0 <= density <= 0.5:
+        raise ValueError("density is e/n² over forward pairs; max 0.5")
+    rng = random.Random(seed)
+    order = list(range(num_nodes))
+    rng.shuffle(order)
+    p = 0.0
+    if num_nodes > 1:
+        p = min(1.0, density * num_nodes * num_nodes
+                / (num_nodes * (num_nodes - 1) / 2))
+    graph = DiGraph()
+    for v in range(num_nodes):
+        graph.add_node(v)
+    for i in range(num_nodes):
+        tail = order[i]
+        for j in range(i + 1, num_nodes):
+            if rng.random() < p:
+                graph.add_edge(tail, order[j])
+    return graph
+
+
+def random_dag(num_nodes: int, edge_probability: float,
+               seed: int = 0) -> DiGraph:
+    """A generic Erdős–Rényi-style DAG (forward edges over 0..n-1)."""
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge_probability must be in [0, 1]")
+    rng = random.Random(seed)
+    graph = DiGraph()
+    for v in range(num_nodes):
+        graph.add_node(v)
+    for tail in range(num_nodes):
+        for head in range(tail + 1, num_nodes):
+            if rng.random() < edge_probability:
+                graph.add_edge(tail, head)
+    return graph
+
+
+def random_digraph(num_nodes: int, num_edges: int,
+                   seed: int = 0) -> DiGraph:
+    """A possibly-cyclic random digraph (for SCC/condensation paths)."""
+    rng = random.Random(seed)
+    graph = DiGraph()
+    for v in range(num_nodes):
+        graph.add_node(v)
+    added = 0
+    attempts = 0
+    max_attempts = num_edges * 50 + 1000
+    while added < num_edges and attempts < max_attempts and num_nodes > 1:
+        attempts += 1
+        tail = rng.randrange(num_nodes)
+        head = rng.randrange(num_nodes)
+        if tail != head and not graph.has_edge(tail, head):
+            graph.add_edge(tail, head)
+            added += 1
+    return graph
+
+
+def layered_random_dag(layer_sizes: list[int], edge_probability: float,
+                       seed: int = 0) -> DiGraph:
+    """A DAG with given layer sizes and random adjacent-layer edges.
+
+    Used by the width ablation: the width is strongly controlled by
+    ``max(layer_sizes)``.  Every node in layer ℓ+1 receives at least one
+    parent in layer ℓ, so the layering equals the stratification.
+    """
+    rng = random.Random(seed)
+    graph = DiGraph()
+    layers: list[list[int]] = []
+    label = 0
+    for size in layer_sizes:
+        if size <= 0:
+            raise ValueError("layer sizes must be positive")
+        layer = []
+        for _ in range(size):
+            layer.append(graph.add_node(label))
+            label += 1
+        layers.append(layer)
+    for upper, lower in zip(layers, layers[1:]):
+        for child in lower:
+            parents = [p for p in upper if rng.random() < edge_probability]
+            if not parents:
+                parents = [rng.choice(upper)]
+            for parent in parents:
+                graph.add_edge(parent, child)
+    return graph
+
+
+def citation_dag(num_nodes: int, citations_per_node: int = 3,
+                 seed: int = 0) -> DiGraph:
+    """A preferential-attachment citation network (always a DAG).
+
+    Nodes arrive in order; each cites up to ``citations_per_node``
+    earlier nodes sampled proportionally to citations-received-so-far
+    plus one (the usual rich-get-richer kernel).  Edges point from the
+    citing paper to the cited one, so ``u ⇝ v`` reads "u transitively
+    builds on v".  Not one of the paper's workloads — used by tests and
+    examples as a heavy-tailed, realistic graph shape.
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    if citations_per_node < 0:
+        raise ValueError("citations_per_node must be non-negative")
+    rng = random.Random(seed)
+    graph = DiGraph()
+    graph.add_node(0)
+    # Sampling urn: each node appears once per citation received, plus
+    # once for existing at all.
+    urn = [0]
+    for paper in range(1, num_nodes):
+        graph.add_node(paper)
+        cited: set[int] = set()
+        wanted = min(citations_per_node, paper)
+        attempts = 0
+        while len(cited) < wanted and attempts < 20 * wanted:
+            attempts += 1
+            cited.add(rng.choice(urn))
+        for earlier in cited:
+            graph.add_edge(paper, earlier)
+            urn.append(earlier)
+        urn.append(paper)
+    return graph
+
+
+def chain_graph(num_nodes: int) -> DiGraph:
+    """The path 0 → 1 → … → n-1 (width 1)."""
+    graph = DiGraph()
+    for v in range(num_nodes):
+        graph.add_node(v)
+    for v in range(num_nodes - 1):
+        graph.add_edge(v, v + 1)
+    return graph
+
+
+def antichain_graph(num_nodes: int) -> DiGraph:
+    """``num_nodes`` isolated nodes (width = n)."""
+    graph = DiGraph()
+    for v in range(num_nodes):
+        graph.add_node(v)
+    return graph
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """The parameters the paper reports in Table 2."""
+
+    num_nodes: int
+    num_edges: int
+    average_out_degree_internal: float
+    average_path_length: float
+    height: int
+
+    def row(self) -> tuple:
+        """(nodes, arcs, out-degree, path length) for Table 2."""
+        return (self.num_nodes, self.num_edges,
+                round(self.average_out_degree_internal, 2),
+                round(self.average_path_length, 2))
+
+
+def graph_stats(graph: DiGraph, path_samples: int = 2000,
+                seed: int = 0) -> GraphStats:
+    """Compute the Table-2 statistics of a DAG.
+
+    ``average_path_length`` is estimated by sampling maximal random
+    walks from a random root (node count of the walk), matching the
+    paper's reported "average path length" (8.0 for the perfectly
+    layered DSG).
+    """
+    internal = [v for v in range(graph.num_nodes)
+                if graph.successor_ids(v)]
+    avg_out = 0.0
+    if internal:
+        avg_out = (sum(len(graph.successor_ids(v)) for v in internal)
+                   / len(internal))
+    rng = random.Random(seed)
+    start_ids = root_ids(graph) or list(range(graph.num_nodes))
+    total_length = 0
+    samples = max(1, path_samples)
+    for _ in range(samples):
+        v = rng.choice(start_ids)
+        length = 1
+        while graph.successor_ids(v):
+            v = rng.choice(graph.successor_ids(v))
+            length += 1
+        total_length += length
+    height = 0
+    if graph.num_nodes:
+        height = longest_path_length(graph) + 1
+    return GraphStats(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        average_out_degree_internal=avg_out,
+        average_path_length=total_length / samples,
+        height=height,
+    )

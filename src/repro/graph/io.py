@@ -1,0 +1,106 @@
+"""Plain-text graph serialisation.
+
+The format is a line-oriented edge list, friendly to shell tooling:
+
+    # comment
+    n <num_nodes>            (optional; declares isolated nodes 0..n-1)
+    <tail> <head>
+
+Node labels are arbitrary whitespace-free strings; integers round-trip
+as integers when ``int_labels=True`` (the default for files our
+generators wrote).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import GraphFormatError
+
+__all__ = ["write_edge_list", "read_edge_list", "dumps", "loads"]
+
+
+def write_edge_list(graph: DiGraph, target: str | Path | TextIO) -> None:
+    """Write ``graph`` as an edge list (isolated nodes preserved)."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            _write(graph, handle)
+    else:
+        _write(graph, target)
+
+
+def _write(graph: DiGraph, handle: TextIO) -> None:
+    handle.write(f"# repro edge list: {graph.num_nodes} nodes, "
+                 f"{graph.num_edges} edges\n")
+    handle.write(f"n {graph.num_nodes}\n")
+    for tail, head in graph.edges():
+        handle.write(f"{tail} {head}\n")
+
+
+def read_edge_list(source: str | Path | TextIO,
+                   int_labels: bool = True) -> DiGraph:
+    """Parse an edge list written by :func:`write_edge_list`.
+
+    Raises :class:`GraphFormatError` with a line number on bad input.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return _read(handle, int_labels)
+    return _read(source, int_labels)
+
+
+def _read(handle: TextIO, int_labels: bool) -> DiGraph:
+    graph = DiGraph()
+    declared = None
+    for line_number, raw_line in enumerate(handle, start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if parts[0] == "n":
+            if len(parts) != 2:
+                raise GraphFormatError("bad node-count line", line_number)
+            try:
+                declared = int(parts[1])
+            except ValueError:
+                raise GraphFormatError(
+                    f"node count {parts[1]!r} is not an integer",
+                    line_number) from None
+            if declared < 0:
+                raise GraphFormatError("node count must be >= 0",
+                                       line_number)
+            for v in range(declared):
+                node = v if int_labels else str(v)
+                if node not in graph:
+                    graph.add_node(node)
+            continue
+        if len(parts) != 2:
+            raise GraphFormatError(
+                f"expected 'tail head', got {line!r}", line_number)
+        tail, head = parts
+        if int_labels:
+            try:
+                tail, head = int(tail), int(head)
+            except ValueError:
+                raise GraphFormatError(
+                    f"non-integer label in {line!r}", line_number) from None
+        graph.ensure_node(tail)
+        graph.ensure_node(head)
+        if tail != head and not graph.has_edge(tail, head):
+            graph.add_edge(tail, head)
+    return graph
+
+
+def dumps(graph: DiGraph) -> str:
+    """Serialise to a string."""
+    buffer = io.StringIO()
+    _write(graph, buffer)
+    return buffer.getvalue()
+
+
+def loads(text: str, int_labels: bool = True) -> DiGraph:
+    """Parse a string produced by :func:`dumps`."""
+    return _read(io.StringIO(text), int_labels)

@@ -1,0 +1,138 @@
+"""Tarjan's strongly connected components and graph condensation.
+
+Section II of the paper: "For a cyclic graph we can find all the strongly
+connected components in linear time [25] and then collapse each of them
+into a representative node" — every node in an SCC is equivalent to its
+representative as far as reachability is concerned.  This module provides
+exactly that preprocessing step.
+
+The Tarjan implementation is iterative (an explicit stack replaces
+recursion) so it handles the deep, path-like graphs the generators
+produce without hitting Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.digraph import DiGraph
+
+__all__ = ["strongly_connected_components", "Condensation", "condense"]
+
+
+def strongly_connected_components(graph: DiGraph) -> list[list]:
+    """SCCs as lists of node objects, in reverse topological order.
+
+    Reverse topological order means: if component A can reach component
+    B, then B appears *before* A in the returned list (a property of
+    Tarjan's algorithm that :func:`condense` relies on).
+    """
+    n = graph.num_nodes
+    index_of = [-1] * n          # discovery index, -1 = unvisited
+    lowlink = [0] * n
+    on_stack = [False] * n
+    stack: list[int] = []
+    components: list[list] = []
+    counter = 0
+
+    for start in range(n):
+        if index_of[start] != -1:
+            continue
+        # Each frame is (node, iterator position into its successors).
+        work: list[tuple[int, int]] = [(start, 0)]
+        while work:
+            v, pos = work[-1]
+            if pos == 0:
+                index_of[v] = lowlink[v] = counter
+                counter += 1
+                stack.append(v)
+                on_stack[v] = True
+            succ = graph.successor_ids(v)
+            advanced = False
+            while pos < len(succ):
+                w = succ[pos]
+                pos += 1
+                if index_of[w] == -1:
+                    work[-1] = (v, pos)
+                    work.append((w, 0))
+                    advanced = True
+                    break
+                if on_stack[w] and index_of[w] < lowlink[v]:
+                    lowlink[v] = index_of[w]
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                if lowlink[v] < lowlink[parent]:
+                    lowlink[parent] = lowlink[v]
+            if lowlink[v] == index_of[v]:
+                component: list = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    component.append(graph.node_at(w))
+                    if w == v:
+                        break
+                components.append(component)
+    return components
+
+
+@dataclass(frozen=True)
+class Condensation:
+    """The SCC condensation of a digraph.
+
+    ``dag``
+        The condensed graph.  Its nodes are integers 0..k-1 (component
+        ids); it is always acyclic.
+    ``component_of``
+        Maps every original node object to its component id.
+    ``members``
+        ``members[c]`` lists the original nodes in component ``c``.
+    """
+
+    dag: DiGraph
+    component_of: dict
+    members: list[list]
+
+    @property
+    def num_components(self) -> int:
+        """Number of strongly connected components."""
+        return len(self.members)
+
+    def representative(self, node: object) -> object:
+        """A canonical member of ``node``'s component."""
+        return self.members[self.component_of[node]][0]
+
+    def same_component(self, u: object, v: object) -> bool:
+        """True iff the two nodes share an SCC."""
+        return self.component_of[u] == self.component_of[v]
+
+
+def condense(graph: DiGraph) -> Condensation:
+    """Collapse every SCC of ``graph`` into a single node.
+
+    The resulting DAG preserves reachability: ``u`` reaches ``v`` in the
+    original graph iff ``component_of[u]`` reaches ``component_of[v]``
+    in the condensation (or the two are equal).
+    """
+    components = strongly_connected_components(graph)
+    component_of: dict = {}
+    for comp_id, members in enumerate(components):
+        for node in members:
+            component_of[node] = comp_id
+
+    dag = DiGraph()
+    for comp_id in range(len(components)):
+        dag.add_node(comp_id)
+    seen: set[tuple[int, int]] = set()
+    for tail, head in graph.edges():
+        tail_comp = component_of[tail]
+        head_comp = component_of[head]
+        if tail_comp == head_comp:
+            continue
+        if (tail_comp, head_comp) not in seen:
+            seen.add((tail_comp, head_comp))
+            dag.add_edge(tail_comp, head_comp)
+    return Condensation(dag=dag, component_of=component_of,
+                        members=components)

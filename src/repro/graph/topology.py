@@ -1,0 +1,151 @@
+"""Topological utilities: ordering, cycle detection, roots and sinks.
+
+These are the building blocks the paper takes for granted: the labeling
+pass of Section II runs in reverse topological order, the stratification
+of Section III.A needs sinks, and DAG-only entry points must reject
+cyclic input with a useful error (the detected cycle is attached to the
+exception so callers can collapse it with :mod:`repro.graph.scc`).
+"""
+
+from __future__ import annotations
+
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import NotADAGError
+
+__all__ = [
+    "topological_order_ids",
+    "topological_order",
+    "is_dag",
+    "find_cycle",
+    "check_dag",
+    "root_ids",
+    "sink_ids",
+    "roots",
+    "sinks",
+    "longest_path_length",
+]
+
+
+def topological_order_ids(graph: DiGraph) -> list[int]:
+    """Dense ids in topological order (tails before heads).
+
+    Kahn's algorithm, O(n + e).  Raises :class:`NotADAGError` on cyclic
+    input, with a concrete cycle attached.
+    """
+    n = graph.num_nodes
+    indegree = [len(graph.predecessor_ids(v)) for v in range(n)]
+    queue = [v for v in range(n) if indegree[v] == 0]
+    order: list[int] = []
+    head = 0
+    while head < len(queue):
+        v = queue[head]
+        head += 1
+        order.append(v)
+        for w in graph.successor_ids(v):
+            indegree[w] -= 1
+            if indegree[w] == 0:
+                queue.append(w)
+    if len(order) != n:
+        raise NotADAGError(cycle=find_cycle(graph))
+    return order
+
+
+def topological_order(graph: DiGraph) -> list:
+    """Node objects in topological order."""
+    return [graph.node_at(v) for v in topological_order_ids(graph)]
+
+
+def is_dag(graph: DiGraph) -> bool:
+    """True when the graph has no directed cycle."""
+    try:
+        topological_order_ids(graph)
+    except NotADAGError:
+        return False
+    return True
+
+
+def find_cycle(graph: DiGraph) -> list | None:
+    """A directed cycle as a node-object list, or None for a DAG.
+
+    Iterative DFS with colour marking; the returned list is the cycle in
+    order, starting and ending implicitly at the same node (the first
+    element follows the last).
+    """
+    n = graph.num_nodes
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = [WHITE] * n
+    parent = [-1] * n
+    for start in range(n):
+        if colour[start] != WHITE:
+            continue
+        stack: list[tuple[int, int]] = [(start, 0)]
+        colour[start] = GREY
+        while stack:
+            v, edge_index = stack[-1]
+            succ = graph.successor_ids(v)
+            if edge_index < len(succ):
+                stack[-1] = (v, edge_index + 1)
+                w = succ[edge_index]
+                if colour[w] == WHITE:
+                    colour[w] = GREY
+                    parent[w] = v
+                    stack.append((w, 0))
+                elif colour[w] == GREY:
+                    cycle_ids = [w]
+                    node = v
+                    while node != w:
+                        cycle_ids.append(node)
+                        node = parent[node]
+                    cycle_ids.reverse()
+                    return [graph.node_at(u) for u in cycle_ids]
+            else:
+                colour[v] = BLACK
+                stack.pop()
+    return None
+
+
+def check_dag(graph: DiGraph) -> None:
+    """Raise :class:`NotADAGError` unless the graph is acyclic."""
+    cycle = find_cycle(graph)
+    if cycle is not None:
+        raise NotADAGError(cycle=cycle)
+
+
+def root_ids(graph: DiGraph) -> list[int]:
+    """Dense ids of nodes with no incoming edge."""
+    return [v for v in range(graph.num_nodes)
+            if not graph.predecessor_ids(v)]
+
+
+def sink_ids(graph: DiGraph) -> list[int]:
+    """Dense ids of nodes with no outgoing edge."""
+    return [v for v in range(graph.num_nodes)
+            if not graph.successor_ids(v)]
+
+
+def roots(graph: DiGraph) -> list:
+    """Nodes with no incoming edge, as node objects."""
+    return [graph.node_at(v) for v in root_ids(graph)]
+
+
+def sinks(graph: DiGraph) -> list:
+    """Nodes with no outgoing edge, as node objects."""
+    return [graph.node_at(v) for v in sink_ids(graph)]
+
+
+def longest_path_length(graph: DiGraph) -> int:
+    """Number of edges on a longest directed path (the DAG's height - 1).
+
+    The paper's height ``h`` (number of strata) equals this value plus
+    one on a non-empty graph.
+    """
+    order = topological_order_ids(graph)
+    longest = [0] * graph.num_nodes
+    best = 0
+    for v in reversed(order):
+        for w in graph.successor_ids(v):
+            if longest[w] + 1 > longest[v]:
+                longest[v] = longest[w] + 1
+        if longest[v] > best:
+            best = longest[v]
+    return best

@@ -1,0 +1,65 @@
+"""Structural validators used by tests and by debug assertions.
+
+These never run on the hot path; they exist so tests (and users
+debugging a corrupted pipeline) can verify internal invariants with one
+call instead of re-deriving them.
+"""
+
+from __future__ import annotations
+
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import GraphError, NotADAGError
+from repro.graph.topology import find_cycle
+
+__all__ = [
+    "check_consistency",
+    "check_topological_order",
+    "check_acyclic",
+]
+
+
+def check_consistency(graph: DiGraph) -> None:
+    """Verify the successor/predecessor mirrors agree.
+
+    Raises :class:`GraphError` on the first inconsistency found.
+    """
+    n = graph.num_nodes
+    edge_count = 0
+    for v in range(n):
+        succ = graph.successor_ids(v)
+        if len(set(succ)) != len(succ):
+            raise GraphError(f"duplicate successor entries at node id {v}")
+        for w in succ:
+            if not 0 <= w < n:
+                raise GraphError(f"successor id {w} out of range at {v}")
+            if v not in graph.predecessor_ids(w):
+                raise GraphError(
+                    f"edge ({v}, {w}) missing from predecessor mirror")
+        edge_count += len(succ)
+    pred_count = sum(len(graph.predecessor_ids(v)) for v in range(n))
+    if pred_count != edge_count:
+        raise GraphError("predecessor mirror has a different edge count")
+    if edge_count != graph.num_edges:
+        raise GraphError(
+            f"num_edges={graph.num_edges} but adjacency holds {edge_count}")
+
+
+def check_topological_order(graph: DiGraph, order: list) -> None:
+    """Verify ``order`` is a topological order of ``graph``'s nodes."""
+    position = {node: i for i, node in enumerate(order)}
+    if len(position) != graph.num_nodes:
+        raise GraphError("order does not enumerate every node exactly once")
+    for node in graph:
+        if node not in position:
+            raise GraphError(f"order is missing node {node!r}")
+    for tail, head in graph.edges():
+        if position[tail] >= position[head]:
+            raise GraphError(
+                f"edge ({tail!r}, {head!r}) violates the order")
+
+
+def check_acyclic(graph: DiGraph) -> None:
+    """Raise :class:`NotADAGError` with the cycle when one exists."""
+    cycle = find_cycle(graph)
+    if cycle is not None:
+        raise NotADAGError(cycle=cycle)

@@ -1,0 +1,21 @@
+"""Bipartite graphs and maximum matching (Hopcroft–Karp)."""
+
+from repro.matching.alternating import (
+    AlternatingForest,
+    alternating_bfs,
+    bottoms_to_tops,
+    flip_prefix,
+)
+from repro.matching.bipartite import BipartiteGraph, Matching
+from repro.matching.hopcroft_karp import hopcroft_karp, kuhn_matching
+
+__all__ = [
+    "BipartiteGraph",
+    "Matching",
+    "hopcroft_karp",
+    "kuhn_matching",
+    "AlternatingForest",
+    "alternating_bfs",
+    "bottoms_to_tops",
+    "flip_prefix",
+]

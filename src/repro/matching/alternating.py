@@ -1,0 +1,127 @@
+"""Alternating-path machinery for the virtual-node construction.
+
+Definition 4 of the paper records, for a free bottom node ``v``, the
+alternating paths that start at each *covered parent* ``w`` of ``v``
+(path positions: odd = top side, even = bottom side; edges alternate
+matched / unmatched).  Rerouting then works by *transferring* (flipping)
+a prefix of such a path: ``w`` is freed to adopt ``v``, every
+intermediate top re-matches to the previous bottom, and the matched
+partner of the final odd node becomes free so a higher-level parent can
+adopt it.
+
+This module implements that with a multi-source BFS over the top side:
+``top a`` steps to ``top c`` when ``c`` is adjacent (by an unmatched
+edge) to ``a``'s matched bottom.  The multi-source form de-duplicates
+shared path segments, which is exactly the redundancy-elimination of
+Section IV.B (two entries sharing a path suffix are discovered once).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.matching.bipartite import BipartiteGraph, Matching
+
+__all__ = ["bottoms_to_tops", "AlternatingForest", "alternating_bfs",
+           "flip_prefix"]
+
+
+def bottoms_to_tops(graph: BipartiteGraph) -> list[list[int]]:
+    """Reverse adjacency: for each bottom, the tops adjacent to it."""
+    reverse: list[list[int]] = [[] for _ in range(graph.num_bottoms)]
+    for top, bottoms in enumerate(graph.adj):
+        for bottom in bottoms:
+            reverse[bottom].append(top)
+    return reverse
+
+
+@dataclass
+class AlternatingForest:
+    """Alternating-BFS forest over the top side of a bipartite graph.
+
+    ``previous_top[x]`` is the top preceding ``x`` on the alternating
+    path from its root (-1 at a root); ``root_of[x]`` is the source the
+    path starts at; tops absent from ``reached`` were not reachable.
+    """
+
+    previous_top: dict[int, int] = field(default_factory=dict)
+    root_of: dict[int, int] = field(default_factory=dict)
+    order: list[int] = field(default_factory=list)
+
+    def reached(self, top: int) -> bool:
+        """True iff the BFS reached ``top``."""
+        return top in self.root_of
+
+    def path_to(self, top: int) -> list[int]:
+        """Tops on the alternating path root..``top`` (odd positions)."""
+        path = [top]
+        while self.previous_top[path[-1]] != -1:
+            path.append(self.previous_top[path[-1]])
+        path.reverse()
+        return path
+
+
+def alternating_bfs(matching: Matching, reverse_adj: list[list[int]],
+                    sources: list[int]) -> AlternatingForest:
+    """Multi-source alternating BFS from covered top ``sources``.
+
+    Every reached top is *covered* (the walk continues through matched
+    edges only), so flipping any root-to-top prefix is always legal.
+    Uncovered sources are skipped: an alternating path in the paper's
+    sense must begin with a matched edge.
+    """
+    forest = AlternatingForest()
+    queue: deque[int] = deque()
+    for source in sources:
+        if matching.bottom_of[source] == Matching.UNMATCHED:
+            continue
+        if source in forest.root_of:
+            continue
+        forest.root_of[source] = source
+        forest.previous_top[source] = -1
+        forest.order.append(source)
+        queue.append(source)
+    while queue:
+        top = queue.popleft()
+        bottom = matching.bottom_of[top]
+        if bottom == Matching.UNMATCHED:  # pragma: no cover - defensive
+            continue
+        for next_top in reverse_adj[bottom]:
+            if next_top == top or next_top in forest.root_of:
+                continue
+            if matching.bottom_of[next_top] == Matching.UNMATCHED:
+                # A free top adjacent to a covered bottom would mean an
+                # augmenting path existed; with a maximum matching this
+                # cannot happen, but a *mutated* matching (mid
+                # resolution) keeps maximality, so skip defensively.
+                continue
+            forest.root_of[next_top] = forest.root_of[top]
+            forest.previous_top[next_top] = top
+            forest.order.append(next_top)
+            queue.append(next_top)
+    return forest
+
+
+def flip_prefix(matching: Matching, forest: AlternatingForest,
+                final_top: int) -> tuple[int, int]:
+    """Transfer the alternating path ending at ``final_top``.
+
+    Implements the paper's "transfer the edges on the alternating path
+    starting at w_i and ending at the (n_ij + 1)-th node": the root top
+    becomes unmatched (ready to adopt the stranded chain top), each
+    intermediate top re-matches to its predecessor's old bottom, and the
+    old matched bottom of ``final_top`` becomes free.
+
+    Returns ``(root_top, freed_bottom)``.
+    """
+    tops = forest.path_to(final_top)
+    old_bottoms = [matching.bottom_of[t] for t in tops]
+    if Matching.UNMATCHED in old_bottoms:
+        raise ValueError("alternating path crosses an unmatched top")
+    root = tops[0]
+    matching.unmatch_top(root)
+    for i in range(1, len(tops)):
+        matching.match(tops[i], old_bottoms[i - 1])
+    freed_bottom = old_bottoms[-1]
+    return root, freed_bottom

@@ -1,0 +1,129 @@
+"""A minimal bipartite-graph model for the matching algorithms.
+
+The two sides are called *tops* and *bottoms* to match the way the
+chain-decomposition algorithm uses them: tops are the nodes of level
+``V_{i+1}``, bottoms the nodes of ``V_i'`` (real plus virtual), and every
+edge runs top → bottom (Definition 2's ``G(T, S; E)``).
+
+Both sides use dense local indexes 0..size-1; callers keep their own
+mapping to graph node ids.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+__all__ = ["BipartiteGraph", "Matching"]
+
+
+class BipartiteGraph:
+    """Adjacency of a bipartite graph with ``num_tops`` × ``num_bottoms``."""
+
+    __slots__ = ("num_tops", "num_bottoms", "adj")
+
+    def __init__(self, num_tops: int, num_bottoms: int) -> None:
+        if num_tops < 0 or num_bottoms < 0:
+            raise ValueError("side sizes must be non-negative")
+        self.num_tops = num_tops
+        self.num_bottoms = num_bottoms
+        self.adj: list[list[int]] = [[] for _ in range(num_tops)]
+
+    @classmethod
+    def from_edges(cls, num_tops: int, num_bottoms: int,
+                   edges: Iterable[tuple[int, int]]) -> "BipartiteGraph":
+        """Build a bipartite graph from (top, bottom) pairs."""
+        graph = cls(num_tops, num_bottoms)
+        for top, bottom in edges:
+            graph.add_edge(top, bottom)
+        return graph
+
+    def add_edge(self, top: int, bottom: int) -> None:
+        """Add the edge ``top -> bottom`` (indexes are checked)."""
+        if not 0 <= top < self.num_tops:
+            raise ValueError(f"top index {top} out of range")
+        if not 0 <= bottom < self.num_bottoms:
+            raise ValueError(f"bottom index {bottom} out of range")
+        self.adj[top].append(bottom)
+
+    def add_bottom(self) -> int:
+        """Grow the bottom side by one; returns the new index."""
+        self.num_bottoms += 1
+        return self.num_bottoms - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Total edge count."""
+        return sum(len(neighbours) for neighbours in self.adj)
+
+
+class Matching:
+    """A matching of a :class:`BipartiteGraph` as two mirror arrays.
+
+    ``bottom_of[t]`` is the bottom matched to top ``t`` (or -1);
+    ``top_of[b]`` is the top matched to bottom ``b`` (or -1).
+    """
+
+    __slots__ = ("bottom_of", "top_of")
+
+    UNMATCHED = -1
+
+    def __init__(self, num_tops: int, num_bottoms: int) -> None:
+        self.bottom_of = [self.UNMATCHED] * num_tops
+        self.top_of = [self.UNMATCHED] * num_bottoms
+
+    def match(self, top: int, bottom: int) -> None:
+        """Pair ``top`` with ``bottom``, unpairing any previous partners."""
+        old_bottom = self.bottom_of[top]
+        if old_bottom != self.UNMATCHED:
+            self.top_of[old_bottom] = self.UNMATCHED
+        old_top = self.top_of[bottom]
+        if old_top != self.UNMATCHED:
+            self.bottom_of[old_top] = self.UNMATCHED
+        self.bottom_of[top] = bottom
+        self.top_of[bottom] = top
+
+    def unmatch_top(self, top: int) -> None:
+        """Free ``top`` and its partner (no-op when already free)."""
+        bottom = self.bottom_of[top]
+        if bottom != self.UNMATCHED:
+            self.bottom_of[top] = self.UNMATCHED
+            self.top_of[bottom] = self.UNMATCHED
+
+    def is_matched_top(self, top: int) -> bool:
+        """True iff ``top`` is covered."""
+        return self.bottom_of[top] != self.UNMATCHED
+
+    def is_matched_bottom(self, bottom: int) -> bool:
+        """True iff ``bottom`` is covered."""
+        return self.top_of[bottom] != self.UNMATCHED
+
+    def size(self) -> int:
+        """Number of matched pairs."""
+        return sum(1 for b in self.bottom_of if b != self.UNMATCHED)
+
+    def free_tops(self) -> list[int]:
+        """Uncovered tops — ``free_M(T)`` in the paper's notation."""
+        return [t for t, b in enumerate(self.bottom_of)
+                if b == self.UNMATCHED]
+
+    def free_bottoms(self) -> list[int]:
+        """Uncovered bottoms — ``free_M(S)`` in the paper's notation."""
+        return [b for b, t in enumerate(self.top_of)
+                if t == self.UNMATCHED]
+
+    def pairs(self) -> list[tuple[int, int]]:
+        """All matched (top, bottom) pairs."""
+        return [(t, b) for t, b in enumerate(self.bottom_of)
+                if b != self.UNMATCHED]
+
+    def check(self, graph: BipartiteGraph) -> None:
+        """Verify this is a matching of ``graph`` (tests/debugging)."""
+        for top, bottom in self.pairs():
+            if bottom not in graph.adj[top]:
+                raise ValueError(
+                    f"matched pair ({top}, {bottom}) is not an edge")
+            if self.top_of[bottom] != top:
+                raise ValueError("matching arrays are out of sync")
+        for bottom, top in enumerate(self.top_of):
+            if top != self.UNMATCHED and self.bottom_of[top] != bottom:
+                raise ValueError("matching arrays are out of sync")

@@ -1,0 +1,64 @@
+"""Unit tests for the Jagadish DD heuristic."""
+
+from hypothesis import given
+
+from repro.baselines.jagadish import JagadishIndex, jagadish_chain_cover
+from repro.core.closure_cover import dag_width
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import chain_graph, sparse_random_dag
+
+from tests.conftest import all_pairs_oracle, small_dags
+
+
+class TestDecomposition:
+    def test_chain_graph_is_one_path(self):
+        cover = jagadish_chain_cover(chain_graph(5))
+        assert cover.num_chains == 1
+
+    def test_empty_graph(self):
+        assert jagadish_chain_cover(DiGraph()).num_chains == 0
+
+    def test_stitching_reduces_path_count(self):
+        # Two node-disjoint edge paths whose junction forces stitching:
+        # 0->1->2 and 3 with 2 ⇝ 3 via edge.
+        g = DiGraph.from_edges([(0, 1), (1, 2), (2, 3), (0, 3)])
+        cover = jagadish_chain_cover(g)
+        cover.check(g)
+        assert cover.num_chains == dag_width(g)
+
+    @given(small_dags())
+    def test_cover_is_valid_partition(self, g):
+        cover = jagadish_chain_cover(g)
+        cover.check(g)
+
+    @given(small_dags())
+    def test_chain_count_at_least_width(self, g):
+        assert jagadish_chain_cover(g).num_chains >= dag_width(g)
+
+    def test_usually_more_chains_than_minimum(self):
+        """The paper's premise: DD's chain count normally exceeds the
+        width.  Check the inflation is visible on Group-I graphs."""
+        total_dd = total_width = 0
+        for seed in range(5):
+            g = sparse_random_dag(200, 240, seed=seed)
+            total_dd += jagadish_chain_cover(g).num_chains
+            total_width += dag_width(g)
+        assert total_dd > total_width
+
+
+class TestIndex:
+    def test_paper_graph_queries(self, paper_graph):
+        index = JagadishIndex.build(paper_graph)
+        for (u, v), expected in all_pairs_oracle(paper_graph).items():
+            assert index.is_reachable(u, v) == expected
+
+    @given(small_dags())
+    def test_matches_oracle(self, g):
+        index = JagadishIndex.build(g)
+        for (u, v), expected in all_pairs_oracle(g).items():
+            assert index.is_reachable(u, v) == expected
+
+    def test_size_words_scales_with_chain_count(self, paper_graph):
+        index = JagadishIndex.build(paper_graph)
+        assert index.size_words() >= 2 * paper_graph.num_nodes
+        assert index.num_chains >= 3

@@ -1,0 +1,27 @@
+"""Unit tests for the online-traversal baseline."""
+
+from hypothesis import given
+
+from repro.baselines.traversal import TraversalIndex
+
+from tests.conftest import all_pairs_oracle, small_dags
+
+
+class TestTraversal:
+    def test_paper_graph(self, paper_graph):
+        index = TraversalIndex.build(paper_graph)
+        assert index.is_reachable("a", "e")
+        assert index.is_reachable("e", "e")
+        assert not index.is_reachable("e", "a")
+
+    def test_size_is_zero(self, paper_graph):
+        assert TraversalIndex.build(paper_graph).size_words() == 0
+
+    def test_name(self):
+        assert TraversalIndex.name == "traversal"
+
+    @given(small_dags())
+    def test_matches_oracle(self, g):
+        index = TraversalIndex.build(g)
+        for (u, v), expected in all_pairs_oracle(g).items():
+            assert index.is_reachable(u, v) == expected

@@ -1,0 +1,84 @@
+"""Unit tests for Chen's tree encoding (TE)."""
+
+from hypothesis import given
+
+from repro.baselines.tree_encoding import (
+    TreeEncodingIndex,
+    merge_pair_sequences,
+    spanning_branching_intervals,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import chain_graph
+
+from tests.conftest import all_pairs_oracle, small_dags
+
+
+class TestIntervals:
+    def test_tree_subtree_containment(self):
+        g = DiGraph.from_edges([(0, 1), (0, 2), (1, 3)])
+        pre, end = spanning_branching_intervals(g)
+        # Node 0's interval covers everything.
+        assert pre[0] == 0 and end[0] == 3
+        for v in range(1, 4):
+            assert pre[0] <= pre[v] <= end[0]
+
+    def test_forest_with_multiple_roots(self):
+        g = DiGraph.from_edges([(0, 1)], nodes=[2])
+        pre, end = spanning_branching_intervals(g)
+        assert sorted([pre[0], pre[1], pre[2]]) == [0, 1, 2]
+
+    @given(small_dags(min_nodes=1))
+    def test_every_node_gets_an_interval(self, g):
+        pre, end = spanning_branching_intervals(g)
+        assert sorted(pre) == list(range(g.num_nodes))
+        for v in range(g.num_nodes):
+            assert end[v] >= pre[v]
+
+
+class TestMerge:
+    def test_dominated_pairs_dropped(self):
+        merged = merge_pair_sequences([(0, 9), (2, 5), (1, 9), (3, 4)])
+        assert merged == [(0, 9)]
+
+    def test_incomparable_pairs_kept_sorted(self):
+        merged = merge_pair_sequences([(4, 5), (0, 1), (2, 3)])
+        assert merged == [(0, 1), (2, 3), (4, 5)]
+
+    def test_empty(self):
+        assert merge_pair_sequences([]) == []
+
+    def test_equal_starts_keep_largest_end(self):
+        assert merge_pair_sequences([(1, 3), (1, 7)]) == [(1, 7)]
+
+    def test_result_strictly_increasing_in_both_components(self):
+        merged = merge_pair_sequences(
+            [(0, 2), (1, 5), (1, 3), (4, 9), (5, 9)])
+        starts = [p for p, _ in merged]
+        ends = [q for _, q in merged]
+        assert starts == sorted(set(starts))
+        assert ends == sorted(set(ends))
+
+
+class TestIndex:
+    def test_paper_graph_queries(self, paper_graph):
+        index = TreeEncodingIndex.build(paper_graph)
+        for (u, v), expected in all_pairs_oracle(paper_graph).items():
+            assert index.is_reachable(u, v) == expected
+
+    @given(small_dags())
+    def test_matches_oracle(self, g):
+        index = TreeEncodingIndex.build(g)
+        for (u, v), expected in all_pairs_oracle(g).items():
+            assert index.is_reachable(u, v) == expected
+
+    def test_chain_graph_has_unit_sequences(self):
+        g = chain_graph(5)
+        index = TreeEncodingIndex.build(g)
+        for v in range(5):
+            assert index.sequence_length(v) == 1
+
+    def test_size_words(self):
+        g = chain_graph(3)
+        index = TreeEncodingIndex.build(g)
+        # 3 preorder numbers + 3 sequences of one pair (2 words each).
+        assert index.size_words() == 3 + 6

@@ -1,0 +1,61 @@
+"""Unit tests for the 2-hop cover baseline."""
+
+from hypothesis import given, settings
+
+from repro.baselines.two_hop import TwoHopIndex
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import chain_graph, random_dag
+
+from tests.conftest import all_pairs_oracle, small_dags
+
+
+class TestTwoHop:
+    def test_paper_graph_queries(self, paper_graph):
+        index = TwoHopIndex.build(paper_graph)
+        for (u, v), expected in all_pairs_oracle(paper_graph).items():
+            assert index.is_reachable(u, v) == expected
+
+    def test_empty_graph(self):
+        index = TwoHopIndex.build(DiGraph())
+        assert index.size_words() == 0
+
+    def test_single_node(self):
+        g = DiGraph()
+        g.add_node("x")
+        index = TwoHopIndex.build(g)
+        assert index.is_reachable("x", "x")
+
+    def test_chain_graph_labels_are_small(self):
+        # A single chain is covered by a handful of centers.
+        g = chain_graph(16)
+        index = TwoHopIndex.build(g)
+        assert index.size_words() < 16 * 16
+
+    def test_label_size_accessor(self, paper_graph):
+        index = TwoHopIndex.build(paper_graph)
+        out_size, in_size = index.label_size("a")
+        assert out_size >= 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_dags(max_nodes=10))
+    def test_matches_oracle(self, g):
+        index = TwoHopIndex.build(g)
+        for (u, v), expected in all_pairs_oracle(g).items():
+            assert index.is_reachable(u, v) == expected
+
+    def test_labels_sorted_for_merge_intersection(self):
+        g = random_dag(12, 0.3, seed=5)
+        index = TwoHopIndex.build(g)
+        for labels in list(index._cout) + list(index._cin):
+            assert list(labels) == sorted(labels)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_dags(max_nodes=8))
+    def test_naive_mode_is_equivalent(self, g):
+        """The exhaustive-greedy mode (the paper's cost profile) gives
+        the same answers as the lazy-greedy default."""
+        lazy = TwoHopIndex.build(g, lazy=True)
+        naive = TwoHopIndex.build(g, lazy=False)
+        for (u, v), expected in all_pairs_oracle(g).items():
+            assert lazy.is_reachable(u, v) == expected
+            assert naive.is_reachable(u, v) == expected

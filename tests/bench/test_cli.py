@@ -1,0 +1,30 @@
+"""Unit tests for the repro-bench command line."""
+
+import pytest
+
+from repro.bench.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.experiment == "table2"
+        assert args.scale == 1.0
+        assert args.out is None
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+
+class TestMain:
+    def test_prints_report(self, capsys):
+        assert main(["table2", "--scale", "0.03"]) == 0
+        out = capsys.readouterr().out
+        assert "DSG" in out
+
+    def test_writes_report_files(self, tmp_path, capsys):
+        assert main(["table5", "--scale", "0.03", "--out",
+                     str(tmp_path)]) == 0
+        assert (tmp_path / "table5.txt").exists()
+        capsys.readouterr()

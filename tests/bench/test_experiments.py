@@ -1,0 +1,38 @@
+"""Smoke tests: every experiment runs end-to-end at tiny scale."""
+
+import pytest
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+TINY = 0.03
+
+
+@pytest.mark.parametrize("name", sorted(ALL_EXPERIMENTS))
+def test_experiment_runs_and_reports(name):
+    report = ALL_EXPERIMENTS[name](scale=TINY)
+    assert isinstance(report, str)
+    assert report.strip()
+
+
+def test_table1_mentions_all_six_methods():
+    report = ALL_EXPERIMENTS["table1"](scale=TINY)
+    for method in ("ours", "DD", "TE", "Dual-II", "2-hop", "MM"):
+        assert method in report
+
+
+def test_tables_3_to_5_skip_two_hop():
+    for name in ("table3", "table4", "table5"):
+        report = ALL_EXPERIMENTS[name](scale=TINY)
+        assert "2-hop" not in report
+        assert "ours" in report
+
+
+def test_figures_have_ten_batch_sizes():
+    report = ALL_EXPERIMENTS["fig13"](scale=TINY)
+    # header + separator + 10 rows (+ title)
+    assert len(report.strip().splitlines()) == 13
+
+
+def test_table2_reports_both_graphs():
+    report = ALL_EXPERIMENTS["table2"](scale=TINY)
+    assert "DSG" in report and "DSRG" in report

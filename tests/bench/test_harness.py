@@ -1,0 +1,59 @@
+"""Unit tests for the benchmark runners."""
+
+from repro.bench.harness import (
+    build_all,
+    build_index,
+    random_queries,
+    run_query_series,
+    time_query_batch,
+)
+from repro.graph.generators import chain_graph, random_dag
+
+
+class TestBuild:
+    def test_build_index_records_size_and_time(self):
+        g = random_dag(30, 0.2, seed=1)
+        result = build_index("TE", g)
+        assert result.method == "TE"
+        assert result.size_words == result.index.size_words()
+        assert result.build_seconds >= 0.0
+
+    def test_build_all_covers_every_method(self):
+        g = random_dag(20, 0.2, seed=2)
+        methods = ["ours", "DD", "TE", "Dual-II", "MM"]
+        results = build_all(g, methods)
+        assert [r.method for r in results] == methods
+
+    def test_all_methods_agree_on_answers(self):
+        g = random_dag(25, 0.25, seed=3)
+        results = build_all(g, ["ours", "DD", "TE", "Dual-II", "MM",
+                                "2-hop", "traversal"])
+        queries = random_queries(g, 200, seed=4)
+        answers = [[r.index.is_reachable(s, t) for s, t in queries]
+                   for r in results]
+        for other in answers[1:]:
+            assert other == answers[0]
+
+
+class TestQueries:
+    def test_random_queries_deterministic(self):
+        g = chain_graph(10)
+        assert random_queries(g, 50, seed=9) == random_queries(g, 50,
+                                                               seed=9)
+
+    def test_random_queries_empty_graph(self):
+        from repro.graph.digraph import DiGraph
+        assert random_queries(DiGraph(), 10) == []
+
+    def test_time_query_batch_returns_seconds(self):
+        g = chain_graph(10)
+        index = build_index("MM", g).index
+        seconds = time_query_batch(index, random_queries(g, 100, seed=1))
+        assert seconds >= 0.0
+
+    def test_run_query_series_shape(self):
+        g = chain_graph(20)
+        index = build_index("ours", g).index
+        series = run_query_series(index, "ours", g, [10, 20, 30], seed=0)
+        assert series.counts == [10, 20, 30]
+        assert len(series.seconds) == 3

@@ -1,0 +1,28 @@
+"""Unit tests for bench timing/size primitives."""
+
+import time
+
+from repro.bench.metrics import BuildResult, QuerySeries, Timer
+
+
+class TestTimer:
+    def test_measures_elapsed_time(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.seconds >= 0.01
+
+    def test_zero_before_use(self):
+        assert Timer().seconds == 0.0
+
+
+class TestBuildResult:
+    def test_row_rounds_time(self):
+        result = BuildResult(method="ours", index=None,
+                             build_seconds=0.123456, size_words=42)
+        assert result.row() == ("ours", 42, 0.1235)
+
+
+class TestQuerySeries:
+    def test_defaults(self):
+        series = QuerySeries(method="TE", counts=[10, 20])
+        assert series.seconds == []

@@ -1,0 +1,44 @@
+"""Unit tests for paper-style report rendering."""
+
+from repro.bench.metrics import BuildResult, QuerySeries
+from repro.bench.reporting import (
+    render_build_table,
+    render_series,
+    render_table,
+    write_report,
+)
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        table = render_table("Title", ["a", "bbbb"], [(1, 2), (33, 4)])
+        lines = table.splitlines()
+        assert lines[0] == "Title"
+        assert "a" in lines[1] and "bbbb" in lines[1]
+        assert lines[2].startswith("-")
+        assert "33" in lines[4]
+
+    def test_build_table_has_paper_headers(self):
+        results = [BuildResult("ours", None, 1.23456, 999)]
+        table = render_build_table("Table X", results)
+        assert "size of data structures (16 bits)" in table
+        assert "time for generating TC (sec.)" in table
+        assert "1.235" in table and "999" in table
+
+    def test_series_layout(self):
+        series = [QuerySeries("ours", [10, 20], [0.1, 0.2]),
+                  QuerySeries("MM", [10, 20], [0.05, 0.1])]
+        table = render_series("Fig Y", series)
+        assert "queries" in table
+        assert "ours" in table and "MM" in table
+        assert "0.1000" in table
+
+    def test_empty_series(self):
+        assert "(no data)" in render_series("Fig Z", [])
+
+
+class TestWriteReport:
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "report.txt"
+        write_report(target, "hello\n")
+        assert target.read_text() == "hello\n"

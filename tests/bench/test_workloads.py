@@ -1,0 +1,68 @@
+"""Unit tests for the benchmark workload definitions."""
+
+from repro.bench.workloads import (
+    GROUP1_METHODS,
+    GROUP23_METHODS,
+    METHOD_BUILDERS,
+    QUERY_METHODS,
+    group1_graphs,
+    group2_dsg_graph,
+    group2_dsrg_graph,
+    group3_dense_graph,
+    query_counts,
+)
+from repro.graph.topology import is_dag
+
+
+class TestMethodRegistry:
+    def test_all_method_lists_are_registered(self):
+        for name in GROUP1_METHODS + GROUP23_METHODS + QUERY_METHODS:
+            assert name in METHOD_BUILDERS
+
+    def test_table1_has_six_methods(self):
+        assert len(GROUP1_METHODS) == 6
+        assert "2-hop" in GROUP1_METHODS
+
+    def test_tables_3_to_5_drop_two_hop(self):
+        assert "2-hop" not in GROUP23_METHODS
+        assert len(GROUP23_METHODS) == 5
+
+
+class TestWorkloads:
+    def test_group1_is_a_series_of_five_dags(self):
+        workloads = group1_graphs(scale=0.05)
+        assert len(workloads) == 5
+        for workload in workloads:
+            assert is_dag(workload.graph)
+        # The requested edge counts grow along the series (the actual
+        # counts wobble slightly after SCC collapsing).
+        requested = [int(w.label.split("e=")[1]) for w in workloads]
+        assert requested == sorted(requested)
+        assert len(set(requested)) == 5
+
+    def test_group2_graphs(self):
+        dsg = group2_dsg_graph(scale=0.1)
+        dsrg = group2_dsrg_graph(scale=0.1)
+        assert is_dag(dsg.graph) and is_dag(dsrg.graph)
+        assert "DSG" in dsg.label and "DSRG" in dsrg.label
+
+    def test_group3_density(self):
+        workload = group3_dense_graph(scale=0.5)
+        graph = workload.graph
+        density = graph.num_edges / graph.num_nodes ** 2
+        assert 0.2 < density < 0.3
+
+    def test_query_counts_scale(self):
+        counts = query_counts(scale=0.1)
+        assert len(counts) == 10
+        assert counts[0] * 10 == counts[-1]
+
+    def test_scale_changes_size(self):
+        small = group2_dsrg_graph(scale=0.1).graph
+        large = group2_dsrg_graph(scale=0.3).graph
+        assert large.num_nodes > small.num_nodes
+
+    def test_workloads_are_deterministic(self):
+        a = group3_dense_graph(scale=0.2).graph
+        b = group3_dense_graph(scale=0.2).graph
+        assert sorted(a.edges()) == sorted(b.edges())

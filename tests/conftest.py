@@ -1,0 +1,92 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.graph.digraph import DiGraph
+
+# ----------------------------------------------------------------------
+# the running example: Fig. 1(a) of the paper
+# ----------------------------------------------------------------------
+PAPER_FIG1_EDGES = [
+    ("a", "b"), ("a", "c"),
+    ("b", "c"), ("b", "i"),
+    ("c", "d"), ("c", "e"),
+    ("f", "b"), ("f", "g"),
+    ("g", "d"), ("g", "h"),
+    ("h", "e"), ("h", "i"),
+]
+
+
+@pytest.fixture
+def paper_graph() -> DiGraph:
+    """The DAG of the paper's Fig. 1(a); its width is 3."""
+    return DiGraph.from_edges(PAPER_FIG1_EDGES)
+
+
+# ----------------------------------------------------------------------
+# hypothesis strategies
+# ----------------------------------------------------------------------
+@st.composite
+def small_dags(draw, max_nodes: int = 14,
+               min_nodes: int = 0) -> DiGraph:
+    """A random DAG: forward edges over integer nodes 0..n-1."""
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    graph = DiGraph()
+    for v in range(n):
+        graph.add_node(v)
+    if n >= 2:
+        all_pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        edges = draw(st.sets(st.sampled_from(all_pairs)))
+        for tail, head in sorted(edges):
+            graph.add_edge(tail, head)
+    return graph
+
+
+@st.composite
+def small_digraphs(draw, max_nodes: int = 12,
+                   min_nodes: int = 0) -> DiGraph:
+    """A random digraph, cycles allowed."""
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    graph = DiGraph()
+    for v in range(n):
+        graph.add_node(v)
+    if n >= 2:
+        all_pairs = [(i, j) for i in range(n) for j in range(n) if i != j]
+        edges = draw(st.sets(st.sampled_from(all_pairs)))
+        for tail, head in sorted(edges):
+            graph.add_edge(tail, head)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# oracles
+# ----------------------------------------------------------------------
+def bfs_reachable(graph: DiGraph, source, target) -> bool:
+    """Independent reflexive-reachability oracle (pure BFS)."""
+    src = graph.node_id(source)
+    dst = graph.node_id(target)
+    if src == dst:
+        return True
+    seen = {src}
+    frontier = [src]
+    while frontier:
+        nxt = []
+        for v in frontier:
+            for w in graph.successor_ids(v):
+                if w == dst:
+                    return True
+                if w not in seen:
+                    seen.add(w)
+                    nxt.append(w)
+        frontier = nxt
+    return False
+
+
+def all_pairs_oracle(graph: DiGraph) -> dict[tuple, bool]:
+    """Reflexive reachability for every ordered node pair."""
+    nodes = graph.nodes()
+    return {(u, v): bfs_reachable(graph, u, v)
+            for u in nodes for v in nodes}

@@ -1,0 +1,67 @@
+"""Unit tests for the chain-decomposition model and its validators."""
+
+import pytest
+
+from repro.core.chains import ChainDecomposition
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import InvalidChainError
+
+
+@pytest.fixture
+def small_graph():
+    return DiGraph.from_edges([(0, 1), (1, 2), (0, 3)])
+
+
+class TestCoordinates:
+    def test_post_init_fills_coordinates(self):
+        dec = ChainDecomposition(chains=[[0, 1, 2], [3]])
+        assert dec.coordinate(0) == (0, 0)
+        assert dec.coordinate(2) == (0, 2)
+        assert dec.coordinate(3) == (1, 0)
+        assert dec.num_chains == 2
+        assert dec.num_nodes == 4
+
+    def test_as_node_chains(self, small_graph):
+        dec = ChainDecomposition(chains=[[0, 1, 2], [3]])
+        assert dec.as_node_chains(small_graph) == [[0, 1, 2], [3]]
+
+
+class TestValidation:
+    def test_valid_decomposition_passes(self, small_graph):
+        # 0 -> 1 -> 2 is a path; 3 alone.
+        ChainDecomposition(chains=[[0, 1, 2], [3]]).check(small_graph)
+
+    def test_closure_chain_is_valid(self, small_graph):
+        # 0 ⇝ 2 without a direct edge is still a valid chain step.
+        ChainDecomposition(chains=[[0, 2], [1], [3]]).check(small_graph)
+
+    def test_partition_rejects_duplicates(self, small_graph):
+        dec = ChainDecomposition(chains=[[0, 1], [1, 2], [3]])
+        with pytest.raises(InvalidChainError):
+            dec.check_partition(small_graph)
+
+    def test_partition_rejects_missing_nodes(self, small_graph):
+        dec = ChainDecomposition(chains=[[0, 1, 2]])
+        with pytest.raises(InvalidChainError, match="missing"):
+            dec.check_partition(small_graph)
+
+    def test_partition_rejects_empty_chain(self, small_graph):
+        dec = ChainDecomposition(chains=[[0, 1, 2, 3], []])
+        with pytest.raises(InvalidChainError, match="empty"):
+            dec.check_partition(small_graph)
+
+    def test_partition_rejects_out_of_range_ids(self, small_graph):
+        dec = ChainDecomposition(chains=[[0, 1, 2, 99]])
+        with pytest.raises(InvalidChainError):
+            dec.check_partition(small_graph)
+
+    def test_order_rejects_unreachable_step(self, small_graph):
+        # 3 does not reach 1.
+        dec = ChainDecomposition(chains=[[3, 1], [0], [2]])
+        with pytest.raises(InvalidChainError):
+            dec.check_order(small_graph)
+
+    def test_order_rejects_reversed_chain(self, small_graph):
+        dec = ChainDecomposition(chains=[[2, 1, 0], [3]])
+        with pytest.raises(InvalidChainError):
+            dec.check_order(small_graph)

@@ -1,0 +1,52 @@
+"""Unit and property tests for the exact (Fulkerson) chain cover."""
+
+from hypothesis import given
+
+from repro.core.closure_cover import (
+    closure_chain_cover,
+    closure_matching,
+    dag_width,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import antichain_graph, chain_graph
+
+from tests.conftest import small_dags
+
+
+class TestWidth:
+    def test_chain_has_width_one(self):
+        assert dag_width(chain_graph(7)) == 1
+
+    def test_antichain_has_width_n(self):
+        assert dag_width(antichain_graph(7)) == 7
+
+    def test_paper_graph_width_three(self, paper_graph):
+        assert dag_width(paper_graph) == 3
+
+    def test_empty_graph(self):
+        assert dag_width(DiGraph()) == 0
+
+    def test_diamond(self):
+        g = DiGraph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert dag_width(g) == 2
+
+
+class TestCover:
+    def test_cover_size_equals_width(self, paper_graph):
+        cover = closure_chain_cover(paper_graph)
+        assert cover.num_chains == 3
+        cover.check(paper_graph)
+
+    def test_empty_graph(self):
+        assert closure_chain_cover(DiGraph()).num_chains == 0
+
+    @given(small_dags())
+    def test_cover_is_valid_and_minimum(self, g):
+        cover = closure_chain_cover(g)
+        cover.check(g)
+        assert cover.num_chains == dag_width(g)
+
+    @given(small_dags())
+    def test_matching_size_consistency(self, g):
+        matching = closure_matching(g)
+        assert g.num_nodes - matching.size() == dag_width(g)

@@ -1,0 +1,139 @@
+"""Unit and property tests for the public ChainIndex."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.index import ChainIndex
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import NodeNotFoundError
+
+from tests.conftest import all_pairs_oracle, small_digraphs
+
+
+class TestBuildOptions:
+    def test_default_method_is_stratified(self, paper_graph):
+        index = ChainIndex.build(paper_graph)
+        assert index.method == "stratified"
+        assert index.stats is not None
+
+    def test_all_methods_agree(self, paper_graph):
+        oracle = all_pairs_oracle(paper_graph)
+        for method in ("stratified", "closure", "jagadish"):
+            index = ChainIndex.build(paper_graph, method=method)
+            for (u, v), expected in oracle.items():
+                assert index.is_reachable(u, v) == expected, (method, u, v)
+
+    def test_unknown_method_rejected(self, paper_graph):
+        with pytest.raises(ValueError, match="unknown method"):
+            ChainIndex.build(paper_graph, method="magic")
+
+    def test_check_flag(self, paper_graph):
+        ChainIndex.build(paper_graph, check=True)
+
+
+class TestQueries:
+    def test_reflexive_and_unknown_nodes(self, paper_graph):
+        index = ChainIndex.build(paper_graph)
+        assert index.is_reachable("a", "a")
+        with pytest.raises(NodeNotFoundError):
+            index.is_reachable("a", "nope")
+        with pytest.raises(NodeNotFoundError):
+            index.is_reachable("nope", "a")
+
+    def test_cyclic_graph_queries(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "c"), ("c", "a"),
+                                ("c", "d")])
+        index = ChainIndex.build(g)
+        assert index.is_reachable("a", "c")   # within the SCC
+        assert index.is_reachable("b", "d")   # SCC -> tail
+        assert not index.is_reachable("d", "a")
+        assert index.num_components == 2
+
+    @settings(max_examples=100)
+    @given(small_digraphs())
+    def test_cyclic_all_pairs_match_oracle(self, g):
+        index = ChainIndex.build(g)
+        oracle = all_pairs_oracle(g)
+        for (u, v), expected in oracle.items():
+            assert index.is_reachable(u, v) == expected, (u, v)
+
+
+class TestDescendants:
+    def test_paper_graph_descendants(self, paper_graph):
+        index = ChainIndex.build(paper_graph)
+        assert set(index.descendants("a")) == {"a", "b", "c", "d", "e",
+                                               "i"}
+        assert set(index.descendants("d")) == {"d"}
+
+    def test_cyclic_descendants_expand_components(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "a"), ("b", "c")])
+        index = ChainIndex.build(g)
+        assert set(index.descendants("a")) == {"a", "b", "c"}
+
+    def test_unknown_node_raises(self, paper_graph):
+        index = ChainIndex.build(paper_graph)
+        with pytest.raises(NodeNotFoundError):
+            list(index.descendants("nope"))
+
+    @given(small_digraphs(max_nodes=9))
+    def test_descendants_match_oracle(self, g):
+        index = ChainIndex.build(g)
+        oracle = all_pairs_oracle(g)
+        for u in g.nodes():
+            expected = {v for v in g.nodes() if oracle[(u, v)]}
+            got = list(index.descendants(u))
+            assert set(got) == expected
+            assert len(got) == len(expected)  # no duplicates
+
+
+class TestAncestors:
+    def test_paper_graph_ancestors(self, paper_graph):
+        index = ChainIndex.build(paper_graph)
+        assert set(index.ancestors("e")) == {"a", "b", "c", "e", "f",
+                                             "g", "h"}
+        assert set(index.ancestors("a")) == {"a"}
+
+    def test_cyclic_ancestors_expand_components(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "a"), ("c", "a")])
+        index = ChainIndex.build(g)
+        assert set(index.ancestors("b")) == {"a", "b", "c"}
+
+    def test_unknown_node_raises(self, paper_graph):
+        index = ChainIndex.build(paper_graph)
+        with pytest.raises(NodeNotFoundError):
+            list(index.ancestors("nope"))
+
+    @given(small_digraphs(max_nodes=9))
+    def test_ancestors_match_oracle(self, g):
+        index = ChainIndex.build(g)
+        oracle = all_pairs_oracle(g)
+        for v in g.nodes():
+            expected = {u for u in g.nodes() if oracle[(u, v)]}
+            got = list(index.ancestors(v))
+            assert set(got) == expected
+            assert len(got) == len(expected)  # no duplicates
+
+    @given(small_digraphs(max_nodes=8))
+    def test_ancestors_and_descendants_are_mutually_consistent(self, g):
+        index = ChainIndex.build(g)
+        for u in g.nodes():
+            for v in index.descendants(u):
+                assert u in set(index.ancestors(v))
+
+
+class TestIntrospection:
+    def test_width_and_chains(self, paper_graph):
+        index = ChainIndex.build(paper_graph)
+        assert index.width == index.num_chains == 3
+        chains = index.chains()
+        flattened = [n for chain in chains for members in chain
+                     for n in members]
+        assert sorted(flattened) == sorted(paper_graph.nodes())
+
+    def test_size_words_positive(self, paper_graph):
+        index = ChainIndex.build(paper_graph)
+        assert index.size_words() >= 2 * paper_graph.num_nodes
+
+    def test_repr(self, paper_graph):
+        index = ChainIndex.build(paper_graph)
+        assert "chains=3" in repr(index)

@@ -1,0 +1,133 @@
+"""Unit and property tests for the chain labels (Section II)."""
+
+from hypothesis import given, settings
+
+from repro.core.closure_cover import closure_chain_cover
+from repro.core.labeling import build_labeling, merge_index_sequences
+from repro.core.stratified import stratified_chain_cover
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import chain_graph
+
+from tests.conftest import all_pairs_oracle, small_dags
+
+
+class TestQuerySemantics:
+    def test_paper_graph_all_pairs(self, paper_graph):
+        cover = stratified_chain_cover(paper_graph)
+        labeling = build_labeling(paper_graph, cover)
+        oracle = all_pairs_oracle(paper_graph)
+        for (u, v), expected in oracle.items():
+            got = labeling.is_reachable_ids(paper_graph.node_id(u),
+                                            paper_graph.node_id(v))
+            assert got == expected, (u, v)
+
+    def test_reflexive(self):
+        g = DiGraph()
+        g.add_node(0)
+        labeling = build_labeling(g, closure_chain_cover(g))
+        assert labeling.is_reachable_ids(0, 0)
+
+    @settings(max_examples=120)
+    @given(small_dags())
+    def test_all_pairs_match_oracle(self, g):
+        labeling = build_labeling(g, stratified_chain_cover(g))
+        oracle = all_pairs_oracle(g)
+        for (u, v), expected in oracle.items():
+            assert labeling.is_reachable_ids(
+                g.node_id(u), g.node_id(v)) == expected
+
+    @given(small_dags())
+    def test_labels_agree_across_decomposition_methods(self, g):
+        a = build_labeling(g, stratified_chain_cover(g))
+        b = build_labeling(g, closure_chain_cover(g))
+        for u in range(g.num_nodes):
+            for v in range(g.num_nodes):
+                assert (a.is_reachable_ids(u, v)
+                        == b.is_reachable_ids(u, v))
+
+
+class TestSequences:
+    @given(small_dags())
+    def test_sequence_length_bounded_by_chain_count(self, g):
+        cover = stratified_chain_cover(g)
+        labeling = build_labeling(g, cover)
+        for v in range(g.num_nodes):
+            assert labeling.sequence_length(v) <= cover.num_chains
+
+    @given(small_dags())
+    def test_sequences_are_sorted_by_chain(self, g):
+        labeling = build_labeling(g, stratified_chain_cover(g))
+        for chains in labeling.sequence_chains:
+            assert list(chains) == sorted(chains)
+            assert len(set(chains)) == len(chains)
+
+    def test_sinks_have_empty_sequences(self, paper_graph):
+        labeling = build_labeling(paper_graph,
+                                  stratified_chain_cover(paper_graph))
+        for name in ("d", "e", "i"):
+            assert labeling.sequence_length(paper_graph.node_id(name)) == 0
+
+
+class TestPaperMerge:
+    """The literal Section-II pairwise merge."""
+
+    def test_disjoint_chains_interleave(self):
+        assert merge_index_sequences([(0, 3), (2, 1)], [(1, 5)]) == [
+            (0, 3), (1, 5), (2, 1)]
+
+    def test_shared_chain_keeps_smaller_position(self):
+        assert merge_index_sequences([(1, 4)], [(1, 2)]) == [(1, 2)]
+        assert merge_index_sequences([(1, 2)], [(1, 4)]) == [(1, 2)]
+
+    def test_empty_sides(self):
+        assert merge_index_sequences([], [(0, 1)]) == [(0, 1)]
+        assert merge_index_sequences([(0, 1)], []) == [(0, 1)]
+        assert merge_index_sequences([], []) == []
+
+    @given(small_dags())
+    def test_pairwise_merge_reproduces_build_labeling(self, g):
+        """Folding children's sequences with the paper's merge yields
+        exactly the sequences build_labeling computes."""
+        cover = stratified_chain_cover(g)
+        labeling = build_labeling(g, cover)
+        from repro.graph.topology import topological_order_ids
+        sequences: dict[int, list[tuple[int, int]]] = {}
+        for v in reversed(topological_order_ids(g)):
+            merged: list[tuple[int, int]] = []
+            for child in g.successor_ids(v):
+                child_own = [(cover.chain_of[child],
+                              cover.position_of[child])]
+                merged = merge_index_sequences(merged, child_own)
+                merged = merge_index_sequences(merged, sequences[child])
+            sequences[v] = merged
+        for v in range(g.num_nodes):
+            expected = list(zip(labeling.sequence_chains[v],
+                                labeling.sequence_positions[v]))
+            assert sequences[v] == expected
+
+
+class TestSizeAccounting:
+    def test_chain_graph_size(self):
+        g = chain_graph(4)
+        labeling = build_labeling(g, closure_chain_cover(g))
+        # 4 coordinates (2 words each) + 3 non-sink sequences of one
+        # entry each (2 words each).
+        assert labeling.size_words() == 8 + 6
+
+    def test_average_sequence_length(self):
+        g = chain_graph(4)
+        labeling = build_labeling(g, closure_chain_cover(g))
+        assert labeling.average_sequence_length() == 0.75
+
+    def test_empty_graph(self):
+        g = DiGraph()
+        labeling = build_labeling(g, closure_chain_cover(g))
+        assert labeling.size_words() == 0
+        assert labeling.average_sequence_length() == 0.0
+
+    @given(small_dags())
+    def test_size_is_o_of_bn(self, g):
+        cover = stratified_chain_cover(g)
+        labeling = build_labeling(g, cover)
+        bound = 2 * g.num_nodes * (cover.num_chains + 1)
+        assert labeling.size_words() <= bound

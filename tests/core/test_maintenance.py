@@ -1,0 +1,119 @@
+"""Unit and property tests for incremental maintenance."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.maintenance import DynamicChainIndex
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import NodeNotFoundError, NotADAGError
+
+from tests.conftest import all_pairs_oracle, small_dags
+
+
+class TestBasics:
+    def test_from_graph_rejects_cycles(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "a")])
+        with pytest.raises(NotADAGError):
+            DynamicChainIndex.from_graph(g)
+
+    def test_from_graph_copies_input(self, paper_graph):
+        index = DynamicChainIndex.from_graph(paper_graph)
+        index.add_node("new")
+        assert "new" not in paper_graph
+        assert index.num_nodes == paper_graph.num_nodes + 1
+
+    def test_initial_queries_match_static(self, paper_graph):
+        index = DynamicChainIndex.from_graph(paper_graph)
+        oracle = all_pairs_oracle(paper_graph)
+        for (u, v), expected in oracle.items():
+            assert index.is_reachable(u, v) == expected
+
+    def test_unknown_node_raises(self, paper_graph):
+        index = DynamicChainIndex.from_graph(paper_graph)
+        with pytest.raises(NodeNotFoundError):
+            index.is_reachable("a", "zz")
+
+
+class TestInsertions:
+    def test_add_node_starts_new_chain(self):
+        index = DynamicChainIndex.from_graph(DiGraph())
+        index.add_node("x")
+        index.add_node("y")
+        assert index.num_chains == 2
+        assert index.is_reachable("x", "x")
+        assert not index.is_reachable("x", "y")
+
+    def test_add_edge_updates_ancestors(self):
+        g = DiGraph.from_edges([("a", "b"), ("c", "d")])
+        index = DynamicChainIndex.from_graph(g)
+        assert not index.is_reachable("a", "d")
+        index.add_edge("b", "c")
+        assert index.is_reachable("a", "d")
+        assert index.is_reachable("a", "c")
+        assert not index.is_reachable("d", "a")
+
+    def test_cycle_creating_edge_rejected_and_state_unchanged(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "c")])
+        index = DynamicChainIndex.from_graph(g)
+        with pytest.raises(NotADAGError):
+            index.add_edge("c", "a")
+        assert not index.is_reachable("c", "a")
+        assert index.num_nodes == 3
+
+    def test_self_loop_is_noop(self):
+        g = DiGraph.from_edges([("a", "b")])
+        index = DynamicChainIndex.from_graph(g)
+        index.add_edge("a", "a")
+        assert index.is_reachable("a", "a")
+
+    def test_redundant_edge_changes_nothing(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "c")])
+        index = DynamicChainIndex.from_graph(g)
+        before = index.size_words()
+        index.add_edge("a", "c")  # already implied
+        assert index.is_reachable("a", "c")
+        assert index.size_words() == before
+
+    def test_rebuild_restores_minimum_chains(self):
+        index = DynamicChainIndex.from_graph(DiGraph())
+        for v in range(5):
+            index.add_node(v)
+        for v in range(4):
+            index.add_edge(v, v + 1)
+        assert index.num_chains == 5  # inserts never merge chains
+        index.rebuild()
+        assert index.num_chains == 1
+        assert index.is_reachable(0, 4)
+
+
+class TestPropertyBased:
+    @settings(max_examples=60, deadline=None)
+    @given(small_dags(max_nodes=10), st.randoms(use_true_random=False))
+    def test_incremental_build_matches_batch_oracle(self, g, rng):
+        """Insert a random DAG node-by-node / edge-by-edge and compare
+        all answers against the oracle after every few steps."""
+        index = DynamicChainIndex.from_graph(DiGraph())
+        partial = DiGraph()
+        for node in g.nodes():
+            index.add_node(node)
+            partial.add_node(node)
+        edges = list(g.edges())
+        rng.shuffle(edges)
+        for tail, head in edges:
+            index.add_edge(tail, head)
+            partial.add_edge(tail, head)
+        oracle = all_pairs_oracle(partial)
+        for (u, v), expected in oracle.items():
+            assert index.is_reachable(u, v) == expected, (u, v)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_dags(max_nodes=10))
+    def test_rebuild_preserves_answers(self, g):
+        index = DynamicChainIndex.from_graph(g)
+        oracle = all_pairs_oracle(g)
+        index.rebuild()
+        for (u, v), expected in oracle.items():
+            assert index.is_reachable(u, v) == expected

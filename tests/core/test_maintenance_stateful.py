@@ -1,0 +1,80 @@
+"""Stateful property testing of the dynamic index.
+
+Hypothesis drives a random interleaving of node insertions, edge
+insertions, rejected cycle attempts and rebuilds, holding a shadow
+graph; after every step the index must agree with the BFS oracle on a
+sample of pairs, and on all pairs at teardown.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core.maintenance import DynamicChainIndex
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import NotADAGError
+
+from tests.conftest import bfs_reachable
+
+
+class DynamicIndexMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.index = DynamicChainIndex.from_graph(DiGraph())
+        self.shadow = DiGraph()
+        self.next_label = 0
+
+    @rule()
+    def add_node(self):
+        self.index.add_node(self.next_label)
+        self.shadow.add_node(self.next_label)
+        self.next_label += 1
+
+    @rule(data=st.data())
+    def add_edge(self, data):
+        if self.next_label < 2:
+            return
+        tail = data.draw(st.integers(0, self.next_label - 1),
+                         label="tail")
+        head = data.draw(st.integers(0, self.next_label - 1),
+                         label="head")
+        if tail == head or self.shadow.has_edge(tail, head):
+            return
+        creates_cycle = bfs_reachable(self.shadow, head, tail)
+        if creates_cycle:
+            try:
+                self.index.add_edge(tail, head)
+            except NotADAGError:
+                return
+            raise AssertionError("cycle-creating edge was accepted")
+        self.index.add_edge(tail, head)
+        self.shadow.add_edge(tail, head)
+
+    @rule()
+    def rebuild(self):
+        self.index.rebuild()
+
+    @invariant()
+    def spot_check_against_oracle(self):
+        nodes = self.shadow.nodes()
+        for u in nodes[:4]:
+            for v in nodes[-4:]:
+                assert (self.index.is_reachable(u, v)
+                        == bfs_reachable(self.shadow, u, v)), (u, v)
+
+    def teardown(self):
+        nodes = self.shadow.nodes()
+        for u in nodes:
+            for v in nodes:
+                assert (self.index.is_reachable(u, v)
+                        == bfs_reachable(self.shadow, u, v)), (u, v)
+
+
+DynamicIndexMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None)
+TestDynamicIndexMachine = DynamicIndexMachine.TestCase

@@ -1,0 +1,103 @@
+"""Unit and property tests for index persistence."""
+
+import io
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.index import ChainIndex
+from repro.core.persistence import load_index, save_index
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import GraphFormatError
+
+from tests.conftest import all_pairs_oracle, small_digraphs
+
+
+class TestRoundTrip:
+    def test_file_round_trip(self, paper_graph, tmp_path):
+        index = ChainIndex.build(paper_graph)
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        loaded = load_index(path)
+        oracle = all_pairs_oracle(paper_graph)
+        for (u, v), expected in oracle.items():
+            assert loaded.is_reachable(u, v) == expected
+        assert loaded.num_chains == index.num_chains
+        assert loaded.method == index.method
+
+    def test_handle_round_trip(self, paper_graph):
+        index = ChainIndex.build(paper_graph)
+        buffer = io.StringIO()
+        save_index(index, buffer)
+        buffer.seek(0)
+        loaded = load_index(buffer)
+        assert loaded.is_reachable("a", "e")
+
+    def test_descendants_and_ancestors_survive(self, paper_graph):
+        index = ChainIndex.build(paper_graph)
+        buffer = io.StringIO()
+        save_index(index, buffer)
+        buffer.seek(0)
+        loaded = load_index(buffer)
+        assert set(loaded.descendants("a")) == set(index.descendants("a"))
+        assert set(loaded.ancestors("e")) == set(index.ancestors("e"))
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_digraphs(max_nodes=10))
+    def test_cyclic_graphs_round_trip(self, g):
+        index = ChainIndex.build(g)
+        buffer = io.StringIO()
+        save_index(index, buffer)
+        buffer.seek(0)
+        loaded = load_index(buffer)
+        for (u, v), expected in all_pairs_oracle(g).items():
+            assert loaded.is_reachable(u, v) == expected
+
+
+class TestValidation:
+    def test_non_scalar_labels_rejected(self):
+        g = DiGraph.from_edges([((1, 2), "b")])
+        index = ChainIndex.build(g)
+        with pytest.raises(GraphFormatError, match="JSON"):
+            save_index(index, io.StringIO())
+
+    def test_garbage_rejected(self):
+        with pytest.raises(GraphFormatError, match="JSON"):
+            load_index(io.StringIO("not json"))
+
+    def test_wrong_format_marker(self):
+        with pytest.raises(GraphFormatError, match="chain-index"):
+            load_index(io.StringIO('{"format": "something-else"}'))
+
+    def test_wrong_version(self, paper_graph):
+        index = ChainIndex.build(paper_graph)
+        buffer = io.StringIO()
+        save_index(index, buffer)
+        document = json.loads(buffer.getvalue())
+        document["version"] = 99
+        with pytest.raises(GraphFormatError, match="version"):
+            load_index(io.StringIO(json.dumps(document)))
+
+    def test_missing_field(self):
+        document = {"format": "repro-chain-index", "version": 1}
+        with pytest.raises(GraphFormatError, match="missing"):
+            load_index(io.StringIO(json.dumps(document)))
+
+    def test_corrupted_chains_rejected(self, paper_graph):
+        index = ChainIndex.build(paper_graph)
+        buffer = io.StringIO()
+        save_index(index, buffer)
+        document = json.loads(buffer.getvalue())
+        document["chains"][0] = document["chains"][0][:-1]  # drop a node
+        with pytest.raises(GraphFormatError, match="partition"):
+            load_index(io.StringIO(json.dumps(document)))
+
+    def test_ragged_sequences_rejected(self, paper_graph):
+        index = ChainIndex.build(paper_graph)
+        buffer = io.StringIO()
+        save_index(index, buffer)
+        document = json.loads(buffer.getvalue())
+        document["labeling"]["sequence_positions"][0] = [1, 2, 3, 4, 5]
+        with pytest.raises(GraphFormatError):
+            load_index(io.StringIO(json.dumps(document)))

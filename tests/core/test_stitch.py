@@ -1,0 +1,54 @@
+"""Unit tests for the tail-to-head stitching pass."""
+
+from hypothesis import given
+
+from repro.core.chains import ChainDecomposition
+from repro.core.closure_cover import closure_chain_cover, dag_width
+from repro.core.stitch import stitch_chains
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import chain_graph
+
+from tests.conftest import small_dags
+
+
+class TestStitching:
+    def test_merges_singleton_chains_along_a_path(self):
+        g = chain_graph(4)
+        fragmented = ChainDecomposition(chains=[[0], [1], [2], [3]])
+        stitched = stitch_chains(g, fragmented)
+        stitched.check(g)
+        assert stitched.num_chains == 1
+
+    def test_merges_through_closure_not_just_edges(self):
+        g = DiGraph.from_edges([(0, 1), (1, 2)])
+        fragmented = ChainDecomposition(chains=[[0], [2], [1]])
+        stitched = stitch_chains(g, fragmented)
+        stitched.check(g)
+        assert stitched.num_chains == 1
+
+    def test_no_merge_possible_returns_input(self):
+        g = DiGraph()
+        for v in range(3):
+            g.add_node(v)
+        dec = ChainDecomposition(chains=[[0], [1], [2]])
+        assert stitch_chains(g, dec) is dec
+
+    def test_single_chain_is_untouched(self):
+        g = chain_graph(3)
+        dec = ChainDecomposition(chains=[[0, 1, 2]])
+        assert stitch_chains(g, dec) is dec
+
+    @given(small_dags(min_nodes=1))
+    def test_stitching_singletons_stays_valid_and_never_worse(self, g):
+        singletons = ChainDecomposition(
+            chains=[[v] for v in range(g.num_nodes)])
+        stitched = stitch_chains(g, singletons)
+        stitched.check(g)
+        assert stitched.num_chains <= g.num_nodes
+        assert stitched.num_chains >= dag_width(g)
+
+    @given(small_dags())
+    def test_stitching_an_optimal_cover_cannot_improve_it(self, g):
+        optimal = closure_chain_cover(g)
+        stitched = stitch_chains(g, optimal)
+        assert stitched.num_chains == optimal.num_chains

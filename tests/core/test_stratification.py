@@ -1,0 +1,101 @@
+"""Unit tests for the DAG stratification (Section III.A)."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.stratification import stratify
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import NotADAGError
+from repro.graph.generators import chain_graph, systematic_dag
+
+from tests.conftest import small_dags
+
+
+class TestPaperExample:
+    def test_fig2_levels(self, paper_graph):
+        """Fig. 2: V1={d,e,i}, V2={c,h}, V3={b,g}, V4={a,f}."""
+        strat = stratify(paper_graph)
+        named = [{paper_graph.node_at(v) for v in level}
+                 for level in strat.levels]
+        assert named == [{"d", "e", "i"}, {"c", "h"}, {"b", "g"},
+                         {"a", "f"}]
+        assert strat.height == 4
+
+    def test_fig2_child_links(self, paper_graph):
+        """Fig. 2's C-sets, e.g. C1(c) = {d, e} and C2(b) = {c}."""
+        strat = stratify(paper_graph)
+        c = paper_graph.node_id("c")
+        b = paper_graph.node_id("b")
+        by_name = lambda ids: {paper_graph.node_at(v) for v in ids}
+        assert by_name(strat.children_by_level[c][1]) == {"d", "e"}
+        assert by_name(strat.children_by_level[b][2]) == {"c"}
+        assert by_name(strat.children_by_level[b][1]) == {"i"}
+
+    def test_parent_links_mirror_child_links(self, paper_graph):
+        strat = stratify(paper_graph)
+        for v in range(paper_graph.num_nodes):
+            for level, children in strat.children_by_level[v].items():
+                for child in children:
+                    parents = strat.parents_by_level[child][
+                        strat.level_of[v]]
+                    assert v in parents
+
+
+class TestStructure:
+    def test_empty_graph(self):
+        strat = stratify(DiGraph())
+        assert strat.levels == []
+        assert strat.height == 0
+
+    def test_antichain_is_single_level(self):
+        g = DiGraph()
+        for v in range(5):
+            g.add_node(v)
+        strat = stratify(g)
+        assert strat.height == 1
+        assert sorted(strat.levels[0]) == list(range(5))
+
+    def test_chain_levels(self):
+        g = chain_graph(6)
+        strat = stratify(g)
+        assert strat.height == 6
+        assert all(len(level) == 1 for level in strat.levels)
+        # node 5 is the sink -> level 1; node 0 the root -> level 6
+        assert strat.level_of[g.node_id(5)] == 1
+        assert strat.level_of[g.node_id(0)] == 6
+
+    def test_one_based_level_accessor(self, paper_graph):
+        strat = stratify(paper_graph)
+        assert strat.level(1) == strat.levels[0]
+
+    def test_cycle_rejected(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "a")])
+        with pytest.raises(NotADAGError):
+            stratify(g)
+
+    def test_dsg_height(self):
+        g = systematic_dag(num_roots=10, num_levels=5, seed=0)
+        assert stratify(g).height == 5
+
+
+class TestInvariants:
+    @given(small_dags())
+    def test_stratification_invariants(self, g):
+        strat = stratify(g)
+        strat.check(g)
+
+    @given(small_dags(min_nodes=1))
+    def test_level_one_is_exactly_the_sinks(self, g):
+        strat = stratify(g)
+        sinks = {v for v in range(g.num_nodes)
+                 if not g.successor_ids(v)}
+        assert set(strat.levels[0]) == sinks
+
+    @given(small_dags(min_nodes=1))
+    def test_every_nonsink_has_child_one_level_down(self, g):
+        strat = stratify(g)
+        for v in range(g.num_nodes):
+            if g.successor_ids(v):
+                child_levels = {strat.level_of[w]
+                                for w in g.successor_ids(v)}
+                assert strat.level_of[v] - 1 in child_levels

@@ -1,0 +1,146 @@
+"""Unit and property tests for the paper's stratified chain cover."""
+
+from hypothesis import given, settings
+
+from repro.core.closure_cover import dag_width
+from repro.core.stratified import (
+    stratified_chain_cover,
+    stratified_chain_cover_with_stats,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    antichain_graph,
+    chain_graph,
+    dense_dag,
+    layered_random_dag,
+    semi_random_dag,
+    sparse_random_dag,
+    systematic_dag,
+)
+
+from tests.conftest import small_dags
+
+
+class TestPaperExamples:
+    def test_fig1_gives_three_chains(self, paper_graph):
+        """Fig. 1(c)/Fig. 6(e): the example decomposes into 3 chains."""
+        cover = stratified_chain_cover(paper_graph)
+        cover.check(paper_graph)
+        assert cover.num_chains == 3
+
+    def test_fig1_virtual_nodes_are_constructed(self, paper_graph):
+        """Example 2 builds a virtual node for the free node e whose
+        s-edges come from parents {b, g} of the covered parents."""
+        _, stats = stratified_chain_cover_with_stats(paper_graph)
+        assert stats.num_virtuals >= 1
+        assert stats.num_s_edges >= 1
+        assert stats.splits == 0
+
+
+class TestDegenerateShapes:
+    def test_empty_graph(self):
+        assert stratified_chain_cover(DiGraph()).num_chains == 0
+
+    def test_single_node(self):
+        g = DiGraph()
+        g.add_node("x")
+        cover = stratified_chain_cover(g)
+        assert cover.chains == [[0]]
+
+    def test_chain_is_one_chain(self):
+        cover = stratified_chain_cover(chain_graph(8))
+        assert cover.num_chains == 1
+
+    def test_antichain_is_all_singletons(self):
+        cover = stratified_chain_cover(antichain_graph(6))
+        assert cover.num_chains == 6
+
+    def test_diamond(self):
+        g = DiGraph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+        cover = stratified_chain_cover(g)
+        cover.check(g)
+        assert cover.num_chains == 2
+
+    def test_skip_level_edge_needs_virtual_node(self):
+        # 0 -> 1 -> 2 and 3 -> 2: plus 4 -> 0 at the top with an edge
+        # to the level-1 node 5; 5's only parent is two levels up.
+        g = DiGraph.from_edges([(0, 1), (1, 2), (3, 2), (4, 0), (4, 5)])
+        cover = stratified_chain_cover(g)
+        cover.check(g)
+        assert cover.num_chains == dag_width(g)
+
+
+class TestMinimalityAndSoundness:
+    @settings(max_examples=150)
+    @given(small_dags())
+    def test_cover_is_valid(self, g):
+        cover = stratified_chain_cover(g)
+        cover.check(g)
+
+    @settings(max_examples=150)
+    @given(small_dags())
+    def test_chain_count_bounds(self, g):
+        """Dilworth lower bound always; exact width unless a split
+        survived (the residual of the paper's level-local matching —
+        see the module docstring of repro/core/stratified.py)."""
+        cover, stats = stratified_chain_cover_with_stats(g)
+        width = dag_width(g)
+        assert cover.num_chains >= width
+        assert cover.num_chains <= width + stats.splits
+
+    @settings(max_examples=60)
+    @given(small_dags(max_nodes=10))
+    def test_small_graphs_are_exactly_minimum(self, g):
+        """On graphs this small the cover is reliably minimum."""
+        cover, stats = stratified_chain_cover_with_stats(g)
+        if stats.splits == 0:
+            assert cover.num_chains == dag_width(g)
+
+
+class TestBenchmarkFamilies:
+    """The paper's graph families come out exactly minimum."""
+
+    def test_dsg(self):
+        g = systematic_dag(20, 5, seed=3)
+        cover, stats = stratified_chain_cover_with_stats(g)
+        cover.check(g)
+        assert cover.num_chains == dag_width(g)
+
+    def test_dsrg(self):
+        g = semi_random_dag(300, 150, seed=2)
+        cover = stratified_chain_cover(g)
+        cover.check(g)
+        assert cover.num_chains == dag_width(g)
+
+    def test_dense(self):
+        g = dense_dag(80, 0.25, seed=4)
+        cover = stratified_chain_cover(g)
+        cover.check(g)
+        assert cover.num_chains == dag_width(g)
+
+    def test_layered(self):
+        g = layered_random_dag([5, 8, 6, 9, 4, 7], 0.3, seed=1)
+        cover = stratified_chain_cover(g)
+        cover.check(g)
+        assert cover.num_chains == dag_width(g)
+
+    def test_sparse_gap_is_tiny(self):
+        g = sparse_random_dag(400, 450, seed=5)
+        cover = stratified_chain_cover(g)
+        cover.check(g)
+        width = dag_width(g)
+        assert width <= cover.num_chains <= width + max(2, width // 20)
+
+
+class TestStats:
+    def test_stats_fields_populated(self, paper_graph):
+        _, stats = stratified_chain_cover_with_stats(paper_graph)
+        assert stats.num_levels == 4
+        assert stats.num_virtuals >= 1
+
+    def test_no_virtuals_on_perfect_layering(self):
+        # A complete bipartite two-level DAG needs no virtual nodes.
+        g = DiGraph.from_edges([(i, j + 3) for i in range(3)
+                                for j in range(3)])
+        _, stats = stratified_chain_cover_with_stats(g)
+        assert stats.num_virtuals == 0

@@ -1,0 +1,72 @@
+"""Unit tests for the virtual-node registry and level records."""
+
+from repro.core.virtual_nodes import LevelMatching, VirtualRegistry
+from repro.matching.bipartite import BipartiteGraph, Matching
+
+
+class TestVirtualRegistry:
+    def test_ids_start_after_real_nodes(self):
+        registry = VirtualRegistry(num_real=5)
+        first = registry.create(level=2, for_node=3, direct_tops=[],
+                                s_tops=[], support=())
+        second = registry.create(level=3, for_node=first.ext_id,
+                                 direct_tops=[], s_tops=[], support=())
+        assert first.ext_id == 5
+        assert second.ext_id == 6
+        assert len(registry) == 2
+
+    def test_is_virtual(self):
+        registry = VirtualRegistry(num_real=3)
+        virtual = registry.create(level=2, for_node=0, direct_tops=[],
+                                  s_tops=[], support=())
+        assert not registry.is_virtual(2)
+        assert registry.is_virtual(virtual.ext_id)
+
+    def test_base_follows_towers(self):
+        registry = VirtualRegistry(num_real=4)
+        v1 = registry.create(level=2, for_node=1, direct_tops=[],
+                             s_tops=[], support=())
+        v2 = registry.create(level=3, for_node=v1.ext_id, direct_tops=[],
+                             s_tops=[], support=())
+        assert registry.base_of(1) == 1
+        assert registry.base_of(v1.ext_id) == 1
+        assert registry.base_of(v2.ext_id) == 1
+
+    def test_at_level(self):
+        registry = VirtualRegistry(num_real=2)
+        registry.create(level=2, for_node=0, direct_tops=[], s_tops=[],
+                        support=())
+        registry.create(level=3, for_node=1, direct_tops=[], s_tops=[],
+                        support=())
+        assert len(registry.at_level(2)) == 1
+        assert registry.at_level(4) == []
+
+    def test_adjacent_tops_concatenates_kinds(self):
+        registry = VirtualRegistry(num_real=2)
+        virtual = registry.create(level=2, for_node=0,
+                                  direct_tops=[7], s_tops=[8, 9],
+                                  support=(3,))
+        assert virtual.adjacent_tops == [7, 8, 9]
+
+
+class TestLevelMatching:
+    def _record(self):
+        bipartite = BipartiteGraph.from_edges(2, 2, [(0, 0), (1, 1)])
+        matching = Matching(2, 2)
+        matching.match(0, 0)
+        return LevelMatching(
+            level=1, tops=[10, 11], bottoms=[20, 21],
+            top_index={10: 0, 11: 1}, bottom_index={20: 0, 21: 1},
+            bipartite=bipartite, matching=matching,
+            reverse_adj=[[0], [1]])
+
+    def test_matched_top_lookup(self):
+        record = self._record()
+        assert record.matched_top_of_bottom(20) == 10
+        assert record.matched_top_of_bottom(21) is None
+
+    def test_unmatch_bottom(self):
+        record = self._record()
+        record.unmatch_bottom(20)
+        assert record.matched_top_of_bottom(20) is None
+        record.unmatch_bottom(20)  # idempotent

@@ -1,0 +1,39 @@
+"""Unit and property tests for maximum-antichain extraction."""
+
+from hypothesis import given
+
+from repro.core.width import dag_width, maximum_antichain
+from repro.graph.closure import descendants_bitsets
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import antichain_graph, chain_graph
+
+from tests.conftest import small_dags
+
+
+class TestMaximumAntichain:
+    def test_chain_gives_single_node(self):
+        assert len(maximum_antichain(chain_graph(5))) == 1
+
+    def test_antichain_gives_everything(self):
+        assert sorted(maximum_antichain(antichain_graph(4))) == [0, 1, 2, 3]
+
+    def test_paper_graph(self, paper_graph):
+        antichain = maximum_antichain(paper_graph)
+        assert len(antichain) == 3
+
+    def test_empty_graph(self):
+        assert maximum_antichain(DiGraph()) == []
+
+    @given(small_dags())
+    def test_size_equals_width(self, g):
+        assert len(maximum_antichain(g)) == dag_width(g)
+
+    @given(small_dags())
+    def test_members_are_pairwise_incomparable(self, g):
+        antichain = maximum_antichain(g)
+        reach = descendants_bitsets(g)
+        ids = [g.node_id(v) for v in antichain]
+        for u in ids:
+            for v in ids:
+                if u != v:
+                    assert not (reach[u] >> v) & 1

@@ -1,0 +1,27 @@
+"""Unit tests for the bit-vector helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.bits import bits_to_list, iter_bits
+
+
+def test_zero_has_no_bits():
+    assert list(iter_bits(0)) == []
+
+
+def test_known_value():
+    assert bits_to_list(0b101001) == [0, 3, 5]
+
+
+@given(st.sets(st.integers(min_value=0, max_value=200)))
+def test_round_trip(positions):
+    value = 0
+    for p in positions:
+        value |= 1 << p
+    assert bits_to_list(value) == sorted(positions)
+
+
+@given(st.integers(min_value=0, max_value=2 ** 128))
+def test_count_matches_bit_count(value):
+    assert len(bits_to_list(value)) == value.bit_count()

@@ -1,0 +1,94 @@
+"""Unit tests for the bitset transitive closure."""
+
+import networkx as nx
+import pytest
+from hypothesis import given
+
+from repro.graph.closure import (
+    ancestors_bitsets,
+    count_closure_edges,
+    descendants_bitsets,
+    reachable,
+    transitive_closure_pairs,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import NotADAGError
+
+from tests.conftest import bfs_reachable, small_dags
+
+
+def to_networkx(graph: DiGraph) -> nx.DiGraph:
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(graph.nodes())
+    nxg.add_edges_from(graph.edges())
+    return nxg
+
+
+class TestDescendants:
+    def test_paper_graph_examples(self, paper_graph):
+        bits = descendants_bitsets(paper_graph)
+        a = paper_graph.node_id("a")
+        e = paper_graph.node_id("e")
+        assert (bits[a] >> e) & 1
+        assert not (bits[e] >> a) & 1
+
+    def test_reflexive_flag(self):
+        g = DiGraph.from_edges([("a", "b")])
+        strict = descendants_bitsets(g)
+        reflexive = descendants_bitsets(g, reflexive=True)
+        a = g.node_id("a")
+        assert not (strict[a] >> a) & 1
+        assert (reflexive[a] >> a) & 1
+
+    def test_rejects_cycles(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "a")])
+        with pytest.raises(NotADAGError):
+            descendants_bitsets(g)
+
+    @given(small_dags())
+    def test_matches_networkx_closure(self, g):
+        ours = transitive_closure_pairs(g)
+        theirs = set(nx.transitive_closure(to_networkx(g)).edges())
+        assert ours == theirs
+
+
+class TestAncestors:
+    @given(small_dags())
+    def test_ancestors_mirror_descendants(self, g):
+        desc = descendants_bitsets(g)
+        anc = ancestors_bitsets(g)
+        n = g.num_nodes
+        for u in range(n):
+            for v in range(n):
+                assert ((desc[u] >> v) & 1) == ((anc[v] >> u) & 1)
+
+    def test_reflexive_flag(self):
+        g = DiGraph.from_edges([("a", "b")])
+        bits = ancestors_bitsets(g, reflexive=True)
+        b = g.node_id("b")
+        assert (bits[b] >> b) & 1
+
+
+class TestReachable:
+    def test_reflexive(self):
+        g = DiGraph()
+        g.add_node("x")
+        assert reachable(g, "x", "x")
+
+    @given(small_dags(min_nodes=1))
+    def test_agrees_with_oracle(self, g):
+        nodes = g.nodes()
+        for u in nodes[:5]:
+            for v in nodes[:5]:
+                assert reachable(g, u, v) == bfs_reachable(g, u, v)
+
+
+class TestCount:
+    def test_chain_count(self):
+        g = DiGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+        # pairs: (0,1),(0,2),(0,3),(1,2),(1,3),(2,3)
+        assert count_closure_edges(g) == 6
+
+    @given(small_dags())
+    def test_count_matches_pairs(self, g):
+        assert count_closure_edges(g) == len(transitive_closure_pairs(g))

@@ -1,0 +1,149 @@
+"""Unit tests for the DiGraph substrate."""
+
+import pytest
+from hypothesis import given
+
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import (
+    DuplicateNodeError,
+    EdgeExistsError,
+    NodeNotFoundError,
+)
+
+from tests.conftest import small_digraphs
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = DiGraph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+        assert len(g) == 0
+
+    def test_add_node_returns_dense_ids_in_order(self):
+        g = DiGraph()
+        assert g.add_node("x") == 0
+        assert g.add_node("y") == 1
+        assert g.node_at(0) == "x"
+        assert g.node_id("y") == 1
+
+    def test_duplicate_node_rejected(self):
+        g = DiGraph()
+        g.add_node("x")
+        with pytest.raises(DuplicateNodeError):
+            g.add_node("x")
+
+    def test_ensure_node_is_idempotent(self):
+        g = DiGraph()
+        first = g.ensure_node("x")
+        second = g.ensure_node("x")
+        assert first == second
+        assert g.num_nodes == 1
+
+    def test_add_edge_requires_existing_nodes(self):
+        g = DiGraph()
+        g.add_node("x")
+        with pytest.raises(NodeNotFoundError):
+            g.add_edge("x", "missing")
+
+    def test_duplicate_edge_rejected(self):
+        g = DiGraph.from_edges([("a", "b")])
+        with pytest.raises(EdgeExistsError):
+            g.add_edge("a", "b")
+
+    def test_self_loop_is_a_noop(self):
+        g = DiGraph()
+        g.add_node("x")
+        g.add_edge("x", "x")
+        assert g.num_edges == 0
+
+    def test_from_edges_dedupes_and_adds_isolated_nodes(self):
+        g = DiGraph.from_edges([("a", "b"), ("a", "b"), ("c", "c")],
+                               nodes=["z"])
+        assert g.num_edges == 1
+        assert "z" in g
+        assert "c" in g
+
+    def test_mixed_hashable_node_types(self):
+        g = DiGraph.from_edges([((1, 2), "str"), ("str", 42)])
+        assert g.has_edge((1, 2), "str")
+        assert g.has_edge("str", 42)
+
+
+class TestQueries:
+    def test_successors_and_predecessors(self):
+        g = DiGraph.from_edges([("a", "b"), ("a", "c"), ("b", "c")])
+        assert sorted(g.successors("a")) == ["b", "c"]
+        assert sorted(g.predecessors("c")) == ["a", "b"]
+        assert g.out_degree("a") == 2
+        assert g.in_degree("c") == 2
+
+    def test_has_edge_on_unknown_nodes_is_false(self):
+        g = DiGraph.from_edges([("a", "b")])
+        assert not g.has_edge("a", "zzz")
+        assert not g.has_edge("zzz", "b")
+
+    def test_has_edge_ids(self):
+        g = DiGraph.from_edges([("a", "b")])
+        assert g.has_edge_ids(g.node_id("a"), g.node_id("b"))
+        assert not g.has_edge_ids(g.node_id("b"), g.node_id("a"))
+
+    def test_node_id_raises_on_unknown(self):
+        g = DiGraph()
+        with pytest.raises(NodeNotFoundError):
+            g.node_id("nope")
+
+    def test_iteration_and_contains(self):
+        g = DiGraph.from_edges([("a", "b")])
+        assert set(g) == {"a", "b"}
+        assert "a" in g and "q" not in g
+
+    def test_repr_mentions_sizes(self):
+        g = DiGraph.from_edges([("a", "b")])
+        assert "nodes=2" in repr(g)
+        assert "edges=1" in repr(g)
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        g = DiGraph.from_edges([("a", "b")])
+        h = g.copy()
+        h.ensure_node("c")
+        h.add_edge("b", "c")
+        assert g.num_nodes == 2
+        assert h.num_edges == 2
+        assert g.num_edges == 1
+
+    def test_reversed_flips_every_edge(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "c")])
+        r = g.reversed()
+        assert r.has_edge("b", "a")
+        assert r.has_edge("c", "b")
+        assert r.num_edges == g.num_edges
+
+    def test_subgraph_induces_edges(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+        s = g.subgraph(["a", "c"])
+        assert s.num_nodes == 2
+        assert s.has_edge("a", "c")
+        assert not s.has_edge("a", "b")
+
+    def test_subgraph_unknown_node_raises(self):
+        g = DiGraph.from_edges([("a", "b")])
+        with pytest.raises(NodeNotFoundError):
+            g.subgraph(["a", "nope"])
+
+    @given(small_digraphs())
+    def test_double_reverse_roundtrips(self, g):
+        rr = g.reversed().reversed()
+        assert sorted(map(tuple, rr.edges())) == sorted(
+            map(tuple, g.edges()))
+        assert rr.num_edges == g.num_edges
+
+    @given(small_digraphs())
+    def test_copy_preserves_structure(self, g):
+        h = g.copy()
+        assert sorted(map(tuple, h.edges())) == sorted(
+            map(tuple, g.edges()))
+        assert h.nodes() == g.nodes()

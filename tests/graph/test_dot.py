@@ -1,0 +1,54 @@
+"""Unit tests for Graphviz DOT export."""
+
+from repro.core.stratification import stratify
+from repro.core.stratified import stratified_chain_cover
+from repro.graph.digraph import DiGraph
+from repro.graph.dot import chains_to_dot, stratification_to_dot, to_dot
+
+
+class TestToDot:
+    def test_all_nodes_and_edges_present(self, paper_graph):
+        dot = to_dot(paper_graph)
+        assert dot.startswith("digraph G {")
+        for node in paper_graph.nodes():
+            assert f'"{node}"' in dot
+        assert '"a" -> "b";' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_quoting(self):
+        g = DiGraph.from_edges([('say "hi"', "b")])
+        dot = to_dot(g)
+        assert r'"say \"hi\""' in dot
+
+    def test_custom_name(self):
+        g = DiGraph()
+        assert to_dot(g, name="bom").startswith("digraph bom {")
+
+
+class TestStratificationDot:
+    def test_one_rank_row_per_level(self, paper_graph):
+        strat = stratify(paper_graph)
+        dot = stratification_to_dot(paper_graph, strat)
+        assert dot.count("rank=same") == strat.height
+        assert "/* V1 */" in dot and "/* V4 */" in dot
+
+
+class TestChainsDot:
+    def test_chain_links_are_emphasised(self, paper_graph):
+        cover = stratified_chain_cover(paper_graph)
+        dot = chains_to_dot(paper_graph, cover)
+        assert dot.count("penwidth=2.5") == sum(
+            len(chain) - 1 for chain in cover.chains)
+        assert "constraint=false" in dot
+
+    def test_closure_links_are_dashed(self):
+        g = DiGraph.from_edges([(0, 1), (1, 2)])
+        from repro.core.chains import ChainDecomposition
+        cover = ChainDecomposition(chains=[[0, 2], [1]])
+        dot = chains_to_dot(g, cover)
+        assert "style=dashed" in dot
+
+    def test_edge_links_are_solid(self, paper_graph):
+        cover = stratified_chain_cover(paper_graph)
+        dot = chains_to_dot(paper_graph, cover)
+        assert "style=solid" in dot

@@ -1,0 +1,65 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.graph.errors import (
+    DuplicateNodeError,
+    EdgeExistsError,
+    GraphError,
+    GraphFormatError,
+    InvalidChainError,
+    NodeNotFoundError,
+    NotADAGError,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_a_graph_error(self):
+        for exc_type in (NodeNotFoundError, DuplicateNodeError,
+                         EdgeExistsError, NotADAGError,
+                         InvalidChainError, GraphFormatError):
+            assert issubclass(exc_type, GraphError)
+
+    def test_dual_inheritance_for_interop(self):
+        # Callers used to KeyError/ValueError semantics keep working.
+        assert issubclass(NodeNotFoundError, KeyError)
+        assert issubclass(NotADAGError, ValueError)
+        assert issubclass(GraphFormatError, ValueError)
+
+
+class TestMessages:
+    def test_node_not_found_str_is_readable(self):
+        # Plain KeyError would repr the args tuple; ours reads well.
+        error = NodeNotFoundError("missing")
+        assert str(error) == "node 'missing' is not in the graph"
+        assert error.node == "missing"
+
+    def test_edge_exists_carries_endpoints(self):
+        error = EdgeExistsError("a", "b")
+        assert error.tail == "a" and error.head == "b"
+        assert "('a', 'b')" in str(error)
+
+    def test_not_a_dag_carries_cycle(self):
+        error = NotADAGError(cycle=["a", "b"])
+        assert error.cycle == ["a", "b"]
+        assert NotADAGError().cycle is None
+
+    def test_format_error_line_numbers(self):
+        error = GraphFormatError("bad token", line_number=7)
+        assert "line 7" in str(error)
+        assert error.line_number == 7
+        assert GraphFormatError("plain").line_number is None
+
+    def test_duplicate_node_message(self):
+        assert "already in the graph" in str(DuplicateNodeError("x"))
+
+
+class TestCatchability:
+    def test_one_except_clause_for_the_library(self):
+        from repro.graph.digraph import DiGraph
+        g = DiGraph()
+        with pytest.raises(GraphError):
+            g.node_id("missing")
+        g.add_node("a")
+        with pytest.raises(GraphError):
+            g.add_node("a")

@@ -1,0 +1,179 @@
+"""Unit tests for the workload generators (Section V graph families)."""
+
+import pytest
+
+from repro.graph.generators import (
+    antichain_graph,
+    chain_graph,
+    citation_dag,
+    dense_dag,
+    graph_stats,
+    layered_random_dag,
+    random_dag,
+    random_digraph,
+    semi_random_dag,
+    sparse_random_dag,
+    systematic_dag,
+)
+from repro.graph.topology import is_dag, longest_path_length
+
+
+class TestSparseRandom:
+    def test_is_dag_and_near_requested_size(self):
+        g = sparse_random_dag(500, 600, seed=7)
+        assert is_dag(g)
+        assert g.num_nodes <= 500
+        # SCC collapsing shrinks the graph somewhat at e/n ≈ 1.2 (the
+        # giant-component threshold for random digraphs) but most nodes
+        # survive, as in the paper's Group-I preprocessing.
+        assert g.num_nodes > 350
+
+    def test_deterministic_in_seed(self):
+        a = sparse_random_dag(200, 240, seed=3)
+        b = sparse_random_dag(200, 240, seed=3)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = sparse_random_dag(200, 240, seed=3)
+        b = sparse_random_dag(200, 240, seed=4)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_rejects_nonpositive_nodes(self):
+        with pytest.raises(ValueError):
+            sparse_random_dag(0, 5)
+
+
+class TestSystematic:
+    def test_structure_matches_spec(self):
+        g = systematic_dag(num_roots=10, num_levels=4,
+                           children_per_node=4, parents_per_node=3, seed=1)
+        assert is_dag(g)
+        assert longest_path_length(g) == 3  # 4 levels
+        # every non-root has ~3 parents
+        roots = [v for v in g.nodes() if g.in_degree(v) == 0]
+        assert len(roots) == 10
+        non_roots = [v for v in g.nodes() if g.in_degree(v) > 0]
+        average_in = sum(g.in_degree(v) for v in non_roots) / len(non_roots)
+        assert 2.0 <= average_in <= 3.0
+
+    def test_level_sizes_grow(self):
+        g = systematic_dag(num_roots=30, num_levels=3, seed=2)
+        # 30 roots -> ~40 -> ~53
+        assert g.num_nodes > 90
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            systematic_dag(0, 3)
+        with pytest.raises(ValueError):
+            systematic_dag(3, 3, children_per_node=0)
+
+
+class TestSemiRandom:
+    def test_tree_plus_extra_edges(self):
+        g = semi_random_dag(500, 200, seed=5)
+        assert is_dag(g)
+        assert g.num_nodes >= 500
+        assert g.num_edges == (g.num_nodes - 1) + 200
+
+    def test_zero_extra_edges_gives_tree(self):
+        g = semi_random_dag(100, 0, seed=6)
+        assert g.num_edges == g.num_nodes - 1
+        # every non-root has exactly one parent
+        assert sum(1 for v in g.nodes() if g.in_degree(v) == 1) == 99
+
+    def test_single_node(self):
+        g = semi_random_dag(1, 0, seed=0)
+        assert g.num_nodes == 1
+
+
+class TestDense:
+    def test_density_close_to_requested(self):
+        g = dense_dag(120, 0.25, seed=9)
+        assert is_dag(g)
+        density = g.num_edges / (g.num_nodes ** 2)
+        assert 0.2 < density < 0.3
+
+    def test_rejects_impossible_density(self):
+        with pytest.raises(ValueError):
+            dense_dag(50, 0.7)
+
+    def test_single_node(self):
+        g = dense_dag(1, 0.25)
+        assert g.num_nodes == 1 and g.num_edges == 0
+
+
+class TestGenericFamilies:
+    def test_random_dag_probability_bounds(self):
+        with pytest.raises(ValueError):
+            random_dag(5, 1.5)
+        g = random_dag(10, 1.0, seed=0)
+        assert g.num_edges == 45  # complete DAG
+
+    def test_random_digraph_edge_count(self):
+        g = random_digraph(30, 60, seed=1)
+        assert g.num_edges == 60
+
+    def test_layered_random_dag_levels(self):
+        g = layered_random_dag([4, 6, 5], 0.4, seed=2)
+        assert is_dag(g)
+        assert g.num_nodes == 15
+        assert longest_path_length(g) == 2
+        with pytest.raises(ValueError):
+            layered_random_dag([3, 0], 0.5)
+
+    def test_chain_and_antichain(self):
+        assert chain_graph(5).num_edges == 4
+        assert antichain_graph(5).num_edges == 0
+
+
+class TestCitation:
+    def test_is_dag_with_backward_citations(self):
+        g = citation_dag(300, citations_per_node=3, seed=1)
+        assert is_dag(g)
+        # Every non-first paper cites at least one earlier one.
+        assert all(g.out_degree(v) >= 1 for v in range(1, 300))
+        # Edges always point to strictly earlier papers.
+        assert all(tail > head for tail, head in g.edges())
+
+    def test_heavy_tail(self):
+        g = citation_dag(500, citations_per_node=3, seed=2)
+        degrees = sorted((g.in_degree(v) for v in g.nodes()),
+                         reverse=True)
+        # Preferential attachment concentrates citations: the top paper
+        # collects far more than the median.
+        assert degrees[0] >= 10 * max(1, degrees[len(degrees) // 2])
+
+    def test_deterministic(self):
+        a = citation_dag(100, seed=3)
+        b = citation_dag(100, seed=3)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            citation_dag(0)
+        with pytest.raises(ValueError):
+            citation_dag(5, citations_per_node=-1)
+
+    def test_single_node(self):
+        g = citation_dag(1)
+        assert g.num_nodes == 1 and g.num_edges == 0
+
+
+class TestGraphStats:
+    def test_dsg_average_path_length_is_level_count(self):
+        g = systematic_dag(num_roots=20, num_levels=6, seed=3)
+        stats = graph_stats(g, path_samples=200, seed=0)
+        # Paths run level by level; a few end early at internal nodes
+        # no child happened to pick, so the average sits just below the
+        # level count.
+        assert 5.0 < stats.average_path_length <= 6.0
+        assert stats.height == 6
+
+    def test_out_degree_of_internal_nodes(self):
+        g = chain_graph(4)
+        stats = graph_stats(g, path_samples=10)
+        assert stats.average_out_degree_internal == pytest.approx(1.0)
+
+    def test_row_shape(self):
+        stats = graph_stats(chain_graph(3), path_samples=10)
+        assert stats.row() == (3, 2, 1.0, 3.0)

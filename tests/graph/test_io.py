@@ -1,0 +1,85 @@
+"""Unit tests for edge-list serialisation."""
+
+import io
+
+import pytest
+from hypothesis import given
+
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import GraphFormatError
+from repro.graph.io import dumps, loads, read_edge_list, write_edge_list
+
+from tests.conftest import small_digraphs
+
+
+class TestRoundTrip:
+    def test_string_round_trip(self):
+        g = DiGraph.from_edges([(0, 1), (1, 2)], nodes=[5])
+        h = loads(dumps(g))
+        assert sorted(h.edges()) == sorted(g.edges())
+        assert h.num_nodes == g.num_nodes
+
+    def test_file_round_trip(self, tmp_path):
+        g = DiGraph.from_edges([(0, 1), (2, 0)])
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path)
+        h = read_edge_list(path)
+        assert sorted(h.edges()) == sorted(g.edges())
+
+    def test_handle_round_trip(self):
+        g = DiGraph.from_edges([(0, 1)])
+        buffer = io.StringIO()
+        write_edge_list(g, buffer)
+        buffer.seek(0)
+        h = read_edge_list(buffer)
+        assert sorted(h.edges()) == sorted(g.edges())
+
+    def test_string_labels(self):
+        text = "alpha beta\nbeta gamma\n"
+        g = loads(text, int_labels=False)
+        assert g.has_edge("alpha", "beta")
+        assert g.has_edge("beta", "gamma")
+
+    @given(small_digraphs())
+    def test_round_trip_preserves_isolated_nodes(self, g):
+        h = loads(dumps(g))
+        assert h.num_nodes == g.num_nodes
+        assert sorted(map(tuple, h.edges())) == sorted(
+            map(tuple, g.edges()))
+
+
+class TestParsing:
+    def test_comments_and_blank_lines_skipped(self):
+        g = loads("# hello\n\n0 1\n")
+        assert g.num_edges == 1
+
+    def test_duplicate_edges_collapsed(self):
+        g = loads("0 1\n0 1\n")
+        assert g.num_edges == 1
+
+    def test_self_loop_dropped(self):
+        g = loads("3 3\n")
+        assert g.num_edges == 0
+        assert 3 in g
+
+    def test_bad_token_count(self):
+        with pytest.raises(GraphFormatError) as excinfo:
+            loads("0 1 2\n")
+        assert excinfo.value.line_number == 1
+
+    def test_non_integer_label(self):
+        with pytest.raises(GraphFormatError):
+            loads("a b\n")
+
+    def test_bad_node_count_line(self):
+        with pytest.raises(GraphFormatError):
+            loads("n x\n")
+        with pytest.raises(GraphFormatError):
+            loads("n -3\n")
+        with pytest.raises(GraphFormatError):
+            loads("n 1 2\n")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(GraphFormatError) as excinfo:
+            loads("0 1\nbroken line here\n")
+        assert excinfo.value.line_number == 2

@@ -1,0 +1,92 @@
+"""Unit tests for Tarjan SCC and condensation."""
+
+import networkx as nx
+from hypothesis import given
+
+from repro.graph.digraph import DiGraph
+from repro.graph.scc import condense, strongly_connected_components
+from repro.graph.topology import is_dag
+
+from tests.conftest import bfs_reachable, small_digraphs
+
+
+def to_networkx(graph: DiGraph) -> nx.DiGraph:
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(graph.nodes())
+    nxg.add_edges_from(graph.edges())
+    return nxg
+
+
+class TestTarjan:
+    def test_single_cycle_is_one_component(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "c"), ("c", "a")])
+        components = strongly_connected_components(g)
+        assert len(components) == 1
+        assert set(components[0]) == {"a", "b", "c"}
+
+    def test_dag_gives_singletons(self, paper_graph):
+        components = strongly_connected_components(paper_graph)
+        assert all(len(c) == 1 for c in components)
+        assert len(components) == paper_graph.num_nodes
+
+    def test_reverse_topological_output_order(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "c")])
+        components = strongly_connected_components(g)
+        order = {frozenset(c): i for i, c in enumerate(components)}
+        # "c" (reachable from all) must appear before "a".
+        assert order[frozenset(["c"])] < order[frozenset(["a"])]
+
+    def test_deep_path_does_not_recurse(self):
+        # 5000-node path: a recursive Tarjan would blow the stack.
+        g = DiGraph.from_edges([(i, i + 1) for i in range(5000)])
+        assert len(strongly_connected_components(g)) == 5001
+
+    @given(small_digraphs())
+    def test_matches_networkx(self, g):
+        ours = {frozenset(c) for c in strongly_connected_components(g)}
+        theirs = {frozenset(c)
+                  for c in nx.strongly_connected_components(to_networkx(g))}
+        assert ours == theirs
+
+
+class TestCondensation:
+    def test_condensation_is_acyclic(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "a"), ("b", "c"),
+                                ("c", "d"), ("d", "c")])
+        cond = condense(g)
+        assert is_dag(cond.dag)
+        assert cond.num_components == 2
+        assert cond.dag.num_edges == 1
+
+    def test_members_partition_nodes(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "a"), ("c", "a")])
+        cond = condense(g)
+        flattened = [n for members in cond.members for n in members]
+        assert sorted(flattened) == ["a", "b", "c"]
+        for node in g:
+            assert node in cond.members[cond.component_of[node]]
+
+    def test_same_component_and_representative(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "a"), ("c", "a")])
+        cond = condense(g)
+        assert cond.same_component("a", "b")
+        assert not cond.same_component("a", "c")
+        assert cond.representative("a") == cond.representative("b")
+
+    def test_no_duplicate_condensed_edges(self):
+        g = DiGraph.from_edges([("a", "c"), ("b", "c"), ("a", "b"),
+                                ("b", "a")])
+        cond = condense(g)
+        # Both a->c and b->c map to the same condensed edge.
+        assert cond.dag.num_edges == 1
+
+    @given(small_digraphs())
+    def test_condensation_preserves_reachability(self, g):
+        cond = condense(g)
+        nodes = g.nodes()
+        for u in nodes:
+            for v in nodes:
+                expected = bfs_reachable(g, u, v)
+                cu, cv = cond.component_of[u], cond.component_of[v]
+                got = cu == cv or bfs_reachable(cond.dag, cu, cv)
+                assert expected == got, (u, v)

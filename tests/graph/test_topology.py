@@ -1,0 +1,108 @@
+"""Unit tests for topological utilities."""
+
+import pytest
+from hypothesis import given
+
+import networkx as nx
+
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import NotADAGError
+from repro.graph.topology import (
+    find_cycle,
+    is_dag,
+    longest_path_length,
+    roots,
+    sinks,
+    topological_order,
+    topological_order_ids,
+)
+from repro.graph.validation import check_topological_order
+
+from tests.conftest import small_dags, small_digraphs
+
+
+def to_networkx(graph: DiGraph) -> nx.DiGraph:
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(graph.nodes())
+    nxg.add_edges_from(graph.edges())
+    return nxg
+
+
+class TestTopologicalOrder:
+    def test_simple_chain(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "c")])
+        assert topological_order(g) == ["a", "b", "c"]
+
+    def test_cycle_raises_with_cycle_attached(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "c"), ("c", "a")])
+        with pytest.raises(NotADAGError) as excinfo:
+            topological_order_ids(g)
+        assert excinfo.value.cycle is not None
+        assert set(excinfo.value.cycle) == {"a", "b", "c"}
+
+    def test_empty_graph(self):
+        assert topological_order(DiGraph()) == []
+
+    @given(small_dags())
+    def test_order_is_valid_on_random_dags(self, g):
+        order = topological_order(g)
+        check_topological_order(g, order)
+
+    @given(small_digraphs())
+    def test_matches_networkx_dag_judgement(self, g):
+        assert is_dag(g) == nx.is_directed_acyclic_graph(to_networkx(g))
+
+
+class TestFindCycle:
+    def test_dag_has_no_cycle(self):
+        g = DiGraph.from_edges([("a", "b"), ("a", "c")])
+        assert find_cycle(g) is None
+
+    def test_self_cycle_impossible(self):
+        # Self-loops are dropped by DiGraph, so no 1-cycles exist.
+        g = DiGraph()
+        g.add_node("a")
+        g.add_edge("a", "a")
+        assert find_cycle(g) is None
+
+    def test_two_cycle_found(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "a")])
+        cycle = find_cycle(g)
+        assert cycle is not None and set(cycle) == {"a", "b"}
+
+    @given(small_digraphs())
+    def test_reported_cycle_is_a_real_cycle(self, g):
+        cycle = find_cycle(g)
+        if cycle is None:
+            assert is_dag(g)
+        else:
+            for tail, head in zip(cycle, cycle[1:] + cycle[:1]):
+                assert g.has_edge(tail, head)
+
+
+class TestRootsAndSinks:
+    def test_paper_graph_roots_and_sinks(self, paper_graph):
+        assert sorted(roots(paper_graph)) == ["a", "f"]
+        assert sorted(sinks(paper_graph)) == ["d", "e", "i"]
+
+    def test_isolated_node_is_both(self):
+        g = DiGraph()
+        g.add_node("x")
+        assert roots(g) == ["x"] and sinks(g) == ["x"]
+
+
+class TestLongestPath:
+    def test_chain_length(self):
+        g = DiGraph.from_edges([(i, i + 1) for i in range(5)])
+        assert longest_path_length(g) == 5
+
+    def test_antichain_is_zero(self):
+        g = DiGraph()
+        for v in range(4):
+            g.add_node(v)
+        assert longest_path_length(g) == 0
+
+    @given(small_dags(min_nodes=1))
+    def test_matches_networkx(self, g):
+        expected = nx.dag_longest_path_length(to_networkx(g))
+        assert longest_path_length(g) == expected

@@ -1,0 +1,59 @@
+"""Unit tests for the structural validators."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import GraphError, NotADAGError
+from repro.graph.validation import (
+    check_acyclic,
+    check_consistency,
+    check_topological_order,
+)
+
+
+class TestConsistency:
+    def test_clean_graph_passes(self, paper_graph):
+        check_consistency(paper_graph)
+
+    def test_detects_broken_mirror(self):
+        g = DiGraph.from_edges([("a", "b")])
+        g.predecessor_ids(g.node_id("b")).clear()  # corrupt on purpose
+        with pytest.raises(GraphError):
+            check_consistency(g)
+
+    def test_detects_duplicate_successor(self):
+        g = DiGraph.from_edges([("a", "b")])
+        g.successor_ids(g.node_id("a")).append(g.node_id("b"))
+        with pytest.raises(GraphError):
+            check_consistency(g)
+
+
+class TestTopologicalOrderCheck:
+    def test_valid_order(self):
+        g = DiGraph.from_edges([("a", "b")])
+        check_topological_order(g, ["a", "b"])
+
+    def test_reversed_order_fails(self):
+        g = DiGraph.from_edges([("a", "b")])
+        with pytest.raises(GraphError):
+            check_topological_order(g, ["b", "a"])
+
+    def test_missing_node_fails(self):
+        g = DiGraph.from_edges([("a", "b")])
+        with pytest.raises(GraphError):
+            check_topological_order(g, ["a"])
+
+    def test_duplicate_node_fails(self):
+        g = DiGraph.from_edges([("a", "b")])
+        with pytest.raises(GraphError):
+            check_topological_order(g, ["a", "a"])
+
+
+class TestAcyclicCheck:
+    def test_dag_passes(self, paper_graph):
+        check_acyclic(paper_graph)
+
+    def test_cycle_raises(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "a")])
+        with pytest.raises(NotADAGError):
+            check_acyclic(g)

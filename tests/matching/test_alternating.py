@@ -1,0 +1,116 @@
+"""Unit tests for alternating-path search and prefix transfer."""
+
+import pytest
+
+from repro.matching.alternating import (
+    alternating_bfs,
+    bottoms_to_tops,
+    flip_prefix,
+)
+from repro.matching.bipartite import BipartiteGraph, Matching
+from repro.matching.hopcroft_karp import hopcroft_karp
+
+
+def example_from_fig3():
+    """The bipartite graph of the paper's Fig. 3(b).
+
+    Tops (V2): b=0, e=1, h=2.  Bottoms (V1): c=0, f=1, i=2, j=3.
+    Edges: b-c, b-i, e-c, e-f, h-i, h-j.  Matching of Fig. 3(c):
+    (b,c), (e,f), (h,j); bottom i is free.
+    """
+    graph = BipartiteGraph.from_edges(
+        3, 4, [(0, 0), (0, 2), (1, 0), (1, 1), (2, 2), (2, 3)])
+    matching = Matching(3, 4)
+    matching.match(0, 0)
+    matching.match(1, 1)
+    matching.match(2, 3)
+    return graph, matching
+
+
+class TestBottomsToTops:
+    def test_reverse_adjacency(self):
+        graph, _ = example_from_fig3()
+        reverse = bottoms_to_tops(graph)
+        assert reverse[0] == [0, 1]   # c is adjacent to b and e
+        assert reverse[2] == [0, 2]   # i is adjacent to b and h
+
+
+class TestAlternatingBFS:
+    def test_paper_fig3_path_from_b(self):
+        """Fig. 3(d): the alternating path b - c - e - f."""
+        graph, matching = example_from_fig3()
+        reverse = bottoms_to_tops(graph)
+        forest = alternating_bfs(matching, reverse, [0])  # start at b
+        assert forest.reached(0)
+        assert forest.reached(1)          # e, at odd position 3
+        assert forest.path_to(1) == [0, 1]
+
+    def test_multi_source_covers_both_parents_of_i(self):
+        """Free bottom i has covered parents b and h; one BFS covers
+        both label entries of the paper's Example 1."""
+        graph, matching = example_from_fig3()
+        reverse = bottoms_to_tops(graph)
+        forest = alternating_bfs(matching, reverse, [0, 2])
+        # b reaches e (via c); h reaches e too but b got there first —
+        # the shared segment is traversed once (Sec. IV.B redundancy).
+        assert set(forest.order) == {0, 1, 2}
+        assert forest.root_of[1] in (0, 2)
+
+    def test_uncovered_sources_are_skipped(self):
+        graph, matching = example_from_fig3()
+        matching.unmatch_top(0)
+        reverse = bottoms_to_tops(graph)
+        forest = alternating_bfs(matching, reverse, [0])
+        assert forest.order == []
+
+    def test_does_not_walk_through_free_tops(self):
+        # top0 - bottom0 matched; top1 adjacent to bottom0 but free.
+        graph = BipartiteGraph.from_edges(2, 1, [(0, 0), (1, 0)])
+        matching = Matching(2, 1)
+        matching.match(0, 0)
+        forest = alternating_bfs(matching, bottoms_to_tops(graph), [0])
+        assert forest.reached(0)
+        assert not forest.reached(1)
+
+
+class TestFlipPrefix:
+    def test_flip_reroutes_matching(self):
+        """Flipping b..f frees b (to adopt i) and frees f."""
+        graph, matching = example_from_fig3()
+        reverse = bottoms_to_tops(graph)
+        forest = alternating_bfs(matching, reverse, [0])
+        root, freed = flip_prefix(matching, forest, 1)  # end at e
+        assert root == 0          # b freed at the top
+        assert freed == 1         # f freed at the bottom
+        assert matching.bottom_of[1] == 0  # e re-matched to c
+        assert matching.size() == 2
+        matching.check(graph)
+
+    def test_flip_single_source(self):
+        graph, matching = example_from_fig3()
+        reverse = bottoms_to_tops(graph)
+        forest = alternating_bfs(matching, reverse, [2])  # start at h
+        root, freed = flip_prefix(matching, forest, 2)    # end at h itself
+        assert root == 2
+        assert freed == 3          # j freed
+        assert matching.size() == 2
+
+    def test_flip_rejects_unmatched_path(self):
+        graph, matching = example_from_fig3()
+        reverse = bottoms_to_tops(graph)
+        forest = alternating_bfs(matching, reverse, [0])
+        matching.unmatch_top(1)
+        with pytest.raises(ValueError):
+            flip_prefix(matching, forest, 1)
+
+    def test_flip_preserves_matching_validity_on_larger_instance(self):
+        graph = BipartiteGraph.from_edges(
+            5, 5, [(i, i) for i in range(5)] + [(i + 1, i)
+                                                for i in range(4)])
+        matching = hopcroft_karp(graph)
+        forest = alternating_bfs(matching, bottoms_to_tops(graph), [0])
+        deepest = forest.order[-1]
+        size_before = matching.size()
+        flip_prefix(matching, forest, deepest)
+        matching.check(graph)
+        assert matching.size() == size_before - 1

@@ -1,0 +1,82 @@
+"""Unit tests for the bipartite graph and matching models."""
+
+import pytest
+
+from repro.matching.bipartite import BipartiteGraph, Matching
+
+
+class TestBipartiteGraph:
+    def test_from_edges(self):
+        g = BipartiteGraph.from_edges(2, 3, [(0, 0), (0, 2), (1, 1)])
+        assert g.num_edges == 3
+        assert g.adj[0] == [0, 2]
+
+    def test_bounds_checked(self):
+        g = BipartiteGraph(2, 2)
+        with pytest.raises(ValueError):
+            g.add_edge(2, 0)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 5)
+        with pytest.raises(ValueError):
+            BipartiteGraph(-1, 0)
+
+    def test_add_bottom_grows_side(self):
+        g = BipartiteGraph(1, 1)
+        new = g.add_bottom()
+        assert new == 1
+        g.add_edge(0, 1)
+        assert g.num_bottoms == 2
+
+
+class TestMatching:
+    def test_match_and_size(self):
+        m = Matching(2, 2)
+        m.match(0, 1)
+        assert m.size() == 1
+        assert m.is_matched_top(0)
+        assert m.is_matched_bottom(1)
+        assert m.free_tops() == [1]
+        assert m.free_bottoms() == [0]
+
+    def test_rematch_unpairs_old_partners(self):
+        m = Matching(2, 2)
+        m.match(0, 0)
+        m.match(1, 0)       # steals bottom 0
+        assert m.top_of[0] == 1
+        assert m.bottom_of[0] == Matching.UNMATCHED
+        m.match(1, 1)       # moves top 1 to bottom 1
+        assert m.top_of[0] == Matching.UNMATCHED
+
+    def test_unmatch_top(self):
+        m = Matching(1, 1)
+        m.match(0, 0)
+        m.unmatch_top(0)
+        assert m.size() == 0
+        m.unmatch_top(0)  # idempotent
+        assert m.size() == 0
+
+    def test_pairs(self):
+        m = Matching(3, 3)
+        m.match(0, 2)
+        m.match(2, 0)
+        assert sorted(m.pairs()) == [(0, 2), (2, 0)]
+
+    def test_check_accepts_valid_matching(self):
+        g = BipartiteGraph.from_edges(2, 2, [(0, 0), (1, 1)])
+        m = Matching(2, 2)
+        m.match(0, 0)
+        m.check(g)
+
+    def test_check_rejects_non_edge(self):
+        g = BipartiteGraph.from_edges(2, 2, [(0, 0)])
+        m = Matching(2, 2)
+        m.match(1, 1)
+        with pytest.raises(ValueError):
+            m.check(g)
+
+    def test_check_rejects_desync(self):
+        g = BipartiteGraph.from_edges(2, 2, [(0, 0)])
+        m = Matching(2, 2)
+        m.bottom_of[0] = 0  # half a pair, mirror missing
+        with pytest.raises(ValueError):
+            m.check(g)

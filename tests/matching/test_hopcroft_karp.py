@@ -1,0 +1,114 @@
+"""Unit and property tests for the maximum-matching algorithms."""
+
+import random
+
+import networkx as nx
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.matching.bipartite import BipartiteGraph, Matching
+from repro.matching.hopcroft_karp import hopcroft_karp, kuhn_matching
+
+
+@st.composite
+def bipartite_graphs(draw, max_side=10):
+    num_tops = draw(st.integers(min_value=0, max_value=max_side))
+    num_bottoms = draw(st.integers(min_value=0, max_value=max_side))
+    graph = BipartiteGraph(num_tops, num_bottoms)
+    if num_tops and num_bottoms:
+        pairs = [(t, b) for t in range(num_tops)
+                 for b in range(num_bottoms)]
+        for t, b in sorted(draw(st.sets(st.sampled_from(pairs)))):
+            graph.add_edge(t, b)
+    return graph
+
+
+def networkx_max_matching_size(graph: BipartiteGraph) -> int:
+    nxg = nx.Graph()
+    tops = [("t", i) for i in range(graph.num_tops)]
+    bottoms = [("b", i) for i in range(graph.num_bottoms)]
+    nxg.add_nodes_from(tops, bipartite=0)
+    nxg.add_nodes_from(bottoms, bipartite=1)
+    for top, adjacent in enumerate(graph.adj):
+        for bottom in adjacent:
+            nxg.add_edge(("t", top), ("b", bottom))
+    matching = nx.bipartite.maximum_matching(nxg, top_nodes=tops)
+    return len(matching) // 2
+
+
+class TestHopcroftKarp:
+    def test_perfect_matching_on_identity(self):
+        g = BipartiteGraph.from_edges(3, 3, [(i, i) for i in range(3)])
+        assert hopcroft_karp(g).size() == 3
+
+    def test_empty_graph(self):
+        assert hopcroft_karp(BipartiteGraph(0, 0)).size() == 0
+        assert hopcroft_karp(BipartiteGraph(3, 0)).size() == 0
+
+    def test_requires_augmenting_path(self):
+        # Classic case where greedy gets stuck but HK augments:
+        # t0-{b0,b1}, t1-{b0}.  Greedy (t0,b0) forces augmentation.
+        g = BipartiteGraph.from_edges(2, 2, [(0, 0), (0, 1), (1, 0)])
+        assert hopcroft_karp(g).size() == 2
+
+    def test_long_augmenting_path_no_recursion_error(self):
+        # Path graph of 3000 alternating edges.
+        n = 3000
+        edges = [(i, i) for i in range(n)]
+        edges += [(i + 1, i) for i in range(n - 1)]
+        g = BipartiteGraph.from_edges(n, n, edges)
+        assert hopcroft_karp(g).size() == n
+
+    def test_seed_matching_is_extended_not_mutated(self):
+        g = BipartiteGraph.from_edges(2, 2, [(0, 0), (0, 1), (1, 0)])
+        seed = Matching(2, 2)
+        seed.match(0, 0)
+        result = hopcroft_karp(g, seed_matching=seed)
+        assert result.size() == 2
+        assert seed.size() == 1  # untouched
+
+    @given(bipartite_graphs())
+    def test_result_is_valid_matching(self, g):
+        matching = hopcroft_karp(g)
+        matching.check(g)
+
+    @given(bipartite_graphs())
+    def test_maximum_size_matches_networkx(self, g):
+        assert hopcroft_karp(g).size() == networkx_max_matching_size(g)
+
+    @given(bipartite_graphs())
+    def test_no_augmenting_path_remains(self, g):
+        matching = hopcroft_karp(g)
+        # König-style check: BFS from free tops along alternating edges
+        # must never reach a free bottom.
+        frontier = set(matching.free_tops())
+        seen_tops = set(frontier)
+        while frontier:
+            next_frontier = set()
+            for top in frontier:
+                for bottom in g.adj[top]:
+                    owner = matching.top_of[bottom]
+                    if owner == Matching.UNMATCHED:
+                        raise AssertionError("augmenting path exists")
+                    if owner not in seen_tops:
+                        seen_tops.add(owner)
+                        next_frontier.add(owner)
+            frontier = next_frontier
+
+
+class TestKuhn:
+    @given(bipartite_graphs(max_side=8))
+    def test_agrees_with_hopcroft_karp(self, g):
+        assert kuhn_matching(g).size() == hopcroft_karp(g).size()
+
+    @given(bipartite_graphs(max_side=8))
+    def test_result_is_valid_matching(self, g):
+        kuhn_matching(g).check(g)
+
+    def test_random_large_instance(self):
+        rng = random.Random(42)
+        g = BipartiteGraph(60, 60)
+        for t in range(60):
+            for b in rng.sample(range(60), 5):
+                g.add_edge(t, b)
+        assert kuhn_matching(g).size() == hopcroft_karp(g).size()

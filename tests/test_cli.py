@@ -1,0 +1,119 @@
+"""Unit tests for the ``python -m repro`` command line."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import semi_random_dag
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "graph.txt"
+    write_edge_list(semi_random_dag(60, 30, seed=1), path)
+    return str(path)
+
+
+class TestStats:
+    def test_reports_width_and_sizes(self, graph_file, capsys):
+        assert main(["stats", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "nodes:" in out and "width (Dilworth):" in out
+
+
+class TestChains:
+    def test_prints_every_chain(self, graph_file, capsys):
+        assert main(["chains", graph_file]) == 0
+        out = capsys.readouterr().out
+        first_line = out.splitlines()[0]
+        chain_count = int(first_line.split()[0])
+        assert len(out.splitlines()) == chain_count + 1
+
+    def test_method_flag(self, graph_file, capsys):
+        assert main(["chains", graph_file, "--method", "closure"]) == 0
+        capsys.readouterr()
+
+
+class TestAntichain:
+    def test_antichain_size_matches_chain_count(self, graph_file,
+                                                capsys):
+        main(["chains", graph_file])
+        chains = int(capsys.readouterr().out.split()[0])
+        main(["antichain", graph_file])
+        out = capsys.readouterr().out
+        assert f"({chains} nodes)" in out
+
+
+class TestQuery:
+    def test_yes_and_no(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        write_edge_list(
+            semi_random_dag(10, 0, seed=2), path)
+        assert main(["query", str(path), "0", "1"]) == 0
+        assert "yes" in capsys.readouterr().out
+        assert main(["query", str(path), "1", "0"]) == 1
+        assert "no" in capsys.readouterr().out
+
+    def test_odd_pair_count_is_an_error(self, graph_file, capsys):
+        assert main(["query", graph_file, "0"]) == 2
+        capsys.readouterr()
+
+
+class TestIndexPersistence:
+    def test_index_then_query(self, graph_file, tmp_path, capsys):
+        index_path = tmp_path / "graph.idx"
+        assert main(["index", graph_file, "-o", str(index_path)]) == 0
+        assert "indexed" in capsys.readouterr().out
+        assert main(["query", "--index", str(index_path), "0", "1"]) == 0
+        assert "yes" in capsys.readouterr().out
+
+    def test_query_without_source_errors(self, capsys):
+        assert main(["query", "0", "1"]) == 2
+        assert "no such graph file" in capsys.readouterr().err
+
+    def test_index_method_flag(self, graph_file, tmp_path, capsys):
+        index_path = tmp_path / "c.idx"
+        assert main(["index", graph_file, "-o", str(index_path),
+                     "--method", "closure"]) == 0
+        capsys.readouterr()
+
+
+class TestDot:
+    def test_plain_dot_to_stdout(self, graph_file, capsys):
+        assert main(["dot", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+
+    def test_chains_dot_to_file(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "chains.dot"
+        assert main(["dot", graph_file, "--chains", "--out",
+                     str(out)]) == 0
+        capsys.readouterr()
+        assert "penwidth=2.5" in out.read_text()
+
+    def test_strata_dot(self, graph_file, capsys):
+        assert main(["dot", graph_file, "--strata"]) == 0
+        assert "rank=same" in capsys.readouterr().out
+
+
+class TestGenerate:
+    def test_writes_graph_file(self, tmp_path, capsys):
+        out = tmp_path / "generated.txt"
+        assert main(["generate", "dsrg", "50", "20", "--seed", "3",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        from repro.graph.io import read_edge_list
+        graph = read_edge_list(out)
+        assert graph.num_nodes >= 50
+
+    def test_stdout_output(self, capsys):
+        assert main(["generate", "sparse", "30", "35"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# repro edge list")
+
+    def test_round_trip_through_stats(self, tmp_path, capsys):
+        out = tmp_path / "dense.txt"
+        main(["generate", "dense", "40", "25", "--out", str(out)])
+        capsys.readouterr()
+        assert main(["stats", str(out)]) == 0
+        assert "width" in capsys.readouterr().out

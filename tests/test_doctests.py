@@ -1,0 +1,20 @@
+"""Docstring examples in the public modules must actually run."""
+
+import doctest
+
+import pytest
+
+import repro.core.index
+import repro.core.maintenance
+import repro.graph.digraph
+
+MODULES = [repro.graph.digraph, repro.core.index,
+           repro.core.maintenance]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=[m.__name__ for m in MODULES])
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0  # the examples exist and ran

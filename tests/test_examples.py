@@ -1,0 +1,49 @@
+"""The shipped examples run and print what they promise."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout, check=True)
+    return completed.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "chains: 3" in out
+    assert "a reaches e" in out
+    assert "d does NOT reach a" in out
+
+
+def test_poset_chains():
+    out = run_example("poset_chains.py")
+    assert "minimum chains: 30" in out
+    assert "6 divides 42: True" in out
+    assert "6 divides 45: False" in out
+
+
+def test_software_dependencies():
+    out = run_example("software_dependencies.py")
+    assert "mutual-dependency knots" in out
+    assert "mutually reachable" in out
+
+
+def test_bill_of_materials():
+    out = run_example("bill_of_materials.py")
+    assert "parts explosion" in out
+    assert "engineering change applied incrementally" in out
+
+
+@pytest.mark.slow
+def test_ontology_queries():
+    out = run_example("ontology_queries.py")
+    assert "speedup" in out
+    assert "'Thing' subsumes everything: True" in out

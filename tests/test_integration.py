@@ -1,0 +1,89 @@
+"""Integration tests: the full pipeline across subsystems.
+
+These exercise realistic end-to-end flows — generate → (serialise →
+parse) → condense → decompose → label → query — and check all seven
+methods agree on every answer, per workload family.
+"""
+
+import pytest
+
+from repro import ChainIndex, DiGraph, dag_width
+from repro.bench.harness import build_all, random_queries
+from repro.graph.generators import (
+    citation_dag,
+    dense_dag,
+    random_digraph,
+    semi_random_dag,
+    sparse_random_dag,
+    systematic_dag,
+)
+from repro.graph.io import dumps, loads
+
+ALL_METHODS = ["ours", "DD", "TE", "Dual-II", "MM", "2-hop", "traversal"]
+
+
+@pytest.mark.parametrize("family,graph_fn", [
+    ("sparse", lambda: sparse_random_dag(300, 340, seed=1)),
+    ("dsg", lambda: systematic_dag(10, 5, seed=2)),
+    ("dsrg", lambda: semi_random_dag(250, 120, seed=3)),
+    ("dense", lambda: dense_dag(60, 0.25, seed=4)),
+    ("citation", lambda: citation_dag(250, 3, seed=6)),
+])
+def test_every_method_agrees_on_every_family(family, graph_fn):
+    graph = graph_fn()
+    results = build_all(graph, ALL_METHODS)
+    queries = random_queries(graph, 400, seed=5)
+    reference = [results[0].index.is_reachable(s, t) for s, t in queries]
+    for result in results[1:]:
+        answers = [result.index.is_reachable(s, t) for s, t in queries]
+        assert answers == reference, (family, result.method)
+
+
+def test_serialise_then_index_round_trip(tmp_path):
+    graph = semi_random_dag(200, 80, seed=9)
+    parsed = loads(dumps(graph))
+    original = ChainIndex.build(graph)
+    reloaded = ChainIndex.build(parsed)
+    queries = random_queries(graph, 300, seed=11)
+    for source, target in queries:
+        assert (original.is_reachable(source, target)
+                == reloaded.is_reachable(source, target))
+
+
+def test_cyclic_pipeline_end_to_end():
+    graph = random_digraph(150, 400, seed=13)
+    index = ChainIndex.build(graph, check=True)
+    # Spot-check against online BFS on the raw (cyclic) graph.
+    from tests.conftest import bfs_reachable
+    for source, target in random_queries(graph, 300, seed=17):
+        assert index.is_reachable(source, target) == bfs_reachable(
+            graph, source, target)
+
+
+def test_chain_count_tracks_width_on_benchmark_families():
+    for graph in (systematic_dag(12, 6, seed=21),
+                  semi_random_dag(300, 150, seed=22),
+                  dense_dag(70, 0.25, seed=23)):
+        index = ChainIndex.build(graph)
+        assert index.num_chains == dag_width(graph)
+
+
+def test_methods_share_one_interface():
+    graph = sparse_random_dag(100, 120, seed=31)
+    for result in build_all(graph, ALL_METHODS):
+        assert isinstance(result.size_words, int)
+        assert result.size_words >= 0
+        assert isinstance(result.index.is_reachable(
+            graph.node_at(0), graph.node_at(1)), bool)
+
+
+def test_empty_and_singleton_graphs_across_methods():
+    empty = DiGraph()
+    single = DiGraph()
+    single.add_node("only")
+    for method in ALL_METHODS:
+        from repro.bench.workloads import METHOD_BUILDERS
+        builder = METHOD_BUILDERS[method]
+        builder(empty)
+        index = builder(single)
+        assert index.is_reachable("only", "only")

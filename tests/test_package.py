@@ -1,0 +1,37 @@
+"""The public package surface works as the README promises."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_readme_quickstart():
+    graph = repro.DiGraph.from_edges([
+        ("a", "b"), ("a", "c"), ("b", "c"), ("b", "i"),
+        ("c", "d"), ("c", "e"), ("f", "b"), ("f", "g"),
+        ("g", "d"), ("g", "h"), ("h", "e"), ("h", "i"),
+    ])
+    index = repro.ChainIndex.build(graph)
+    assert index.is_reachable("a", "e")
+    assert not index.is_reachable("d", "a")
+    assert index.num_chains == 3
+    assert "g" in set(index.descendants("g"))
+
+
+def test_subpackage_exports_resolve():
+    import repro.baselines
+    import repro.bench
+    import repro.core
+    import repro.graph
+    import repro.matching
+    for module in (repro.baselines, repro.bench, repro.core,
+                   repro.graph, repro.matching):
+        for name in module.__all__:
+            assert hasattr(module, name), (module.__name__, name)

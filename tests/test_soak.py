@@ -1,0 +1,66 @@
+"""Soak tests: medium-scale cross-method agreement and stability.
+
+Bigger than the unit tests, smaller than the benchmarks — these catch
+scale-dependent failures (stack depth, quadratic blow-ups, drift
+between methods) without slowing the suite much.
+"""
+
+import pytest
+
+from repro.bench.harness import build_all, random_queries
+from repro.core.closure_cover import dag_width
+from repro.core.index import ChainIndex
+from repro.graph.generators import (
+    dense_dag,
+    random_digraph,
+    semi_random_dag,
+    sparse_random_dag,
+    systematic_dag,
+)
+
+MEDIUM_METHODS = ["ours", "DD", "TE", "Dual-II", "MM"]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("family,graph_fn", [
+    ("sparse", lambda: sparse_random_dag(800, 900, seed=71)),
+    ("dsg", lambda: systematic_dag(24, 7, seed=72)),
+    ("dsrg", lambda: semi_random_dag(800, 400, seed=73)),
+    ("dense", lambda: dense_dag(110, 0.25, seed=74)),
+])
+def test_medium_scale_cross_method_agreement(family, graph_fn):
+    graph = graph_fn()
+    results = build_all(graph, MEDIUM_METHODS)
+    queries = random_queries(graph, 1500, seed=75)
+    reference = [results[0].index.is_reachable(s, t)
+                 for s, t in queries]
+    for result in results[1:]:
+        answers = [result.index.is_reachable(s, t) for s, t in queries]
+        assert answers == reference, (family, result.method)
+
+
+@pytest.mark.slow
+def test_large_cyclic_graph_end_to_end():
+    graph = random_digraph(1500, 2600, seed=81)
+    index = ChainIndex.build(graph)
+    # All SCC members answer identically through the condensation.
+    from repro.graph.scc import strongly_connected_components
+    big = max(strongly_connected_components(graph), key=len)
+    if len(big) >= 2:
+        assert index.is_reachable(big[0], big[1])
+        assert index.is_reachable(big[1], big[0])
+    # Spot-check against online BFS.
+    from tests.conftest import bfs_reachable
+    for source, target in random_queries(graph, 250, seed=82):
+        assert index.is_reachable(source, target) == bfs_reachable(
+            graph, source, target)
+
+
+@pytest.mark.slow
+def test_chain_count_quality_at_scale():
+    for graph in (systematic_dag(30, 8, seed=91),
+                  semi_random_dag(1200, 600, seed=92),
+                  dense_dag(120, 0.25, seed=93)):
+        index = ChainIndex.build(graph)
+        width = dag_width(graph)
+        assert width <= index.num_chains <= width * 1.02 + 1
