@@ -15,6 +15,11 @@ Quick start::
     index = ChainIndex.build(g)
     assert index.is_reachable("a", "c")
     assert not index.is_reachable("d", "b")
+
+Phase-level observability (spans, counters, JSON export) lives in
+:mod:`repro.obs` behind the process-wide :data:`OBS` registry —
+disabled by default, see ``docs/OBSERVABILITY.md``.  The full public
+API is documented in ``docs/API.md``.
 """
 
 from repro.core.chains import ChainDecomposition
@@ -32,6 +37,7 @@ from repro.graph.errors import (
     NotADAGError,
 )
 from repro.graph.scc import condense, strongly_connected_components
+from repro.obs import OBS, MetricsRegistry
 
 __version__ = "1.0.0"
 
@@ -52,5 +58,7 @@ __all__ = [
     "NotADAGError",
     "InvalidChainError",
     "GraphFormatError",
+    "OBS",
+    "MetricsRegistry",
     "__version__",
 ]

@@ -23,7 +23,7 @@ from repro.bench.harness import (
     build_index,
     run_query_series,
 )
-from repro.bench.metrics import BuildResult, Timer
+from repro.bench.metrics import BuildResult
 from repro.bench.reporting import (
     render_build_table,
     render_series,
@@ -46,6 +46,7 @@ from repro.core.closure_cover import closure_chain_cover
 from repro.graph.generators import graph_stats, layered_random_dag
 from repro.matching.bipartite import BipartiteGraph
 from repro.matching.hopcroft_karp import hopcroft_karp, kuhn_matching
+from repro.obs import OBS
 
 __all__ = [
     "run_table1", "run_fig10", "run_table2", "run_table3", "run_fig11",
@@ -105,11 +106,11 @@ def _build_group1(scale: float) -> tuple[list, list[list[BuildResult]]]:
             if method == "2-hop":
                 # The paper's 2-hop used exhaustive greedy re-scoring;
                 # reproduce that cost profile explicitly.
-                with Timer() as timer:
+                with OBS.span("bench/build/2-hop") as span:
                     index = TwoHopIndex.build(workload.graph, lazy=False)
                 per_graph.append(BuildResult(
                     method=method, index=index,
-                    build_seconds=timer.seconds,
+                    build_seconds=span.seconds,
                     size_words=index.size_words()))
             else:
                 per_graph.append(build_index(method, workload.graph))
@@ -236,10 +237,10 @@ def run_ablation_chain_methods(scale: float = 1.0) -> str:
         for name, cover_fn in (("stratified", stratified_chain_cover),
                                ("closure", closure_chain_cover),
                                ("jagadish", jagadish_chain_cover)):
-            with Timer() as timer:
+            with OBS.span(f"bench/cover/{name}") as span:
                 cover = cover_fn(workload.graph)
             rows.append((workload.label, name, cover.num_chains,
-                         f"{timer.seconds:.3f}"))
+                         f"{span.seconds:.3f}"))
     return render_table(
         "Ablation A — chain-cover method vs chain count",
         ["graph", "method", "chains", "decompose (sec.)"],
@@ -253,10 +254,10 @@ def run_ablation_width(scale: float = 1.0) -> str:
     for width_target in (4, 16, 64, 256):
         layers = [max(1, int(width_target * scale))] * depth
         graph = layered_random_dag(layers, 4.0 / width_target, seed=41)
-        with Timer() as timer:
+        with OBS.span("bench/build/ours") as span:
             index = ChainIndex.build(graph)
         rows.append((width_target, graph.num_nodes, index.num_chains,
-                     index.size_words(), f"{timer.seconds:.3f}"))
+                     index.size_words(), f"{span.seconds:.3f}"))
     return render_table(
         "Ablation B — width vs label size (layered DAGs, 12 layers)",
         ["layer width", "nodes", "chains (=width)", "size (16-bit words)",
@@ -275,13 +276,13 @@ def run_ablation_matching(scale: float = 1.0) -> str:
         for top in range(side):
             for bottom in rng.sample(range(side), 4):
                 graph.add_edge(top, bottom)
-        with Timer() as hk_timer:
+        with OBS.span("bench/matching/hopcroft-karp") as hk_span:
             hk_size = hopcroft_karp(graph).size()
-        with Timer() as kuhn_timer:
+        with OBS.span("bench/matching/kuhn") as kuhn_span:
             kuhn_size = kuhn_matching(graph).size()
         assert hk_size == kuhn_size
-        rows.append((side, hk_size, f"{hk_timer.seconds:.4f}",
-                     f"{kuhn_timer.seconds:.4f}"))
+        rows.append((side, hk_size, f"{hk_span.seconds:.4f}",
+                     f"{kuhn_span.seconds:.4f}"))
     return render_table(
         "Ablation C — Hopcroft–Karp vs Kuhn on random 4-regular "
         "bipartite graphs",

@@ -1,12 +1,20 @@
-"""Build/query runners shared by the CLI and the pytest benchmarks."""
+"""Build/query runners shared by the CLI and the pytest benchmarks.
+
+All timing goes through :data:`repro.obs.OBS` spans (``bench/build/*``,
+``bench/query_batch``) — a span measures whether or not the registry
+is enabled, and additionally records into the registry when it is, so
+``OBS.capture()`` around a harness call yields benchmark timings and
+the pipeline's phase spans in one place.
+"""
 
 from __future__ import annotations
 
 import random
 
-from repro.bench.metrics import BuildResult, QuerySeries, Timer
+from repro.bench.metrics import BuildResult, QuerySeries
 from repro.bench.workloads import METHOD_BUILDERS
 from repro.graph.digraph import DiGraph
+from repro.obs import OBS
 
 __all__ = [
     "build_index",
@@ -20,10 +28,10 @@ __all__ = [
 def build_index(method: str, graph: DiGraph) -> BuildResult:
     """Build one method's index, timing it and measuring its size."""
     builder = METHOD_BUILDERS[method]
-    with Timer() as timer:
+    with OBS.span(f"bench/build/{method}") as span:
         index = builder(graph)
     return BuildResult(method=method, index=index,
-                       build_seconds=timer.seconds,
+                       build_seconds=span.seconds,
                        size_words=index.size_words())
 
 
@@ -50,10 +58,10 @@ def random_queries(graph: DiGraph, count: int,
 def time_query_batch(index, queries: list[tuple]) -> float:
     """Accumulated seconds to answer every query in the batch."""
     is_reachable = index.is_reachable
-    with Timer() as timer:
+    with OBS.span("bench/query_batch") as span:
         for source, target in queries:
             is_reachable(source, target)
-    return timer.seconds
+    return span.seconds
 
 
 def run_query_series(index, method: str, graph: DiGraph,

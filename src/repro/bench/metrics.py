@@ -1,26 +1,31 @@
-"""Timing and size accounting for the benchmark harness."""
+"""Result records for the benchmark harness.
+
+Timing moved to :mod:`repro.obs`: the harness opens ``bench/*`` spans
+on the process-wide registry (so a run with observability enabled sees
+benchmark timings and pipeline phase timings in one export), and
+``Timer`` is now an alias of :class:`repro.obs.Stopwatch` kept for
+callers of the old private clock.
+"""
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
+from repro.obs import Stopwatch
+
+
+class Timer(Stopwatch):
+    """Context-manager wall clock: ``with Timer() as t: ...; t.seconds``.
+
+    Back-compat alias of :class:`repro.obs.Stopwatch`; new code should
+    time through ``OBS.span(...)`` so the measurement also lands in
+    the metrics registry when it is enabled.
+    """
+
+    __slots__ = ()
+
+
 __all__ = ["Timer", "BuildResult", "QuerySeries"]
-
-
-class Timer:
-    """Context-manager wall clock: ``with Timer() as t: ...; t.seconds``."""
-
-    def __init__(self) -> None:
-        self.seconds = 0.0
-        self._start = 0.0
-
-    def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.seconds = time.perf_counter() - self._start
 
 
 @dataclass

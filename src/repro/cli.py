@@ -3,6 +3,7 @@
 Subcommands operate on the edge-list format of :mod:`repro.graph.io`::
 
     python -m repro stats graph.txt          # nodes/edges/width/height
+    python -m repro stats graph.txt --profile    # + cProfile hot spots
     python -m repro chains graph.txt         # minimum chain cover
     python -m repro antichain graph.txt      # a maximum antichain
     python -m repro query graph.txt 0 1 2 3  # reachability pairs
@@ -10,16 +11,29 @@ Subcommands operate on the edge-list format of :mod:`repro.graph.io`::
     python -m repro index graph.txt -o graph.idx     # persist the index
     python -m repro query --index graph.idx 0 1      # query without rebuild
     python -m repro dot graph.txt --chains           # Graphviz export
+
+Observability (see ``docs/OBSERVABILITY.md``): ``--profile`` on
+``stats`` prints a cProfile breakdown of the width computation, and
+``--metrics-out metrics.json`` on ``index`` / ``query`` enables the
+:data:`repro.obs.OBS` registry for the run and writes its JSON export
+— per-phase spans (``condense``, ``stratify``, ``matching/level-*``,
+``resolution``, ``labeling``), build counters (chains, virtual nodes,
+transfers, ...) and query counters::
+
+    python -m repro index graph.txt -o graph.idx --metrics-out m.json
+    python -m repro query graph.txt 0 1 --metrics-out m.json
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro.core.index import ChainIndex
 from repro.core.width import dag_width, maximum_antichain
+from repro.obs import OBS, maybe_profiled
 from repro.graph.generators import (
     citation_dag,
     dense_dag,
@@ -38,15 +52,38 @@ def _load(path: str):
     return read_edge_list(Path(path))
 
 
+@contextmanager
+def _metrics_session(out: str | None):
+    """Enable the OBS registry around a command and export its JSON."""
+    if not out:
+        yield
+        return
+    OBS.reset()
+    OBS.enable()
+    try:
+        yield
+    finally:
+        OBS.disable()
+        try:
+            OBS.export(Path(out))
+        except OSError as exc:
+            print(f"error: cannot write metrics to {out}: {exc}",
+                  file=sys.stderr)
+            raise SystemExit(2) from exc
+        print(f"metrics -> {out}")
+
+
 def _cmd_stats(args) -> int:
     graph = _load(args.graph)
-    condensation = condense(graph)
-    stats = graph_stats(condensation.dag, path_samples=500, seed=0)
+    with maybe_profiled(args.profile):
+        condensation = condense(graph)
+        stats = graph_stats(condensation.dag, path_samples=500, seed=0)
+        width = dag_width(condensation.dag)
     print(f"nodes:               {graph.num_nodes}")
     print(f"edges:               {graph.num_edges}")
     print(f"scc components:      {condensation.num_components}")
     print(f"height (strata):     {stats.height}")
-    print(f"width (Dilworth):    {dag_width(condensation.dag)}")
+    print(f"width (Dilworth):    {width}")
     print(f"avg out-degree:      "
           f"{stats.average_out_degree_internal:.2f}")
     return 0
@@ -74,6 +111,11 @@ def _cmd_antichain(args) -> int:
 
 
 def _cmd_query(args) -> int:
+    with _metrics_session(args.metrics_out):
+        return _run_query(args)
+
+
+def _run_query(args) -> int:
     pairs = list(args.pairs)
     if args.index:
         # With --index the positional "graph" slot, if filled, is
@@ -122,9 +164,10 @@ _GENERATORS = {
 
 def _cmd_index(args) -> int:
     from repro.core.persistence import save_index
-    graph = _load(args.graph)
-    index = ChainIndex.build(graph, method=args.method)
-    save_index(index, Path(args.out))
+    with _metrics_session(args.metrics_out):
+        graph = _load(args.graph)
+        index = ChainIndex.build(graph, method=args.method)
+        save_index(index, Path(args.out))
     print(f"indexed {graph.num_nodes} nodes into {index.num_chains} "
           f"chains ({index.size_words()} words) -> {args.out}")
     return 0
@@ -174,6 +217,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser("stats", help="graph statistics incl. width")
     stats.add_argument("graph")
+    stats.add_argument("--profile", action="store_true",
+                       help="print a cProfile breakdown of the "
+                            "width/stats computation")
     stats.set_defaults(func=_cmd_stats)
 
     chains = sub.add_parser("chains", help="minimum chain cover")
@@ -195,6 +241,9 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--str-labels", dest="int_labels",
                        action="store_false",
                        help="treat node labels as strings")
+    query.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="record repro.obs metrics for the run and "
+                            "write the JSON export here")
     query.set_defaults(func=_cmd_query)
 
     index = sub.add_parser("index", help="build and persist an index")
@@ -202,6 +251,9 @@ def build_parser() -> argparse.ArgumentParser:
     index.add_argument("-o", "--out", required=True)
     index.add_argument("--method", default="stratified",
                        choices=["stratified", "closure", "jagadish"])
+    index.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="record repro.obs metrics (phase spans, "
+                            "build counters) and write the JSON here")
     index.set_defaults(func=_cmd_index)
 
     dot = sub.add_parser("dot", help="Graphviz export")

@@ -35,6 +35,7 @@ from repro.core.stratified import (
 from repro.graph.digraph import DiGraph
 from repro.graph.errors import NodeNotFoundError
 from repro.graph.scc import Condensation, condense
+from repro.obs import OBS
 
 __all__ = ["ChainIndex"]
 
@@ -69,11 +70,17 @@ class ChainIndex:
         heuristic — more chains, larger labels; exists for comparisons).
         ``check=True`` validates the decomposition against the graph
         before labeling (slow; meant for tests).
+
+        When :data:`repro.obs.OBS` is enabled the build emits the
+        phase spans and build counters of ``docs/OBSERVABILITY.md``
+        (``condense``, ``stratify``, ``matching/level-*``,
+        ``resolution``, ``labeling``, ``build/chains``, ...).
         """
         if method not in _METHODS:
             raise ValueError(
                 f"unknown method {method!r}; expected one of {_METHODS}")
-        condensation = condense(graph)
+        with OBS.span("condense"):
+            condensation = condense(graph)
         dag = condensation.dag
         stats = None
         if method == "stratified":
@@ -86,6 +93,10 @@ class ChainIndex:
         if check:
             decomposition.check(dag)
         labeling = build_labeling(dag, decomposition)
+        if OBS.enabled:
+            OBS.count("build/chains", decomposition.num_chains)
+            OBS.gauge("build/components", condensation.num_components)
+            OBS.gauge("index/size_words", labeling.size_words())
         return cls(condensation, decomposition, labeling, method, stats)
 
     # ------------------------------------------------------------------

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from repro.core.chains import ChainDecomposition
 from repro.graph.digraph import DiGraph
 from repro.graph.topology import topological_order_ids
+from repro.obs import OBS
 
 __all__ = ["ChainLabeling", "build_labeling", "merge_index_sequences"]
 
@@ -83,9 +84,19 @@ class ChainLabeling:
     sequence_positions: list[tuple[int, ...]]
 
     def is_reachable_ids(self, source: int, target: int) -> bool:
-        """Reflexive reachability on dense node ids, O(log k)."""
+        """Reflexive reachability on dense node ids, O(log k).
+
+        Counts ``query/answered`` (every call) and ``query/probes``
+        (calls that reach the binary search) when observability is on;
+        when it is off the cost is one attribute check per query.
+        """
+        enabled = OBS.enabled
+        if enabled:
+            OBS.count("query/answered")
         if source == target:
             return True
+        if enabled:
+            OBS.count("query/probes")
         chains = self.sequence_chains[source]
         target_chain = self.chain_of[target]
         index = bisect_left(chains, target_chain)
@@ -114,35 +125,49 @@ class ChainLabeling:
 
 def build_labeling(graph: DiGraph,
                    decomposition: ChainDecomposition) -> ChainLabeling:
-    """Build index sequences for every node (one reverse-topo pass)."""
-    n = graph.num_nodes
-    chain_of = decomposition.chain_of
-    position_of = decomposition.position_of
-    reach: list[dict[int, int]] = [{} for _ in range(n)]
-    for v in reversed(topological_order_ids(graph)):
-        accumulator = reach[v]
-        for child in graph.successor_ids(v):
-            child_chain = chain_of[child]
-            child_position = position_of[child]
-            best = accumulator.get(child_chain)
-            if best is None or child_position < best:
-                accumulator[child_chain] = child_position
-            for chain, position in reach[child].items():
-                best = accumulator.get(chain)
-                if best is None or position < best:
-                    accumulator[chain] = position
+    """Build index sequences for every node (one reverse-topo pass).
 
-    sequence_chains: list[tuple[int, ...]] = [()] * n
-    sequence_positions: list[tuple[int, ...]] = [()] * n
-    for v in range(n):
-        if reach[v]:
-            items = sorted(reach[v].items())
-            sequence_chains[v] = tuple(chain for chain, _ in items)
-            sequence_positions[v] = tuple(pos for _, pos in items)
-    return ChainLabeling(
-        num_chains=decomposition.num_chains,
-        chain_of=list(chain_of),
-        position_of=list(position_of),
-        sequence_chains=sequence_chains,
-        sequence_positions=sequence_positions,
-    )
+    Emits the ``labeling`` span; when observability is on it also
+    counts ``labeling/merge_ops`` — one per (chain, position) candidate
+    considered, the work unit of the paper's O(b·e) bound.  The count
+    accumulates in a local and publishes once, so the disabled cost is
+    one branch per edge, not per candidate.
+    """
+    with OBS.span("labeling"):
+        n = graph.num_nodes
+        chain_of = decomposition.chain_of
+        position_of = decomposition.position_of
+        enabled = OBS.enabled
+        merge_ops = 0
+        reach: list[dict[int, int]] = [{} for _ in range(n)]
+        for v in reversed(topological_order_ids(graph)):
+            accumulator = reach[v]
+            for child in graph.successor_ids(v):
+                child_chain = chain_of[child]
+                child_position = position_of[child]
+                if enabled:
+                    merge_ops += 1 + len(reach[child])
+                best = accumulator.get(child_chain)
+                if best is None or child_position < best:
+                    accumulator[child_chain] = child_position
+                for chain, position in reach[child].items():
+                    best = accumulator.get(chain)
+                    if best is None or position < best:
+                        accumulator[chain] = position
+
+        sequence_chains: list[tuple[int, ...]] = [()] * n
+        sequence_positions: list[tuple[int, ...]] = [()] * n
+        for v in range(n):
+            if reach[v]:
+                items = sorted(reach[v].items())
+                sequence_chains[v] = tuple(chain for chain, _ in items)
+                sequence_positions[v] = tuple(pos for _, pos in items)
+        if enabled:
+            OBS.count("labeling/merge_ops", merge_ops)
+        return ChainLabeling(
+            num_chains=decomposition.num_chains,
+            chain_of=list(chain_of),
+            position_of=list(position_of),
+            sequence_chains=sequence_chains,
+            sequence_positions=sequence_positions,
+        )

@@ -29,6 +29,7 @@ from repro.core.stratified import stratified_chain_cover
 from repro.graph.digraph import DiGraph
 from repro.graph.errors import NodeNotFoundError, NotADAGError
 from repro.graph.topology import check_dag
+from repro.obs import OBS
 
 __all__ = ["DynamicChainIndex"]
 
@@ -62,18 +63,20 @@ class DynamicChainIndex:
         return cls(graph.copy())
 
     def _rebuild_from_graph(self) -> None:
-        graph = self._graph
-        cover = stratified_chain_cover(graph)
-        self._chain_of = list(cover.chain_of)
-        self._position_of = list(cover.position_of)
-        self._num_chains = cover.num_chains
-        from repro.graph.topology import topological_order_ids
-        reach: list[dict[int, int]] = [{} for _ in range(graph.num_nodes)]
-        for v in reversed(topological_order_ids(graph)):
-            accumulator = reach[v]
-            for child in graph.successor_ids(v):
-                self._merge_into(accumulator, child, reach[child])
-        self._reach = reach
+        with OBS.span("maintenance/rebuild"):
+            graph = self._graph
+            cover = stratified_chain_cover(graph)
+            self._chain_of = list(cover.chain_of)
+            self._position_of = list(cover.position_of)
+            self._num_chains = cover.num_chains
+            from repro.graph.topology import topological_order_ids
+            reach: list[dict[int, int]] = [{}
+                                           for _ in range(graph.num_nodes)]
+            for v in reversed(topological_order_ids(graph)):
+                accumulator = reach[v]
+                for child in graph.successor_ids(v):
+                    self._merge_into(accumulator, child, reach[child])
+            self._reach = reach
 
     def rebuild(self) -> None:
         """Re-minimise the chains (compaction after many insertions)."""
@@ -89,6 +92,8 @@ class DynamicChainIndex:
         self._position_of.append(0)
         self._reach.append({})
         self._num_chains += 1
+        if OBS.enabled:
+            OBS.count("maintenance/nodes_added")
 
     def add_edge(self, tail, head) -> None:
         """Insert ``tail → head``; rejects edges that would close a cycle.
@@ -106,10 +111,14 @@ class DynamicChainIndex:
             raise NotADAGError(
                 f"edge ({tail!r}, {head!r}) would create a cycle")
         graph.add_edge(tail, head)
+        enabled = OBS.enabled
+        if enabled:
+            OBS.count("maintenance/edges_added")
         changed = self._merge_into(self._reach[tail_id], head_id,
                                    self._reach[head_id])
         if not changed:
             return
+        label_updates = 1  # the tail's own label just changed
         worklist = [tail_id]
         while worklist:
             node = worklist.pop()
@@ -124,7 +133,10 @@ class DynamicChainIndex:
                 if self._merge_pairs(parent_reach, [own]):
                     touched = True
                 if touched:
+                    label_updates += 1
                     worklist.append(parent)
+        if enabled:
+            OBS.count("maintenance/label_updates", label_updates)
 
     # ------------------------------------------------------------------
     # queries

@@ -28,6 +28,7 @@ from repro.core.labeling import ChainLabeling
 from repro.graph.digraph import DiGraph
 from repro.graph.errors import GraphFormatError
 from repro.graph.scc import Condensation
+from repro.obs import OBS
 
 __all__ = ["save_index", "load_index", "FORMAT_VERSION"]
 
@@ -39,8 +40,14 @@ def save_index(index: ChainIndex, target: str | Path | TextIO) -> None:
     """Serialise ``index`` as JSON.
 
     Raises :class:`GraphFormatError` when a node label is not a JSON
-    scalar (tuples and arbitrary objects do not round-trip).
+    scalar (tuples and arbitrary objects do not round-trip).  Emits
+    the ``persist/save`` span.
     """
+    with OBS.span("persist/save"):
+        _save_index(index, target)
+
+
+def _save_index(index: ChainIndex, target: str | Path | TextIO) -> None:
     condensation = index._condensation
     for members in condensation.members:
         for node in members:
@@ -79,7 +86,13 @@ def load_index(source: str | Path | TextIO) -> ChainIndex:
     Raises :class:`GraphFormatError` on malformed or wrong-version
     input.  The loaded index is fully equivalent: queries, descendant
     and ancestor enumeration all behave as on the originally built one.
+    Emits the ``persist/load`` span.
     """
+    with OBS.span("persist/load"):
+        return _load_index(source)
+
+
+def _load_index(source: str | Path | TextIO) -> ChainIndex:
     if isinstance(source, (str, Path)):
         with open(source, "r", encoding="utf-8") as handle:
             document = _parse(handle)

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from repro.graph.digraph import DiGraph
 from repro.graph.errors import NotADAGError
 from repro.graph.topology import find_cycle
+from repro.obs import OBS
 
 __all__ = ["Stratification", "stratify"]
 
@@ -85,8 +86,18 @@ class Stratification:
 def stratify(graph: DiGraph) -> Stratification:
     """Stratify a DAG per Algorithm *graph-stratification* (Sec. III.A).
 
-    Raises :class:`NotADAGError` on cyclic input.
+    Raises :class:`NotADAGError` on cyclic input.  Emits the
+    ``stratify`` span and the ``build/levels`` gauge (see
+    ``docs/OBSERVABILITY.md``) when :data:`repro.obs.OBS` is enabled.
     """
+    with OBS.span("stratify"):
+        result = _stratify(graph)
+    if OBS.enabled:
+        OBS.gauge("build/levels", result.height)
+    return result
+
+
+def _stratify(graph: DiGraph) -> Stratification:
     n = graph.num_nodes
     remaining = [len(graph.successor_ids(v)) for v in range(n)]
     level_of = [0] * n

@@ -54,6 +54,7 @@ from repro.graph.digraph import DiGraph
 from repro.matching.alternating import alternating_bfs, bottoms_to_tops
 from repro.matching.bipartite import BipartiteGraph, Matching
 from repro.matching.hopcroft_karp import hopcroft_karp
+from repro.obs import OBS
 
 __all__ = ["DecompositionStats", "stratified_chain_cover",
            "stratified_chain_cover_with_stats"]
@@ -113,7 +114,8 @@ def stratified_chain_cover_with_stats(
     level_matchings = _phase_one(graph, strat, registry, max_parent_level,
                                  stats)
     resolution = _Resolution(graph, strat, registry, level_matchings, stats)
-    parent_link = resolution.run()
+    with OBS.span("resolution"):
+        parent_link = resolution.run()
     _harvest_matchings(level_matchings, parent_link, n)
     chains = _assemble_chains(parent_link, n)
     decomposition = ChainDecomposition(chains=chains)
@@ -123,9 +125,27 @@ def stratified_chain_cover_with_stats(
         # the lost links (see repro/core/stitch.py).
         from repro.core.stitch import stitch_chains
         before = decomposition.num_chains
-        decomposition = stitch_chains(graph, decomposition)
+        with OBS.span("stitch"):
+            decomposition = stitch_chains(graph, decomposition)
         stats.stitched = before - decomposition.num_chains
+    if OBS.enabled:
+        _publish_stats(stats)
     return decomposition, stats
+
+
+def _publish_stats(stats: DecompositionStats) -> None:
+    """Mirror the run's telemetry into the ``build/*`` counters."""
+    for counter, value in (
+            ("build/virtual_nodes", stats.num_virtuals),
+            ("build/virtual_edges_direct", stats.num_direct_edges),
+            ("build/virtual_edges_s", stats.num_s_edges),
+            ("build/transfers", stats.transfers),
+            ("build/descents", stats.descents),
+            ("build/rollbacks", stats.rollbacks),
+            ("build/splits", stats.splits),
+            ("build/stitched", stats.stitched),
+            ("build/unanchored", stats.unanchored)):
+        OBS.count(counter, value)
 
 
 # ----------------------------------------------------------------------
@@ -140,87 +160,92 @@ def _phase_one(graph: DiGraph, strat: Stratification,
     pending: list[VirtualNode] = []
 
     for bottom_level in range(1, h):          # the paper's i = 1 .. h-1
-        tops = levels[bottom_level]           # V_{i+1} (0-based index!)
-        bottoms = list(levels[bottom_level - 1])
-        bottoms.extend(v.ext_id for v in pending)
-        top_index = {v: idx for idx, v in enumerate(tops)}
-        bottom_index = {v: idx for idx, v in enumerate(bottoms)}
+        with OBS.span(f"matching/level-{bottom_level}"):
+            tops = levels[bottom_level]           # V_{i+1} (0-based index!)
+            bottoms = list(levels[bottom_level - 1])
+            bottoms.extend(v.ext_id for v in pending)
+            top_index = {v: idx for idx, v in enumerate(tops)}
+            bottom_index = {v: idx for idx, v in enumerate(bottoms)}
 
-        bipartite = BipartiteGraph(len(tops), len(bottoms))
-        for top_local, top in enumerate(tops):
-            for child in strat.children_by_level[top].get(bottom_level, ()):
-                bipartite.add_edge(top_local, bottom_index[child])
-        for virtual in pending:
-            bottom_local = bottom_index[virtual.ext_id]
-            for top in virtual.adjacent_tops:
-                bipartite.add_edge(top_index[top], bottom_local)
+            bipartite = BipartiteGraph(len(tops), len(bottoms))
+            for top_local, top in enumerate(tops):
+                for child in strat.children_by_level[top].get(bottom_level, ()):
+                    bipartite.add_edge(top_local, bottom_index[child])
+            for virtual in pending:
+                bottom_local = bottom_index[virtual.ext_id]
+                for top in virtual.adjacent_tops:
+                    bipartite.add_edge(top_index[top], bottom_local)
 
-        matching = hopcroft_karp(bipartite)
-        reverse_adj = bottoms_to_tops(bipartite)
-        record = LevelMatching(
-            level=bottom_level, tops=tops, bottoms=bottoms,
-            top_index=top_index, bottom_index=bottom_index,
-            bipartite=bipartite, matching=matching,
-            reverse_adj=reverse_adj,
-        )
-        level_matchings.append(record)
+            matching = hopcroft_karp(bipartite)
+            reverse_adj = bottoms_to_tops(bipartite)
+            record = LevelMatching(
+                level=bottom_level, tops=tops, bottoms=bottoms,
+                top_index=top_index, bottom_index=bottom_index,
+                bipartite=bipartite, matching=matching,
+                reverse_adj=reverse_adj,
+            )
+            level_matchings.append(record)
+            if OBS.enabled:
+                pairs = matching.size()
+                OBS.count("matching/pairs", pairs)
+                OBS.gauge(f"matching/level-{bottom_level}/pairs", pairs)
 
-        pending = []
-        if bottom_level + 1 > h - 1:
-            continue  # bottoms of the last matching spawn nothing
-        parent_level_up = bottom_level + 2    # the paper's V_{i+2}
-        for bottom_local in matching.free_bottoms():
-            free_ext = bottoms[bottom_local]
-            base = registry.base_of(free_ext)
-            direct = list(
-                strat.parents_by_level[base].get(parent_level_up, ()))
-            forest = alternating_bfs(matching, reverse_adj,
-                                     reverse_adj[bottom_local])
-            # Support nodes whose parents all sit at or below the tops
-            # of the *next* matching can never be claimed by a transfer
-            # again, so they are pruned as the tower rises — without
-            # this the cumulative unions grow quadratically.
-            support: set[int] = set()
+            pending = []
+            if bottom_level + 1 > h - 1:
+                continue  # bottoms of the last matching spawn nothing
+            parent_level_up = bottom_level + 2    # the paper's V_{i+2}
+            for bottom_local in matching.free_bottoms():
+                free_ext = bottoms[bottom_local]
+                base = registry.base_of(free_ext)
+                direct = list(
+                    strat.parents_by_level[base].get(parent_level_up, ()))
+                forest = alternating_bfs(matching, reverse_adj,
+                                         reverse_adj[bottom_local])
+                # Support nodes whose parents all sit at or below the tops
+                # of the *next* matching can never be claimed by a transfer
+                # again, so they are pruned as the tower rises — without
+                # this the cumulative unions grow quadratically.
+                support: set[int] = set()
 
-            def keep(node: int) -> None:
-                if max_parent_level[node] >= parent_level_up:
-                    support.add(node)
+                def keep(node: int) -> None:
+                    if max_parent_level[node] >= parent_level_up:
+                        support.add(node)
 
-            if registry.is_virtual(free_ext):
-                for node in registry.get(free_ext).support:
-                    keep(node)
-            for top_local in forest.order:
-                keep(tops[top_local])
-                # Flipping up to this top frees its matched bottom; the
-                # adopter may also target that bottom directly — the
-                # bottom itself when real, the tower's base and support
-                # when virtual.
-                freed_ext = bottoms[matching.bottom_of[top_local]]
-                if registry.is_virtual(freed_ext):
-                    freed = registry.get(freed_ext)
-                    keep(freed.base)
-                    for node in freed.support:
+                if registry.is_virtual(free_ext):
+                    for node in registry.get(free_ext).support:
                         keep(node)
-                else:
-                    keep(freed_ext)
-            support.discard(base)
-            s_tops: set[int] = set()
-            for node in support:
-                s_tops.update(
-                    strat.parents_by_level[node].get(parent_level_up, ()))
-            s_tops.difference_update(direct)
-            useful_later = max_parent_level[base] > parent_level_up or any(
-                max_parent_level[node] > parent_level_up
-                for node in support)
-            if direct or s_tops or useful_later:
-                virtual = registry.create(
-                    level=bottom_level + 1, for_node=free_ext,
-                    direct_tops=direct, s_tops=sorted(s_tops),
-                    support=tuple(sorted(support)))
-                pending.append(virtual)
-                stats.num_virtuals += 1
-                stats.num_direct_edges += len(direct)
-                stats.num_s_edges += len(s_tops)
+                for top_local in forest.order:
+                    keep(tops[top_local])
+                    # Flipping up to this top frees its matched bottom; the
+                    # adopter may also target that bottom directly — the
+                    # bottom itself when real, the tower's base and support
+                    # when virtual.
+                    freed_ext = bottoms[matching.bottom_of[top_local]]
+                    if registry.is_virtual(freed_ext):
+                        freed = registry.get(freed_ext)
+                        keep(freed.base)
+                        for node in freed.support:
+                            keep(node)
+                    else:
+                        keep(freed_ext)
+                support.discard(base)
+                s_tops: set[int] = set()
+                for node in support:
+                    s_tops.update(
+                        strat.parents_by_level[node].get(parent_level_up, ()))
+                s_tops.difference_update(direct)
+                useful_later = max_parent_level[base] > parent_level_up or any(
+                    max_parent_level[node] > parent_level_up
+                    for node in support)
+                if direct or s_tops or useful_later:
+                    virtual = registry.create(
+                        level=bottom_level + 1, for_node=free_ext,
+                        direct_tops=direct, s_tops=sorted(s_tops),
+                        support=tuple(sorted(support)))
+                    pending.append(virtual)
+                    stats.num_virtuals += 1
+                    stats.num_direct_edges += len(direct)
+                    stats.num_s_edges += len(s_tops)
     return level_matchings
 
 

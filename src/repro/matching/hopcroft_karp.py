@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.matching.bipartite import BipartiteGraph, Matching
+from repro.obs import OBS
 
 __all__ = ["hopcroft_karp", "kuhn_matching"]
 
@@ -93,10 +94,16 @@ def hopcroft_karp(graph: BipartiteGraph,
             frames.pop()
         return False
 
+    rounds = 0
+    augmentations = 0
     while bfs():
+        rounds += 1
         for top in range(num_tops):
-            if bottom_of[top] == Matching.UNMATCHED:
-                dfs(top)
+            if bottom_of[top] == Matching.UNMATCHED and dfs(top):
+                augmentations += 1
+    if OBS.enabled:
+        OBS.count("matching/bfs_rounds", rounds)
+        OBS.count("matching/augmentations", augmentations)
     return matching
 
 

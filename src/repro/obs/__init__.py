@@ -1,0 +1,54 @@
+"""repro.obs — phase-level observability for the reachability pipeline.
+
+A zero-dependency instrumentation layer: hierarchical phase spans,
+named counters and gauges in one process-wide registry (:data:`OBS`,
+disabled by default), JSON export under the ``repro.obs/1`` schema,
+and an opt-in cProfile hook.  The build pipeline (condense → stratify
+→ per-level matching → resolution → labeling), the query path, index
+persistence and incremental maintenance all report here, which is what
+lets measured cost be attributed to the phases of the paper's
+``O(n² + b·n·√b)`` build / ``O(b·e)`` labeling analysis.
+
+Quick use::
+
+    from repro import ChainIndex, DiGraph, OBS
+
+    with OBS.capture() as metrics:
+        ChainIndex.build(DiGraph.from_edges([("a", "b"), ("b", "c")]))
+    print(sorted(metrics.spans))     # condense, labeling, matching/...
+
+Every emitted name is registered in :data:`~repro.obs.catalog.CATALOG`
+and documented in ``docs/OBSERVABILITY.md``; ``tests/test_docs.py``
+keeps the three in lockstep.
+"""
+
+from repro.obs.catalog import (
+    CATALOG,
+    MetricSpec,
+    catalog_names,
+    is_known_metric,
+)
+from repro.obs.profiling import maybe_profiled, profiled
+from repro.obs.registry import (
+    OBS,
+    SCHEMA,
+    MetricsRegistry,
+    Span,
+    SpanStats,
+    Stopwatch,
+)
+
+__all__ = [
+    "OBS",
+    "SCHEMA",
+    "MetricsRegistry",
+    "Span",
+    "SpanStats",
+    "Stopwatch",
+    "CATALOG",
+    "MetricSpec",
+    "catalog_names",
+    "is_known_metric",
+    "profiled",
+    "maybe_profiled",
+]

@@ -1,0 +1,149 @@
+"""The metric catalogue: every span, counter and gauge the library emits.
+
+``docs/OBSERVABILITY.md`` renders this catalogue as the user-facing
+reference, and ``tests/test_docs.py`` checks the two against each other
+in both directions, so a new instrumentation site must be registered
+here (and documented) before it can ship.
+
+Names may contain placeholders — ``{level}`` for a stratum number,
+``{method}`` / ``{algorithm}`` for a benchmark method label — which
+:func:`is_known_metric` expands when validating a concrete emission.
+Span paths compose hierarchically (``bench/build/ours/labeling``), so
+validation matches the catalogue name against the *suffix* of a path.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["MetricSpec", "CATALOG", "catalog_names", "is_known_metric"]
+
+_PLACEHOLDERS = {
+    "{level}": r"\d+",
+    "{method}": r"[^/]+",
+    "{algorithm}": r"[^/]+",
+}
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One catalogued metric."""
+
+    name: str      #: catalogue name, possibly with placeholders
+    kind: str      #: "span" | "counter" | "gauge"
+    unit: str      #: "seconds", "count", ...
+    emitted: str   #: one line: which code path emits it, and when
+
+
+CATALOG: tuple[MetricSpec, ...] = (
+    # -- spans (units: seconds; aggregated count/total/min/max) -------
+    MetricSpec("condense", "span", "seconds",
+               "ChainIndex.build — Tarjan SCC condensation of the "
+               "input graph"),
+    MetricSpec("stratify", "span", "seconds",
+               "stratify() — level peeling plus the C_j/P_j link sets"),
+    MetricSpec("matching/level-{level}", "span", "seconds",
+               "phase 1, once per stratum: bipartite construction, "
+               "Hopcroft-Karp, virtual-node spawning for the level "
+               "whose bottoms are V_{level}"),
+    MetricSpec("resolution", "span", "seconds",
+               "phase 2 — transactional virtual-node resolution"),
+    MetricSpec("stitch", "span", "seconds",
+               "tail-to-head stitch pass; only when a split occurred"),
+    MetricSpec("labeling", "span", "seconds",
+               "build_labeling() — the reverse-topological index-"
+               "sequence merge"),
+    MetricSpec("persist/save", "span", "seconds",
+               "save_index() — JSON serialisation of a built index"),
+    MetricSpec("persist/load", "span", "seconds",
+               "load_index() — parse plus validation"),
+    MetricSpec("maintenance/rebuild", "span", "seconds",
+               "DynamicChainIndex construction and rebuild()"),
+    MetricSpec("bench/build/{method}", "span", "seconds",
+               "bench harness — full index build of one method"),
+    MetricSpec("bench/cover/{method}", "span", "seconds",
+               "chain-cover ablation — decomposition only"),
+    MetricSpec("bench/matching/{algorithm}", "span", "seconds",
+               "matching ablation — one maximum-matching run"),
+    MetricSpec("bench/query_batch", "span", "seconds",
+               "bench harness — one timed batch of queries"),
+    # -- counters (units: count unless noted) -------------------------
+    MetricSpec("matching/pairs", "counter", "count",
+               "phase 1 — matched pairs, summed over the levels"),
+    MetricSpec("matching/bfs_rounds", "counter", "count",
+               "hopcroft_karp() — BFS phases run"),
+    MetricSpec("matching/augmentations", "counter", "count",
+               "hopcroft_karp() — augmenting paths applied"),
+    MetricSpec("build/chains", "counter", "count",
+               "ChainIndex.build — chains in the final decomposition "
+               "(any method; one build per session reads directly)"),
+    MetricSpec("build/virtual_nodes", "counter", "count",
+               "phase 1 — virtual nodes created (Definition 4)"),
+    MetricSpec("build/virtual_edges_direct", "counter", "count",
+               "phase 1 — inherited real-parent bipartite edges"),
+    MetricSpec("build/virtual_edges_s", "counter", "count",
+               "phase 1 — rerouting (support-set) bipartite edges"),
+    MetricSpec("build/transfers", "counter", "count",
+               "phase 2 — alternating-path transfers committed"),
+    MetricSpec("build/descents", "counter", "count",
+               "phase 2 — tower descents taken"),
+    MetricSpec("build/rollbacks", "counter", "count",
+               "phase 2 — transactions rolled back"),
+    MetricSpec("build/splits", "counter", "count",
+               "phase 2 — matched pairs split (no sound realisation)"),
+    MetricSpec("build/stitched", "counter", "count",
+               "stitch pass — chains re-joined after splits"),
+    MetricSpec("build/unanchored", "counter", "count",
+               "phase 2 — virtual nodes never matched from above"),
+    MetricSpec("labeling/merge_ops", "counter", "count",
+               "build_labeling() — (chain, position) candidate merges, "
+               "the paper's O(b*e) work unit"),
+    MetricSpec("query/answered", "counter", "count",
+               "ChainLabeling.is_reachable_ids — reachability queries "
+               "answered by the static index"),
+    MetricSpec("query/probes", "counter", "count",
+               "ChainLabeling.is_reachable_ids — binary-search probes "
+               "(source != target queries reaching the bisect)"),
+    MetricSpec("maintenance/nodes_added", "counter", "count",
+               "DynamicChainIndex.add_node calls"),
+    MetricSpec("maintenance/edges_added", "counter", "count",
+               "DynamicChainIndex.add_edge — edges actually inserted"),
+    MetricSpec("maintenance/label_updates", "counter", "count",
+               "DynamicChainIndex.add_edge — ancestor labels changed "
+               "by the upward worklist pass"),
+    # -- gauges -------------------------------------------------------
+    MetricSpec("build/levels", "gauge", "levels",
+               "stratify() — the stratification height h"),
+    MetricSpec("build/components", "gauge", "components",
+               "ChainIndex.build — SCC count of the input"),
+    MetricSpec("matching/level-{level}/pairs", "gauge", "count",
+               "phase 1 — matched pairs at one level"),
+    MetricSpec("index/size_words", "gauge", "16-bit words",
+               "ChainIndex.build — label size, the paper's table unit"),
+)
+
+
+def catalog_names() -> set[str]:
+    """Every catalogued metric name (placeholders unexpanded)."""
+    return {spec.name for spec in CATALOG}
+
+
+def _compile(name: str) -> re.Pattern:
+    pattern = re.escape(name)
+    for placeholder, expansion in _PLACEHOLDERS.items():
+        pattern = pattern.replace(re.escape(placeholder), expansion)
+    return re.compile(r"(?:^|.*/)" + pattern + r"$")
+
+
+_MATCHERS = [_compile(spec.name) for spec in CATALOG]
+
+
+def is_known_metric(name: str) -> bool:
+    """True when ``name`` instantiates a catalogued metric.
+
+    Accepts hierarchical span paths by matching the catalogue entry
+    against the path suffix: ``bench/build/ours/labeling`` is known
+    because ``labeling`` is.
+    """
+    return any(matcher.match(name) for matcher in _MATCHERS)

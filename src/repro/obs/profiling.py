@@ -1,0 +1,51 @@
+"""Opt-in cProfile hook for the CLI and ad-hoc investigations.
+
+Spans answer "which phase is slow"; this answers "which *function*
+inside that phase".  It is deliberately separate from the registry —
+cProfile's tracing overhead (2-5x on tight Python loops) must never be
+confused with the near-zero cost of spans, so profiling is only ever
+entered explicitly::
+
+    from repro.obs import profiled
+
+    with profiled(limit=15):
+        ChainIndex.build(graph)
+
+or, from the shell, ``python -m repro stats graph.txt --profile``.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+from contextlib import contextmanager, nullcontext
+from typing import TextIO
+
+__all__ = ["profiled", "maybe_profiled"]
+
+
+@contextmanager
+def profiled(stream: TextIO | None = None, sort: str = "cumulative",
+             limit: int = 25):
+    """Profile the block and print the top ``limit`` functions.
+
+    ``sort`` is any :mod:`pstats` sort key (``"cumulative"``,
+    ``"tottime"``, ...); output goes to ``stream`` (default stdout).
+    Yields the live :class:`cProfile.Profile` so callers can also dump
+    raw stats themselves.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=stream or sys.stdout)
+        stats.sort_stats(sort)
+        stats.print_stats(limit)
+
+
+def maybe_profiled(enabled: bool, **kwargs):
+    """:func:`profiled` when ``enabled``, else a no-op context."""
+    return profiled(**kwargs) if enabled else nullcontext()

@@ -1,0 +1,268 @@
+"""The metrics registry: phase spans, counters, gauges, JSON export.
+
+One process-wide :data:`OBS` registry instance serves the whole
+library.  It is **disabled by default**: every instrumentation site
+first checks the plain ``OBS.enabled`` attribute, so the cost of
+shipping the library instrumented is one attribute load and branch per
+*phase* (never per inner-loop iteration — hot loops accumulate into a
+local integer and publish once at phase exit).
+
+Three metric kinds:
+
+* **spans** — hierarchical wall-clock timers.  ``with OBS.span("x")``
+  times its block; nested spans record slash-joined paths, so a span
+  named ``labeling`` opened inside ``bench/build/ours`` records as
+  ``bench/build/ours/labeling``.  Per path the registry aggregates
+  count, total, min and max seconds.  A :class:`Span` always measures
+  (its ``seconds`` attribute is valid either way) but records into the
+  registry only when the registry was enabled at entry — that is what
+  lets the benchmark harness time through spans while keeping the
+  registry off.
+* **counters** — monotonically accumulated numbers
+  (``OBS.count("build/virtual_nodes", 3)``).
+* **gauges** — last-set values (``OBS.gauge("build/levels", 7)``).
+
+Span paths are composed per thread (thread-local span stacks); counter
+and gauge updates take a lock, so concurrent builders can share the
+registry.
+
+:meth:`MetricsRegistry.to_dict` / ``to_json`` / ``export`` serialise
+everything under the ``repro.obs/1`` schema documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import TextIO
+
+__all__ = ["SCHEMA", "Stopwatch", "Span", "SpanStats",
+           "MetricsRegistry", "OBS"]
+
+#: Identifier written into every JSON export (bump on layout changes).
+SCHEMA = "repro.obs/1"
+
+
+class Stopwatch:
+    """Context-manager wall clock: ``with Stopwatch() as t: ...``.
+
+    Always measures, never records — the registry-free primitive the
+    bench layer's ``Timer`` aliases.
+    """
+
+    __slots__ = ("seconds", "_start")
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+class SpanStats:
+    """Aggregate timing of every completed span at one path."""
+
+    __slots__ = ("count", "seconds", "min_seconds", "max_seconds")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.seconds = 0.0
+        self.min_seconds = float("inf")
+        self.max_seconds = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self.seconds += seconds
+        if seconds < self.min_seconds:
+            self.min_seconds = seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "seconds": self.seconds,
+            "min_seconds": self.min_seconds,
+            "max_seconds": self.max_seconds,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<SpanStats count={self.count} "
+                f"seconds={self.seconds:.6f}>")
+
+
+class Span:
+    """One timed block.  ``seconds`` is valid after exit either way;
+    the registry records it only when it was enabled at entry."""
+
+    __slots__ = ("name", "path", "seconds", "_registry", "_start",
+                 "_recording")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self.name = name
+        self.path = name
+        self.seconds = 0.0
+        self._registry = registry
+        self._start = 0.0
+        self._recording = False
+
+    def __enter__(self) -> "Span":
+        registry = self._registry
+        self._recording = registry.enabled
+        if self._recording:
+            stack = registry._span_stack()
+            stack.append(self.name)
+            self.path = "/".join(stack)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start
+        if self._recording:
+            registry = self._registry
+            stack = registry._span_stack()
+            if stack and stack[-1] == self.name:
+                stack.pop()
+            registry._record_span(self.path, self.seconds)
+
+
+class MetricsRegistry:
+    """Spans + counters + gauges behind one enable switch."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        #: Plain attribute on purpose: instrumentation sites read it on
+        #: hot paths and a property call would double their cost.
+        self.enabled = enabled
+        self._spans: dict[str, SpanStats] = {}
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- switching ----------------------------------------------------
+    def enable(self) -> None:
+        """Start recording (does not clear prior data; see reset)."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording; accumulated data stays readable."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every recorded span, counter and gauge."""
+        with self._lock:
+            self._spans.clear()
+            self._counters.clear()
+            self._gauges.clear()
+
+    @contextmanager
+    def capture(self, reset: bool = True):
+        """``with OBS.capture() as m:`` — enable around a block.
+
+        Resets first (unless ``reset=False``), restores the previous
+        enabled/disabled state afterwards, and yields the registry so
+        the block can read the results.
+        """
+        if reset:
+            self.reset()
+        previous = self.enabled
+        self.enabled = True
+        try:
+            yield self
+        finally:
+            self.enabled = previous
+
+    # -- recording ----------------------------------------------------
+    def span(self, name: str) -> Span:
+        """A timing context for one phase (see class docstring)."""
+        return Span(self, name)
+
+    def count(self, name: str, amount: float = 1) -> None:
+        """Accumulate ``amount`` into the counter ``name`` (no-op when
+        disabled)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value`` (no-op when disabled)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._gauges[name] = value
+
+    def _span_stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record_span(self, path: str, seconds: float) -> None:
+        with self._lock:
+            stats = self._spans.get(path)
+            if stats is None:
+                stats = self._spans[path] = SpanStats()
+            stats.add(seconds)
+
+    # -- reading ------------------------------------------------------
+    @property
+    def spans(self) -> dict[str, SpanStats]:
+        """Snapshot of aggregated span stats keyed by path."""
+        with self._lock:
+            return dict(self._spans)
+
+    @property
+    def counters(self) -> dict[str, float]:
+        """Snapshot of the counters."""
+        with self._lock:
+            return dict(self._counters)
+
+    @property
+    def gauges(self) -> dict[str, float]:
+        """Snapshot of the gauges."""
+        with self._lock:
+            return dict(self._gauges)
+
+    # -- export -------------------------------------------------------
+    def to_dict(self) -> dict:
+        """The full registry state under the ``repro.obs/1`` schema."""
+        with self._lock:
+            return {
+                "schema": SCHEMA,
+                "spans": {path: stats.to_dict()
+                          for path, stats in sorted(self._spans.items())},
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+            }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """:meth:`to_dict` rendered as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def export(self, target: str | Path | TextIO) -> None:
+        """Write the JSON export to a path or open text handle."""
+        text = self.to_json()
+        if isinstance(target, (str, Path)):
+            Path(target).write_text(text + "\n", encoding="utf-8")
+        else:
+            target.write(text + "\n")
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (f"<MetricsRegistry {state} spans={len(self._spans)} "
+                f"counters={len(self._counters)} "
+                f"gauges={len(self._gauges)}>")
+
+
+#: The process-wide registry every instrumentation site reports to.
+OBS = MetricsRegistry()

@@ -1,0 +1,132 @@
+"""The library emits the documented metrics while doing real work."""
+
+import json
+
+import pytest
+
+from repro import ChainIndex, DiGraph, DynamicChainIndex, OBS
+from repro.cli import main
+from repro.core.persistence import load_index, save_index
+from repro.graph.generators import semi_random_dag
+from repro.graph.io import write_edge_list
+from repro.obs import is_known_metric
+
+
+@pytest.fixture
+def graph():
+    return semi_random_dag(120, 80, seed=5)
+
+
+class TestBuildEmissions:
+    def test_build_emits_the_documented_phase_spans(self, graph):
+        with OBS.capture() as metrics:
+            ChainIndex.build(graph)
+        spans = set(metrics.spans)
+        assert {"condense", "stratify", "resolution",
+                "labeling"} <= spans
+        levels = [s for s in spans if s.startswith("matching/level-")]
+        assert levels, "no per-level matching spans recorded"
+
+    def test_build_emits_the_documented_counters_and_gauges(self, graph):
+        with OBS.capture() as metrics:
+            index = ChainIndex.build(graph)
+        assert metrics.counters["build/chains"] == index.num_chains
+        assert metrics.counters["matching/pairs"] > 0
+        assert metrics.counters["labeling/merge_ops"] > 0
+        assert metrics.gauges["build/levels"] >= 1
+        assert metrics.gauges["index/size_words"] == index.size_words()
+
+    def test_every_emitted_name_is_in_the_catalogue(self, graph):
+        with OBS.capture() as metrics:
+            index = ChainIndex.build(graph)
+            index.is_reachable(0, 1)
+            dynamic = DynamicChainIndex(DiGraph.from_edges([(1, 2)]))
+            dynamic.add_node(3)
+            dynamic.add_edge(2, 3)
+        emitted = (list(metrics.spans) + list(metrics.counters)
+                   + list(metrics.gauges))
+        unknown = [name for name in emitted
+                   if not is_known_metric(name)]
+        assert not unknown, f"undocumented metrics: {unknown}"
+
+    def test_per_level_pairs_sum_to_the_pairs_counter(self, graph):
+        with OBS.capture() as metrics:
+            ChainIndex.build(graph)
+        per_level = sum(value
+                        for name, value in metrics.gauges.items()
+                        if name.startswith("matching/level-"))
+        assert per_level == metrics.counters["matching/pairs"]
+
+
+class TestQueryAndMaintenanceEmissions:
+    def test_query_counters_increment(self, graph):
+        index = ChainIndex.build(graph)
+        with OBS.capture() as metrics:
+            index.is_reachable(0, 1)
+            index.is_reachable(2, 2)          # identity: no probe
+        assert metrics.counters["query/answered"] == 2
+        assert metrics.counters["query/probes"] == 1
+
+    def test_persistence_spans(self, graph, tmp_path):
+        index = ChainIndex.build(graph)
+        path = tmp_path / "graph.idx"
+        with OBS.capture() as metrics:
+            save_index(index, path)
+            load_index(path)
+        assert metrics.spans["persist/save"].count == 1
+        assert metrics.spans["persist/load"].count == 1
+
+    def test_maintenance_counters(self):
+        with OBS.capture() as metrics:
+            dynamic = DynamicChainIndex(DiGraph.from_edges([(1, 2)]))
+            dynamic.add_node(3)
+            dynamic.add_edge(2, 3)
+        assert metrics.spans["maintenance/rebuild"].count >= 1
+        assert metrics.counters["maintenance/nodes_added"] == 1
+        assert metrics.counters["maintenance/edges_added"] == 1
+        assert metrics.counters["maintenance/label_updates"] >= 1
+
+
+class TestDisabledByDefault:
+    def test_build_records_nothing_when_off(self, graph):
+        OBS.reset()
+        index = ChainIndex.build(graph)
+        index.is_reachable(0, 1)
+        assert OBS.spans == {}
+        assert OBS.counters == {}
+        assert OBS.gauges == {}
+
+
+class TestCliMetricsOut:
+    @pytest.fixture
+    def graph_file(self, tmp_path, graph):
+        path = tmp_path / "graph.txt"
+        write_edge_list(graph, path)
+        return str(path)
+
+    def test_index_writes_the_documented_json(self, graph_file,
+                                              tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        idx = tmp_path / "graph.idx"
+        assert main(["index", graph_file, "-o", str(idx),
+                     "--metrics-out", str(out)]) == 0
+        assert f"metrics -> {out}" in capsys.readouterr().out
+        document = json.loads(out.read_text())
+        assert document["schema"] == "repro.obs/1"
+        assert "labeling" in document["spans"]
+        assert any(name.startswith("matching/level-")
+                   for name in document["spans"])
+        assert document["counters"]["build/chains"] >= 1
+        assert document["counters"]["build/virtual_nodes"] >= 0
+        assert not OBS.enabled                # switched back off
+
+    def test_query_writes_query_counters(self, graph_file, tmp_path):
+        out = tmp_path / "metrics.json"
+        main(["query", graph_file, "0", "1", "--metrics-out", str(out)])
+        document = json.loads(out.read_text())
+        assert document["counters"]["query/answered"] == 1
+        assert not OBS.enabled
+
+    def test_stats_profile_prints_a_breakdown(self, graph_file, capsys):
+        assert main(["stats", graph_file, "--profile"]) == 0
+        assert "function calls" in capsys.readouterr().out

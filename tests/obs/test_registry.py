@@ -1,0 +1,198 @@
+"""Unit tests for the metrics registry, catalogue and profiling hook."""
+
+import io
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import (
+    CATALOG,
+    MetricsRegistry,
+    SCHEMA,
+    Stopwatch,
+    catalog_names,
+    is_known_metric,
+    maybe_profiled,
+    profiled,
+)
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    reg.enable()
+    return reg
+
+
+class TestSpans:
+    def test_records_name_count_and_time(self, registry):
+        with registry.span("phase"):
+            time.sleep(0.001)
+        stats = registry.spans["phase"]
+        assert stats.count == 1
+        assert stats.seconds > 0
+        assert stats.min_seconds <= stats.max_seconds
+
+    def test_nested_spans_record_slash_joined_paths(self, registry):
+        with registry.span("outer"):
+            with registry.span("inner"):
+                pass
+            with registry.span("inner"):
+                pass
+        spans = registry.spans
+        assert set(spans) == {"outer", "outer/inner"}
+        assert spans["outer/inner"].count == 2
+
+    def test_parent_time_covers_children(self, registry):
+        with registry.span("parent"):
+            with registry.span("child"):
+                time.sleep(0.002)
+        spans = registry.spans
+        assert spans["parent"].seconds >= spans["parent/child"].seconds
+
+    def test_aggregates_min_and_max(self, registry):
+        for pause in (0.0, 0.003):
+            with registry.span("phase"):
+                time.sleep(pause)
+        stats = registry.spans["phase"]
+        assert stats.count == 2
+        assert stats.max_seconds >= 0.003 > stats.min_seconds
+        assert stats.seconds >= stats.max_seconds
+
+    def test_span_measures_even_when_disabled(self):
+        registry = MetricsRegistry()          # disabled
+        with registry.span("phase") as span:
+            time.sleep(0.001)
+        assert span.seconds > 0               # the bench relies on this
+        assert registry.spans == {}
+
+    def test_exception_still_pops_the_stack(self, registry):
+        with pytest.raises(RuntimeError):
+            with registry.span("outer"):
+                with registry.span("boom"):
+                    raise RuntimeError
+        with registry.span("after"):
+            pass
+        assert "after" in registry.spans      # not "outer/after"
+
+    def test_threads_have_independent_stacks(self, registry):
+        def worker():
+            with registry.span("thread-side"):
+                pass
+
+        with registry.span("main-side"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert "thread-side" in registry.spans
+        assert "main-side/thread-side" not in registry.spans
+
+
+class TestCountersAndGauges:
+    def test_counters_accumulate(self, registry):
+        registry.count("hits")
+        registry.count("hits", 4)
+        assert registry.counters["hits"] == 5
+
+    def test_gauges_keep_the_last_value(self, registry):
+        registry.gauge("width", 3)
+        registry.gauge("width", 7)
+        assert registry.gauges["width"] == 7
+
+    def test_disabled_registry_records_nothing(self):
+        registry = MetricsRegistry()
+        registry.count("hits")
+        registry.gauge("width", 3)
+        with registry.span("phase"):
+            pass
+        assert registry.counters == {}
+        assert registry.gauges == {}
+        assert registry.spans == {}
+
+    def test_reset_clears_everything(self, registry):
+        registry.count("hits")
+        with registry.span("phase"):
+            pass
+        registry.reset()
+        assert registry.counters == {} and registry.spans == {}
+
+
+class TestCapture:
+    def test_capture_enables_resets_and_restores(self):
+        registry = MetricsRegistry()
+        with registry.capture() as metrics:
+            assert registry.enabled
+            metrics.count("hits")
+        assert not registry.enabled           # restored
+        assert registry.counters["hits"] == 1  # data survives exit
+
+    def test_capture_without_reset_accumulates(self, registry):
+        registry.count("hits")
+        with registry.capture(reset=False):
+            registry.count("hits")
+        assert registry.counters["hits"] == 2
+        assert registry.enabled               # was enabled before
+
+
+class TestExport:
+    def test_json_round_trip_matches_to_dict(self, registry):
+        with registry.span("phase"):
+            pass
+        registry.count("hits", 2)
+        registry.gauge("width", 3)
+        document = json.loads(registry.to_json())
+        assert document == registry.to_dict()
+        assert document["schema"] == SCHEMA
+        assert document["counters"] == {"hits": 2}
+        assert document["gauges"] == {"width": 3}
+        assert document["spans"]["phase"]["count"] == 1
+
+    def test_export_writes_a_file(self, registry, tmp_path):
+        registry.count("hits")
+        target = tmp_path / "metrics.json"
+        registry.export(target)
+        assert json.loads(target.read_text())["counters"] == {"hits": 1}
+
+
+class TestCatalog:
+    def test_names_are_unique(self):
+        names = catalog_names()
+        assert len(names) == len(set(names))
+        assert len(names) == len(CATALOG)
+
+    def test_literal_names_are_known(self):
+        assert is_known_metric("labeling")
+        assert is_known_metric("build/chains")
+
+    def test_placeholders_match_instances(self):
+        assert is_known_metric("matching/level-3")
+        assert is_known_metric("matching/level-12/pairs")
+        assert is_known_metric("bench/build/ours")
+
+    def test_nested_paths_match_by_suffix(self):
+        assert is_known_metric("bench/build/ours/labeling")
+        assert is_known_metric("bench/build/ours/matching/level-2")
+
+    def test_unknown_names_are_rejected(self):
+        assert not is_known_metric("nonsense")
+        assert not is_known_metric("matching/level-x")
+
+
+class TestStopwatchAndProfiling:
+    def test_stopwatch_measures(self):
+        with Stopwatch() as watch:
+            time.sleep(0.001)
+        assert watch.seconds > 0
+
+    def test_profiled_prints_a_report(self):
+        report = io.StringIO()
+        with profiled(stream=report, limit=5):
+            sum(range(1000))
+        assert "function calls" in report.getvalue()
+
+    def test_maybe_profiled_off_is_a_noop(self, capsys):
+        with maybe_profiled(False):
+            sum(range(1000))
+        assert capsys.readouterr().out == ""

@@ -1,0 +1,79 @@
+"""Doc lint: the documentation stays runnable and in sync with the code.
+
+Two guarantees:
+
+* every fenced ``python`` block in ``README.md`` and ``docs/*.md``
+  executes (blocks run cumulatively per file, sharing one namespace,
+  so a block may use names defined by an earlier block in the same
+  file);
+* the metric tables in ``docs/OBSERVABILITY.md`` list *exactly* the
+  names in :data:`repro.obs.CATALOG` — no undocumented metrics, no
+  documented ghosts.
+"""
+
+import io
+import re
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+from repro.obs import CATALOG
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted(
+    [REPO / "README.md"] + list((REPO / "docs").glob("*.md")),
+    key=lambda path: path.name,
+)
+
+_BLOCK = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def python_blocks(path: Path) -> list[str]:
+    return _BLOCK.findall(path.read_text(encoding="utf-8"))
+
+
+@pytest.mark.parametrize("path", DOC_FILES,
+                         ids=lambda path: path.name)
+def test_python_blocks_execute(path):
+    blocks = python_blocks(path)
+    if not blocks:
+        pytest.skip(f"{path.name} has no python blocks")
+    namespace: dict = {}
+    for number, block in enumerate(blocks, start=1):
+        code = compile(block, f"{path.name}#block-{number}", "exec")
+        with redirect_stdout(io.StringIO()):
+            exec(code, namespace)  # noqa: S102 - the point of the lint
+
+
+# A metric row looks like ``| `name` | unit | emitted by |``; rows
+# only count inside the "## Metrics catalogue" section.
+_ROW = re.compile(r"^\| `([^`]+)` \|", re.MULTILINE)
+
+
+def documented_metric_names() -> set[str]:
+    text = (REPO / "docs" / "OBSERVABILITY.md").read_text(
+        encoding="utf-8")
+    start = text.index("## Metrics catalogue")
+    end = text.find("\n## ", start)
+    section = text[start:end] if end != -1 else text[start:]
+    return set(_ROW.findall(section))
+
+
+def test_observability_catalogue_matches_the_registry():
+    documented = documented_metric_names()
+    registered = {spec.name for spec in CATALOG}
+    assert documented, "no metric rows found in OBSERVABILITY.md"
+    missing_from_docs = registered - documented
+    missing_from_code = documented - registered
+    assert not missing_from_docs, (
+        f"metrics in repro.obs.CATALOG but not documented: "
+        f"{sorted(missing_from_docs)}")
+    assert not missing_from_code, (
+        f"metrics documented but not in repro.obs.CATALOG: "
+        f"{sorted(missing_from_code)}")
+
+
+def test_catalogue_documents_every_kind():
+    kinds = {spec.kind for spec in CATALOG}
+    assert kinds == {"span", "counter", "gauge"}
