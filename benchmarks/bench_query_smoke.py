@@ -1,0 +1,67 @@
+"""Perf smoke: the query engine's headline numbers, in seconds not minutes.
+
+Builds the chain index over the Fig. 10 middle sparse workload, then
+measures build time, scalar vs batch query throughput, label bytes and
+the pre-filter's share of negative queries, writing the result to
+``BENCH_query.json`` at the repository root so the perf trajectory has
+comparable data points across commits.
+
+Run it either way::
+
+    python benchmarks/bench_query_smoke.py            # standalone
+    PYTHONPATH=src python -m pytest benchmarks/bench_query_smoke.py
+
+``REPRO_BENCH_SCALE`` scales the workload as for the full bench suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_query.json"
+
+try:
+    from repro.bench.harness import query_engine_smoke
+except ImportError:  # standalone run without an installed package
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.bench.harness import query_engine_smoke
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def run_smoke(scale: float = SCALE) -> dict:
+    """Measure once and write ``BENCH_query.json``."""
+    result = query_engine_smoke(scale)
+    OUTPUT.write_text(json.dumps(result, indent=2, sort_keys=True)
+                      + "\n", encoding="utf-8")
+    return result
+
+
+def test_query_smoke_writes_bench_json():
+    result = run_smoke()
+    assert OUTPUT.exists()
+    assert result["build_seconds"] > 0
+    assert result["scalar_qps"] > 0
+    assert result["batch_qps"] > 0
+    assert result["label_bytes"] > 0
+    assert 0 <= result["prefilter_hits"] <= result["negative_queries"]
+    # The batch engine exists to be faster; flag a regression loudly
+    # but leave the hard 2x acceptance gate to the recorded JSON.
+    assert result["batch_speedup"] > 1.0
+
+
+def main() -> int:
+    result = run_smoke()
+    width = max(len(key) for key in result)
+    for key in sorted(result):
+        print(f"{key:<{width}}  {result[key]}")
+    print(f"\nwrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

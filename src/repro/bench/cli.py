@@ -6,6 +6,7 @@ Examples::
     repro-bench table1
     repro-bench all --scale 0.5 --out results/
     repro-bench fig13 --scale 2
+    repro-bench query-smoke          # scalar vs batch engine numbers
 """
 
 from __future__ import annotations

@@ -21,6 +21,7 @@ from repro.baselines.two_hop import TwoHopIndex
 from repro.bench.harness import (
     build_all,
     build_index,
+    query_engine_smoke,
     run_query_series,
 )
 from repro.bench.metrics import BuildResult
@@ -51,6 +52,7 @@ from repro.obs import OBS
 __all__ = [
     "run_table1", "run_fig10", "run_table2", "run_table3", "run_fig11",
     "run_table4", "run_fig12", "run_table5", "run_fig13",
+    "run_query_smoke",
     "run_ablation_chain_methods", "run_ablation_width",
     "run_ablation_matching", "ALL_EXPERIMENTS",
 ]
@@ -226,6 +228,29 @@ def run_fig13(scale: float = 1.0) -> str:
 
 
 # ----------------------------------------------------------------------
+# Query-engine smoke (not in the paper)
+# ----------------------------------------------------------------------
+def run_query_smoke(scale: float = 1.0) -> str:
+    """Scalar vs batch throughput and pre-filter share on one graph."""
+    result = query_engine_smoke(scale)
+    rows = [
+        ("build (sec.)", f"{result['build_seconds']:.4f}"),
+        ("scalar queries/sec", f"{result['scalar_qps']:,.0f}"),
+        ("batch queries/sec", f"{result['batch_qps']:,.0f}"),
+        ("batch speedup", f"{result['batch_speedup']:.2f}x"),
+        ("label bytes", f"{result['label_bytes']:,}"),
+        ("negative queries", f"{result['negative_queries']:,}"),
+        ("pre-filter hits", f"{result['prefilter_hits']:,}"),
+        ("pre-filter share of negatives",
+         f"{100 * result['prefilter_negative_share']:.1f}%"),
+    ]
+    return render_table(
+        f"Query-engine smoke — {result['workload']}, "
+        f"{result['queries']:,} queries",
+        ["metric", "value"], rows)
+
+
+# ----------------------------------------------------------------------
 # Ablations (not in the paper)
 # ----------------------------------------------------------------------
 def run_ablation_chain_methods(scale: float = 1.0) -> str:
@@ -301,6 +326,7 @@ ALL_EXPERIMENTS = {
     "fig12": run_fig12,
     "table5": run_table5,
     "fig13": run_fig13,
+    "query-smoke": run_query_smoke,
     "ablation-chain-methods": run_ablation_chain_methods,
     "ablation-width": run_ablation_width,
     "ablation-matching": run_ablation_matching,

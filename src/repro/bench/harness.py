@@ -21,6 +21,7 @@ __all__ = [
     "build_all",
     "random_queries",
     "time_query_batch",
+    "query_engine_smoke",
     "run_query_series",
 ]
 
@@ -56,12 +57,77 @@ def random_queries(graph: DiGraph, count: int,
 
 
 def time_query_batch(index, queries: list[tuple]) -> float:
-    """Accumulated seconds to answer every query in the batch."""
+    """Accumulated seconds to answer every query in the batch.
+
+    Indexes exposing ``is_reachable_many`` (the chain index) are timed
+    through the batch engine — one call for the whole list; baseline
+    methods without it fall back to the scalar loop.
+    """
+    batch = getattr(index, "is_reachable_many", None)
+    if batch is not None:
+        with OBS.span("bench/query_batch") as span:
+            batch(queries)
+        return span.seconds
     is_reachable = index.is_reachable
     with OBS.span("bench/query_batch") as span:
         for source, target in queries:
             is_reachable(source, target)
     return span.seconds
+
+
+def query_engine_smoke(scale: float = 1.0, rounds: int = 5) -> dict:
+    """Headline query-engine numbers on the perf-smoke workload.
+
+    Builds the chain index over the Fig. 10 middle sparse instance and
+    measures build time, scalar vs batch throughput (best of
+    ``rounds``), label bytes and the pre-filter's share of negative
+    queries.  Returns a plain dict — the shape written to
+    ``BENCH_query.json`` by ``benchmarks/bench_query_smoke.py`` and
+    rendered by the ``query-smoke`` experiment.
+    """
+    from repro.bench.workloads import query_counts, smoke_workload
+    from repro.core.index import ChainIndex
+
+    workload = smoke_workload(scale)
+    graph = workload.graph
+    with OBS.span("bench/build/ours") as span:
+        index = ChainIndex.build(graph)
+    build_seconds = span.seconds
+    queries = random_queries(graph, 2 * max(query_counts(scale)),
+                             seed=23)
+    index.is_reachable_many(queries[:64])   # warm the batch kernel
+    is_reachable = index.is_reachable
+    scalar_best = batch_best = float("inf")
+    for _ in range(max(1, rounds)):
+        with OBS.span("bench/query_batch") as span:
+            for source, target in queries:
+                is_reachable(source, target)
+        scalar_best = min(scalar_best, span.seconds)
+        with OBS.span("bench/query_batch") as span:
+            index.is_reachable_many(queries)
+        batch_best = min(batch_best, span.seconds)
+    with OBS.capture() as metrics:
+        answers = index.is_reachable_many(queries)
+    negatives = answers.count(False)
+    prefilter_hits = metrics.counters.get("query/prefilter_hits", 0)
+    scalar_qps = len(queries) / scalar_best if scalar_best else 0.0
+    batch_qps = len(queries) / batch_best if batch_best else 0.0
+    return {
+        "workload": workload.label,
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "queries": len(queries),
+        "build_seconds": build_seconds,
+        "scalar_qps": scalar_qps,
+        "batch_qps": batch_qps,
+        "batch_speedup": batch_qps / scalar_qps if scalar_qps else 0.0,
+        "label_bytes": index.label_bytes(),
+        "size_words": index.size_words(),
+        "negative_queries": negatives,
+        "prefilter_hits": prefilter_hits,
+        "prefilter_negative_share": (prefilter_hits / negatives
+                                     if negatives else 0.0),
+    }
 
 
 def run_query_series(index, method: str, graph: DiGraph,

@@ -40,6 +40,7 @@ __all__ = [
     "group2_dsg_graph",
     "group2_dsrg_graph",
     "group3_dense_graph",
+    "smoke_workload",
     "query_counts",
 ]
 
@@ -125,6 +126,17 @@ def group3_dense_graph(scale: float = 1.0, seed: int = 17) -> Workload:
     nodes = max(10, int(150 * scale))
     graph = dense_dag(nodes, density=0.25, seed=seed)
     return Workload(f"dense n={nodes} density=0.25", graph)
+
+
+def smoke_workload(scale: float = 1.0) -> Workload:
+    """The perf-smoke instance: Fig. 10's middle sparse graph.
+
+    One graph, seconds to build and query — the workload behind
+    ``benchmarks/bench_query_smoke.py`` and the ``query-smoke``
+    experiment, kept identical to the Fig. 10 query workload so the
+    smoke numbers are comparable with the figure runs.
+    """
+    return group1_graphs(scale)[2]
 
 
 def query_counts(scale: float = 1.0) -> list[int]:

@@ -7,6 +7,7 @@ Subcommands operate on the edge-list format of :mod:`repro.graph.io`::
     python -m repro chains graph.txt         # minimum chain cover
     python -m repro antichain graph.txt      # a maximum antichain
     python -m repro query graph.txt 0 1 2 3  # reachability pairs
+    python -m repro query graph.txt --pairs-file q.txt   # batch query
     python -m repro generate dsrg 500 200 --seed 3 --out graph.txt
     python -m repro index graph.txt -o graph.idx     # persist the index
     python -m repro query --index graph.idx 0 1      # query without rebuild
@@ -115,6 +116,14 @@ def _cmd_query(args) -> int:
         return _run_query(args)
 
 
+def _read_pairs_file(path: str) -> list[str]:
+    """Whitespace-separated node tokens; ``#`` starts a comment."""
+    tokens: list[str] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        tokens.extend(line.split("#", 1)[0].split())
+    return tokens
+
+
 def _run_query(args) -> int:
     pairs = list(args.pairs)
     if args.index:
@@ -134,16 +143,28 @@ def _run_query(args) -> int:
     else:
         print("query needs a graph file or --index", file=sys.stderr)
         return 2
+    if args.pairs_file:
+        try:
+            pairs.extend(_read_pairs_file(args.pairs_file))
+        except OSError as exc:
+            print(f"query: cannot read pairs file: {exc}",
+                  file=sys.stderr)
+            return 2
+    if not pairs:
+        print("query needs at least one source target pair (arguments "
+              "or --pairs-file)", file=sys.stderr)
+        return 2
     if len(pairs) % 2:
         print("query expects an even number of nodes (source target "
               "pairs)", file=sys.stderr)
         return 2
+    if args.int_labels:
+        pairs = [int(token) for token in pairs]
+    query_pairs = [(pairs[i], pairs[i + 1])
+                   for i in range(0, len(pairs), 2)]
+    answers = index.is_reachable_many(query_pairs)
     exit_code = 0
-    for i in range(0, len(pairs), 2):
-        source, target = pairs[i], pairs[i + 1]
-        if args.int_labels:
-            source, target = int(source), int(target)
-        answer = index.is_reachable(source, target)
+    for (source, target), answer in zip(query_pairs, answers):
         print(f"{source} -> {target}: {'yes' if answer else 'no'}")
         if not answer:
             exit_code = 1
@@ -234,10 +255,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     query = sub.add_parser("query", help="reachability queries")
     query.add_argument("graph", nargs="?", default=None)
-    query.add_argument("pairs", nargs="+",
+    query.add_argument("pairs", nargs="*",
                        help="source target [source target ...]")
     query.add_argument("--index", default=None,
                        help="use a persisted index instead of a graph")
+    query.add_argument("--pairs-file", default=None, metavar="FILE",
+                       help="read extra whitespace-separated source/"
+                            "target pairs from FILE (# comments "
+                            "allowed); the whole batch is answered "
+                            "through is_reachable_many")
     query.add_argument("--str-labels", dest="int_labels",
                        action="store_false",
                        help="treat node labels as strings")

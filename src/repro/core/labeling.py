@@ -14,22 +14,56 @@ entry ``(chain(v), p)`` with ``p ≤ position(v)``: reaching any node at
 or above ``v`` on ``v``'s own chain implies reaching ``v`` (chain order
 is reachability order).  One binary search per query — O(log k).
 
+Storage layout
+--------------
+
+Labels are packed CSR-style into flat :class:`array.array` typecode
+``'l'`` buffers instead of per-node tuples: ``seq_chains`` and
+``seq_positions`` concatenate every node's sequence, and
+``seq_offsets`` (length ``n + 1``) delimits node ``v``'s slice as
+``[seq_offsets[v], seq_offsets[v + 1])``.  The per-node coordinate
+arrays ``chain_of`` / ``position_of`` are flat too.  This keeps the
+whole index in a handful of contiguous native-int buffers — compact to
+persist, cheap to mmap-style slice, and friendly to bulk evaluation.
+
+Negative pre-filters
+--------------------
+
+The index additionally carries two O(1)-checkable certificates per
+node (in the spirit of O'Reach's observation that most negative
+queries die on cheap pre-tests):
+
+* ``rank_of[v]`` — ``v``'s position in a fixed topological order.
+  ``u ⇝ v`` with ``u ≠ v`` implies ``rank(u) < rank(v)``; and because
+  the ranks are a permutation, ``rank(u) == rank(v)`` iff ``u == v``,
+  which folds the reflexive test into the same comparison.
+* ``level_of[v]`` — the stratification level (1-based longest path to
+  a sink).  ``u ⇝ v`` with ``u ≠ v`` implies ``level(u) > level(v)``.
+
+A query only reaches the binary search when both certificates allow
+reachability; on sparse graphs the pre-filters reject the large
+majority of negative queries before any probe.
+
 Sequences are built in a single reverse-topological pass, merging the
 children's sequences with each child's own coordinate and keeping the
 minimum position per chain — the paper's O(b·e) merge.  (The paper
 merges sorted pair lists pairwise; we accumulate per-node dictionaries
 and sort once per node, which has the same asymptotic in the RAM model
-and is considerably faster in CPython.)
+and is considerably faster in CPython.)  The pass refcounts each
+child's accumulator — a node's dictionary is freed the moment its last
+parent has consumed it — so peak build memory tracks the frontier of
+the reverse sweep, not the whole graph.
 
-Storage follows the paper's accounting: with ``n`` nodes the labels
+Storage accounting follows the paper: with ``n`` nodes the labels
 occupy ``O(k·n)`` 16-bit words — two words for the coordinate and two
 per sequence entry.
 """
 
 from __future__ import annotations
 
+from array import array
 from bisect import bisect_left
-from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
 
 from repro.core.chains import ChainDecomposition
 from repro.graph.digraph import DiGraph
@@ -73,59 +107,188 @@ def merge_index_sequences(left: list[tuple[int, int]],
     return merged
 
 
-@dataclass
+def _as_array(values) -> array:
+    """Coerce any int sequence to a native ``array('l')`` buffer."""
+    if isinstance(values, array) and values.typecode == "l":
+        return values
+    return array("l", values)
+
+
 class ChainLabeling:
-    """Chain coordinates plus per-node index sequences."""
+    """Chain coordinates, index sequences and pre-filter certificates.
 
-    num_chains: int
-    chain_of: list[int]
-    position_of: list[int]
-    sequence_chains: list[tuple[int, ...]]
-    sequence_positions: list[tuple[int, ...]]
+    All storage is flat ``array('l')``: per-node ``chain_of`` /
+    ``position_of`` / ``rank_of`` / ``level_of`` plus the CSR triple
+    ``seq_offsets`` / ``seq_chains`` / ``seq_positions`` (see the
+    module docstring for the layout).  The legacy per-node tuple views
+    remain available as the :attr:`sequence_chains` /
+    :attr:`sequence_positions` properties.
+    """
 
+    __slots__ = ("num_chains", "chain_of", "position_of", "rank_of",
+                 "level_of", "seq_offsets", "seq_chains",
+                 "seq_positions")
+
+    def __init__(self, num_chains: int, chain_of, position_of,
+                 rank_of, level_of, seq_offsets, seq_chains,
+                 seq_positions) -> None:
+        self.num_chains = num_chains
+        self.chain_of = _as_array(chain_of)
+        self.position_of = _as_array(position_of)
+        self.rank_of = _as_array(rank_of)
+        self.level_of = _as_array(level_of)
+        self.seq_offsets = _as_array(seq_offsets)
+        self.seq_chains = _as_array(seq_chains)
+        self.seq_positions = _as_array(seq_positions)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
     def is_reachable_ids(self, source: int, target: int) -> bool:
         """Reflexive reachability on dense node ids, O(log k).
 
-        Counts ``query/answered`` (every call) and ``query/probes``
+        Applies the rank/level pre-filters first: equal ranks mean
+        ``source == target`` (reflexive hit), an out-of-order rank or
+        level proves non-reachability without touching the sequences.
+        Counts ``query/answered`` (every call), ``query/prefilter_hits``
+        (negatives killed by the pre-filter) and ``query/probes``
         (calls that reach the binary search) when observability is on;
         when it is off the cost is one attribute check per query.
         """
         enabled = OBS.enabled
         if enabled:
             OBS.count("query/answered")
-        if source == target:
-            return True
+        rank_of = self.rank_of
+        source_rank = rank_of[source]
+        target_rank = rank_of[target]
+        if source_rank == target_rank:      # ranks are a permutation
+            return True                     # ⇒ source == target
+        if (source_rank > target_rank
+                or self.level_of[source] <= self.level_of[target]):
+            if enabled:
+                OBS.count("query/prefilter_hits")
+            return False
         if enabled:
             OBS.count("query/probes")
-        chains = self.sequence_chains[source]
+        seq_chains = self.seq_chains
         target_chain = self.chain_of[target]
-        index = bisect_left(chains, target_chain)
-        if index == len(chains) or chains[index] != target_chain:
+        hi = self.seq_offsets[source + 1]
+        index = bisect_left(seq_chains, target_chain,
+                            self.seq_offsets[source], hi)
+        if index == hi or seq_chains[index] != target_chain:
             return False
-        return (self.sequence_positions[source][index]
-                <= self.position_of[target])
+        return self.seq_positions[index] <= self.position_of[target]
+
+    def is_reachable_many_ids(self,
+                              pairs: Iterable[tuple[int, int]]
+                              ) -> list[bool]:
+        """Bulk :meth:`is_reachable_ids` over ``(source, target)`` ids.
+
+        The whole batch is answered in one tight loop with every
+        attribute lookup hoisted out and a single ``OBS.enabled`` check
+        per batch; counters accumulate in locals and publish once
+        (``query/answered`` by ``len(pairs)``, ``query/prefilter_hits``
+        and ``query/probes`` by their batch totals).
+        """
+        rank_of = self.rank_of
+        level_of = self.level_of
+        chain_of = self.chain_of
+        position_of = self.position_of
+        seq_offsets = self.seq_offsets
+        seq_chains = self.seq_chains
+        seq_positions = self.seq_positions
+        bisect = bisect_left
+        answers: list[bool] = []
+        append = answers.append
+        reflexive = rejected = 0
+        for source, target in pairs:
+            source_rank = rank_of[source]
+            target_rank = rank_of[target]
+            if source_rank == target_rank:
+                reflexive += 1
+                append(True)
+                continue
+            if (source_rank > target_rank
+                    or level_of[source] <= level_of[target]):
+                rejected += 1
+                append(False)
+                continue
+            target_chain = chain_of[target]
+            hi = seq_offsets[source + 1]
+            index = bisect(seq_chains, target_chain,
+                           seq_offsets[source], hi)
+            if index == hi or seq_chains[index] != target_chain:
+                append(False)
+                continue
+            append(seq_positions[index] <= position_of[target])
+        if OBS.enabled:
+            OBS.count("query/answered", len(answers))
+            if rejected:
+                OBS.count("query/prefilter_hits", rejected)
+            probes = len(answers) - reflexive - rejected
+            if probes:
+                OBS.count("query/probes", probes)
+        return answers
+
+    # ------------------------------------------------------------------
+    # per-node views and accounting
+    # ------------------------------------------------------------------
+    @property
+    def sequence_chains(self) -> list[tuple[int, ...]]:
+        """Per-node chain-id tuples (a view over the packed arrays)."""
+        offsets = self.seq_offsets
+        chains = self.seq_chains
+        return [tuple(chains[offsets[v]:offsets[v + 1]])
+                for v in range(len(self.chain_of))]
+
+    @property
+    def sequence_positions(self) -> list[tuple[int, ...]]:
+        """Per-node position tuples (a view over the packed arrays)."""
+        offsets = self.seq_offsets
+        positions = self.seq_positions
+        return [tuple(positions[offsets[v]:offsets[v + 1]])
+                for v in range(len(self.chain_of))]
 
     def sequence_length(self, node_id: int) -> int:
         """Number of index-sequence entries for a node (<= k)."""
-        return len(self.sequence_chains[node_id])
+        return (self.seq_offsets[node_id + 1]
+                - self.seq_offsets[node_id])
 
     def size_words(self) -> int:
         """Label size in 16-bit words (the unit of the paper's tables)."""
         words = 2 * len(self.chain_of)  # one (chain, position) per node
-        words += 2 * sum(len(seq) for seq in self.sequence_chains)
+        words += 2 * len(self.seq_chains)
         return words
+
+    def nbytes(self) -> int:
+        """Actual bytes held by the packed label arrays."""
+        return sum(buffer.itemsize * len(buffer)
+                   for buffer in (self.chain_of, self.position_of,
+                                  self.rank_of, self.level_of,
+                                  self.seq_offsets, self.seq_chains,
+                                  self.seq_positions))
 
     def average_sequence_length(self) -> float:
         """Mean sequence length across nodes."""
-        if not self.sequence_chains:
+        if not len(self.chain_of):
             return 0.0
-        total = sum(len(seq) for seq in self.sequence_chains)
-        return total / len(self.sequence_chains)
+        return len(self.seq_chains) / len(self.chain_of)
 
 
-def build_labeling(graph: DiGraph,
-                   decomposition: ChainDecomposition) -> ChainLabeling:
-    """Build index sequences for every node (one reverse-topo pass).
+def build_labeling(graph: DiGraph, decomposition: ChainDecomposition,
+                   level_of: Sequence[int] | None = None
+                   ) -> ChainLabeling:
+    """Build packed index sequences for every node (one reverse-topo pass).
+
+    ``level_of`` may supply precomputed stratification levels (1-based,
+    as produced by :func:`repro.core.stratification.stratify`); when
+    omitted, equivalent longest-path-to-sink levels are derived during
+    the same sweep.
+
+    The merge refcounts consumers: each node's accumulator dictionary
+    is dropped as soon as its last parent has merged it (the pending
+    count starts at the in-degree), so peak memory is proportional to
+    the live frontier rather than all ``n`` dictionaries.
 
     Emits the ``labeling`` span; when observability is on it also
     counts ``labeling/merge_ops`` — one per (chain, position) candidate
@@ -139,35 +302,66 @@ def build_labeling(graph: DiGraph,
         position_of = decomposition.position_of
         enabled = OBS.enabled
         merge_ops = 0
-        reach: list[dict[int, int]] = [{} for _ in range(n)]
-        for v in reversed(topological_order_ids(graph)):
-            accumulator = reach[v]
+        order = topological_order_ids(graph)
+        rank_of = [0] * n
+        for rank, v in enumerate(order):
+            rank_of[v] = rank
+        compute_levels = level_of is None
+        levels = [1] * n if compute_levels else level_of
+        pending = [len(graph.predecessor_ids(v)) for v in range(n)]
+        reach: list[dict[int, int] | None] = [None] * n
+        sequences: list[list[tuple[int, int]] | None] = [None] * n
+        for v in reversed(order):
+            accumulator: dict[int, int] = {}
+            deepest_child_level = 0
             for child in graph.successor_ids(v):
+                child_reach = reach[child]
+                if enabled:
+                    merge_ops += 1 + len(child_reach)
                 child_chain = chain_of[child]
                 child_position = position_of[child]
-                if enabled:
-                    merge_ops += 1 + len(reach[child])
                 best = accumulator.get(child_chain)
                 if best is None or child_position < best:
                     accumulator[child_chain] = child_position
-                for chain, position in reach[child].items():
+                for chain, position in child_reach.items():
                     best = accumulator.get(chain)
                     if best is None or position < best:
                         accumulator[chain] = position
+                pending[child] -= 1
+                if not pending[child]:
+                    reach[child] = None     # last parent consumed it
+                if compute_levels and levels[child] > deepest_child_level:
+                    deepest_child_level = levels[child]
+            if compute_levels:
+                levels[v] = deepest_child_level + 1
+            if accumulator:
+                sequences[v] = sorted(accumulator.items())
+                if pending[v]:
+                    reach[v] = accumulator
+            elif pending[v]:
+                reach[v] = accumulator
+            # sources (pending == 0) are never consumed: not retained.
 
-        sequence_chains: list[tuple[int, ...]] = [()] * n
-        sequence_positions: list[tuple[int, ...]] = [()] * n
+        seq_offsets = array("l", [0] * (n + 1))
+        seq_chains = array("l")
+        seq_positions = array("l")
+        filled = 0
         for v in range(n):
-            if reach[v]:
-                items = sorted(reach[v].items())
-                sequence_chains[v] = tuple(chain for chain, _ in items)
-                sequence_positions[v] = tuple(pos for _, pos in items)
+            items = sequences[v]
+            if items:
+                seq_chains.extend(chain for chain, _ in items)
+                seq_positions.extend(position for _, position in items)
+                filled += len(items)
+            seq_offsets[v + 1] = filled
         if enabled:
             OBS.count("labeling/merge_ops", merge_ops)
         return ChainLabeling(
             num_chains=decomposition.num_chains,
-            chain_of=list(chain_of),
-            position_of=list(position_of),
-            sequence_chains=sequence_chains,
-            sequence_positions=sequence_positions,
+            chain_of=chain_of,
+            position_of=position_of,
+            rank_of=rank_of,
+            level_of=levels,
+            seq_offsets=seq_offsets,
+            seq_chains=seq_chains,
+            seq_positions=seq_positions,
         )

@@ -9,16 +9,24 @@ document with a version header:
   JSON-representable: str, int, float, bool — the usual database key
   types);
 * ``chains`` — the decomposition over component ids;
-* ``labeling`` — chain coordinates and index sequences.
+* ``labeling`` — the packed label arrays, serialized exactly as the
+  in-memory CSR layout of :class:`repro.core.labeling.ChainLabeling`:
+  flat ``chain_of`` / ``position_of`` / ``rank_of`` / ``level_of``
+  integer lists plus the ``sequence_offsets`` / ``sequence_chains`` /
+  ``sequence_positions`` triple (node ``v``'s sequence is the slice
+  ``[sequence_offsets[v], sequence_offsets[v+1])``).
 
-JSON keeps the format transparent and diff-able; the arrays are flat
-integer lists, so even large indexes stay compact after whatever
-transport compression the deployment applies.
+Format version 2 introduced the packed layout (version 1 stored
+per-node nested lists).  JSON keeps the format transparent and
+diff-able; the arrays are flat integer lists, so even large indexes
+stay compact after whatever transport compression the deployment
+applies, and loading is a straight ``array('l')`` fill per field.
 """
 
 from __future__ import annotations
 
 import json
+from array import array
 from pathlib import Path
 from typing import TextIO
 
@@ -32,7 +40,7 @@ from repro.obs import OBS
 
 __all__ = ["save_index", "load_index", "FORMAT_VERSION"]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 _JSON_SAFE = (str, int, float, bool)
 
 
@@ -65,12 +73,13 @@ def _save_index(index: ChainIndex, target: str | Path | TextIO) -> None:
         "chains": index._decomposition.chains,
         "labeling": {
             "num_chains": labeling.num_chains,
-            "chain_of": labeling.chain_of,
-            "position_of": labeling.position_of,
-            "sequence_chains": [list(seq)
-                                for seq in labeling.sequence_chains],
-            "sequence_positions": [list(seq)
-                                   for seq in labeling.sequence_positions],
+            "chain_of": labeling.chain_of.tolist(),
+            "position_of": labeling.position_of.tolist(),
+            "rank_of": labeling.rank_of.tolist(),
+            "level_of": labeling.level_of.tolist(),
+            "sequence_offsets": labeling.seq_offsets.tolist(),
+            "sequence_chains": labeling.seq_chains.tolist(),
+            "sequence_positions": labeling.seq_positions.tolist(),
         },
     }
     if isinstance(target, (str, Path)):
@@ -116,14 +125,26 @@ def _load_index(source: str | Path | TextIO) -> ChainIndex:
                                 members=members)
     decomposition = ChainDecomposition(chains=document["chains"])
     raw = document["labeling"]
-    labeling = ChainLabeling(
-        num_chains=raw["num_chains"],
-        chain_of=raw["chain_of"],
-        position_of=raw["position_of"],
-        sequence_chains=[tuple(seq) for seq in raw["sequence_chains"]],
-        sequence_positions=[tuple(seq)
-                            for seq in raw["sequence_positions"]],
-    )
+    try:
+        labeling = ChainLabeling(
+            num_chains=raw["num_chains"],
+            chain_of=array("l", raw["chain_of"]),
+            position_of=array("l", raw["position_of"]),
+            rank_of=array("l", raw["rank_of"]),
+            level_of=array("l", raw["level_of"]),
+            seq_offsets=array("l", raw["sequence_offsets"]),
+            seq_chains=array("l", raw["sequence_chains"]),
+            seq_positions=array("l", raw["sequence_positions"]),
+        )
+    except KeyError as exc:
+        raise GraphFormatError(
+            f"labeling is missing field {exc.args[0]!r}") from None
+    except (TypeError, ValueError, OverflowError) as exc:
+        raise GraphFormatError(
+            f"labeling arrays must be flat integer lists: {exc}"
+        ) from None
+    if not isinstance(labeling.num_chains, int):
+        raise GraphFormatError("num_chains must be an integer")
     _validate(members, decomposition, labeling)
     return ChainIndex(condensation, decomposition, labeling,
                       document["method"])
@@ -155,12 +176,26 @@ def _validate(members: list, decomposition: ChainDecomposition,
         raise GraphFormatError(
             "chains do not partition the component ids")
     for field in (labeling.chain_of, labeling.position_of,
-                  labeling.sequence_chains, labeling.sequence_positions):
+                  labeling.rank_of, labeling.level_of):
         if len(field) != count:
             raise GraphFormatError("labeling arrays have wrong length")
-    for chains_t, positions_t in zip(labeling.sequence_chains,
-                                     labeling.sequence_positions):
-        if len(chains_t) != len(positions_t):
-            raise GraphFormatError("ragged index sequence")
-        if list(chains_t) != sorted(set(chains_t)):
-            raise GraphFormatError("index sequence not sorted/unique")
+    offsets = labeling.seq_offsets
+    if len(offsets) != count + 1 or offsets[0] != 0:
+        raise GraphFormatError("sequence_offsets has wrong shape")
+    if len(labeling.seq_chains) != len(labeling.seq_positions):
+        raise GraphFormatError("ragged index sequence")
+    if offsets[-1] != len(labeling.seq_chains):
+        raise GraphFormatError(
+            "sequence_offsets do not cover the sequence arrays")
+    seq_chains = labeling.seq_chains
+    for v in range(count):
+        lo, hi = offsets[v], offsets[v + 1]
+        if lo > hi:
+            raise GraphFormatError("sequence_offsets not monotone")
+        for i in range(lo + 1, hi):
+            if seq_chains[i - 1] >= seq_chains[i]:
+                raise GraphFormatError(
+                    "index sequence not sorted/unique")
+    if sorted(labeling.rank_of) != list(range(count)):
+        raise GraphFormatError(
+            "rank_of is not a permutation of the component ids")

@@ -79,6 +79,10 @@ class DecompositionStats:
     splits: int = 0
     stitched: int = 0
     unanchored: int = 0
+    #: 1-based stratification level per dense node id (longest path to
+    #: a sink), exposed so the labeling can reuse it as a query
+    #: pre-filter certificate without re-stratifying.
+    level_of: list[int] | None = None
 
 
 def stratified_chain_cover(graph: DiGraph,
@@ -101,6 +105,7 @@ def stratified_chain_cover_with_stats(
         return ChainDecomposition(chains=[]), stats
     strat = stratification if stratification is not None else stratify(graph)
     stats.num_levels = len(strat.levels)
+    stats.level_of = strat.level_of
     registry = VirtualRegistry(n)
 
     # Highest stratum holding a parent of each node: a virtual tower for

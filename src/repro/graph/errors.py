@@ -25,13 +25,21 @@ class GraphError(Exception):
 
 
 class NodeNotFoundError(GraphError, KeyError):
-    """A node referenced by an operation is not part of the graph."""
+    """A node referenced by an operation is not part of the graph.
 
-    def __init__(self, node: object) -> None:
+    ``role`` optionally names which operand was missing (``"source"`` /
+    ``"target"`` for a reachability query), so a two-operand lookup can
+    report *which* side failed.
+    """
+
+    def __init__(self, node: object, role: str | None = None) -> None:
         super().__init__(node)
         self.node = node
+        self.role = role
 
     def __str__(self) -> str:  # KeyError would repr() the args tuple
+        if self.role:
+            return f"{self.role} node {self.node!r} is not in the graph"
         return f"node {self.node!r} is not in the graph"
 
 

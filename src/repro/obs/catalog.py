@@ -100,11 +100,16 @@ CATALOG: tuple[MetricSpec, ...] = (
                "build_labeling() — (chain, position) candidate merges, "
                "the paper's O(b*e) work unit"),
     MetricSpec("query/answered", "counter", "count",
-               "ChainLabeling.is_reachable_ids — reachability queries "
-               "answered by the static index"),
+               "scalar and batch query paths — reachability queries "
+               "answered by the static index (batch calls count "
+               "len(pairs) in one publish)"),
+    MetricSpec("query/prefilter_hits", "counter", "count",
+               "scalar and batch query paths — negative queries "
+               "rejected by the O(1) topological-rank/level pre-filter "
+               "before any binary search"),
     MetricSpec("query/probes", "counter", "count",
-               "ChainLabeling.is_reachable_ids — binary-search probes "
-               "(source != target queries reaching the bisect)"),
+               "scalar and batch query paths — binary-search probes "
+               "(non-reflexive queries surviving the pre-filter)"),
     MetricSpec("maintenance/nodes_added", "counter", "count",
                "DynamicChainIndex.add_node calls"),
     MetricSpec("maintenance/edges_added", "counter", "count",

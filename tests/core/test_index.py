@@ -40,6 +40,58 @@ class TestQueries:
         with pytest.raises(NodeNotFoundError):
             index.is_reachable("nope", "a")
 
+    def test_missing_node_errors_name_the_role(self, paper_graph):
+        index = ChainIndex.build(paper_graph)
+        with pytest.raises(NodeNotFoundError,
+                           match="target node 'nope'") as caught:
+            index.is_reachable("a", "nope")
+        assert caught.value.role == "target"
+        with pytest.raises(NodeNotFoundError,
+                           match="source node 'gone'") as caught:
+            index.is_reachable("gone", "a")
+        assert caught.value.role == "source"
+        # Both absent: the source is reported (checked first).
+        with pytest.raises(NodeNotFoundError) as caught:
+            index.is_reachable("gone", "nope")
+        assert caught.value.node == "gone"
+        assert caught.value.role == "source"
+
+    def test_batch_missing_node_errors_name_the_role(self, paper_graph):
+        index = ChainIndex.build(paper_graph)
+        with pytest.raises(NodeNotFoundError) as caught:
+            index.is_reachable_many([("a", "b"), ("nope", "b")])
+        assert caught.value.node == "nope"
+        assert caught.value.role == "source"
+        with pytest.raises(NodeNotFoundError) as caught:
+            index.is_reachable_many([("a", "nope")])
+        assert caught.value.role == "target"
+
+    def test_batch_missing_int_label_on_kernel_path(self):
+        index = ChainIndex.build(DiGraph.from_edges([(0, 1), (1, 2)]))
+        for bad_pair, role in (((0, 99), "target"), ((-1, 2), "source"),
+                               ((7, 0), "source")):
+            with pytest.raises(NodeNotFoundError) as caught:
+                index.is_reachable_many([(0, 1), bad_pair])
+            assert caught.value.node == bad_pair[0 if role == "source"
+                                                 else 1]
+            assert caught.value.role == role
+
+    def test_batch_matches_scalar_on_paper_graph(self, paper_graph):
+        index = ChainIndex.build(paper_graph)
+        nodes = paper_graph.nodes()
+        pairs = [(u, v) for u in nodes for v in nodes]
+        assert index.is_reachable_many(pairs) == [
+            index.is_reachable(u, v) for u, v in pairs]
+
+    def test_batch_accepts_any_iterable_and_empty(self, paper_graph):
+        index = ChainIndex.build(paper_graph)
+        assert index.is_reachable_many(iter([("a", "c")])) == [True]
+        assert index.is_reachable_many([]) == []
+
+    def test_label_bytes_positive(self, paper_graph):
+        index = ChainIndex.build(paper_graph)
+        assert index.label_bytes() > 0
+
     def test_cyclic_graph_queries(self):
         g = DiGraph.from_edges([("a", "b"), ("b", "c"), ("c", "a"),
                                 ("c", "d")])

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.core.index import ChainIndex
-from repro.core.persistence import load_index, save_index
+from repro.core.persistence import FORMAT_VERSION, load_index, save_index
 from repro.graph.digraph import DiGraph
 from repro.graph.errors import GraphFormatError
 
@@ -80,7 +80,8 @@ class TestValidation:
             load_index(io.StringIO(json.dumps(document)))
 
     def test_missing_field(self):
-        document = {"format": "repro-chain-index", "version": 1}
+        document = {"format": "repro-chain-index",
+                    "version": FORMAT_VERSION}
         with pytest.raises(GraphFormatError, match="missing"):
             load_index(io.StringIO(json.dumps(document)))
 

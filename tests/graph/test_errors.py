@@ -33,6 +33,13 @@ class TestMessages:
         error = NodeNotFoundError("missing")
         assert str(error) == "node 'missing' is not in the graph"
         assert error.node == "missing"
+        assert error.role is None
+
+    def test_node_not_found_role_names_the_operand(self):
+        error = NodeNotFoundError("missing", role="target")
+        assert str(error) == "target node 'missing' is not in the graph"
+        assert error.role == "target"
+        assert error.args == ("missing",)     # KeyError interop intact
 
     def test_edge_exists_carries_endpoints(self):
         error = EdgeExistsError("a", "b")

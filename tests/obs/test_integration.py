@@ -65,7 +65,35 @@ class TestQueryAndMaintenanceEmissions:
             index.is_reachable(0, 1)
             index.is_reachable(2, 2)          # identity: no probe
         assert metrics.counters["query/answered"] == 2
-        assert metrics.counters["query/probes"] == 1
+        # The non-identity query either survives the pre-filter and
+        # probes, or is rejected by it — never both, never neither.
+        probes = metrics.counters.get("query/probes", 0)
+        hits = metrics.counters.get("query/prefilter_hits", 0)
+        assert probes + hits == 1
+
+    def test_prefilter_rejects_without_probing(self):
+        index = ChainIndex.build(DiGraph.from_edges([(0, 1), (1, 2)]))
+        with OBS.capture() as metrics:
+            assert not index.is_reachable(2, 0)  # rank(2) > rank(0)
+        assert metrics.counters["query/prefilter_hits"] == 1
+        assert "query/probes" not in metrics.counters
+
+    def test_batch_counters_publish_batch_totals(self, graph):
+        index = ChainIndex.build(graph)
+        pairs = [(0, 1), (2, 2), (5, 9), (9, 5)]
+        with OBS.capture() as metrics:
+            batch_answers = index.is_reachable_many(pairs)
+        assert metrics.counters["query/answered"] == len(pairs)
+        probes = metrics.counters.get("query/probes", 0)
+        hits = metrics.counters.get("query/prefilter_hits", 0)
+        assert probes + hits == 3             # all but the (2, 2) hit
+        # The batch path publishes the same totals the scalar path
+        # accumulates one by one.
+        with OBS.capture() as scalar_metrics:
+            scalar_answers = [index.is_reachable(u, v)
+                              for u, v in pairs]
+        assert batch_answers == scalar_answers
+        assert dict(scalar_metrics.counters) == dict(metrics.counters)
 
     def test_persistence_spans(self, graph, tmp_path):
         index = ChainIndex.build(graph)

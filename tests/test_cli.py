@@ -58,6 +58,37 @@ class TestQuery:
         assert main(["query", graph_file, "0"]) == 2
         capsys.readouterr()
 
+    def test_pairs_file_batch(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        write_edge_list(semi_random_dag(10, 0, seed=2), path)
+        pairs = tmp_path / "pairs.txt"
+        pairs.write_text("# one pair per line (or any whitespace)\n"
+                         "0 1\n1 0\n", encoding="utf-8")
+        assert main(["query", str(path),
+                     "--pairs-file", str(pairs)]) == 1
+        out = capsys.readouterr().out
+        assert "0 -> 1: yes" in out
+        assert "1 -> 0: no" in out
+
+    def test_pairs_file_combines_with_positional(self, tmp_path,
+                                                  capsys):
+        path = tmp_path / "g.txt"
+        write_edge_list(semi_random_dag(10, 0, seed=2), path)
+        pairs = tmp_path / "pairs.txt"
+        pairs.write_text("0 1\n", encoding="utf-8")
+        assert main(["query", str(path), "0", "1",
+                     "--pairs-file", str(pairs)]) == 0
+        assert capsys.readouterr().out.count("yes") == 2
+
+    def test_missing_pairs_file_is_an_error(self, graph_file, capsys):
+        assert main(["query", graph_file,
+                     "--pairs-file", "does-not-exist.txt"]) == 2
+        assert "cannot read pairs file" in capsys.readouterr().err
+
+    def test_no_pairs_at_all_is_an_error(self, graph_file, capsys):
+        assert main(["query", graph_file]) == 2
+        assert "at least one" in capsys.readouterr().err
+
 
 class TestIndexPersistence:
     def test_index_then_query(self, graph_file, tmp_path, capsys):

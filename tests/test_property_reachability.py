@@ -3,8 +3,13 @@
 These check the *relational algebra* of reachability — reflexivity,
 antisymmetry on DAGs, transitivity, monotonicity under edge insertion —
 uniformly across every index implementation, on hypothesis-generated
-graphs.
+graphs; plus the batch-engine equivalences: ``is_reachable_many`` must
+agree with per-pair ``is_reachable`` and with BFS ground truth on both
+its fast path (dense int labels) and its generic fallback, and a
+persisted packed index must answer identically after reload.
 """
+
+import io
 
 from hypothesis import given, settings
 
@@ -15,6 +20,8 @@ from repro.baselines.two_hop import TwoHopIndex
 from repro.baselines.warren import WarrenIndex
 from repro.core.index import ChainIndex
 from repro.core.maintenance import DynamicChainIndex
+from repro.core.persistence import load_index, save_index
+from repro.graph.digraph import DiGraph
 
 from tests.conftest import all_pairs_oracle, small_dags, small_digraphs
 
@@ -87,6 +94,64 @@ def test_monotone_under_edge_insertion(g):
     after = {(u, v) for u in nodes for v in nodes
              if dynamic.is_reachable(u, v)}
     assert before <= after
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_dags(max_nodes=10))
+def test_batch_equals_scalar_equals_bfs_on_dags(g):
+    """Dense int labels: the batch kernel path vs scalar vs BFS."""
+    index = ChainIndex.build(g)
+    oracle = all_pairs_oracle(g)
+    pairs = list(oracle)
+    answers = index.is_reachable_many(pairs)
+    for (u, v), answer in zip(pairs, answers):
+        assert answer == oracle[(u, v)], (u, v)
+        assert answer == index.is_reachable(u, v), (u, v)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_digraphs(max_nodes=9))
+def test_batch_equals_scalar_equals_bfs_on_digraphs(g):
+    """Cycles: SCC condensation must not confuse the pre-filters."""
+    index = ChainIndex.build(g)
+    oracle = all_pairs_oracle(g)
+    pairs = list(oracle)
+    answers = index.is_reachable_many(pairs)
+    for (u, v), answer in zip(pairs, answers):
+        assert answer == oracle[(u, v)], (u, v)
+        assert answer == index.is_reachable(u, v), (u, v)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_dags(max_nodes=9))
+def test_batch_generic_fallback_on_string_labels(g):
+    """Non-int labels take the dict-translated batch path."""
+    relabeled = DiGraph()
+    for v in g.nodes():
+        relabeled.add_node(f"n{v}")
+    for u, v in g.edges():
+        relabeled.add_edge(f"n{u}", f"n{v}")
+    index = ChainIndex.build(relabeled)
+    oracle = all_pairs_oracle(relabeled)
+    pairs = list(oracle)
+    answers = index.is_reachable_many(pairs)
+    assert answers == [oracle[pair] for pair in pairs]
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_digraphs(max_nodes=9))
+def test_persisted_packed_index_answers_identically(g):
+    """A saved+reloaded packed index gives the same batch answers."""
+    index = ChainIndex.build(g)
+    buffer = io.StringIO()
+    save_index(index, buffer)
+    buffer.seek(0)
+    loaded = load_index(buffer)
+    oracle = all_pairs_oracle(g)
+    pairs = list(oracle)
+    assert (loaded.is_reachable_many(pairs)
+            == index.is_reachable_many(pairs)
+            == [oracle[pair] for pair in pairs])
 
 
 @settings(max_examples=60)
