@@ -1,0 +1,70 @@
+"""Perf smoke for the serving layer: micro-batching vs single queries.
+
+Stands up the TCP reachability service over the Fig. 10 middle sparse
+workload and measures sequential single-query, concurrent
+(micro-batched), cached and bulk throughput end to end, writing the
+result to ``BENCH_serve.json`` at the repository root so the serving
+trajectory has comparable data points across commits.
+
+Run it either way::
+
+    python benchmarks/bench_serve_smoke.py            # standalone
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve_smoke.py
+
+``REPRO_BENCH_SCALE`` scales the workload as for the full bench suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_serve.json"
+
+try:
+    from repro.bench.serving import serve_engine_smoke
+except ImportError:  # standalone run without an installed package
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.bench.serving import serve_engine_smoke
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def run_smoke(scale: float = SCALE) -> dict:
+    """Measure once and write ``BENCH_serve.json``."""
+    result = serve_engine_smoke(scale)
+    OUTPUT.write_text(json.dumps(result, indent=2, sort_keys=True)
+                      + "\n", encoding="utf-8")
+    return result
+
+
+def test_serve_smoke_writes_bench_json():
+    result = run_smoke()
+    assert OUTPUT.exists()
+    assert result["sequential_qps"] > 0
+    assert result["concurrent_qps"] > 0
+    assert result["bulk_qps"] > 0
+    # the acceptance gate: coalescing concurrent single-query clients
+    # must beat the one-request-at-a-time baseline by 1.5x or more
+    assert result["batching_speedup"] >= 1.5
+    # the write burst was promoted by a live rebuild-and-swap
+    assert result["swap_count"] >= 1
+    assert result["epoch"] >= 1
+    # the second concurrent pass re-used the epoch-keyed cache
+    assert result["cache_hit_rate"] > 0
+
+
+def main() -> int:
+    result = run_smoke()
+    width = max(len(key) for key in result)
+    for key in sorted(result):
+        print(f"{key:<{width}}  {result[key]}")
+    print(f"\nwrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@ from repro.graph.digraph import DiGraph
 from repro.graph.errors import (
     GraphError,
     GraphFormatError,
+    IndexFormatError,
     InvalidChainError,
     NodeNotFoundError,
     NotADAGError,
@@ -58,6 +59,7 @@ __all__ = [
     "NotADAGError",
     "InvalidChainError",
     "GraphFormatError",
+    "IndexFormatError",
     "OBS",
     "MetricsRegistry",
     "__version__",

@@ -53,6 +53,7 @@ __all__ = [
     "run_table1", "run_fig10", "run_table2", "run_table3", "run_fig11",
     "run_table4", "run_fig12", "run_table5", "run_fig13",
     "run_query_smoke",
+    "run_serve_smoke",
     "run_ablation_chain_methods", "run_ablation_width",
     "run_ablation_matching", "ALL_EXPERIMENTS",
 ]
@@ -250,6 +251,34 @@ def run_query_smoke(scale: float = 1.0) -> str:
         ["metric", "value"], rows)
 
 
+def run_serve_smoke(scale: float = 1.0) -> str:
+    """Serving-layer throughput: sequential vs micro-batched vs bulk."""
+    from repro.bench.serving import serve_engine_smoke
+    result = serve_engine_smoke(scale)
+    rows = [
+        ("sequential queries/sec", f"{result['sequential_qps']:,.0f}"),
+        ("concurrent (batched) queries/sec",
+         f"{result['concurrent_qps']:,.0f}"),
+        ("concurrent, warm cache queries/sec",
+         f"{result['cached_qps']:,.0f}"),
+        ("bulk query_batch queries/sec", f"{result['bulk_qps']:,.0f}"),
+        ("micro-batching speedup",
+         f"{result['batching_speedup']:.2f}x"),
+        ("mean batch size", f"{result['mean_batch_size']:.1f}"),
+        ("largest batch", f"{result['largest_batch']}"),
+        ("cache hit rate", f"{100 * result['cache_hit_rate']:.1f}%"),
+        ("snapshot swaps", f"{result['swap_count']}"),
+        ("final epoch", f"{result['epoch']}"),
+        ("p50 latency", f"{result['p50_ms']:.2f} ms"),
+        ("p99 latency", f"{result['p99_ms']:.2f} ms"),
+    ]
+    return render_table(
+        f"Serving smoke — {result['workload']}, "
+        f"{result['queries']:,} queries over "
+        f"{result['connections']} connections",
+        ["metric", "value"], rows)
+
+
 # ----------------------------------------------------------------------
 # Ablations (not in the paper)
 # ----------------------------------------------------------------------
@@ -327,6 +356,7 @@ ALL_EXPERIMENTS = {
     "table5": run_table5,
     "fig13": run_fig13,
     "query-smoke": run_query_smoke,
+    "serve-smoke": run_serve_smoke,
     "ablation-chain-methods": run_ablation_chain_methods,
     "ablation-width": run_ablation_width,
     "ablation-matching": run_ablation_matching,

@@ -1,0 +1,155 @@
+"""Serving-layer load generator: the numbers behind ``serve-smoke``.
+
+Stands up a real :class:`~repro.service.ReachabilityService` on a
+loopback socket over the Fig. 10 middle sparse workload and measures
+three client strategies end to end (TCP framing included):
+
+* **sequential** — one connection, one ``query`` request at a time:
+  the no-batching baseline, every query pays a full round trip;
+* **concurrent** — the same single-query protocol from many
+  concurrent connections: the server's micro-batcher coalesces them
+  into shared kernel calls (this is the number the ≥ 1.5× acceptance
+  gate compares against sequential);
+* **bulk** — one ``query_batch`` request carrying the whole stream:
+  the upper bound where framing is amortised entirely.
+
+The concurrent phase runs the stream twice so the second pass
+exercises the epoch-keyed result cache, and the run finishes with a
+few ``add_edge`` writes plus a ``reload`` to count a live
+rebuild-and-swap.  Everything runs in one process and one event loop —
+no free ports, threads or subprocesses to leak.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+__all__ = ["serve_engine_smoke"]
+
+CONNECTIONS = 16
+
+
+async def _request(reader, writer, payload: dict) -> dict:
+    writer.write(json.dumps(payload, separators=(",", ":"))
+                 .encode("utf-8") + b"\n")
+    await writer.drain()
+    response = json.loads(await reader.readline())
+    if not response.get("ok"):
+        raise RuntimeError(f"server error: {response}")
+    return response
+
+
+async def _sequential_phase(host, port, queries) -> float:
+    reader, writer = await asyncio.open_connection(host, port)
+    started = time.perf_counter()
+    for source, target in queries:
+        await _request(reader, writer, {"op": "query", "source": source,
+                                        "target": target})
+    elapsed = time.perf_counter() - started
+    writer.close()
+    await writer.wait_closed()
+    return elapsed
+
+
+async def _concurrent_phase(host, port, queries,
+                            connections: int = CONNECTIONS) -> float:
+    """The same single-query wire protocol, from many connections."""
+    shards = [queries[i::connections] for i in range(connections)]
+
+    async def worker(shard) -> None:
+        reader, writer = await asyncio.open_connection(host, port)
+        for source, target in shard:
+            await _request(reader, writer,
+                           {"op": "query", "source": source,
+                            "target": target})
+        writer.close()
+        await writer.wait_closed()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(worker(shard) for shard in shards if shard))
+    return time.perf_counter() - started
+
+
+async def _bulk_phase(host, port, queries) -> float:
+    reader, writer = await asyncio.open_connection(host, port)
+    started = time.perf_counter()
+    await _request(reader, writer,
+                   {"op": "query_batch",
+                    "pairs": [list(pair) for pair in queries]})
+    elapsed = time.perf_counter() - started
+    writer.close()
+    await writer.wait_closed()
+    return elapsed
+
+
+async def _smoke(scale: float) -> dict:
+    from repro.bench.harness import random_queries
+    from repro.bench.workloads import smoke_workload
+    from repro.service import IndexManager, ReachabilityService
+
+    workload = smoke_workload(scale)
+    graph = workload.graph
+    manager = IndexManager.from_graph(graph)
+    service = ReachabilityService(manager, port=0, max_batch=256,
+                                  max_wait_us=1000, max_pending=4096)
+    host, port = await service.start()
+    try:
+        queries = random_queries(graph, max(64, int(3200 * scale)),
+                                 seed=29)
+        sequential_count = min(len(queries), max(32, int(400 * scale)))
+        sequential_seconds = await _sequential_phase(
+            host, port, queries[:sequential_count])
+        concurrent_seconds = await _concurrent_phase(host, port, queries)
+        # second pass over the same stream: mostly cache hits
+        cached_seconds = await _concurrent_phase(host, port, queries)
+        bulk_seconds = await _bulk_phase(host, port, queries)
+
+        # a live write burst + rebuild-and-swap while the server is up
+        reader, writer = await asyncio.open_connection(host, port)
+        nodes = graph.nodes()
+        for offset in range(4):
+            await _request(reader, writer,
+                           {"op": "add_edge",
+                            "source": nodes[offset],
+                            "target": f"smoke-extra-{offset}"})
+        reload_response = await _request(reader, writer,
+                                         {"op": "reload"})
+        stats = (await _request(reader, writer, {"op": "stats"}))["stats"]
+        writer.close()
+        await writer.wait_closed()
+    finally:
+        await service.shutdown()
+
+    sequential_qps = sequential_count / sequential_seconds
+    concurrent_qps = len(queries) / concurrent_seconds
+    cached_qps = len(queries) / cached_seconds
+    bulk_qps = len(queries) / bulk_seconds
+    batching = stats["batching"]
+    return {
+        "workload": workload.label,
+        "nodes": stats["index"]["nodes"],
+        "edges": stats["index"]["edges"],
+        "queries": len(queries),
+        "connections": CONNECTIONS,
+        "sequential_qps": sequential_qps,
+        "concurrent_qps": concurrent_qps,
+        "cached_qps": cached_qps,
+        "bulk_qps": bulk_qps,
+        "batching_speedup": concurrent_qps / sequential_qps,
+        "mean_batch_size": batching["mean_batch_size"],
+        "largest_batch": batching["largest_batch"],
+        "batches": batching["batches"],
+        "cache_hit_rate": stats["cache"]["hit_rate"],
+        "swap_count": stats["index"]["swaps"],
+        "epoch": reload_response["epoch"],
+        "p50_ms": stats["server"]["p50_ms"],
+        "p99_ms": stats["server"]["p99_ms"],
+    }
+
+
+def serve_engine_smoke(scale: float = 1.0) -> dict:
+    """Run the serving smoke end to end; the dict behind
+    ``BENCH_serve.json`` and the ``serve-smoke`` experiment."""
+    return asyncio.run(_smoke(scale))

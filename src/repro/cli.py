@@ -11,6 +11,8 @@ Subcommands operate on the edge-list format of :mod:`repro.graph.io`::
     python -m repro generate dsrg 500 200 --seed 3 --out graph.txt
     python -m repro index graph.txt -o graph.idx     # persist the index
     python -m repro query --index graph.idx 0 1      # query without rebuild
+    python -m repro serve graph.txt --port 7431      # TCP query service
+    python -m repro query --remote 127.0.0.1:7431 0 1    # query a server
     python -m repro dot graph.txt --chains           # Graphviz export
 
 Observability (see ``docs/OBSERVABILITY.md``): ``--profile`` on
@@ -126,11 +128,15 @@ def _read_pairs_file(path: str) -> list[str]:
 
 def _run_query(args) -> int:
     pairs = list(args.pairs)
-    if args.index:
-        # With --index the positional "graph" slot, if filled, is
-        # really the first query node.
+    index = None
+    if args.remote or args.index:
+        # With --remote/--index the positional "graph" slot, if
+        # filled, is really the first query node.
         if args.graph is not None:
             pairs.insert(0, args.graph)
+    if args.remote:
+        pass                                 # resolved after pair parsing
+    elif args.index:
         from repro.core.persistence import load_index
         index = load_index(Path(args.index))
     elif args.graph:
@@ -141,7 +147,8 @@ def _run_query(args) -> int:
                   f"(or pass --index)", file=sys.stderr)
             return 2
     else:
-        print("query needs a graph file or --index", file=sys.stderr)
+        print("query needs a graph file, --index or --remote",
+              file=sys.stderr)
         return 2
     if args.pairs_file:
         try:
@@ -162,13 +169,77 @@ def _run_query(args) -> int:
         pairs = [int(token) for token in pairs]
     query_pairs = [(pairs[i], pairs[i + 1])
                    for i in range(0, len(pairs), 2)]
+    if args.remote:
+        return _query_remote(args.remote, query_pairs)
     answers = index.is_reachable_many(query_pairs)
+    return _print_answers(query_pairs, answers)
+
+
+def _print_answers(query_pairs, answers) -> int:
     exit_code = 0
     for (source, target), answer in zip(query_pairs, answers):
         print(f"{source} -> {target}: {'yes' if answer else 'no'}")
         if not answer:
             exit_code = 1
     return exit_code
+
+
+def _query_remote(address: str, query_pairs) -> int:
+    """Answer the batch through a running ``repro serve`` instance."""
+    from repro.service import RemoteError, ServiceClient, ServiceError
+    try:
+        with ServiceClient.from_address(address) as client:
+            epoch, answers = client.query_batch(query_pairs)
+    except (ServiceError, RemoteError, ValueError, OSError) as exc:
+        print(f"query: remote {address}: {exc}", file=sys.stderr)
+        return 2
+    exit_code = _print_answers(query_pairs, answers)
+    print(f"(epoch {epoch})")
+    return exit_code
+
+
+def _cmd_serve(args) -> int:
+    """Run the TCP reachability service until interrupted."""
+    import asyncio
+
+    from repro.service import IndexManager, ReachabilityService
+
+    if args.index:
+        manager = IndexManager.from_index_file(Path(args.index))
+        label = args.index
+    elif args.graph:
+        manager = IndexManager.from_graph(
+            _load(args.graph), method=args.method,
+            auto_swap_after=args.swap_after)
+        label = args.graph
+    else:
+        print("serve needs a graph file or --index", file=sys.stderr)
+        return 2
+    service = ReachabilityService(
+        manager, host=args.host, port=args.port,
+        max_batch=args.max_batch, max_wait_us=args.max_wait_us,
+        max_pending=args.max_pending, cache_size=args.cache_size,
+        request_timeout=args.request_timeout)
+
+    async def run() -> None:
+        host, port = await service.start()
+        print(f"serving {label} on {host}:{port} "
+              f"(epoch {manager.epoch}, writable={manager.writable})",
+              flush=True)
+        if args.ready_file:
+            Path(args.ready_file).write_text(f"{host} {port}\n",
+                                             encoding="utf-8")
+        try:
+            await service.serve_forever()
+        finally:
+            await service.shutdown()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass                      # Ctrl-C lands here or exits run() cleanly
+    print("drained and stopped")
+    return 0
 
 
 _GENERATORS = {
@@ -259,6 +330,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="source target [source target ...]")
     query.add_argument("--index", default=None,
                        help="use a persisted index instead of a graph")
+    query.add_argument("--remote", default=None, metavar="HOST:PORT",
+                       help="send the batch to a running 'repro serve' "
+                            "instance instead of building locally")
     query.add_argument("--pairs-file", default=None, metavar="FILE",
                        help="read extra whitespace-separated source/"
                             "target pairs from FILE (# comments "
@@ -281,6 +355,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record repro.obs metrics (phase spans, "
                             "build counters) and write the JSON here")
     index.set_defaults(func=_cmd_index)
+
+    serve = sub.add_parser(
+        "serve", help="run the TCP reachability query service")
+    serve.add_argument("graph", nargs="?", default=None)
+    serve.add_argument("--index", default=None,
+                       help="serve a persisted index (read-only) "
+                            "instead of building from a graph")
+    serve.add_argument("--method", default="stratified",
+                       choices=["stratified", "closure", "jagadish"])
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7431,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--max-batch", type=int, default=128,
+                       help="largest coalesced query batch")
+    serve.add_argument("--max-wait-us", type=int, default=500,
+                       help="micro-batch coalescing window in µs")
+    serve.add_argument("--max-pending", type=int, default=1024,
+                       help="query queue bound before 'overloaded'")
+    serve.add_argument("--cache-size", type=int, default=4096,
+                       help="LRU result-cache capacity (0 disables)")
+    serve.add_argument("--request-timeout", type=float, default=10.0,
+                       help="per-request timeout in seconds")
+    serve.add_argument("--swap-after", type=int, default=64,
+                       metavar="N",
+                       help="auto rebuild-and-swap after N writes")
+    serve.add_argument("--ready-file", default=None, metavar="FILE",
+                       help="write 'HOST PORT' to FILE once listening "
+                            "(for scripts supervising the server)")
+    serve.set_defaults(func=_cmd_serve)
 
     dot = sub.add_parser("dot", help="Graphviz export")
     dot.add_argument("graph")

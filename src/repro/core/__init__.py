@@ -7,6 +7,7 @@ from repro.core.inspection import trace_decomposition
 from repro.core.labeling import ChainLabeling, build_labeling
 from repro.core.maintenance import DynamicChainIndex
 from repro.core.persistence import load_index, save_index
+from repro.core.protocols import BatchReachability
 from repro.core.stitch import stitch_chains
 from repro.core.stratification import Stratification, stratify
 from repro.core.stratified import (
@@ -19,6 +20,7 @@ from repro.core.width import dag_width, maximum_antichain
 __all__ = [
     "ChainIndex",
     "DynamicChainIndex",
+    "BatchReachability",
     "stitch_chains",
     "trace_decomposition",
     "save_index",

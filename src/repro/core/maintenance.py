@@ -150,11 +150,47 @@ class DynamicChainIndex:
         except NodeNotFoundError:
             raise
 
+    def is_reachable_many(self, pairs) -> list[bool]:
+        """Answer a batch of ``(source, target)`` pairs in one pass.
+
+        The dynamic counterpart of
+        :meth:`repro.core.index.ChainIndex.is_reachable_many`, so both
+        backends satisfy :class:`repro.core.protocols.BatchReachability`
+        and the serving layer can dispatch to either without branching.
+        Each pair runs through the O(1)-expected hash-map path; the
+        ``query/answered`` counter is published once per batch.
+
+        Raises :class:`NodeNotFoundError` (with ``role`` set) for the
+        first pair referencing an unknown node.
+        """
+        graph = self._graph
+        node_id = graph.node_id
+        reachable = self._reachable_ids
+        answers: list[bool] = []
+        for source, target in pairs:
+            try:
+                source_id = node_id(source)
+            except NodeNotFoundError:
+                raise NodeNotFoundError(source, role="source") from None
+            try:
+                target_id = node_id(target)
+            except NodeNotFoundError:
+                raise NodeNotFoundError(target, role="target") from None
+            answers.append(reachable(source_id, target_id))
+        if OBS.enabled:
+            OBS.count("query/answered", len(answers))
+        return answers
+
     def _reachable_ids(self, source: int, target: int) -> bool:
         if source == target:
             return True
         best = self._reach[source].get(self._chain_of[target])
         return best is not None and best <= self._position_of[target]
+
+    @property
+    def graph(self) -> DiGraph:
+        """The indexed DAG — a live view, mutate only through the index."""
+        return self._graph
 
     @property
     def num_chains(self) -> int:

@@ -21,11 +21,20 @@ per-node nested lists).  JSON keeps the format transparent and
 diff-able; the arrays are flat integer lists, so even large indexes
 stay compact after whatever transport compression the deployment
 applies, and loading is a straight ``array('l')`` fill per field.
+
+Every file written since the checksum was introduced also carries
+``labeling_crc32`` — a CRC32 over the packed label arrays in a
+platform-independent byte form.  :func:`load_index` recomputes and
+compares it, raising :class:`IndexFormatError` on mismatch, so a
+truncated or bit-flipped index cannot be silently served; files
+written before the field existed (no ``labeling_crc32`` key) still
+load.
 """
 
 from __future__ import annotations
 
 import json
+import zlib
 from array import array
 from pathlib import Path
 from typing import TextIO
@@ -34,14 +43,36 @@ from repro.core.chains import ChainDecomposition
 from repro.core.index import ChainIndex
 from repro.core.labeling import ChainLabeling
 from repro.graph.digraph import DiGraph
-from repro.graph.errors import GraphFormatError
+from repro.graph.errors import GraphFormatError, IndexFormatError
 from repro.graph.scc import Condensation
 from repro.obs import OBS
 
-__all__ = ["save_index", "load_index", "FORMAT_VERSION"]
+__all__ = ["save_index", "load_index", "labeling_checksum",
+           "FORMAT_VERSION"]
 
 FORMAT_VERSION = 2
 _JSON_SAFE = (str, int, float, bool)
+
+#: field order is part of the checksum definition — never reorder.
+_CHECKSUM_FIELDS = ("chain_of", "position_of", "rank_of", "level_of",
+                    "sequence_offsets", "sequence_chains",
+                    "sequence_positions")
+
+
+def labeling_checksum(fields: dict) -> int:
+    """CRC32 of the packed label arrays of a format-v2 document.
+
+    Computed over the decimal rendering of each array (not its raw
+    bytes) so the value is independent of the platform's ``array('l')``
+    item width; each field is prefixed by its name to keep array
+    boundaries unambiguous.
+    """
+    crc = 0
+    for name in _CHECKSUM_FIELDS:
+        crc = zlib.crc32(name.encode("ascii"), crc)
+        crc = zlib.crc32(
+            (":" + ",".join(map(str, fields[name]))).encode("ascii"), crc)
+    return crc
 
 
 def save_index(index: ChainIndex, target: str | Path | TextIO) -> None:
@@ -64,6 +95,16 @@ def _save_index(index: ChainIndex, target: str | Path | TextIO) -> None:
                     f"node label {node!r} is not JSON-serialisable; "
                     f"persistence supports str/int/float/bool labels")
     labeling = index._labeling
+    packed = {
+        "num_chains": labeling.num_chains,
+        "chain_of": labeling.chain_of.tolist(),
+        "position_of": labeling.position_of.tolist(),
+        "rank_of": labeling.rank_of.tolist(),
+        "level_of": labeling.level_of.tolist(),
+        "sequence_offsets": labeling.seq_offsets.tolist(),
+        "sequence_chains": labeling.seq_chains.tolist(),
+        "sequence_positions": labeling.seq_positions.tolist(),
+    }
     document = {
         "format": "repro-chain-index",
         "version": FORMAT_VERSION,
@@ -71,16 +112,8 @@ def _save_index(index: ChainIndex, target: str | Path | TextIO) -> None:
         "members": condensation.members,
         "dag_edges": [list(edge) for edge in condensation.dag.edges()],
         "chains": index._decomposition.chains,
-        "labeling": {
-            "num_chains": labeling.num_chains,
-            "chain_of": labeling.chain_of.tolist(),
-            "position_of": labeling.position_of.tolist(),
-            "rank_of": labeling.rank_of.tolist(),
-            "level_of": labeling.level_of.tolist(),
-            "sequence_offsets": labeling.seq_offsets.tolist(),
-            "sequence_chains": labeling.seq_chains.tolist(),
-            "sequence_positions": labeling.seq_positions.tolist(),
-        },
+        "labeling": packed,
+        "labeling_crc32": labeling_checksum(packed),
     }
     if isinstance(target, (str, Path)):
         with open(target, "w", encoding="utf-8") as handle:
@@ -145,6 +178,15 @@ def _load_index(source: str | Path | TextIO) -> ChainIndex:
         ) from None
     if not isinstance(labeling.num_chains, int):
         raise GraphFormatError("num_chains must be an integer")
+    recorded_crc = document.get("labeling_crc32")
+    if recorded_crc is not None:
+        actual_crc = labeling_checksum(raw)
+        if actual_crc != recorded_crc:
+            raise IndexFormatError(
+                f"labeling checksum mismatch: file records CRC32 "
+                f"{recorded_crc}, arrays hash to {actual_crc} — the "
+                f"index file is truncated or corrupt; rebuild it with "
+                f"save_index")
     _validate(members, decomposition, labeling)
     return ChainIndex(condensation, decomposition, labeling,
                       document["method"])

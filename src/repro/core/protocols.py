@@ -1,0 +1,39 @@
+"""Structural protocols shared by the reachability backends.
+
+The serving layer (:mod:`repro.service`) dispatches queries against
+*whichever* index currently backs the live snapshot — the frozen
+:class:`~repro.core.index.ChainIndex` promoted by the last
+rebuild-and-swap, or the mutable
+:class:`~repro.core.maintenance.DynamicChainIndex` shadow absorbing
+writes.  Both satisfy :class:`BatchReachability` structurally, so the
+manager, the micro-batcher and the benchmarks target one surface and
+never branch on the concrete type.
+
+(The abstract base :class:`repro.baselines.interface.ReachabilityIndex`
+describes the *evaluation* surface of the paper's six methods — build,
+scalar query, size accounting.  This protocol describes the narrower
+*serving* surface: scalar plus batch queries.)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable
+
+__all__ = ["BatchReachability"]
+
+
+@runtime_checkable
+class BatchReachability(Protocol):
+    """An index that answers reachability queries one at a time or in bulk."""
+
+    def is_reachable(self, source, target) -> bool:
+        """Reflexive reachability between two node objects."""
+
+    def is_reachable_many(self, pairs: Iterable[tuple]) -> list[bool]:
+        """One bool per ``(source, target)`` pair, in order.
+
+        Must be equivalent to mapping :meth:`is_reachable` over the
+        pairs, and must raise
+        :class:`~repro.graph.errors.NodeNotFoundError` (with ``role``
+        set) for the first pair naming an unknown node.
+        """

@@ -17,6 +17,7 @@ __all__ = [
     "NotADAGError",
     "InvalidChainError",
     "GraphFormatError",
+    "IndexFormatError",
 ]
 
 
@@ -85,3 +86,14 @@ class GraphFormatError(GraphError, ValueError):
             message = f"line {line_number}: {message}"
         super().__init__(message)
         self.line_number = line_number
+
+
+class IndexFormatError(GraphFormatError):
+    """A persisted index file is corrupt or otherwise unusable.
+
+    Raised by :func:`repro.core.persistence.load_index` when the file's
+    recorded CRC32 checksum does not match the packed label arrays —
+    a truncated or bit-flipped index must fail loudly at load time, not
+    serve wrong answers.  Subclasses :class:`GraphFormatError` so
+    existing ``except GraphFormatError`` handlers keep working.
+    """

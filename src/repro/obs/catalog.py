@@ -23,6 +23,7 @@ _PLACEHOLDERS = {
     "{level}": r"\d+",
     "{method}": r"[^/]+",
     "{algorithm}": r"[^/]+",
+    "{bucket}": r"[a-z0-9-]+",
 }
 
 
@@ -68,6 +69,12 @@ CATALOG: tuple[MetricSpec, ...] = (
                "matching ablation — one maximum-matching run"),
     MetricSpec("bench/query_batch", "span", "seconds",
                "bench harness — one timed batch of queries"),
+    MetricSpec("service/request", "span", "seconds",
+               "ReachabilityService — handling of one wire request "
+               "(parse to response)"),
+    MetricSpec("service/swap", "span", "seconds",
+               "IndexManager — one rebuild-and-swap: pack a static "
+               "ChainIndex from the shadow's graph and publish it"),
     # -- counters (units: count unless noted) -------------------------
     MetricSpec("matching/pairs", "counter", "count",
                "phase 1 — matched pairs, summed over the levels"),
@@ -101,8 +108,8 @@ CATALOG: tuple[MetricSpec, ...] = (
                "the paper's O(b*e) work unit"),
     MetricSpec("query/answered", "counter", "count",
                "scalar and batch query paths — reachability queries "
-               "answered by the static index (batch calls count "
-               "len(pairs) in one publish)"),
+               "answered by the static or dynamic index (batch calls "
+               "count len(pairs) in one publish)"),
     MetricSpec("query/prefilter_hits", "counter", "count",
                "scalar and batch query paths — negative queries "
                "rejected by the O(1) topological-rank/level pre-filter "
@@ -117,6 +124,29 @@ CATALOG: tuple[MetricSpec, ...] = (
     MetricSpec("maintenance/label_updates", "counter", "count",
                "DynamicChainIndex.add_edge — ancestor labels changed "
                "by the upward worklist pass"),
+    MetricSpec("service/requests", "counter", "count",
+               "ReachabilityService — wire requests received (any op)"),
+    MetricSpec("service/batches", "counter", "count",
+               "MicroBatcher — coalesced batches handed to a kernel "
+               "call (flushes plus inline query_batch requests)"),
+    MetricSpec("service/batch_size/{bucket}", "counter", "count",
+               "MicroBatcher — batch-size histogram: batches whose "
+               "size fell in the bucket (le-1, le-4, le-16, le-64, "
+               "le-256, inf)"),
+    MetricSpec("service/cache_hits", "counter", "count",
+               "MicroBatcher — queries answered from the epoch-keyed "
+               "LRU result cache"),
+    MetricSpec("service/cache_misses", "counter", "count",
+               "MicroBatcher — queries that missed the result cache "
+               "and went to the kernel"),
+    MetricSpec("service/overloaded", "counter", "count",
+               "MicroBatcher.submit — queries rejected by the bounded "
+               "queue (the explicit backpressure path)"),
+    MetricSpec("service/writes", "counter", "count",
+               "IndexManager — add_edge/add_node writes absorbed by "
+               "the dynamic shadow"),
+    MetricSpec("service/swaps", "counter", "count",
+               "IndexManager — snapshots promoted by rebuild-and-swap"),
     # -- gauges -------------------------------------------------------
     MetricSpec("build/levels", "gauge", "levels",
                "stratify() — the stratification height h"),
@@ -126,6 +156,10 @@ CATALOG: tuple[MetricSpec, ...] = (
                "phase 1 — matched pairs at one level"),
     MetricSpec("index/size_words", "gauge", "16-bit words",
                "ChainIndex.build — label size, the paper's table unit"),
+    MetricSpec("service/queue_depth", "gauge", "queries",
+               "MicroBatcher — queue depth observed at each flush"),
+    MetricSpec("service/epoch", "gauge", "epoch",
+               "IndexManager — epoch of the published snapshot"),
 )
 
 

@@ -1,0 +1,56 @@
+"""repro.service — concurrent reachability serving on the chain index.
+
+The missing layer between the fast batch engine and "heavy traffic":
+
+* :class:`IndexManager` — the live index behind an atomic epoch-tagged
+  snapshot; lock-free reads, incremental writes into a
+  :class:`~repro.core.maintenance.DynamicChainIndex` shadow, background
+  rebuild-and-swap with zero query downtime;
+* :class:`MicroBatcher` — coalesces concurrently submitted queries
+  into single :meth:`ChainIndex.is_reachable_many` kernel calls
+  (bounded queue, ``max_batch`` / ``max_wait_us`` policy, explicit
+  ``overloaded`` backpressure);
+* :class:`ResultCache` — LRU of answers keyed ``(epoch, src, dst)``,
+  so a snapshot swap invalidates by construction;
+* :class:`ReachabilityService` — a stdlib-only asyncio TCP server
+  speaking newline-delimited JSON (``query`` / ``query_batch`` /
+  ``add_edge`` / ``stats`` / ``reload``) with per-request timeouts and
+  graceful drain, plus :class:`ServiceClient`, its blocking client.
+
+Wire protocol, batching policy, swap semantics and failure modes are
+documented in ``docs/SERVICE.md``; the ``service/*`` metric family is
+in ``docs/OBSERVABILITY.md``.  From the shell: ``repro-graph serve``
+and ``repro-graph query --remote HOST:PORT``.
+"""
+
+from repro.service.batching import BATCH_SIZE_BUCKETS, MicroBatcher
+from repro.service.cache import ResultCache
+from repro.service.client import ServiceClient
+from repro.service.errors import (
+    OverloadedError,
+    RemoteError,
+    ServiceError,
+    WritesUnsupportedError,
+)
+from repro.service.manager import IndexManager, Snapshot
+from repro.service.server import (
+    ReachabilityService,
+    ThreadedService,
+    start_in_thread,
+)
+
+__all__ = [
+    "IndexManager",
+    "Snapshot",
+    "MicroBatcher",
+    "BATCH_SIZE_BUCKETS",
+    "ResultCache",
+    "ReachabilityService",
+    "ThreadedService",
+    "start_in_thread",
+    "ServiceClient",
+    "ServiceError",
+    "OverloadedError",
+    "RemoteError",
+    "WritesUnsupportedError",
+]

@@ -1,0 +1,88 @@
+"""LRU result cache keyed by ``(epoch, source, target)``.
+
+Keying on the snapshot epoch makes invalidation structural: a snapshot
+swap bumps the epoch, so every cached answer from the previous graph
+version simply stops being addressable and ages out of the LRU — no
+flush, no generation counters, no risk of serving a stale answer as
+fresh.  An entry is only ever returned for the exact graph version it
+was computed on.
+
+The cache is a plain dict in insertion order (CPython ≥ 3.7), with
+hits re-inserted to refresh recency — O(1) per operation.  A lock
+keeps it usable from threaded embedders; the asyncio server calls it
+from one event loop, where the lock is uncontended.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Bounded LRU of reachability answers.
+
+    >>> cache = ResultCache(capacity=2)
+    >>> cache.put(0, "a", "b", True)
+    >>> cache.get(0, "a", "b")
+    True
+    >>> cache.get(1, "a", "b") is None     # other epoch: miss
+    True
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: dict[tuple, bool] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, epoch: int, source, target) -> bool | None:
+        """The cached answer for the pair at ``epoch``, else ``None``."""
+        key = (epoch, source, target)
+        with self._lock:
+            try:
+                answer = self._entries.pop(key)
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries[key] = answer      # re-insert: most recent
+            self.hits += 1
+            return answer
+
+    def put(self, epoch: int, source, target, answer: bool) -> None:
+        """Remember ``answer``, evicting the least recent past capacity."""
+        key = (epoch, source, target)
+        with self._lock:
+            self._entries.pop(key, None)
+            self._entries[key] = answer
+            if len(self._entries) > self.capacity:
+                self._entries.pop(next(iter(self._entries)))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups since construction (0.0 when unused)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> dict:
+        """Counters for the ``stats`` verb and the bench report."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hit_rate,
+            }
+
+    def __repr__(self) -> str:
+        return (f"<ResultCache size={len(self._entries)}"
+                f"/{self.capacity} hits={self.hits} "
+                f"misses={self.misses}>")

@@ -1,0 +1,108 @@
+"""A small blocking client for the NDJSON reachability service.
+
+Used by ``repro-graph query --remote HOST:PORT``, the serve-smoke load
+generator's sequential baseline, and any synchronous embedder.  One
+socket, one request in flight at a time (responses arrive in request
+order); concurrency comes from opening more clients.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from repro.service.errors import RemoteError, ServiceError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Blocking NDJSON client: ``ServiceClient("127.0.0.1", 7431)``."""
+
+    def __init__(self, host: str, port: int,
+                 timeout: float = 10.0) -> None:
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+
+    @classmethod
+    def from_address(cls, address: str,
+                     timeout: float = 10.0) -> "ServiceClient":
+        """Connect to a ``HOST:PORT`` string (IPv6 in brackets)."""
+        host, _, port = address.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(
+                f"expected HOST:PORT, got {address!r}")
+        return cls(host.strip("[]"), int(port), timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # verbs
+    # ------------------------------------------------------------------
+    def query(self, source, target) -> tuple[int, bool]:
+        """``(epoch, reachable)`` for one pair."""
+        response = self.call({"op": "query", "source": source,
+                              "target": target})
+        return response["epoch"], response["reachable"]
+
+    def query_batch(self, pairs) -> tuple[int, list[bool]]:
+        """``(epoch, answers)`` for a batch of pairs, in order."""
+        response = self.call({"op": "query_batch",
+                              "pairs": [list(pair) for pair in pairs]})
+        return response["epoch"], response["reachable"]
+
+    def add_edge(self, source, target, create: bool = True) -> dict:
+        """Insert an edge; returns the server's acknowledgement."""
+        return self.call({"op": "add_edge", "source": source,
+                          "target": target, "create": create})
+
+    def add_node(self, node) -> dict:
+        """Insert an isolated node."""
+        return self.call({"op": "add_node", "node": node})
+
+    def reload(self, force: bool = False) -> int:
+        """Trigger a rebuild-and-swap; returns the new epoch."""
+        return self.call({"op": "reload", "force": force})["epoch"]
+
+    def stats(self) -> dict:
+        """The server's ``stats`` payload."""
+        return self.call({"op": "stats"})["stats"]
+
+    def ping(self) -> int:
+        """Liveness check; returns the current epoch."""
+        return self.call({"op": "ping"})["epoch"]
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def call(self, request: dict) -> dict:
+        """Send one request object, return its ``ok`` response.
+
+        Raises :class:`RemoteError` (carrying the wire-level ``code``)
+        for an error response and :class:`ServiceError` when the
+        connection drops mid-call.
+        """
+        payload = json.dumps(request, separators=(",", ":"))
+        try:
+            self._sock.sendall(payload.encode("utf-8") + b"\n")
+            line = self._reader.readline()
+        except OSError as exc:
+            raise ServiceError(f"connection failed: {exc}") from exc
+        if not line:
+            raise ServiceError("server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise RemoteError(response.get("error", "internal"),
+                              response.get("message", ""))
+        return response
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

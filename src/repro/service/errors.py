@@ -1,0 +1,60 @@
+"""Exception hierarchy of the serving layer.
+
+Service errors deliberately do **not** derive from
+:class:`repro.graph.errors.GraphError`: a full queue or a dropped
+connection is an operational condition of the *server*, not a defect in
+the *graph*.  The TCP server maps each subclass to a stable wire-level
+``error`` code (see ``docs/SERVICE.md``) so clients can branch without
+parsing messages.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServiceError",
+    "OverloadedError",
+    "WritesUnsupportedError",
+    "RemoteError",
+]
+
+
+class ServiceError(Exception):
+    """Base class for all errors raised by :mod:`repro.service`."""
+
+
+class OverloadedError(ServiceError):
+    """The micro-batch queue is full; the request was rejected.
+
+    This is the backpressure contract: the server sheds load with an
+    explicit ``overloaded`` error instead of buffering without bound.
+    Clients should back off and retry.
+    """
+
+    def __init__(self, pending: int, limit: int) -> None:
+        super().__init__(
+            f"query queue full ({pending} pending, limit {limit}); "
+            f"retry with backoff")
+        self.pending = pending
+        self.limit = limit
+
+
+class WritesUnsupportedError(ServiceError):
+    """The manager has no dynamic shadow, so writes cannot be absorbed.
+
+    Happens when the served graph was cyclic at build time (the dynamic
+    index requires a DAG) or the manager was opened read-only.
+    """
+
+
+class RemoteError(ServiceError):
+    """The server answered a client request with an error response.
+
+    ``code`` carries the wire-level error code (``"overloaded"``,
+    ``"unknown_node"``, ``"cycle"``, ``"bad_request"``, ``"timeout"``,
+    ``"unsupported"``, ``"internal"``); the message is the server's
+    human-readable explanation.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code

@@ -1,0 +1,363 @@
+"""The live index behind an atomic, epoch-tagged snapshot.
+
+:class:`IndexManager` is the serving layer's source of truth.  It
+keeps two structures:
+
+* the **published snapshot** — an immutable :class:`Snapshot` whose
+  backend is a frozen, packed :class:`~repro.core.index.ChainIndex`.
+  Reads are lock-free: a query grabs the current snapshot with one
+  attribute load (atomic under CPython) and runs entirely against
+  frozen arrays, so in-flight queries are never blocked by writes or
+  swaps and every answer is exact for the graph version its epoch
+  names;
+* the **shadow** — a :class:`~repro.core.maintenance.DynamicChainIndex`
+  that absorbs ``add_edge`` / ``add_node`` incrementally (Jagadish
+  maintenance) under a write lock.  Writes do not touch the published
+  snapshot; they become visible when a **rebuild-and-swap** packs a
+  fresh static index from a copy of the shadow's graph (off-lock, so
+  queries keep flowing) and atomically publishes it with ``epoch + 1``.
+
+``mode="dynamic"`` flips the trade-off for mutation-heavy workloads:
+the published snapshot *is* the shadow, every write bumps the epoch
+immediately, and queries briefly take the write lock so each batch is
+consistent with the epoch it reports.  Both modes answer through the
+same :class:`~repro.core.protocols.BatchReachability` surface.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.core.index import ChainIndex
+from repro.core.maintenance import DynamicChainIndex
+from repro.core.protocols import BatchReachability
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import EdgeExistsError, NotADAGError
+from repro.obs import OBS
+from repro.service.errors import WritesUnsupportedError
+
+__all__ = ["Snapshot", "IndexManager"]
+
+_MODES = ("static", "dynamic")
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One published graph version: an epoch, a backend, its graph.
+
+    ``graph`` is the exact graph version the backend answers for — a
+    private copy in static mode (safe to BFS against even while newer
+    writes land), the live shadow graph in dynamic mode, and ``None``
+    for an index loaded from a file (the original graph is not
+    recoverable from the condensation).  ``packed_seconds`` records
+    how long the static pack took (0.0 for dynamic snapshots).
+    """
+
+    epoch: int
+    backend: BatchReachability
+    graph: DiGraph | None
+    kind: str = "static"
+    packed_seconds: float = 0.0
+
+    def __repr__(self) -> str:
+        nodes = self.graph.num_nodes if self.graph is not None else "?"
+        return (f"<Snapshot epoch={self.epoch} kind={self.kind} "
+                f"nodes={nodes}>")
+
+
+class IndexManager:
+    """Concurrent reachability queries over a mutable graph.
+
+    >>> from repro import DiGraph
+    >>> manager = IndexManager.from_graph(
+    ...     DiGraph.from_edges([("a", "b"), ("b", "c")]))
+    >>> manager.query_many([("a", "c"), ("c", "a")])
+    (0, [True, False])
+    >>> manager.add_edge("c", "d", create=True)
+    True
+    >>> manager.swap().epoch          # promote the write
+    1
+    >>> manager.query_many([("a", "d")])
+    (1, [True])
+    """
+
+    def __init__(self, snapshot: Snapshot,
+                 shadow: DynamicChainIndex | None, *,
+                 method: str = "stratified", mode: str = "static",
+                 auto_swap_after: int | None = None) -> None:
+        if mode not in _MODES:
+            raise ValueError(
+                f"unknown mode {mode!r}; expected one of {_MODES}")
+        self._snapshot = snapshot
+        self._shadow = shadow
+        self._method = method
+        self._mode = mode
+        self._auto_swap_after = auto_swap_after
+        self._lock = threading.Lock()        # guards shadow + publish
+        self._swap_lock = threading.Lock()   # serialises swaps
+        self._swap_thread: threading.Thread | None = None
+        self._pending = 0
+        self._swaps = 0
+        self._writes = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: DiGraph, *, method: str = "stratified",
+                   mode: str = "static",
+                   auto_swap_after: int | None = None) -> "IndexManager":
+        """Manage ``graph`` (copied — later mutation goes through the
+        manager).
+
+        Static mode accepts cyclic graphs for read-only service (the
+        dynamic shadow needs a DAG, so writes then raise
+        :class:`WritesUnsupportedError`); dynamic mode requires a DAG
+        outright.
+        """
+        version = graph.copy()
+        try:
+            shadow = DynamicChainIndex.from_graph(version)
+        except NotADAGError:
+            if mode == "dynamic":
+                raise
+            shadow = None
+        if mode == "dynamic":
+            snapshot = Snapshot(0, shadow, shadow.graph, kind="dynamic")
+        else:
+            index, seconds = cls._pack(version, method)
+            snapshot = Snapshot(0, index, version, kind="static",
+                                packed_seconds=seconds)
+        return cls(snapshot, shadow, method=method, mode=mode,
+                   auto_swap_after=auto_swap_after)
+
+    @classmethod
+    def from_index_file(cls, path, *,
+                        method: str = "stratified") -> "IndexManager":
+        """Serve a persisted index read-only (see ``save_index``).
+
+        The original graph cannot be reconstructed from the persisted
+        condensation, so there is no shadow: writes raise
+        :class:`WritesUnsupportedError` and ``swap`` is a no-op.
+        """
+        from repro.core.persistence import load_index
+        index = load_index(path)
+        index.is_reachable_many([])          # pre-build the batch kernel
+        return cls(Snapshot(0, index, None, kind="static"), None,
+                   method=method, mode="static")
+
+    @staticmethod
+    def _pack(graph: DiGraph, method: str) -> tuple[ChainIndex, float]:
+        with OBS.span("service/swap") as span:
+            index = ChainIndex.build(graph, method=method)
+            index.is_reachable_many([])      # pre-build the batch kernel
+        return index, span.seconds
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    @property
+    def snapshot(self) -> Snapshot:
+        """The currently published snapshot (one atomic read)."""
+        return self._snapshot
+
+    @property
+    def epoch(self) -> int:
+        """Epoch of the published snapshot."""
+        return self._snapshot.epoch
+
+    def query_many(self, pairs) -> tuple[int, list[bool]]:
+        """Answer ``pairs`` against one consistent snapshot.
+
+        Returns ``(epoch, answers)``: every answer is exact for the
+        graph version ``epoch`` names.  Lock-free in static mode; in
+        dynamic mode the write lock is held for the batch so the
+        answers and the reported epoch cannot tear against a racing
+        write.
+        """
+        snapshot = self._snapshot
+        if snapshot.kind == "static":
+            return snapshot.epoch, snapshot.backend.is_reachable_many(pairs)
+        with self._lock:
+            snapshot = self._snapshot
+            return snapshot.epoch, snapshot.backend.is_reachable_many(pairs)
+
+    def is_reachable(self, source, target) -> bool:
+        """Scalar convenience over :meth:`query_many`."""
+        return self.query_many([(source, target)])[1][0]
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    @property
+    def writable(self) -> bool:
+        """Whether this manager can absorb writes."""
+        return self._shadow is not None
+
+    def add_edge(self, tail, head, *, create: bool = False) -> bool:
+        """Absorb ``tail → head`` into the shadow.
+
+        Returns ``True`` when the edge was inserted, ``False`` when it
+        already existed.  ``create=True`` adds missing endpoint nodes
+        first.  Raises :class:`NotADAGError` for a cycle-closing edge,
+        :class:`~repro.graph.errors.NodeNotFoundError` for unknown
+        endpoints without ``create``, and
+        :class:`WritesUnsupportedError` on a read-only manager.  In
+        static mode the write becomes visible at the next swap; in
+        dynamic mode immediately (with an epoch bump).
+        """
+        with self._lock:
+            shadow = self._require_shadow()
+            if create:
+                for node in (tail, head):
+                    if node not in shadow.graph:
+                        shadow.add_node(node)
+            try:
+                shadow.add_edge(tail, head)
+            except EdgeExistsError:
+                return False
+            self._record_write()
+        self._maybe_auto_swap()
+        return True
+
+    def add_node(self, node) -> bool:
+        """Absorb an isolated node; ``False`` when already present."""
+        with self._lock:
+            shadow = self._require_shadow()
+            if node in shadow.graph:
+                return False
+            shadow.add_node(node)
+            self._record_write()
+        self._maybe_auto_swap()
+        return True
+
+    def _require_shadow(self) -> DynamicChainIndex:
+        if self._shadow is None:
+            raise WritesUnsupportedError(
+                "this manager is read-only (cyclic graph at build "
+                "time, or loaded from an index file)")
+        return self._shadow
+
+    def _record_write(self) -> None:
+        """Bump write accounting; publish immediately in dynamic mode.
+
+        Caller holds ``self._lock``.
+        """
+        self._pending += 1
+        self._writes += 1
+        if OBS.enabled:
+            OBS.count("service/writes")
+        if self._mode == "dynamic":
+            shadow = self._shadow
+            self._snapshot = Snapshot(self._snapshot.epoch + 1, shadow,
+                                      shadow.graph, kind="dynamic")
+            if OBS.enabled:
+                OBS.gauge("service/epoch", self._snapshot.epoch)
+
+    # ------------------------------------------------------------------
+    # rebuild-and-swap
+    # ------------------------------------------------------------------
+    @property
+    def pending_writes(self) -> int:
+        """Writes absorbed by the shadow but not yet in a static pack."""
+        return self._pending
+
+    @property
+    def swap_count(self) -> int:
+        """Snapshots promoted since construction."""
+        return self._swaps
+
+    def swap(self, force: bool = False) -> Snapshot:
+        """Pack the shadow into a fresh snapshot and publish it.
+
+        Static mode: copies the shadow's graph under the lock, builds a
+        packed :class:`ChainIndex` *off* the lock (queries keep
+        flowing on the old snapshot), then atomically publishes it with
+        ``epoch + 1``.  Dynamic mode: re-minimises the shadow's chains
+        (:meth:`DynamicChainIndex.rebuild`).  With nothing pending and
+        ``force=False`` this is a no-op returning the live snapshot;
+        read-only managers always no-op.  Concurrent callers serialise.
+        """
+        if self._shadow is None:
+            return self._snapshot
+        with self._swap_lock:
+            with self._lock:
+                if self._pending == 0 and not force:
+                    return self._snapshot
+                claimed = self._pending
+                if self._mode == "dynamic":
+                    return self._swap_dynamic_locked(claimed)
+                version = self._shadow.graph.copy()
+            index, seconds = self._pack(version, self._method)
+            with self._lock:
+                snapshot = Snapshot(self._snapshot.epoch + 1, index,
+                                    version, kind="static",
+                                    packed_seconds=seconds)
+                self._snapshot = snapshot
+                self._pending -= claimed
+                self._swaps += 1
+                if OBS.enabled:
+                    OBS.count("service/swaps")
+                    OBS.gauge("service/epoch", snapshot.epoch)
+                return snapshot
+
+    def _swap_dynamic_locked(self, claimed: int) -> Snapshot:
+        """Re-minimise the shadow in place (caller holds both locks)."""
+        shadow = self._shadow
+        with OBS.span("service/swap"):
+            shadow.rebuild()
+        snapshot = Snapshot(self._snapshot.epoch + 1, shadow,
+                            shadow.graph, kind="dynamic")
+        self._snapshot = snapshot
+        self._pending -= claimed
+        self._swaps += 1
+        if OBS.enabled:
+            OBS.count("service/swaps")
+            OBS.gauge("service/epoch", snapshot.epoch)
+        return snapshot
+
+    def _maybe_auto_swap(self) -> None:
+        """Kick a background swap once enough writes accumulated."""
+        threshold = self._auto_swap_after
+        if (threshold is None or self._pending < threshold
+                or self._mode == "dynamic"):
+            return
+        thread = self._swap_thread
+        if thread is not None and thread.is_alive():
+            return                           # one swap in flight is enough
+        thread = threading.Thread(target=self.swap, daemon=True,
+                                  name="repro-service-swap")
+        self._swap_thread = thread
+        thread.start()
+
+    def close(self) -> None:
+        """Wait for an in-flight background swap to finish."""
+        thread = self._swap_thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=60.0)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Counters for the ``stats`` verb and the bench report."""
+        snapshot = self._snapshot
+        graph = snapshot.graph
+        return {
+            "epoch": snapshot.epoch,
+            "mode": self._mode,
+            "kind": snapshot.kind,
+            "writable": self.writable,
+            "pending_writes": self._pending,
+            "swaps": self._swaps,
+            "writes": self._writes,
+            "nodes": graph.num_nodes if graph is not None else None,
+            "edges": graph.num_edges if graph is not None else None,
+            "last_pack_seconds": snapshot.packed_seconds,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<IndexManager mode={self._mode!r} "
+                f"epoch={self.epoch} pending={self._pending} "
+                f"swaps={self._swaps}>")

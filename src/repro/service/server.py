@@ -1,0 +1,368 @@
+"""The asyncio TCP front end: newline-delimited JSON, stdlib only.
+
+One request per line, one JSON response per line, in order, per
+connection (concurrency comes from many connections — which is exactly
+what the micro-batcher coalesces).  Verbs: ``query``, ``query_batch``,
+``add_edge``, ``add_node``, ``stats``, ``reload``, ``ping``; the wire
+contract is specified in ``docs/SERVICE.md``.
+
+Operational guarantees:
+
+* **per-request timeout** — a request that cannot be answered within
+  ``request_timeout`` seconds gets a ``timeout`` error instead of
+  wedging its connection;
+* **bounded backpressure** — the micro-batch queue is bounded; at the
+  bound clients get an explicit ``overloaded`` error, never unbounded
+  buffering;
+* **graceful drain** — :meth:`ReachabilityService.shutdown` stops
+  accepting connections, flushes every queued query, lets in-flight
+  requests finish within a grace period, and only then tears down.
+
+:func:`start_in_thread` runs a service on a background thread with its
+own event loop — how a synchronous embedder (the CLI tests, a WSGI
+app) hosts one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from collections import deque
+
+from repro.graph.errors import (
+    GraphError,
+    NodeNotFoundError,
+    NotADAGError,
+)
+from repro.obs import OBS
+from repro.service.batching import MicroBatcher
+from repro.service.cache import ResultCache
+from repro.service.errors import (
+    OverloadedError,
+    ServiceError,
+    WritesUnsupportedError,
+)
+from repro.service.manager import IndexManager
+
+__all__ = ["ReachabilityService", "ThreadedService", "start_in_thread"]
+
+#: largest accepted request line (also bounds query_batch size).
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    position = min(len(sorted_values) - 1,
+                   int(fraction * len(sorted_values)))
+    return sorted_values[position]
+
+
+class ReachabilityService:
+    """Manager + cache + micro-batcher behind one TCP listener."""
+
+    def __init__(self, manager: IndexManager, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_batch: int = 128, max_wait_us: int = 500,
+                 max_pending: int = 1024, cache_size: int = 4096,
+                 request_timeout: float = 10.0,
+                 drain_grace: float = 5.0) -> None:
+        self.manager = manager
+        self.cache = ResultCache(cache_size) if cache_size else None
+        self.batcher = MicroBatcher(manager, self.cache,
+                                    max_batch=max_batch,
+                                    max_wait_us=max_wait_us,
+                                    max_pending=max_pending)
+        self.request_timeout = request_timeout
+        self.drain_grace = drain_grace
+        self._host = host
+        self._port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._draining = False
+        self._started_at = 0.0
+        self.requests = 0
+        self.errors = 0
+        self._latencies: deque = deque(maxlen=2048)  # (end_time, seconds)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (valid after :meth:`start`)."""
+        return self._host, self._port
+
+    async def start(self) -> tuple[str, int]:
+        """Bind the listener and start the flush loop."""
+        await self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self._host, self._port,
+            limit=MAX_LINE_BYTES)
+        self._host, self._port = self._server.sockets[0].getsockname()[:2]
+        self._started_at = time.monotonic()
+        return self.address
+
+    async def serve_forever(self) -> None:
+        """Block until the server is shut down."""
+        if self._server is None:
+            raise ServiceError("service not started")
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, flush, finish, tear down."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # let in-flight requests (and their queued queries) complete
+        if self._connections:
+            await asyncio.wait(self._connections,
+                               timeout=self.drain_grace)
+        await self.batcher.close(drain=True)
+        for task in list(self._connections):
+            task.cancel()
+        self.manager.close()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            while not self._draining:
+                try:
+                    line = await reader.readline()
+                except (asyncio.IncompleteReadError, ConnectionError,
+                        asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                started = time.monotonic()
+                response = await self._handle_line(stripped)
+                ended = time.monotonic()
+                self._latencies.append((ended, ended - started))
+                try:
+                    writer.write(json.dumps(response,
+                                            separators=(",", ":"))
+                                 .encode("utf-8") + b"\n")
+                    await writer.drain()
+                except (ConnectionError, RuntimeError):
+                    break
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _handle_line(self, line: bytes) -> dict:
+        self.requests += 1
+        if OBS.enabled:
+            OBS.count("service/requests")
+        try:
+            request = json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            return self._error(None, "bad_request",
+                               f"not valid JSON: {exc}")
+        if not isinstance(request, dict):
+            return self._error(None, "bad_request",
+                               "request must be a JSON object")
+        request_id = request.get("id")
+        with OBS.span("service/request"):
+            try:
+                response = await asyncio.wait_for(
+                    self._dispatch(request), self.request_timeout)
+            except asyncio.TimeoutError:
+                return self._error(
+                    request_id, "timeout",
+                    f"request exceeded {self.request_timeout}s")
+            except OverloadedError as exc:
+                return self._error(request_id, "overloaded", str(exc))
+            except NodeNotFoundError as exc:
+                response = self._error(request_id, "unknown_node",
+                                       str(exc))
+                if exc.role:
+                    response["role"] = exc.role
+                return response
+            except NotADAGError as exc:
+                return self._error(request_id, "cycle", str(exc))
+            except WritesUnsupportedError as exc:
+                return self._error(request_id, "unsupported", str(exc))
+            except ServiceError as exc:      # e.g. draining batcher
+                return self._error(request_id, "unavailable", str(exc))
+            except (GraphError, TypeError, ValueError, KeyError) as exc:
+                return self._error(request_id, "bad_request", str(exc))
+            except Exception as exc:  # noqa: BLE001 - fail the request,
+                return self._error(request_id, "internal",  # not the server
+                                   f"{type(exc).__name__}: {exc}")
+        if request_id is not None:
+            response["id"] = request_id
+        return response
+
+    def _error(self, request_id, code: str, message: str) -> dict:
+        self.errors += 1
+        response = {"ok": False, "error": code, "message": message}
+        if request_id is not None:
+            response["id"] = request_id
+        return response
+
+    # ------------------------------------------------------------------
+    # verbs
+    # ------------------------------------------------------------------
+    async def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "query":
+            source, target = request["source"], request["target"]
+            epoch, reachable = await self.batcher.submit(source, target)
+            return {"ok": True, "epoch": epoch, "reachable": reachable}
+        if op == "query_batch":
+            pairs = request["pairs"]
+            if not isinstance(pairs, list) or not all(
+                    isinstance(pair, (list, tuple)) and len(pair) == 2
+                    for pair in pairs):
+                raise ValueError(
+                    "pairs must be a list of [source, target] pairs")
+            pairs = [tuple(pair) for pair in pairs]
+            epoch, answers = self.batcher.submit_many(pairs)
+            return {"ok": True, "epoch": epoch, "reachable": answers}
+        if op == "add_edge":
+            source, target = request["source"], request["target"]
+            create = bool(request.get("create", True))
+            added = await asyncio.to_thread(
+                self.manager.add_edge, source, target, create=create)
+            return {"ok": True, "added": added,
+                    "epoch": self.manager.epoch,
+                    "pending_writes": self.manager.pending_writes}
+        if op == "add_node":
+            added = await asyncio.to_thread(self.manager.add_node,
+                                            request["node"])
+            return {"ok": True, "added": added,
+                    "epoch": self.manager.epoch,
+                    "pending_writes": self.manager.pending_writes}
+        if op == "reload":
+            force = bool(request.get("force", False))
+            snapshot = await asyncio.to_thread(self.manager.swap, force)
+            return {"ok": True, "epoch": snapshot.epoch,
+                    "swaps": self.manager.swap_count}
+        if op == "stats":
+            return {"ok": True, "stats": self.stats()}
+        if op == "ping":
+            return {"ok": True, "epoch": self.manager.epoch}
+        raise ValueError(f"unknown op {op!r}")
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """The ``stats`` verb payload: manager + batcher + cache + server."""
+        now = time.monotonic()
+        latencies = list(self._latencies)
+        seconds = sorted(duration for _, duration in latencies)
+        window = now - latencies[0][0] if latencies else 0.0
+        recent_qps = len(latencies) / window if window > 0 else 0.0
+        uptime = now - self._started_at if self._started_at else 0.0
+        return {
+            "server": {
+                "requests": self.requests,
+                "errors": self.errors,
+                "connections": len(self._connections),
+                "uptime_seconds": uptime,
+                "recent_qps": recent_qps,
+                "p50_ms": 1e3 * _percentile(seconds, 0.50),
+                "p99_ms": 1e3 * _percentile(seconds, 0.99),
+            },
+            "index": self.manager.stats(),
+            "batching": self.batcher.stats(),
+            "cache": (self.cache.stats() if self.cache is not None
+                      else None),
+        }
+
+
+# ----------------------------------------------------------------------
+# threaded embedding
+# ----------------------------------------------------------------------
+class ThreadedService:
+    """A :class:`ReachabilityService` on a background event loop.
+
+    >>> from repro import DiGraph
+    >>> from repro.service import IndexManager
+    >>> manager = IndexManager.from_graph(
+    ...     DiGraph.from_edges([("a", "b")]))
+    >>> with start_in_thread(manager) as handle:
+    ...     host, port = handle.address
+    ...     # connect a ServiceClient to (host, port) here
+    """
+
+    def __init__(self, service: ReachabilityService) -> None:
+        self._service = service
+        self._thread = threading.Thread(target=self._main, daemon=True,
+                                        name="repro-service")
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._failure: BaseException | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` of the running service."""
+        return self._service.address
+
+    @property
+    def service(self) -> ReachabilityService:
+        return self._service
+
+    def start(self) -> "ThreadedService":
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._failure is not None:
+            raise ServiceError(
+                f"service failed to start: {self._failure}"
+            ) from self._failure
+        if not self._ready.is_set():
+            raise ServiceError("service did not start within 30s")
+        return self
+
+    def stop(self) -> None:
+        """Drain and stop the service, then join its thread."""
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None and loop.is_running():
+            loop.call_soon_threadsafe(stop.set)
+        self._thread.join(timeout=30.0)
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # noqa: BLE001 - surfaced via start()
+            self._failure = exc
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await self._service.start()
+        self._ready.set()
+        await self._stop.wait()
+        await self._service.shutdown()
+
+    def __enter__(self) -> "ThreadedService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_in_thread(manager: IndexManager, **kwargs) -> ThreadedService:
+    """Start a service on a daemon thread; returns once it is bound."""
+    return ThreadedService(ReachabilityService(manager, **kwargs)).start()

@@ -1,0 +1,136 @@
+"""The ``labeling_crc32`` integrity check of persistence format v2.
+
+A truncated or bit-flipped index must fail loudly at load time with
+:class:`IndexFormatError`, while files written before the checksum was
+introduced (no ``labeling_crc32`` key) must keep loading.
+"""
+
+import io
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro import DiGraph, IndexFormatError
+from repro.core.index import ChainIndex
+from repro.core.persistence import (
+    labeling_checksum,
+    load_index,
+    save_index,
+)
+from repro.graph.errors import GraphFormatError
+
+from tests.conftest import PAPER_FIG1_EDGES, small_dags
+
+
+def save_document(graph: DiGraph) -> dict:
+    buffer = io.StringIO()
+    save_index(ChainIndex.build(graph), buffer)
+    return json.loads(buffer.getvalue())
+
+
+def load_document(document: dict) -> ChainIndex:
+    return load_index(io.StringIO(json.dumps(document)))
+
+
+@pytest.fixture
+def document() -> dict:
+    return save_document(DiGraph.from_edges(PAPER_FIG1_EDGES))
+
+
+class TestChecksumFunction:
+    def test_deterministic(self, document):
+        fields = document["labeling"]
+        assert labeling_checksum(fields) == labeling_checksum(fields)
+        assert document["labeling_crc32"] == labeling_checksum(fields)
+
+    def test_sensitive_to_every_field(self, document):
+        reference = labeling_checksum(document["labeling"])
+        for name in ("chain_of", "position_of", "rank_of", "level_of",
+                     "sequence_offsets", "sequence_chains",
+                     "sequence_positions"):
+            mutated = dict(document["labeling"])
+            mutated[name] = list(mutated[name]) + [0]
+            assert labeling_checksum(mutated) != reference, name
+
+    def test_field_boundaries_are_unambiguous(self):
+        """Moving an element across an array boundary changes the CRC."""
+        base = {name: [] for name in
+                ("chain_of", "position_of", "rank_of", "level_of",
+                 "sequence_offsets", "sequence_chains",
+                 "sequence_positions")}
+        one = dict(base, chain_of=[1, 2], position_of=[3])
+        other = dict(base, chain_of=[1], position_of=[2, 3])
+        assert labeling_checksum(one) != labeling_checksum(other)
+
+
+class TestRoundTrip:
+    def test_save_records_a_checksum(self, document):
+        assert isinstance(document["labeling_crc32"], int)
+
+    def test_clean_file_loads(self, document):
+        index = load_document(document)
+        assert index.is_reachable("a", "e") is True
+        assert index.is_reachable("e", "a") is False
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph=small_dags(max_nodes=8))
+    def test_any_dag_round_trips_with_checksum(self, graph):
+        document = save_document(graph)
+        assert document["labeling_crc32"] == labeling_checksum(
+            document["labeling"])
+        load_document(document)
+
+
+class TestCorruption:
+    def test_flipped_array_element_is_rejected(self, document):
+        document["labeling"]["rank_of"][0] ^= 1
+        with pytest.raises(IndexFormatError, match="checksum mismatch"):
+            load_document(document)
+
+    def test_truncated_array_is_rejected(self, document):
+        # keep the arrays mutually consistent so the shape validation
+        # does not fire first: drop node 0's (single-element) sequence
+        labeling = document["labeling"]
+        labeling["sequence_chains"] = labeling["sequence_chains"][1:]
+        labeling["sequence_positions"] = labeling["sequence_positions"][1:]
+        labeling["sequence_offsets"] = [
+            max(0, offset - 1) for offset in labeling["sequence_offsets"]]
+        with pytest.raises(IndexFormatError, match="checksum mismatch"):
+            load_document(document)
+
+    def test_wrong_recorded_checksum_is_rejected(self, document):
+        document["labeling_crc32"] += 1
+        with pytest.raises(IndexFormatError, match="checksum mismatch"):
+            load_document(document)
+
+    def test_error_is_also_a_graph_format_error(self, document):
+        """Existing callers catching GraphFormatError keep working."""
+        document["labeling_crc32"] += 1
+        with pytest.raises(GraphFormatError):
+            load_document(document)
+
+    def test_corruption_on_disk_is_rejected(self, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(ChainIndex.build(
+            DiGraph.from_edges(PAPER_FIG1_EDGES)), path)
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text.replace('"rank_of":[', '"rank_of":[0,', 1),
+                        encoding="utf-8")
+        with pytest.raises(IndexFormatError):
+            load_index(path)
+
+
+class TestBackwardCompatibility:
+    def test_legacy_file_without_checksum_loads(self, document):
+        """Pre-checksum v2 files have no ``labeling_crc32`` key."""
+        del document["labeling_crc32"]
+        index = load_document(document)
+        assert index.is_reachable("a", "e") is True
+
+    def test_legacy_file_still_gets_shape_validation(self, document):
+        del document["labeling_crc32"]
+        document["labeling"]["rank_of"] = [0] * len(
+            document["labeling"]["rank_of"])
+        with pytest.raises(GraphFormatError):
+            load_document(document)

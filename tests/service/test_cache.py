@@ -1,0 +1,75 @@
+"""Unit tests for the epoch-keyed LRU result cache."""
+
+import pytest
+
+from repro.service import ResultCache
+
+
+class TestLookup:
+    def test_round_trip(self):
+        cache = ResultCache(capacity=8)
+        cache.put(0, "a", "b", True)
+        cache.put(0, "b", "a", False)
+        assert cache.get(0, "a", "b") is True
+        assert cache.get(0, "b", "a") is False
+
+    def test_miss_returns_none(self):
+        cache = ResultCache(capacity=8)
+        assert cache.get(0, "a", "b") is None
+
+    def test_epoch_is_part_of_the_key(self):
+        """A swap invalidates by construction: new epoch, new keys."""
+        cache = ResultCache(capacity=8)
+        cache.put(0, "a", "b", True)
+        assert cache.get(1, "a", "b") is None
+        cache.put(1, "a", "b", False)
+        assert cache.get(0, "a", "b") is True
+        assert cache.get(1, "a", "b") is False
+
+    def test_false_answers_are_cached(self):
+        cache = ResultCache(capacity=8)
+        cache.put(3, 1, 2, False)
+        assert cache.get(3, 1, 2) is False
+
+
+class TestEviction:
+    def test_capacity_bound(self):
+        cache = ResultCache(capacity=3)
+        for n in range(10):
+            cache.put(0, n, n, True)
+        assert len(cache) == 3
+
+    def test_least_recently_used_goes_first(self):
+        cache = ResultCache(capacity=2)
+        cache.put(0, "a", "b", True)
+        cache.put(0, "c", "d", True)
+        assert cache.get(0, "a", "b") is True    # refresh "a"
+        cache.put(0, "e", "f", True)             # evicts "c"
+        assert cache.get(0, "a", "b") is True
+        assert cache.get(0, "c", "d") is None
+
+    def test_put_refreshes_existing_key(self):
+        cache = ResultCache(capacity=2)
+        cache.put(0, "a", "b", True)
+        cache.put(0, "c", "d", True)
+        cache.put(0, "a", "b", True)             # refresh, not grow
+        cache.put(0, "e", "f", True)             # evicts "c"
+        assert cache.get(0, "a", "b") is True
+        assert cache.get(0, "c", "d") is None
+
+    def test_rejects_silly_capacity(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = ResultCache(capacity=4)
+        cache.put(0, "a", "b", True)
+        cache.get(0, "a", "b")
+        cache.get(0, "x", "y")
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert stats["size"] == 1

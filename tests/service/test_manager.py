@@ -1,0 +1,192 @@
+"""Unit tests for the epoch-tagged snapshot manager."""
+
+import pytest
+
+from repro import DiGraph, IndexFormatError, NodeNotFoundError
+from repro.core.index import ChainIndex
+from repro.core.maintenance import DynamicChainIndex
+from repro.core.protocols import BatchReachability
+from repro.graph.errors import NotADAGError
+from repro.service import IndexManager, WritesUnsupportedError
+
+from tests.conftest import PAPER_FIG1_EDGES, bfs_reachable
+
+
+@pytest.fixture
+def manager() -> IndexManager:
+    return IndexManager.from_graph(DiGraph.from_edges(PAPER_FIG1_EDGES))
+
+
+class TestProtocol:
+    def test_both_backends_satisfy_the_batch_protocol(self):
+        graph = DiGraph.from_edges(PAPER_FIG1_EDGES)
+        assert isinstance(ChainIndex.build(graph), BatchReachability)
+        assert isinstance(DynamicChainIndex.from_graph(graph),
+                          BatchReachability)
+
+    def test_dynamic_batch_matches_scalar_and_bfs(self):
+        graph = DiGraph.from_edges(PAPER_FIG1_EDGES)
+        index = DynamicChainIndex.from_graph(graph)
+        nodes = graph.nodes()
+        pairs = [(u, v) for u in nodes for v in nodes]
+        answers = index.is_reachable_many(pairs)
+        for (u, v), answer in zip(pairs, answers):
+            assert answer == index.is_reachable(u, v)
+            assert answer == bfs_reachable(graph, u, v)
+
+    def test_dynamic_batch_names_the_missing_operand(self):
+        index = DynamicChainIndex.from_graph(
+            DiGraph.from_edges([("a", "b")]))
+        with pytest.raises(NodeNotFoundError) as excinfo:
+            index.is_reachable_many([("a", "b"), ("a", "zzz")])
+        assert excinfo.value.role == "target"
+
+
+class TestReads:
+    def test_initial_epoch_is_zero(self, manager):
+        assert manager.epoch == 0
+        assert manager.snapshot.kind == "static"
+
+    def test_query_many_tags_the_epoch(self, manager):
+        epoch, answers = manager.query_many([("a", "e"), ("d", "a")])
+        assert epoch == 0
+        assert answers == [True, False]
+
+    def test_scalar_convenience(self, manager):
+        assert manager.is_reachable("a", "e") is True
+        assert manager.is_reachable("e", "a") is False
+
+    def test_snapshot_graph_matches_answers(self, manager):
+        epoch, answers = manager.query_many([("f", "i"), ("i", "f")])
+        graph = manager.snapshot.graph
+        assert answers == [bfs_reachable(graph, "f", "i"),
+                           bfs_reachable(graph, "i", "f")]
+
+
+class TestWrites:
+    def test_write_invisible_until_swap(self, manager):
+        manager.add_edge("e", "zz", create=True)
+        assert manager.pending_writes == 1
+        # the published snapshot still answers for epoch 0
+        with pytest.raises(NodeNotFoundError):
+            manager.query_many([("a", "zz")])
+        snapshot = manager.swap()
+        assert snapshot.epoch == 1
+        assert manager.pending_writes == 0
+        assert manager.query_many([("a", "zz")]) == (1, [True])
+
+    def test_duplicate_edge_is_reported_not_raised(self, manager):
+        assert manager.add_edge("a", "b") is False
+        assert manager.pending_writes == 0
+
+    def test_unknown_endpoint_without_create(self, manager):
+        with pytest.raises(NodeNotFoundError):
+            manager.add_edge("a", "zz")
+
+    def test_cycle_rejected(self, manager):
+        with pytest.raises(NotADAGError):
+            manager.add_edge("e", "a")
+
+    def test_add_node(self, manager):
+        assert manager.add_node("lonely") is True
+        assert manager.add_node("lonely") is False
+        manager.swap()
+        assert manager.query_many([("lonely", "lonely")]) == (1, [True])
+
+    def test_cyclic_graph_serves_read_only(self):
+        cyclic = DiGraph.from_edges([("a", "b"), ("b", "a"),
+                                     ("b", "c")])
+        manager = IndexManager.from_graph(cyclic)
+        assert manager.writable is False
+        assert manager.query_many([("a", "c")]) == (0, [True])
+        with pytest.raises(WritesUnsupportedError):
+            manager.add_edge("c", "d", create=True)
+        assert manager.swap().epoch == 0     # no-op, no crash
+
+
+class TestSwap:
+    def test_swap_without_writes_is_a_noop(self, manager):
+        before = manager.snapshot
+        assert manager.swap() is before
+
+    def test_forced_swap_bumps_the_epoch(self, manager):
+        assert manager.swap(force=True).epoch == 1
+        assert manager.swap_count == 1
+
+    def test_old_snapshot_keeps_answering_after_swap(self, manager):
+        old = manager.snapshot
+        manager.add_edge("e", "x", create=True)
+        manager.swap()
+        # a reader that grabbed the old snapshot is not disturbed
+        assert old.backend.is_reachable_many([("a", "e")]) == [True]
+        with pytest.raises(NodeNotFoundError):
+            old.backend.is_reachable_many([("a", "x")])
+
+    def test_auto_swap_after_threshold(self, manager):
+        manager._auto_swap_after = 3
+        for n in range(3):
+            manager.add_edge("e", f"auto-{n}", create=True)
+        manager.close()                      # join the background swap
+        assert manager.swap_count >= 1
+        epoch, answers = manager.query_many([("a", "auto-0")])
+        assert answers == [True]
+
+    def test_stats_shape(self, manager):
+        stats = manager.stats()
+        assert stats["epoch"] == 0
+        assert stats["writable"] is True
+        assert stats["nodes"] == 9
+        assert stats["mode"] == "static"
+
+
+class TestDynamicMode:
+    def test_writes_visible_immediately_with_epoch_bump(self):
+        manager = IndexManager.from_graph(
+            DiGraph.from_edges(PAPER_FIG1_EDGES), mode="dynamic")
+        assert manager.query_many([("a", "e")]) == (0, [True])
+        manager.add_edge("e", "zz", create=True)
+        epoch, answers = manager.query_many([("a", "zz")])
+        assert answers == [True]
+        assert epoch == 1                    # one write, one bump
+
+    def test_dynamic_swap_reminimises_chains(self):
+        manager = IndexManager.from_graph(
+            DiGraph.from_edges([("a", "b")]), mode="dynamic")
+        for n in range(4):
+            manager.add_edge("b", f"tail-{n}", create=True)
+        chains_before = manager.snapshot.backend.num_chains
+        snapshot = manager.swap()
+        assert snapshot.backend.num_chains <= chains_before
+        assert snapshot.epoch == manager.epoch
+
+    def test_dynamic_mode_rejects_cyclic_input(self):
+        with pytest.raises(NotADAGError):
+            IndexManager.from_graph(
+                DiGraph.from_edges([("a", "b"), ("b", "a")]),
+                mode="dynamic")
+
+
+class TestFromIndexFile:
+    def test_serves_a_persisted_index_read_only(self, tmp_path):
+        from repro.core.persistence import save_index
+        path = tmp_path / "paper.idx"
+        save_index(ChainIndex.build(DiGraph.from_edges(PAPER_FIG1_EDGES)),
+                   path)
+        manager = IndexManager.from_index_file(path)
+        assert manager.query_many([("a", "e"), ("e", "a")]) == \
+            (0, [True, False])
+        assert manager.writable is False
+        assert manager.snapshot.graph is None
+        with pytest.raises(WritesUnsupportedError):
+            manager.add_edge("a", "q", create=True)
+
+    def test_corrupt_file_fails_loudly(self, tmp_path):
+        from repro.core.persistence import save_index
+        path = tmp_path / "paper.idx"
+        save_index(ChainIndex.build(DiGraph.from_edges(PAPER_FIG1_EDGES)),
+                   path)
+        text = path.read_text(encoding="utf-8")
+        mangled = text.replace('"rank_of":[', '"rank_of":[0,', 1)
+        path.write_text(mangled, encoding="utf-8")
+        with pytest.raises(IndexFormatError):
+            IndexManager.from_index_file(path)

@@ -1,5 +1,12 @@
 """Unit tests for the ``python -m repro`` command line."""
 
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
@@ -125,6 +132,96 @@ class TestDot:
     def test_strata_dot(self, graph_file, capsys):
         assert main(["dot", graph_file, "--strata"]) == 0
         assert "rank=same" in capsys.readouterr().out
+
+
+class TestRemoteQuery:
+    @pytest.fixture
+    def remote(self, graph_file):
+        from repro.graph.io import read_edge_list
+        from repro.service import IndexManager, start_in_thread
+        manager = IndexManager.from_graph(read_edge_list(graph_file))
+        with start_in_thread(manager, port=0) as handle:
+            host, port = handle.address
+            yield f"{host}:{port}"
+
+    def test_remote_pairs(self, remote, capsys):
+        exit_code = main(["query", "--remote", remote, "0", "1", "1", "0"])
+        out = capsys.readouterr().out
+        assert "0 -> 1: yes" in out
+        assert "1 -> 0: no" in out
+        assert "(epoch 0)" in out
+        assert exit_code == 1                # at least one "no"
+
+    def test_remote_with_pairs_file(self, remote, tmp_path, capsys):
+        pairs = tmp_path / "pairs.txt"
+        pairs.write_text("0 1\n", encoding="utf-8")
+        assert main(["query", "--remote", remote,
+                     "--pairs-file", str(pairs)]) == 0
+        assert "yes" in capsys.readouterr().out
+
+    def test_unreachable_server_is_a_usage_error(self, capsys):
+        assert main(["query", "--remote", "127.0.0.1:1",
+                     "0", "1"]) == 2
+        assert "remote" in capsys.readouterr().err
+
+    def test_bad_address_is_a_usage_error(self, capsys):
+        assert main(["query", "--remote", "nonsense", "0", "1"]) == 2
+        capsys.readouterr()
+
+
+class TestServe:
+    def test_serve_without_source_is_a_usage_error(self, capsys):
+        assert main(["serve"]) == 2
+        assert "graph file or --index" in capsys.readouterr().err
+
+    def test_serve_subprocess_end_to_end(self, graph_file, tmp_path,
+                                         capsys):
+        """``repro serve`` + ``repro query --remote`` over a real pipe."""
+        ready = tmp_path / "ready"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(
+            Path(__file__).resolve().parent.parent / "src")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", graph_file,
+             "--port", "0", "--ready-file", str(ready)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+        try:
+            deadline = time.monotonic() + 30
+            while not ready.exists():
+                assert process.poll() is None, (
+                    process.stderr.read().decode())
+                assert time.monotonic() < deadline, "server never ready"
+                time.sleep(0.05)
+            host, port = ready.read_text().split()
+            assert main(["query", "--remote", f"{host}:{port}",
+                         "0", "1"]) == 0
+            assert "yes" in capsys.readouterr().out
+        finally:
+            process.send_signal(signal.SIGINT)
+            try:
+                stdout, _ = process.communicate(timeout=30)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                stdout, _ = process.communicate()
+        assert b"serving" in stdout
+        assert b"drained and stopped" in stdout
+
+    def test_serve_persisted_index_read_only(self, graph_file,
+                                             tmp_path, capsys):
+        from repro.service import IndexManager, RemoteError, \
+            ServiceClient, start_in_thread
+        index_path = tmp_path / "graph.idx"
+        assert main(["index", graph_file, "-o", str(index_path)]) == 0
+        capsys.readouterr()
+        manager = IndexManager.from_index_file(index_path)
+        with start_in_thread(manager, port=0) as handle:
+            host, port = handle.address
+            with ServiceClient(host, port) as client:
+                epoch, reachable = client.query(0, 1)
+                assert (epoch, reachable) == (0, True)
+                with pytest.raises(RemoteError) as excinfo:
+                    client.add_edge(0, 99)
+                assert excinfo.value.code == "unsupported"
 
 
 class TestGenerate:

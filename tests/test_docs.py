@@ -77,3 +77,19 @@ def test_observability_catalogue_matches_the_registry():
 def test_catalogue_documents_every_kind():
     kinds = {spec.kind for spec in CATALOG}
     assert kinds == {"span", "counter", "gauge"}
+
+
+def test_service_doc_lists_exactly_the_service_metrics():
+    """docs/SERVICE.md's metrics table mirrors the service/* catalogue."""
+    text = (REPO / "docs" / "SERVICE.md").read_text(encoding="utf-8")
+    start = text.index("## Metrics")
+    end = text.find("\n## ", start)
+    section = text[start:end] if end != -1 else text[start:]
+    documented = {name for name in _ROW.findall(section)
+                  if name.startswith("service/")}
+    registered = {spec.name for spec in CATALOG
+                  if spec.name.startswith("service/")}
+    assert documented == registered, (
+        f"SERVICE.md metrics table out of sync: missing "
+        f"{sorted(registered - documented)}, ghosts "
+        f"{sorted(documented - registered)}")
