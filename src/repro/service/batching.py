@@ -28,7 +28,6 @@ import asyncio
 from collections import deque
 
 from repro.obs import OBS
-from repro.graph.errors import GraphError
 from repro.service.cache import ResultCache
 from repro.service.errors import OverloadedError, ServiceError
 from repro.service.manager import IndexManager
@@ -162,7 +161,13 @@ class MicroBatcher:
                     # coalescing window: let concurrent submitters pile
                     # into this flush
                     await asyncio.sleep(self.max_wait_us / 1e6)
-                self._flush_once()
+                try:
+                    self._flush_once()
+                except Exception:  # noqa: BLE001 - a poisoned batch must
+                    # never kill the flush loop: every later query would
+                    # hang until its request timeout
+                    if OBS.enabled:
+                        OBS.count("service/flush_errors")
                 await asyncio.sleep(0)       # yield to submitters
                 if self._closed:
                     return
@@ -184,7 +189,9 @@ class MicroBatcher:
         pairs = [pair for pair, _ in entries]
         try:
             epoch, answers = self._resolve(pairs)
-        except GraphError:
+        except Exception:  # noqa: BLE001 - e.g. unknown node (GraphError)
+            # or an unhashable pair from wire JSON (TypeError); one bad
+            # pair must fail only its own query, not the whole batch
             self._resolve_individually(entries)
             return
         for (_, future), answer in zip(entries, answers):
@@ -192,13 +199,13 @@ class MicroBatcher:
                 future.set_result((epoch, answer))
 
     def _resolve_individually(self, entries: list) -> None:
-        """Per-pair fallback so one unknown node fails only its query."""
+        """Per-pair fallback so one bad pair fails only its query."""
         for pair, future in entries:
             if future.done():
                 continue
             try:
                 epoch, answers = self._manager.query_many([pair])
-            except GraphError as exc:
+            except Exception as exc:  # noqa: BLE001 - routed to the future
                 future.set_exception(exc)
             else:
                 future.set_result((epoch, answers[0]))

@@ -209,14 +209,23 @@ class IndexManager:
         """
         with self._lock:
             shadow = self._require_shadow()
-            if create:
-                for node in (tail, head):
-                    if node not in shadow.graph:
-                        shadow.add_node(node)
-            try:
+            missing = ([node for node in dict.fromkeys((tail, head))
+                        if node not in shadow.graph] if create else [])
+            if missing:
+                # A fresh endpoint has no edges, so this insert cannot
+                # be a duplicate or close a cycle: creating the nodes
+                # first can never leave them dangling behind a
+                # rejection (which would be an unrecorded write).
+                for node in missing:
+                    shadow.add_node(node)
                 shadow.add_edge(tail, head)
-            except EdgeExistsError:
-                return False
+            else:
+                # both endpoints pre-exist, so rejection is possible —
+                # and nothing was created that would need rollback
+                try:
+                    shadow.add_edge(tail, head)
+                except EdgeExistsError:
+                    return False
             self._record_write()
         self._maybe_auto_swap()
         return True
@@ -323,17 +332,25 @@ class IndexManager:
         if (threshold is None or self._pending < threshold
                 or self._mode == "dynamic"):
             return
-        thread = self._swap_thread
-        if thread is not None and thread.is_alive():
-            return                           # one swap in flight is enough
-        thread = threading.Thread(target=self.swap, daemon=True,
-                                  name="repro-service-swap")
-        self._swap_thread = thread
-        thread.start()
+        with self._lock:
+            # check-and-set-and-start under the lock: two racing
+            # writers must not both observe "no live swap thread" and
+            # double-spawn (started inside the lock so a not-yet-alive
+            # thread can't be mistaken for a finished one; the new
+            # thread blocks on the locks until we release, so this
+            # cannot deadlock)
+            thread = self._swap_thread
+            if thread is not None and thread.is_alive():
+                return                       # one swap in flight is enough
+            thread = threading.Thread(target=self.swap, daemon=True,
+                                      name="repro-service-swap")
+            self._swap_thread = thread
+            thread.start()
 
     def close(self) -> None:
         """Wait for an in-flight background swap to finish."""
-        thread = self._swap_thread
+        with self._lock:
+            thread = self._swap_thread
         if thread is not None and thread.is_alive():
             thread.join(timeout=60.0)
 

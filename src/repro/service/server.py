@@ -52,6 +52,19 @@ __all__ = ["ReachabilityService", "ThreadedService", "start_in_thread"]
 MAX_LINE_BYTES = 4 * 1024 * 1024
 
 
+def _scalar(value, name: str):
+    """Reject wire values that cannot be node ids / cache keys.
+
+    JSON containers are unhashable, so letting one through would blow
+    up later in the cache or the kernel instead of at the request
+    boundary.
+    """
+    if isinstance(value, (dict, list)):
+        raise ValueError(
+            f"{name} must be a JSON scalar, not {type(value).__name__}")
+    return value
+
+
 def _percentile(sorted_values: list[float], fraction: float) -> float:
     if not sorted_values:
         return 0.0
@@ -140,8 +153,21 @@ class ReachabilityService:
             while not self._draining:
                 try:
                     line = await reader.readline()
-                except (asyncio.IncompleteReadError, ConnectionError,
-                        asyncio.LimitOverrunError):
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                except ValueError:
+                    # readline() re-raises LimitOverrunError as
+                    # ValueError when a line exceeds the stream limit
+                    response = self._error(
+                        None, "bad_request",
+                        f"request line exceeds {MAX_LINE_BYTES} bytes")
+                    try:
+                        writer.write(json.dumps(response,
+                                                separators=(",", ":"))
+                                     .encode("utf-8") + b"\n")
+                        await writer.drain()
+                    except (ConnectionError, RuntimeError):
+                        pass
                     break
                 if not line:
                     break
@@ -224,7 +250,8 @@ class ReachabilityService:
     async def _dispatch(self, request: dict) -> dict:
         op = request.get("op")
         if op == "query":
-            source, target = request["source"], request["target"]
+            source = _scalar(request["source"], "source")
+            target = _scalar(request["target"], "target")
             epoch, reachable = await self.batcher.submit(source, target)
             return {"ok": True, "epoch": epoch, "reachable": reachable}
         if op == "query_batch":
@@ -234,11 +261,13 @@ class ReachabilityService:
                     for pair in pairs):
                 raise ValueError(
                     "pairs must be a list of [source, target] pairs")
-            pairs = [tuple(pair) for pair in pairs]
+            pairs = [(_scalar(source, "source"), _scalar(target, "target"))
+                     for source, target in pairs]
             epoch, answers = self.batcher.submit_many(pairs)
             return {"ok": True, "epoch": epoch, "reachable": answers}
         if op == "add_edge":
-            source, target = request["source"], request["target"]
+            source = _scalar(request["source"], "source")
+            target = _scalar(request["target"], "target")
             create = bool(request.get("create", True))
             added = await asyncio.to_thread(
                 self.manager.add_edge, source, target, create=create)
@@ -246,8 +275,8 @@ class ReachabilityService:
                     "epoch": self.manager.epoch,
                     "pending_writes": self.manager.pending_writes}
         if op == "add_node":
-            added = await asyncio.to_thread(self.manager.add_node,
-                                            request["node"])
+            added = await asyncio.to_thread(
+                self.manager.add_node, _scalar(request["node"], "node"))
             return {"ok": True, "added": added,
                     "epoch": self.manager.epoch,
                     "pending_writes": self.manager.pending_writes}

@@ -90,6 +90,30 @@ class TestCoalescing:
         assert bad.role == "target"
         assert also_good == (0, True)
 
+    def test_unhashable_pair_does_not_kill_the_flush_loop(self):
+        """A pair straight off wire JSON can be unhashable (a list);
+        the TypeError it raises must fail only its own future — if it
+        escaped, the flush task would die and every later query would
+        hang until its request timeout."""
+        manager = make_manager()
+
+        async def scenario():
+            batcher = MicroBatcher(manager, ResultCache(capacity=64),
+                                   max_wait_us=2000)
+            await batcher.start()
+            results = await asyncio.gather(
+                batcher.submit("a", "e"),
+                batcher.submit(["a"], "e"),      # unhashable source
+                return_exceptions=True)
+            late = await batcher.submit("f", "i")
+            await batcher.close()
+            return results, late
+
+        (good, bad), late = asyncio.run(scenario())
+        assert good == (0, True)
+        assert isinstance(bad, TypeError)
+        assert late == (0, True)                 # the loop survived
+
 
 class TestBackpressure:
     def test_overloaded_at_max_pending(self):

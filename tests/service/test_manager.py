@@ -87,6 +87,18 @@ class TestWrites:
         with pytest.raises(NotADAGError):
             manager.add_edge("e", "a")
 
+    def test_rejected_edge_with_create_leaves_no_orphan_state(
+            self, manager):
+        """A rejection can only involve pre-existing endpoints, so
+        ``create=True`` must never leave behind nodes the write
+        accounting (and hence swap/epoch) does not know about."""
+        nodes_before = manager._shadow.graph.num_nodes
+        with pytest.raises(NotADAGError):
+            manager.add_edge("e", "a", create=True)
+        assert manager.add_edge("a", "b", create=True) is False
+        assert manager.pending_writes == 0
+        assert manager._shadow.graph.num_nodes == nodes_before
+
     def test_add_node(self, manager):
         assert manager.add_node("lonely") is True
         assert manager.add_node("lonely") is False
@@ -121,6 +133,31 @@ class TestSwap:
         assert old.backend.is_reachable_many([("a", "e")]) == [True]
         with pytest.raises(NodeNotFoundError):
             old.backend.is_reachable_many([("a", "x")])
+
+    def test_auto_swap_spawns_one_thread_for_concurrent_writers(
+            self, manager):
+        """Racing writers must not double-spawn the background swap."""
+        import threading
+
+        release = threading.Event()
+        calls = []
+
+        def slow_swap(force=False):
+            calls.append(1)
+            release.wait(timeout=10.0)
+
+        manager.swap = slow_swap             # instance attr shadows method
+        manager._auto_swap_after = 1
+        manager._pending = 1
+        writers = [threading.Thread(target=manager._maybe_auto_swap)
+                   for _ in range(8)]
+        for writer in writers:
+            writer.start()
+        for writer in writers:
+            writer.join(timeout=10.0)
+        release.set()
+        manager.close()
+        assert len(calls) == 1
 
     def test_auto_swap_after_threshold(self, manager):
         manager._auto_swap_after = 3

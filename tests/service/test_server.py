@@ -122,6 +122,30 @@ class TestErrors:
             client.call({"op": "query_batch", "pairs": [["a"]]})
         assert excinfo.value.code == "bad_request"
 
+    def test_unhashable_node_values_are_bad_requests(self, client):
+        """JSON containers are rejected at the request boundary; if one
+        reached the batcher its TypeError would poison the flush task
+        and hang every later query until the request timeout."""
+        for request in ({"op": "query", "source": [1], "target": "a"},
+                        {"op": "query", "source": "a", "target": {}},
+                        {"op": "query_batch", "pairs": [[["a"], "e"]]},
+                        {"op": "add_edge", "source": [1], "target": "a"},
+                        {"op": "add_node", "node": {"a": 1}}):
+            with pytest.raises(RemoteError) as excinfo:
+                client.call(request)
+            assert excinfo.value.code == "bad_request"
+        # the flush loop survived: single queries still resolve
+        assert client.query("a", "e") == (0, True)
+
+    def test_oversized_line_gets_an_error_response(self, running_service):
+        from repro.service.server import MAX_LINE_BYTES
+        payload = (b'{"op":"ping","pad":"' + b"x" * MAX_LINE_BYTES
+                   + b'"}\n')
+        response = raw_exchange(running_service.address, payload)
+        assert response["ok"] is False
+        assert response["error"] == "bad_request"
+        assert "exceeds" in response["message"]
+
     def test_invalid_json_line(self, running_service):
         response = raw_exchange(running_service.address,
                                 b"this is not json\n")
