@@ -1,0 +1,177 @@
+"""Disabled-mode overhead gate for the observability layer.
+
+The claim in ``docs/OBSERVABILITY.md`` (and the README) is that the
+instrumented library costs **under 2 %** when the ``OBS`` registry is
+off — its default state.  This benchmark enforces the claim against
+the pre-v2 seed revision recorded in
+``benchmarks/results/obs_overhead.md``:
+
+1. the seed commit is checked out into a scratch ``git worktree``;
+2. the same worker (build the Table-1 sparse series end to end, then
+   answer a fixed batch of reachability queries per graph) runs as a
+   subprocess against both trees, **interleaved** A/B/A/B so machine
+   drift hits both sides equally;
+3. the gate fails when the instrumented median exceeds the seed
+   median by more than the budget (2 %, ``REPRO_OVERHEAD_LIMIT``).
+
+Without git (or with a shallow clone missing the seed commit) the
+gate skips instead of failing — it is a perf regression net, not a
+portability requirement.
+
+Run it either way::
+
+    python benchmarks/bench_obs_overhead.py           # standalone
+    PYTHONPATH=src python -m pytest benchmarks/bench_obs_overhead.py
+
+``REPRO_BENCH_SCALE`` scales the workload, ``REPRO_OVERHEAD_RUNS``
+the interleaved run count, as for the rest of the bench suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+import statistics
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS = REPO_ROOT / "benchmarks" / "results" / "obs_overhead.md"
+SEED_LINE = re.compile(r"<!--\s*seed-rev:\s*([0-9a-f]{7,40})\s*-->")
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+RUNS = int(os.environ.get("REPRO_OVERHEAD_RUNS", "3"))
+SAMPLES = int(os.environ.get("REPRO_OVERHEAD_SAMPLES", "5"))
+LIMIT = float(os.environ.get("REPRO_OVERHEAD_LIMIT", "0.02"))
+
+
+def _worker(scale: float, samples: int) -> None:
+    """Measure one tree (selected by PYTHONPATH); prints JSON."""
+    import time
+
+    from repro.bench.harness import random_queries
+    from repro.bench.workloads import group1_graphs
+    from repro.core.index import ChainIndex
+
+    workloads = group1_graphs(scale)
+    queries = [random_queries(workload.graph, 2048, seed=29)
+               for workload in workloads]
+    # one untimed warm-up pass (imports, allocator, branch caches)
+    for workload, batch in zip(workloads, queries):
+        ChainIndex.build(workload.graph).is_reachable_many(batch)
+    laps = []
+    for _ in range(samples):
+        start = time.perf_counter()
+        for workload, batch in zip(workloads, queries):
+            index = ChainIndex.build(workload.graph)
+            index.is_reachable_many(batch)
+        laps.append(time.perf_counter() - start)
+    print(json.dumps({"median": statistics.median(laps),
+                      "samples": laps}))
+
+
+def seed_revision() -> str:
+    """The machine-readable seed commit pinned in the results doc."""
+    match = SEED_LINE.search(RESULTS.read_text(encoding="utf-8"))
+    if match is None:
+        raise RuntimeError(f"no '<!-- seed-rev: ... -->' line in "
+                           f"{RESULTS}")
+    return match.group(1)
+
+
+def _git(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(["git", *args], cwd=REPO_ROOT,
+                          capture_output=True, text=True, timeout=300)
+
+
+def _run_worker(src: Path, scale: float, samples: int) -> float:
+    env = dict(os.environ, PYTHONPATH=str(src))
+    completed = subprocess.run(
+        [sys.executable, str(Path(__file__).resolve()), "--worker",
+         str(scale), str(samples)],
+        capture_output=True, text=True, timeout=1800, check=True,
+        env=env)
+    return json.loads(completed.stdout)["median"]
+
+
+def measure_overhead(scale: float = SCALE, runs: int = RUNS,
+                     samples: int = SAMPLES) -> dict | None:
+    """Interleaved A/B medians; ``None`` when the gate cannot run."""
+    if shutil.which("git") is None:
+        print("SKIP: git not available")
+        return None
+    seed = seed_revision()
+    if _git("rev-parse", "--verify", f"{seed}^{{commit}}").returncode:
+        print(f"SKIP: seed commit {seed} not in this clone "
+              f"(shallow checkout?)")
+        return None
+    scratch = Path(tempfile.mkdtemp(prefix="repro-obs-seed-"))
+    worktree = scratch / "seed"
+    added = _git("worktree", "add", "--detach", str(worktree), seed)
+    if added.returncode:
+        shutil.rmtree(scratch, ignore_errors=True)
+        print(f"SKIP: could not create seed worktree: "
+              f"{added.stderr.strip()}")
+        return None
+    try:
+        seed_medians, instrumented_medians = [], []
+        for run in range(runs):
+            seed_medians.append(
+                _run_worker(worktree / "src", scale, samples))
+            instrumented_medians.append(
+                _run_worker(REPO_ROOT / "src", scale, samples))
+            print(f"run {run + 1}/{runs}: seed "
+                  f"{seed_medians[-1]:.4f} s, instrumented "
+                  f"{instrumented_medians[-1]:.4f} s")
+    finally:
+        _git("worktree", "remove", "--force", str(worktree))
+        shutil.rmtree(scratch, ignore_errors=True)
+    seed_median = statistics.median(seed_medians)
+    instrumented_median = statistics.median(instrumented_medians)
+    return {
+        "seed_rev": seed,
+        "seed_medians": seed_medians,
+        "instrumented_medians": instrumented_medians,
+        "seed_median": seed_median,
+        "instrumented_median": instrumented_median,
+        "overhead": instrumented_median / seed_median - 1.0,
+    }
+
+
+def test_disabled_overhead_stays_under_budget():
+    import pytest
+
+    result = measure_overhead()
+    if result is None:
+        pytest.skip("seed revision unavailable (no git or shallow "
+                    "clone)")
+    print(f"\nseed {result['seed_median']:.4f} s vs instrumented "
+          f"{result['instrumented_median']:.4f} s -> "
+          f"{100 * result['overhead']:+.2f} % (budget "
+          f"{100 * LIMIT:.0f} %)")
+    assert result["overhead"] <= LIMIT, (
+        f"disabled-mode overhead {100 * result['overhead']:+.2f} % "
+        f"exceeds the {100 * LIMIT:.0f} % budget vs seed "
+        f"{result['seed_rev']}")
+
+
+def main() -> int:
+    if len(sys.argv) >= 2 and sys.argv[1] == "--worker":
+        _worker(float(sys.argv[2]), int(sys.argv[3]))
+        return 0
+    result = measure_overhead()
+    if result is None:
+        return 0
+    print(json.dumps(result, indent=2))
+    over = result["overhead"] > LIMIT
+    print(f"overhead {100 * result['overhead']:+.2f} % "
+          f"({'FAIL' if over else 'ok'}, budget {100 * LIMIT:.0f} %)")
+    return 1 if over else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

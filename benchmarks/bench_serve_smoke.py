@@ -55,6 +55,18 @@ def test_serve_smoke_writes_bench_json():
     assert result["epoch"] >= 1
     # the second concurrent pass re-used the epoch-keyed cache
     assert result["cache_hit_rate"] > 0
+    # tail latency from the server's streaming histograms
+    assert (result["p50_ms"] <= result["p99_ms"] <= result["p999_ms"])
+    # exact client-side summary from the shared repro.obs helper
+    client = result["client_latency"]
+    assert client["count"] >= 32
+    assert client["p50"] <= client["p99"] <= client["p999"]
+    # per answer-class histogram summaries rode along in stats
+    classes = result["latency_classes"]
+    assert classes, "no per-class latency summaries recorded"
+    assert set(classes) <= {"positive", "negative", "prefilter_hit",
+                            "cache_hit", "batch"}
+    assert all(summary["count"] >= 1 for summary in classes.values())
 
 
 def main() -> int:

@@ -271,7 +271,11 @@ def run_serve_smoke(scale: float = 1.0) -> str:
         ("final epoch", f"{result['epoch']}"),
         ("p50 latency", f"{result['p50_ms']:.2f} ms"),
         ("p99 latency", f"{result['p99_ms']:.2f} ms"),
+        ("p999 latency", f"{result['p999_ms']:.2f} ms"),
     ]
+    for klass, summary in sorted(result["latency_classes"].items()):
+        rows.append((f"{klass} p99", f"{1e3 * summary['p99']:.2f} ms "
+                                     f"(n={summary['count']:,})"))
     return render_table(
         f"Serving smoke — {result['workload']}, "
         f"{result['queries']:,} queries over "

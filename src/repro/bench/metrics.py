@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.obs import Stopwatch
+from repro.obs import Stopwatch, summarize
 
 
 class Timer(Stopwatch):
@@ -25,7 +25,20 @@ class Timer(Stopwatch):
     __slots__ = ()
 
 
-__all__ = ["Timer", "BuildResult", "QuerySeries"]
+def latency_summary(seconds: list[float]) -> dict:
+    """Exact nearest-rank latency summary in milliseconds.
+
+    Thin wrapper over :func:`repro.obs.summarize` (the shared,
+    nearest-rank-correct percentile helper) that converts every value
+    but ``count`` from seconds to milliseconds — the shape the bench
+    reports record for client-observed latencies.
+    """
+    stats = summarize(seconds)
+    return {key: (value if key == "count" else 1e3 * value)
+            for key, value in stats.items()}
+
+
+__all__ = ["Timer", "BuildResult", "QuerySeries", "latency_summary"]
 
 
 @dataclass

@@ -41,16 +41,21 @@ async def _request(reader, writer, payload: dict) -> dict:
     return response
 
 
-async def _sequential_phase(host, port, queries) -> float:
+async def _sequential_phase(host, port,
+                            queries) -> tuple[float, list[float]]:
+    """Total seconds plus the client-observed per-request latencies."""
     reader, writer = await asyncio.open_connection(host, port)
+    laps: list[float] = []
     started = time.perf_counter()
     for source, target in queries:
+        lap_started = time.perf_counter()
         await _request(reader, writer, {"op": "query", "source": source,
                                         "target": target})
+        laps.append(time.perf_counter() - lap_started)
     elapsed = time.perf_counter() - started
     writer.close()
     await writer.wait_closed()
-    return elapsed
+    return elapsed, laps
 
 
 async def _concurrent_phase(host, port, queries,
@@ -86,6 +91,7 @@ async def _bulk_phase(host, port, queries) -> float:
 
 async def _smoke(scale: float) -> dict:
     from repro.bench.harness import random_queries
+    from repro.bench.metrics import latency_summary
     from repro.bench.workloads import smoke_workload
     from repro.service import IndexManager, ReachabilityService
 
@@ -99,7 +105,7 @@ async def _smoke(scale: float) -> dict:
         queries = random_queries(graph, max(64, int(3200 * scale)),
                                  seed=29)
         sequential_count = min(len(queries), max(32, int(400 * scale)))
-        sequential_seconds = await _sequential_phase(
+        sequential_seconds, sequential_laps = await _sequential_phase(
             host, port, queries[:sequential_count])
         concurrent_seconds = await _concurrent_phase(host, port, queries)
         # second pass over the same stream: mostly cache hits
@@ -146,6 +152,13 @@ async def _smoke(scale: float) -> dict:
         "epoch": reload_response["epoch"],
         "p50_ms": stats["server"]["p50_ms"],
         "p99_ms": stats["server"]["p99_ms"],
+        "p999_ms": stats["server"]["p999_ms"],
+        # exact nearest-rank summary of the client-observed sequential
+        # round trips (ms), via the shared repro.obs helper
+        "client_latency": latency_summary(sequential_laps),
+        # per answer-class streaming-histogram summaries (seconds) as
+        # the server's stats verb reports them
+        "latency_classes": stats["latency"],
     }
 
 

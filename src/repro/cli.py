@@ -215,17 +215,27 @@ def _cmd_serve(args) -> int:
     else:
         print("serve needs a graph file or --index", file=sys.stderr)
         return 2
+    if args.metrics_port is not None:
+        # the exposition endpoint is most useful with the registry's
+        # counters/spans included, so a metrics listener enables OBS
+        OBS.enable()
     service = ReachabilityService(
         manager, host=args.host, port=args.port,
         max_batch=args.max_batch, max_wait_us=args.max_wait_us,
         max_pending=args.max_pending, cache_size=args.cache_size,
-        request_timeout=args.request_timeout)
+        request_timeout=args.request_timeout,
+        metrics_port=args.metrics_port,
+        log=args.log, slow_query_ms=args.slow_query_ms)
 
     async def run() -> None:
         host, port = await service.start()
         print(f"serving {label} on {host}:{port} "
               f"(epoch {manager.epoch}, writable={manager.writable})",
               flush=True)
+        if service.metrics_address is not None:
+            metrics_host, metrics_port = service.metrics_address
+            print(f"metrics on http://{metrics_host}:{metrics_port}"
+                  f"/metrics", flush=True)
         if args.ready_file:
             Path(args.ready_file).write_text(f"{host} {port}\n",
                                              encoding="utf-8")
@@ -383,6 +393,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--ready-file", default=None, metavar="FILE",
                        help="write 'HOST PORT' to FILE once listening "
                             "(for scripts supervising the server)")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       metavar="PORT",
+                       help="serve Prometheus text exposition over "
+                            "HTTP on PORT (0 picks a free one); also "
+                            "enables the OBS registry")
+    serve.add_argument("--log", default=None, metavar="FILE",
+                       help="append structured JSON-lines events "
+                            "(swaps, drain, overload, slow queries) "
+                            "to FILE ('-' for stderr)")
+    serve.add_argument("--slow-query-ms", type=float, default=None,
+                       metavar="MS",
+                       help="log a slow_query record (with the trace "
+                            "breakdown) for requests slower than MS "
+                            "milliseconds (needs --log)")
     serve.set_defaults(func=_cmd_serve)
 
     dot = sub.add_parser("dot", help="Graphviz export")

@@ -224,6 +224,33 @@ class ChainIndex:
             OBS.count("query/probes", probes)
         return answers
 
+    def prefilter_rejects(self, source, target) -> bool:
+        """O(1): would the rank/level pre-filter alone settle this pair?
+
+        True exactly when the negative answer needs no binary search —
+        ``rank(source) > rank(target)`` (topological order forbids the
+        path) or ``level(source) <= level(target)`` (the stratification
+        forbids it).  Same-component pairs (positive by reflexivity)
+        and unknown nodes return False.  The serving layer uses this to
+        attribute a negative answer's latency to the ``prefilter_hit``
+        class without re-running the query.
+        """
+        component_of = self._condensation.component_of
+        try:
+            source_component = component_of[source]
+            target_component = component_of[target]
+        except (KeyError, TypeError):
+            return False
+        if source_component == target_component:
+            return False
+        labeling = self._labeling
+        rank_of = labeling.rank_of
+        if rank_of[source_component] > rank_of[target_component]:
+            return True
+        level_of = labeling.level_of
+        return (level_of[source_component]
+                <= level_of[target_component])
+
     def _build_query_kernel(self) -> tuple | bool:
         """Flat per-label query tables (or ``False`` if inapplicable).
 

@@ -1,13 +1,17 @@
 """repro.obs — phase-level observability for the reachability pipeline.
 
 A zero-dependency instrumentation layer: hierarchical phase spans,
-named counters and gauges in one process-wide registry (:data:`OBS`,
-disabled by default), JSON export under the ``repro.obs/1`` schema,
-and an opt-in cProfile hook.  The build pipeline (condense → stratify
-→ per-level matching → resolution → labeling), the query path, index
-persistence and incremental maintenance all report here, which is what
-lets measured cost be attributed to the phases of the paper's
-``O(n² + b·n·√b)`` build / ``O(b·e)`` labeling analysis.
+named counters, gauges and streaming log-bucketed histograms in one
+process-wide registry (:data:`OBS`, disabled by default), JSON export
+under the ``repro.obs/2`` schema, Prometheus text exposition
+(:mod:`repro.obs.promtext`), structured JSON-lines logging
+(:mod:`repro.obs.logging`), and an opt-in cProfile hook.  The build
+pipeline (condense → stratify → per-level matching → resolution →
+labeling), the query path, index persistence, incremental maintenance
+and the serving layer all report here, which is what lets measured
+cost be attributed to the phases of the paper's ``O(n² + b·n·√b)``
+build / ``O(b·e)`` labeling analysis — and, on the serving path, to
+the stages of one request (queue wait vs cache vs kernel vs swap).
 
 Quick use::
 
@@ -26,8 +30,11 @@ from repro.obs.catalog import (
     CATALOG,
     MetricSpec,
     catalog_names,
+    catalog_unit,
     is_known_metric,
 )
+from repro.obs.histogram import RELATIVE_ERROR, SUB_BUCKETS, Histogram
+from repro.obs.logging import JsonLinesLogger, open_log
 from repro.obs.profiling import maybe_profiled, profiled
 from repro.obs.registry import (
     OBS,
@@ -37,6 +44,7 @@ from repro.obs.registry import (
     SpanStats,
     Stopwatch,
 )
+from repro.obs.summary import percentile, summarize
 
 __all__ = [
     "OBS",
@@ -45,9 +53,17 @@ __all__ = [
     "Span",
     "SpanStats",
     "Stopwatch",
+    "Histogram",
+    "SUB_BUCKETS",
+    "RELATIVE_ERROR",
+    "JsonLinesLogger",
+    "open_log",
+    "percentile",
+    "summarize",
     "CATALOG",
     "MetricSpec",
     "catalog_names",
+    "catalog_unit",
     "is_known_metric",
     "profiled",
     "maybe_profiled",

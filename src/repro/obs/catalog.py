@@ -17,13 +17,15 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 
-__all__ = ["MetricSpec", "CATALOG", "catalog_names", "is_known_metric"]
+__all__ = ["MetricSpec", "CATALOG", "catalog_names", "catalog_unit",
+           "is_known_metric"]
 
 _PLACEHOLDERS = {
     "{level}": r"\d+",
     "{method}": r"[^/]+",
     "{algorithm}": r"[^/]+",
     "{bucket}": r"[a-z0-9-]+",
+    "{class}": r"[a-z_]+",
 }
 
 
@@ -32,7 +34,7 @@ class MetricSpec:
     """One catalogued metric."""
 
     name: str      #: catalogue name, possibly with placeholders
-    kind: str      #: "span" | "counter" | "gauge"
+    kind: str      #: "span" | "counter" | "gauge" | "histogram"
     unit: str      #: "seconds", "count", ...
     emitted: str   #: one line: which code path emits it, and when
 
@@ -160,6 +162,20 @@ CATALOG: tuple[MetricSpec, ...] = (
                "MicroBatcher — queue depth observed at each flush"),
     MetricSpec("service/epoch", "gauge", "epoch",
                "IndexManager — epoch of the published snapshot"),
+    # -- histograms (units: seconds; log-bucketed distributions) ------
+    MetricSpec("service/latency/{class}", "histogram", "seconds",
+               "ReachabilityService — end-to-end latency of one query "
+               "request, by answer class (positive, negative, "
+               "prefilter_hit, cache_hit)"),
+    MetricSpec("service/request_latency", "histogram", "seconds",
+               "ReachabilityService — end-to-end latency of every "
+               "wire request, any op"),
+    MetricSpec("service/queue_wait", "histogram", "seconds",
+               "MicroBatcher — time a queued query waited between "
+               "enqueue and its flush"),
+    MetricSpec("service/kernel_batch", "histogram", "seconds",
+               "MicroBatcher — duration of one coalesced "
+               "is_reachable_many kernel call"),
 )
 
 
@@ -186,3 +202,16 @@ def is_known_metric(name: str) -> bool:
     because ``labeling`` is.
     """
     return any(matcher.match(name) for matcher in _MATCHERS)
+
+
+def catalog_unit(name: str) -> str | None:
+    """The catalogued unit of a concrete metric name, else ``None``.
+
+    Used by the Prometheus renderer to suffix ``_seconds`` onto
+    time-valued series; placeholder expansion and span-path suffix
+    matching follow :func:`is_known_metric`.
+    """
+    for spec, matcher in zip(CATALOG, _MATCHERS):
+        if matcher.match(name):
+            return spec.unit
+    return None

@@ -1,0 +1,81 @@
+"""Structured JSON-lines logging for long-running serving processes.
+
+One event per line, machine-parseable, append-only — the format log
+shippers ingest without configuration::
+
+    {"ts": 1754380800.123, "event": "slow_query", "trace_id": "q-1f",
+     "total_ms": 12.4, "stages": [...], "epoch": 3}
+
+:class:`JsonLinesLogger` is deliberately tiny: a lock around one
+``write`` call per event, ISO-ish float timestamps (``time.time``),
+and values serialised with ``default=str`` so an unexpected object in
+a field degrades to its ``repr`` instead of killing the serving path.
+The service uses it for threshold-gated **slow-query logs** (with the
+full trace-stage breakdown attached) and **lifecycle events** — swap
+start/finish with their epochs, drain, overload; see
+``docs/SERVICE.md`` for the event vocabulary.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import IO
+
+__all__ = ["JsonLinesLogger", "open_log"]
+
+
+class JsonLinesLogger:
+    """Thread-safe one-object-per-line JSON event logger.
+
+    >>> import io
+    >>> stream = io.StringIO()
+    >>> logger = JsonLinesLogger(stream)
+    >>> logger.log("swap_start", epoch=3)["event"]
+    'swap_start'
+    >>> json.loads(stream.getvalue())["epoch"]
+    3
+    """
+
+    def __init__(self, stream: IO[str] | None = None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._lock = threading.Lock()
+        self.events = 0
+
+    def log(self, event: str, **fields) -> dict:
+        """Write one event line; returns the record that was written.
+
+        A closed or broken stream never takes the caller down — the
+        record is still returned, the write failure is swallowed
+        (telemetry must not fail the request it measures).
+        """
+        record = {"ts": time.time(), "event": event, **fields}
+        line = json.dumps(record, separators=(",", ":"), default=str)
+        with self._lock:
+            self.events += 1
+            try:
+                self._stream.write(line + "\n")
+                self._stream.flush()
+            except (OSError, ValueError):
+                pass
+        return record
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._stream.close()
+            except (OSError, ValueError):
+                pass
+
+
+def open_log(target: str | Path | IO[str] | None) -> JsonLinesLogger:
+    """A logger writing to a path (append mode), stream, ``"-"``
+    (stderr) or ``None`` (stderr)."""
+    if target is None or target == "-":
+        return JsonLinesLogger(sys.stderr)
+    if isinstance(target, (str, Path)):
+        return JsonLinesLogger(Path(target).open("a", encoding="utf-8"))
+    return JsonLinesLogger(target)

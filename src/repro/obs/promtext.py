@@ -1,0 +1,119 @@
+"""Prometheus text exposition (version 0.0.4) of the metrics registry.
+
+:func:`render` turns a :class:`~repro.obs.registry.MetricsRegistry`
+(plus any always-on :class:`~repro.obs.histogram.Histogram` objects a
+subsystem keeps outside the registry, like the serving layer's
+per-class latency histograms) into the plain-text format every
+Prometheus-compatible scraper understands:
+
+* counters become ``repro_<name>_total`` ``counter`` series;
+* gauges become ``repro_<name>`` ``gauge`` series;
+* spans become ``summary`` series — ``repro_<name>_seconds_count`` /
+  ``_seconds_sum`` — plus ``_seconds_min`` / ``_seconds_max`` gauges
+  (Prometheus summaries have no native extrema);
+* histograms become ``histogram`` series — cumulative
+  ``repro_<name>_bucket{le="..."}`` lines in ascending ``le`` order
+  ending at ``le="+Inf"``, plus ``_sum`` and ``_count``.
+
+Metric names flatten the registry's slash paths: ``service/latency/
+positive`` renders as ``repro_service_latency_positive`` (every
+non-``[a-zA-Z0-9_]`` character becomes ``_``).  Seconds-valued series
+get a ``_seconds`` unit suffix, resolved through the catalogue
+(:func:`~repro.obs.catalog.catalog_unit`).
+
+The serving layer exposes this text on an optional HTTP side listener
+(``repro-graph serve --metrics-port``) and as the ``metrics`` verb of
+the NDJSON protocol; see ``docs/OBSERVABILITY.md`` for the contract.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.catalog import catalog_unit
+from repro.obs.histogram import Histogram
+
+__all__ = ["prom_name", "render", "render_histogram", "CONTENT_TYPE"]
+
+#: The Content-Type a conforming exposition endpoint must send.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def prom_name(name: str, prefix: str = "repro") -> str:
+    """Flatten a registry name into a legal Prometheus metric name."""
+    flat = _INVALID.sub("_", name).strip("_")
+    return f"{prefix}_{flat}" if prefix else flat
+
+
+def _format(value: float) -> str:
+    """Prometheus floating-point rendering (repr keeps full precision,
+    integers stay integral)."""
+    if value != value:                       # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _unit_suffix(name: str) -> str:
+    return "_seconds" if catalog_unit(name) == "seconds" else ""
+
+
+def render_histogram(name: str, histogram: Histogram,
+                     prefix: str = "repro") -> list[str]:
+    """The ``_bucket``/``_sum``/``_count`` lines for one histogram."""
+    # one consistent snapshot: bucket counts, sum and count must agree
+    # even while other threads keep observing
+    data = histogram.to_dict()
+    base = prom_name(name, prefix) + _unit_suffix(name)
+    lines = [f"# TYPE {base} histogram"]
+    cumulative = 0
+    for upper, count in data["buckets"]:
+        cumulative += count
+        lines.append(f'{base}_bucket{{le="{_format(upper)}"}} '
+                     f"{cumulative}")
+    lines.append(f'{base}_bucket{{le="+Inf"}} {data["count"]}')
+    lines.append(f"{base}_sum {_format(data['sum'])}")
+    lines.append(f"{base}_count {data['count']}")
+    return lines
+
+
+def render(registry, histograms: dict[str, Histogram] | None = None,
+           prefix: str = "repro") -> str:
+    """The full exposition document, newline-terminated.
+
+    ``histograms`` adds (or overrides, name by name) histograms kept
+    outside the registry — the serving layer passes its always-on
+    per-class latency histograms here so a scrape works even when the
+    registry itself is disabled.
+    """
+    lines: list[str] = []
+    for name, value in registry.counters.items():
+        base = prom_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {base} counter")
+        lines.append(f"{base} {_format(value)}")
+    for name, value in registry.gauges.items():
+        base = prom_name(name, prefix) + _unit_suffix(name)
+        lines.append(f"# TYPE {base} gauge")
+        lines.append(f"{base} {_format(value)}")
+    for path, stats in sorted(registry.spans.items()):
+        base = prom_name(path, prefix) + "_seconds"
+        lines.append(f"# TYPE {base} summary")
+        lines.append(f"{base}_count {stats.count}")
+        lines.append(f"{base}_sum {_format(stats.seconds)}")
+        lines.append(f"# TYPE {base}_min gauge")
+        lines.append(f"{base}_min {_format(stats.min_seconds)}")
+        lines.append(f"# TYPE {base}_max gauge")
+        lines.append(f"{base}_max {_format(stats.max_seconds)}")
+    merged = dict(registry.histograms)
+    if histograms:
+        merged.update(histograms)
+    for name in sorted(merged):
+        lines.extend(render_histogram(name, merged[name], prefix))
+    return "\n".join(lines) + "\n"

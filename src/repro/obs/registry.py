@@ -7,7 +7,7 @@ shipping the library instrumented is one attribute load and branch per
 *phase* (never per inner-loop iteration — hot loops accumulate into a
 local integer and publish once at phase exit).
 
-Three metric kinds:
+Four metric kinds:
 
 * **spans** — hierarchical wall-clock timers.  ``with OBS.span("x")``
   times its block; nested spans record slash-joined paths, so a span
@@ -21,14 +21,20 @@ Three metric kinds:
 * **counters** — monotonically accumulated numbers
   (``OBS.count("build/virtual_nodes", 3)``).
 * **gauges** — last-set values (``OBS.gauge("build/levels", 7)``).
+* **histograms** — streaming value distributions
+  (``OBS.observe("service/latency/positive", 0.0021)``): log-bucketed,
+  constant-memory, mergeable :class:`~repro.obs.histogram.Histogram`
+  instances with p50/p90/p99/p999 estimation (see that module for the
+  bucket layout and the documented relative error).
 
 Span paths are composed per thread (thread-local span stacks); counter
 and gauge updates take a lock, so concurrent builders can share the
-registry.
+registry (each histogram carries its own lock).
 
 :meth:`MetricsRegistry.to_dict` / ``to_json`` / ``export`` serialise
-everything under the ``repro.obs/1`` schema documented in
-``docs/OBSERVABILITY.md``.
+everything under the ``repro.obs/2`` schema documented in
+``docs/OBSERVABILITY.md`` — v2 adds the ``histograms`` key; every
+``repro.obs/1`` key is unchanged, so v1 consumers keep working.
 """
 
 from __future__ import annotations
@@ -40,11 +46,14 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import TextIO
 
+from repro.obs.histogram import Histogram
+
 __all__ = ["SCHEMA", "Stopwatch", "Span", "SpanStats",
            "MetricsRegistry", "OBS"]
 
 #: Identifier written into every JSON export (bump on layout changes).
-SCHEMA = "repro.obs/1"
+#: v2 = v1 plus the additive ``histograms`` key.
+SCHEMA = "repro.obs/2"
 
 
 class Stopwatch:
@@ -145,6 +154,7 @@ class MetricsRegistry:
         self._spans: dict[str, SpanStats] = {}
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
         self._lock = threading.Lock()
         self._local = threading.local()
 
@@ -158,11 +168,12 @@ class MetricsRegistry:
         self.enabled = False
 
     def reset(self) -> None:
-        """Drop every recorded span, counter and gauge."""
+        """Drop every recorded span, counter, gauge and histogram."""
         with self._lock:
             self._spans.clear()
             self._counters.clear()
             self._gauges.clear()
+            self._histograms.clear()
 
     @contextmanager
     def capture(self, reset: bool = True):
@@ -201,6 +212,27 @@ class MetricsRegistry:
         with self._lock:
             self._gauges[name] = value
 
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into the histogram ``name`` (no-op when
+        disabled)."""
+        if not self.enabled:
+            return
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.setdefault(name, Histogram())
+        histogram.observe(value)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered at ``name`` (created on demand,
+        regardless of the enabled switch — callers that keep a direct
+        reference can observe into it unconditionally)."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.setdefault(name, Histogram())
+        return histogram
+
     def _span_stack(self) -> list[str]:
         stack = getattr(self._local, "stack", None)
         if stack is None:
@@ -233,17 +265,30 @@ class MetricsRegistry:
         with self._lock:
             return dict(self._gauges)
 
+    @property
+    def histograms(self) -> dict[str, Histogram]:
+        """Snapshot of the histograms keyed by name (live objects)."""
+        with self._lock:
+            return dict(self._histograms)
+
     # -- export -------------------------------------------------------
     def to_dict(self) -> dict:
-        """The full registry state under the ``repro.obs/1`` schema."""
+        """The full registry state under the ``repro.obs/2`` schema."""
         with self._lock:
-            return {
-                "schema": SCHEMA,
-                "spans": {path: stats.to_dict()
-                          for path, stats in sorted(self._spans.items())},
-                "counters": dict(sorted(self._counters.items())),
-                "gauges": dict(sorted(self._gauges.items())),
-            }
+            spans = sorted(self._spans.items())
+            counters = dict(sorted(self._counters.items()))
+            gauges = dict(sorted(self._gauges.items()))
+            histograms = sorted(self._histograms.items())
+        return {
+            "schema": SCHEMA,
+            "spans": {path: stats.to_dict() for path, stats in spans},
+            "counters": counters,
+            "gauges": gauges,
+            # additive in v2: a v1 consumer that ignores unknown keys
+            # reads the rest of the document unchanged
+            "histograms": {name: histogram.to_dict()
+                           for name, histogram in histograms},
+        }
 
     def to_json(self, indent: int | None = 2) -> str:
         """:meth:`to_dict` rendered as a JSON document."""
@@ -261,7 +306,8 @@ class MetricsRegistry:
         state = "enabled" if self.enabled else "disabled"
         return (f"<MetricsRegistry {state} spans={len(self._spans)} "
                 f"counters={len(self._counters)} "
-                f"gauges={len(self._gauges)}>")
+                f"gauges={len(self._gauges)} "
+                f"histograms={len(self._histograms)}>")
 
 
 #: The process-wide registry every instrumentation site reports to.

@@ -1,0 +1,60 @@
+"""Exact nearest-rank percentiles over in-memory samples.
+
+The one shared implementation for every place that still holds raw
+samples (the bench layer's client-side latency lists, tests that
+cross-check :class:`~repro.obs.histogram.Histogram` estimates).  The
+convention is **nearest-rank**: the percentile at fraction ``q`` over
+``n`` sorted values is the value at rank ``ceil(q * n)`` (1-based).
+The previously duplicated ad-hoc copies used ``int(q * n)`` as a
+0-based index, which overshoots by one rank — the p50 of ``[1.0,
+2.0]`` came out as 2.0 instead of 1.0.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["percentile", "summarize"]
+
+
+def percentile(values: Sequence[float], fraction: float,
+               *, presorted: bool = False) -> float:
+    """The exact nearest-rank percentile of ``values`` at ``fraction``.
+
+    ``fraction`` is in ``[0, 1]``; 0 returns the minimum, 1 the
+    maximum, and an empty sequence returns 0.0.  Pass
+    ``presorted=True`` to skip the defensive sort.
+
+    >>> percentile([1.0, 2.0], 0.5)
+    1.0
+    >>> percentile([1.0, 2.0], 0.51)
+    2.0
+    """
+    if not values:
+        return 0.0
+    ordered = values if presorted else sorted(values)
+    rank = max(1, min(len(ordered), math.ceil(fraction * len(ordered))))
+    return ordered[rank - 1]
+
+
+def summarize(values: Sequence[float]) -> dict:
+    """Count, mean, extrema and the p50/p90/p99/p999 ladder.
+
+    The same shape as :meth:`repro.obs.histogram.Histogram.summary`,
+    but exact — computed from the raw samples.
+    """
+    if not values:
+        return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                "p50": 0.0, "p90": 0.0, "p99": 0.0, "p999": 0.0}
+    ordered = sorted(values)
+    return {
+        "count": len(ordered),
+        "mean": sum(ordered) / len(ordered),
+        "min": ordered[0],
+        "max": ordered[-1],
+        "p50": percentile(ordered, 0.50, presorted=True),
+        "p90": percentile(ordered, 0.90, presorted=True),
+        "p99": percentile(ordered, 0.99, presorted=True),
+        "p999": percentile(ordered, 0.999, presorted=True),
+    }

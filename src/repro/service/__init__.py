@@ -14,8 +14,15 @@ The missing layer between the fast batch engine and "heavy traffic":
   so a snapshot swap invalidates by construction;
 * :class:`ReachabilityService` — a stdlib-only asyncio TCP server
   speaking newline-delimited JSON (``query`` / ``query_batch`` /
-  ``add_edge`` / ``stats`` / ``reload``) with per-request timeouts and
-  graceful drain, plus :class:`ServiceClient`, its blocking client.
+  ``add_edge`` / ``stats`` / ``metrics`` / ``reload``) with
+  per-request timeouts and graceful drain, plus
+  :class:`ServiceClient`, its blocking client;
+* serving-path telemetry — every query carries a
+  :class:`~repro.service.tracing.Trace` (``"trace": true`` echoes the
+  stage breakdown), per-class latency histograms and a
+  :class:`~repro.service.tracing.SlowTraceRing` feed the ``stats``
+  verb, and the ``metrics`` verb / ``--metrics-port`` HTTP listener
+  expose Prometheus text (:mod:`repro.obs.promtext`).
 
 Wire protocol, batching policy, swap semantics and failure modes are
 documented in ``docs/SERVICE.md``; the ``service/*`` metric family is
@@ -38,6 +45,7 @@ from repro.service.server import (
     ThreadedService,
     start_in_thread,
 )
+from repro.service.tracing import SlowTraceRing, Trace
 
 __all__ = [
     "IndexManager",
@@ -46,6 +54,8 @@ __all__ = [
     "BATCH_SIZE_BUCKETS",
     "ResultCache",
     "ReachabilityService",
+    "Trace",
+    "SlowTraceRing",
     "ThreadedService",
     "start_in_thread",
     "ServiceClient",

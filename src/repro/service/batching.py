@@ -25,9 +25,10 @@ result a client sees is tagged with the epoch it is exact for.
 from __future__ import annotations
 
 import asyncio
+import time
 from collections import deque
 
-from repro.obs import OBS
+from repro.obs import OBS, Histogram
 from repro.service.cache import ResultCache
 from repro.service.errors import OverloadedError, ServiceError
 from repro.service.manager import IndexManager
@@ -63,7 +64,8 @@ class MicroBatcher:
         self.max_batch = max_batch
         self.max_wait_us = max_wait_us
         self.max_pending = max_pending
-        self._pending: deque = deque()       # (pair, Future) entries
+        # (pair, Future, Trace | None, enqueued_at) entries
+        self._pending: deque = deque()
         self._wakeup: asyncio.Event | None = None
         self._task: asyncio.Task | None = None
         self._closed = False
@@ -74,6 +76,10 @@ class MicroBatcher:
         self.largest_batch = 0
         self.overloaded = 0
         self.size_buckets: dict[str, int] = {}
+        #: enqueue → flush wait per queued query (seconds)
+        self.queue_wait = Histogram()
+        #: duration of one coalesced kernel call (seconds)
+        self.kernel_batch = Histogram()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -100,7 +106,7 @@ class MicroBatcher:
             self._flush_all()
         else:
             while self._pending:
-                _, future = self._pending.popleft()
+                _, future, _, _ = self._pending.popleft()
                 if not future.done():
                     future.set_exception(
                         ServiceError("batcher closed before flush"))
@@ -108,12 +114,16 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
-    async def submit(self, source, target) -> tuple[int, bool]:
+    async def submit(self, source, target,
+                     trace=None) -> tuple[int, bool]:
         """Queue one query; resolves to ``(epoch, reachable)``.
 
         Raises :class:`OverloadedError` immediately when the queue is
         at ``max_pending`` — the caller (the server) turns that into
-        the wire-level ``overloaded`` error.
+        the wire-level ``overloaded`` error.  A
+        :class:`~repro.service.tracing.Trace` passed in rides along
+        and collects ``enqueue`` / ``flush`` / ``cache`` / ``kernel``
+        marks as the query crosses the batcher.
         """
         if self._closed:
             raise ServiceError("service is shutting down")
@@ -122,24 +132,31 @@ class MicroBatcher:
             if OBS.enabled:
                 OBS.count("service/overloaded")
             raise OverloadedError(len(self._pending), self.max_pending)
+        if trace is not None:
+            trace.mark("enqueue", queue_depth=len(self._pending))
         future = asyncio.get_running_loop().create_future()
-        self._pending.append(((source, target), future))
+        self._pending.append(((source, target), future, trace,
+                              time.perf_counter()))
         if self._wakeup is not None:
             self._wakeup.set()
         return await future
 
-    def submit_many(self, pairs: list) -> tuple[int, list[bool]]:
+    def submit_many(self, pairs: list,
+                    trace=None) -> tuple[int, list[bool]]:
         """Answer an already-batched request inline (no queue).
 
         ``query_batch`` arrives pre-coalesced, so it bypasses the queue
         and its backpressure bound (the wire framing bounds its size)
         but still runs through the cache and counts as one kernel
-        batch.
+        batch.  One trace covers the whole batch.
         """
         if self._closed:
             raise ServiceError("service is shutting down")
         self._note_batch(len(pairs))
-        return self._resolve(pairs)
+        if trace is not None:
+            trace.mark("flush", batch=len(pairs), inline=True)
+        traces = [trace] + [None] * (len(pairs) - 1) if trace else None
+        return self._resolve(pairs, traces)
 
     @property
     def queue_depth(self) -> int:
@@ -186,21 +203,32 @@ class MicroBatcher:
         if not entries:                      # all timed out / cancelled
             return
         self._note_batch(len(entries))
-        pairs = [pair for pair, _ in entries]
+        now = time.perf_counter()
+        obs_enabled = OBS.enabled
+        for _, _, trace, enqueued_at in entries:
+            waited = max(0.0, now - enqueued_at)
+            self.queue_wait.observe(waited)
+            if obs_enabled:
+                OBS.observe("service/queue_wait", waited)
+            if trace is not None:
+                trace.mark("flush", batch=len(entries),
+                           queue_depth=len(pending))
+        pairs = [pair for pair, _, _, _ in entries]
+        traces = [trace for _, _, trace, _ in entries]
         try:
-            epoch, answers = self._resolve(pairs)
+            epoch, answers = self._resolve(pairs, traces)
         except Exception:  # noqa: BLE001 - e.g. unknown node (GraphError)
             # or an unhashable pair from wire JSON (TypeError); one bad
             # pair must fail only its own query, not the whole batch
             self._resolve_individually(entries)
             return
-        for (_, future), answer in zip(entries, answers):
+        for (_, future, _, _), answer in zip(entries, answers):
             if not future.done():
                 future.set_result((epoch, answer))
 
     def _resolve_individually(self, entries: list) -> None:
         """Per-pair fallback so one bad pair fails only its query."""
-        for pair, future in entries:
+        for pair, future, trace, _ in entries:
             if future.done():
                 continue
             try:
@@ -208,9 +236,23 @@ class MicroBatcher:
             except Exception as exc:  # noqa: BLE001 - routed to the future
                 future.set_exception(exc)
             else:
+                if trace is not None:
+                    trace.epoch = epoch
+                    trace.mark("kernel", epoch=epoch, batch=1)
                 future.set_result((epoch, answers[0]))
 
-    def _resolve(self, pairs: list) -> tuple[int, list[bool]]:
+    def _timed_query_many(self, pairs: list) -> tuple[int, list[bool]]:
+        """One kernel call, timed into the ``kernel_batch`` histogram."""
+        kernel_start = time.perf_counter()
+        epoch, answers = self._manager.query_many(pairs)
+        elapsed = time.perf_counter() - kernel_start
+        self.kernel_batch.observe(elapsed)
+        if OBS.enabled:
+            OBS.observe("service/kernel_batch", elapsed)
+        return epoch, answers
+
+    def _resolve(self, pairs: list,
+                 traces: list | None = None) -> tuple[int, list[bool]]:
         """Cache + kernel resolution, consistent at one epoch.
 
         Looks the batch up in the cache at the current epoch, answers
@@ -220,14 +262,21 @@ class MicroBatcher:
         """
         manager = self._manager
         cache = self._cache
+        if traces is None:
+            traces = [None] * len(pairs)
         if cache is None:
-            return manager.query_many(pairs)
+            epoch, answers = self._timed_query_many(pairs)
+            for trace in traces:
+                if trace is not None:
+                    trace.epoch = epoch
+                    trace.mark("kernel", epoch=epoch, batch=len(pairs))
+            return epoch, answers
         epoch = manager.epoch
         answers: list = [None] * len(pairs)
         miss_positions = []
         hits = 0
         for position, (source, target) in enumerate(pairs):
-            cached = cache.get(epoch, source, target)
+            cached = cache.get(epoch, source, target, traces[position])
             if cached is None:
                 miss_positions.append(position)
             else:
@@ -241,18 +290,30 @@ class MicroBatcher:
         if not miss_positions:
             return epoch, answers
         miss_pairs = [pairs[position] for position in miss_positions]
-        kernel_epoch, kernel_answers = manager.query_many(miss_pairs)
+        kernel_epoch, kernel_answers = self._timed_query_many(miss_pairs)
         if kernel_epoch != epoch and hits:
             # a swap raced the cache pass; the hits answered for the
             # old epoch, so take the whole batch from the new snapshot
-            kernel_epoch, kernel_answers = manager.query_many(pairs)
+            kernel_epoch, kernel_answers = self._timed_query_many(pairs)
             for (source, target), answer in zip(pairs, kernel_answers):
                 cache.put(kernel_epoch, source, target, answer)
+            for trace in traces:
+                if trace is not None:
+                    # stale cache hits were re-answered by the kernel
+                    trace.klass = None
+                    trace.epoch = kernel_epoch
+                    trace.mark("kernel", epoch=kernel_epoch,
+                               batch=len(pairs))
             return kernel_epoch, kernel_answers
         for position, answer in zip(miss_positions, kernel_answers):
             source, target = pairs[position]
             cache.put(kernel_epoch, source, target, answer)
             answers[position] = answer
+            trace = traces[position]
+            if trace is not None:
+                trace.epoch = kernel_epoch
+                trace.mark("kernel", epoch=kernel_epoch,
+                           batch=len(miss_pairs))
         return kernel_epoch, answers
 
     def _note_batch(self, size: int) -> None:
@@ -280,4 +341,6 @@ class MicroBatcher:
             "max_batch": self.max_batch,
             "max_wait_us": self.max_wait_us,
             "max_pending": self.max_pending,
+            "queue_wait": self.queue_wait.summary(),
+            "kernel_batch": self.kernel_batch.summary(),
         }

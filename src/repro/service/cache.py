@@ -40,8 +40,14 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
 
-    def get(self, epoch: int, source, target) -> bool | None:
-        """The cached answer for the pair at ``epoch``, else ``None``."""
+    def get(self, epoch: int, source, target,
+            trace=None) -> bool | None:
+        """The cached answer for the pair at ``epoch``, else ``None``.
+
+        A hit settles the query, so when the caller threads a
+        :class:`~repro.service.tracing.Trace` through, the hit marks a
+        ``cache`` stage and claims the ``cache_hit`` answer class.
+        """
         key = (epoch, source, target)
         with self._lock:
             try:
@@ -51,7 +57,11 @@ class ResultCache:
                 return None
             self._entries[key] = answer      # re-insert: most recent
             self.hits += 1
-            return answer
+        if trace is not None:
+            trace.klass = "cache_hit"
+            trace.epoch = epoch
+            trace.mark("cache", epoch=epoch)
+        return answer
 
     def put(self, epoch: int, source, target, answer: bool) -> None:
         """Remember ``answer``, evicting the least recent past capacity."""

@@ -44,6 +44,14 @@ class ServiceClient:
                               "target": target})
         return response["epoch"], response["reachable"]
 
+    def query_traced(self, source, target) -> tuple[int, bool, dict]:
+        """``(epoch, reachable, trace)`` — the trace is the server's
+        stage-by-stage latency breakdown for this request."""
+        response = self.call({"op": "query", "source": source,
+                              "target": target, "trace": True})
+        return (response["epoch"], response["reachable"],
+                response["trace"])
+
     def query_batch(self, pairs) -> tuple[int, list[bool]]:
         """``(epoch, answers)`` for a batch of pairs, in order."""
         response = self.call({"op": "query_batch",
@@ -66,6 +74,10 @@ class ServiceClient:
     def stats(self) -> dict:
         """The server's ``stats`` payload."""
         return self.call({"op": "stats"})["stats"]
+
+    def metrics(self) -> str:
+        """The server's Prometheus text exposition document."""
+        return self.call({"op": "metrics"})["text"]
 
     def ping(self) -> int:
         """Liveness check; returns the current epoch."""

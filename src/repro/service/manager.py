@@ -100,6 +100,15 @@ class IndexManager:
         self._pending = 0
         self._swaps = 0
         self._writes = 0
+        #: optional :class:`~repro.obs.logging.JsonLinesLogger`; when
+        #: set, swap lifecycle events (``swap_start`` / ``swap_finish``)
+        #: are emitted as structured JSON lines
+        self.event_log = None
+
+    def _log_event(self, event: str, **fields) -> None:
+        log = self.event_log
+        if log is not None:
+            log.log(event, **fields)
 
     # ------------------------------------------------------------------
     # construction
@@ -298,6 +307,8 @@ class IndexManager:
                 if self._mode == "dynamic":
                     return self._swap_dynamic_locked(claimed)
                 version = self._shadow.graph.copy()
+            self._log_event("swap_start", epoch=self._snapshot.epoch,
+                            pending_writes=claimed, mode=self._mode)
             index, seconds = self._pack(version, self._method)
             with self._lock:
                 snapshot = Snapshot(self._snapshot.epoch + 1, index,
@@ -309,11 +320,15 @@ class IndexManager:
                 if OBS.enabled:
                     OBS.count("service/swaps")
                     OBS.gauge("service/epoch", snapshot.epoch)
-                return snapshot
+            self._log_event("swap_finish", epoch=snapshot.epoch,
+                            pack_seconds=seconds, writes_packed=claimed)
+            return snapshot
 
     def _swap_dynamic_locked(self, claimed: int) -> Snapshot:
         """Re-minimise the shadow in place (caller holds both locks)."""
         shadow = self._shadow
+        self._log_event("swap_start", epoch=self._snapshot.epoch,
+                        pending_writes=claimed, mode=self._mode)
         with OBS.span("service/swap"):
             shadow.rebuild()
         snapshot = Snapshot(self._snapshot.epoch + 1, shadow,
@@ -324,6 +339,8 @@ class IndexManager:
         if OBS.enabled:
             OBS.count("service/swaps")
             OBS.gauge("service/epoch", snapshot.epoch)
+        self._log_event("swap_finish", epoch=snapshot.epoch,
+                        pack_seconds=0.0, writes_packed=claimed)
         return snapshot
 
     def _maybe_auto_swap(self) -> None:

@@ -3,8 +3,20 @@
 One request per line, one JSON response per line, in order, per
 connection (concurrency comes from many connections — which is exactly
 what the micro-batcher coalesces).  Verbs: ``query``, ``query_batch``,
-``add_edge``, ``add_node``, ``stats``, ``reload``, ``ping``; the wire
-contract is specified in ``docs/SERVICE.md``.
+``add_edge``, ``add_node``, ``stats``, ``metrics``, ``reload``,
+``ping``; the wire contract is specified in ``docs/SERVICE.md``.
+
+Telemetry: every query request carries a
+:class:`~repro.service.tracing.Trace` through the serving path
+(``accept`` → ``enqueue`` → ``flush`` → ``cache``/``kernel`` →
+``respond``); the finished trace feeds always-on per-class latency
+histograms (``positive`` / ``negative`` / ``prefilter_hit`` /
+``cache_hit`` / ``batch``), a bounded ring of the slowest traces
+(``stats`` → ``slow_traces``), the threshold-gated slow-query log, and
+— when the request carried ``"trace": true`` — a stage breakdown
+echoed in the response.  The ``metrics`` verb and the optional HTTP
+side listener (``metrics_port``) expose everything in Prometheus text
+format (:mod:`repro.obs.promtext`).
 
 Operational guarantees:
 
@@ -36,7 +48,7 @@ from repro.graph.errors import (
     NodeNotFoundError,
     NotADAGError,
 )
-from repro.obs import OBS
+from repro.obs import OBS, Histogram, open_log, promtext
 from repro.service.batching import MicroBatcher
 from repro.service.cache import ResultCache
 from repro.service.errors import (
@@ -45,6 +57,7 @@ from repro.service.errors import (
     WritesUnsupportedError,
 )
 from repro.service.manager import IndexManager
+from repro.service.tracing import SlowTraceRing, Trace
 
 __all__ = ["ReachabilityService", "ThreadedService", "start_in_thread"]
 
@@ -65,14 +78,6 @@ def _scalar(value, name: str):
     return value
 
 
-def _percentile(sorted_values: list[float], fraction: float) -> float:
-    if not sorted_values:
-        return 0.0
-    position = min(len(sorted_values) - 1,
-                   int(fraction * len(sorted_values)))
-    return sorted_values[position]
-
-
 class ReachabilityService:
     """Manager + cache + micro-batcher behind one TCP listener."""
 
@@ -81,7 +86,10 @@ class ReachabilityService:
                  max_batch: int = 128, max_wait_us: int = 500,
                  max_pending: int = 1024, cache_size: int = 4096,
                  request_timeout: float = 10.0,
-                 drain_grace: float = 5.0) -> None:
+                 drain_grace: float = 5.0,
+                 metrics_port: int | None = None,
+                 log=None, slow_query_ms: float | None = None,
+                 trace_capacity: int = 16) -> None:
         self.manager = manager
         self.cache = ResultCache(cache_size) if cache_size else None
         self.batcher = MicroBatcher(manager, self.cache,
@@ -98,7 +106,27 @@ class ReachabilityService:
         self._started_at = 0.0
         self.requests = 0
         self.errors = 0
-        self._latencies: deque = deque(maxlen=2048)  # (end_time, seconds)
+        self._recent: deque = deque(maxlen=2048)    # request end times
+        # always-on telemetry: the stats verb and the Prometheus
+        # exposition must work even with the OBS registry disabled
+        #: latency of every wire request (seconds)
+        self.request_latency = Histogram()
+        #: per answer-class latency histograms, created on first use
+        self.class_latency: dict[str, Histogram] = {}
+        #: bounded ring of the slowest traces since startup
+        self.slow_traces = SlowTraceRing(trace_capacity)
+        #: structured JSON-lines log (``log`` is a path, ``"-"`` for
+        #: stderr, or an open stream; ``None`` disables logging)
+        self.log = open_log(log) if log is not None else None
+        #: slow-query threshold in milliseconds (``None`` disables the
+        #: slow-query records; lifecycle events still log)
+        self.slow_query_ms = slow_query_ms
+        if self.log is not None:
+            manager.event_log = self.log
+        self.metrics_port = metrics_port
+        self._metrics_server: asyncio.AbstractServer | None = None
+        #: ``(host, port)`` of the HTTP exposition listener, once bound
+        self.metrics_address: tuple[str, int] | None = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -109,13 +137,22 @@ class ReachabilityService:
         return self._host, self._port
 
     async def start(self) -> tuple[str, int]:
-        """Bind the listener and start the flush loop."""
+        """Bind the listener(s) and start the flush loop."""
         await self.batcher.start()
         self._server = await asyncio.start_server(
             self._serve_connection, self._host, self._port,
             limit=MAX_LINE_BYTES)
         self._host, self._port = self._server.sockets[0].getsockname()[:2]
+        if self.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._serve_metrics, self._host, self.metrics_port)
+            sockname = self._metrics_server.sockets[0].getsockname()
+            self.metrics_address = tuple(sockname[:2])
         self._started_at = time.monotonic()
+        self._log_event("listening", host=self._host, port=self._port,
+                        metrics_port=(self.metrics_address[1]
+                                      if self.metrics_address else None),
+                        epoch=self.manager.epoch)
         return self.address
 
     async def serve_forever(self) -> None:
@@ -130,9 +167,15 @@ class ReachabilityService:
     async def shutdown(self) -> None:
         """Graceful drain: stop accepting, flush, finish, tear down."""
         self._draining = True
+        self._log_event("drain_start",
+                        connections=len(self._connections),
+                        queued=self.batcher.queue_depth)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
         # let in-flight requests (and their queued queries) complete
         if self._connections:
             await asyncio.wait(self._connections,
@@ -141,6 +184,12 @@ class ReachabilityService:
         for task in list(self._connections):
             task.cancel()
         self.manager.close()
+        self._log_event("drain_finish", requests=self.requests,
+                        errors=self.errors)
+
+    def _log_event(self, event: str, **fields) -> None:
+        if self.log is not None:
+            self.log.log(event, **fields)
 
     # ------------------------------------------------------------------
     # connection handling
@@ -174,10 +223,13 @@ class ReachabilityService:
                 stripped = line.strip()
                 if not stripped:
                     continue
-                started = time.monotonic()
+                started = time.perf_counter()
                 response = await self._handle_line(stripped)
-                ended = time.monotonic()
-                self._latencies.append((ended, ended - started))
+                elapsed = time.perf_counter() - started
+                self.request_latency.observe(elapsed)
+                if OBS.enabled:
+                    OBS.observe("service/request_latency", elapsed)
+                self._recent.append(time.monotonic())
                 try:
                     writer.write(json.dumps(response,
                                             separators=(",", ":"))
@@ -206,15 +258,24 @@ class ReachabilityService:
             return self._error(None, "bad_request",
                                "request must be a JSON object")
         request_id = request.get("id")
+        op = request.get("op")
+        trace = None
+        if op in ("query", "query_batch"):
+            trace = Trace(op)
+            trace.mark("accept", queue_depth=self.batcher.queue_depth,
+                       epoch=self.manager.epoch)
         with OBS.span("service/request"):
             try:
                 response = await asyncio.wait_for(
-                    self._dispatch(request), self.request_timeout)
+                    self._dispatch(request, trace), self.request_timeout)
             except asyncio.TimeoutError:
                 return self._error(
                     request_id, "timeout",
                     f"request exceeded {self.request_timeout}s")
             except OverloadedError as exc:
+                self._log_event("overloaded", op=op,
+                                queue_depth=self.batcher.queue_depth,
+                                max_pending=self.batcher.max_pending)
                 return self._error(request_id, "overloaded", str(exc))
             except NodeNotFoundError as exc:
                 response = self._error(request_id, "unknown_node",
@@ -233,9 +294,49 @@ class ReachabilityService:
             except Exception as exc:  # noqa: BLE001 - fail the request,
                 return self._error(request_id, "internal",  # not the server
                                    f"{type(exc).__name__}: {exc}")
+        if trace is not None:
+            trace.mark("respond")
+            trace.finish()
+            self._finish_query(trace, request, response)
         if request_id is not None:
             response["id"] = request_id
         return response
+
+    def _finish_query(self, trace: Trace, request: dict,
+                      response: dict) -> None:
+        """Route one finished query trace into the telemetry sinks."""
+        if trace.op == "query_batch":
+            # a cached first pair must not reclassify the whole batch
+            trace.klass = "batch"
+        elif trace.klass is None:
+            trace.klass = self._classify(trace.op, request, response)
+        seconds = trace.total_seconds
+        histogram = self.class_latency.get(trace.klass)
+        if histogram is None:
+            histogram = self.class_latency.setdefault(
+                trace.klass, Histogram())
+        histogram.observe(seconds)
+        if OBS.enabled:
+            OBS.observe(f"service/latency/{trace.klass}", seconds)
+        self.slow_traces.offer(trace)
+        if (self.log is not None and self.slow_query_ms is not None
+                and 1e3 * seconds >= self.slow_query_ms):
+            self.log.log("slow_query", **trace.to_dict())
+        if request.get("trace"):
+            response["trace"] = trace.to_dict()
+
+    def _classify(self, op: str, request: dict, response: dict) -> str:
+        """Answer class for a settled query the cache did not claim."""
+        if op == "query_batch":
+            return "batch"
+        if response.get("reachable"):
+            return "positive"
+        prefilter = getattr(self.manager.snapshot.backend,
+                            "prefilter_rejects", None)
+        if prefilter is not None and prefilter(request["source"],
+                                               request["target"]):
+            return "prefilter_hit"
+        return "negative"
 
     def _error(self, request_id, code: str, message: str) -> dict:
         self.errors += 1
@@ -247,12 +348,14 @@ class ReachabilityService:
     # ------------------------------------------------------------------
     # verbs
     # ------------------------------------------------------------------
-    async def _dispatch(self, request: dict) -> dict:
+    async def _dispatch(self, request: dict,
+                        trace: Trace | None = None) -> dict:
         op = request.get("op")
         if op == "query":
             source = _scalar(request["source"], "source")
             target = _scalar(request["target"], "target")
-            epoch, reachable = await self.batcher.submit(source, target)
+            epoch, reachable = await self.batcher.submit(source, target,
+                                                         trace)
             return {"ok": True, "epoch": epoch, "reachable": reachable}
         if op == "query_batch":
             pairs = request["pairs"]
@@ -263,7 +366,7 @@ class ReachabilityService:
                     "pairs must be a list of [source, target] pairs")
             pairs = [(_scalar(source, "source"), _scalar(target, "target"))
                      for source, target in pairs]
-            epoch, answers = self.batcher.submit_many(pairs)
+            epoch, answers = self.batcher.submit_many(pairs, trace)
             return {"ok": True, "epoch": epoch, "reachable": answers}
         if op == "add_edge":
             source = _scalar(request["source"], "source")
@@ -287,21 +390,97 @@ class ReachabilityService:
                     "swaps": self.manager.swap_count}
         if op == "stats":
             return {"ok": True, "stats": self.stats()}
+        if op == "metrics":
+            return {"ok": True, "content_type": promtext.CONTENT_TYPE,
+                    "text": self.render_metrics()}
         if op == "ping":
             return {"ok": True, "epoch": self.manager.epoch}
         raise ValueError(f"unknown op {op!r}")
 
     # ------------------------------------------------------------------
+    # Prometheus exposition
+    # ------------------------------------------------------------------
+    def render_metrics(self) -> str:
+        """The Prometheus text document for this service.
+
+        Combines the process-wide OBS registry (whatever is enabled)
+        with the service's always-on histograms and counters, so a
+        scrape is useful even when the registry is off.
+        """
+        extra = {"service/request_latency": self.request_latency,
+                 "service/queue_wait": self.batcher.queue_wait,
+                 "service/kernel_batch": self.batcher.kernel_batch}
+        for klass, histogram in self.class_latency.items():
+            extra[f"service/latency/{klass}"] = histogram
+        lines = [promtext.render(OBS, histograms=extra).rstrip("\n")]
+        # always-on counters/gauges the registry only has when enabled
+        registry_counters = OBS.counters
+        registry_gauges = OBS.gauges
+        for name, value in (("service/requests", self.requests),
+                            ("service/errors", self.errors)):
+            if name in registry_counters:
+                continue
+            base = promtext.prom_name(name) + "_total"
+            lines.append(f"# TYPE {base} counter")
+            lines.append(f"{base} {value}")
+        for name, value in (("service/epoch", self.manager.epoch),
+                            ("service/connections",
+                             len(self._connections))):
+            if name in registry_gauges:
+                continue
+            base = promtext.prom_name(name)
+            lines.append(f"# TYPE {base} gauge")
+            lines.append(f"{base} {value}")
+        return "\n".join(lines) + "\n"
+
+    async def _serve_metrics(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        """Minimal HTTP/1.0 handler for the exposition side listener."""
+        try:
+            request_line = await reader.readline()
+            while True:                      # drain headers
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.split()
+            path = (parts[1].decode("latin-1", "replace")
+                    if len(parts) >= 2 else "/")
+            if path.split("?", 1)[0] in ("/", "/metrics"):
+                status = "200 OK"
+                content_type = promtext.CONTENT_TYPE
+                body = self.render_metrics().encode("utf-8")
+            else:
+                status = "404 Not Found"
+                content_type = "text/plain; charset=utf-8"
+                body = b"not found; scrape /metrics\n"
+            writer.write((f"HTTP/1.0 {status}\r\n"
+                          f"Content-Type: {content_type}\r\n"
+                          f"Content-Length: {len(body)}\r\n"
+                          "Connection: close\r\n\r\n").encode("ascii")
+                         + body)
+            await writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """The ``stats`` verb payload: manager + batcher + cache + server."""
+        """The ``stats`` verb payload: manager + batcher + cache +
+        server + per-class latency + slowest traces."""
         now = time.monotonic()
-        latencies = list(self._latencies)
-        seconds = sorted(duration for _, duration in latencies)
-        window = now - latencies[0][0] if latencies else 0.0
-        recent_qps = len(latencies) / window if window > 0 else 0.0
+        recent = list(self._recent)
+        window = now - recent[0] if recent else 0.0
+        recent_qps = len(recent) / window if window > 0 else 0.0
         uptime = now - self._started_at if self._started_at else 0.0
+        p50, p99, p999 = self.request_latency.percentiles(
+            0.50, 0.99, 0.999)
         return {
             "server": {
                 "requests": self.requests,
@@ -309,9 +488,14 @@ class ReachabilityService:
                 "connections": len(self._connections),
                 "uptime_seconds": uptime,
                 "recent_qps": recent_qps,
-                "p50_ms": 1e3 * _percentile(seconds, 0.50),
-                "p99_ms": 1e3 * _percentile(seconds, 0.99),
+                "p50_ms": 1e3 * p50,
+                "p99_ms": 1e3 * p99,
+                "p999_ms": 1e3 * p999,
             },
+            "latency": {klass: histogram.summary()
+                        for klass, histogram
+                        in sorted(self.class_latency.items())},
+            "slow_traces": self.slow_traces.snapshot(),
             "index": self.manager.stats(),
             "batching": self.batcher.stats(),
             "cache": (self.cache.stats() if self.cache is not None

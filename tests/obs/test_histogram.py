@@ -1,0 +1,169 @@
+"""Streaming histogram: error bound, thread safety, exact merging."""
+
+import math
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import RELATIVE_ERROR, SUB_BUCKETS, Histogram
+from repro.obs.summary import percentile as exact_percentile
+
+
+def build(values) -> Histogram:
+    histogram = Histogram()
+    for value in values:
+        histogram.observe(value)
+    return histogram
+
+
+class TestBuckets:
+    def test_empty_histogram(self):
+        histogram = Histogram()
+        assert histogram.count == 0
+        assert histogram.percentile(0.5) == 0.0
+        assert histogram.mean == 0.0
+        assert histogram.buckets() == []
+        assert len(histogram) == 0
+
+    def test_counts_and_extrema(self):
+        histogram = build([1.0, 2.0, 4.0, 8.0])
+        assert histogram.count == 4
+        assert histogram.sum == 15.0
+        assert histogram.min_value == 1.0
+        assert histogram.max_value == 8.0
+        assert histogram.mean == pytest.approx(3.75)
+
+    def test_nonpositive_and_nonfinite_land_in_the_zero_bucket(self):
+        histogram = build([0.0, -1.0, float("nan"), float("inf"), 2.0])
+        assert histogram.count == 5
+        assert histogram.zeros == 4
+        assert histogram.buckets()[0] == (0.0, 4)
+        # zeros dominate the median
+        assert histogram.percentile(0.5) == 0.0
+
+    def test_bucket_upper_bounds_ascend(self):
+        histogram = build([0.001 * (i + 1) for i in range(500)])
+        uppers = [upper for upper, _ in histogram.buckets()]
+        assert uppers == sorted(uppers)
+        assert sum(count for _, count in histogram.buckets()) == 500
+
+    def test_memory_is_bounded_by_touched_buckets(self):
+        histogram = build([1.5] * 100_000)
+        # 100k identical observations touch exactly one bucket
+        assert len(histogram._buckets) == 1  # noqa: SLF001
+
+    def test_summary_shape(self):
+        summary = build([1.0, 2.0, 3.0]).summary()
+        assert set(summary) == {"count", "mean", "min", "max",
+                                "p50", "p90", "p99", "p999"}
+        assert summary["count"] == 3
+
+    def test_to_dict_shape(self):
+        data = build([1.0, 1.0, 0.0]).to_dict()
+        assert data["count"] == 3
+        assert data["buckets"][0] == [0.0, 1]         # zero bucket first
+        assert sum(count for _, count in data["buckets"]) == 3
+
+
+class TestPercentileErrorBound:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=1e-6, max_value=1e6,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=200),
+        fraction=st.sampled_from([0.25, 0.5, 0.9, 0.99, 0.999, 1.0]),
+    )
+    def test_estimate_within_documented_relative_error(self, values,
+                                                       fraction):
+        """The pinned contract: |estimate - exact nearest-rank| is
+        at most RELATIVE_ERROR of the exact value."""
+        histogram = build(values)
+        exact = exact_percentile(values, fraction)
+        estimate = histogram.percentile(fraction)
+        assert abs(estimate - exact) <= exact * RELATIVE_ERROR
+
+    def test_error_constant_matches_the_layout(self):
+        assert RELATIVE_ERROR == 1.0 / SUB_BUCKETS
+
+    def test_percentiles_are_monotone_in_the_fraction(self):
+        histogram = build([0.001, 0.002, 0.04, 0.8, 1.6, 32.0])
+        ladder = histogram.percentiles(0.1, 0.5, 0.9, 0.99, 0.999)
+        assert ladder == sorted(ladder)
+
+    def test_estimate_clamps_into_the_observed_range(self):
+        histogram = build([3.0])
+        for fraction in (0.01, 0.5, 0.999):
+            assert histogram.percentile(fraction) == 3.0
+
+
+class TestThreadSafety:
+    def test_concurrent_observes_lose_nothing(self):
+        histogram = Histogram()
+        per_thread = 10_000
+        threads = [
+            threading.Thread(
+                target=lambda: [histogram.observe(0.001 * (i % 7 + 1))
+                                for i in range(per_thread)])
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.count == 8 * per_thread
+        assert sum(count for _, count in histogram.buckets()) \
+            == 8 * per_thread
+        expected_sum = 8 * sum(0.001 * (i % 7 + 1)
+                               for i in range(per_thread))
+        assert histogram.sum == pytest.approx(expected_sum)
+
+
+class TestMerge:
+    def test_merge_is_exact(self):
+        left = build([1.0, 2.0, 0.0])
+        right = build([2.0, 64.0])
+        merged = Histogram().merge(left).merge(right)
+        combined = build([1.0, 2.0, 0.0, 2.0, 64.0])
+        assert merged.to_dict() == combined.to_dict()
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        a=st.lists(st.floats(min_value=1e-6, max_value=1e6,
+                             allow_nan=False), max_size=50),
+        b=st.lists(st.floats(min_value=1e-6, max_value=1e6,
+                             allow_nan=False), max_size=50),
+        c=st.lists(st.floats(min_value=1e-6, max_value=1e6,
+                             allow_nan=False), max_size=50),
+    )
+    def test_merge_is_associative(self, a, b, c):
+        left_first = Histogram().merge(build(a)).merge(build(b)) \
+                                .merge(build(c))
+        right_first = Histogram().merge(build(a)).merge(
+            Histogram().merge(build(b)).merge(build(c)))
+        left, right = left_first.to_dict(), right_first.to_dict()
+        # bucket counts (and so every percentile) merge exactly; only
+        # the float `sum` accumulates in a different order
+        assert left["buckets"] == right["buckets"]
+        assert (left["count"], left["min"], left["max"]) \
+            == (right["count"], right["min"], right["max"])
+        assert left["sum"] == pytest.approx(right["sum"])
+        for fraction in (0.5, 0.99):
+            assert left_first.percentile(fraction) \
+                == right_first.percentile(fraction)
+
+    def test_merged_percentiles_match_the_concatenation(self):
+        a, b = [0.001, 0.002, 0.003], [0.4, 0.5, 0.6, 0.7]
+        merged = Histogram().merge(build(a)).merge(build(b))
+        combined = build(a + b)
+        for fraction in (0.1, 0.5, 0.9, 0.999):
+            assert merged.percentile(fraction) \
+                == combined.percentile(fraction)
+
+    def test_merge_tracks_extrema(self):
+        merged = Histogram().merge(build([5.0])).merge(build([0.25]))
+        assert merged.min_value == 0.25
+        assert merged.max_value == 5.0
+        assert math.isinf(Histogram().min_value)

@@ -140,7 +140,8 @@ class TestCliMetricsOut:
                      "--metrics-out", str(out)]) == 0
         assert f"metrics -> {out}" in capsys.readouterr().out
         document = json.loads(out.read_text())
-        assert document["schema"] == "repro.obs/1"
+        assert document["schema"] == "repro.obs/2"
+        assert "histograms" in document          # additive v2 key
         assert "labeling" in document["spans"]
         assert any(name.startswith("matching/level-")
                    for name in document["spans"])

@@ -1,0 +1,67 @@
+"""Structured JSON-lines logging: shapes, sinks, failure swallowing."""
+
+import io
+import json
+import sys
+
+from repro.obs import JsonLinesLogger, open_log
+
+
+class TestJsonLinesLogger:
+    def test_one_json_object_per_line(self):
+        stream = io.StringIO()
+        log = JsonLinesLogger(stream)
+        log.log("swap_start", epoch=2, pending_writes=5)
+        log.log("swap_finish", epoch=3)
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["event"] == "swap_start"
+        assert first["epoch"] == 2
+        assert first["pending_writes"] == 5
+        assert isinstance(first["ts"], float)
+        assert json.loads(lines[1])["event"] == "swap_finish"
+        assert log.events == 2
+
+    def test_returns_the_record(self):
+        record = JsonLinesLogger(io.StringIO()).log("overloaded",
+                                                    queue_depth=9)
+        assert record["event"] == "overloaded"
+        assert record["queue_depth"] == 9
+
+    def test_non_serialisable_fields_stringify(self):
+        stream = io.StringIO()
+        JsonLinesLogger(stream).log("oddity", value={1, 2})
+        record = json.loads(stream.getvalue())
+        assert isinstance(record["value"], str)
+
+    def test_write_failures_never_raise(self):
+        stream = io.StringIO()
+        log = JsonLinesLogger(stream)
+        stream.close()
+        log.log("after_close")              # telemetry must not fail
+        assert log.events == 1
+
+
+class TestOpenLog:
+    def test_path_sink_appends(self, tmp_path):
+        target = tmp_path / "events.jsonl"
+        log = open_log(target)
+        log.log("first")
+        log.close()
+        log = open_log(str(target))
+        log.log("second")
+        log.close()
+        events = [json.loads(line)["event"]
+                  for line in target.read_text().splitlines()]
+        assert events == ["first", "second"]
+
+    def test_dash_and_none_mean_stderr(self):
+        assert open_log("-")._stream is sys.stderr  # noqa: SLF001
+        assert open_log(None)._stream is sys.stderr  # noqa: SLF001
+
+    def test_stream_sink_wraps(self):
+        stream = io.StringIO()
+        log = open_log(stream)
+        log.log("hello")
+        assert json.loads(stream.getvalue())["event"] == "hello"

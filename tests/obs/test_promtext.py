@@ -1,0 +1,113 @@
+"""Prometheus text exposition: names, series shapes, cumulation."""
+
+import time
+
+from repro.obs import Histogram, MetricsRegistry
+from repro.obs.promtext import (
+    CONTENT_TYPE,
+    prom_name,
+    render,
+    render_histogram,
+)
+
+
+def parse_samples(text: str) -> dict:
+    """name{labels} -> float for every sample line in the document."""
+    samples = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, value = line.rsplit(" ", 1)
+        samples[name] = float(value)
+    return samples
+
+
+class TestNames:
+    def test_slashes_flatten_to_underscores(self):
+        assert prom_name("service/latency/positive") \
+            == "repro_service_latency_positive"
+
+    def test_invalid_characters_flatten(self):
+        assert prom_name("matching/level-3") == "repro_matching_level_3"
+
+    def test_prefix_is_optional(self):
+        assert prom_name("build/chains", prefix="") == "build_chains"
+
+
+class TestHistogramSeries:
+    def test_buckets_cumulate_and_end_at_inf(self):
+        histogram = Histogram()
+        for value in (0.5, 0.5, 3.0):
+            histogram.observe(value)
+        lines = render_histogram("service/queue_wait", histogram)
+        assert lines[0] == "# TYPE repro_service_queue_wait_seconds " \
+                           "histogram"
+        bucket_lines = [line for line in lines if "_bucket{" in line]
+        counts = [float(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+        assert counts == sorted(counts)          # cumulative
+        assert bucket_lines[-1].startswith(
+            'repro_service_queue_wait_seconds_bucket{le="+Inf"}')
+        assert counts[-1] == 3
+        samples = parse_samples("\n".join(lines))
+        assert samples["repro_service_queue_wait_seconds_count"] == 3
+        assert abs(samples["repro_service_queue_wait_seconds_sum"]
+                   - 4.0) < 1e-9
+
+    def test_zero_bucket_renders_at_le_zero(self):
+        histogram = Histogram()
+        histogram.observe(0.0)
+        text = "\n".join(render_histogram("service/queue_wait",
+                                          histogram))
+        assert '_bucket{le="0"} 1' in text
+
+    def test_unknown_names_get_no_unit_suffix(self):
+        histogram = Histogram()
+        histogram.observe(1.0)
+        lines = render_histogram("custom/thing", histogram)
+        assert lines[0] == "# TYPE repro_custom_thing histogram"
+
+
+class TestRender:
+    def test_full_document(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.count("service/requests", 7)
+        registry.gauge("service/epoch", 3)
+        with registry.span("service/request"):
+            time.sleep(0.001)
+        registry.observe("service/request_latency", 0.002)
+        text = render(registry)
+        samples = parse_samples(text)
+        assert samples["repro_service_requests_total"] == 7
+        assert samples["repro_service_epoch"] == 3
+        assert samples["repro_service_request_seconds_count"] == 1
+        assert samples["repro_service_request_seconds_sum"] > 0
+        assert samples["repro_service_request_seconds_min"] > 0
+        assert samples[
+            "repro_service_request_latency_seconds_count"] == 1
+        assert text.endswith("\n")
+
+    def test_extra_histograms_render_even_with_registry_disabled(self):
+        registry = MetricsRegistry()                 # disabled
+        histogram = Histogram()
+        histogram.observe(0.004)
+        text = render(registry,
+                      histograms={"service/kernel_batch": histogram})
+        assert "# TYPE repro_service_kernel_batch_seconds histogram" \
+            in text
+        assert parse_samples(text)[
+            "repro_service_kernel_batch_seconds_count"] == 1
+
+    def test_extra_histograms_override_registry_ones_by_name(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.observe("service/queue_wait", 1.0)
+        own = Histogram()
+        for _ in range(5):
+            own.observe(2.0)
+        text = render(registry,
+                      histograms={"service/queue_wait": own})
+        assert parse_samples(text)[
+            "repro_service_queue_wait_seconds_count"] == 5
+
+    def test_content_type_is_the_prometheus_text_version(self):
+        assert CONTENT_TYPE.startswith("text/plain")
+        assert "version=0.0.4" in CONTENT_TYPE

@@ -105,18 +105,43 @@ class TestCountersAndGauges:
         registry = MetricsRegistry()
         registry.count("hits")
         registry.gauge("width", 3)
+        registry.observe("latency", 0.001)
         with registry.span("phase"):
             pass
         assert registry.counters == {}
         assert registry.gauges == {}
         assert registry.spans == {}
+        assert registry.histograms == {}
 
     def test_reset_clears_everything(self, registry):
         registry.count("hits")
+        registry.observe("latency", 0.001)
         with registry.span("phase"):
             pass
         registry.reset()
         assert registry.counters == {} and registry.spans == {}
+        assert registry.histograms == {}
+
+
+class TestHistograms:
+    def test_observe_records_when_enabled(self, registry):
+        registry.observe("latency", 0.001)
+        registry.observe("latency", 0.002)
+        histogram = registry.histograms["latency"]
+        assert histogram.count == 2
+        assert histogram.sum == pytest.approx(0.003)
+
+    def test_histogram_handle_works_regardless_of_the_switch(self):
+        registry = MetricsRegistry()           # disabled
+        histogram = registry.histogram("latency")
+        histogram.observe(0.005)               # direct handle records
+        assert registry.histograms["latency"].count == 1
+        registry.observe("latency", 0.005)     # the gated path does not
+        assert registry.histograms["latency"].count == 1
+
+    def test_histogram_returns_the_same_object(self, registry):
+        assert registry.histogram("latency") \
+            is registry.histogram("latency")
 
 
 class TestCapture:
@@ -142,12 +167,14 @@ class TestExport:
             pass
         registry.count("hits", 2)
         registry.gauge("width", 3)
+        registry.observe("latency", 0.001)
         document = json.loads(registry.to_json())
         assert document == registry.to_dict()
         assert document["schema"] == SCHEMA
         assert document["counters"] == {"hits": 2}
         assert document["gauges"] == {"width": 3}
         assert document["spans"]["phase"]["count"] == 1
+        assert document["histograms"]["latency"]["count"] == 1
 
     def test_export_writes_a_file(self, registry, tmp_path):
         registry.count("hits")

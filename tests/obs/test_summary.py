@@ -1,0 +1,53 @@
+"""The shared exact nearest-rank percentile helper."""
+
+from repro.obs import percentile, summarize
+
+
+class TestPercentile:
+    def test_median_of_two_is_the_lower_value(self):
+        # the bug the shared helper fixes: the old ad-hoc copies
+        # returned 2.0 here (0-based int(q*n) overshoots the rank)
+        assert percentile([1.0, 2.0], 0.5) == 1.0
+        assert percentile([1.0, 2.0], 0.51) == 2.0
+
+    def test_boundaries(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 5.0
+
+    def test_empty_returns_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_nearest_rank_on_a_known_ladder(self):
+        values = list(range(1, 101))      # 1..100, already sorted
+        assert percentile(values, 0.50, presorted=True) == 50
+        assert percentile(values, 0.90, presorted=True) == 90
+        assert percentile(values, 0.99, presorted=True) == 99
+        assert percentile(values, 0.999, presorted=True) == 100
+
+    def test_presorted_skips_the_sort(self):
+        # presorted=True trusts the caller: reversed input gives the
+        # rank in the *given* order, proving no hidden sort happens
+        assert percentile([3.0, 1.0], 0.5, presorted=True) == 3.0
+
+    def test_does_not_mutate_the_input(self):
+        values = [3.0, 1.0, 2.0]
+        percentile(values, 0.5)
+        assert values == [3.0, 1.0, 2.0]
+
+
+class TestSummarize:
+    def test_shape_and_values(self):
+        summary = summarize([4.0, 1.0, 2.0, 3.0])
+        assert summary["count"] == 4
+        assert summary["mean"] == 2.5
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["p50"] == 2.0
+        assert summary["p999"] == 4.0
+
+    def test_empty_is_all_zero(self):
+        summary = summarize([])
+        assert summary == {"count": 0, "mean": 0.0, "min": 0.0,
+                           "max": 0.0, "p50": 0.0, "p90": 0.0,
+                           "p99": 0.0, "p999": 0.0}

@@ -76,7 +76,7 @@ def test_observability_catalogue_matches_the_registry():
 
 def test_catalogue_documents_every_kind():
     kinds = {spec.kind for spec in CATALOG}
-    assert kinds == {"span", "counter", "gauge"}
+    assert kinds == {"span", "counter", "gauge", "histogram"}
 
 
 def test_service_doc_lists_exactly_the_service_metrics():

@@ -42,6 +42,17 @@ def test_bill_of_materials():
     assert "engineering change applied incrementally" in out
 
 
+def test_service_telemetry():
+    out = run_example("service_telemetry.py")
+    assert "traced query a->e (reachable=True" in out
+    assert "latency by answer class" in out
+    assert "slowest retained trace: q-" in out
+    assert "Prometheus scrape of http://" in out
+    assert "repro_service_request_latency_seconds_count" in out
+    assert "slow-query records" in out
+    assert "'listening'" in out and "'drain_finish'" in out
+
+
 @pytest.mark.slow
 def test_ontology_queries():
     out = run_example("ontology_queries.py")
