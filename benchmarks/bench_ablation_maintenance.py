@@ -14,7 +14,6 @@ import pytest
 
 from repro.core.index import ChainIndex
 from repro.core.maintenance import DynamicChainIndex
-from repro.graph.digraph import DiGraph
 from repro.graph.generators import semi_random_dag
 
 

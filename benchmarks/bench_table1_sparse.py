@@ -27,9 +27,11 @@ def sparse_graph(scale):
 def test_build_sparse(benchmark, method, sparse_graph):
     if method == "2-hop":
         # The paper's exhaustive-greedy 2-hop; see EXPERIMENTS.md.
-        builder = lambda: TwoHopIndex.build(sparse_graph, lazy=False)
+        def builder():
+            return TwoHopIndex.build(sparse_graph, lazy=False)
     else:
-        builder = lambda: METHOD_BUILDERS[method](sparse_graph)
+        def builder():
+            return METHOD_BUILDERS[method](sparse_graph)
     index = benchmark.pedantic(builder, rounds=1, iterations=1)
     benchmark.extra_info["size_words"] = index.size_words()
 

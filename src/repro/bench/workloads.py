@@ -6,22 +6,19 @@ multiplies node counts back toward the paper's sizes when more patience
 is available.  EXPERIMENTS.md records the mapping from the paper's
 parameters to the defaults here.
 
-The method registry mirrors the paper's six evaluated methods plus the
-no-index traversal reference; "ours" is the chain-cover index built with
-the paper's stratified algorithm.
+The competitor table is derived from the engine registry
+(:func:`repro.engine.paper_labels`): every registered engine that
+carries a paper label — the paper's six evaluated methods plus the
+no-index traversal reference — appears under that label, so adding an
+engine to the registry adds it to the benchmark surface.  "ours" is the
+chain-cover index built with the paper's stratified algorithm.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines.dual import DualLabelingIndex
-from repro.baselines.jagadish import JagadishIndex
-from repro.baselines.traversal import TraversalIndex
-from repro.baselines.tree_encoding import TreeEncodingIndex
-from repro.baselines.two_hop import TwoHopIndex
-from repro.baselines.warren import WarrenIndex
-from repro.core.index import ChainIndex
+import repro.engine as engine
 from repro.graph.digraph import DiGraph
 from repro.graph.generators import (
     dense_dag,
@@ -45,20 +42,14 @@ __all__ = [
 ]
 
 
-def _build_ours(graph: DiGraph) -> ChainIndex:
-    return ChainIndex.build(graph, method="stratified")
+#: the paper's table column order.
+_PAPER_ORDER = ("ours", "DD", "TE", "Dual-II", "2-hop", "MM",
+                "traversal")
 
-
-#: method name (as in the paper's tables) -> index builder over a DAG.
-METHOD_BUILDERS = {
-    "ours": _build_ours,
-    "DD": JagadishIndex.build,
-    "TE": TreeEncodingIndex.build,
-    "Dual-II": DualLabelingIndex.build,
-    "2-hop": TwoHopIndex.build,
-    "MM": WarrenIndex.build,
-    "traversal": TraversalIndex.build,
-}
+#: method name (as in the paper's tables) -> engine builder.  Derived
+#: from the registry, in the paper's column order.
+METHOD_BUILDERS = {label: engine.paper_labels()[label].build
+                   for label in _PAPER_ORDER}
 
 #: Table 1 compares all six indexing methods.
 GROUP1_METHODS = ["ours", "DD", "TE", "Dual-II", "2-hop", "MM"]

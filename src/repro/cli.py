@@ -15,6 +15,16 @@ Subcommands operate on the edge-list format of :mod:`repro.graph.io`::
     python -m repro query --remote 127.0.0.1:7431 0 1    # query a server
     python -m repro dot graph.txt --chains           # Graphviz export
 
+``--engine`` (on ``query`` / ``serve`` / ``stats`` / ``index``)
+selects any backend from the :mod:`repro.engine` registry — the chain
+index variants, the paper's baselines, or the component-partitioned
+``composite``::
+
+    python -m repro query graph.txt 0 1 --engine two-hop
+    python -m repro serve graph.txt --engine composite
+    python -m repro index graph.txt -o g.idx --engine composite  # v3
+    python -m repro stats graph.txt --engine chain-stratified
+
 Observability (see ``docs/OBSERVABILITY.md``): ``--profile`` on
 ``stats`` prints a cProfile breakdown of the width computation, and
 ``--metrics-out metrics.json`` on ``index`` / ``query`` enables the
@@ -55,6 +65,24 @@ def _load(path: str):
     return read_edge_list(Path(path))
 
 
+def _engine_names() -> list[str]:
+    """Registered engine names — the ``--engine`` choice list."""
+    import repro.engine as engine
+    return list(engine.names())
+
+
+def _chain_method_choices() -> list[str]:
+    """Chain-cover methods, derived from the engine registry (the
+    single definition site), so ``--method`` choices cannot drift."""
+    import repro.engine as engine
+    return list(engine.chain_methods())
+
+
+def _build_engine(name: str, graph):
+    import repro.engine as engine
+    return engine.build(name, graph)
+
+
 @contextmanager
 def _metrics_session(out: str | None):
     """Enable the OBS registry around a command and export its JSON."""
@@ -89,6 +117,17 @@ def _cmd_stats(args) -> int:
     print(f"width (Dilworth):    {width}")
     print(f"avg out-degree:      "
           f"{stats.average_out_degree_internal:.2f}")
+    if args.engine:
+        engine = _build_engine(args.engine, graph)
+        info = engine.describe()
+        flags = [flag for flag, value in info["capabilities"].items()
+                 if value]
+        print(f"engine:              {info['engine']}")
+        print(f"engine size (words): {info['size_words']}")
+        print(f"engine capabilities: {', '.join(flags) or '-'}")
+        if "partitions" in info:
+            print(f"engine partitions:   {info['partitions']} "
+                  f"(sizes {info['partition_sizes']})")
     return 0
 
 
@@ -135,17 +174,27 @@ def _run_query(args) -> int:
         if args.graph is not None:
             pairs.insert(0, args.graph)
     if args.remote:
+        if args.engine:
+            print("query: --engine selects a local build; it has no "
+                  "effect with --remote", file=sys.stderr)
+            return 2
         pass                                 # resolved after pair parsing
     elif args.index:
+        if args.engine:
+            print("query: --engine selects a local build; a persisted "
+                  "--index already fixes the engine", file=sys.stderr)
+            return 2
         from repro.core.persistence import load_index
         index = load_index(Path(args.index))
     elif args.graph:
         try:
-            index = ChainIndex.build(_load(args.graph))
+            graph = _load(args.graph)
         except FileNotFoundError:
             print(f"query: no such graph file: {args.graph} "
                   f"(or pass --index)", file=sys.stderr)
             return 2
+        index = _build_engine(args.engine, graph) if args.engine \
+            else ChainIndex.build(graph)
     else:
         print("query needs a graph file, --index or --remote",
               file=sys.stderr)
@@ -204,13 +253,24 @@ def _cmd_serve(args) -> int:
 
     from repro.service import IndexManager, ReachabilityService
 
+    if args.method is not None:
+        print("serve: --method is deprecated; use "
+              f"--engine chain-{args.method}", file=sys.stderr)
     if args.index:
+        if args.engine:
+            print("serve: a persisted --index already fixes the "
+                  "engine; --engine has no effect", file=sys.stderr)
+            return 2
         manager = IndexManager.from_index_file(Path(args.index))
         label = args.index
     elif args.graph:
-        manager = IndexManager.from_graph(
-            _load(args.graph), method=args.method,
-            auto_swap_after=args.swap_after)
+        try:
+            manager = IndexManager.from_graph(
+                _load(args.graph), method=args.method or "stratified",
+                engine=args.engine, auto_swap_after=args.swap_after)
+        except ValueError as exc:            # engine/method conflict
+            print(f"serve: {exc}", file=sys.stderr)
+            return 2
         label = args.graph
     else:
         print("serve needs a graph file or --index", file=sys.stderr)
@@ -230,7 +290,8 @@ def _cmd_serve(args) -> int:
     async def run() -> None:
         host, port = await service.start()
         print(f"serving {label} on {host}:{port} "
-              f"(epoch {manager.epoch}, writable={manager.writable})",
+              f"(engine {manager.stats()['engine']}, "
+              f"epoch {manager.epoch}, writable={manager.writable})",
               flush=True)
         if service.metrics_address is not None:
             metrics_host, metrics_port = service.metrics_address
@@ -268,11 +329,33 @@ def _cmd_index(args) -> int:
     from repro.core.persistence import save_index
     with _metrics_session(args.metrics_out):
         graph = _load(args.graph)
-        index = ChainIndex.build(graph, method=args.method)
+        if args.engine and not args.engine.startswith("chain-"):
+            import repro.engine as registry
+            spec = registry.get(args.engine)
+            if not spec.persistable:
+                print(f"index: engine {args.engine!r} is not "
+                      f"persistable; choose one of "
+                      f"{', '.join(_persistable_engines())}",
+                      file=sys.stderr)
+                return 2
+            index = spec.build(graph)
+            save_index(index, Path(args.out))
+            print(f"indexed {graph.num_nodes} nodes with "
+                  f"{args.engine} ({index.size_words()} words) "
+                  f"-> {args.out}")
+            return 0
+        method = args.engine[len("chain-"):] if args.engine \
+            else args.method
+        index = ChainIndex.build(graph, method=method)
         save_index(index, Path(args.out))
     print(f"indexed {graph.num_nodes} nodes into {index.num_chains} "
           f"chains ({index.size_words()} words) -> {args.out}")
     return 0
+
+
+def _persistable_engines() -> list[str]:
+    import repro.engine as engine
+    return [spec.name for spec in engine.specs() if spec.persistable]
 
 
 def _cmd_dot(args) -> int:
@@ -316,18 +399,23 @@ def build_parser() -> argparse.ArgumentParser:
         description="Chain-cover reachability toolkit (Chen & Chen, "
                     "ICDE 2008)")
     sub = parser.add_subparsers(dest="command", required=True)
+    engine_names = _engine_names()
+    method_names = _chain_method_choices()
 
     stats = sub.add_parser("stats", help="graph statistics incl. width")
     stats.add_argument("graph")
     stats.add_argument("--profile", action="store_true",
                        help="print a cProfile breakdown of the "
                             "width/stats computation")
+    stats.add_argument("--engine", default=None, choices=engine_names,
+                       help="also build this engine and report its "
+                            "size and capabilities")
     stats.set_defaults(func=_cmd_stats)
 
     chains = sub.add_parser("chains", help="minimum chain cover")
     chains.add_argument("graph")
     chains.add_argument("--method", default="stratified",
-                        choices=["stratified", "closure", "jagadish"])
+                        choices=method_names)
     chains.set_defaults(func=_cmd_chains)
 
     antichain = sub.add_parser("antichain", help="a maximum antichain")
@@ -348,6 +436,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "target pairs from FILE (# comments "
                             "allowed); the whole batch is answered "
                             "through is_reachable_many")
+    query.add_argument("--engine", default=None, choices=engine_names,
+                       help="answer through this registered engine "
+                            "(default: chain-stratified)")
     query.add_argument("--str-labels", dest="int_labels",
                        action="store_false",
                        help="treat node labels as strings")
@@ -360,7 +451,11 @@ def build_parser() -> argparse.ArgumentParser:
     index.add_argument("graph")
     index.add_argument("-o", "--out", required=True)
     index.add_argument("--method", default="stratified",
-                       choices=["stratified", "closure", "jagadish"])
+                       choices=method_names)
+    index.add_argument("--engine", default=None, choices=engine_names,
+                       help="persist this engine instead (must be "
+                            "persistable; 'composite' writes a "
+                            "format-v3 partition manifest)")
     index.add_argument("--metrics-out", default=None, metavar="FILE",
                        help="record repro.obs metrics (phase spans, "
                             "build counters) and write the JSON here")
@@ -372,8 +467,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--index", default=None,
                        help="serve a persisted index (read-only) "
                             "instead of building from a graph")
-    serve.add_argument("--method", default="stratified",
-                       choices=["stratified", "closure", "jagadish"])
+    serve.add_argument("--method", default=None,
+                       choices=method_names,
+                       help="deprecated spelling of --engine chain-X")
+    serve.add_argument("--engine", default=None, choices=engine_names,
+                       help="serve this registered engine (default: "
+                            "chain-stratified; writes need a DAG)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=7431,
                        help="TCP port (0 picks a free one)")

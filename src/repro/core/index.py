@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
 
 from repro.core.chains import ChainDecomposition
 from repro.core.closure_cover import closure_chain_cover
@@ -38,9 +39,33 @@ from repro.graph.errors import NodeNotFoundError
 from repro.graph.scc import Condensation, condense
 from repro.obs import OBS
 
-__all__ = ["ChainIndex"]
+__all__ = ["ChainIndex", "CHAIN_METHODS"]
 
-_METHODS = ("stratified", "closure", "jagadish")
+#: The chain-cover algorithms :meth:`ChainIndex.build` accepts — the
+#: single definition site.  ``repro.engine`` registers one
+#: ``chain-<method>`` engine per entry and the CLI derives its
+#: ``--method`` choices from that registry, so the three can not drift.
+CHAIN_METHODS = ("stratified", "closure", "jagadish")
+
+
+@dataclass(frozen=True)
+class _Kernel:
+    """Resolved batch-query state, built lazily on the first batch.
+
+    ``tables`` holds the flat per-label lookup tables when the node
+    labels are exactly the dense ints ``0..n-1``; it is ``None`` when
+    the labels do not qualify and batches must run through the dict
+    translation fallback instead.  An unbuilt kernel is represented by
+    ``ChainIndex._kernel is None`` — there is no sentinel value with a
+    second meaning.
+    """
+
+    tables: tuple | None
+
+    @property
+    def flat(self) -> bool:
+        """Whether the fast flat-table path applies."""
+        return self.tables is not None
 
 
 class ChainIndex:
@@ -55,9 +80,9 @@ class ChainIndex:
         self._labeling = labeling
         self._method = method
         self._reverse: tuple[ChainDecomposition, ChainLabeling] | None = None
-        #: lazy flat query tables for the batch path; ``None`` until the
-        #: first batch, ``False`` when labels are not dense ints.
-        self._kernel: tuple | bool | None = None
+        #: lazy batch-query state; ``None`` until the first batch, then
+        #: a :class:`_Kernel` (flat tables or the explicit fallback).
+        self._kernel: _Kernel | None = None
         self.stats = stats
 
     # ------------------------------------------------------------------
@@ -80,9 +105,10 @@ class ChainIndex:
         (``condense``, ``stratify``, ``matching/level-*``,
         ``resolution``, ``labeling``, ``build/chains``, ...).
         """
-        if method not in _METHODS:
+        if method not in CHAIN_METHODS:
             raise ValueError(
-                f"unknown method {method!r}; expected one of {_METHODS}")
+                f"unknown method {method!r}; expected one of "
+                f"{CHAIN_METHODS}")
         with OBS.span("condense"):
             condensation = condense(graph)
         dag = condensation.dag
@@ -146,8 +172,8 @@ class ChainIndex:
             pairs = list(pairs)
         kernel = self._kernel
         if kernel is None:
-            kernel = self._kernel = self._build_query_kernel()
-        if kernel is False:
+            kernel = self._kernel = _Kernel(self._build_query_kernel())
+        if not kernel.flat:
             component_of = self._condensation.component_of
             try:
                 id_pairs = [(component_of[source], component_of[target])
@@ -156,7 +182,7 @@ class ChainIndex:
                 self._raise_batch_missing(pairs)
             return self._labeling.is_reachable_many_ids(id_pairs)
         (rank_of, level_of, chain_of, position_of,
-         seq_lo, seq_hi, seq_chains, seq_positions) = kernel
+         seq_lo, seq_hi, seq_chains, seq_positions) = kernel.tables
         bisect = bisect_left
         answers: list[bool] = []
         append = answers.append
@@ -251,8 +277,8 @@ class ChainIndex:
         return (level_of[source_component]
                 <= level_of[target_component])
 
-    def _build_query_kernel(self) -> tuple | bool:
-        """Flat per-label query tables (or ``False`` if inapplicable).
+    def _build_query_kernel(self) -> tuple | None:
+        """Flat per-label query tables (or ``None`` if inapplicable).
 
         Valid only when the node labels are exactly the dense ints
         ``0..n-1``: each packed-label array is then re-indexed by label,
@@ -265,7 +291,7 @@ class ChainIndex:
         count = len(component_of)
         for label in component_of:
             if type(label) is not int or not 0 <= label < count:
-                return False
+                return None
         labeling = self._labeling
         ranks = labeling.rank_of
         levels = labeling.level_of

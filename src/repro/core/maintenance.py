@@ -142,13 +142,22 @@ class DynamicChainIndex:
     # queries
     # ------------------------------------------------------------------
     def is_reachable(self, source, target) -> bool:
-        """Reflexive reachability on node objects."""
+        """Reflexive reachability on node objects.
+
+        Raises :class:`NodeNotFoundError` with ``role`` naming the
+        missing operand (``"source"`` / ``"target"``), matching the
+        static :meth:`ChainIndex.is_reachable` contract.
+        """
         graph = self._graph
         try:
-            return self._reachable_ids(graph.node_id(source),
-                                       graph.node_id(target))
+            source_id = graph.node_id(source)
         except NodeNotFoundError:
-            raise
+            raise NodeNotFoundError(source, role="source") from None
+        try:
+            target_id = graph.node_id(target)
+        except NodeNotFoundError:
+            raise NodeNotFoundError(target, role="target") from None
+        return self._reachable_ids(source_id, target_id)
 
     def is_reachable_many(self, pairs) -> list[bool]:
         """Answer a batch of ``(source, target)`` pairs in one pass.

@@ -29,6 +29,17 @@ compares it, raising :class:`IndexFormatError` on mismatch, so a
 truncated or bit-flipped index cannot be silently served; files
 written before the field existed (no ``labeling_crc32`` key) still
 load.
+
+Format version 3 (additive — version-2 files keep loading unchanged)
+persists a :class:`~repro.engine.composite.CompositeEngine`: a manifest
+carrying the sub-engine name and a ``partitions`` list in which every
+entry is a complete version-2 document for one weak component's chain
+index.  Each partition therefore carries — and is verified against —
+its own ``labeling_crc32``, so corruption in any single component fails
+the whole load.  :func:`save_index` accepts a :class:`ChainIndex`, a
+``ChainEngine`` wrapper, or a chain-backed composite, and
+:func:`load_index` returns whichever of :class:`ChainIndex` /
+``CompositeEngine`` the file holds.
 """
 
 from __future__ import annotations
@@ -48,9 +59,10 @@ from repro.graph.scc import Condensation
 from repro.obs import OBS
 
 __all__ = ["save_index", "load_index", "labeling_checksum",
-           "FORMAT_VERSION"]
+           "FORMAT_VERSION", "COMPOSITE_FORMAT_VERSION"]
 
 FORMAT_VERSION = 2
+COMPOSITE_FORMAT_VERSION = 3
 _JSON_SAFE = (str, int, float, bool)
 
 #: field order is part of the checksum definition — never reorder.
@@ -75,18 +87,62 @@ def labeling_checksum(fields: dict) -> int:
     return crc
 
 
-def save_index(index: ChainIndex, target: str | Path | TextIO) -> None:
-    """Serialise ``index`` as JSON.
+def save_index(index, target: str | Path | TextIO) -> None:
+    """Serialise an index (or chain-backed engine) as JSON.
 
-    Raises :class:`GraphFormatError` when a node label is not a JSON
-    scalar (tuples and arbitrary objects do not round-trip).  Emits
-    the ``persist/save`` span.
+    Accepts a :class:`ChainIndex` (written as a version-2 document), a
+    ``ChainEngine`` adapter (its wrapped index is written), or a
+    ``CompositeEngine`` whose partitions are chain-backed (written as a
+    version-3 manifest of per-component version-2 payloads).  Raises
+    :class:`GraphFormatError` when a node label is not a JSON scalar
+    (tuples and arbitrary objects do not round-trip) or when the engine
+    is not persistable.  Emits the ``persist/save`` span.
     """
     with OBS.span("persist/save"):
-        _save_index(index, target)
+        _write(_to_document(index), target)
 
 
-def _save_index(index: ChainIndex, target: str | Path | TextIO) -> None:
+def _to_document(index) -> dict:
+    if isinstance(index, ChainIndex):
+        return _document(index)
+    if hasattr(index, "engines") and hasattr(index, "sub_engine"):
+        return _composite_document(index)
+    inner = getattr(index, "index", None)
+    if isinstance(inner, ChainIndex):
+        return _document(inner)
+    raise GraphFormatError(
+        f"cannot persist {type(index).__name__}: only ChainIndex, "
+        f"chain engines and chain-backed composites serialise")
+
+
+def _composite_document(engine) -> dict:
+    partitions = []
+    for sub in engine.engines:
+        inner = sub if isinstance(sub, ChainIndex) \
+            else getattr(sub, "index", None)
+        if not isinstance(inner, ChainIndex):
+            raise GraphFormatError(
+                f"composite partition {type(sub).__name__} is not "
+                f"chain-backed; only chain sub-engines persist")
+        partitions.append(_document(inner))
+    return {
+        "format": "repro-chain-index",
+        "version": COMPOSITE_FORMAT_VERSION,
+        "kind": "composite",
+        "sub_engine": engine.sub_engine,
+        "partitions": partitions,
+    }
+
+
+def _write(document: dict, target: str | Path | TextIO) -> None:
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, separators=(",", ":"))
+    else:
+        json.dump(document, target, separators=(",", ":"))
+
+
+def _document(index: ChainIndex) -> dict:
     condensation = index._condensation
     for members in condensation.members:
         for node in members:
@@ -105,7 +161,7 @@ def _save_index(index: ChainIndex, target: str | Path | TextIO) -> None:
         "sequence_chains": labeling.seq_chains.tolist(),
         "sequence_positions": labeling.seq_positions.tolist(),
     }
-    document = {
+    return {
         "format": "repro-chain-index",
         "version": FORMAT_VERSION,
         "method": index.method,
@@ -115,32 +171,75 @@ def _save_index(index: ChainIndex, target: str | Path | TextIO) -> None:
         "labeling": packed,
         "labeling_crc32": labeling_checksum(packed),
     }
-    if isinstance(target, (str, Path)):
-        with open(target, "w", encoding="utf-8") as handle:
-            json.dump(document, handle, separators=(",", ":"))
-    else:
-        json.dump(document, target, separators=(",", ":"))
 
 
-def load_index(source: str | Path | TextIO) -> ChainIndex:
+def load_index(source: str | Path | TextIO):
     """Load an index written by :func:`save_index`.
 
-    Raises :class:`GraphFormatError` on malformed or wrong-version
-    input.  The loaded index is fully equivalent: queries, descendant
-    and ancestor enumeration all behave as on the originally built one.
-    Emits the ``persist/load`` span.
+    Returns a :class:`ChainIndex` for a version-2 file and a
+    ``CompositeEngine`` for a version-3 composite manifest.  Raises
+    :class:`GraphFormatError` on malformed or wrong-version input and
+    :class:`IndexFormatError` on a checksum mismatch (any partition, for
+    composites).  The loaded index is fully equivalent: queries,
+    descendant and ancestor enumeration all behave as on the originally
+    built one.  Emits the ``persist/load`` span.
     """
     with OBS.span("persist/load"):
         return _load_index(source)
 
 
-def _load_index(source: str | Path | TextIO) -> ChainIndex:
+def _load_index(source: str | Path | TextIO):
     if isinstance(source, (str, Path)):
         with open(source, "r", encoding="utf-8") as handle:
             document = _parse(handle)
     else:
         document = _parse(source)
+    if document["version"] == COMPOSITE_FORMAT_VERSION:
+        return _load_composite(document)
+    return _index_from_document(document)
 
+
+def _load_composite(document: dict):
+    from repro.engine.adapters import ChainEngine
+    from repro.engine.composite import CompositeEngine
+
+    sub_engine = document.get("sub_engine")
+    if not isinstance(sub_engine, str):
+        raise GraphFormatError("composite manifest missing sub_engine")
+    partitions = document.get("partitions")
+    if not isinstance(partitions, list):
+        raise GraphFormatError(
+            "composite manifest missing partitions list")
+    component_of: dict = {}
+    members: list[list] = []
+    engines: list = []
+    for position, payload in enumerate(partitions):
+        if not isinstance(payload, dict):
+            raise GraphFormatError(
+                f"partition {position} is not a JSON object")
+        try:
+            partition_document = _check_single(payload)
+            index = _index_from_document(partition_document)
+        except IndexFormatError as exc:
+            raise IndexFormatError(
+                f"partition {position}: {exc}") from None
+        except GraphFormatError as exc:
+            raise GraphFormatError(
+                f"partition {position}: {exc}") from None
+        nodes = [node for component in partition_document["members"]
+                 for node in component]
+        for node in nodes:
+            if node in component_of:
+                raise GraphFormatError(
+                    f"node {node!r} appears in partitions "
+                    f"{component_of[node]} and {position}")
+            component_of[node] = position
+        members.append(nodes)
+        engines.append(ChainEngine(index, name=sub_engine))
+    return CompositeEngine(component_of, members, engines, sub_engine)
+
+
+def _index_from_document(document: dict) -> ChainIndex:
     members = document["members"]
     component_of = {}
     for component, nodes in enumerate(members):
@@ -200,10 +299,19 @@ def _parse(handle: TextIO) -> dict:
     if not isinstance(document, dict) or document.get(
             "format") != "repro-chain-index":
         raise GraphFormatError("not a repro chain-index file")
+    version = document.get("version")
+    if version == COMPOSITE_FORMAT_VERSION:
+        return document
+    return _check_single(document)
+
+
+def _check_single(document: dict) -> dict:
+    """Validate the header + field skeleton of a version-2 document."""
     if document.get("version") != FORMAT_VERSION:
         raise GraphFormatError(
             f"unsupported format version {document.get('version')!r} "
-            f"(expected {FORMAT_VERSION})")
+            f"(expected {FORMAT_VERSION} or "
+            f"{COMPOSITE_FORMAT_VERSION})")
     for key in ("members", "chains", "labeling", "method", "dag_edges"):
         if key not in document:
             raise GraphFormatError(f"missing field {key!r}")

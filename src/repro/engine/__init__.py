@@ -1,0 +1,69 @@
+"""repro.engine — every reachability backend behind one seam.
+
+The package gives the codebase a single pluggable interface where
+there used to be three (the concrete chain classes, the baselines ABC,
+and the serving protocol):
+
+* :class:`~repro.engine.interface.ReachabilityEngine` — the protocol:
+  scalar + batch queries, size accounting, and four capability flags
+  (``supports_batch`` / ``writable`` / ``persistable`` /
+  ``enumerable``) that consumers gate on instead of ``isinstance``;
+* :mod:`~repro.engine.registry` — string-keyed specs:
+  ``engine.get("two-hop").build(graph)``; the service (``serve
+  --engine``), the CLI and the benchmark competitor tables all iterate
+  this registry;
+* :mod:`~repro.engine.adapters` — bring
+  :class:`~repro.core.index.ChainIndex`,
+  :class:`~repro.core.maintenance.DynamicChainIndex` and all
+  :mod:`repro.baselines` onto the protocol (with a generic batch
+  fallback, so ``is_reachable_many`` works everywhere);
+* :class:`~repro.engine.composite.CompositeEngine` — partitions the
+  graph by weakly-connected component, one sub-engine per component,
+  cross-component pairs ``False`` in O(1); the stepping stone to
+  sharding.
+
+The registry table is documented in ``docs/API.md`` ("Engines") and
+doc-linted against :func:`names` by ``tests/test_docs.py``.
+"""
+
+from repro.engine.adapters import (
+    ChainEngine,
+    CondensingEngine,
+    DynamicEngine,
+    EngineAdapter,
+)
+from repro.engine.composite import CompositeEngine
+from repro.engine.interface import (
+    CAPABILITY_FLAGS,
+    ReachabilityEngine,
+    capabilities,
+)
+from repro.engine.registry import (
+    EngineSpec,
+    build,
+    chain_methods,
+    get,
+    names,
+    paper_labels,
+    register,
+    specs,
+)
+
+__all__ = [
+    "ReachabilityEngine",
+    "CAPABILITY_FLAGS",
+    "capabilities",
+    "EngineAdapter",
+    "ChainEngine",
+    "DynamicEngine",
+    "CondensingEngine",
+    "CompositeEngine",
+    "EngineSpec",
+    "register",
+    "get",
+    "build",
+    "names",
+    "specs",
+    "chain_methods",
+    "paper_labels",
+]

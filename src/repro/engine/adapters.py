@@ -1,0 +1,189 @@
+"""Adapters that bring every concrete index onto the engine protocol.
+
+Three adapter families cover the whole codebase:
+
+* :class:`ChainEngine` — the packed static
+  :class:`~repro.core.index.ChainIndex` (one adapter instance per
+  chain-cover method).  Batch queries delegate straight to the CSR
+  kernel; everything else the index exposes (``descendants``,
+  ``prefilter_rejects``, ``num_chains``, ...) is forwarded untouched,
+  so the adapter adds one attribute hop per *batch*, never per query.
+* :class:`DynamicEngine` — the mutable
+  :class:`~repro.core.maintenance.DynamicChainIndex`; the only
+  ``writable`` engine.
+* :class:`CondensingEngine` — wraps any of the paper's
+  :class:`~repro.baselines.interface.ReachabilityIndex` baselines.
+  The baselines are defined over DAGs, so the adapter condenses the
+  input first (exactly what :class:`ChainIndex` does internally) —
+  every registered engine therefore accepts cyclic graphs and answers
+  through SCC representatives.
+
+:class:`EngineAdapter` supplies the generic batch fallback, so
+``is_reachable_many`` works on every engine even when the underlying
+index only knows scalar queries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import NodeNotFoundError
+from repro.graph.scc import Condensation, condense
+from repro.obs import OBS
+
+__all__ = ["EngineAdapter", "ChainEngine", "DynamicEngine",
+           "CondensingEngine"]
+
+
+class EngineAdapter:
+    """Shared capability defaults and the generic batch fallback."""
+
+    name = "abstract"
+    supports_batch = False
+    writable = False
+    persistable = False
+    enumerable = False
+
+    def is_reachable(self, source, target) -> bool:
+        raise NotImplementedError
+
+    def is_reachable_many(self, pairs: Iterable[tuple]) -> list[bool]:
+        """Scalar fallback: map :meth:`is_reachable` over the pairs.
+
+        Engines with a native batch kernel override this (and set
+        ``supports_batch``); everything else gets batch semantics —
+        same answers, same :class:`NodeNotFoundError` contract — from
+        this loop, so consumers never need to branch on the flag just
+        to *ask* a batch.
+        """
+        is_reachable = self.is_reachable
+        answers = [is_reachable(source, target)
+                   for source, target in pairs]
+        if OBS.enabled:
+            OBS.count(f"engine/queries/{self.name}", len(answers))
+        return answers
+
+    def size_words(self) -> int:
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        """Introspection payload for ``stats`` verbs and the CLI."""
+        from repro.engine.interface import capabilities
+        return {"engine": self.name,
+                "capabilities": capabilities(self),
+                "size_words": self.size_words()}
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class _Forwarding(EngineAdapter):
+    """An adapter around one underlying index stored as ``self.index``.
+
+    Unknown attributes forward to the wrapped index, so the richer
+    surface of a concrete class (``descendants``, ``num_chains``,
+    ``prefilter_rejects``, ``graph``, ...) stays reachable through the
+    engine seam without re-declaring every member.
+    """
+
+    def __init__(self, index, name: str | None = None) -> None:
+        self.index = index
+        if name is not None:
+            self.name = name
+
+    def __getattr__(self, attr):
+        try:
+            index = self.__dict__["index"]
+        except KeyError:           # mid-unpickle: no attrs yet
+            raise AttributeError(attr) from None
+        return getattr(index, attr)
+
+    def is_reachable(self, source, target) -> bool:
+        return self.index.is_reachable(source, target)
+
+    def is_reachable_many(self, pairs: Iterable[tuple]) -> list[bool]:
+        if OBS.enabled:
+            if not isinstance(pairs, list):
+                pairs = list(pairs)
+            OBS.count(f"engine/queries/{self.name}", len(pairs))
+        return self.index.is_reachable_many(pairs)
+
+    def size_words(self) -> int:
+        return self.index.size_words()
+
+
+class ChainEngine(_Forwarding):
+    """The packed chain-cover index behind the engine seam.
+
+    ``supports_batch`` is native (the flat CSR kernel), the index
+    round-trips through :mod:`repro.core.persistence`, and descendant /
+    ancestor enumeration is available.  Not writable — mutation goes
+    through :class:`DynamicEngine` or the serving layer's shadow.
+    """
+
+    supports_batch = True
+    writable = False
+    persistable = True
+    enumerable = True
+
+
+class DynamicEngine(_Forwarding):
+    """The incrementally maintained chain index: the writable engine.
+
+    Requires a DAG (cycle-closing writes must be rejectable), answers
+    batches through the native O(1)-expected hash-map path, and exposes
+    ``add_edge`` / ``add_node`` via forwarding.
+    """
+
+    name = "dynamic"
+    supports_batch = True
+    writable = True
+    persistable = False
+    enumerable = False
+
+
+class CondensingEngine(EngineAdapter):
+    """Any DAG-only baseline index, lifted to arbitrary digraphs.
+
+    Builds the SCC condensation once, constructs the wrapped baseline
+    over the condensation DAG (whose nodes are the dense component ids
+    ``0..k-1``), and translates every query operand through
+    ``component_of`` — the same reflexive-through-SCC semantics as
+    :class:`~repro.core.index.ChainIndex`.
+    """
+
+    def __init__(self, inner, condensation: Condensation,
+                 name: str) -> None:
+        self.inner = inner
+        self.condensation = condensation
+        self.name = name
+
+    @classmethod
+    def build(cls, builder, graph: DiGraph,
+              name: str) -> "CondensingEngine":
+        """Condense ``graph`` and build ``builder`` over the DAG."""
+        with OBS.span("condense"):
+            condensation = condense(graph)
+        return cls(builder(condensation.dag), condensation, name)
+
+    def is_reachable(self, source, target) -> bool:
+        component_of = self.condensation.component_of
+        try:
+            source_component = component_of[source]
+        except (KeyError, TypeError):
+            raise NodeNotFoundError(source, role="source") from None
+        try:
+            target_component = component_of[target]
+        except (KeyError, TypeError):
+            raise NodeNotFoundError(target, role="target") from None
+        return self.inner.is_reachable(source_component,
+                                       target_component)
+
+    def size_words(self) -> int:
+        return self.inner.size_words()
+
+    def describe(self) -> dict:
+        payload = super().describe()
+        payload["implementation"] = type(self.inner).__name__
+        return payload

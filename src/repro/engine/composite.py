@@ -1,0 +1,233 @@
+"""A reachability engine partitioned by weakly-connected component.
+
+No directed path crosses a weak-component boundary, so a digraph's
+components are independent indexing problems: :class:`CompositeEngine`
+partitions the input with
+:func:`repro.graph.components.weakly_connected_components`, builds one
+sub-engine per component (any registered engine; optionally in
+parallel across processes, since the builds share nothing), answers
+cross-component pairs ``False`` in O(1) from the partition map alone,
+and routes same-component pairs to the owning sub-engine.
+
+This is the stepping stone to real sharding: the partition map is
+exactly a shard router, and the v3 persistence format (a manifest of
+per-component payloads, see :mod:`repro.core.persistence`) is exactly
+a shard manifest.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.graph.components import weakly_connected_components
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import NodeNotFoundError
+from repro.obs import OBS
+
+__all__ = ["CompositeEngine"]
+
+DEFAULT_SUB_ENGINE = "chain-stratified"
+
+
+def _build_partition(engine_name: str, graph: DiGraph):
+    """Build one component's sub-engine (module-level: picklable, so
+    ``ProcessPoolExecutor.map`` can ship it to a worker)."""
+    from repro.engine.registry import get
+    return get(engine_name).build(graph)
+
+
+class CompositeEngine:
+    """One engine per weak component behind a single partition map.
+
+    >>> from repro.graph.digraph import DiGraph
+    >>> g = DiGraph.from_edges([("a", "b"), ("x", "y")])
+    >>> engine = CompositeEngine.build(g)
+    >>> engine.is_reachable("a", "b")
+    True
+    >>> engine.is_reachable("a", "y")      # cross-component: O(1) False
+    False
+    """
+
+    name = "composite"
+    supports_batch = True
+    writable = False
+
+    def __init__(self, component_of: dict, members: list[list],
+                 engines: list, sub_engine: str) -> None:
+        #: node label -> index into ``engines`` / ``members``
+        self._component_of = component_of
+        #: per-component node-label lists (partition order)
+        self.members = members
+        #: one engine per weak component, same order as ``members``
+        self.engines = engines
+        #: registry name the sub-engines were built with
+        self.sub_engine = sub_engine
+        # persistable/enumerable are inherited from the sub-engines:
+        # the composite can only do what every partition can do.
+        self.persistable = all(
+            getattr(engine, "persistable", False) for engine in engines)
+        self.enumerable = all(
+            getattr(engine, "enumerable", False) for engine in engines)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, graph: DiGraph, *,
+              engine: str = DEFAULT_SUB_ENGINE,
+              max_workers: int | None = None) -> "CompositeEngine":
+        """Partition ``graph`` and index each component with ``engine``.
+
+        ``engine`` is any registry name except ``"composite"`` itself.
+        ``max_workers`` > 1 builds the components in parallel with a
+        :class:`~concurrent.futures.ProcessPoolExecutor` — components
+        are independent, so the builds need no coordination; the
+        default (``None``) builds serially, which is faster below a few
+        thousand nodes per component because fork + pickle round-trips
+        cost more than the builds themselves.
+        """
+        from repro.engine.registry import get
+        if engine == cls.name:
+            raise ValueError("composite sub-engines cannot themselves "
+                             "be composite")
+        spec = get(engine)          # fail fast on unknown names
+        members = weakly_connected_components(graph)
+        component_of = {node: component
+                        for component, nodes in enumerate(members)
+                        for node in nodes}
+        subgraphs = [graph.subgraph(nodes) for nodes in members]
+        if max_workers is not None and max_workers > 1 \
+                and len(subgraphs) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+            from functools import partial
+            workers = min(max_workers, len(subgraphs))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                engines = list(pool.map(
+                    partial(_build_partition, engine), subgraphs))
+        else:
+            engines = [spec.build(subgraph) for subgraph in subgraphs]
+        if OBS.enabled:
+            OBS.gauge("engine/components", len(engines))
+        return cls(component_of, members, engines, engine)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _components(self, source, target) -> tuple[int, int]:
+        component_of = self._component_of
+        try:
+            source_component = component_of[source]
+        except (KeyError, TypeError):
+            raise NodeNotFoundError(source, role="source") from None
+        try:
+            target_component = component_of[target]
+        except (KeyError, TypeError):
+            raise NodeNotFoundError(target, role="target") from None
+        return source_component, target_component
+
+    def is_reachable(self, source, target) -> bool:
+        """Route to the owning sub-engine; cross-component is False."""
+        source_component, target_component = self._components(source,
+                                                              target)
+        if source_component != target_component:
+            if OBS.enabled:
+                OBS.count("engine/cross_rejects")
+            return False
+        return self.engines[source_component].is_reachable(source,
+                                                           target)
+
+    def is_reachable_many(self, pairs: Iterable[tuple]) -> list[bool]:
+        """Batch routing: one sub-engine batch per touched component.
+
+        Cross-component pairs are settled inline (their answer slot is
+        already ``False``); same-component pairs are gathered per
+        component and answered with one ``is_reachable_many`` call
+        each, so a batch against a K-component graph costs at most K
+        kernel invocations plus the O(1) partition lookups.
+        """
+        if not isinstance(pairs, list):
+            pairs = list(pairs)
+        component_of = self._component_of
+        answers = [False] * len(pairs)
+        routed: dict[int, tuple[list[int], list[tuple]]] = {}
+        cross = 0
+        for position, (source, target) in enumerate(pairs):
+            try:
+                source_component = component_of[source]
+            except (KeyError, TypeError):
+                raise NodeNotFoundError(source, role="source") from None
+            try:
+                target_component = component_of[target]
+            except (KeyError, TypeError):
+                raise NodeNotFoundError(target, role="target") from None
+            if source_component != target_component:
+                cross += 1
+                continue
+            slot = routed.get(source_component)
+            if slot is None:
+                slot = routed[source_component] = ([], [])
+            slot[0].append(position)
+            slot[1].append((source, target))
+        for component, (positions, sub_pairs) in routed.items():
+            sub_answers = self.engines[component].is_reachable_many(
+                sub_pairs)
+            for position, answer in zip(positions, sub_answers):
+                answers[position] = answer
+        if OBS.enabled:
+            OBS.count("engine/queries/composite", len(answers))
+            if cross:
+                OBS.count("engine/cross_rejects", cross)
+        return answers
+
+    # ------------------------------------------------------------------
+    # enumeration (available when every sub-engine is enumerable)
+    # ------------------------------------------------------------------
+    def _owning(self, node) -> object:
+        if not self.enumerable:
+            raise TypeError(
+                f"sub-engine {self.sub_engine!r} does not support "
+                f"descendant/ancestor enumeration")
+        try:
+            component = self._component_of[node]
+        except (KeyError, TypeError):
+            raise NodeNotFoundError(node) from None
+        return self.engines[component]
+
+    def descendants(self, source) -> Iterator:
+        """All nodes reachable from ``source`` — never leaves its
+        component, so the owning sub-engine answers alone."""
+        return self._owning(source).descendants(source)
+
+    def ancestors(self, target) -> Iterator:
+        """All nodes reaching ``target``, from the owning sub-engine."""
+        return self._owning(target).ancestors(target)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_partitions(self) -> int:
+        """How many weak components the graph split into."""
+        return len(self.engines)
+
+    def partition_sizes(self) -> list[int]:
+        """Node count per component, in partition order."""
+        return [len(nodes) for nodes in self.members]
+
+    def size_words(self) -> int:
+        """Sum of the sub-engine label sizes (16-bit words)."""
+        return sum(engine.size_words() for engine in self.engines)
+
+    def describe(self) -> dict:
+        from repro.engine.interface import capabilities
+        return {"engine": self.name,
+                "capabilities": capabilities(self),
+                "size_words": self.size_words(),
+                "sub_engine": self.sub_engine,
+                "partitions": self.num_partitions,
+                "partition_sizes": self.partition_sizes()}
+
+    def __repr__(self) -> str:
+        return (f"<CompositeEngine partitions={self.num_partitions} "
+                f"sub_engine={self.sub_engine!r} "
+                f"words={self.size_words()}>")

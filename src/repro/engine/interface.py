@@ -1,0 +1,75 @@
+"""The one seam every reachability backend serves through.
+
+Before this package the codebase had three parallel index surfaces:
+the concrete :class:`~repro.core.index.ChainIndex` /
+:class:`~repro.core.maintenance.DynamicChainIndex` pair the serving
+stack was hard-wired to, the thinner
+:class:`repro.baselines.interface.ReachabilityIndex` ABC of the paper's
+evaluation methods, and the structural
+:class:`~repro.core.protocols.BatchReachability` protocol the
+micro-batcher dispatches on.  :class:`ReachabilityEngine` unifies them:
+every backend is adapted onto this protocol (see
+:mod:`repro.engine.adapters`) and registered by name in
+:mod:`repro.engine.registry`, so the service, the CLI and the
+benchmarks select backends by string instead of importing classes.
+
+Capabilities are *data*, not types: consumers gate behaviour on the
+four boolean flags (``supports_batch`` / ``writable`` / ``persistable``
+/ ``enumerable``) rather than on ``isinstance`` checks, so a new
+backend only has to declare what it can do.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable
+
+__all__ = ["ReachabilityEngine", "CAPABILITY_FLAGS", "capabilities"]
+
+#: the four capability flags, in display order.
+CAPABILITY_FLAGS = ("supports_batch", "writable", "persistable",
+                    "enumerable")
+
+
+@runtime_checkable
+class ReachabilityEngine(Protocol):
+    """A named reachability backend with declared capabilities.
+
+    Every engine answers scalar and batch queries (a backend without a
+    native batch kernel satisfies the batch method through the generic
+    fallback of :class:`repro.engine.adapters.EngineAdapter`) and
+    reports its size in the paper's 16-bit-word unit.  The flags mean:
+
+    * ``supports_batch`` — ``is_reachable_many`` runs a native batch
+      kernel (not the scalar fallback loop);
+    * ``writable`` — ``add_edge`` / ``add_node`` exist and maintain
+      the index incrementally;
+    * ``persistable`` — the engine round-trips through
+      :mod:`repro.core.persistence`;
+    * ``enumerable`` — ``descendants`` / ``ancestors`` enumeration is
+      available.
+    """
+
+    name: str
+    supports_batch: bool
+    writable: bool
+    persistable: bool
+    enumerable: bool
+
+    def is_reachable(self, source, target) -> bool:
+        """Reflexive reachability between two node objects.
+
+        Raises :class:`~repro.graph.errors.NodeNotFoundError` with
+        ``role`` naming the missing operand.
+        """
+
+    def is_reachable_many(self, pairs: Iterable[tuple]) -> list[bool]:
+        """One bool per ``(source, target)`` pair, in order."""
+
+    def size_words(self) -> int:
+        """Index size in 16-bit words (the paper's table unit)."""
+
+
+def capabilities(engine) -> dict[str, bool]:
+    """The engine's capability flags as a plain dict (stats payloads)."""
+    return {flag: bool(getattr(engine, flag, False))
+            for flag in CAPABILITY_FLAGS}

@@ -1,0 +1,227 @@
+"""The string-keyed engine registry: one name per backend.
+
+Every reachability backend in the codebase is registered here under a
+stable kebab-case name, with its capability flags and (when the
+paper's evaluation uses it) the label the benchmark tables print.
+Consumers select backends by name:
+
+>>> import repro.engine as engine
+>>> sorted(engine.names())[:3]
+['bfs', 'chain-closure', 'chain-jagadish']
+>>> from repro.graph.digraph import DiGraph
+>>> g = DiGraph.from_edges([("a", "b")])
+>>> engine.build("two-hop", g).is_reachable("a", "b")
+True
+
+The chain engines are derived from
+:data:`repro.core.index.CHAIN_METHODS` — the single definition site of
+the chain-cover method list — and the CLI derives its ``--method`` /
+``--engine`` choices from this registry, so the three surfaces cannot
+drift apart.  Builds emit the ``engine/build/{engine}`` span.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable
+
+from repro.baselines.dual import DualLabelingIndex
+from repro.baselines.jagadish import JagadishIndex
+from repro.baselines.traversal import TraversalIndex
+from repro.baselines.tree_encoding import TreeEncodingIndex
+from repro.baselines.two_hop import TwoHopIndex
+from repro.baselines.warren import WarrenIndex
+from repro.core.index import CHAIN_METHODS, ChainIndex
+from repro.core.maintenance import DynamicChainIndex
+from repro.engine.adapters import (
+    ChainEngine,
+    CondensingEngine,
+    DynamicEngine,
+)
+from repro.engine.composite import CompositeEngine
+from repro.graph.digraph import DiGraph
+from repro.obs import OBS
+
+__all__ = ["EngineSpec", "register", "get", "build", "names", "specs",
+           "chain_methods", "paper_labels"]
+
+_NAME_PATTERN = re.compile(r"^[a-z0-9][a-z0-9-]*$")
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One registered engine: a name, a factory and its capabilities.
+
+    The flags describe what :meth:`build` will return, so consumers
+    can gate features (persistence, writes, enumeration) *before*
+    paying for a build.  ``paper_label`` is the column label the
+    benchmark tables use (``"ours"``, ``"DD"``, ...) when the paper's
+    evaluation includes the method, else ``None``.
+    """
+
+    name: str
+    description: str
+    factory: Callable[[DiGraph], object]
+    supports_batch: bool
+    writable: bool
+    persistable: bool
+    enumerable: bool
+    paper_label: str | None = None
+
+    def build(self, graph: DiGraph):
+        """Construct an engine instance over ``graph``.
+
+        Emits the ``engine/build/{engine}`` span (composite builds
+        nest one per component).
+        """
+        with OBS.span(f"engine/build/{self.name}"):
+            return self.factory(graph)
+
+    @property
+    def capabilities(self) -> dict[str, bool]:
+        return {"supports_batch": self.supports_batch,
+                "writable": self.writable,
+                "persistable": self.persistable,
+                "enumerable": self.enumerable}
+
+
+_REGISTRY: dict[str, EngineSpec] = {}
+
+
+def register(spec: EngineSpec) -> EngineSpec:
+    """Add ``spec`` to the registry; rejects duplicate or bad names."""
+    if not _NAME_PATTERN.match(spec.name):
+        raise ValueError(
+            f"engine name {spec.name!r} must be kebab-case "
+            f"([a-z0-9-], starting alphanumeric)")
+    if spec.name in _REGISTRY:
+        raise ValueError(f"engine {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get(name: str) -> EngineSpec:
+    """The spec registered under ``name``.
+
+    Raises :class:`ValueError` naming the known engines, so a typo in
+    a CLI flag or a config file reads as documentation.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; registered engines: "
+            f"{', '.join(names())}") from None
+
+
+def build(name: str, graph: DiGraph, **kwargs):
+    """Shorthand: ``get(name).build(graph)``."""
+    spec = get(name)
+    if kwargs:
+        with OBS.span(f"engine/build/{spec.name}"):
+            return spec.factory(graph, **kwargs)
+    return spec.build(graph)
+
+
+def names() -> tuple[str, ...]:
+    """Every registered engine name, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def specs() -> tuple[EngineSpec, ...]:
+    """Every spec, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def chain_methods() -> tuple[str, ...]:
+    """The chain-cover method names, derived from the registry.
+
+    ``("stratified", "closure", "jagadish")`` today — exactly the
+    registered ``chain-*`` engines with the prefix stripped, in
+    registration order, which follows
+    :data:`repro.core.index.CHAIN_METHODS`.
+    """
+    return tuple(spec.name[len("chain-"):] for spec in specs()
+                 if spec.name.startswith("chain-"))
+
+
+def paper_labels() -> dict[str, EngineSpec]:
+    """Paper table label -> spec, for the benchmark competitor tables."""
+    return {spec.paper_label: spec for spec in specs()
+            if spec.paper_label is not None}
+
+
+# ----------------------------------------------------------------------
+# the built-in engines
+# ----------------------------------------------------------------------
+def _build_chain(method: str, graph: DiGraph) -> ChainEngine:
+    return ChainEngine(ChainIndex.build(graph, method=method),
+                       name=f"chain-{method}")
+
+
+def _build_dynamic(graph: DiGraph) -> DynamicEngine:
+    return DynamicEngine(DynamicChainIndex.from_graph(graph))
+
+
+def _build_baseline(index_class, name: str,
+                    graph: DiGraph) -> CondensingEngine:
+    return CondensingEngine.build(index_class.build, graph, name)
+
+
+_CHAIN_DESCRIPTIONS = {
+    "stratified": "the paper's index: stratified minimum chain cover, "
+                  "packed CSR labels, O(log b) queries",
+    "closure": "chain cover via matching on the transitive closure "
+               "(exact Fulkerson reference)",
+    "jagadish": "chain labels over the DD path-stitching heuristic "
+                "(more chains, larger labels)",
+}
+
+for _method in CHAIN_METHODS:
+    register(EngineSpec(
+        name=f"chain-{_method}",
+        description=_CHAIN_DESCRIPTIONS.get(
+            _method, f"chain labels via the {_method} cover"),
+        factory=partial(_build_chain, _method),
+        supports_batch=True, writable=False, persistable=True,
+        enumerable=True,
+        paper_label="ours" if _method == "stratified" else None))
+
+register(EngineSpec(
+    name="dynamic",
+    description="incrementally maintained chain index (Jagadish "
+                "maintenance); the writable engine, DAG input only",
+    factory=_build_dynamic,
+    supports_batch=True, writable=True, persistable=False,
+    enumerable=False))
+
+for _index_class, _name, _label, _description in (
+        (TraversalIndex, "bfs", "traversal",
+         "no index at all — BFS per query, zero space"),
+        (WarrenIndex, "warren", "MM",
+         "Warren's bit-matrix transitive closure, O(1) queries"),
+        (JagadishIndex, "jagadish", "DD",
+         "Jagadish's DAG-decomposition heuristic (the paper's DD)"),
+        (TreeEncodingIndex, "tree-cover", "TE",
+         "tree cover with interval encoding (the paper's TE)"),
+        (TwoHopIndex, "two-hop", "2-hop",
+         "2-hop labeling (Cohen et al.), set-cover construction"),
+        (DualLabelingIndex, "dual", "Dual-II",
+         "dual labeling over a spanning tree plus non-tree links")):
+    register(EngineSpec(
+        name=_name,
+        description=_description,
+        factory=partial(_build_baseline, _index_class, _name),
+        supports_batch=False, writable=False, persistable=False,
+        enumerable=False,
+        paper_label=_label))
+
+register(EngineSpec(
+    name="composite",
+    description="one sub-engine per weakly-connected component; "
+                "cross-component pairs answered False in O(1)",
+    factory=CompositeEngine.build,
+    supports_batch=True, writable=False, persistable=True,
+    enumerable=True))

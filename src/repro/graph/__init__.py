@@ -1,5 +1,6 @@
 """Graph substrate: the directed-graph machinery everything else builds on."""
 
+from repro.graph.components import weakly_connected_components
 from repro.graph.digraph import DiGraph
 from repro.graph.errors import (
     DuplicateNodeError,
@@ -33,6 +34,7 @@ __all__ = [
     "Condensation",
     "condense",
     "strongly_connected_components",
+    "weakly_connected_components",
     "topological_order",
     "is_dag",
     "check_dag",

@@ -1,0 +1,54 @@
+"""Weakly connected components — the partition behind composite engines.
+
+Two nodes are weakly connected when a path joins them in the
+*undirected* view of the digraph.  No directed path can ever cross a
+weak-component boundary, so the components are exactly the units a
+reachability index can be sharded on: a pair of nodes in different
+components is unreachable by construction, and each component can be
+indexed independently (``repro.engine.CompositeEngine`` does both).
+"""
+
+from __future__ import annotations
+
+from repro.graph.digraph import DiGraph
+
+__all__ = ["weakly_connected_components"]
+
+
+def weakly_connected_components(graph: DiGraph) -> list[list]:
+    """The weak components, as lists of node labels.
+
+    Components are ordered by their smallest member node id (insertion
+    order), and nodes inside a component keep insertion order too, so
+    the partition is deterministic for a given graph.  Runs one
+    undirected BFS over the id-indexed adjacency — O(n + e).
+
+    >>> g = DiGraph.from_edges([("a", "b"), ("c", "d")], nodes=["e"])
+    >>> weakly_connected_components(g)
+    [['e'], ['a', 'b'], ['c', 'd']]
+    """
+    count = graph.num_nodes
+    forward = graph.adjacency()
+    backward = graph.reverse_adjacency()
+    component_of = [-1] * count
+    next_component = 0
+    for start in range(count):
+        if component_of[start] != -1:
+            continue
+        component_of[start] = next_component
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for neighbour in forward[node]:
+                if component_of[neighbour] == -1:
+                    component_of[neighbour] = next_component
+                    frontier.append(neighbour)
+            for neighbour in backward[node]:
+                if component_of[neighbour] == -1:
+                    component_of[neighbour] = next_component
+                    frontier.append(neighbour)
+        next_component += 1
+    members: list[list] = [[] for _ in range(next_component)]
+    for node_id in range(count):
+        members[component_of[node_id]].append(graph.node_at(node_id))
+    return members

@@ -26,6 +26,7 @@ _PLACEHOLDERS = {
     "{algorithm}": r"[^/]+",
     "{bucket}": r"[a-z0-9-]+",
     "{class}": r"[a-z_]+",
+    "{engine}": r"[a-z0-9-]+",
 }
 
 
@@ -77,6 +78,9 @@ CATALOG: tuple[MetricSpec, ...] = (
     MetricSpec("service/swap", "span", "seconds",
                "IndexManager — one rebuild-and-swap: pack a static "
                "ChainIndex from the shadow's graph and publish it"),
+    MetricSpec("engine/build/{engine}", "span", "seconds",
+               "EngineSpec.build — construction of one registered "
+               "engine (composite builds nest one per component)"),
     # -- counters (units: count unless noted) -------------------------
     MetricSpec("matching/pairs", "counter", "count",
                "phase 1 — matched pairs, summed over the levels"),
@@ -149,6 +153,12 @@ CATALOG: tuple[MetricSpec, ...] = (
                "the dynamic shadow"),
     MetricSpec("service/swaps", "counter", "count",
                "IndexManager — snapshots promoted by rebuild-and-swap"),
+    MetricSpec("engine/queries/{engine}", "counter", "count",
+               "engine adapters — queries answered through the engine "
+               "seam (batch calls count len(pairs) in one publish)"),
+    MetricSpec("engine/cross_rejects", "counter", "count",
+               "CompositeEngine — pairs answered False from the "
+               "partition map alone (different weak components)"),
     # -- gauges -------------------------------------------------------
     MetricSpec("build/levels", "gauge", "levels",
                "stratify() — the stratification height h"),
@@ -162,6 +172,8 @@ CATALOG: tuple[MetricSpec, ...] = (
                "MicroBatcher — queue depth observed at each flush"),
     MetricSpec("service/epoch", "gauge", "epoch",
                "IndexManager — epoch of the published snapshot"),
+    MetricSpec("engine/components", "gauge", "components",
+               "CompositeEngine.build — weak components partitioned"),
     # -- histograms (units: seconds; log-bucketed distributions) ------
     MetricSpec("service/latency/{class}", "histogram", "seconds",
                "ReachabilityService — end-to-end latency of one query "

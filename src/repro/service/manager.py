@@ -27,7 +27,7 @@ same :class:`~repro.core.protocols.BatchReachability` surface.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.index import ChainIndex
 from repro.core.maintenance import DynamicChainIndex
@@ -85,6 +85,7 @@ class IndexManager:
     def __init__(self, snapshot: Snapshot,
                  shadow: DynamicChainIndex | None, *,
                  method: str = "stratified", mode: str = "static",
+                 engine: str | None = None,
                  auto_swap_after: int | None = None) -> None:
         if mode not in _MODES:
             raise ValueError(
@@ -92,6 +93,8 @@ class IndexManager:
         self._snapshot = snapshot
         self._shadow = shadow
         self._method = method
+        self._engine = engine if engine is not None \
+            else f"chain-{method}"
         self._mode = mode
         self._auto_swap_after = auto_swap_after
         self._lock = threading.Lock()        # guards shadow + publish
@@ -115,16 +118,25 @@ class IndexManager:
     # ------------------------------------------------------------------
     @classmethod
     def from_graph(cls, graph: DiGraph, *, method: str = "stratified",
-                   mode: str = "static",
+                   mode: str = "static", engine: str | None = None,
                    auto_swap_after: int | None = None) -> "IndexManager":
         """Manage ``graph`` (copied — later mutation goes through the
         manager).
 
+        ``engine`` selects any registered engine
+        (:func:`repro.engine.names`) as the packed backend; ``method``
+        is the legacy spelling of the chain engines
+        (``method="closure"`` ≡ ``engine="chain-closure"``) and the two
+        cannot disagree.  ``engine="dynamic"`` implies
+        ``mode="dynamic"``.  Whether writes are accepted is a
+        *capability* question, not a type question: writes flow when
+        the shadow exists (DAG input), whatever engine answers reads.
         Static mode accepts cyclic graphs for read-only service (the
         dynamic shadow needs a DAG, so writes then raise
         :class:`WritesUnsupportedError`); dynamic mode requires a DAG
         outright.
         """
+        engine, method, mode = cls._resolve_engine(engine, method, mode)
         version = graph.copy()
         try:
             shadow = DynamicChainIndex.from_graph(version)
@@ -135,31 +147,70 @@ class IndexManager:
         if mode == "dynamic":
             snapshot = Snapshot(0, shadow, shadow.graph, kind="dynamic")
         else:
-            index, seconds = cls._pack(version, method)
+            index, seconds = cls._pack(version, engine)
             snapshot = Snapshot(0, index, version, kind="static",
                                 packed_seconds=seconds)
         return cls(snapshot, shadow, method=method, mode=mode,
-                   auto_swap_after=auto_swap_after)
+                   engine=engine, auto_swap_after=auto_swap_after)
+
+    @staticmethod
+    def _resolve_engine(engine: str | None, method: str,
+                        mode: str) -> tuple[str, str, str]:
+        """Reconcile the ``engine`` name with the legacy ``method``."""
+        from repro.engine import get
+        if engine is None:
+            engine = "dynamic" if mode == "dynamic" \
+                else f"chain-{method}"
+        get(engine)                          # fail fast on unknown names
+        if engine.startswith("chain-"):
+            chain_method = engine[len("chain-"):]
+            if method not in ("stratified", chain_method):
+                raise ValueError(
+                    f"engine {engine!r} conflicts with "
+                    f"method {method!r}")
+            method = chain_method
+        elif engine == "dynamic":
+            mode = "dynamic"
+        return engine, method, mode
 
     @classmethod
     def from_index_file(cls, path, *,
                         method: str = "stratified") -> "IndexManager":
         """Serve a persisted index read-only (see ``save_index``).
 
-        The original graph cannot be reconstructed from the persisted
-        condensation, so there is no shadow: writes raise
+        Accepts both persistence formats: a version-2 file publishes a
+        :class:`ChainIndex`, a version-3 composite manifest publishes
+        the reconstructed ``CompositeEngine``.  The original graph
+        cannot be reconstructed from the persisted condensation, so
+        there is no shadow: writes raise
         :class:`WritesUnsupportedError` and ``swap`` is a no-op.
         """
         from repro.core.persistence import load_index
         index = load_index(path)
         index.is_reachable_many([])          # pre-build the batch kernel
+        if isinstance(index, ChainIndex):
+            engine = f"chain-{index.method}"
+            method = index.method
+        else:
+            engine = index.name
         return cls(Snapshot(0, index, None, kind="static"), None,
-                   method=method, mode="static")
+                   method=method, mode="static", engine=engine)
 
     @staticmethod
-    def _pack(graph: DiGraph, method: str) -> tuple[ChainIndex, float]:
+    def _pack(graph: DiGraph, engine: str):
+        """Build the selected engine's packed backend for ``graph``.
+
+        Chain engines publish the raw :class:`ChainIndex` (no adapter
+        hop on the serving path); every other name builds through the
+        registry.
+        """
         with OBS.span("service/swap") as span:
-            index = ChainIndex.build(graph, method=method)
+            if engine.startswith("chain-"):
+                index = ChainIndex.build(graph,
+                                         method=engine[len("chain-"):])
+            else:
+                from repro.engine import build
+                index = build(engine, graph)
             index.is_reachable_many([])      # pre-build the batch kernel
         return index, span.seconds
 
@@ -309,7 +360,7 @@ class IndexManager:
                 version = self._shadow.graph.copy()
             self._log_event("swap_start", epoch=self._snapshot.epoch,
                             pending_writes=claimed, mode=self._mode)
-            index, seconds = self._pack(version, self._method)
+            index, seconds = self._pack(version, self._engine)
             with self._lock:
                 snapshot = Snapshot(self._snapshot.epoch + 1, index,
                                     version, kind="static",
@@ -376,12 +427,22 @@ class IndexManager:
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Counters for the ``stats`` verb and the bench report."""
+        from repro.engine.interface import capabilities
         snapshot = self._snapshot
         graph = snapshot.graph
+        if hasattr(snapshot.backend, "supports_batch"):
+            backend_caps = capabilities(snapshot.backend)
+        else:
+            # raw ChainIndex / DynamicChainIndex backends carry no
+            # flags; report the registered engine's
+            from repro.engine import get
+            backend_caps = get(self._engine).capabilities
         return {
             "epoch": snapshot.epoch,
             "mode": self._mode,
             "kind": snapshot.kind,
+            "engine": self._engine,
+            "capabilities": backend_caps,
             "writable": self.writable,
             "pending_writes": self._pending,
             "swaps": self._swaps,

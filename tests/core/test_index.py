@@ -88,6 +88,24 @@ class TestQueries:
         assert index.is_reachable_many(iter([("a", "c")])) == [True]
         assert index.is_reachable_many([]) == []
 
+    def test_kernel_states_are_explicit(self, paper_graph):
+        """Unbuilt is ``None``; after the first batch the kernel is a
+        ``_Kernel`` whose ``flat`` flag says which path answered."""
+        from repro.core.index import _Kernel
+
+        string_labeled = ChainIndex.build(paper_graph)
+        assert string_labeled._kernel is None
+        string_labeled.is_reachable_many([("a", "c")])
+        assert isinstance(string_labeled._kernel, _Kernel)
+        assert not string_labeled._kernel.flat
+
+        dense = ChainIndex.build(DiGraph.from_edges([(0, 1), (1, 2)]))
+        assert dense._kernel is None
+        dense.is_reachable_many([(0, 2)])
+        assert isinstance(dense._kernel, _Kernel)
+        assert dense._kernel.flat
+        assert dense._kernel.tables is not None
+
     def test_label_bytes_positive(self, paper_graph):
         index = ChainIndex.build(paper_graph)
         assert index.label_bytes() > 0

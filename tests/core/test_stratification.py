@@ -26,7 +26,8 @@ class TestPaperExample:
         strat = stratify(paper_graph)
         c = paper_graph.node_id("c")
         b = paper_graph.node_id("b")
-        by_name = lambda ids: {paper_graph.node_at(v) for v in ids}
+        def by_name(ids):
+            return {paper_graph.node_at(v) for v in ids}
         assert by_name(strat.children_by_level[c][1]) == {"d", "e"}
         assert by_name(strat.children_by_level[b][2]) == {"c"}
         assert by_name(strat.children_by_level[b][1]) == {"i"}

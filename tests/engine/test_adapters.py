@@ -1,0 +1,131 @@
+"""Engine adapters: forwarding, batch fallback, condensation lift,
+and the shared NodeNotFoundError contract (every engine, ``.role``
+always set)."""
+
+import pytest
+
+import repro.engine as engine
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import NodeNotFoundError
+from repro.obs import OBS
+
+CYCLIC_EDGES = [("a", "b"), ("b", "c"), ("c", "a"), ("c", "d"),
+                ("x", "y")]
+
+
+def cyclic_graph() -> DiGraph:
+    return DiGraph.from_edges(CYCLIC_EDGES)
+
+
+def dag() -> DiGraph:
+    return DiGraph.from_edges([("a", "b"), ("b", "c"), ("x", "y")])
+
+
+def engines_under_test():
+    """(name, built engine) for every registered engine."""
+    built = []
+    for name in engine.names():
+        graph = dag() if name == "dynamic" else cyclic_graph()
+        built.append(pytest.param(engine.build(name, graph), id=name))
+    return built
+
+
+class TestSharedErrorContract:
+    """Satellite: NodeNotFoundError must carry ``.role`` on *every*
+    engine — including DynamicChainIndex, which used to raise bare."""
+
+    @pytest.mark.parametrize("built", engines_under_test())
+    def test_unknown_source_sets_role(self, built):
+        with pytest.raises(NodeNotFoundError) as excinfo:
+            built.is_reachable("missing", "a")
+        assert excinfo.value.role == "source"
+
+    @pytest.mark.parametrize("built", engines_under_test())
+    def test_unknown_target_sets_role(self, built):
+        with pytest.raises(NodeNotFoundError) as excinfo:
+            built.is_reachable("a", "missing")
+        assert excinfo.value.role == "target"
+
+    @pytest.mark.parametrize("built", engines_under_test())
+    def test_batch_path_sets_role_too(self, built):
+        with pytest.raises(NodeNotFoundError) as excinfo:
+            built.is_reachable_many([("a", "a"), ("a", "missing")])
+        assert excinfo.value.role == "target"
+
+    def test_dynamic_index_roles_directly(self):
+        """The underlying DynamicChainIndex itself (not just the
+        adapter) reports the offending operand."""
+        from repro.core.maintenance import DynamicChainIndex
+        index = DynamicChainIndex.from_graph(dag())
+        with pytest.raises(NodeNotFoundError) as excinfo:
+            index.is_reachable("zzz", "a")
+        assert excinfo.value.role == "source"
+        with pytest.raises(NodeNotFoundError) as excinfo:
+            index.is_reachable("a", "zzz")
+        assert excinfo.value.role == "target"
+
+
+class TestBatchFallback:
+    def test_baselines_answer_batches_through_the_fallback(self):
+        built = engine.build("two-hop", cyclic_graph())
+        assert not built.supports_batch
+        assert built.is_reachable_many(
+            [("a", "d"), ("d", "a"), ("a", "y"), ("b", "b")]) == \
+            [True, False, False, True]
+
+    def test_fallback_counts_queries_once_per_batch(self):
+        built = engine.build("bfs", cyclic_graph())
+        with OBS.capture() as metrics:
+            built.is_reachable_many([("a", "b"), ("a", "d")])
+        assert metrics.counters["engine/queries/bfs"] == 2
+
+    def test_chain_engine_counts_batch_queries(self):
+        built = engine.build("chain-stratified", cyclic_graph())
+        with OBS.capture() as metrics:
+            built.is_reachable_many([("a", "b"), ("a", "d")])
+        assert metrics.counters[
+            "engine/queries/chain-stratified"] == 2
+
+
+class TestForwarding:
+    def test_chain_engine_forwards_the_index_surface(self):
+        built = engine.build("chain-stratified", cyclic_graph())
+        assert built.num_chains >= 1
+        assert built.prefilter_rejects("d", "a") in (True, False)
+        assert set(built.descendants("a")) == {"a", "b", "c", "d"}
+
+    def test_unknown_attribute_still_raises(self):
+        built = engine.build("chain-stratified", cyclic_graph())
+        with pytest.raises(AttributeError):
+            built.definitely_not_a_member
+
+    def test_describe_reports_name_and_capabilities(self):
+        built = engine.build("chain-closure", cyclic_graph())
+        info = built.describe()
+        assert info["engine"] == "chain-closure"
+        assert info["capabilities"]["supports_batch"] is True
+        assert info["size_words"] == built.size_words()
+
+
+class TestCondensingEngine:
+    def test_cyclic_input_answers_through_scc_representatives(self):
+        built = engine.build("warren", cyclic_graph())
+        assert built.is_reachable("a", "c")   # same SCC: reflexive
+        assert built.is_reachable("c", "b")   # around the cycle
+        assert built.is_reachable("a", "d")
+        assert not built.is_reachable("d", "a")
+
+    def test_describe_names_the_wrapped_implementation(self):
+        built = engine.build("tree-cover", cyclic_graph())
+        assert built.describe()["implementation"] == \
+            "TreeEncodingIndex"
+
+    def test_agrees_with_chain_index_on_the_cyclic_graph(self):
+        graph = cyclic_graph()
+        reference = engine.build("chain-stratified", graph)
+        pairs = [(u, v) for u in graph.nodes() for v in graph.nodes()]
+        expected = reference.is_reachable_many(pairs)
+        for name in ("bfs", "warren", "jagadish", "tree-cover",
+                     "two-hop", "dual"):
+            assert engine.build(name, graph).is_reachable_many(
+                pairs) == expected, name

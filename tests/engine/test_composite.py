@@ -1,0 +1,205 @@
+"""CompositeEngine: partitioning, routing, parallel builds, and the
+format-v3 persistence round trip."""
+
+import io
+import json
+
+import pytest
+
+import repro.engine as engine
+from repro.core.persistence import load_index, save_index
+from repro.engine.composite import CompositeEngine
+from repro.graph.components import weakly_connected_components
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import (
+    GraphFormatError,
+    IndexFormatError,
+    NodeNotFoundError,
+)
+
+EDGES = [("a", "b"), ("b", "c"), ("c", "a"),       # one cyclic component
+         ("p", "q"), ("q", "r"),                   # one chain
+         ("x", "y")]                               # one edge
+LONERS = ["solo"]                                  # one single node
+
+
+def graph() -> DiGraph:
+    return DiGraph.from_edges(EDGES, nodes=LONERS)
+
+
+def all_pairs(g: DiGraph) -> list[tuple]:
+    return [(u, v) for u in g.nodes() for v in g.nodes()]
+
+
+class TestPartitioning:
+    def test_components_found(self):
+        g = graph()
+        members = weakly_connected_components(g)
+        assert sorted(sorted(map(str, part)) for part in members) == \
+            [["a", "b", "c"], ["p", "q", "r"], ["solo"], ["x", "y"]]
+
+    def test_composite_partitions_match_the_components(self):
+        composite = CompositeEngine.build(graph())
+        assert composite.num_partitions == 4
+        assert sorted(composite.partition_sizes()) == [1, 2, 3, 3]
+
+    def test_single_component_graph_builds_one_partition(self):
+        composite = CompositeEngine.build(
+            DiGraph.from_edges([("a", "b"), ("b", "c")]))
+        assert composite.num_partitions == 1
+
+    def test_empty_graph(self):
+        composite = CompositeEngine.build(DiGraph())
+        assert composite.num_partitions == 0
+        assert composite.is_reachable_many([]) == []
+        assert composite.size_words() == 0
+
+
+class TestRouting:
+    def test_cross_component_pairs_are_false(self):
+        composite = CompositeEngine.build(graph())
+        assert not composite.is_reachable("a", "x")
+        assert not composite.is_reachable("solo", "p")
+
+    def test_same_component_pairs_route_to_the_sub_engine(self):
+        composite = CompositeEngine.build(graph())
+        assert composite.is_reachable("a", "c")      # via the cycle
+        assert composite.is_reachable("p", "r")
+        assert composite.is_reachable("solo", "solo")
+        assert not composite.is_reachable("r", "p")
+
+    def test_batch_matches_scalar(self):
+        g = graph()
+        composite = CompositeEngine.build(g)
+        pairs = all_pairs(g)
+        assert composite.is_reachable_many(pairs) == [
+            composite.is_reachable(u, v) for u, v in pairs]
+
+    def test_unknown_nodes_raise_with_role(self):
+        composite = CompositeEngine.build(graph())
+        with pytest.raises(NodeNotFoundError) as excinfo:
+            composite.is_reachable("nope", "a")
+        assert excinfo.value.role == "source"
+        with pytest.raises(NodeNotFoundError) as excinfo:
+            composite.is_reachable_many([("a", "nope")])
+        assert excinfo.value.role == "target"
+
+    def test_cross_rejects_are_counted(self):
+        from repro.obs import OBS
+        composite = CompositeEngine.build(graph())
+        with OBS.capture() as metrics:
+            composite.is_reachable("a", "x")
+            composite.is_reachable_many(
+                [("a", "x"), ("p", "r"), ("solo", "a")])
+        assert metrics.counters["engine/cross_rejects"] == 3
+        assert metrics.counters["engine/queries/composite"] == 3
+
+    def test_enumeration_stays_inside_the_component(self):
+        composite = CompositeEngine.build(graph())
+        assert set(composite.descendants("p")) == {"p", "q", "r"}
+        assert set(composite.ancestors("y")) == {"x", "y"}
+
+    def test_enumeration_refused_for_non_enumerable_sub_engines(self):
+        composite = CompositeEngine.build(graph(), engine="bfs")
+        assert not composite.enumerable
+        with pytest.raises(TypeError, match="bfs"):
+            composite.descendants("a")
+
+
+class TestSubEngines:
+    @pytest.mark.parametrize("sub", ["chain-stratified", "bfs",
+                                     "warren", "two-hop"])
+    def test_answers_are_sub_engine_independent(self, sub):
+        g = graph()
+        expected = CompositeEngine.build(g).is_reachable_many(
+            all_pairs(g))
+        assert CompositeEngine.build(g, engine=sub).is_reachable_many(
+            all_pairs(g)) == expected
+
+    def test_capability_flags_inherit_from_the_sub_engines(self):
+        chain = CompositeEngine.build(graph())
+        assert chain.persistable and chain.enumerable
+        bfs = CompositeEngine.build(graph(), engine="bfs")
+        assert not bfs.persistable and not bfs.enumerable
+
+    def test_components_gauge_emitted(self):
+        from repro.obs import OBS
+        with OBS.capture() as metrics:
+            CompositeEngine.build(graph())
+        assert metrics.gauges["engine/components"] == 4
+
+
+class TestParallelBuild:
+    def test_parallel_build_equals_serial_build(self):
+        g = graph()
+        serial = CompositeEngine.build(g)
+        parallel = CompositeEngine.build(g, max_workers=2)
+        assert parallel.num_partitions == serial.num_partitions
+        assert parallel.partition_sizes() == serial.partition_sizes()
+        assert parallel.is_reachable_many(all_pairs(g)) == \
+            serial.is_reachable_many(all_pairs(g))
+
+    def test_parallel_build_of_baseline_sub_engines(self):
+        g = graph()
+        parallel = CompositeEngine.build(g, engine="warren",
+                                         max_workers=2)
+        assert parallel.is_reachable("a", "c")
+        assert not parallel.is_reachable("a", "x")
+
+
+class TestPersistenceV3:
+    def test_round_trip(self):
+        g = graph()
+        composite = CompositeEngine.build(g)
+        buffer = io.StringIO()
+        save_index(composite, buffer)
+        buffer.seek(0)
+        loaded = load_index(buffer)
+        assert isinstance(loaded, CompositeEngine)
+        assert loaded.num_partitions == composite.num_partitions
+        assert loaded.sub_engine == composite.sub_engine
+        assert loaded.is_reachable_many(all_pairs(g)) == \
+            composite.is_reachable_many(all_pairs(g))
+        assert loaded.persistable and loaded.enumerable
+
+    def test_manifest_shape(self):
+        buffer = io.StringIO()
+        save_index(CompositeEngine.build(graph()), buffer)
+        document = json.loads(buffer.getvalue())
+        assert document["version"] == 3
+        assert document["kind"] == "composite"
+        assert document["sub_engine"] == "chain-stratified"
+        assert len(document["partitions"]) == 4
+        for payload in document["partitions"]:
+            assert payload["version"] == 2
+            assert "labeling_crc32" in payload
+
+    def test_partition_corruption_fails_the_load(self):
+        buffer = io.StringIO()
+        save_index(CompositeEngine.build(graph()), buffer)
+        document = json.loads(buffer.getvalue())
+        document["partitions"][2]["labeling"]["chain_of"][0] += 1
+        with pytest.raises(IndexFormatError, match="partition 2"):
+            load_index(io.StringIO(json.dumps(document)))
+
+    def test_duplicated_node_across_partitions_rejected(self):
+        buffer = io.StringIO()
+        save_index(CompositeEngine.build(graph()), buffer)
+        document = json.loads(buffer.getvalue())
+        document["partitions"].append(document["partitions"][0])
+        with pytest.raises(GraphFormatError, match="appears in"):
+            load_index(io.StringIO(json.dumps(document)))
+
+    def test_non_chain_composite_refuses_to_save(self):
+        composite = CompositeEngine.build(graph(), engine="bfs")
+        with pytest.raises(GraphFormatError, match="chain"):
+            save_index(composite, io.StringIO())
+
+    def test_saving_through_the_engine_registry_spec(self):
+        spec = engine.get("composite")
+        assert spec.persistable
+        built = spec.build(graph())
+        buffer = io.StringIO()
+        save_index(built, buffer)
+        buffer.seek(0)
+        assert isinstance(load_index(buffer), CompositeEngine)

@@ -1,0 +1,94 @@
+"""Property: every engine answers exactly like the BFS oracle.
+
+The central equivalence the engine seam must preserve:
+``CompositeEngine ≡ ChainIndex ≡ BFS`` on random multi-component
+digraphs — cycles allowed, single-node components included — plus the
+same equivalence for every registered engine on smaller corpora.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.engine as engine
+from repro.core.index import ChainIndex
+from repro.engine.composite import CompositeEngine
+from repro.graph.digraph import DiGraph
+
+from tests.conftest import bfs_reachable, small_digraphs
+
+
+@st.composite
+def multi_component_digraphs(draw) -> DiGraph:
+    """A disjoint union of 1–3 small digraphs (cycles allowed) plus
+    0–2 isolated nodes, with disjoint integer labels."""
+    parts = draw(st.lists(small_digraphs(max_nodes=6), min_size=1,
+                          max_size=3))
+    isolated = draw(st.integers(min_value=0, max_value=2))
+    graph = DiGraph()
+    offset = 0
+    for part in parts:
+        for node in part.nodes():
+            graph.add_node(node + offset)
+        for tail, head in part.edges():
+            graph.add_edge(tail + offset, head + offset)
+        offset += part.num_nodes
+    for _ in range(isolated):
+        graph.add_node(offset)
+        offset += 1
+    return graph
+
+
+def all_pairs(graph: DiGraph) -> list[tuple]:
+    nodes = graph.nodes()
+    return [(u, v) for u in nodes for v in nodes]
+
+
+@given(graph=multi_component_digraphs())
+@settings(max_examples=60, deadline=None)
+def test_composite_equals_chain_index_equals_bfs(graph):
+    pairs = all_pairs(graph)
+    oracle = [bfs_reachable(graph, u, v) for u, v in pairs]
+    chain = ChainIndex.build(graph)
+    assert chain.is_reachable_many(pairs) == oracle
+    composite = CompositeEngine.build(graph)
+    assert composite.is_reachable_many(pairs) == oracle
+    assert [composite.is_reachable(u, v) for u, v in pairs] == oracle
+
+
+@given(graph=multi_component_digraphs())
+@settings(max_examples=20, deadline=None)
+def test_composite_over_baseline_sub_engines_equals_bfs(graph):
+    pairs = all_pairs(graph)
+    oracle = [bfs_reachable(graph, u, v) for u, v in pairs]
+    for sub in ("bfs", "warren"):
+        composite = CompositeEngine.build(graph, engine=sub)
+        assert composite.is_reachable_many(pairs) == oracle, sub
+
+
+@given(graph=small_digraphs(max_nodes=7))
+@settings(max_examples=15, deadline=None)
+def test_every_registered_engine_equals_bfs(graph):
+    pairs = all_pairs(graph)
+    oracle = [bfs_reachable(graph, u, v) for u, v in pairs]
+    for name in engine.names():
+        if name == "dynamic":
+            continue                     # DAG-only, covered below
+        built = engine.build(name, graph)
+        assert built.is_reachable_many(pairs) == oracle, name
+
+
+@given(graph=small_digraphs(max_nodes=7))
+@settings(max_examples=15, deadline=None)
+def test_dynamic_engine_equals_bfs_on_dags(graph):
+    from hypothesis import assume
+
+    from repro.graph.errors import NotADAGError
+    from repro.graph.topology import check_dag
+    try:
+        check_dag(graph)
+    except NotADAGError:
+        assume(False)                    # dynamic requires a DAG
+    pairs = all_pairs(graph)
+    oracle = [bfs_reachable(graph, u, v) for u, v in pairs]
+    assert engine.build("dynamic",
+                        graph).is_reachable_many(pairs) == oracle

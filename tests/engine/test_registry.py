@@ -1,0 +1,105 @@
+"""The engine registry: names, specs, capability flags, validation."""
+
+import pytest
+
+import repro.engine as engine
+from repro.core.index import CHAIN_METHODS
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture
+def graph() -> DiGraph:
+    return DiGraph.from_edges([("a", "b"), ("b", "c"), ("x", "y")])
+
+
+class TestRegistryContents:
+    def test_every_chain_method_is_registered(self):
+        for method in CHAIN_METHODS:
+            assert f"chain-{method}" in engine.names()
+
+    def test_chain_methods_derive_from_the_registry(self):
+        assert engine.chain_methods() == CHAIN_METHODS
+
+    def test_names_are_sorted_and_specs_keep_registration_order(self):
+        names = engine.names()
+        assert list(names) == sorted(names)
+        assert [spec.name for spec in engine.specs()][0] == \
+            "chain-stratified"
+
+    def test_paper_labels_cover_the_papers_seven_methods(self):
+        assert set(engine.paper_labels()) == {
+            "ours", "DD", "TE", "Dual-II", "2-hop", "MM", "traversal"}
+
+    def test_the_stratified_engine_is_ours(self):
+        assert engine.paper_labels()["ours"].name == "chain-stratified"
+
+    def test_capabilities_dict_has_all_four_flags(self):
+        for spec in engine.specs():
+            assert set(spec.capabilities) == set(
+                engine.CAPABILITY_FLAGS)
+
+    def test_only_dynamic_is_writable(self):
+        writable = [spec.name for spec in engine.specs()
+                    if spec.writable]
+        assert writable == ["dynamic"]
+
+    def test_persistable_engines(self):
+        persistable = {spec.name for spec in engine.specs()
+                       if spec.persistable}
+        assert persistable == {"chain-stratified", "chain-closure",
+                               "chain-jagadish", "composite"}
+
+
+class TestRegistryValidation:
+    def test_unknown_name_raises_with_the_known_names(self):
+        with pytest.raises(ValueError, match="chain-stratified"):
+            engine.get("nope")
+
+    def test_duplicate_registration_rejected(self):
+        spec = engine.get("bfs")
+        with pytest.raises(ValueError, match="already registered"):
+            engine.register(spec)
+
+    def test_bad_names_rejected(self):
+        from repro.engine.registry import EngineSpec
+        bad = EngineSpec(name="Not_Kebab", description="x",
+                         factory=lambda g: None, supports_batch=False,
+                         writable=False, persistable=False,
+                         enumerable=False)
+        with pytest.raises(ValueError, match="kebab-case"):
+            engine.register(bad)
+
+
+class TestBuiltEngines:
+    def test_every_engine_satisfies_the_protocol(self, graph):
+        for name in engine.names():
+            if name == "dynamic":
+                continue
+            built = engine.build(name, graph)
+            assert isinstance(built, engine.ReachabilityEngine)
+
+    def test_built_flags_match_the_spec(self, graph):
+        for spec in engine.specs():
+            if spec.name == "dynamic":
+                continue
+            built = spec.build(graph)
+            assert engine.capabilities(built) == spec.capabilities, \
+                spec.name
+
+    def test_build_emits_the_engine_build_span(self, graph):
+        from repro.obs import OBS
+        with OBS.capture() as metrics:
+            engine.build("two-hop", graph)
+        assert "engine/build/two-hop" in metrics.spans
+
+    def test_dynamic_engine_accepts_writes(self):
+        dag = DiGraph.from_edges([("a", "b")])
+        built = engine.build("dynamic", dag)
+        assert built.writable
+        built.add_node("c")
+        built.add_edge("b", "c")
+        assert built.is_reachable("a", "c")
+
+    def test_composite_rejects_composite_sub_engine(self, graph):
+        with pytest.raises(ValueError, match="composite"):
+            engine.build("composite", graph, engine="composite")

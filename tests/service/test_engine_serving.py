@@ -1,0 +1,94 @@
+"""Serving registry engines over the NDJSON TCP service.
+
+The acceptance surface of the engine seam: ``serve --engine <name>``
+must work for a chain engine, a baseline engine, and the composite —
+this file drives the same path in-process
+(``IndexManager.from_graph(engine=...)`` + :func:`start_in_thread`).
+"""
+
+import pytest
+
+from repro import DiGraph
+from repro.service import IndexManager, ServiceClient, start_in_thread
+
+MULTI_COMPONENT_EDGES = [("a", "b"), ("b", "c"), ("c", "a"),
+                         ("p", "q"), ("q", "r"),
+                         ("x", "y")]
+
+DAG_EDGES = [("a", "b"), ("b", "c"), ("x", "y")]
+
+
+def graph() -> DiGraph:
+    return DiGraph.from_edges(MULTI_COMPONENT_EDGES)
+
+
+@pytest.mark.parametrize("engine", ["chain-stratified", "chain-closure",
+                                    "bfs", "two-hop", "warren",
+                                    "composite"])
+class TestServeAnyEngine:
+    def test_queries_match_the_default_engine(self, engine):
+        expected_manager = IndexManager.from_graph(graph())
+        manager = IndexManager.from_graph(graph(), engine=engine)
+        pairs = [("a", "c"), ("c", "b"), ("p", "r"), ("r", "p"),
+                 ("a", "y"), ("x", "y")]
+        with start_in_thread(manager, port=0) as handle:
+            host, port = handle.address
+            with ServiceClient(host, port) as client:
+                epoch, answers = client.query_batch(pairs)
+        assert epoch == 0
+        assert answers == expected_manager.query_many(pairs)[1]
+
+    def test_stats_report_the_engine_and_capabilities(self, engine):
+        manager = IndexManager.from_graph(graph(), engine=engine)
+        with start_in_thread(manager, port=0) as handle:
+            host, port = handle.address
+            with ServiceClient(host, port) as client:
+                stats = client.stats()
+        assert stats["index"]["engine"] == engine
+        assert set(stats["index"]["capabilities"]) == {
+            "supports_batch", "writable", "persistable", "enumerable"}
+
+
+class TestWritesThroughTheEngineSeam:
+    def test_writes_then_swap_repack_the_selected_engine(self):
+        """A baseline engine serves reads while the shadow absorbs
+        writes; the swap rebuilds *that* engine over the new graph."""
+        manager = IndexManager.from_graph(DiGraph.from_edges(DAG_EDGES),
+                                          engine="warren")
+        with start_in_thread(manager, port=0) as handle:
+            host, port = handle.address
+            with ServiceClient(host, port) as client:
+                assert client.query("a", "y") == (0, False)
+                client.add_edge("c", "x")
+                assert client.reload() == 1
+                assert client.query("a", "y") == (1, True)
+        backend = manager.snapshot.backend
+        assert type(backend).__name__ == "CondensingEngine"
+
+    def test_composite_service_rejects_writes_on_cyclic_input(self):
+        """Cyclic input means no shadow, whatever the engine."""
+        from repro.service.errors import ServiceError
+        manager = IndexManager.from_graph(graph(), engine="composite")
+        assert not manager.writable
+        with start_in_thread(manager, port=0) as handle:
+            host, port = handle.address
+            with ServiceClient(host, port) as client:
+                with pytest.raises(ServiceError):
+                    client.add_edge("c", "x")
+
+
+class TestServePersistedComposite:
+    def test_from_index_file_serves_a_v3_manifest(self, tmp_path):
+        from repro.core.persistence import save_index
+        from repro.engine.composite import CompositeEngine
+        path = tmp_path / "composite.idx"
+        save_index(CompositeEngine.build(graph()), path)
+        manager = IndexManager.from_index_file(path)
+        assert manager.stats()["engine"] == "composite"
+        assert not manager.writable
+        with start_in_thread(manager, port=0) as handle:
+            host, port = handle.address
+            with ServiceClient(host, port) as client:
+                epoch, answers = client.query_batch(
+                    [("a", "c"), ("a", "y"), ("p", "r")])
+        assert answers == [True, False, True]

@@ -12,8 +12,7 @@ import threading
 import time
 
 from repro import DiGraph
-from repro.service import IndexManager, RemoteError, ServiceClient, \
-    start_in_thread
+from repro.service import IndexManager, ServiceClient, start_in_thread
 
 from tests.conftest import PAPER_FIG1_EDGES, bfs_reachable
 

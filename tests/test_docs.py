@@ -8,7 +8,9 @@ Two guarantees:
   file);
 * the metric tables in ``docs/OBSERVABILITY.md`` list *exactly* the
   names in :data:`repro.obs.CATALOG` — no undocumented metrics, no
-  documented ghosts.
+  documented ghosts;
+* the engines table in ``docs/API.md`` lists *exactly* the names in
+  the :mod:`repro.engine` registry.
 """
 
 import io
@@ -77,6 +79,44 @@ def test_observability_catalogue_matches_the_registry():
 def test_catalogue_documents_every_kind():
     kinds = {spec.kind for spec in CATALOG}
     assert kinds == {"span", "counter", "gauge", "histogram"}
+
+
+def test_api_doc_lists_exactly_the_registered_engines():
+    """docs/API.md's Engines table mirrors the engine registry."""
+    import repro.engine as engine
+    text = (REPO / "docs" / "API.md").read_text(encoding="utf-8")
+    start = text.index("## Engines")
+    end = text.find("\n## ", start)
+    section = text[start:end] if end != -1 else text[start:]
+    documented = set(_ROW.findall(section))
+    registered = set(engine.names())
+    assert documented == registered, (
+        f"API.md Engines table out of sync: missing "
+        f"{sorted(registered - documented)}, ghosts "
+        f"{sorted(documented - registered)}")
+
+
+def test_engine_doc_rows_match_registry_capabilities_and_labels():
+    """Each documented row's capability words and paper label agree
+    with the registered spec."""
+    import repro.engine as engine
+    text = (REPO / "docs" / "API.md").read_text(encoding="utf-8")
+    start = text.index("## Engines")
+    end = text.find("\n## ", start)
+    section = text[start:end] if end != -1 else text[start:]
+    row = re.compile(r"^\| `([^`]+)` \| ([^|]+) \| ([^|]+) \|",
+                     re.MULTILINE)
+    for name, caps_cell, label_cell in row.findall(section):
+        if name == "name":
+            continue
+        spec = engine.get(name)
+        documented_caps = set(caps_cell.split()) - {"—"}
+        expected_caps = {flag.replace("supports_batch", "batch")
+                         for flag, value in spec.capabilities.items()
+                         if value}
+        assert documented_caps == expected_caps, name
+        label = label_cell.strip()
+        assert label == (spec.paper_label or "—"), name
 
 
 def test_service_doc_lists_exactly_the_service_metrics():

@@ -6,10 +6,14 @@ import pytest
 
 import repro.core.index
 import repro.core.maintenance
+import repro.engine.composite
+import repro.engine.registry
+import repro.graph.components
 import repro.graph.digraph
 
 MODULES = [repro.graph.digraph, repro.core.index,
-           repro.core.maintenance]
+           repro.core.maintenance, repro.graph.components,
+           repro.engine.registry, repro.engine.composite]
 
 
 @pytest.mark.parametrize("module", MODULES,
