@@ -1,0 +1,93 @@
+"""Perf smoke: the observer stack's O(1)-answer ratio and speedup.
+
+Runs :func:`repro.bench.harness.observer_smoke` — the ``observed:``
+wrapper vs the bare engine on the Fig. 10 sparse workload (the
+acceptance instance), the same instance over the index-free ``bfs``
+engine, and the DSRG graph — and merges the result into
+``BENCH_query.json`` under the ``"observers"`` key, next to the bare
+query-engine numbers of ``bench_query_smoke.py``.
+
+The pinned floor: the observer stack must answer at least
+``SPARSE_O1_FLOOR`` of the sparse workload's queries in O(1) without
+touching the wrapped engine.  CI runs this file in the bench-smoke
+job and fails when the ratio regresses.
+
+Run it either way::
+
+    python benchmarks/bench_observer_smoke.py         # standalone
+    PYTHONPATH=src python -m pytest benchmarks/bench_observer_smoke.py
+
+``REPRO_BENCH_SCALE`` scales the workload as for the full bench suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_query.json"
+
+try:
+    from repro.bench.harness import observer_smoke
+except ImportError:  # standalone run without an installed package
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.bench.harness import observer_smoke
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: the acceptance gate — share of the sparse workload the observer
+#: stack must answer without touching the wrapped engine
+SPARSE_O1_FLOOR = 0.95
+
+
+def run_smoke(scale: float = SCALE) -> dict:
+    """Measure once and merge into ``BENCH_query.json``."""
+    result = observer_smoke(scale)
+    document: dict = {}
+    if OUTPUT.exists():
+        try:
+            document = json.loads(OUTPUT.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            document = {}
+    document["observers"] = result
+    OUTPUT.write_text(json.dumps(document, indent=2, sort_keys=True)
+                      + "\n", encoding="utf-8")
+    return result
+
+
+def test_observer_smoke_writes_bench_json():
+    result = run_smoke()
+    assert OUTPUT.exists()
+    for row in result["workloads"]:
+        # the chain may never change an answer, on any workload
+        assert row["answers_match"], row["workload"]
+        assert 0.0 <= row["o1_answer_ratio"] <= 1.0
+        assert row["bare_qps"] > 0 and row["observed_qps"] > 0
+    assert result["sparse_o1_ratio"] >= SPARSE_O1_FLOOR
+    # the index-free engine is where skipping the fallback pays:
+    # a regression to ~1x means the chain stopped filtering
+    bfs_rows = [row for row in result["workloads"]
+                if row["engine"] == "bfs"]
+    assert bfs_rows and bfs_rows[0]["speedup"] > 2.0
+
+
+def main() -> int:
+    result = run_smoke()
+    print(f"sparse O(1)-answer ratio: "
+          f"{100 * result['sparse_o1_ratio']:.2f}% "
+          f"(floor {100 * SPARSE_O1_FLOOR:.0f}%)")
+    for row in result["workloads"]:
+        print(f"  {row['workload']:<28} {row['engine']:<16} "
+              f"ratio={100 * row['o1_answer_ratio']:.1f}% "
+              f"bare={row['bare_qps']:,.0f} q/s "
+              f"observed={row['observed_qps']:,.0f} q/s "
+              f"({row['speedup']:.2f}x)")
+    print(f"\nmerged into {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

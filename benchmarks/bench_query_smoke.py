@@ -34,9 +34,22 @@ SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
 
 def run_smoke(scale: float = SCALE) -> dict:
-    """Measure once and write ``BENCH_query.json``."""
+    """Measure once and write ``BENCH_query.json``.
+
+    The ``"observers"`` section written by
+    ``bench_observer_smoke.py`` is carried over, so the two smoke
+    runners can refresh the file in either order.
+    """
     result = query_engine_smoke(scale)
-    OUTPUT.write_text(json.dumps(result, indent=2, sort_keys=True)
+    document = dict(result)
+    if OUTPUT.exists():
+        try:
+            previous = json.loads(OUTPUT.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            previous = {}
+        if "observers" in previous:
+            document["observers"] = previous["observers"]
+    OUTPUT.write_text(json.dumps(document, indent=2, sort_keys=True)
                       + "\n", encoding="utf-8")
     return result
 

@@ -21,6 +21,7 @@ from repro.baselines.two_hop import TwoHopIndex
 from repro.bench.harness import (
     build_all,
     build_index,
+    observer_smoke,
     query_engine_smoke,
     run_query_series,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "run_table1", "run_fig10", "run_table2", "run_table3", "run_fig11",
     "run_table4", "run_fig12", "run_table5", "run_fig13",
     "run_query_smoke",
+    "run_observer_smoke",
     "run_serve_smoke",
     "run_ablation_chain_methods", "run_ablation_width",
     "run_ablation_matching", "ALL_EXPERIMENTS",
@@ -251,6 +253,32 @@ def run_query_smoke(scale: float = 1.0) -> str:
         ["metric", "value"], rows)
 
 
+def run_observer_smoke(scale: float = 1.0) -> str:
+    """O(1)-answer ratio and observed-vs-bare speedup per workload."""
+    result = observer_smoke(scale)
+    rows = []
+    for row in result["workloads"]:
+        top_hits = ", ".join(
+            f"{name} {count:,}" for name, count in sorted(
+                row["observer_hits"].items(),
+                key=lambda item: -item[1])[:3])
+        rows.append((
+            row["workload"], row["engine"],
+            f"{100 * row['o1_answer_ratio']:.1f}%",
+            f"{row['bare_qps']:,.0f}",
+            f"{row['observed_qps']:,.0f}",
+            f"{row['speedup']:.2f}x",
+            top_hits,
+        ))
+    return render_table(
+        f"Observer smoke — O(1)-answer stack vs bare engines "
+        f"(sparse acceptance ratio "
+        f"{100 * result['sparse_o1_ratio']:.1f}%)",
+        ["workload", "engine", "O(1) answered", "bare q/s",
+         "observed q/s", "speedup", "top observers"],
+        rows)
+
+
 def run_serve_smoke(scale: float = 1.0) -> str:
     """Serving-layer throughput: sequential vs micro-batched vs bulk."""
     from repro.bench.serving import serve_engine_smoke
@@ -360,6 +388,7 @@ ALL_EXPERIMENTS = {
     "table5": run_table5,
     "fig13": run_fig13,
     "query-smoke": run_query_smoke,
+    "observer-smoke": run_observer_smoke,
     "serve-smoke": run_serve_smoke,
     "ablation-chain-methods": run_ablation_chain_methods,
     "ablation-width": run_ablation_width,

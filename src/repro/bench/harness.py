@@ -22,6 +22,7 @@ __all__ = [
     "random_queries",
     "time_query_batch",
     "query_engine_smoke",
+    "observer_smoke",
     "run_query_series",
 ]
 
@@ -127,6 +128,75 @@ def query_engine_smoke(scale: float = 1.0, rounds: int = 5) -> dict:
         "prefilter_hits": prefilter_hits,
         "prefilter_negative_share": (prefilter_hits / negatives
                                      if negatives else 0.0),
+    }
+
+
+def observer_smoke(scale: float = 1.0, rounds: int = 3) -> dict:
+    """O(1)-answer ratio and speedup of the observer stack per engine.
+
+    For each (workload, engine) case — the Fig. 10 sparse smoke
+    instance behind the acceptance floor, the same instance over the
+    index-free ``bfs`` engine (where skipping the fallback pays most),
+    and the DSRG graph for breadth — builds the bare engine and its
+    ``observed:`` wrapper over the same graph, checks the two agree on
+    the whole query stream, then measures best-of-``rounds`` batch
+    throughput for both and captures the observer counters.  Returns
+    the dict merged into ``BENCH_query.json`` under ``"observers"`` by
+    ``benchmarks/bench_observer_smoke.py``.
+    """
+    import repro.engine as engine_registry
+    from repro.bench.workloads import group2_dsrg_graph, smoke_workload
+
+    cases = [
+        (smoke_workload(scale), "chain-stratified", 20_000),
+        (smoke_workload(scale), "bfs", 4_000),
+        (group2_dsrg_graph(scale), "chain-stratified", 20_000),
+    ]
+    rows = []
+    for workload, engine_name, count in cases:
+        graph = workload.graph
+        bare = engine_registry.build(engine_name, graph)
+        observed = engine_registry.build(f"observed:{engine_name}",
+                                         graph)
+        queries = random_queries(graph, count, seed=23)
+        answers_match = (bare.is_reachable_many(queries)
+                         == observed.is_reachable_many(queries))
+        bare_best = observed_best = float("inf")
+        for _ in range(max(1, rounds)):
+            with OBS.span("bench/query_batch") as span:
+                bare.is_reachable_many(queries)
+            bare_best = min(bare_best, span.seconds)
+            with OBS.span("bench/query_batch") as span:
+                observed.is_reachable_many(queries)
+            observed_best = min(observed_best, span.seconds)
+        with OBS.capture() as metrics:
+            observed.is_reachable_many(queries)
+        hits = {name[len("observers/hit/"):]: value
+                for name, value in metrics.counters.items()
+                if name.startswith("observers/hit/")}
+        misses = metrics.counters.get("observers/miss", 0)
+        bare_qps = count / bare_best if bare_best else 0.0
+        observed_qps = count / observed_best if observed_best else 0.0
+        rows.append({
+            "workload": workload.label,
+            "engine": engine_name,
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+            "queries": count,
+            "answers_match": answers_match,
+            "bare_qps": bare_qps,
+            "observed_qps": observed_qps,
+            "speedup": (observed_qps / bare_qps) if bare_qps else 0.0,
+            "o1_answer_ratio": (count - misses) / count if count
+                               else 0.0,
+            "observer_hits": hits,
+            "observer_misses": misses,
+        })
+    return {
+        "scale": scale,
+        "workloads": rows,
+        # the acceptance number: sparse workload, chain engine
+        "sparse_o1_ratio": rows[0]["o1_answer_ratio"],
     }
 
 

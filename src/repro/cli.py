@@ -25,6 +25,13 @@ index variants, the paper's baselines, or the component-partitioned
     python -m repro index graph.txt -o g.idx --engine composite  # v3
     python -m repro stats graph.txt --engine chain-stratified
 
+``--observers on`` (on ``query`` / ``serve`` / ``stats``) puts the
+O(1)-answer observer stack of ``docs/OBSERVERS.md`` in front of the
+selected engine — the ``observed:<engine>`` registry spelling::
+
+    python -m repro query graph.txt 0 1 --observers on --engine bfs
+    python -m repro serve graph.txt --observers on
+
 Observability (see ``docs/OBSERVABILITY.md``): ``--profile`` on
 ``stats`` prints a cProfile breakdown of the width computation, and
 ``--metrics-out metrics.json`` on ``index`` / ``query`` enables the
@@ -83,6 +90,12 @@ def _build_engine(name: str, graph):
     return engine.build(name, graph)
 
 
+def _observed_name(name: str | None) -> str:
+    """The ``observed:`` spelling of ``name`` (default chain engine)."""
+    import repro.engine as engine
+    return engine.OBSERVED_PREFIX + (name or "chain-stratified")
+
+
 @contextmanager
 def _metrics_session(out: str | None):
     """Enable the OBS registry around a command and export its JSON."""
@@ -117,8 +130,11 @@ def _cmd_stats(args) -> int:
     print(f"width (Dilworth):    {width}")
     print(f"avg out-degree:      "
           f"{stats.average_out_degree_internal:.2f}")
-    if args.engine:
-        engine = _build_engine(args.engine, graph)
+    engine_name = args.engine
+    if args.observers == "on":
+        engine_name = _observed_name(engine_name)
+    if engine_name:
+        engine = _build_engine(engine_name, graph)
         info = engine.describe()
         flags = [flag for flag, value in info["capabilities"].items()
                  if value]
@@ -128,6 +144,8 @@ def _cmd_stats(args) -> int:
         if "partitions" in info:
             print(f"engine partitions:   {info['partitions']} "
                   f"(sizes {info['partition_sizes']})")
+        if "observers" in info:
+            print(f"engine observers:    {', '.join(info['observers'])}")
     return 0
 
 
@@ -173,9 +191,14 @@ def _run_query(args) -> int:
         # filled, is really the first query node.
         if args.graph is not None:
             pairs.insert(0, args.graph)
+    observed = args.observers == "on"
     if args.remote:
         if args.engine:
             print("query: --engine selects a local build; it has no "
+                  "effect with --remote", file=sys.stderr)
+            return 2
+        if observed:
+            print("query: --observers wraps a local build; it has no "
                   "effect with --remote", file=sys.stderr)
             return 2
         pass                                 # resolved after pair parsing
@@ -186,6 +209,16 @@ def _run_query(args) -> int:
             return 2
         from repro.core.persistence import load_index
         index = load_index(Path(args.index))
+        if observed:
+            if not isinstance(index, ChainIndex):
+                print("query: --observers on a persisted index needs "
+                      "a chain index (composites rebuild from the "
+                      "graph instead)", file=sys.stderr)
+                return 2
+            from repro.engine.adapters import ChainEngine
+            from repro.observers import ObserverChain
+            index = ObserverChain.wrap(
+                None, ChainEngine(index, f"chain-{index.method}"))
     elif args.graph:
         try:
             graph = _load(args.graph)
@@ -193,7 +226,10 @@ def _run_query(args) -> int:
             print(f"query: no such graph file: {args.graph} "
                   f"(or pass --index)", file=sys.stderr)
             return 2
-        index = _build_engine(args.engine, graph) if args.engine \
+        engine_name = args.engine
+        if observed:
+            engine_name = _observed_name(engine_name)
+        index = _build_engine(engine_name, graph) if engine_name \
             else ChainIndex.build(graph)
     else:
         print("query needs a graph file, --index or --remote",
@@ -261,13 +297,21 @@ def _cmd_serve(args) -> int:
             print("serve: a persisted --index already fixes the "
                   "engine; --engine has no effect", file=sys.stderr)
             return 2
+        if args.observers == "on":
+            print("serve: --observers needs a graph build; a "
+                  "persisted --index serves bare", file=sys.stderr)
+            return 2
         manager = IndexManager.from_index_file(Path(args.index))
         label = args.index
     elif args.graph:
+        engine_name = args.engine
+        if args.observers == "on":
+            engine_name = _observed_name(
+                engine_name or f"chain-{args.method or 'stratified'}")
         try:
             manager = IndexManager.from_graph(
                 _load(args.graph), method=args.method or "stratified",
-                engine=args.engine, auto_swap_after=args.swap_after)
+                engine=engine_name, auto_swap_after=args.swap_after)
         except ValueError as exc:            # engine/method conflict
             print(f"serve: {exc}", file=sys.stderr)
             return 2
@@ -410,6 +454,12 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--engine", default=None, choices=engine_names,
                        help="also build this engine and report its "
                             "size and capabilities")
+    stats.add_argument("--observers", default="off",
+                       choices=("on", "off"),
+                       help="report the engine behind the O(1)-answer "
+                            "observer stack (docs/OBSERVERS.md); "
+                            "implies --engine chain-stratified if no "
+                            "engine is given")
     stats.set_defaults(func=_cmd_stats)
 
     chains = sub.add_parser("chains", help="minimum chain cover")
@@ -439,6 +489,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--engine", default=None, choices=engine_names,
                        help="answer through this registered engine "
                             "(default: chain-stratified)")
+    query.add_argument("--observers", default="off",
+                       choices=("on", "off"),
+                       help="answer through the O(1)-answer observer "
+                            "stack in front of the engine "
+                            "(docs/OBSERVERS.md)")
     query.add_argument("--str-labels", dest="int_labels",
                        action="store_false",
                        help="treat node labels as strings")
@@ -473,6 +528,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--engine", default=None, choices=engine_names,
                        help="serve this registered engine (default: "
                             "chain-stratified; writes need a DAG)")
+    serve.add_argument("--observers", default="off",
+                       choices=("on", "off"),
+                       help="serve behind the O(1)-answer observer "
+                            "stack (docs/OBSERVERS.md); rebuilt on "
+                            "every snapshot swap")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=7431,
                        help="TCP port (0 picks a free one)")

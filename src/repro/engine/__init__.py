@@ -22,6 +22,11 @@ and the serving protocol):
   cross-component pairs ``False`` in O(1); the stepping stone to
   sharding.
 
+Every registered name also resolves behind the
+:data:`OBSERVED_PREFIX` — ``build("observed:bfs", g)`` wraps the bare
+engine in the :mod:`repro.observers` O(1)-answer stack, inheriting
+its capability flags (see ``docs/OBSERVERS.md``).
+
 The registry table is documented in ``docs/API.md`` ("Engines") and
 doc-linted against :func:`names` by ``tests/test_docs.py``.
 """
@@ -39,6 +44,7 @@ from repro.engine.interface import (
     capabilities,
 )
 from repro.engine.registry import (
+    OBSERVED_PREFIX,
     EngineSpec,
     build,
     chain_methods,
@@ -59,6 +65,7 @@ __all__ = [
     "CondensingEngine",
     "CompositeEngine",
     "EngineSpec",
+    "OBSERVED_PREFIX",
     "register",
     "get",
     "build",

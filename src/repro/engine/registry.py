@@ -18,6 +18,13 @@ The chain engines are derived from
 the chain-cover method list — and the CLI derives its ``--method`` /
 ``--engine`` choices from this registry, so the three surfaces cannot
 drift apart.  Builds emit the ``engine/build/{engine}`` span.
+
+Any registered name additionally resolves with an ``observed:``
+prefix (``engine.build("observed:bfs", g)``), which wraps the bare
+engine in the :class:`~repro.observers.chain.ObserverChain` O(1)
+fast path; the derived spec inherits the inner engine's capability
+flags and is synthesised on first use, never registered — ``names()``
+lists only the bare engines.
 """
 
 from __future__ import annotations
@@ -44,10 +51,14 @@ from repro.engine.composite import CompositeEngine
 from repro.graph.digraph import DiGraph
 from repro.obs import OBS
 
-__all__ = ["EngineSpec", "register", "get", "build", "names", "specs",
-           "chain_methods", "paper_labels"]
+__all__ = ["EngineSpec", "OBSERVED_PREFIX", "register", "get", "build",
+           "names", "specs", "chain_methods", "paper_labels"]
 
 _NAME_PATTERN = re.compile(r"^[a-z0-9][a-z0-9-]*$")
+
+#: Prefix that resolves any registered engine to its observer-wrapped
+#: variant: ``get("observed:bfs")`` derives a spec from ``get("bfs")``.
+OBSERVED_PREFIX = "observed:"
 
 
 @dataclass(frozen=True)
@@ -105,15 +116,62 @@ def register(spec: EngineSpec) -> EngineSpec:
 def get(name: str) -> EngineSpec:
     """The spec registered under ``name``.
 
-    Raises :class:`ValueError` naming the known engines, so a typo in
-    a CLI flag or a config file reads as documentation.
+    ``observed:<engine>`` names resolve to a derived spec wrapping the
+    bare engine in an :class:`~repro.observers.chain.ObserverChain`
+    (see :func:`_observed_spec`).  Raises :class:`ValueError` naming
+    the known engines, so a typo in a CLI flag or a config file reads
+    as documentation.
     """
+    if name.startswith(OBSERVED_PREFIX):
+        return _observed_spec(name)
     try:
         return _REGISTRY[name]
     except KeyError:
         raise ValueError(
             f"unknown engine {name!r}; registered engines: "
-            f"{', '.join(names())}") from None
+            f"{', '.join(names())} (each also available as "
+            f"{OBSERVED_PREFIX}<engine>)") from None
+
+
+_OBSERVED_CACHE: dict[str, EngineSpec] = {}
+
+
+def _observed_spec(name: str) -> EngineSpec:
+    """Derive (and cache) the spec for an ``observed:<engine>`` name.
+
+    The factory builds the bare engine, then prepares the default
+    observer stack in front of it; all four capability flags are
+    inherited — the chain delegates writes and forwards enumeration —
+    while ``paper_label`` is dropped (benchmark tables compare bare
+    methods).  Double prefixes are rejected: the chain already answers
+    everything an outer chain could.
+    """
+    inner_name = name[len(OBSERVED_PREFIX):]
+    if inner_name.startswith(OBSERVED_PREFIX):
+        raise ValueError(
+            f"{name!r}: observer chains do not stack — "
+            f"use {inner_name!r}")
+    inner = get(inner_name)
+    try:
+        return _OBSERVED_CACHE[name]
+    except KeyError:
+        pass
+
+    def factory(graph: DiGraph, **kwargs):
+        from repro.observers.chain import ObserverChain
+        return ObserverChain.wrap(graph, inner.factory(graph, **kwargs))
+
+    spec = EngineSpec(
+        name=name,
+        description=f"{inner.description} — behind the O(1)-answer "
+                    f"observer stack",
+        factory=factory,
+        supports_batch=inner.supports_batch,
+        writable=inner.writable,
+        persistable=inner.persistable,
+        enumerable=inner.enumerable)
+    _OBSERVED_CACHE[name] = spec
+    return spec
 
 
 def build(name: str, graph: DiGraph, **kwargs):

@@ -26,7 +26,10 @@ _PLACEHOLDERS = {
     "{algorithm}": r"[^/]+",
     "{bucket}": r"[a-z0-9-]+",
     "{class}": r"[a-z_]+",
-    "{engine}": r"[a-z0-9-]+",
+    # engine names are kebab-case, optionally behind the "observed:"
+    # wrapper prefix (repro.engine.registry.OBSERVED_PREFIX)
+    "{engine}": r"(?:observed:)?[a-z0-9-]+",
+    "{observer}": r"[a-z0-9-]+",
 }
 
 
@@ -81,6 +84,9 @@ CATALOG: tuple[MetricSpec, ...] = (
     MetricSpec("engine/build/{engine}", "span", "seconds",
                "EngineSpec.build — construction of one registered "
                "engine (composite builds nest one per component)"),
+    MetricSpec("observers/prepare/{observer}", "span", "seconds",
+               "ObserverChain.wrap — table build of one observer "
+               "(also on re-prepare after a write)"),
     # -- counters (units: count unless noted) -------------------------
     MetricSpec("matching/pairs", "counter", "count",
                "phase 1 — matched pairs, summed over the levels"),
@@ -114,12 +120,15 @@ CATALOG: tuple[MetricSpec, ...] = (
                "the paper's O(b*e) work unit"),
     MetricSpec("query/answered", "counter", "count",
                "scalar and batch query paths — reachability queries "
-               "answered by the static or dynamic index (batch calls "
-               "count len(pairs) in one publish)"),
+               "answered by the static or dynamic index, or by an "
+               "ObserverChain in front of one (batch calls count "
+               "len(pairs) in one publish)"),
     MetricSpec("query/prefilter_hits", "counter", "count",
                "scalar and batch query paths — negative queries "
                "rejected by the O(1) topological-rank/level pre-filter "
-               "before any binary search"),
+               "before any binary search; the observer chain counts "
+               "its topo-interval and level-bound hits here too, so "
+               "the attribution survives the lift out of the kernel"),
     MetricSpec("query/probes", "counter", "count",
                "scalar and batch query paths — binary-search probes "
                "(non-reflexive queries surviving the pre-filter)"),
@@ -159,6 +168,13 @@ CATALOG: tuple[MetricSpec, ...] = (
     MetricSpec("engine/cross_rejects", "counter", "count",
                "CompositeEngine — pairs answered False from the "
                "partition map alone (different weak components)"),
+    MetricSpec("observers/hit/{observer}", "counter", "count",
+               "ObserverChain — queries settled in O(1) by the named "
+               "observer (plus the chain's own 'reflexive' bucket for "
+               "same-node/same-SCC pairs)"),
+    MetricSpec("observers/miss", "counter", "count",
+               "ObserverChain — queries every observer passed on, "
+               "answered by the wrapped engine's index instead"),
     # -- gauges -------------------------------------------------------
     MetricSpec("build/levels", "gauge", "levels",
                "stratify() — the stratification height h"),
@@ -174,6 +190,9 @@ CATALOG: tuple[MetricSpec, ...] = (
                "IndexManager — epoch of the published snapshot"),
     MetricSpec("engine/components", "gauge", "components",
                "CompositeEngine.build — weak components partitioned"),
+    MetricSpec("observers/o1_answer_ratio", "gauge", "ratio",
+               "ObserverChain — share of the last scalar call or batch "
+               "answered by observers without touching the engine"),
     # -- histograms (units: seconds; log-bucketed distributions) ------
     MetricSpec("service/latency/{class}", "histogram", "seconds",
                "ReachabilityService — end-to-end latency of one query "

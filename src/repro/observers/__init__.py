@@ -1,0 +1,107 @@
+"""repro.observers — O(1)-answer observers in front of every engine.
+
+O'Reach (PAPERS.md: "O'Reach: Even Faster Reachability in Large
+Graphs") shows that on real graphs the vast majority of reachability
+queries can be settled in constant time by a small stack of cheap
+certificates, with the index as fallback.  This package generalises
+the PR 2 rank/level negative pre-filter into that composable stack:
+
+* :class:`~repro.observers.interface.Observer` — the protocol: a
+  ``prepare(graph_or_index)`` table build plus an O(1)
+  ``query(u, v) -> True | False | None``, where a non-``None`` answer
+  must never be wrong;
+* four shipped observers — :class:`TopologicalIntervalObserver`,
+  :class:`LevelObserver`, :class:`MultiDFSObserver`,
+  :class:`SupportingPointsObserver` — registered in
+  :data:`OBSERVER_SPECS` (the table ``docs/OBSERVERS.md`` is
+  doc-linted against);
+* :class:`~repro.observers.chain.ObserverChain` — runs observers in
+  order in front of any registered engine, with a fused batch loop
+  that filters O(1)-answerable pairs before the kernel call.
+
+The engine registry exposes the chain as ``observed:<engine>``
+(``import repro.engine as engine; engine.build("observed:bfs", g)``),
+and the CLI as ``--observers on``.
+"""
+
+from __future__ import annotations
+
+from repro.observers.chain import ObserverChain
+from repro.observers.interface import Observer, ObserverSpec
+from repro.observers.levels import LevelObserver
+from repro.observers.multidfs import MultiDFSObserver
+from repro.observers.pivots import SupportingPointsObserver
+from repro.observers.topo import TopologicalIntervalObserver
+
+__all__ = [
+    "Observer",
+    "ObserverSpec",
+    "ObserverChain",
+    "TopologicalIntervalObserver",
+    "LevelObserver",
+    "MultiDFSObserver",
+    "SupportingPointsObserver",
+    "OBSERVER_SPECS",
+    "specs",
+    "observer_names",
+    "default_observers",
+]
+
+#: Every shipped observer, in default chain order — cheapest test
+#: first: one comparison (ranks, levels), then three bitmask ops
+#: (pivots, which also settle positives before they can pay for the
+#: interval runs), then the per-run interval loop.  The guarantee
+#: table in ``docs/OBSERVERS.md`` mirrors these rows and
+#: ``tests/test_docs.py`` diffs the two.
+OBSERVER_SPECS: tuple[ObserverSpec, ...] = (
+    ObserverSpec(
+        name="topo-interval",
+        answers="negative",
+        prepare_cost="O(n + e)",
+        memory="2 ints/node",
+        factory=TopologicalIntervalObserver,
+        description="forward + reverse topological ranks; a "
+                    "reachable pair must ascend in both orders"),
+    ObserverSpec(
+        name="level-bound",
+        answers="negative",
+        prepare_cost="O(n + e)",
+        memory="1 int/node",
+        factory=LevelObserver,
+        description="longest-path-to-sink strata (the PR 2 pre-filter "
+                    "lifted out of the index kernel); paths strictly "
+                    "descend through levels"),
+    ObserverSpec(
+        name="supporting-points",
+        answers="both",
+        prepare_cost="O(candidates · (n + e))",
+        memory="2 bitmask ints/node",
+        factory=SupportingPointsObserver,
+        description="greedy high-coverage pivots with full "
+                    "ancestor/descendant bitsets; certifies positives "
+                    "through a pivot and negatives around one"),
+    ObserverSpec(
+        name="multi-dfs",
+        answers="negative",
+        prepare_cost="O(runs · (n + e))",
+        memory="2 ints/node/run",
+        factory=MultiDFSObserver,
+        description="randomised GRAIL-style post-order/reach-low "
+                    "intervals; containment violation in any run "
+                    "certifies non-reachability"),
+)
+
+
+def specs() -> tuple[ObserverSpec, ...]:
+    """Every registered observer spec, in default chain order."""
+    return OBSERVER_SPECS
+
+
+def observer_names() -> tuple[str, ...]:
+    """The registered observer names, in default chain order."""
+    return tuple(spec.name for spec in OBSERVER_SPECS)
+
+
+def default_observers() -> list:
+    """A fresh, unprepared instance of every registered observer."""
+    return [spec.factory() for spec in OBSERVER_SPECS]

@@ -1,0 +1,461 @@
+"""``ObserverChain`` — the O(1)-answer stack in front of any engine.
+
+Wraps one :class:`~repro.engine.interface.ReachabilityEngine` and a
+list of prepared :class:`~repro.observers.interface.Observer`
+instances.  A query runs down the chain — reflexive test, then each
+observer in order — and touches the wrapped engine only when every
+observer answers ``None``; on workloads where most queries are
+O(1)-answerable (O'Reach measures >95% on real graphs) the engine's
+binary search, hash probes or BFS become the rare path.
+
+The wrapper is itself an engine: ``name`` is ``observed:<inner>``,
+the four capability flags are inherited from the inner engine, and
+every attribute the inner engine exposes (``descendants``,
+``prefilter_rejects``, ``graph``, ...) stays reachable through
+``__getattr__`` forwarding — so the serving stack, persistence and the
+CLI treat an observed engine exactly like its bare counterpart.
+
+Batch queries get a *fused* fast path: when the node labels are the
+dense ints ``0..n-1`` (the benchmark families) the chain flattens
+every observer's tables into per-label lists and answers the whole
+batch in one loop with zero function calls per pair, handing only the
+unresolved residue to the inner engine's ``is_reachable_many`` — the
+filter-before-the-kernel integration the micro-batcher inherits for
+free.  When the inner engine is a static chain index the residue does
+not even leave the loop: the index's flat binary-search probe is
+inlined, so an observed chain engine pays the translation cost once
+instead of twice.  Other label types or custom observer stacks take
+the generic per-observer path with the same semantics.
+
+Metrics (when :data:`repro.obs.OBS` is enabled): one
+``observers/hit/{observer}`` counter per observer (plus the chain's
+own ``observers/hit/reflexive``), ``observers/miss`` for fall-
+throughs, the ``observers/o1_answer_ratio`` gauge per batch, and —
+because the topological and level observers are exactly the PR 2
+rank/level pre-filter lifted out of the index kernel — their hits are
+*also* counted as ``query/prefilter_hits``, so existing dashboards
+keep attributing rank/level rejections wherever they fire.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable
+
+from repro.graph.scc import condense
+from repro.obs import OBS
+
+__all__ = ["ObserverChain"]
+
+#: fused-loop evaluation order; must match ``default_observers``
+_FUSED_KINDS = ("topo", "level", "supporting", "multi-dfs")
+
+
+class ObserverChain:
+    """An engine wrapper answering most queries in O(1) (see module)."""
+
+    def __init__(self, inner, observers, component_of,
+                 graph=None) -> None:
+        self.inner = inner
+        self.observers = list(observers)
+        self.name = f"observed:{inner.name}"
+        self.supports_batch = getattr(inner, "supports_batch", False)
+        self.writable = getattr(inner, "writable", False)
+        self.persistable = getattr(inner, "persistable", False)
+        self.enumerable = getattr(inner, "enumerable", False)
+        self._component_of = component_of
+        self._graph = graph
+        self._fused = None       # lazily built per-label tables
+        self._fused_ready = False
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def wrap(cls, graph, inner, observers=None) -> "ObserverChain":
+        """Prepare ``observers`` (default stack) in front of ``inner``.
+
+        Reuses the inner engine's SCC condensation when it exposes one
+        (chain and baseline engines do); otherwise condenses ``graph``
+        once and shares the result across the stack.  Each prepare is
+        timed under ``observers/prepare/{observer}``.
+        """
+        if observers is None:
+            from repro.observers import default_observers
+            observers = default_observers()
+        index = getattr(inner, "index", None)
+        source = index if _is_chain_index(index) else None
+        if source is not None:
+            condensation = source._condensation  # noqa: SLF001
+        else:
+            condensation = getattr(inner, "condensation", None)
+            if condensation is None:
+                if graph is None:
+                    raise ValueError(
+                        "ObserverChain.wrap needs a graph when the "
+                        "inner engine exposes no condensation")
+                condensation = condense(graph)
+        chain = cls(inner, observers, condensation.component_of,
+                    graph=graph)
+        chain._prepare(source if source is not None
+                       else condensation.dag)
+        return chain
+
+    def _prepare(self, source) -> None:
+        for observer in self.observers:
+            with OBS.span(f"observers/prepare/{observer.name}"):
+                observer.prepare(source)
+        self._fused = None
+        self._fused_ready = False
+        self._dirty = False
+
+    def _reprepare(self) -> None:
+        """Rebuild translation + observer tables after a write."""
+        graph = getattr(self.inner, "graph", None)
+        if graph is None:
+            graph = self._graph
+        if graph is None:
+            raise RuntimeError(
+                f"{self.name}: cannot re-prepare observers — the "
+                f"inner engine exposes no graph")
+        condensation = condense(graph)
+        self._component_of = condensation.component_of
+        self._prepare(condensation.dag)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def is_reachable(self, source, target) -> bool:
+        """Same contract as the inner engine; observers first."""
+        if self._dirty:
+            self._reprepare()
+        component_of = self._component_of
+        try:
+            u = component_of[source]
+            v = component_of[target]
+        except (KeyError, TypeError):
+            # unknown operand: the inner engine raises the proper
+            # NodeNotFoundError with its role attribution
+            return self.inner.is_reachable(source, target)
+        counting = OBS.enabled
+        if u == v:
+            if counting:
+                self._publish({"reflexive": 1}, miss=0, total=1)
+            return True
+        for observer in self.observers:
+            answer = observer.query(u, v)
+            if answer is not None:
+                if counting:
+                    lifted = getattr(observer, "kind", "") in (
+                        "topo", "level")
+                    self._publish(
+                        {observer.name: 1}, miss=0, total=1,
+                        prefilter=1 if answer is False and lifted
+                        else 0)
+                return answer
+        if counting:
+            self._publish({}, miss=1, total=1)
+        return self.inner.is_reachable(source, target)
+
+    def is_reachable_many(self, pairs: Iterable[tuple]) -> list[bool]:
+        """Batch queries: O(1)-answer what the observers can, then one
+        inner-engine batch over the residue (order preserved)."""
+        if not isinstance(pairs, list):
+            pairs = list(pairs)
+        if self._dirty:
+            self._reprepare()
+        if not self._fused_ready:
+            self._fused = self._build_fused_tables()
+            self._fused_ready = True
+        if self._fused is not None:
+            try:
+                return self._fused_batch(pairs)
+            except (IndexError, KeyError, TypeError):
+                # out-of-range or non-int label: let the inner engine
+                # produce its NodeNotFoundError (or answer, if it can)
+                return self.inner.is_reachable_many(pairs)
+        return self._generic_batch(pairs)
+
+    def _generic_batch(self, pairs: list[tuple]) -> list[bool]:
+        component_of = self._component_of
+        observers = [(observer.query, observer.name,
+                      getattr(observer, "kind", ""))
+                     for observer in self.observers]
+        answers: list = [False] * len(pairs)
+        residual: list[tuple] = []
+        residual_at: list[int] = []
+        hits: dict[str, int] = {}
+        prefilter = 0
+        for i, (source, target) in enumerate(pairs):
+            try:
+                u = component_of[source]
+                v = component_of[target]
+            except (KeyError, TypeError):
+                return self.inner.is_reachable_many(pairs)
+            if u == v:
+                answers[i] = True
+                hits["reflexive"] = hits.get("reflexive", 0) + 1
+                continue
+            for query, name, kind in observers:
+                answer = query(u, v)
+                if answer is not None:
+                    answers[i] = answer
+                    hits[name] = hits.get(name, 0) + 1
+                    if answer is False and kind in ("topo", "level"):
+                        prefilter += 1
+                    break
+            else:
+                residual.append((source, target))
+                residual_at.append(i)
+        return self._finish_batch(pairs, answers, residual,
+                                  residual_at, hits, prefilter)
+
+    def _fused_batch(self, pairs: list[tuple]) -> list[bool]:
+        (rank, rrank, level, runs, reaches, reached,
+         kernel) = self._fused
+        component_of = self._component_of
+        has_topo = rank is not None
+        has_level = level is not None
+        has_pivots = reaches is not None
+        if kernel is not None:
+            (kernel_chain, kernel_position, kernel_lo, kernel_hi,
+             kernel_chains, kernel_positions) = kernel
+        bisect = bisect_left
+        answers: list = [False] * len(pairs)
+        residual: list[tuple] = []
+        residual_at: list[int] = []
+        reflexive = topo = levels = dfs = pivots = probes = 0
+        for i, (u, v) in enumerate(pairs):
+            if (u | v) < 0:         # negatives would wrap around
+                raise IndexError
+            if has_topo:
+                # One comparison settles most pairs: ranks are unique
+                # per component, so rank(u) >= rank(v) means same
+                # component (True) or a topological-order violation
+                # (False) — the same fold the bare index kernel uses.
+                u_rank = rank[u]
+                v_rank = rank[v]
+                if u_rank >= v_rank:
+                    if u_rank == v_rank:
+                        answers[i] = True
+                        reflexive += 1
+                    else:
+                        topo += 1           # answers[i] stays False
+                    continue
+                if rrank[u] <= rrank[v]:
+                    topo += 1
+                    continue
+            elif u == v or component_of[u] == component_of[v]:
+                answers[i] = True
+                reflexive += 1
+                continue
+            if has_level and level[u] <= level[v]:
+                levels += 1
+                continue
+            if has_pivots:
+                if reaches[u] & reached[v]:
+                    answers[i] = True
+                    pivots += 1
+                    continue
+                if reached[u] & ~reached[v] \
+                        or reaches[v] & ~reaches[u]:
+                    pivots += 1
+                    continue
+            rejected = False
+            for post, low in runs:
+                if post[v] > post[u] or low[v] < low[u]:
+                    rejected = True
+                    break
+            if rejected:
+                dfs += 1
+                continue
+            if kernel is None:
+                residual.append((u, v))
+                residual_at.append(i)
+                continue
+            # Inline the chain index's exact label probe — the index
+            # sequence test is complete without its own pre-filters,
+            # which the observers above have already applied — so a
+            # residual pair costs one binary search, not a second
+            # translation pass through the inner engine.
+            target_chain = kernel_chain[v]
+            hi = kernel_hi[u]
+            index = bisect(kernel_chains, target_chain,
+                           kernel_lo[u], hi)
+            if (index != hi and kernel_chains[index] == target_chain
+                    and kernel_positions[index]
+                    <= kernel_position[v]):
+                answers[i] = True
+            probes += 1
+        hits = {}
+        if reflexive:
+            hits["reflexive"] = reflexive
+        if topo:
+            hits["topo-interval"] = topo
+        if levels:
+            hits["level-bound"] = levels
+        if dfs:
+            hits["multi-dfs"] = dfs
+        if pivots:
+            hits["supporting-points"] = pivots
+        return self._finish_batch(pairs, answers, residual,
+                                  residual_at, hits, topo + levels,
+                                  probes)
+
+    def _finish_batch(self, pairs, answers, residual, residual_at,
+                      hits, prefilter, probes: int = 0) -> list[bool]:
+        if residual:
+            for i, answer in zip(residual_at,
+                                 self.inner.is_reachable_many(residual)):
+                answers[i] = answer
+        if OBS.enabled:
+            self._publish(hits, miss=len(residual) + probes,
+                          total=len(pairs), prefilter=prefilter,
+                          probes=probes)
+        return answers
+
+    def _publish(self, hits: dict, miss: int, total: int,
+                 prefilter: int = 0, probes: int = 0) -> None:
+        count = OBS.count
+        answered = 0
+        for name, value in hits.items():
+            count(f"observers/hit/{name}", value)
+            answered += value
+        if miss:
+            count("observers/miss", miss)
+        if probes:
+            # Inline-probed residuals: the chain answered them with the
+            # inner index's own binary search, so it also owns the
+            # index-side bookkeeping the delegated path would have done.
+            count("query/probes", probes)
+        if answered or probes:
+            count("query/answered", answered + probes)
+        if prefilter:
+            count("query/prefilter_hits", prefilter)
+        if total:
+            OBS.gauge("observers/o1_answer_ratio", answered / total)
+
+    # ------------------------------------------------------------------
+    # fused tables
+    # ------------------------------------------------------------------
+    def _build_fused_tables(self):
+        """Per-label observer tables, or ``None`` if inapplicable.
+
+        Requires dense int labels ``0..n-1`` and the default observer
+        stack (any subset, in :data:`_FUSED_KINDS` order); every
+        observer's id-indexed tables are re-indexed by node label so
+        the batch loop runs without dict hops or method calls.
+        """
+        component_of = self._component_of
+        count = len(component_of)
+        for label in component_of:
+            if type(label) is not int or not 0 <= label < count:
+                return None
+        kinds = [getattr(observer, "kind", None)
+                 for observer in self.observers]
+        expected = [kind for kind in _FUSED_KINDS if kind in kinds]
+        if kinds != expected:
+            return None
+        by_kind = {observer.kind: observer
+                   for observer in self.observers}
+        items = sorted(component_of.items())
+
+        def relabel(table):
+            return [table[component] for _, component in items]
+
+        rank = rrank = level = reaches = reached = None
+        runs: list[tuple[list[int], list[int]]] = []
+        if "topo" in by_kind:
+            rank_ids, rrank_ids = by_kind["topo"].tables()
+            rank, rrank = relabel(rank_ids), relabel(rrank_ids)
+        if "level" in by_kind:
+            level = relabel(by_kind["level"].tables())
+        if "multi-dfs" in by_kind:
+            runs = [(relabel(post), relabel(low))
+                    for post, low in by_kind["multi-dfs"].tables()]
+        if "supporting" in by_kind:
+            reaches_ids, reached_ids = by_kind["supporting"].tables()
+            reaches, reached = relabel(reaches_ids), relabel(reached_ids)
+        return (rank, rrank, level, runs, reaches, reached,
+                self._inner_kernel())
+
+    def _inner_kernel(self):
+        """The inner chain index's flat probe tables, if it has them.
+
+        When the inner engine is backed by a (static, immutable)
+        :class:`~repro.core.index.ChainIndex` whose flat kernel
+        applies, the fused loop answers residual pairs with the
+        index's own binary-search probe inline instead of collecting
+        them for a second ``is_reachable_many`` pass — the observers
+        have already applied the rank/level pre-filters, and the
+        label-sequence test is exact on its own for distinct-component
+        pairs.
+        """
+        index = getattr(self.inner, "index", None)
+        if not _is_chain_index(index):
+            return None
+        if index._kernel is None:            # noqa: SLF001
+            index.is_reachable_many([])      # force the lazy build
+        tables = index._kernel.tables        # noqa: SLF001
+        if tables is None:
+            return None
+        (_rank_of, _level_of, chain_of, position_of,
+         seq_lo, seq_hi, seq_chains, seq_positions) = tables
+        return (chain_of, position_of, seq_lo, seq_hi,
+                seq_chains, seq_positions)
+
+    # ------------------------------------------------------------------
+    # writes (only when the inner engine is writable)
+    # ------------------------------------------------------------------
+    def add_edge(self, *args, **kwargs):
+        """Delegate the write, then re-prepare observers lazily.
+
+        An inserted edge can only *add* reachable pairs, so every
+        prepared negative certificate could now be wrong — the chain
+        marks itself dirty and rebuilds all observer tables from the
+        inner engine's current graph on the next query.
+        """
+        result = self.inner.add_edge(*args, **kwargs)
+        self._dirty = True
+        return result
+
+    def add_node(self, *args, **kwargs):
+        """Delegate the write; new nodes also need fresh tables."""
+        result = self.inner.add_node(*args, **kwargs)
+        self._dirty = True
+        return result
+
+    # ------------------------------------------------------------------
+    # introspection / forwarding
+    # ------------------------------------------------------------------
+    def size_words(self) -> int:
+        """Inner index size plus every observer table, in 16-bit words."""
+        return self.inner.size_words() + sum(
+            observer.size_words() for observer in self.observers)
+
+    def describe(self) -> dict:
+        """Stats payload: the inner engine's, plus the observer stack."""
+        from repro.engine.interface import capabilities
+        return {"engine": self.name,
+                "capabilities": capabilities(self),
+                "size_words": self.size_words(),
+                "inner": self.inner.name,
+                "observers": [observer.name
+                              for observer in self.observers]}
+
+    def __getattr__(self, attr):
+        try:
+            inner = self.__dict__["inner"]
+        except KeyError:             # mid-unpickle: no attrs yet
+            raise AttributeError(attr) from None
+        return getattr(inner, attr)
+
+    def __repr__(self) -> str:
+        return (f"<ObserverChain inner={self.inner.name!r} observers="
+                f"{[observer.name for observer in self.observers]}>")
+
+
+def _is_chain_index(index) -> bool:
+    from repro.core.index import ChainIndex
+    return isinstance(index, ChainIndex)

@@ -1,0 +1,87 @@
+"""The ``Observer`` protocol: O(1) oracles consulted before the index.
+
+O'Reach (Hanauer, Schulz & Trobst, SEA 2020) makes one observation the
+chain index cannot exploit on its own: on real graphs the vast
+majority of reachability queries — positive *and* negative — can be
+settled in constant time by a small stack of cheap certificates,
+leaving only a thin residue for the index's O(log b) binary search.
+An *observer* is one such certificate family:
+
+* ``prepare(source)`` builds the observer's tables from either a DAG
+  (a :class:`~repro.graph.digraph.DiGraph` whose nodes are the dense
+  ints ``0..n-1`` — in practice an SCC condensation DAG) or a built
+  :class:`~repro.core.index.ChainIndex` (observers that can reuse the
+  index's packed certificate arrays do so instead of recomputing);
+* ``query(u, v)`` takes two *distinct* dense node ids of the prepared
+  DAG and answers ``True`` (definitely reachable), ``False``
+  (definitely not) or ``None`` (this observer cannot tell).
+
+The soundness contract is absolute: an observer may always say
+``None``, but a ``True``/``False`` answer must never be wrong — the
+test suite checks every registered observer against a BFS oracle on
+random DAGs.  Reflexive pairs (``u == v``, which after condensation
+also covers same-SCC pairs) are answered by the
+:class:`~repro.observers.chain.ObserverChain` itself and never reach
+an observer.
+
+``answers`` declares which short-circuits an observer can produce —
+``"negative"`` or ``"both"`` — so the chain's documentation table and
+the per-observer guarantee tests are driven by the same metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, runtime_checkable
+
+__all__ = ["Observer", "ObserverSpec", "resolve_dag"]
+
+
+@runtime_checkable
+class Observer(Protocol):
+    """One O(1)-answer certificate family (see module docstring)."""
+
+    name: str       #: kebab-case identity, used in metric names
+    answers: str    #: ``"negative"`` or ``"both"``
+
+    def prepare(self, source) -> None:
+        """Build the tables from a dense-int DAG or a ``ChainIndex``."""
+
+    def query(self, u: int, v: int):
+        """``True`` / ``False`` / ``None`` for distinct prepared ids."""
+
+    def size_words(self) -> int:
+        """Table size in the paper's 16-bit-word unit (ints counted
+        as one word each, matching ``ChainLabeling.size_words``)."""
+
+
+@dataclass(frozen=True)
+class ObserverSpec:
+    """Registry row for one observer: identity, guarantees, costs.
+
+    ``docs/OBSERVERS.md`` renders these rows as the per-observer
+    guarantee table and ``tests/test_docs.py`` diffs the two, so a new
+    observer must be registered (and documented) before it ships.
+    ``factory`` builds an *unprepared* instance with default
+    parameters.
+    """
+
+    name: str
+    answers: str        #: "negative" | "both"
+    prepare_cost: str   #: big-O of prepare(), as documented
+    memory: str         #: table footprint, as documented
+    factory: Callable[[], "Observer"]
+    description: str
+
+
+def resolve_dag(source):
+    """The dense-int DAG behind ``source`` (DiGraph or ChainIndex).
+
+    Observers that cannot reuse a ``ChainIndex``'s packed arrays call
+    this to prepare from the index's condensation DAG instead; a plain
+    ``DiGraph`` is returned unchanged.
+    """
+    condensation = getattr(source, "_condensation", None)
+    if condensation is not None:
+        return condensation.dag
+    return source

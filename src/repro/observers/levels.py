@@ -1,0 +1,65 @@
+"""Stratification-level observer (negative short-circuits).
+
+The other half of the PR 2 pre-filter, lifted out of the
+:class:`~repro.core.index.ChainIndex` kernel into the observer chain:
+``level(v)`` is the 1-based longest-path distance from ``v`` to a sink
+(the paper's stratification level), and a directed path strictly
+descends through the strata, so ``u ⇝ v`` with ``u ≠ v`` forces
+``level(u) > level(v)``.  Unlike the rank test this rejects pairs in
+*both* orientations of a level tie, which is why rank and level
+together reject far more than either alone.
+
+Prepared from a :class:`~repro.core.index.ChainIndex` the levels are
+reused from the packed ``level_of`` certificate array; prepared from a
+DAG they are recomputed with one reverse-topological sweep.
+"""
+
+from __future__ import annotations
+
+from repro.graph.topology import topological_order_ids
+from repro.observers.interface import resolve_dag
+
+__all__ = ["LevelObserver", "sink_levels"]
+
+
+def sink_levels(dag) -> list[int]:
+    """1-based longest-path-to-a-sink level per node id."""
+    level_of = [1] * dag.num_nodes
+    for v in reversed(topological_order_ids(dag)):
+        for w in dag.successor_ids(v):
+            if level_of[w] + 1 > level_of[v]:
+                level_of[v] = level_of[w] + 1
+    return level_of
+
+
+class LevelObserver:
+    """Longest-path-to-sink levels; answers negatives only."""
+
+    name = "level-bound"
+    answers = "negative"
+    kind = "level"
+
+    def __init__(self) -> None:
+        self.level_of: list[int] = []
+
+    def prepare(self, source) -> None:
+        labeling = getattr(source, "_labeling", None)
+        if labeling is not None:
+            self.level_of = list(labeling.level_of)
+        else:
+            self.level_of = sink_levels(resolve_dag(source))
+
+    def query(self, u: int, v: int):
+        if self.level_of[u] <= self.level_of[v]:
+            return False
+        return None
+
+    def size_words(self) -> int:
+        return len(self.level_of)
+
+    def tables(self) -> list[int]:
+        """``level_of`` for the chain's fused loop."""
+        return self.level_of
+
+    def __repr__(self) -> str:
+        return f"<LevelObserver n={len(self.level_of)}>"

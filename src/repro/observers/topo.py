@@ -1,0 +1,73 @@
+"""Topological-order interval observer (negative short-circuits).
+
+The cheapest certificate there is: fix a topological order of the DAG
+and ``u ⇝ v`` with ``u ≠ v`` forces ``rank(u) < rank(v)``.  One
+comparison rejects roughly half of all random negative pairs.  This
+observer carries *two* orders — the forward order and a topological
+order of the reversed DAG — so a pair must be consistent with both
+before it can fall through, which is O'Reach's "topological interval"
+test written as two rank comparisons:
+
+* forward: ``rank(u) >= rank(v)`` → not reachable;
+* reverse:  ``u ⇝ v`` means ``v ⇝ u`` in the reversed DAG, so
+  ``rrank(v) < rrank(u)``; ``rrank(u) <= rrank(v)`` → not reachable.
+
+Prepared from a :class:`~repro.core.index.ChainIndex` the forward
+ranks are reused from the packed ``rank_of`` certificate array (this
+is the PR 2 pre-filter's rank half, lifted out of the index kernel
+into the chain); the reverse order is computed once from the
+condensation DAG.
+"""
+
+from __future__ import annotations
+
+from repro.graph.topology import topological_order_ids
+from repro.observers.interface import resolve_dag
+
+__all__ = ["TopologicalIntervalObserver"]
+
+
+class TopologicalIntervalObserver:
+    """Forward + reverse topological ranks; answers negatives only."""
+
+    name = "topo-interval"
+    answers = "negative"
+    kind = "topo"
+
+    def __init__(self) -> None:
+        self.rank_of: list[int] = []
+        self.reverse_rank_of: list[int] = []
+
+    def prepare(self, source) -> None:
+        dag = resolve_dag(source)
+        labeling = getattr(source, "_labeling", None)
+        if labeling is not None:
+            rank_of = list(labeling.rank_of)
+        else:
+            order = topological_order_ids(dag)
+            rank_of = [0] * dag.num_nodes
+            for rank, node in enumerate(order):
+                rank_of[node] = rank
+        reverse_order = topological_order_ids(dag.reversed())
+        reverse_rank_of = [0] * dag.num_nodes
+        for rank, node in enumerate(reverse_order):
+            reverse_rank_of[node] = rank
+        self.rank_of = rank_of
+        self.reverse_rank_of = reverse_rank_of
+
+    def query(self, u: int, v: int):
+        if self.rank_of[u] >= self.rank_of[v]:
+            return False
+        if self.reverse_rank_of[u] <= self.reverse_rank_of[v]:
+            return False
+        return None
+
+    def size_words(self) -> int:
+        return len(self.rank_of) + len(self.reverse_rank_of)
+
+    def tables(self) -> tuple[list[int], list[int]]:
+        """``(rank_of, reverse_rank_of)`` for the chain's fused loop."""
+        return self.rank_of, self.reverse_rank_of
+
+    def __repr__(self) -> str:
+        return f"<TopologicalIntervalObserver n={len(self.rank_of)}>"

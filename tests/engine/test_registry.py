@@ -103,3 +103,42 @@ class TestBuiltEngines:
     def test_composite_rejects_composite_sub_engine(self, graph):
         with pytest.raises(ValueError, match="composite"):
             engine.build("composite", graph, engine="composite")
+
+
+class TestObservedSpecs:
+    """The derived ``observed:<engine>`` registry entries."""
+
+    def test_every_engine_has_an_observed_variant(self):
+        for name in engine.names():
+            spec = engine.get(engine.OBSERVED_PREFIX + name)
+            assert spec.name == f"observed:{name}"
+
+    def test_observed_names_stay_out_of_the_listing(self):
+        assert not any(name.startswith(engine.OBSERVED_PREFIX)
+                       for name in engine.names())
+
+    def test_observed_flags_inherit_from_the_inner_spec(self):
+        for name in engine.names():
+            inner = engine.get(name)
+            observed = engine.get(engine.OBSERVED_PREFIX + name)
+            assert observed.capabilities == inner.capabilities, name
+            assert observed.paper_label is None
+
+    def test_derived_specs_are_cached(self):
+        first = engine.get("observed:bfs")
+        assert engine.get("observed:bfs") is first
+
+    def test_observer_chains_do_not_stack(self):
+        with pytest.raises(ValueError, match="do not stack"):
+            engine.get("observed:observed:bfs")
+
+    def test_unknown_inner_engine_still_raises(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            engine.get("observed:nope")
+
+    def test_observed_build_wraps_the_inner_engine(self, graph):
+        built = engine.build("observed:chain-stratified", graph)
+        assert built.name == "observed:chain-stratified"
+        assert built.inner.name == "chain-stratified"
+        assert built.is_reachable("a", "c")
+        assert not built.is_reachable("a", "y")

@@ -1,0 +1,255 @@
+"""``ObserverChain``: same answers as the bare engine, plus counters.
+
+The load-bearing equivalence — ``observed:<engine> ≡ <engine> ≡ BFS``
+for every registered engine — followed by the chain's metric contract
+(hits + misses account for every query; the lifted rank/level
+pre-filter keeps feeding ``query/prefilter_hits``), error forwarding,
+writable re-preparation, and the generic (non-fused) label path.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+import repro.engine as engine
+from repro.core.index import ChainIndex
+from repro.engine.adapters import ChainEngine
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import NodeNotFoundError
+from repro.graph.topology import check_dag
+from repro.obs import OBS
+from repro.observers import ObserverChain, observer_names
+
+from tests.conftest import (PAPER_FIG1_EDGES, bfs_reachable, small_dags,
+                            small_digraphs)
+
+
+def all_pairs(graph: DiGraph) -> list[tuple]:
+    nodes = graph.nodes()
+    return [(u, v) for u in nodes for v in nodes]
+
+
+# ----------------------------------------------------------------------
+# equivalence: observed:<engine> ≡ engine ≡ BFS
+# ----------------------------------------------------------------------
+@given(graph=small_digraphs(max_nodes=7))
+@settings(max_examples=15, deadline=None)
+def test_every_observed_engine_equals_bfs(graph):
+    pairs = all_pairs(graph)
+    oracle = [bfs_reachable(graph, u, v) for u, v in pairs]
+    for name in engine.names():
+        if name == "dynamic":
+            continue                     # DAG-only, covered below
+        observed = engine.build(f"observed:{name}", graph)
+        assert observed.is_reachable_many(pairs) == oracle, name
+        assert [observed.is_reachable(u, v)
+                for u, v in pairs] == oracle, name
+
+
+@given(graph=small_dags(max_nodes=7))
+@settings(max_examples=15, deadline=None)
+def test_observed_dynamic_engine_tracks_writes(graph):
+    """Writes dirty the observer tables; the next query re-prepares."""
+    observed = engine.build("observed:dynamic", graph)
+    n = graph.num_nodes
+    observed.add_node(n)
+    if n:
+        observed.add_edge(0, n)          # forward edge keeps it a DAG
+    expected = DiGraph.from_edges(graph.edges(),
+                                  nodes=list(graph.nodes()) + [n])
+    if n:
+        expected.add_edge(0, n)
+    pairs = all_pairs(expected)
+    oracle = [bfs_reachable(expected, u, v) for u, v in pairs]
+    assert observed.is_reachable_many(pairs) == oracle
+    assert [observed.is_reachable(u, v) for u, v in pairs] == oracle
+
+
+@given(graph=small_digraphs(max_nodes=8))
+@settings(max_examples=30, deadline=None)
+def test_generic_path_with_string_labels_equals_bfs(graph):
+    """Non-int labels skip the fused loop; answers must not change."""
+    relabeled = DiGraph()
+    for node in graph.nodes():
+        relabeled.add_node(f"n{node}")
+    for tail, head in graph.edges():
+        relabeled.add_edge(f"n{tail}", f"n{head}")
+    pairs = all_pairs(relabeled)
+    oracle = [bfs_reachable(relabeled, u, v) for u, v in pairs]
+    observed = engine.build("observed:chain-stratified", relabeled)
+    if relabeled.num_nodes:              # empty tables are trivially dense
+        assert observed._build_fused_tables() is None  # noqa: SLF001
+    assert observed.is_reachable_many(pairs) == oracle
+    assert [observed.is_reachable(u, v) for u, v in pairs] == oracle
+
+
+@given(graph=small_digraphs(max_nodes=7))
+@settings(max_examples=15, deadline=None)
+def test_custom_observer_subset_still_answers_correctly(graph):
+    """A hand-picked stack (out of fused order) takes the generic
+    path and stays equivalent."""
+    from repro.observers import specs
+    subset = [spec.factory() for spec in reversed(specs())]
+    inner = ChainEngine(ChainIndex.build(graph), "chain-stratified")
+    chain = ObserverChain.wrap(graph, inner, observers=subset)
+    assert chain._build_fused_tables() is None  # noqa: SLF001
+    pairs = all_pairs(graph)
+    oracle = [bfs_reachable(graph, u, v) for u, v in pairs]
+    assert chain.is_reachable_many(pairs) == oracle
+
+
+# ----------------------------------------------------------------------
+# fixtures for the deterministic tests
+# ----------------------------------------------------------------------
+@pytest.fixture
+def fig1_graph() -> DiGraph:
+    return DiGraph.from_edges(PAPER_FIG1_EDGES)
+
+
+@pytest.fixture
+def dense_fig1() -> DiGraph:
+    """Fig. 1(a) relabeled to dense ints so the fused path applies."""
+    source = DiGraph.from_edges(PAPER_FIG1_EDGES)
+    ids = {node: i for i, node in enumerate(sorted(source.nodes()))}
+    graph = DiGraph()
+    for node in source.nodes():
+        graph.add_node(ids[node])
+    for tail, head in source.edges():
+        graph.add_edge(ids[tail], ids[head])
+    return graph
+
+
+# ----------------------------------------------------------------------
+# metric contract
+# ----------------------------------------------------------------------
+class TestCounters:
+    def test_batch_hits_and_misses_account_for_every_query(
+            self, dense_fig1):
+        observed = engine.build("observed:chain-stratified",
+                                dense_fig1)
+        pairs = all_pairs(dense_fig1)
+        with OBS.capture() as metrics:
+            observed.is_reachable_many(pairs)
+        hits = sum(value for name, value in metrics.counters.items()
+                   if name.startswith("observers/hit/"))
+        misses = metrics.counters.get("observers/miss", 0)
+        assert hits + misses == len(pairs)
+        # every hit name is a registered observer or the chain's own
+        # reflexive bucket
+        allowed = set(observer_names()) | {"reflexive"}
+        for name in metrics.counters:
+            if name.startswith("observers/hit/"):
+                assert name.removeprefix("observers/hit/") in allowed
+        # over a chain inner, observer answers + inline probes cover
+        # the whole batch, so the dashboard total matches the bare run
+        assert metrics.counters["query/answered"] == len(pairs)
+        ratio = metrics.gauges["observers/o1_answer_ratio"]
+        assert 0.0 <= ratio <= 1.0
+        assert ratio == pytest.approx(hits / len(pairs))
+
+    def test_prefilter_alias_counts_topo_and_level_hits(
+            self, dense_fig1):
+        observed = engine.build("observed:chain-stratified",
+                                dense_fig1)
+        pairs = all_pairs(dense_fig1)
+        with OBS.capture() as metrics:
+            observed.is_reachable_many(pairs)
+        lifted = (metrics.counters.get("observers/hit/topo-interval", 0)
+                  + metrics.counters.get("observers/hit/level-bound", 0))
+        assert lifted > 0
+        assert metrics.counters["query/prefilter_hits"] == lifted
+
+    def test_scalar_path_publishes_the_same_totals(self, dense_fig1):
+        observed = engine.build("observed:chain-stratified",
+                                dense_fig1)
+        pairs = all_pairs(dense_fig1)
+        with OBS.capture() as batch_metrics:
+            observed.is_reachable_many(pairs)
+        with OBS.capture() as scalar_metrics:
+            for u, v in pairs:
+                observed.is_reachable(u, v)
+        batch = {name: value
+                 for name, value in batch_metrics.counters.items()
+                 if name.startswith(("observers/", "query/"))}
+        scalar = {name: value
+                  for name, value in scalar_metrics.counters.items()
+                  if name.startswith(("observers/", "query/"))}
+        assert scalar == batch
+
+    def test_observed_bfs_misses_count_the_fallthroughs(
+            self, dense_fig1):
+        """No inner index to inline: residuals show up as misses and
+        the gauge excludes them."""
+        observed = engine.build("observed:bfs", dense_fig1)
+        pairs = all_pairs(dense_fig1)
+        with OBS.capture() as metrics:
+            answers = observed.is_reachable_many(pairs)
+        assert answers == [bfs_reachable(dense_fig1, u, v)
+                           for u, v in pairs]
+        hits = sum(value for name, value in metrics.counters.items()
+                   if name.startswith("observers/hit/"))
+        misses = metrics.counters.get("observers/miss", 0)
+        assert hits + misses == len(pairs)
+        assert "query/probes" not in metrics.counters
+        ratio = metrics.gauges["observers/o1_answer_ratio"]
+        assert ratio == pytest.approx(hits / len(pairs))
+
+    def test_prepare_spans_cover_every_observer(self, dense_fig1):
+        with OBS.capture() as metrics:
+            engine.build("observed:chain-stratified", dense_fig1)
+        for name in observer_names():
+            # prepare runs inside the engine/build span, so the path
+            # is nested under it
+            assert any(span.endswith(f"observers/prepare/{name}")
+                       for span in metrics.spans), name
+
+
+# ----------------------------------------------------------------------
+# error forwarding and introspection
+# ----------------------------------------------------------------------
+class TestForwarding:
+    def test_unknown_node_raises_through_the_chain(self, fig1_graph):
+        observed = engine.build("observed:chain-stratified",
+                                fig1_graph)
+        with pytest.raises(NodeNotFoundError):
+            observed.is_reachable("a", "nope")
+        with pytest.raises(NodeNotFoundError):
+            observed.is_reachable("nope", "a")
+        with pytest.raises(NodeNotFoundError):
+            observed.is_reachable_many([("a", "b"), ("a", "nope")])
+
+    def test_unknown_dense_label_raises_through_the_chain(
+            self, dense_fig1):
+        observed = engine.build("observed:chain-stratified",
+                                dense_fig1)
+        for bad_pair in [(0, 99), (99, 0), (-1, 0), (0, -1)]:
+            with pytest.raises(NodeNotFoundError):
+                observed.is_reachable_many([bad_pair])
+
+    def test_describe_reports_the_stack(self, fig1_graph):
+        observed = engine.build("observed:chain-stratified",
+                                fig1_graph)
+        payload = observed.describe()
+        assert payload["engine"] == "observed:chain-stratified"
+        assert payload["inner"] == "chain-stratified"
+        assert payload["observers"] == list(observer_names())
+        assert payload["size_words"] >= observed.inner.size_words()
+
+    def test_inner_attributes_stay_reachable(self, fig1_graph):
+        observed = engine.build("observed:chain-stratified",
+                                fig1_graph)
+        # the PR 2 pre-filter statistic lives on the inner index and
+        # must stay addressable through the wrapper
+        assert observed.index is observed.inner.index
+        assert observed.prefilter_rejects("d", "a") is True
+        assert set(observed.descendants("a")) == {"a", "b", "c", "d",
+                                                  "e", "i"}
+
+    def test_capability_flags_mirror_the_inner_engine(self, fig1_graph):
+        check_dag(fig1_graph)            # Fig. 1(a): "dynamic" applies
+        for name in ("chain-stratified", "bfs", "dynamic"):
+            bare = engine.build(name, fig1_graph)
+            observed = engine.build(f"observed:{name}", fig1_graph)
+            for flag in ("supports_batch", "writable", "persistable",
+                         "enumerable"):
+                assert getattr(observed, flag) == getattr(bare, flag), \
+                    (name, flag)

@@ -1,0 +1,83 @@
+"""Soundness: an observer's non-``None`` answer is never wrong.
+
+The contract every observer must honour (``repro.observers.interface``):
+``query(u, v)`` may pass with ``None``, but a ``True``/``False`` is a
+*certificate* — checked here against a DFS oracle on random DAGs, for
+every registered observer, prepared both from a bare condensation DAG
+and from a built :class:`~repro.core.index.ChainIndex` (the table-reuse
+path).
+"""
+
+from hypothesis import given, settings
+
+import repro.observers as observers
+from repro.core.index import ChainIndex
+from repro.graph.scc import condense
+
+from tests.conftest import small_dags, small_digraphs
+
+
+def dag_reachability(dag) -> list[set[int]]:
+    """Reflexive reachable-set per node id, by DFS."""
+    adjacency = dag.adjacency()
+    reach = []
+    for start in range(dag.num_nodes):
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for child in adjacency[node]:
+                if child not in seen:
+                    seen.add(child)
+                    stack.append(child)
+        reach.append(seen)
+    return reach
+
+
+def assert_sound(observer, spec, dag) -> None:
+    reach = dag_reachability(dag)
+    for u in range(dag.num_nodes):
+        for v in range(dag.num_nodes):
+            if u == v:
+                continue
+            answer = observer.query(u, v)
+            if answer is None:
+                continue
+            truth = v in reach[u]
+            assert answer == truth, \
+                f"{spec.name} answered {answer} for {u}->{v}"
+            if spec.answers == "negative":
+                assert answer is False, \
+                    f"{spec.name} claims negatives only"
+
+
+@given(graph=small_dags(max_nodes=12))
+@settings(max_examples=40, deadline=None)
+def test_every_observer_is_sound_on_dags(graph):
+    dag = condense(graph).dag
+    for spec in observers.specs():
+        observer = spec.factory()
+        observer.prepare(dag)
+        assert_sound(observer, spec, dag)
+
+
+@given(graph=small_digraphs(max_nodes=9))
+@settings(max_examples=25, deadline=None)
+def test_every_observer_is_sound_prepared_from_a_chain_index(graph):
+    """The table-reuse path: rank/level come from the built labeling."""
+    index = ChainIndex.build(graph)
+    dag = index._condensation.dag  # noqa: SLF001 — the id space queried
+    for spec in observers.specs():
+        observer = spec.factory()
+        observer.prepare(index)
+        assert_sound(observer, spec, dag)
+
+
+def test_registry_exposes_four_observers_in_chain_order():
+    names = observers.observer_names()
+    assert names == ("topo-interval", "level-bound",
+                     "supporting-points", "multi-dfs")
+    stack = observers.default_observers()
+    assert [observer.name for observer in stack] == list(names)
+    for observer, spec in zip(stack, observers.specs()):
+        assert observer.answers == spec.answers

@@ -125,6 +125,103 @@ class TestQuery:
         assert "invalid choice" in capsys.readouterr().err
 
 
+class TestObserversFlag:
+    def test_query_with_observers_answers_the_same(self, tmp_path,
+                                                   capsys):
+        path = tmp_path / "g.txt"
+        write_edge_list(semi_random_dag(10, 0, seed=2), path)
+        assert main(["query", str(path), "0", "1",
+                     "--observers", "on"]) == 0
+        assert "yes" in capsys.readouterr().out
+        assert main(["query", str(path), "1", "0",
+                     "--observers", "on"]) == 1
+        assert "no" in capsys.readouterr().out
+
+    def test_query_observers_combine_with_engine_flag(self, tmp_path,
+                                                      capsys):
+        path = tmp_path / "g.txt"
+        write_edge_list(semi_random_dag(10, 0, seed=2), path)
+        assert main(["query", str(path), "0", "1", "--engine", "bfs",
+                     "--observers", "on"]) == 0
+        assert "yes" in capsys.readouterr().out
+
+    def test_stats_reports_the_observer_stack(self, graph_file,
+                                              capsys):
+        assert main(["stats", graph_file, "--observers", "on"]) == 0
+        out = capsys.readouterr().out
+        assert "engine:              observed:chain-stratified" in out
+        assert "engine observers:" in out
+        assert "topo-interval" in out
+
+    def test_observers_conflict_with_remote(self, capsys):
+        assert main(["query", "--remote", "127.0.0.1:1", "0", "1",
+                     "--observers", "on"]) == 2
+        assert "--observers" in capsys.readouterr().err
+
+    def test_observers_over_a_persisted_chain_index(self, graph_file,
+                                                    tmp_path, capsys):
+        index_path = tmp_path / "graph.idx"
+        assert main(["index", graph_file, "-o", str(index_path)]) == 0
+        capsys.readouterr()
+        assert main(["query", "--index", str(index_path), "0", "1",
+                     "--observers", "on"]) == 0
+        assert "yes" in capsys.readouterr().out
+
+    def test_observers_reject_non_chain_persisted_index(
+            self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        write_edge_list(semi_random_dag(20, 5, seed=4), path)
+        index_path = tmp_path / "composite.idx"
+        assert main(["index", str(path), "-o", str(index_path),
+                     "--engine", "composite"]) == 0
+        capsys.readouterr()
+        assert main(["query", "--index", str(index_path), "0", "1",
+                     "--observers", "on"]) == 2
+        assert "--observers" in capsys.readouterr().err
+
+    def test_serve_observers_conflict_with_index(self, graph_file,
+                                                 tmp_path, capsys):
+        index_path = tmp_path / "graph.idx"
+        assert main(["index", graph_file, "-o", str(index_path)]) == 0
+        capsys.readouterr()
+        assert main(["serve", "--index", str(index_path),
+                     "--observers", "on"]) == 2
+        assert "--observers" in capsys.readouterr().err
+
+    def test_serve_observers_subprocess_end_to_end(self, graph_file,
+                                                   tmp_path, capsys):
+        """``repro serve --observers on`` answers remote queries
+        through the observed engine."""
+        ready = tmp_path / "ready"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(
+            Path(__file__).resolve().parent.parent / "src")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", graph_file,
+             "--observers", "on", "--port", "0",
+             "--ready-file", str(ready)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+        try:
+            deadline = time.monotonic() + 30
+            while not ready.exists():
+                assert process.poll() is None, (
+                    process.stderr.read().decode())
+                assert time.monotonic() < deadline, "server never ready"
+                time.sleep(0.05)
+            host, port = ready.read_text().split()
+            assert main(["query", "--remote", f"{host}:{port}",
+                         "0", "1"]) == 0
+            assert "yes" in capsys.readouterr().out
+        finally:
+            process.send_signal(signal.SIGINT)
+            try:
+                stdout, _ = process.communicate(timeout=30)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                stdout, _ = process.communicate()
+        assert b"engine observed:chain-stratified" in stdout
+
+
 class TestIndexPersistence:
     def test_index_then_query(self, graph_file, tmp_path, capsys):
         index_path = tmp_path / "graph.idx"

@@ -10,7 +10,9 @@ Two guarantees:
   names in :data:`repro.obs.CATALOG` — no undocumented metrics, no
   documented ghosts;
 * the engines table in ``docs/API.md`` lists *exactly* the names in
-  the :mod:`repro.engine` registry.
+  the :mod:`repro.engine` registry;
+* the guarantee table in ``docs/OBSERVERS.md`` matches
+  :data:`repro.observers.OBSERVER_SPECS` row for row.
 """
 
 import io
@@ -117,6 +119,27 @@ def test_engine_doc_rows_match_registry_capabilities_and_labels():
         assert documented_caps == expected_caps, name
         label = label_cell.strip()
         assert label == (spec.paper_label or "—"), name
+
+
+def test_observers_doc_table_matches_the_registry():
+    """docs/OBSERVERS.md's guarantee table mirrors OBSERVER_SPECS —
+    same observers, same order, same declared guarantees and costs."""
+    import repro.observers as observers
+    text = (REPO / "docs" / "OBSERVERS.md").read_text(encoding="utf-8")
+    start = text.index("## The guarantee table")
+    end = text.find("\n## ", start)
+    section = text[start:end] if end != -1 else text[start:]
+    row = re.compile(
+        r"^\| `([^`]+)` \| ([^|]+) \| ([^|]+) \| ([^|]+) \|",
+        re.MULTILINE)
+    documented = [(name, answers.strip(), cost.strip(), memory.strip())
+                  for name, answers, cost, memory in row.findall(section)]
+    registered = [(spec.name, spec.answers, spec.prepare_cost,
+                   spec.memory) for spec in observers.specs()]
+    assert documented == registered, (
+        f"OBSERVERS.md guarantee table out of sync with "
+        f"OBSERVER_SPECS:\ndocumented: {documented}\n"
+        f"registered: {registered}")
 
 
 def test_service_doc_lists_exactly_the_service_metrics():
