@@ -4,7 +4,12 @@ Stands up the TCP reachability service over the Fig. 10 middle sparse
 workload and measures sequential single-query, concurrent
 (micro-batched), cached and bulk throughput end to end, writing the
 result to ``BENCH_serve.json`` at the repository root so the serving
-trajectory has comparable data points across commits.
+trajectory has comparable data points across commits.  The ``workers``
+section adds the multi-process WorkerPool scaling sweep (2 and 4
+workers vs the workers=0 baseline under the same multi-process client
+harness) plus the zero-downtime swap probe; its speedup gates are
+conditional on ``os.cpu_count()`` because a one-core box cannot show
+multi-process speedup.
 
 Run it either way::
 
@@ -35,7 +40,7 @@ SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
 def run_smoke(scale: float = SCALE) -> dict:
     """Measure once and write ``BENCH_serve.json``."""
-    result = serve_engine_smoke(scale)
+    result = serve_engine_smoke(scale, worker_counts=(2, 4))
     OUTPUT.write_text(json.dumps(result, indent=2, sort_keys=True)
                       + "\n", encoding="utf-8")
     return result
@@ -67,6 +72,24 @@ def test_serve_smoke_writes_bench_json():
     assert set(classes) <= {"positive", "negative", "prefilter_hit",
                             "cache_hit", "batch"}
     assert all(summary["count"] >= 1 for summary in classes.values())
+    # the multi-process scaling sweep ran and the swap lost nothing
+    pool = result["workers"]
+    assert pool["cpus"] == os.cpu_count()
+    assert pool["baseline_qps"] > 0
+    assert set(pool["scaling"]) == {"2", "4"}
+    assert all(qps > 0 for qps in pool["scaling"].values())
+    swap = pool["zero_downtime"]
+    assert swap["failures"] == 0, (
+        f"queries failed during the live swap: {swap}")
+    assert swap["answered"] == swap["queries"]
+    assert swap["epoch_after"] > swap["epoch_before"]
+    # speedup gates only where the hardware can express a speedup
+    if os.cpu_count() >= 2:
+        assert pool["speedup"]["2"] >= 1.6, (
+            f"2-worker pool only {pool['speedup']['2']:.2f}x baseline")
+    if os.cpu_count() >= 4:
+        assert pool["speedup"]["4"] >= 3.0, (
+            f"4-worker pool only {pool['speedup']['4']:.2f}x baseline")
 
 
 def main() -> int:

@@ -36,6 +36,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--out", type=Path, default=None,
         help="directory to also write one report file per experiment")
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="serve-smoke only: also measure a WorkerPool at N worker "
+             "processes against the single-process baseline")
     return parser
 
 
@@ -47,7 +51,10 @@ def main(argv: list[str] | None = None) -> int:
     else:
         names = [args.experiment]
     for name in names:
-        report = ALL_EXPERIMENTS[name](scale=args.scale)
+        kwargs = {"scale": args.scale}
+        if name == "serve-smoke" and args.workers:
+            kwargs["workers"] = args.workers
+        report = ALL_EXPERIMENTS[name](**kwargs)
         print(report)
         if args.out is not None:
             args.out.mkdir(parents=True, exist_ok=True)

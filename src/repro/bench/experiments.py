@@ -279,10 +279,16 @@ def run_observer_smoke(scale: float = 1.0) -> str:
         rows)
 
 
-def run_serve_smoke(scale: float = 1.0) -> str:
-    """Serving-layer throughput: sequential vs micro-batched vs bulk."""
+def run_serve_smoke(scale: float = 1.0, workers: int = 0) -> str:
+    """Serving-layer throughput: sequential vs micro-batched vs bulk.
+
+    ``workers > 0`` also runs the multi-process WorkerPool scaling
+    probe at that worker count (``repro-bench serve-smoke --workers 2``
+    in CI) and appends its rows.
+    """
     from repro.bench.serving import serve_engine_smoke
-    result = serve_engine_smoke(scale)
+    result = serve_engine_smoke(
+        scale, worker_counts=(workers,) if workers else ())
     rows = [
         ("sequential queries/sec", f"{result['sequential_qps']:,.0f}"),
         ("concurrent (batched) queries/sec",
@@ -304,6 +310,21 @@ def run_serve_smoke(scale: float = 1.0) -> str:
     for klass, summary in sorted(result["latency_classes"].items()):
         rows.append((f"{klass} p99", f"{1e3 * summary['p99']:.2f} ms "
                                      f"(n={summary['count']:,})"))
+    if "workers" in result:
+        pool = result["workers"]
+        rows.append(("cpus on this box", f"{pool['cpus']}"))
+        rows.append(("pool baseline (workers=0) queries/sec",
+                     f"{pool['baseline_qps']:,.0f}"))
+        for count, qps in sorted(pool["scaling"].items(),
+                                 key=lambda item: int(item[0])):
+            rows.append((f"pool {count}-worker queries/sec",
+                         f"{qps:,.0f} "
+                         f"({pool['speedup'][count]:.2f}x baseline)"))
+        swap = pool["zero_downtime"]
+        rows.append(("pool zero-downtime swap",
+                     f"epoch {swap['epoch_before']} -> "
+                     f"{swap['epoch_after']}, {swap['failures']} "
+                     f"failures / {swap['answered']:,} answered"))
     return render_table(
         f"Serving smoke — {result['workload']}, "
         f"{result['queries']:,} queries over "

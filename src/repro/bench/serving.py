@@ -18,17 +18,33 @@ exercises the epoch-keyed result cache, and the run finishes with a
 few ``add_edge`` writes plus a ``reload`` to count a live
 rebuild-and-swap.  Everything runs in one process and one event loop —
 no free ports, threads or subprocesses to leak.
+
+:func:`pool_scaling_smoke` is the multi-process counterpart: the same
+workload served through a :class:`~repro.service.WorkerPool` at each
+requested worker count, driven by **separate client processes**
+(blocking ``query_batch`` chunks) so the load generator is never the
+single-process bottleneck it would be in-loop.  The ``workers=0``
+baseline is measured under the *same* harness, and the final pool run
+takes a write burst plus ``reload`` mid-flight to record the
+zero-downtime swap (queries answered, failures — expected zero —
+and the epoch transition).  Results land in the ``workers`` section of
+``BENCH_serve.json``; ``cpus`` is recorded because scaling numbers
+from a one-core box are not speedups.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import multiprocessing
+import os
 import time
 
-__all__ = ["serve_engine_smoke"]
+__all__ = ["serve_engine_smoke", "pool_scaling_smoke"]
 
 CONNECTIONS = 16
+POOL_CLIENT_PROCESSES = 2
+POOL_BATCH = 32
 
 
 async def _request(reader, writer, payload: dict) -> dict:
@@ -162,7 +178,170 @@ async def _smoke(scale: float) -> dict:
     }
 
 
-def serve_engine_smoke(scale: float = 1.0) -> dict:
+def serve_engine_smoke(scale: float = 1.0,
+                       worker_counts: tuple[int, ...] = ()) -> dict:
     """Run the serving smoke end to end; the dict behind
-    ``BENCH_serve.json`` and the ``serve-smoke`` experiment."""
-    return asyncio.run(_smoke(scale))
+    ``BENCH_serve.json`` and the ``serve-smoke`` experiment.
+
+    A non-empty ``worker_counts`` appends the multi-process scaling
+    section (:func:`pool_scaling_smoke`) under the ``workers`` key.
+    """
+    result = asyncio.run(_smoke(scale))
+    if worker_counts:
+        result["workers"] = pool_scaling_smoke(scale,
+                                               tuple(worker_counts))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Multi-process scaling: WorkerPool vs the single-process baseline
+# ----------------------------------------------------------------------
+def _pool_client(host, port, pairs, batch, barrier, results) -> None:
+    """Load-generator child process: blocking ``query_batch`` chunks.
+
+    Waits on ``barrier`` after connecting so every generator starts
+    timing together (interpreter spawn cost stays out of the qps), then
+    reports ``(answered, failures, elapsed_seconds)``.  A chunk lost to
+    a dropped connection counts as failures, never as an exception —
+    the zero-downtime phase asserts this stays zero across a swap.
+    """
+    from repro.service import ServiceClient
+
+    client = ServiceClient(host, port, timeout=30.0)
+    answered = failures = 0
+    barrier.wait()
+    started = time.perf_counter()
+    for index in range(0, len(pairs), batch):
+        chunk = pairs[index:index + batch]
+        try:
+            response = client.call(
+                {"op": "query_batch",
+                 "pairs": [list(pair) for pair in chunk]})
+            answered += len(response["reachable"])
+        except Exception:
+            failures += len(chunk)
+    elapsed = time.perf_counter() - started
+    client.close()
+    results.put((answered, failures, elapsed))
+
+
+def _measure_remote_qps(host, port, queries, *, mutate=None) -> dict:
+    """Drive ``(host, port)`` from ``POOL_CLIENT_PROCESSES`` generator
+    processes; qps = total answered / slowest generator's window.
+
+    ``mutate`` (optional) runs in *this* process once the generators
+    start firing — the zero-downtime write-burst-plus-reload hook.
+    """
+    context = multiprocessing.get_context("spawn")
+    parties = POOL_CLIENT_PROCESSES + (1 if mutate is not None else 0)
+    barrier = context.Barrier(parties)
+    results = context.SimpleQueue()
+    shards = [queries[i::POOL_CLIENT_PROCESSES]
+              for i in range(POOL_CLIENT_PROCESSES)]
+    generators = [
+        context.Process(target=_pool_client,
+                        args=(host, port, shard, POOL_BATCH, barrier,
+                              results),
+                        daemon=True)
+        for shard in shards if shard]
+    for generator in generators:
+        generator.start()
+    if mutate is not None:
+        barrier.wait()
+        mutate()
+    answered = failures = 0
+    slowest = 0.0
+    for _ in generators:
+        count, failed, elapsed = results.get()
+        answered += count
+        failures += failed
+        slowest = max(slowest, elapsed)
+    for generator in generators:
+        generator.join()
+    return {"answered": answered, "failures": failures,
+            "qps": answered / slowest if slowest else 0.0}
+
+
+def pool_scaling_smoke(scale: float = 1.0,
+                       worker_counts: tuple[int, ...] = (2, 4)) -> dict:
+    """Measure WorkerPool throughput at each worker count.
+
+    The ``workers=0`` baseline is a single-process service measured
+    under the identical client harness; the last pool run doubles as
+    the zero-downtime probe (writes + ``reload`` land mid-load and
+    every in-flight query must still answer).
+    """
+    from repro.bench.harness import random_queries
+    from repro.bench.workloads import smoke_workload
+    from repro.service import (
+        IndexManager,
+        ServiceClient,
+        WorkerPool,
+        start_in_thread,
+    )
+
+    workload = smoke_workload(scale)
+    graph = workload.graph
+    queries = random_queries(graph, max(640, int(3200 * scale)), seed=31)
+    options = {"max_batch": 256, "max_wait_us": 1000,
+               "max_pending": 4096}
+
+    handle = start_in_thread(IndexManager.from_graph(graph), port=0,
+                             **options)
+    try:
+        host, port = handle.address
+        baseline = _measure_remote_qps(host, port, queries)
+    finally:
+        handle.stop()
+
+    scaling: dict[str, float] = {}
+    zero_downtime: dict | None = None
+    for count in worker_counts:
+        manager = IndexManager.from_graph(graph)
+        pool = WorkerPool(manager, workers=count, port=0,
+                          service_options=options)
+        host, port = pool.start()
+        try:
+            mutate = None
+            last = count == worker_counts[-1]
+            if last:
+                epoch_before = manager.epoch
+
+                def mutate() -> None:
+                    with ServiceClient(host, port,
+                                       timeout=30.0) as writer:
+                        nodes = graph.nodes()
+                        for offset in range(4):
+                            writer.call(
+                                {"op": "add_edge",
+                                 "source": nodes[offset],
+                                 "target": f"pool-extra-{offset}"})
+                        writer.call({"op": "reload"})
+
+            measured = _measure_remote_qps(host, port, queries,
+                                           mutate=mutate)
+            scaling[str(count)] = measured["qps"]
+            if last:
+                pool.wait_epoch(epoch_before + 1)
+                zero_downtime = {
+                    "queries": len(queries),
+                    "answered": measured["answered"],
+                    "failures": measured["failures"],
+                    "epoch_before": epoch_before,
+                    "epoch_after": manager.epoch,
+                }
+        finally:
+            pool.stop()
+
+    baseline_qps = baseline["qps"]
+    return {
+        "cpus": os.cpu_count(),
+        "client_processes": POOL_CLIENT_PROCESSES,
+        "batch": POOL_BATCH,
+        "queries": len(queries),
+        "baseline_qps": baseline_qps,
+        "scaling": scaling,
+        "speedup": {count: qps / baseline_qps if baseline_qps else 0.0
+                    for count, qps in scaling.items()},
+        "zero_downtime": zero_downtime,
+    }

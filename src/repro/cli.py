@@ -47,6 +47,8 @@ transfers, ...) and query counters::
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from contextlib import contextmanager
 from pathlib import Path
@@ -309,9 +311,14 @@ def _cmd_serve(args) -> int:
             engine_name = _observed_name(
                 engine_name or f"chain-{args.method or 'stratified'}")
         try:
+            # under a worker pool the pool owns write-triggered swaps
+            # (it must publish + broadcast each epoch), so the manager
+            # itself never auto-swaps
             manager = IndexManager.from_graph(
                 _load(args.graph), method=args.method or "stratified",
-                engine=engine_name, auto_swap_after=args.swap_after)
+                engine=engine_name,
+                auto_swap_after=(None if args.workers
+                                 else args.swap_after))
         except ValueError as exc:            # engine/method conflict
             print(f"serve: {exc}", file=sys.stderr)
             return 2
@@ -319,6 +326,8 @@ def _cmd_serve(args) -> int:
     else:
         print("serve needs a graph file or --index", file=sys.stderr)
         return 2
+    if args.workers:
+        return _serve_pool(args, manager, label)
     if args.metrics_port is not None:
         # the exposition endpoint is most useful with the registry's
         # counters/spans included, so a metrics listener enables OBS
@@ -342,8 +351,9 @@ def _cmd_serve(args) -> int:
             print(f"metrics on http://{metrics_host}:{metrics_port}"
                   f"/metrics", flush=True)
         if args.ready_file:
-            Path(args.ready_file).write_text(f"{host} {port}\n",
-                                             encoding="utf-8")
+            _write_ready_file(args.ready_file, host, port,
+                              epoch=manager.epoch, workers=0,
+                              pids=[os.getpid()])
         try:
             await service.serve_forever()
         finally:
@@ -353,6 +363,69 @@ def _cmd_serve(args) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:
         pass                      # Ctrl-C lands here or exits run() cleanly
+    print("drained and stopped")
+    return 0
+
+
+def _write_ready_file(path, host, port, *, epoch, workers, pids) -> None:
+    """One JSON line: address + epoch + serving pids, written only
+    once every listener is accepting (docs/SERVICE.md)."""
+    payload = {"host": host, "port": port, "epoch": epoch,
+               "workers": workers, "pids": pids}
+    Path(path).write_text(json.dumps(payload) + "\n", encoding="utf-8")
+
+
+def _serve_pool(args, manager, label) -> int:
+    """Run the multi-process worker pool until interrupted."""
+    import signal
+    import time
+
+    from repro.service import ServiceError, WorkerPool
+
+    if args.metrics_port is not None:
+        OBS.enable()
+    pool = WorkerPool(
+        manager, workers=args.workers, host=args.host, port=args.port,
+        swap_after=args.swap_after, metrics_port=args.metrics_port,
+        service_options={
+            "max_batch": args.max_batch,
+            "max_wait_us": args.max_wait_us,
+            "max_pending": args.max_pending,
+            "cache_size": args.cache_size,
+            "request_timeout": args.request_timeout,
+        },
+        log=args.log)
+    try:
+        host, port = pool.start()
+    except (ServiceError, OSError) as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    pids = pool.worker_pids()
+    print(f"serving {label} on {host}:{port} "
+          f"({args.workers} workers, pids {pids}, "
+          f"engine {manager.stats()['engine']}, "
+          f"epoch {manager.epoch}, writable={manager.writable})",
+          flush=True)
+    if pool.metrics_address is not None:
+        metrics_host, metrics_port = pool.metrics_address
+        print(f"metrics on http://{metrics_host}:{metrics_port}"
+              f"/metrics", flush=True)
+    if args.ready_file:
+        _write_ready_file(args.ready_file, host, port,
+                          epoch=pool.epoch,
+                          workers=pool.alive_workers(), pids=pids)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        pool.stop()
     print("drained and stopped")
     return 0
 
@@ -549,9 +622,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--swap-after", type=int, default=64,
                        metavar="N",
                        help="auto rebuild-and-swap after N writes")
+    serve.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="serve through N worker processes attached "
+                            "to a shared-memory snapshot (0 = single "
+                            "process; needs a chain engine)")
     serve.add_argument("--ready-file", default=None, metavar="FILE",
-                       help="write 'HOST PORT' to FILE once listening "
-                            "(for scripts supervising the server)")
+                       help="write a JSON line {host, port, epoch, "
+                            "workers, pids} to FILE once every "
+                            "listener is accepting (for scripts "
+                            "supervising the server)")
     serve.add_argument("--metrics-port", type=int, default=None,
                        metavar="PORT",
                        help="serve Prometheus text exposition over "

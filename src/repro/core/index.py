@@ -286,6 +286,14 @@ class ChainIndex:
         tables are plain lists — indexing a list is measurably faster
         than ``array('l')`` in CPython — built once and cached; the
         canonical storage stays the packed arrays on the labeling.
+
+        Exception: a labeling *borrowed* from a shared-memory segment
+        (memoryview-backed, :mod:`repro.service.shm`) keeps its
+        ``seq_chains`` / ``seq_positions`` as the read-only views —
+        copying them into lists would privatise the largest arrays in
+        every worker process and forfeit the zero-copy attach.  The
+        per-component tables above are small (one int per component)
+        and are rebuilt as lists either way.
         """
         component_of = self._condensation.component_of
         count = len(component_of)
@@ -311,8 +319,13 @@ class ChainIndex:
             position_of[label] = positions[component]
             seq_lo[label] = offsets[component]
             seq_hi[label] = offsets[component + 1]
+        seq_chains = labeling.seq_chains
+        seq_positions = labeling.seq_positions
+        if not isinstance(seq_chains, memoryview):
+            seq_chains = list(seq_chains)
+            seq_positions = list(seq_positions)
         return (rank_of, level_of, chain_of, position_of, seq_lo, seq_hi,
-                list(labeling.seq_chains), list(labeling.seq_positions))
+                seq_chains, seq_positions)
 
     def _raise_batch_missing(self, pairs) -> None:
         """Re-scan a failed batch slowly to name the missing operand."""

@@ -70,7 +70,8 @@ from repro.graph.digraph import DiGraph
 from repro.graph.topology import topological_order_ids
 from repro.obs import OBS
 
-__all__ = ["ChainLabeling", "build_labeling", "merge_index_sequences"]
+__all__ = ["ChainLabeling", "build_labeling", "merge_index_sequences",
+           "packed_fields"]
 
 
 def merge_index_sequences(left: list[tuple[int, int]],
@@ -107,22 +108,57 @@ def merge_index_sequences(left: list[tuple[int, int]],
     return merged
 
 
-def _as_array(values) -> array:
-    """Coerce any int sequence to a native ``array('l')`` buffer."""
+def _as_buffer(values):
+    """Coerce an int sequence to a native signed-long buffer.
+
+    An ``array('l')`` passes through untouched (the owning case); a
+    signed-long ``memoryview`` passes through too — that is the
+    *borrowed* case the shared-memory serving path relies on: a
+    labeling constructed from views over an attached segment indexes,
+    slices and bisects exactly like one over owned arrays, without
+    copying a byte.  Anything else (lists from JSON, generators) is
+    copied into a fresh ``array('l')``.
+    """
     if isinstance(values, array) and values.typecode == "l":
         return values
+    if isinstance(values, memoryview) and values.format == "l":
+        return values
     return array("l", values)
+
+
+def packed_fields(labeling: "ChainLabeling") -> dict:
+    """The seven packed buffers, keyed by their persistence names.
+
+    This is the single shared view of a labeling's storage: the
+    persistence v2 writer serialises exactly these fields, the
+    checksum (:func:`repro.core.persistence.labeling_checksum`) is
+    defined over them in this key order, and the shared-memory
+    publisher maps their raw bytes into a segment.  Values are the
+    live buffers — ``array('l')`` or borrowed ``memoryview`` — never
+    copies.
+    """
+    return {
+        "chain_of": labeling.chain_of,
+        "position_of": labeling.position_of,
+        "rank_of": labeling.rank_of,
+        "level_of": labeling.level_of,
+        "sequence_offsets": labeling.seq_offsets,
+        "sequence_chains": labeling.seq_chains,
+        "sequence_positions": labeling.seq_positions,
+    }
 
 
 class ChainLabeling:
     """Chain coordinates, index sequences and pre-filter certificates.
 
-    All storage is flat ``array('l')``: per-node ``chain_of`` /
-    ``position_of`` / ``rank_of`` / ``level_of`` plus the CSR triple
-    ``seq_offsets`` / ``seq_chains`` / ``seq_positions`` (see the
-    module docstring for the layout).  The legacy per-node tuple views
-    remain available as the :attr:`sequence_chains` /
-    :attr:`sequence_positions` properties.
+    All storage is flat ``array('l')`` — or, for a labeling attached
+    to a shared-memory segment, borrowed read-only signed-long
+    ``memoryview`` slices with identical indexing/bisect semantics:
+    per-node ``chain_of`` / ``position_of`` / ``rank_of`` /
+    ``level_of`` plus the CSR triple ``seq_offsets`` / ``seq_chains``
+    / ``seq_positions`` (see the module docstring for the layout).
+    The legacy per-node tuple views remain available as the
+    :attr:`sequence_chains` / :attr:`sequence_positions` properties.
     """
 
     __slots__ = ("num_chains", "chain_of", "position_of", "rank_of",
@@ -133,13 +169,13 @@ class ChainLabeling:
                  rank_of, level_of, seq_offsets, seq_chains,
                  seq_positions) -> None:
         self.num_chains = num_chains
-        self.chain_of = _as_array(chain_of)
-        self.position_of = _as_array(position_of)
-        self.rank_of = _as_array(rank_of)
-        self.level_of = _as_array(level_of)
-        self.seq_offsets = _as_array(seq_offsets)
-        self.seq_chains = _as_array(seq_chains)
-        self.seq_positions = _as_array(seq_positions)
+        self.chain_of = _as_buffer(chain_of)
+        self.position_of = _as_buffer(position_of)
+        self.rank_of = _as_buffer(rank_of)
+        self.level_of = _as_buffer(level_of)
+        self.seq_offsets = _as_buffer(seq_offsets)
+        self.seq_chains = _as_buffer(seq_chains)
+        self.seq_positions = _as_buffer(seq_positions)
 
     # ------------------------------------------------------------------
     # queries

@@ -52,7 +52,7 @@ from typing import TextIO
 
 from repro.core.chains import ChainDecomposition
 from repro.core.index import ChainIndex
-from repro.core.labeling import ChainLabeling
+from repro.core.labeling import ChainLabeling, packed_fields
 from repro.graph.digraph import DiGraph
 from repro.graph.errors import GraphFormatError, IndexFormatError
 from repro.graph.scc import Condensation
@@ -151,16 +151,13 @@ def _document(index: ChainIndex) -> dict:
                     f"node label {node!r} is not JSON-serialisable; "
                     f"persistence supports str/int/float/bool labels")
     labeling = index._labeling
-    packed = {
-        "num_chains": labeling.num_chains,
-        "chain_of": labeling.chain_of.tolist(),
-        "position_of": labeling.position_of.tolist(),
-        "rank_of": labeling.rank_of.tolist(),
-        "level_of": labeling.level_of.tolist(),
-        "sequence_offsets": labeling.seq_offsets.tolist(),
-        "sequence_chains": labeling.seq_chains.tolist(),
-        "sequence_positions": labeling.seq_positions.tolist(),
-    }
+    # packed_fields is the single shared view of the labeling's
+    # storage: the same seven buffers (owned arrays or borrowed
+    # shared-memory views) feed this JSON dump, the checksum and the
+    # repro.service.shm segment writer.
+    packed = {"num_chains": labeling.num_chains}
+    packed.update((name, buffer.tolist())
+                  for name, buffer in packed_fields(labeling).items())
     return {
         "format": "repro-chain-index",
         "version": FORMAT_VERSION,

@@ -162,6 +162,9 @@ CATALOG: tuple[MetricSpec, ...] = (
                "the dynamic shadow"),
     MetricSpec("service/swaps", "counter", "count",
                "IndexManager — snapshots promoted by rebuild-and-swap"),
+    MetricSpec("service/reattach", "counter", "count",
+               "WorkerPool — segment re-attaches completed by workers "
+               "after an epoch publish (one per worker per swap)"),
     MetricSpec("engine/queries/{engine}", "counter", "count",
                "engine adapters — queries answered through the engine "
                "seam (batch calls count len(pairs) in one publish)"),
@@ -188,6 +191,9 @@ CATALOG: tuple[MetricSpec, ...] = (
                "MicroBatcher — queue depth observed at each flush"),
     MetricSpec("service/epoch", "gauge", "epoch",
                "IndexManager — epoch of the published snapshot"),
+    MetricSpec("service/workers", "gauge", "workers",
+               "WorkerPool — live worker processes serving the pool "
+               "(0 in single-process mode)"),
     MetricSpec("engine/components", "gauge", "components",
                "CompositeEngine.build — weak components partitioned"),
     MetricSpec("observers/o1_answer_ratio", "gauge", "ratio",

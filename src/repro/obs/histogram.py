@@ -190,6 +190,51 @@ class Histogram:
             "p999": p999,
         }
 
+    # -- cross-process transport --------------------------------------
+    def state(self) -> dict:
+        """A picklable snapshot that reconstructs this histogram exactly.
+
+        Unlike :meth:`to_dict` (which reports bucket *upper bounds* for
+        human/export consumption), ``state`` keys raw flat bucket
+        indices, so :meth:`from_state` and :meth:`merge_state` rebuild
+        the identical bucket layout — this is what worker processes ship
+        over the control pipe for exact pool-wide aggregation.
+        """
+        with self._lock:
+            return {
+                "buckets": dict(self._buckets),
+                "count": self.count,
+                "sum": self.sum,
+                "zeros": self.zeros,
+                "min": self.min_value,
+                "max": self.max_value,
+            }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Histogram":
+        """Reconstruct a histogram from a :meth:`state` snapshot."""
+        histogram = cls()
+        histogram.merge_state(state)
+        return histogram
+
+    def merge_state(self, state: dict) -> "Histogram":
+        """Fold a :meth:`state` snapshot into ``self`` (exact, like
+        :meth:`merge`, but from the transported form — JSON round-trips
+        turn the bucket keys into strings, which is tolerated)."""
+        with self._lock:
+            for index, bucket_count in state["buckets"].items():
+                index = int(index)
+                self._buckets[index] = (self._buckets.get(index, 0)
+                                        + bucket_count)
+            self.count += state["count"]
+            self.sum += state["sum"]
+            self.zeros += state["zeros"]
+            if state["count"] and state["min"] < self.min_value:
+                self.min_value = state["min"]
+            if state["max"] > self.max_value:
+                self.max_value = state["max"]
+        return self
+
     def to_dict(self) -> dict:
         """The ``repro.obs/2`` export shape for one histogram."""
         with self._lock:

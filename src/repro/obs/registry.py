@@ -271,6 +271,55 @@ class MetricsRegistry:
         with self._lock:
             return dict(self._histograms)
 
+    # -- cross-process transport --------------------------------------
+    def state(self) -> dict:
+        """A picklable snapshot for exact cross-process aggregation.
+
+        Unlike :meth:`to_dict` (the human/export shape, whose histogram
+        buckets carry upper *bounds*), ``state`` keeps raw histogram
+        bucket indices (:meth:`Histogram.state`) so
+        :meth:`merge_state` reconstructs distributions exactly — this is
+        what pool workers ship to the parent over the control pipe.
+        """
+        with self._lock:
+            return {
+                "spans": {path: stats.to_dict()
+                          for path, stats in self._spans.items()},
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {name: histogram.state()
+                               for name, histogram in
+                               self._histograms.items()},
+            }
+
+    def merge_state(self, state: dict) -> "MetricsRegistry":
+        """Fold a :meth:`state` snapshot into ``self``.
+
+        Counters and span aggregates add; gauges keep the incoming
+        value (last writer wins — pool-level gauges like
+        ``service/workers`` are set by the parent after merging);
+        histograms merge exactly by bucket counts.
+        """
+        with self._lock:
+            for path, stats_dict in state.get("spans", {}).items():
+                stats = self._spans.get(path)
+                if stats is None:
+                    stats = self._spans[path] = SpanStats()
+                stats.count += stats_dict["count"]
+                stats.seconds += stats_dict["seconds"]
+                if stats_dict["min_seconds"] < stats.min_seconds:
+                    stats.min_seconds = stats_dict["min_seconds"]
+                if stats_dict["max_seconds"] > stats.max_seconds:
+                    stats.max_seconds = stats_dict["max_seconds"]
+            for name, amount in state.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + amount
+            self._gauges.update(state.get("gauges", {}))
+            for name, histogram_state in state.get("histograms",
+                                                   {}).items():
+                histogram = self._histograms.setdefault(name, Histogram())
+                histogram.merge_state(histogram_state)
+        return self
+
     # -- export -------------------------------------------------------
     def to_dict(self) -> dict:
         """The full registry state under the ``repro.obs/2`` schema."""

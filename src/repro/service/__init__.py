@@ -17,6 +17,12 @@ The missing layer between the fast batch engine and "heavy traffic":
   ``add_edge`` / ``stats`` / ``metrics`` / ``reload``) with
   per-request timeouts and graceful drain, plus
   :class:`ServiceClient`, its blocking client;
+* :class:`WorkerPool` — multi-process serving: each epoch's packed
+  index published once into a shared-memory segment
+  (:mod:`repro.service.shm`), N worker processes attached read-only
+  over memoryviews (zero copies), connections spread via SO_REUSEPORT,
+  writes proxied to the single parent writer, stats/metrics aggregated
+  pool-wide, crash respawn and zero-downtime epoch re-attach;
 * serving-path telemetry — every query carries a
   :class:`~repro.service.tracing.Trace` (``"trace": true`` echoes the
   stage breakdown), per-class latency histograms and a
@@ -40,16 +46,22 @@ from repro.service.errors import (
     WritesUnsupportedError,
 )
 from repro.service.manager import IndexManager, Snapshot
+from repro.service.pool import WorkerPool
 from repro.service.server import (
     ReachabilityService,
     ThreadedService,
     start_in_thread,
 )
+from repro.service.shm import AttachedIndex, attach_index, dump_index
 from repro.service.tracing import SlowTraceRing, Trace
 
 __all__ = [
     "IndexManager",
     "Snapshot",
+    "WorkerPool",
+    "dump_index",
+    "attach_index",
+    "AttachedIndex",
     "MicroBatcher",
     "BATCH_SIZE_BUCKETS",
     "ResultCache",

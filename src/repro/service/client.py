@@ -4,6 +4,16 @@ Used by ``repro-graph query --remote HOST:PORT``, the serve-smoke load
 generator's sequential baseline, and any synchronous embedder.  One
 socket, one request in flight at a time (responses arrive in request
 order); concurrency comes from opening more clients.
+
+Idempotent read verbs (``query``, ``query_batch``, ``stats``,
+``metrics``, ``ping``) transparently reconnect and retry **once** when
+the connection drops mid-call (``ECONNRESET`` / ``EPIPE`` / the server
+closing the stream) — under the worker pool a respawned worker
+replaces a SIGKILLed sibling within the same port, so the client's
+next attempt lands on a healthy process instead of surfacing a
+:class:`ServiceError`.  Writes and timeouts are never retried: a write
+may have been applied before the connection died, and a timeout says
+nothing about the connection.
 """
 
 from __future__ import annotations
@@ -15,14 +25,34 @@ from repro.service.errors import RemoteError, ServiceError
 
 __all__ = ["ServiceClient"]
 
+#: wire ops safe to retry after a transparent reconnect: answering one
+#: twice is indistinguishable from answering it once
+_IDEMPOTENT_OPS = frozenset(
+    {"query", "query_batch", "stats", "metrics", "ping"})
+
+
+class _ConnectionDropped(Exception):
+    """Internal: the TCP connection died mid-call (retryable)."""
+
+    def __init__(self, message: str,
+                 cause: OSError | None = None) -> None:
+        super().__init__(message)
+        self.cause = cause
+
 
 class ServiceClient:
     """Blocking NDJSON client: ``ServiceClient("127.0.0.1", 7431)``."""
 
     def __init__(self, host: str, port: int,
                  timeout: float = 10.0) -> None:
-        self._sock = socket.create_connection((host, port),
-                                              timeout=timeout)
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout)
         self._reader = self._sock.makefile("rb")
 
     @classmethod
@@ -91,16 +121,39 @@ class ServiceClient:
 
         Raises :class:`RemoteError` (carrying the wire-level ``code``)
         for an error response and :class:`ServiceError` when the
-        connection drops mid-call.
+        connection drops mid-call.  Idempotent read verbs reconnect
+        and retry once before giving up (see module docstring).
         """
+        try:
+            return self._call_once(request)
+        except _ConnectionDropped as exc:
+            if request.get("op") not in _IDEMPOTENT_OPS:
+                raise ServiceError(str(exc)) from exc.cause
+            try:
+                self.close()
+            except OSError:
+                pass
+            try:
+                self._connect()
+                return self._call_once(request)
+            except (_ConnectionDropped, OSError) as retry_exc:
+                raise ServiceError(
+                    f"retry after reconnect failed: {retry_exc}"
+                ) from retry_exc
+
+    def _call_once(self, request: dict) -> dict:
         payload = json.dumps(request, separators=(",", ":"))
         try:
             self._sock.sendall(payload.encode("utf-8") + b"\n")
             line = self._reader.readline()
-        except OSError as exc:
+        except socket.timeout as exc:
+            # not retryable: the request may still be in flight
             raise ServiceError(f"connection failed: {exc}") from exc
+        except OSError as exc:
+            raise _ConnectionDropped(f"connection failed: {exc}",
+                                     exc) from exc
         if not line:
-            raise ServiceError("server closed the connection")
+            raise _ConnectionDropped("server closed the connection")
         response = json.loads(line)
         if not response.get("ok"):
             raise RemoteError(response.get("error", "internal"),

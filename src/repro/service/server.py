@@ -89,8 +89,22 @@ class ReachabilityService:
                  drain_grace: float = 5.0,
                  metrics_port: int | None = None,
                  log=None, slow_query_ms: float | None = None,
-                 trace_capacity: int = 16) -> None:
+                 trace_capacity: int = 16,
+                 reuse_port: bool = False, sock=None,
+                 stats_provider=None,
+                 metrics_provider=None) -> None:
         self.manager = manager
+        #: pool integration — ``reuse_port`` binds the listener with
+        #: SO_REUSEPORT so sibling worker processes share one port;
+        #: ``sock`` serves on an inherited, already-listening socket
+        #: instead (the accept-and-hand-off fallback).  The providers,
+        #: when set, replace the local ``stats``/``metrics`` payloads
+        #: with pool-wide aggregates fetched from the parent (called in
+        #: a thread — they may block on the control pipe).
+        self.reuse_port = reuse_port
+        self._sock = sock
+        self.stats_provider = stats_provider
+        self.metrics_provider = metrics_provider
         self.cache = ResultCache(cache_size) if cache_size else None
         self.batcher = MicroBatcher(manager, self.cache,
                                     max_batch=max_batch,
@@ -139,9 +153,14 @@ class ReachabilityService:
     async def start(self) -> tuple[str, int]:
         """Bind the listener(s) and start the flush loop."""
         await self.batcher.start()
-        self._server = await asyncio.start_server(
-            self._serve_connection, self._host, self._port,
-            limit=MAX_LINE_BYTES)
+        if self._sock is not None:
+            self._server = await asyncio.start_server(
+                self._serve_connection, sock=self._sock,
+                limit=MAX_LINE_BYTES)
+        else:
+            self._server = await asyncio.start_server(
+                self._serve_connection, self._host, self._port,
+                limit=MAX_LINE_BYTES, reuse_port=self.reuse_port or None)
         self._host, self._port = self._server.sockets[0].getsockname()[:2]
         if self.metrics_port is not None:
             self._metrics_server = await asyncio.start_server(
@@ -389,10 +408,18 @@ class ReachabilityService:
             return {"ok": True, "epoch": snapshot.epoch,
                     "swaps": self.manager.swap_count}
         if op == "stats":
-            return {"ok": True, "stats": self.stats()}
+            if self.stats_provider is not None:
+                payload = await asyncio.to_thread(self.stats_provider)
+            else:
+                payload = self.stats()
+            return {"ok": True, "stats": payload}
         if op == "metrics":
+            if self.metrics_provider is not None:
+                text = await asyncio.to_thread(self.metrics_provider)
+            else:
+                text = self.render_metrics()
             return {"ok": True, "content_type": promtext.CONTENT_TYPE,
-                    "text": self.render_metrics()}
+                    "text": text}
         if op == "ping":
             return {"ok": True, "epoch": self.manager.epoch}
         raise ValueError(f"unknown op {op!r}")

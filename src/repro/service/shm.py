@@ -1,0 +1,331 @@
+"""Zero-copy snapshot publishing over POSIX shared memory.
+
+The packed :class:`~repro.core.index.ChainIndex` kernel is a handful
+of contiguous native signed-long buffers (PR 2's CSR layout), which is
+exactly the shape that maps into
+:class:`multiprocessing.shared_memory.SharedMemory`: the parent
+process dumps one epoch's labeling **bytes** into a named segment once
+(:func:`dump_index`), and any number of worker processes attach the
+same segment read-only (:func:`attach_index`) and serve queries
+against ``memoryview``-backed labelings — no JSON parse, no array
+copy, one physical copy of the label data for the whole pool.
+
+Segment layout (one contiguous region)::
+
+    [0:8)              MAGIC  b"reproSHM"
+    [8:16)             header length H (uint64, little-endian)
+    [16:16+H)          header JSON (utf-8)
+    data_start = align8(16 + H)
+    data_start + fields[name][0]   raw bytes of each packed array
+    data_start + meta[0]           meta JSON (members/dag_edges/chains)
+
+The header describes everything needed to map the arrays back::
+
+    {"version": 1, "epoch": E, "labeling_crc32": CRC,
+     "itemsize": 8, "byteorder": "little", "num_chains": K,
+     "method": "stratified",
+     "fields": {"chain_of": [offset, count], ...},
+     "meta": [offset, length]}
+
+``labeling_crc32`` is the *same* checksum persistence format v2
+records (:func:`repro.core.persistence.labeling_checksum`, computed
+over the decimal rendering of the arrays), so a segment corrupted or
+torn mid-publish is rejected at attach with
+:class:`~repro.graph.errors.IndexFormatError` — exactly like a
+truncated index file.  ``itemsize`` / ``byteorder`` guard against a
+reader whose ``array('l')`` width or endianness differs from the
+writer's (impossible for a worker forked from the same interpreter,
+cheap to check anyway).
+
+Lifecycle contract: the **creator** (the pool parent) owns the
+segment — it keeps the :class:`SharedMemory` handle and calls
+``close()`` + ``unlink()`` once every worker has re-attached to a
+newer epoch.  An **attacher** never unlinks; it detaches with
+:meth:`AttachedIndex.close` after dropping every reference to the
+borrowed index (the mapping cannot be released while exported
+memoryviews are alive — ``close`` raises :class:`BufferError` then).
+Attachers never register with the ``resource_tracker``, so a worker
+exiting does not unlink a segment the rest of the pool still serves
+(Python 3.13's ``track=False`` where available, a register stub around
+the constructor before that).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import secrets
+import struct
+import sys
+from array import array
+from multiprocessing import resource_tracker
+from multiprocessing.shared_memory import SharedMemory
+
+from repro.core.chains import ChainDecomposition
+from repro.core.index import ChainIndex
+from repro.core.labeling import ChainLabeling, packed_fields
+from repro.core.persistence import labeling_checksum
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import GraphFormatError, IndexFormatError
+from repro.graph.scc import Condensation
+
+__all__ = ["dump_index", "attach_index", "AttachedIndex",
+           "segment_name", "SHM_VERSION", "MAGIC"]
+
+MAGIC = b"reproSHM"
+SHM_VERSION = 1
+_ITEMSIZE = array("l").itemsize
+_BYTEORDER = sys.byteorder
+
+
+def _align8(offset: int) -> int:
+    return (offset + 7) & ~7
+
+
+def segment_name(prefix: str = "repro") -> str:
+    """A collision-resistant segment base name for this process."""
+    return f"{prefix}-{os.getpid()}-{secrets.token_hex(4)}"
+
+
+def dump_index(index: ChainIndex, name: str | None = None, *,
+               epoch: int = 0) -> SharedMemory:
+    """Publish ``index`` into a named shared-memory segment.
+
+    Writes the seven packed label buffers
+    (:func:`~repro.core.labeling.packed_fields`) byte-for-byte plus a
+    JSON meta region (SCC members, condensation edges, chains) and the
+    self-describing header above.  Returns the created
+    :class:`SharedMemory` — the caller owns it and must ``close()``
+    and ``unlink()`` it when no attacher needs it any more.
+
+    Raises :class:`GraphFormatError` when a node label is not a JSON
+    scalar (same contract as persistence v2).
+    """
+    if not isinstance(index, ChainIndex):
+        raise GraphFormatError(
+            f"cannot publish {type(index).__name__} to shared memory: "
+            f"only a packed ChainIndex maps into a segment")
+    condensation = index._condensation
+    meta = {
+        "members": condensation.members,
+        "dag_edges": [list(edge) for edge in condensation.dag.edges()],
+        "chains": index._decomposition.chains,
+        "method": index.method,
+    }
+    try:
+        meta_bytes = json.dumps(meta, separators=(",", ":")).encode("utf-8")
+    except TypeError as exc:
+        raise GraphFormatError(
+            f"node labels are not JSON-serialisable: {exc}") from None
+    labeling = index._labeling
+    fields = packed_fields(labeling)
+    field_bytes = {field: bytes(buffer)
+                   for field, buffer in fields.items()}
+    itemsize = _ITEMSIZE
+
+    offset = 0
+    layout: dict[str, list[int]] = {}
+    for field, raw in field_bytes.items():
+        layout[field] = [offset, len(fields[field])]
+        offset = _align8(offset + len(raw))
+    meta_offset = offset
+    offset = _align8(offset + len(meta_bytes))
+
+    header = {
+        "version": SHM_VERSION,
+        "epoch": epoch,
+        "labeling_crc32": labeling_checksum(fields),
+        "itemsize": itemsize,
+        "byteorder": _BYTEORDER,
+        "num_chains": labeling.num_chains,
+        "method": index.method,
+        "fields": layout,
+        "meta": [meta_offset, len(meta_bytes)],
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    data_start = _align8(16 + len(header_bytes))
+    total = data_start + offset
+
+    shm = SharedMemory(name=name or segment_name(), create=True,
+                       size=max(total, 1))
+    try:
+        buf = shm.buf
+        buf[0:8] = MAGIC
+        buf[8:16] = struct.pack("<Q", len(header_bytes))
+        buf[16:16 + len(header_bytes)] = header_bytes
+        for field, raw in field_bytes.items():
+            start = data_start + layout[field][0]
+            buf[start:start + len(raw)] = raw
+        buf[data_start + meta_offset:
+            data_start + meta_offset + len(meta_bytes)] = meta_bytes
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    return shm
+
+
+class AttachedIndex:
+    """A read-only :class:`ChainIndex` borrowed from a segment.
+
+    ``index`` answers queries against memoryviews over the mapped
+    segment; ``epoch`` and ``labeling_crc32`` echo the publisher's
+    header.  :meth:`close` detaches — every reference to ``index``
+    (and any labeling view taken from it) must be dropped first, or
+    the mapping is still exported and ``close`` raises
+    :class:`BufferError`.
+    """
+
+    def __init__(self, shm: SharedMemory, index: ChainIndex,
+                 epoch: int, labeling_crc32: int) -> None:
+        self.shm = shm
+        self.index: ChainIndex | None = index
+        self.epoch = epoch
+        self.labeling_crc32 = labeling_crc32
+        self.name = shm.name
+
+    def close(self) -> None:
+        """Drop the borrowed index and release the mapping.
+
+        Raises :class:`BufferError` when views over the segment are
+        still alive elsewhere (e.g. the index is still published as a
+        snapshot backend) — the caller defers and retries after the
+        last reference is gone.
+        """
+        self.index = None
+        try:
+            self.shm.close()
+        except BufferError:
+            import gc
+            gc.collect()                     # break any lingering cycle
+            self.shm.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.index is None else "attached"
+        return f"<AttachedIndex {self.name} epoch={self.epoch} {state}>"
+
+
+def _attach_segment(name: str) -> SharedMemory:
+    """Attach without registering with the resource tracker.
+
+    An attacher must never unlink the segment — the creator owns
+    reclamation.  Python 3.13 grew ``track=False`` for exactly this;
+    on earlier versions attach-side registration is suppressed by
+    stubbing ``resource_tracker.register`` around the constructor
+    (bpo-39959).  Unregistering *after* the fact would be wrong here,
+    not just ugly: pool workers share the parent's tracker process, so
+    a worker's unregister would erase the creator's registration and
+    the tracker would log a KeyError when the parent finally unlinks.
+    """
+    try:
+        return SharedMemory(name=name, track=False)
+    except TypeError:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def attach_index(name: str) -> AttachedIndex:
+    """Attach the segment ``name`` and borrow its index read-only.
+
+    Validates the magic, layout version, item width and byte order,
+    recomputes ``labeling_crc32`` over the mapped arrays and compares
+    it against the header (raising
+    :class:`~repro.graph.errors.IndexFormatError` on mismatch — a torn
+    or corrupt segment is never served), then constructs a
+    :class:`ChainIndex` whose labeling holds read-only memoryview
+    slices of the mapping: zero bytes of label data are copied.
+    """
+    shm = _attach_segment(name)
+    try:
+        return _attach_validated(shm)
+    except BaseException:
+        shm.close()
+        raise
+
+
+def _attach_validated(shm: SharedMemory) -> AttachedIndex:
+    buf = shm.buf
+    if bytes(buf[0:8]) != MAGIC:
+        raise IndexFormatError(
+            f"segment {shm.name!r} is not a repro snapshot "
+            f"(bad magic)")
+    header_len = struct.unpack("<Q", bytes(buf[8:16]))[0]
+    try:
+        header = json.loads(bytes(buf[16:16 + header_len]))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise IndexFormatError(
+            f"segment {shm.name!r} has a corrupt header: {exc}"
+        ) from None
+    if header.get("version") != SHM_VERSION:
+        raise IndexFormatError(
+            f"segment {shm.name!r} has layout version "
+            f"{header.get('version')!r}; this build reads "
+            f"{SHM_VERSION}")
+    if header.get("byteorder") != _BYTEORDER:
+        raise IndexFormatError(
+            f"segment {shm.name!r} was written {header.get('byteorder')}"
+            f"-endian; this host is {_BYTEORDER}-endian")
+    itemsize = _ITEMSIZE
+    if header.get("itemsize") != itemsize:
+        raise IndexFormatError(
+            f"segment {shm.name!r} uses {header.get('itemsize')}-byte "
+            f"items; this interpreter's array('l') is {itemsize} bytes")
+    data_start = _align8(16 + header_len)
+    views: dict[str, memoryview] = {}
+    try:
+        for field, (offset, count) in header["fields"].items():
+            start = data_start + offset
+            views[field] = (buf[start:start + count * itemsize]
+                            .cast("l").toreadonly())
+        recorded = header["labeling_crc32"]
+        actual = labeling_checksum(views)
+        if actual != recorded:
+            raise IndexFormatError(
+                f"segment {shm.name!r} checksum mismatch: header "
+                f"records CRC32 {recorded}, arrays hash to {actual} — "
+                f"the segment is torn or corrupt; re-publish it")
+        meta_offset, meta_len = header["meta"]
+        meta = json.loads(bytes(buf[data_start + meta_offset:
+                                    data_start + meta_offset + meta_len]))
+        labeling = ChainLabeling(
+            num_chains=header["num_chains"],
+            chain_of=views["chain_of"],
+            position_of=views["position_of"],
+            rank_of=views["rank_of"],
+            level_of=views["level_of"],
+            seq_offsets=views["sequence_offsets"],
+            seq_chains=views["sequence_chains"],
+            seq_positions=views["sequence_positions"],
+        )
+        index = _index_from_meta(meta, labeling, header["method"])
+    except BaseException:
+        views.clear()                        # release before shm.close()
+        raise
+    return AttachedIndex(shm, index, header["epoch"], recorded)
+
+
+def _index_from_meta(meta: dict, labeling: ChainLabeling,
+                     method: str) -> ChainIndex:
+    """Rebuild the condensation/decomposition around borrowed labels.
+
+    Mirrors persistence's document reconstruction; the heavyweight
+    part — the label arrays — stays in the segment.
+    """
+    members = meta["members"]
+    component_of: dict = {}
+    for component, nodes in enumerate(members):
+        for node in nodes:
+            component_of[node] = component
+    dag = DiGraph()
+    for component in range(len(members)):
+        dag.add_node(component)
+    for tail, head in meta["dag_edges"]:
+        dag.add_edge(tail, head)
+    condensation = Condensation(dag=dag, component_of=component_of,
+                                members=members)
+    decomposition = ChainDecomposition(chains=meta["chains"])
+    return ChainIndex(condensation, decomposition, labeling, method)

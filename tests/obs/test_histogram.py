@@ -167,3 +167,38 @@ class TestMerge:
         assert merged.min_value == 0.25
         assert merged.max_value == 5.0
         assert math.isinf(Histogram().min_value)
+
+
+class TestStateTransport:
+    """state()/from_state()/merge_state(): the worker-pool wire form."""
+
+    def test_from_state_reconstructs_exactly(self):
+        original = build([0.0, 0.001, 0.02, 0.3, 4.0])
+        clone = Histogram.from_state(original.state())
+        assert clone.to_dict() == original.to_dict()
+        for fraction in (0.1, 0.5, 0.99, 0.999):
+            assert clone.percentile(fraction) \
+                == original.percentile(fraction)
+
+    def test_merge_state_equals_merge(self):
+        a, b = build([0.001, 0.5, 0.5]), build([0.0, 0.02, 7.0])
+        via_state = Histogram().merge_state(a.state()) \
+                               .merge_state(b.state())
+        via_merge = Histogram().merge(a).merge(b)
+        assert via_state.to_dict() == via_merge.to_dict()
+
+    def test_json_round_trip_stringified_keys_are_tolerated(self):
+        import json
+        original = build([0.003, 0.3, 3.0])
+        wired = json.loads(json.dumps(original.state()))
+        assert all(isinstance(key, str)
+                   for key in wired["buckets"])
+        clone = Histogram.from_state(wired)
+        assert clone.to_dict() == original.to_dict()
+
+    def test_empty_state_merges_as_a_no_op(self):
+        target = build([0.25])
+        before = target.to_dict()
+        target.merge_state(Histogram().state())
+        assert target.to_dict() == before
+        assert target.min_value == 0.25          # inf min not folded in

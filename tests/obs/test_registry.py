@@ -9,6 +9,7 @@ import pytest
 
 from repro.obs import (
     CATALOG,
+    Histogram,
     MetricsRegistry,
     SCHEMA,
     Stopwatch,
@@ -223,3 +224,47 @@ class TestStopwatchAndProfiling:
         with maybe_profiled(False):
             sum(range(1000))
         assert capsys.readouterr().out == ""
+
+
+class TestStateTransport:
+    """Registry state()/merge_state(): pool-wide exact aggregation."""
+
+    def _worker_registry(self, requests, workers):
+        registry = MetricsRegistry()
+        registry.enable()
+        registry.count("service/requests", requests)
+        registry.gauge("service/workers", workers)
+        with registry.span("serve"):
+            time.sleep(0.001)
+        histogram = registry.histogram("latency")
+        histogram.observe(0.002 * requests)
+        return registry
+
+    def test_counters_add_and_gauges_take_the_last_writer(self):
+        merged = MetricsRegistry()
+        merged.enable()
+        merged.merge_state(self._worker_registry(3, 1).state())
+        merged.merge_state(self._worker_registry(5, 2).state())
+        assert merged.counters["service/requests"] == 8
+        assert merged.gauges["service/workers"] == 2
+        assert merged.spans["serve"].count == 2
+        assert merged.histograms["latency"].count == 2
+
+    def test_merge_state_is_exact_for_histograms(self):
+        a = self._worker_registry(1, 1)
+        b = self._worker_registry(4, 1)
+        merged = MetricsRegistry()
+        merged.enable()
+        merged.merge_state(a.state()).merge_state(b.state())
+        direct = Histogram().merge(a.histograms["latency"]) \
+                            .merge(b.histograms["latency"])
+        assert merged.histograms["latency"].to_dict() \
+            == direct.to_dict()
+
+    def test_state_survives_json(self):
+        registry = self._worker_registry(2, 1)
+        merged = MetricsRegistry()
+        merged.enable()
+        merged.merge_state(json.loads(json.dumps(registry.state())))
+        assert merged.counters["service/requests"] == 2
+        assert merged.histograms["latency"].count == 1

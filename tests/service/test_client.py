@@ -1,0 +1,106 @@
+"""ServiceClient reconnect-retry semantics against a flaky server."""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.service import ServiceClient, ServiceError
+
+
+class FlakyServer:
+    """Accepts connections; drops the first ``drop_first`` of them
+    right after reading a request, answers honestly afterwards."""
+
+    def __init__(self, drop_first: int = 1) -> None:
+        self._drop_remaining = drop_first
+        self.connections = 0
+        self.requests: list[dict] = []
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            self.connections += 1
+            reader = conn.makefile("rb")
+            try:
+                while True:
+                    line = reader.readline()
+                    if not line:
+                        break
+                    self.requests.append(json.loads(line))
+                    if self._drop_remaining > 0:
+                        self._drop_remaining -= 1
+                        break                    # close mid-call
+                    conn.sendall(json.dumps(
+                        {"ok": True, "epoch": 0, "reachable": True}
+                    ).encode("utf-8") + b"\n")
+            finally:
+                reader.close()
+                conn.close()
+
+    def close(self) -> None:
+        self._listener.close()
+
+
+@pytest.fixture
+def flaky():
+    server = FlakyServer(drop_first=1)
+    yield server
+    server.close()
+
+
+class TestIdempotentRetry:
+    def test_query_retries_once_over_a_fresh_connection(self, flaky):
+        client = ServiceClient(flaky.host, flaky.port)
+        epoch, reachable = client.query("a", "b")
+        client.close()
+        assert (epoch, reachable) == (0, True)
+        assert flaky.connections == 2            # dropped, then retried
+        assert len(flaky.requests) == 2
+        assert all(request["op"] == "query"
+                   for request in flaky.requests)
+
+    def test_later_reads_retry_their_own_drop(self, flaky):
+        client = ServiceClient(flaky.host, flaky.port)
+        assert client.ping() == 0                # drop 1 retried away
+        flaky._drop_remaining = 1
+        assert client.call({"op": "stats"})["ok"]
+        client.close()
+        assert flaky.connections == 3            # one reconnect each
+
+    def test_second_drop_surfaces_a_service_error(self):
+        server = FlakyServer(drop_first=10)      # always drops
+        try:
+            client = ServiceClient(server.host, server.port)
+            with pytest.raises(ServiceError,
+                               match="retry after reconnect failed"):
+                client.query("a", "b")
+            client.close()
+            assert server.connections == 2       # exactly one retry
+        finally:
+            server.close()
+
+
+class TestWritesAreNeverRetried:
+    def test_dropped_add_edge_raises_without_reconnecting(self, flaky):
+        client = ServiceClient(flaky.host, flaky.port)
+        with pytest.raises(ServiceError):
+            client.add_edge("a", "b")
+        client.close()
+        assert flaky.connections == 1            # no second attempt
+        assert len(flaky.requests) == 1
+
+    def test_dropped_reload_raises_without_reconnecting(self, flaky):
+        client = ServiceClient(flaky.host, flaky.port)
+        with pytest.raises(ServiceError):
+            client.reload()
+        client.close()
+        assert flaky.connections == 1

@@ -1,0 +1,207 @@
+"""WorkerPool end to end: real processes, real sockets, real segments.
+
+Each test stands up an actual pool (spawned worker processes attached
+to a shared-memory snapshot) and drives it over TCP, so these are the
+slowest tests in the suite — the graph is kept small and worker counts
+at two.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import semi_random_dag
+from repro.service import (
+    IndexManager,
+    ServiceClient,
+    ServiceError,
+    WorkerPool,
+)
+
+from tests.conftest import bfs_reachable
+
+
+@pytest.fixture
+def graph() -> DiGraph:
+    return semi_random_dag(40, 20, seed=13)
+
+
+@pytest.fixture
+def pool(graph):
+    pool = WorkerPool(IndexManager.from_graph(graph), workers=2,
+                      port=0)
+    pool.start(timeout=60)
+    yield pool
+    pool.stop()
+
+
+def _segment_exists(name: str) -> bool:
+    return os.path.exists(f"/dev/shm/{name}")
+
+
+class TestServing:
+    def test_pool_answers_match_bfs(self, graph, pool):
+        host, port = pool.address
+        nodes = graph.nodes()[:20]
+        pairs = [(u, v) for u in nodes for v in nodes]
+        with ServiceClient(host, port) as client:
+            epoch, answers = client.query_batch(pairs)
+        assert epoch == 0
+        for (u, v), answer in zip(pairs, answers):
+            assert answer == bfs_reachable(graph, u, v)
+
+    def test_ready_semantics_and_describe(self, pool):
+        info = pool.describe()
+        assert info["workers"] == 2
+        assert len(info["pids"]) == 2
+        assert os.getpid() not in info["pids"]
+        assert info["epoch"] == 0
+        host, port = pool.address
+        assert (info["host"], info["port"]) == (host, port)
+
+    def test_aggregated_stats_and_metrics(self, pool):
+        host, port = pool.address
+        with ServiceClient(host, port) as client:
+            client.ping()
+            stats = client.stats()
+            metrics = client.metrics()
+        section = stats["pool"]
+        assert section["workers"] == 2
+        assert section["configured_workers"] == 2
+        assert section["epoch"] == 0
+        assert len(stats["workers"]) == 2
+        assert "repro_service_workers 2" in metrics
+        assert "repro_service_reattach_total 0" in metrics
+
+    def test_non_chain_engine_is_rejected(self, graph):
+        manager = IndexManager.from_graph(graph, engine="two-hop")
+        with pytest.raises(ServiceError, match="--workers 0"):
+            WorkerPool(manager, workers=2, port=0)
+
+
+class TestZeroDowntimeSwap:
+    def test_live_queries_never_fail_across_a_swap(self, graph, pool):
+        host, port = pool.address
+        old_segment = pool.aggregate_stats()["pool"]["segment"]
+        nodes = graph.nodes()
+        pairs = [(u, v) for u in nodes[:10] for v in nodes[:10]]
+        failures: list[Exception] = []
+        answered = [0]
+        stop = threading.Event()
+
+        def hammer() -> None:
+            with ServiceClient(host, port, timeout=30.0) as client:
+                while not stop.is_set():
+                    try:
+                        client.query_batch(pairs)
+                        answered[0] += 1
+                    except Exception as exc:     # noqa: BLE001
+                        failures.append(exc)
+                        return
+
+        threads = [threading.Thread(target=hammer) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        try:
+            with ServiceClient(host, port, timeout=30.0) as writer:
+                writer.add_edge(nodes[0], "swap-born", create=True)
+                new_epoch = writer.reload()
+            assert new_epoch == 1
+            assert pool.wait_epoch(1, timeout=30)
+            # keep the load running a little past the re-attach
+            time.sleep(0.2)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not failures, f"queries failed during swap: {failures}"
+        assert answered[0] > 0
+
+        # every worker now answers from the new snapshot
+        with ServiceClient(host, port) as client:
+            epoch, answers = client.query_batch(
+                [(nodes[0], "swap-born")] * 4)
+        assert epoch == 1
+        assert answers == [True] * 4
+
+        # the retired epoch-0 segment was unlinked after both acks
+        deadline = time.monotonic() + 10
+        while _segment_exists(old_segment):
+            assert time.monotonic() < deadline, (
+                f"retired segment {old_segment} never unlinked")
+            time.sleep(0.05)
+        new_segment = pool.aggregate_stats()["pool"]["segment"]
+        assert new_segment != old_segment
+        assert _segment_exists(new_segment)
+
+    def test_reattach_counts_surface_in_stats(self, pool):
+        host, port = pool.address
+        with ServiceClient(host, port, timeout=30.0) as client:
+            client.add_edge("n0", "reattach-born", create=True)
+            client.reload()
+        assert pool.wait_epoch(1, timeout=30)
+        deadline = time.monotonic() + 10
+        while True:
+            stats = pool.aggregate_stats()
+            if stats["pool"]["reattaches"] >= 2:
+                break
+            assert time.monotonic() < deadline
+            time.sleep(0.05)
+        assert stats["pool"]["epoch"] == 1
+
+
+class TestFailure:
+    def test_sigkill_one_worker_respawns_and_keeps_serving(self, pool):
+        host, port = pool.address
+        before = set(pool.worker_pids())
+        victim = sorted(before)[0]
+        os.kill(victim, signal.SIGKILL)
+        deadline = time.monotonic() + 30
+        while True:
+            pids = set(pool.worker_pids())
+            if victim not in pids and len(pids) == 2:
+                break
+            assert time.monotonic() < deadline, "worker never respawned"
+            time.sleep(0.05)
+        with ServiceClient(host, port, timeout=30.0) as client:
+            assert client.ping() == 0
+        stats = pool.aggregate_stats()
+        assert stats["pool"]["respawns"] >= 1
+        assert stats["pool"]["workers"] == 2
+
+
+class TestDrain:
+    def test_stop_reclaims_segments_and_processes(self, graph):
+        pool = WorkerPool(IndexManager.from_graph(graph), workers=2,
+                          port=0)
+        pool.start(timeout=60)
+        host, port = pool.address
+        with ServiceClient(host, port, timeout=30.0) as client:
+            client.add_edge(graph.nodes()[0], "drain-born", create=True)
+            client.reload()
+        assert pool.wait_epoch(1, timeout=30)
+        segment = pool.aggregate_stats()["pool"]["segment"]
+        pids = pool.worker_pids()
+        pool.stop()
+        assert not _segment_exists(segment)
+        deadline = time.monotonic() + 10
+        for pid in pids:
+            while True:
+                try:
+                    os.kill(pid, 0)
+                except ProcessLookupError:
+                    break
+                assert time.monotonic() < deadline, (
+                    f"worker {pid} survived stop()")
+                time.sleep(0.05)
+
+    def test_stop_is_idempotent(self, graph):
+        pool = WorkerPool(IndexManager.from_graph(graph), workers=2,
+                          port=0)
+        pool.start(timeout=60)
+        pool.stop()
+        pool.stop()

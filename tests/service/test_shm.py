@@ -1,0 +1,188 @@
+"""Shared-memory snapshot lifecycle: dump, attach, validate, unlink."""
+
+import json
+import os
+import struct
+
+import pytest
+
+from repro.core.index import ChainIndex
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import GraphFormatError, IndexFormatError
+from repro.graph.generators import semi_random_dag
+from repro.service import attach_index, dump_index
+from repro.service.shm import segment_name
+
+from tests.conftest import PAPER_FIG1_EDGES, bfs_reachable
+
+
+@pytest.fixture
+def graph() -> DiGraph:
+    return semi_random_dag(40, 20, seed=11)
+
+
+@pytest.fixture
+def index(graph) -> ChainIndex:
+    return ChainIndex.build(graph)
+
+
+def _segment_exists(name: str) -> bool:
+    return os.path.exists(f"/dev/shm/{name}")
+
+
+class TestRoundTrip:
+    def test_attached_index_matches_bfs_on_every_pair(self, graph,
+                                                      index):
+        shm = dump_index(index, epoch=3)
+        try:
+            attached = attach_index(shm.name)
+            assert attached.epoch == 3
+            nodes = graph.nodes()
+            pairs = [(u, v) for u in nodes for v in nodes]
+            answers = attached.index.is_reachable_many(pairs)
+            for (u, v), answer in zip(pairs, answers):
+                assert answer == bfs_reachable(graph, u, v)
+            attached.close()
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_paper_example_round_trips(self):
+        index = ChainIndex.build(DiGraph.from_edges(PAPER_FIG1_EDGES))
+        shm = dump_index(index)
+        try:
+            attached = attach_index(shm.name)
+            assert attached.index.is_reachable("a", "e")
+            assert not attached.index.is_reachable("e", "a")
+            assert attached.index.num_chains == index.num_chains
+            attached.close()
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_attached_labeling_is_borrowed_and_read_only(self, index):
+        shm = dump_index(index)
+
+        def check(labeling) -> None:
+            # scoped so no view reference outlives the close() below
+            for field in (labeling.chain_of, labeling.position_of,
+                          labeling.seq_chains, labeling.seq_positions):
+                assert isinstance(field, memoryview)
+                assert field.readonly
+            with pytest.raises(TypeError):
+                labeling.chain_of[0] = 99
+
+        try:
+            attached = attach_index(shm.name)
+            check(attached.index._labeling)
+            attached.close()
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_crc_is_the_persistence_checksum(self, index):
+        from repro.core.labeling import packed_fields
+        from repro.core.persistence import labeling_checksum
+        shm = dump_index(index)
+        try:
+            attached = attach_index(shm.name)
+            assert attached.labeling_crc32 == labeling_checksum(
+                packed_fields(index._labeling))
+            attached.close()
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_dump_rejects_non_chain_backends(self):
+        with pytest.raises(GraphFormatError):
+            dump_index(object())
+
+
+class TestValidation:
+    def test_corrupt_label_bytes_are_rejected_by_crc(self, index):
+        shm = dump_index(index)
+        try:
+            # flip one byte inside the first packed array
+            header_len = struct.unpack("<Q", bytes(shm.buf[8:16]))[0]
+            data_start = (16 + header_len + 7) & ~7
+            shm.buf[data_start] = shm.buf[data_start] ^ 0xFF
+            with pytest.raises(IndexFormatError,
+                               match="checksum mismatch"):
+                attach_index(shm.name)
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_bad_magic_is_rejected(self, index):
+        shm = dump_index(index)
+        try:
+            shm.buf[0:8] = b"notrepro"
+            with pytest.raises(IndexFormatError, match="bad magic"):
+                attach_index(shm.name)
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_unknown_layout_version_is_rejected(self, index):
+        shm = dump_index(index)
+        try:
+            header_len = struct.unpack("<Q", bytes(shm.buf[8:16]))[0]
+            header = json.loads(bytes(shm.buf[16:16 + header_len]))
+            header["version"] = 9
+            rewritten = json.dumps(
+                header, separators=(",", ":")).encode("utf-8")
+            assert len(rewritten) == header_len   # same digit count
+            shm.buf[16:16 + header_len] = rewritten
+            with pytest.raises(IndexFormatError,
+                               match="layout version"):
+                attach_index(shm.name)
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_missing_segment_raises(self):
+        with pytest.raises(FileNotFoundError):
+            attach_index(segment_name("repro-test-missing"))
+
+
+@pytest.mark.skipif(not os.path.isdir("/dev/shm"),
+                    reason="needs a visible /dev/shm")
+class TestLifecycle:
+    def test_unlink_removes_the_name_after_attachers_close(self, index):
+        shm = dump_index(index)
+        name = shm.name
+        assert _segment_exists(name)
+        attached = attach_index(name)
+        attached.close()
+        shm.close()
+        shm.unlink()
+        assert not _segment_exists(name)
+        with pytest.raises(FileNotFoundError):
+            attach_index(name)
+
+    def test_attacher_exit_does_not_unlink(self, index):
+        """The resource tracker must not reap a segment just because an
+        attacher detached — only the creator unlinks."""
+        shm = dump_index(index)
+        name = shm.name
+        try:
+            for _ in range(3):
+                attach_index(name).close()
+            assert _segment_exists(name)
+            # still attachable after every reader detached
+            attach_index(name).close()
+        finally:
+            shm.close()
+            shm.unlink()
+        assert not _segment_exists(name)
+
+    def test_close_with_live_views_raises_buffer_error(self, index):
+        shm = dump_index(index)
+        attached = attach_index(shm.name)
+        view = attached.index._labeling.chain_of     # strong reference
+        with pytest.raises(BufferError):
+            attached.close()
+        del view
+        attached.close()
+        shm.close()
+        shm.unlink()

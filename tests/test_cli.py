@@ -1,5 +1,6 @@
 """Unit tests for the ``python -m repro`` command line."""
 
+import json
 import os
 import signal
 import subprocess
@@ -19,6 +20,17 @@ def graph_file(tmp_path):
     path = tmp_path / "graph.txt"
     write_edge_list(semi_random_dag(60, 30, seed=1), path)
     return str(path)
+
+
+def wait_ready(process, ready, timeout=30):
+    """Block until the serve subprocess writes its JSON ready file;
+    returns the parsed payload (host, port, epoch, workers, pids)."""
+    deadline = time.monotonic() + timeout
+    while not ready.exists() or not ready.read_text().strip():
+        assert process.poll() is None, process.stderr.read().decode()
+        assert time.monotonic() < deadline, "server never ready"
+        time.sleep(0.05)
+    return json.loads(ready.read_text())
 
 
 class TestStats:
@@ -202,13 +214,8 @@ class TestObserversFlag:
              "--ready-file", str(ready)],
             env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
         try:
-            deadline = time.monotonic() + 30
-            while not ready.exists():
-                assert process.poll() is None, (
-                    process.stderr.read().decode())
-                assert time.monotonic() < deadline, "server never ready"
-                time.sleep(0.05)
-            host, port = ready.read_text().split()
+            info = wait_ready(process, ready)
+            host, port = info["host"], info["port"]
             assert main(["query", "--remote", f"{host}:{port}",
                          "0", "1"]) == 0
             assert "yes" in capsys.readouterr().out
@@ -340,13 +347,11 @@ class TestServe:
              "--port", "0", "--ready-file", str(ready)],
             env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
         try:
-            deadline = time.monotonic() + 30
-            while not ready.exists():
-                assert process.poll() is None, (
-                    process.stderr.read().decode())
-                assert time.monotonic() < deadline, "server never ready"
-                time.sleep(0.05)
-            host, port = ready.read_text().split()
+            info = wait_ready(process, ready)
+            host, port = info["host"], info["port"]
+            assert info["workers"] == 0
+            assert info["pids"] == [process.pid]
+            assert info["epoch"] == 0
             assert main(["query", "--remote", f"{host}:{port}",
                          "0", "1"]) == 0
             assert "yes" in capsys.readouterr().out
@@ -358,6 +363,40 @@ class TestServe:
                 process.kill()
                 stdout, _ = process.communicate()
         assert b"serving" in stdout
+        assert b"drained and stopped" in stdout
+
+    def test_serve_workers_subprocess_end_to_end(self, graph_file,
+                                                 tmp_path, capsys):
+        """``repro serve --workers 2``: the ready file lists two worker
+        pids (not the parent's), queries answer through the pool, and
+        SIGINT drains every process and segment."""
+        ready = tmp_path / "ready"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(
+            Path(__file__).resolve().parent.parent / "src")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", graph_file,
+             "--workers", "2", "--port", "0",
+             "--ready-file", str(ready)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+        try:
+            info = wait_ready(process, ready, timeout=60)
+            host, port = info["host"], info["port"]
+            assert info["workers"] == 2
+            assert len(info["pids"]) == 2
+            assert process.pid not in info["pids"]
+            assert main(["query", "--remote", f"{host}:{port}",
+                         "0", "1", "1", "0"]) == 1
+            out = capsys.readouterr().out
+            assert "0 -> 1: yes" in out and "1 -> 0: no" in out
+        finally:
+            process.send_signal(signal.SIGINT)
+            try:
+                stdout, _ = process.communicate(timeout=60)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                stdout, _ = process.communicate()
+        assert b"2 workers" in stdout
         assert b"drained and stopped" in stdout
 
     @pytest.mark.parametrize("engine", ["chain-closure", "two-hop",
@@ -377,13 +416,8 @@ class TestServe:
              "--ready-file", str(ready)],
             env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
         try:
-            deadline = time.monotonic() + 30
-            while not ready.exists():
-                assert process.poll() is None, (
-                    process.stderr.read().decode())
-                assert time.monotonic() < deadline, "server never ready"
-                time.sleep(0.05)
-            host, port = ready.read_text().split()
+            info = wait_ready(process, ready)
+            host, port = info["host"], info["port"]
             assert main(["query", "--remote", f"{host}:{port}",
                          "0", "1"]) == 0
             assert "yes" in capsys.readouterr().out
