@@ -1,0 +1,73 @@
+"""Perf smoke for dynamic maintenance: in-place deletes vs rebuilds.
+
+Drives two IndexManagers through the same sustained mixed read/write
+stream (edge removal + re-insertion + a query burst per round, every
+answer fresh): the ``dynamic-tol`` total-order 2-hop shadow repairs
+its labels in place, while the ``chain-stratified`` path must
+rebuild-and-swap after each write burst.  Writes the result to
+``BENCH_dynamic.json`` at the repository root so the dynamic-engine
+trajectory has comparable data points across commits.
+
+Run it either way::
+
+    python benchmarks/bench_dynamic_smoke.py          # standalone
+    PYTHONPATH=src python -m pytest benchmarks/bench_dynamic_smoke.py
+
+``REPRO_BENCH_SCALE`` scales the workload as for the full bench suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_dynamic.json"
+
+try:
+    from repro.bench.dynamic import dynamic_engine_smoke
+except ImportError:  # standalone run without an installed package
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.bench.dynamic import dynamic_engine_smoke
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def run_smoke(scale: float = SCALE) -> dict:
+    """Measure once and write ``BENCH_dynamic.json``."""
+    result = dynamic_engine_smoke(scale)
+    OUTPUT.write_text(json.dumps(result, indent=2, sort_keys=True)
+                      + "\n", encoding="utf-8")
+    return result
+
+
+def test_dynamic_smoke_writes_bench_json():
+    result = run_smoke()
+    assert OUTPUT.exists()
+    assert result["dynamic_tol_ops_per_sec"] > 0
+    assert result["rebuild_swap_ops_per_sec"] > 0
+    # both managers answered every round identically — the benchmark
+    # doubles as an end-to-end equivalence check under deletions
+    assert result["mismatched_rounds"] == 0, (
+        f"dynamic-tol diverged from the packed index: {result}")
+    # the static path really paid one swap per round
+    assert result["rebuild_swaps"] >= result["rounds"]
+    # the acceptance gate: in-place maintenance must sustain at least
+    # 2x the mixed-workload throughput of rebuild-and-swap
+    assert result["speedup"] >= 2.0, (
+        f"dynamic-tol only {result['speedup']:.2f}x rebuild-and-swap")
+
+
+def main() -> int:
+    result = run_smoke()
+    width = max(len(key) for key in result)
+    for key in sorted(result):
+        print(f"{key:<{width}}  {result[key]}")
+    print(f"\nwrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,8 +28,10 @@ from repro.core.maintenance import DynamicChainIndex
 from repro.core.stratification import Stratification, stratify
 from repro.core.stratified import stratified_chain_cover
 from repro.core.width import dag_width, maximum_antichain
+from repro.dynamic import TolIndex
 from repro.graph.digraph import DiGraph
 from repro.graph.errors import (
+    EdgeNotFoundError,
     GraphError,
     GraphFormatError,
     IndexFormatError,
@@ -45,6 +47,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ChainIndex",
     "DynamicChainIndex",
+    "TolIndex",
     "DiGraph",
     "ChainDecomposition",
     "Stratification",
@@ -56,6 +59,7 @@ __all__ = [
     "strongly_connected_components",
     "GraphError",
     "NodeNotFoundError",
+    "EdgeNotFoundError",
     "NotADAGError",
     "InvalidChainError",
     "GraphFormatError",

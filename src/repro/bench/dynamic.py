@@ -1,0 +1,105 @@
+"""Sustained mixed read/write smoke for the dynamic-tol engine.
+
+Two :class:`~repro.service.manager.IndexManager` instances serve the
+same DAG and absorb the *same* operation stream — rounds of one edge
+removal, one re-insertion and a burst of queries, every answer required
+fresh (reflecting the write that precedes it):
+
+* ``dynamic-tol`` — the total-order 2-hop shadow repairs its labels in
+  place, so freshness is free (dynamic mode republishes on write);
+* ``chain-stratified`` — the static path must rebuild-and-swap after
+  each write burst before its snapshot reflects the removal, the cost
+  model every non-``deletable`` engine pays for deletions.
+
+Both managers' answers are compared per round, so the benchmark
+doubles as an end-to-end equivalence check; the headline number is the
+sustained ops/sec ratio (the CI gate in
+``benchmarks/bench_dynamic_smoke.py`` requires >= 2x).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.graph.generators import semi_random_dag
+from repro.service.manager import IndexManager
+
+__all__ = ["dynamic_engine_smoke"]
+
+
+def _workload(scale: float):
+    """The Group II DSRG shape, scaled down to smoke size."""
+    nodes = max(60, int(240 * scale))
+    extra = max(30, int(120 * scale))
+    graph = semi_random_dag(nodes, extra, seed=47)
+    return graph, f"DSRG({graph.num_nodes} nodes, {graph.num_edges} arcs)"
+
+
+def _rounds(scale: float) -> tuple[int, int]:
+    """(rounds, queries per round)."""
+    return max(8, int(24 * scale)), max(40, int(160 * scale))
+
+
+def _run_stream(manager: IndexManager, plan, *, swap_each: bool):
+    """Drive one manager through the op stream; returns (seconds,
+    answers per round) with every query answered post-write."""
+    answers = []
+    started = time.perf_counter()
+    for tail, head, pairs in plan:
+        manager.remove_edge(tail, head)
+        manager.add_edge(tail, head, create=False)
+        if swap_each:
+            manager.swap(force=True)
+        answers.append(manager.query_many(pairs)[1])
+    return time.perf_counter() - started, answers
+
+
+def dynamic_engine_smoke(scale: float = 1.0) -> dict:
+    """Measure in-place maintenance vs rebuild-and-swap, one dict."""
+    graph, label = _workload(scale)
+    rounds, queries = _rounds(scale)
+    rng = random.Random(53)
+    nodes = graph.nodes()
+    edges = list(graph.edges())
+    plan = []
+    for i in range(rounds):
+        tail, head = edges[rng.randrange(len(edges))]
+        pairs = [(rng.choice(nodes), rng.choice(nodes))
+                 for _ in range(queries)]
+        plan.append((tail, head, pairs))
+
+    tol = IndexManager.from_graph(graph, engine="dynamic-tol")
+    static = IndexManager.from_graph(graph, engine="chain-stratified")
+    try:
+        tol_seconds, tol_answers = _run_stream(tol, plan,
+                                               swap_each=False)
+        static_seconds, static_answers = _run_stream(static, plan,
+                                                     swap_each=True)
+        mismatches = sum(
+            1 for mine, theirs in zip(tol_answers, static_answers)
+            if mine != theirs)
+        ops = rounds * (2 + queries)
+        tol_ops = ops / tol_seconds
+        static_ops = ops / static_seconds
+        return {
+            "workload": label,
+            "rounds": rounds,
+            "queries_per_round": queries,
+            "ops": ops,
+            "writes": rounds * 2,
+            "mismatched_rounds": mismatches,
+            "dynamic_tol_ops_per_sec": tol_ops,
+            "rebuild_swap_ops_per_sec": static_ops,
+            "speedup": tol_ops / static_ops,
+            "dynamic_tol_seconds": tol_seconds,
+            "rebuild_swap_seconds": static_seconds,
+            "label_entries": tol.snapshot.backend.label_entries(),
+            "size_words": tol.snapshot.backend.size_words(),
+            "rebuild_swaps": static.swap_count,
+            "final_epochs": {"dynamic-tol": tol.epoch,
+                             "chain-stratified": static.epoch},
+        }
+    finally:
+        tol.close()
+        static.close()

@@ -56,6 +56,7 @@ __all__ = [
     "run_query_smoke",
     "run_observer_smoke",
     "run_serve_smoke",
+    "run_dynamic_smoke",
     "run_ablation_chain_methods", "run_ablation_width",
     "run_ablation_matching", "ALL_EXPERIMENTS",
 ]
@@ -332,6 +333,32 @@ def run_serve_smoke(scale: float = 1.0, workers: int = 0) -> str:
         ["metric", "value"], rows)
 
 
+def run_dynamic_smoke(scale: float = 1.0) -> str:
+    """In-place dynamic-tol maintenance vs rebuild-and-swap under a
+    sustained mixed read/write stream (same ops, fresh answers)."""
+    from repro.bench.dynamic import dynamic_engine_smoke
+    result = dynamic_engine_smoke(scale)
+    rows = [
+        ("rounds (remove + re-add + queries)",
+         f"{result['rounds']} x {result['queries_per_round']} queries"),
+        ("total operations", f"{result['ops']:,}"),
+        ("dynamic-tol ops/sec",
+         f"{result['dynamic_tol_ops_per_sec']:,.0f}"),
+        ("rebuild-and-swap ops/sec",
+         f"{result['rebuild_swap_ops_per_sec']:,.0f}"),
+        ("speedup", f"{result['speedup']:.2f}x"),
+        ("rebuild swaps paid by the static path",
+         f"{result['rebuild_swaps']}"),
+        ("mismatched answer rounds",
+         f"{result['mismatched_rounds']}"),
+        ("label entries (Lin+Lout)", f"{result['label_entries']:,}"),
+        ("index size (16-bit words)", f"{result['size_words']:,}"),
+    ]
+    return render_table(
+        f"Dynamic smoke — {result['workload']}",
+        ["metric", "value"], rows)
+
+
 # ----------------------------------------------------------------------
 # Ablations (not in the paper)
 # ----------------------------------------------------------------------
@@ -411,6 +438,7 @@ ALL_EXPERIMENTS = {
     "query-smoke": run_query_smoke,
     "observer-smoke": run_observer_smoke,
     "serve-smoke": run_serve_smoke,
+    "dynamic-smoke": run_dynamic_smoke,
     "ablation-chain-methods": run_ablation_chain_methods,
     "ablation-width": run_ablation_width,
     "ablation-matching": run_ablation_matching,

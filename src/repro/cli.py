@@ -13,6 +13,8 @@ Subcommands operate on the edge-list format of :mod:`repro.graph.io`::
     python -m repro query --index graph.idx 0 1      # query without rebuild
     python -m repro serve graph.txt --port 7431      # TCP query service
     python -m repro query --remote 127.0.0.1:7431 0 1    # query a server
+    python -m repro remove-edge --remote 127.0.0.1:7431 0 1  # delete edge
+    python -m repro remove-node graph.txt 7 --out g2.txt # edit edge list
     python -m repro dot graph.txt --chains           # Graphviz export
 
 ``--engine`` (on ``query`` / ``serve`` / ``stats`` / ``index``)
@@ -430,6 +432,62 @@ def _serve_pool(args, manager, label) -> int:
     return 0
 
 
+def _cmd_remove(args) -> int:
+    """Delete an edge or a node, remotely or in an edge-list file."""
+    tokens = ([args.source, args.target] if args.what == "edge"
+              else [args.node])
+    if args.int_labels:
+        tokens = [int(token) for token in tokens]
+    if args.remote:
+        return _remove_remote(args, tokens)
+    if not args.graph:
+        print(f"remove-{args.what} needs a graph file or --remote",
+              file=sys.stderr)
+        return 2
+    from repro.graph.errors import GraphError
+    graph = _load(args.graph)
+    try:
+        if args.what == "edge":
+            graph.remove_edge(*tokens)
+        else:
+            graph.remove_node(tokens[0])
+    except GraphError as exc:                # unknown node / edge
+        print(f"remove-{args.what}: {exc}", file=sys.stderr)
+        return 1
+    out = args.out or args.graph
+    write_edge_list(graph, Path(out))
+    print(f"removed {args.what} "
+          f"{' -> '.join(map(str, tokens))} -> {out}")
+    return 0
+
+
+def _remove_remote(args, tokens) -> int:
+    """Send the removal to a running ``repro serve`` instance."""
+    from repro.service import RemoteError, ServiceClient, ServiceError
+    try:
+        with ServiceClient.from_address(args.remote) as client:
+            if args.what == "edge":
+                response = client.remove_edge(*tokens)
+            else:
+                response = client.remove_node(tokens[0])
+    except RemoteError as exc:
+        print(f"remove-{args.what}: remote {args.remote}: {exc}",
+              file=sys.stderr)
+        # an unknown node is the same rejection the file path reports
+        # with exit 1; only transport/protocol trouble is exit 2
+        return 1 if exc.code == "unknown_node" else 2
+    except (ServiceError, ValueError, OSError) as exc:
+        print(f"remove-{args.what}: remote {args.remote}: {exc}",
+              file=sys.stderr)
+        return 2
+    removed = response["removed"]
+    label = " -> ".join(map(str, tokens))
+    print(f"{label}: {'removed' if removed else 'not present'} "
+          f"(epoch {response['epoch']}, "
+          f"pending {response['pending_writes']})")
+    return 0 if removed else 1
+
+
 _GENERATORS = {
     "sparse": lambda a: sparse_random_dag(a.size, a.extra, seed=a.seed),
     "dsg": lambda a: systematic_dag(a.size, max(2, a.extra),
@@ -646,6 +704,31 @@ def build_parser() -> argparse.ArgumentParser:
                             "breakdown) for requests slower than MS "
                             "milliseconds (needs --log)")
     serve.set_defaults(func=_cmd_serve)
+
+    for what, operands, blurb in (
+            ("edge", ("source", "target"),
+             "delete one edge (remotely, or rewriting an edge list)"),
+            ("node", ("node",),
+             "delete a node and its incident edges")):
+        remove = sub.add_parser(f"remove-{what}", help=blurb)
+        remove.add_argument("graph", nargs="?", default=None,
+                            help="edge-list file to rewrite in place "
+                                 "(omit with --remote)")
+        for operand in operands:
+            remove.add_argument(operand)
+        remove.add_argument("--remote", default=None,
+                            metavar="HOST:PORT",
+                            help="send the removal to a running "
+                                 "'repro serve' instance (needs a "
+                                 "writable manager; dynamic-tol "
+                                 "repairs labels in place)")
+        remove.add_argument("--out", default=None, metavar="FILE",
+                            help="write the edited edge list here "
+                                 "instead of back over the input")
+        remove.add_argument("--str-labels", dest="int_labels",
+                            action="store_false",
+                            help="treat node labels as strings")
+        remove.set_defaults(func=_cmd_remove, what=what)
 
     dot = sub.add_parser("dot", help="Graphviz export")
     dot.add_argument("graph")

@@ -1,0 +1,17 @@
+"""repro.dynamic — incrementally-maintained total-order labeling.
+
+The write-heavy counterpart of the static chain engines: a TOL-style
+2-hop reachability index (Zhu et al., SIGMOD'14; the butterfly-style
+variant sketched in ROADMAP.md) that absorbs **edge and node
+insertions and deletions in place**, without the rebuild-and-swap the
+rest of the serving stack falls back to.  Registered behind the
+engine seam as ``dynamic-tol`` — the only engine advertising the
+``deletable`` capability flag.
+
+See ``docs/DYNAMIC.md`` for the design, the maintenance cost model
+and when to prefer ``dynamic-tol`` over rebuild-and-swap.
+"""
+
+from repro.dynamic.tol import TolIndex
+
+__all__ = ["TolIndex"]

@@ -1,0 +1,478 @@
+"""Total-order labeling: a fully dynamic 2-hop reachability index.
+
+Every node gets a fixed *rank* in a total priority order (smaller rank
+= higher priority, assigned at build time by the TOL degree heuristic
+``(out+1)·(in+1)``; nodes added later take the next free rank and
+ranks are never reused).  Each node ``x`` carries two label sets of
+ranks,
+
+* ``Lout(x)`` — hubs ``h`` with ``x ⇝ h``,
+* ``Lin(x)``  — hubs ``h`` with ``h ⇝ x``,
+
+and a query is one set intersection::
+
+    u ⇝ v   iff   Lout(u) ∩ Lin(v) ≠ ∅
+
+The invariant maintained through every mutation is *canonical ⊆
+labels ⊆ true*: every stored entry is a true reachability fact, and
+the **canonical** entries — ``r(h) ∈ Lin(x)`` iff ``h ⇝ x`` and no
+vertex on any ``h ⇝ x`` path outranks ``h`` — are always present.
+Canonical labels answer every reachable pair (route any ``a ⇝ b``
+through its minimum-rank midpoint), so queries stay exact while
+redundant-but-true entries are allowed to accumulate between
+:meth:`TolIndex.rebuild` calls.
+
+* **Build** is pruned landmark labeling: hubs are processed in
+  ascending rank, each running a forward and a backward BFS that stop
+  at nodes already covered by a higher-priority hub.
+* **Insert** ``u → v`` resumes exactly the hub BFSs that can gain
+  entries: every hub in ``Lin(u)`` continues forward from ``v``,
+  every hub in ``Lout(v)`` continues backward from ``u``.
+* **Delete** removes the graph edge/node first, then repairs the
+  region ``A × D`` (ancestors of the tail × descendants of the head —
+  the only pairs whose reachability can change): stale entries are
+  *purged* by re-checking suspects against one exact BFS per affected
+  hub, and missing canonical entries are *re-grown* by re-running the
+  affected hubs' pruned BFSs over the new graph.
+
+The index is DAG-only and DAG-maintaining: an insert that would close
+a cycle raises :class:`~repro.graph.errors.NotADAGError` before the
+graph is touched (cyclic *input* belongs to the condensation engines).
+Labels are keyed by node object, not dense id, because
+:meth:`~repro.graph.digraph.DiGraph.remove_node` renumbers ids.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable
+
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import NodeNotFoundError, NotADAGError
+from repro.graph.topology import check_dag
+from repro.obs import OBS
+
+__all__ = ["TolIndex"]
+
+Node = Hashable
+
+
+class TolIndex:
+    """An incrementally-maintained 2-hop index over a DAG.
+
+    >>> index = TolIndex.from_graph(
+    ...     DiGraph.from_edges([("a", "b"), ("b", "c")]))
+    >>> index.is_reachable("a", "c")
+    True
+    >>> index.remove_edge("b", "c")
+    >>> index.is_reachable("a", "c")
+    False
+    """
+
+    def __init__(self, graph: DiGraph) -> None:
+        self._graph = graph
+        self._rank: dict[Node, int] = {}
+        self._node_of_rank: dict[int, Node] = {}
+        self._lin: dict[Node, set[int]] = {}
+        self._lout: dict[Node, set[int]] = {}
+        #: inverted labels: rank -> the nodes whose Lin/Lout contain it
+        self._cover_in: dict[int, set[Node]] = {}
+        self._cover_out: dict[int, set[Node]] = {}
+        self._next_rank = 0
+        self._rebuild_from_graph()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: DiGraph) -> "TolIndex":
+        """Index a DAG (the graph is copied; cyclic input is rejected)."""
+        check_dag(graph)
+        return cls(graph.copy())
+
+    def _rebuild_from_graph(self) -> None:
+        with OBS.span("maintenance/rebuild"):
+            graph = self._graph
+            nodes = graph.nodes()
+            # TOL's static priority: high-degree nodes first (stable
+            # sort keeps insertion order as the tie-break).
+            order = sorted(
+                nodes,
+                key=lambda n: -((graph.out_degree(n) + 1)
+                                * (graph.in_degree(n) + 1)))
+            self._rank = {node: r for r, node in enumerate(order)}
+            self._node_of_rank = dict(enumerate(order))
+            self._next_rank = len(order)
+            self._lin = {node: set() for node in nodes}
+            self._lout = {node: set() for node in nodes}
+            self._cover_in = {}
+            self._cover_out = {}
+            for r_h, hub in enumerate(order):
+                self._label_pass(r_h, hub, forward=True)
+                self._label_pass(r_h, hub, forward=False)
+        self._publish_gauge()
+
+    def _label_pass(self, r_h: int, hub: Node, forward: bool) -> None:
+        """One pruned landmark BFS: spread ``r_h`` from ``hub``."""
+        graph = self._graph
+        rank = self._rank
+        if forward:
+            hub_labels, labels, step = (self._lout[hub], self._lin,
+                                        graph.successors)
+        else:
+            hub_labels, labels, step = (self._lin[hub], self._lout,
+                                        graph.predecessors)
+        add = self._add_in if forward else self._add_out
+        queue = deque((hub,))
+        seen = {hub}
+        while queue:
+            x = queue.popleft()
+            if x != hub:
+                if rank[x] < r_h:
+                    continue            # a higher-priority hub owns x
+                if not hub_labels.isdisjoint(labels[x]):
+                    continue            # pair (hub, x) already covered
+            add(x, r_h)
+            for y in step(x):
+                if y not in seen:
+                    seen.add(y)
+                    queue.append(y)
+
+    def rebuild(self) -> None:
+        """Re-rank and relabel from scratch (compacts the labels —
+        maintenance keeps them *correct* but not *minimal*)."""
+        self._rebuild_from_graph()
+
+    # ------------------------------------------------------------------
+    # label bookkeeping
+    # ------------------------------------------------------------------
+    def _add_in(self, node: Node, r: int) -> None:
+        self._lin[node].add(r)
+        self._cover_in.setdefault(r, set()).add(node)
+
+    def _add_out(self, node: Node, r: int) -> None:
+        self._lout[node].add(r)
+        self._cover_out.setdefault(r, set()).add(node)
+
+    def _drop_in(self, node: Node, r: int) -> None:
+        self._lin[node].discard(r)
+        owners = self._cover_in.get(r)
+        if owners is not None:
+            owners.discard(node)
+            if not owners:
+                del self._cover_in[r]
+
+    def _drop_out(self, node: Node, r: int) -> None:
+        self._lout[node].discard(r)
+        owners = self._cover_out.get(r)
+        if owners is not None:
+            owners.discard(node)
+            if not owners:
+                del self._cover_out[r]
+
+    def _publish_gauge(self) -> None:
+        if OBS.enabled:
+            OBS.gauge("dynamic/label_entries", self.label_entries())
+
+    # ------------------------------------------------------------------
+    # updates: insertion
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Insert an isolated node at the lowest priority."""
+        self._graph.add_node(node)
+        r = self._next_rank
+        self._next_rank += 1
+        self._rank[node] = r
+        self._node_of_rank[r] = node
+        self._lin[node] = set()
+        self._lout[node] = set()
+        self._add_in(node, r)
+        self._add_out(node, r)
+        if OBS.enabled:
+            OBS.count("maintenance/nodes_added")
+        self._publish_gauge()
+
+    def add_edge(self, tail: Node, head: Node) -> None:
+        """Insert ``tail → head``; rejects edges that would close a cycle.
+
+        Exactly the hub BFSs that can gain entries are resumed: hubs
+        reaching ``tail`` spread forward from ``head``, hubs reached
+        from ``head`` spread backward from ``tail``.
+        """
+        graph = self._graph
+        graph.node_id(tail)
+        graph.node_id(head)
+        if tail == head:
+            return
+        if self._covered(head, tail):
+            raise NotADAGError(
+                f"edge ({tail!r}, {head!r}) would create a cycle")
+        graph.add_edge(tail, head)
+        if OBS.enabled:
+            OBS.count("maintenance/edges_added")
+        if self._covered(tail, head):
+            return                       # no pair's reachability changed
+        label_updates = 0
+        for r_h in sorted(self._lin[tail]):
+            label_updates += self._insert_pass(r_h, head, forward=True)
+        for r_h in sorted(self._lout[head]):
+            label_updates += self._insert_pass(r_h, tail, forward=False)
+        if OBS.enabled:
+            OBS.count("maintenance/label_updates", label_updates)
+        self._publish_gauge()
+
+    def _insert_pass(self, r_h: int, start: Node, forward: bool) -> int:
+        """Resume hub ``r_h``'s pruned BFS from ``start``."""
+        graph = self._graph
+        rank = self._rank
+        hub = self._node_of_rank[r_h]
+        if forward:
+            hub_labels, labels, step = (self._lout[hub], self._lin,
+                                        graph.successors)
+        else:
+            hub_labels, labels, step = (self._lin[hub], self._lout,
+                                        graph.predecessors)
+        add = self._add_in if forward else self._add_out
+        added = 0
+        queue = deque((start,))
+        seen = {start}
+        while queue:
+            x = queue.popleft()
+            if rank[x] < r_h:
+                continue
+            if not hub_labels.isdisjoint(labels[x]):
+                continue                 # covered (incl. r_h already set)
+            add(x, r_h)
+            added += 1
+            for y in step(x):
+                if y not in seen:
+                    seen.add(y)
+                    queue.append(y)
+        return added
+
+    # ------------------------------------------------------------------
+    # updates: deletion
+    # ------------------------------------------------------------------
+    def remove_edge(self, tail: Node, head: Node) -> None:
+        """Remove ``tail → head`` and repair the labels in place.
+
+        Raises :class:`~repro.graph.errors.EdgeNotFoundError` if the
+        edge is absent, :class:`NodeNotFoundError` for an unknown
+        endpoint.
+        """
+        graph = self._graph
+        graph.remove_edge(tail, head)
+        if OBS.enabled:
+            OBS.count("maintenance/edges_removed")
+        if head in self._reach_set(tail, forward=True):
+            # an alternate tail ⇝ head path survives, so no pair's
+            # reachability changed and every label entry is still true
+            self._publish_gauge()
+            return
+        ancestors = self._reach_set(tail, forward=False)
+        descendants = self._reach_set(head, forward=True)
+        self._purge_and_repair(ancestors, descendants)
+        self._publish_gauge()
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` with its incident edges; repair in place.
+
+        Raises :class:`NodeNotFoundError` (``role="node"``) if absent.
+        """
+        graph = self._graph
+        if not graph.has_node(node):
+            raise NodeNotFoundError(node, role="node")
+        had_preds = bool(graph.predecessors(node))
+        had_succs = bool(graph.successors(node))
+        ancestors = self._reach_set(node, forward=False)
+        ancestors.discard(node)
+        descendants = self._reach_set(node, forward=True)
+        descendants.discard(node)
+        graph.remove_node(node)
+        # retire the node's own hub: every entry of rank r_n is gone
+        # (its rank is a permanent hole — never reused)
+        r_n = self._rank.pop(node)
+        del self._node_of_rank[r_n]
+        for x in self._cover_in.pop(r_n, ()):
+            if x != node:
+                self._lin[x].discard(r_n)
+        for x in self._cover_out.pop(r_n, ()):
+            if x != node:
+                self._lout[x].discard(r_n)
+        for r in self._lin.pop(node):
+            owners = self._cover_in.get(r)
+            if owners is not None:
+                owners.discard(node)
+        for r in self._lout.pop(node):
+            owners = self._cover_out.get(r)
+            if owners is not None:
+                owners.discard(node)
+        if OBS.enabled:
+            OBS.count("maintenance/nodes_removed")
+        if had_preds and had_succs:
+            # only transit pairs (ancestor, descendant) can have lost
+            # their last path; a source/sink node breaks none
+            self._purge_and_repair(ancestors, descendants)
+        self._publish_gauge()
+
+    def _purge_and_repair(self, ancestors: set[Node],
+                          descendants: set[Node]) -> None:
+        """Fix the ``ancestors × descendants`` region after a removal.
+
+        Any entry that became false pairs a hub in ``ancestors`` with
+        an owner in ``descendants`` (Lin side; mirrored for Lout) —
+        a path that died must have crossed the removed edge/node.
+        Purge those suspects against one exact BFS per affected hub,
+        then re-run the affected hubs' pruned label passes: entries
+        that became *canonical* (their old higher-priority witness
+        path died) are re-grown.  Repair prunes only on rank and on a
+        strictly-smaller covering hub — never on presence — so it is
+        complete even though the labels it consults are mid-repair.
+        """
+        rank = self._rank
+        for hub in ancestors:
+            owners = self._cover_in.get(rank[hub])
+            if owners is None or owners.isdisjoint(descendants):
+                continue
+            suspects = owners & descendants
+            still = self._reach_set(hub, forward=True)
+            for x in suspects - still:
+                self._drop_in(x, rank[hub])
+        for hub in descendants:
+            owners = self._cover_out.get(rank[hub])
+            if owners is None or owners.isdisjoint(ancestors):
+                continue
+            suspects = owners & ancestors
+            still = self._reach_set(hub, forward=False)
+            for x in suspects - still:
+                self._drop_out(x, rank[hub])
+        # hubs that can no longer reach the region cannot be missing
+        # entries into it — one multi-source BFS each side filters them
+        reaches_region = self._multi_reach_set(descendants,
+                                               forward=False)
+        reached_from_region = self._multi_reach_set(ancestors,
+                                                    forward=True)
+        for hub in sorted(ancestors & reaches_region, key=rank.get):
+            self._repair_pass(rank[hub], hub, forward=True)
+        for hub in sorted(descendants & reached_from_region,
+                          key=rank.get):
+            self._repair_pass(rank[hub], hub, forward=False)
+
+    def _repair_pass(self, r_h: int, hub: Node, forward: bool) -> None:
+        """Re-grow hub ``r_h``'s canonical entries over the new graph."""
+        graph = self._graph
+        rank = self._rank
+        if forward:
+            hub_labels, labels, step = (self._lout[hub], self._lin,
+                                        graph.successors)
+        else:
+            hub_labels, labels, step = (self._lin[hub], self._lout,
+                                        graph.predecessors)
+        add = self._add_in if forward else self._add_out
+        queue = deque((hub,))
+        seen = {hub}
+        while queue:
+            x = queue.popleft()
+            if x != hub:
+                if rank[x] < r_h:
+                    continue
+                witnesses = hub_labels & labels[x]
+                witnesses.discard(r_h)
+                if witnesses:
+                    continue             # a smaller hub covers (hub, x)
+                if r_h not in labels[x]:
+                    add(x, r_h)
+            for y in step(x):
+                if y not in seen:
+                    seen.add(y)
+                    queue.append(y)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def is_reachable(self, source: Node, target: Node) -> bool:
+        """Reflexive reachability on node objects.
+
+        Raises :class:`NodeNotFoundError` with ``role`` naming the
+        missing operand (``"source"`` / ``"target"``), matching the
+        static :meth:`ChainIndex.is_reachable` contract.
+        """
+        if source not in self._lout:
+            raise NodeNotFoundError(source, role="source")
+        if target not in self._lin:
+            raise NodeNotFoundError(target, role="target")
+        return self._covered(source, target)
+
+    def is_reachable_many(
+            self, pairs: Iterable[tuple[Node, Node]]) -> list[bool]:
+        """Answer a batch of ``(source, target)`` pairs in one pass."""
+        lout = self._lout
+        lin = self._lin
+        answers: list[bool] = []
+        for source, target in pairs:
+            out_labels = lout.get(source)
+            if out_labels is None:
+                raise NodeNotFoundError(source, role="source")
+            in_labels = lin.get(target)
+            if in_labels is None:
+                raise NodeNotFoundError(target, role="target")
+            answers.append(not out_labels.isdisjoint(in_labels))
+        if OBS.enabled:
+            OBS.count("query/answered", len(answers))
+        return answers
+
+    def _covered(self, source: Node, target: Node) -> bool:
+        return not self._lout[source].isdisjoint(self._lin[target])
+
+    # ------------------------------------------------------------------
+    # traversal helpers
+    # ------------------------------------------------------------------
+    def _reach_set(self, start: Node, forward: bool) -> set[Node]:
+        """Exact BFS closure of ``start`` (inclusive), either way."""
+        step = (self._graph.successors if forward
+                else self._graph.predecessors)
+        seen = {start}
+        queue = deque((start,))
+        while queue:
+            for y in step(queue.popleft()):
+                if y not in seen:
+                    seen.add(y)
+                    queue.append(y)
+        return seen
+
+    def _multi_reach_set(self, starts: set[Node],
+                         forward: bool) -> set[Node]:
+        """Exact multi-source BFS closure of ``starts`` (inclusive)."""
+        step = (self._graph.successors if forward
+                else self._graph.predecessors)
+        seen = set(starts)
+        queue = deque(starts)
+        while queue:
+            for y in step(queue.popleft()):
+                if y not in seen:
+                    seen.add(y)
+                    queue.append(y)
+        return seen
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> DiGraph:
+        """The indexed DAG — a live view, mutate only through the index."""
+        return self._graph
+
+    @property
+    def num_nodes(self) -> int:
+        """Nodes currently indexed."""
+        return self._graph.num_nodes
+
+    def label_entries(self) -> int:
+        """Total stored Lin + Lout entries (the ``dynamic/label_entries``
+        gauge)."""
+        return (sum(len(labels) for labels in self._lin.values())
+                + sum(len(labels) for labels in self._lout.values()))
+
+    def size_words(self) -> int:
+        """Same 16-bit-word accounting as the other indexes."""
+        return 2 * self._graph.num_nodes + 2 * self.label_entries()

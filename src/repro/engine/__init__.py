@@ -5,16 +5,18 @@ there used to be three (the concrete chain classes, the baselines ABC,
 and the serving protocol):
 
 * :class:`~repro.engine.interface.ReachabilityEngine` — the protocol:
-  scalar + batch queries, size accounting, and four capability flags
+  scalar + batch queries, size accounting, and five capability flags
   (``supports_batch`` / ``writable`` / ``persistable`` /
-  ``enumerable``) that consumers gate on instead of ``isinstance``;
+  ``enumerable`` / ``deletable``) that consumers gate on instead of
+  ``isinstance``;
 * :mod:`~repro.engine.registry` — string-keyed specs:
   ``engine.get("two-hop").build(graph)``; the service (``serve
   --engine``), the CLI and the benchmark competitor tables all iterate
   this registry;
 * :mod:`~repro.engine.adapters` — bring
   :class:`~repro.core.index.ChainIndex`,
-  :class:`~repro.core.maintenance.DynamicChainIndex` and all
+  :class:`~repro.core.maintenance.DynamicChainIndex`, the fully
+  dynamic :class:`~repro.dynamic.TolIndex` and all
   :mod:`repro.baselines` onto the protocol (with a generic batch
   fallback, so ``is_reachable_many`` works everywhere);
 * :class:`~repro.engine.composite.CompositeEngine` — partitions the
@@ -36,6 +38,7 @@ from repro.engine.adapters import (
     CondensingEngine,
     DynamicEngine,
     EngineAdapter,
+    TolEngine,
 )
 from repro.engine.composite import CompositeEngine
 from repro.engine.interface import (
@@ -62,6 +65,7 @@ __all__ = [
     "EngineAdapter",
     "ChainEngine",
     "DynamicEngine",
+    "TolEngine",
     "CondensingEngine",
     "CompositeEngine",
     "EngineSpec",

@@ -9,8 +9,9 @@ Three adapter families cover the whole codebase:
   ``prefilter_rejects``, ``num_chains``, ...) is forwarded untouched,
   so the adapter adds one attribute hop per *batch*, never per query.
 * :class:`DynamicEngine` — the mutable
-  :class:`~repro.core.maintenance.DynamicChainIndex`; the only
-  ``writable`` engine.
+  :class:`~repro.core.maintenance.DynamicChainIndex` (insert-only);
+  :class:`TolEngine` — the fully dynamic
+  :class:`~repro.dynamic.TolIndex`, the only ``deletable`` engine.
 * :class:`CondensingEngine` — wraps any of the paper's
   :class:`~repro.baselines.interface.ReachabilityIndex` baselines.
   The baselines are defined over DAGs, so the adapter condenses the
@@ -33,7 +34,7 @@ from repro.graph.scc import Condensation, condense
 from repro.obs import OBS
 
 __all__ = ["EngineAdapter", "ChainEngine", "DynamicEngine",
-           "CondensingEngine"]
+           "TolEngine", "CondensingEngine"]
 
 
 class EngineAdapter:
@@ -44,6 +45,7 @@ class EngineAdapter:
     writable = False
     persistable = False
     enumerable = False
+    deletable = False
 
     def is_reachable(self, source, target) -> bool:
         raise NotImplementedError
@@ -141,6 +143,23 @@ class DynamicEngine(_Forwarding):
     writable = True
     persistable = False
     enumerable = False
+
+
+class TolEngine(_Forwarding):
+    """The total-order 2-hop index: the fully dynamic engine.
+
+    Requires a DAG, answers batches through the native set-intersection
+    path, and exposes the whole maintenance surface — ``add_edge`` /
+    ``add_node`` / ``remove_edge`` / ``remove_node`` — via forwarding;
+    the only engine advertising ``deletable``.
+    """
+
+    name = "dynamic-tol"
+    supports_batch = True
+    writable = True
+    persistable = False
+    enumerable = False
+    deletable = True
 
 
 class CondensingEngine(EngineAdapter):

@@ -51,6 +51,7 @@ class CompositeEngine:
     name = "composite"
     supports_batch = True
     writable = False
+    deletable = False
 
     def __init__(self, component_of: dict, members: list[list],
                  engines: list, sub_engine: str) -> None:

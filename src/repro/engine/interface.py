@@ -14,9 +14,9 @@ every backend is adapted onto this protocol (see
 benchmarks select backends by string instead of importing classes.
 
 Capabilities are *data*, not types: consumers gate behaviour on the
-four boolean flags (``supports_batch`` / ``writable`` / ``persistable``
-/ ``enumerable``) rather than on ``isinstance`` checks, so a new
-backend only has to declare what it can do.
+five boolean flags (``supports_batch`` / ``writable`` / ``persistable``
+/ ``enumerable`` / ``deletable``) rather than on ``isinstance``
+checks, so a new backend only has to declare what it can do.
 """
 
 from __future__ import annotations
@@ -25,9 +25,9 @@ from typing import Iterable, Protocol, runtime_checkable
 
 __all__ = ["ReachabilityEngine", "CAPABILITY_FLAGS", "capabilities"]
 
-#: the four capability flags, in display order.
+#: the five capability flags, in display order.
 CAPABILITY_FLAGS = ("supports_batch", "writable", "persistable",
-                    "enumerable")
+                    "enumerable", "deletable")
 
 
 @runtime_checkable
@@ -46,7 +46,9 @@ class ReachabilityEngine(Protocol):
     * ``persistable`` — the engine round-trips through
       :mod:`repro.core.persistence`;
     * ``enumerable`` — ``descendants`` / ``ancestors`` enumeration is
-      available.
+      available;
+    * ``deletable`` — ``remove_edge`` / ``remove_node`` exist and
+      repair the index in place (implies ``writable``).
     """
 
     name: str
@@ -54,6 +56,7 @@ class ReachabilityEngine(Protocol):
     writable: bool
     persistable: bool
     enumerable: bool
+    deletable: bool
 
     def is_reachable(self, source, target) -> bool:
         """Reflexive reachability between two node objects.

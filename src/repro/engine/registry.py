@@ -46,6 +46,7 @@ from repro.engine.adapters import (
     ChainEngine,
     CondensingEngine,
     DynamicEngine,
+    TolEngine,
 )
 from repro.engine.composite import CompositeEngine
 from repro.graph.digraph import DiGraph
@@ -79,6 +80,7 @@ class EngineSpec:
     writable: bool
     persistable: bool
     enumerable: bool
+    deletable: bool = False
     paper_label: str | None = None
 
     def build(self, graph: DiGraph):
@@ -95,7 +97,8 @@ class EngineSpec:
         return {"supports_batch": self.supports_batch,
                 "writable": self.writable,
                 "persistable": self.persistable,
-                "enumerable": self.enumerable}
+                "enumerable": self.enumerable,
+                "deletable": self.deletable}
 
 
 _REGISTRY: dict[str, EngineSpec] = {}
@@ -140,7 +143,7 @@ def _observed_spec(name: str) -> EngineSpec:
     """Derive (and cache) the spec for an ``observed:<engine>`` name.
 
     The factory builds the bare engine, then prepares the default
-    observer stack in front of it; all four capability flags are
+    observer stack in front of it; all five capability flags are
     inherited — the chain delegates writes and forwards enumeration —
     while ``paper_label`` is dropped (benchmark tables compare bare
     methods).  Double prefixes are rejected: the chain already answers
@@ -169,7 +172,8 @@ def _observed_spec(name: str) -> EngineSpec:
         supports_batch=inner.supports_batch,
         writable=inner.writable,
         persistable=inner.persistable,
-        enumerable=inner.enumerable)
+        enumerable=inner.enumerable,
+        deletable=inner.deletable)
     _OBSERVED_CACHE[name] = spec
     return spec
 
@@ -223,6 +227,11 @@ def _build_dynamic(graph: DiGraph) -> DynamicEngine:
     return DynamicEngine(DynamicChainIndex.from_graph(graph))
 
 
+def _build_dynamic_tol(graph: DiGraph) -> TolEngine:
+    from repro.dynamic import TolIndex
+    return TolEngine(TolIndex.from_graph(graph))
+
+
 def _build_baseline(index_class, name: str,
                     graph: DiGraph) -> CondensingEngine:
     return CondensingEngine.build(index_class.build, graph, name)
@@ -254,6 +263,15 @@ register(EngineSpec(
     factory=_build_dynamic,
     supports_batch=True, writable=True, persistable=False,
     enumerable=False))
+
+register(EngineSpec(
+    name="dynamic-tol",
+    description="total-order 2-hop labeling maintained in place "
+                "through inserts AND deletes; the deletable engine, "
+                "DAG input only",
+    factory=_build_dynamic_tol,
+    supports_batch=True, writable=True, persistable=False,
+    enumerable=False, deletable=True))
 
 for _index_class, _name, _label, _description in (
         (TraversalIndex, "bfs", "traversal",

@@ -21,6 +21,7 @@ from collections.abc import Hashable, Iterable, Iterator
 from repro.graph.errors import (
     DuplicateNodeError,
     EdgeExistsError,
+    EdgeNotFoundError,
     NodeNotFoundError,
 )
 
@@ -114,6 +115,61 @@ class DiGraph:
         self._succ_sets[tail_id].add(head_id)
         self._pred[head_id].append(tail_id)
         self._num_edges += 1
+
+    def remove_edge(self, tail: Node, head: Node) -> None:
+        """Remove the directed edge ``tail -> head``.
+
+        Raises :class:`NodeNotFoundError` for an unknown endpoint and
+        :class:`EdgeNotFoundError` if the edge is not present (a
+        self-loop is never stored, so removing one also raises).
+        """
+        tail_id = self.node_id(tail)
+        head_id = self.node_id(head)
+        if head_id not in self._succ_sets[tail_id]:
+            raise EdgeNotFoundError(tail, head)
+        self._succ[tail_id].remove(head_id)
+        self._succ_sets[tail_id].discard(head_id)
+        self._pred[head_id].remove(tail_id)
+        self._num_edges -= 1
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and every edge incident to it.
+
+        Dense ids stay dense: the last id is swapped into the freed
+        slot, so **ids of other nodes may change** (callers holding
+        dense ids across a removal must re-resolve them through
+        :meth:`node_id`).  Raises :class:`NodeNotFoundError` if the
+        node is absent.
+        """
+        node_id = self.node_id(node)
+        for head_id in self._succ[node_id]:
+            self._pred[head_id].remove(node_id)
+        for tail_id in self._pred[node_id]:
+            self._succ[tail_id].remove(node_id)
+            self._succ_sets[tail_id].discard(node_id)
+        self._num_edges -= (len(self._succ[node_id])
+                            + len(self._pred[node_id]))
+        last_id = len(self._node_of) - 1
+        if node_id != last_id:
+            moved = self._node_of[last_id]
+            for head_id in self._succ[last_id]:
+                preds = self._pred[head_id]
+                preds[preds.index(last_id)] = node_id
+            for tail_id in self._pred[last_id]:
+                succs = self._succ[tail_id]
+                succs[succs.index(last_id)] = node_id
+                self._succ_sets[tail_id].discard(last_id)
+                self._succ_sets[tail_id].add(node_id)
+            self._node_of[node_id] = moved
+            self._succ[node_id] = self._succ[last_id]
+            self._pred[node_id] = self._pred[last_id]
+            self._succ_sets[node_id] = self._succ_sets[last_id]
+            self._id_of[moved] = node_id
+        self._node_of.pop()
+        self._succ.pop()
+        self._pred.pop()
+        self._succ_sets.pop()
+        del self._id_of[node]
 
     # ------------------------------------------------------------------
     # node-object view

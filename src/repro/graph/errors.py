@@ -14,6 +14,7 @@ __all__ = [
     "NodeNotFoundError",
     "DuplicateNodeError",
     "EdgeExistsError",
+    "EdgeNotFoundError",
     "NotADAGError",
     "InvalidChainError",
     "GraphFormatError",
@@ -59,6 +60,18 @@ class EdgeExistsError(GraphError, ValueError):
         super().__init__(f"edge ({tail!r}, {head!r}) is already in the graph")
         self.tail = tail
         self.head = head
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge referenced by a removal is not part of the graph."""
+
+    def __init__(self, tail: object, head: object) -> None:
+        super().__init__((tail, head))
+        self.tail = tail
+        self.head = head
+
+    def __str__(self) -> str:  # KeyError would repr() the args tuple
+        return f"edge ({self.tail!r}, {self.head!r}) is not in the graph"
 
 
 class NotADAGError(GraphError, ValueError):

@@ -4,11 +4,18 @@ The format is a line-oriented edge list, friendly to shell tooling:
 
     # comment
     n <num_nodes>            (optional; declares isolated nodes 0..n-1)
+    v <label>                (optional; declares one node, edges or not)
     <tail> <head>
 
 Node labels are arbitrary whitespace-free strings; integers round-trip
 as integers when ``int_labels=True`` (the default for files our
 generators wrote).
+
+The writer emits the compact ``n`` header only when the labels are
+exactly the dense ints ``0..n-1`` (every graph our generators make);
+any other label set — e.g. after ``DiGraph.remove_node`` punched a
+hole — gets one ``v`` line per isolated node instead, so nothing is
+resurrected or dropped on the way back in.
 """
 
 from __future__ import annotations
@@ -35,7 +42,18 @@ def write_edge_list(graph: DiGraph, target: str | Path | TextIO) -> None:
 def _write(graph: DiGraph, handle: TextIO) -> None:
     handle.write(f"# repro edge list: {graph.num_nodes} nodes, "
                  f"{graph.num_edges} edges\n")
-    handle.write(f"n {graph.num_nodes}\n")
+    nodes = graph.nodes()
+    if all(isinstance(node, int) for node in nodes) \
+            and sorted(nodes) == list(range(len(nodes))):
+        handle.write(f"n {graph.num_nodes}\n")
+    else:
+        touched = set()
+        for tail, head in graph.edges():
+            touched.add(tail)
+            touched.add(head)
+        for node in nodes:
+            if node not in touched:
+                handle.write(f"v {node}\n")
     for tail, head in graph.edges():
         handle.write(f"{tail} {head}\n")
 
@@ -76,6 +94,19 @@ def _read(handle: TextIO, int_labels: bool) -> DiGraph:
                 node = v if int_labels else str(v)
                 if node not in graph:
                     graph.add_node(node)
+            continue
+        if parts[0] == "v":
+            if len(parts) != 2:
+                raise GraphFormatError("bad node line", line_number)
+            node = parts[1]
+            if int_labels:
+                try:
+                    node = int(node)
+                except ValueError:
+                    raise GraphFormatError(
+                        f"non-integer label in {line!r}",
+                        line_number) from None
+            graph.ensure_node(node)
             continue
         if len(parts) != 2:
             raise GraphFormatError(

@@ -30,6 +30,8 @@ _PLACEHOLDERS = {
     # wrapper prefix (repro.engine.registry.OBSERVED_PREFIX)
     "{engine}": r"(?:observed:)?[a-z0-9-]+",
     "{observer}": r"[a-z0-9-]+",
+    # wire-verb names are snake_case (add_edge, remove_node, ...)
+    "{verb}": r"[a-z_]+",
 }
 
 
@@ -138,7 +140,14 @@ CATALOG: tuple[MetricSpec, ...] = (
                "DynamicChainIndex.add_edge — edges actually inserted"),
     MetricSpec("maintenance/label_updates", "counter", "count",
                "DynamicChainIndex.add_edge — ancestor labels changed "
-               "by the upward worklist pass"),
+               "by the upward worklist pass (TolIndex.add_edge counts "
+               "its propagated label entries here too)"),
+    MetricSpec("maintenance/edges_removed", "counter", "count",
+               "TolIndex.remove_edge and IndexManager.remove_edge — "
+               "edges actually deleted from the served graph"),
+    MetricSpec("maintenance/nodes_removed", "counter", "count",
+               "TolIndex.remove_node and IndexManager.remove_node — "
+               "nodes deleted along with their incident edges"),
     MetricSpec("service/requests", "counter", "count",
                "ReachabilityService — wire requests received (any op)"),
     MetricSpec("service/batches", "counter", "count",
@@ -158,8 +167,11 @@ CATALOG: tuple[MetricSpec, ...] = (
                "MicroBatcher.submit — queries rejected by the bounded "
                "queue (the explicit backpressure path)"),
     MetricSpec("service/writes", "counter", "count",
-               "IndexManager — add_edge/add_node writes absorbed by "
-               "the dynamic shadow"),
+               "IndexManager — writes (inserts and removals) absorbed "
+               "by the shadow"),
+    MetricSpec("service/writes/{verb}", "counter", "count",
+               "IndexManager — the same writes, broken down by wire "
+               "verb (add_edge, add_node, remove_edge, remove_node)"),
     MetricSpec("service/swaps", "counter", "count",
                "IndexManager — snapshots promoted by rebuild-and-swap"),
     MetricSpec("service/reattach", "counter", "count",
@@ -196,6 +208,9 @@ CATALOG: tuple[MetricSpec, ...] = (
                "(0 in single-process mode)"),
     MetricSpec("engine/components", "gauge", "components",
                "CompositeEngine.build — weak components partitioned"),
+    MetricSpec("dynamic/label_entries", "gauge", "entries",
+               "TolIndex — total Lin/Lout label entries after a "
+               "build or any maintenance operation"),
     MetricSpec("observers/o1_answer_ratio", "gauge", "ratio",
                "ObserverChain — share of the last scalar call or batch "
                "answered by observers without touching the engine"),

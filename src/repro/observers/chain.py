@@ -9,7 +9,7 @@ O(1)-answerable (O'Reach measures >95% on real graphs) the engine's
 binary search, hash probes or BFS become the rare path.
 
 The wrapper is itself an engine: ``name`` is ``observed:<inner>``,
-the four capability flags are inherited from the inner engine, and
+the five capability flags are inherited from the inner engine, and
 every attribute the inner engine exposes (``descendants``,
 ``prefilter_rejects``, ``graph``, ...) stays reachable through
 ``__getattr__`` forwarding — so the serving stack, persistence and the
@@ -63,6 +63,7 @@ class ObserverChain:
         self.writable = getattr(inner, "writable", False)
         self.persistable = getattr(inner, "persistable", False)
         self.enumerable = getattr(inner, "enumerable", False)
+        self.deletable = getattr(inner, "deletable", False)
         self._component_of = component_of
         self._graph = graph
         self._fused = None       # lazily built per-label tables
@@ -423,6 +424,25 @@ class ObserverChain:
     def add_node(self, *args, **kwargs):
         """Delegate the write; new nodes also need fresh tables."""
         result = self.inner.add_node(*args, **kwargs)
+        self._dirty = True
+        return result
+
+    def remove_edge(self, *args, **kwargs):
+        """Delegate the removal, then re-prepare observers lazily.
+
+        A removed edge can only *lose* reachable pairs, so every
+        prepared positive certificate (supporting points) could now
+        be wrong — without the dirty mark the ``__getattr__``
+        forwarding would silently bypass the chain's tables and keep
+        answering from stale certificates.
+        """
+        result = self.inner.remove_edge(*args, **kwargs)
+        self._dirty = True
+        return result
+
+    def remove_node(self, *args, **kwargs):
+        """Delegate the removal; gone nodes also need fresh tables."""
+        result = self.inner.remove_node(*args, **kwargs)
         self._dirty = True
         return result
 

@@ -26,7 +26,11 @@ from repro.service.errors import RemoteError, ServiceError
 __all__ = ["ServiceClient"]
 
 #: wire ops safe to retry after a transparent reconnect: answering one
-#: twice is indistinguishable from answering it once
+#: twice is indistinguishable from answering it once.  The write verbs
+#: — ``add_edge`` / ``add_node`` / ``remove_edge`` / ``remove_node`` /
+#: ``reload`` — are deliberately absent: a dropped connection says
+#: nothing about whether the mutation landed, and replaying a removal
+#: could delete an edge re-inserted in between.
 _IDEMPOTENT_OPS = frozenset(
     {"query", "query_batch", "stats", "metrics", "ping"})
 
@@ -96,6 +100,16 @@ class ServiceClient:
     def add_node(self, node) -> dict:
         """Insert an isolated node."""
         return self.call({"op": "add_node", "node": node})
+
+    def remove_edge(self, source, target) -> dict:
+        """Remove an edge; ``response["removed"]`` is False when the
+        edge was not present (mirror of ``add_edge``'s duplicate)."""
+        return self.call({"op": "remove_edge", "source": source,
+                          "target": target})
+
+    def remove_node(self, node) -> dict:
+        """Remove a node and every incident edge."""
+        return self.call({"op": "remove_node", "node": node})
 
     def reload(self, force: bool = False) -> int:
         """Trigger a rebuild-and-swap; returns the new epoch."""

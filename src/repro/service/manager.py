@@ -11,11 +11,18 @@ keeps two structures:
   swaps and every answer is exact for the graph version its epoch
   names;
 * the **shadow** — a :class:`~repro.core.maintenance.DynamicChainIndex`
-  that absorbs ``add_edge`` / ``add_node`` incrementally (Jagadish
-  maintenance) under a write lock.  Writes do not touch the published
-  snapshot; they become visible when a **rebuild-and-swap** packs a
-  fresh static index from a copy of the shadow's graph (off-lock, so
-  queries keep flowing) and atomically publishes it with ``epoch + 1``.
+  (or, for ``engine="dynamic-tol"``, a fully dynamic
+  :class:`~repro.dynamic.TolIndex`) that absorbs ``add_edge`` /
+  ``add_node`` incrementally under a write lock.  Writes do not touch
+  the published snapshot; they become visible when a
+  **rebuild-and-swap** packs a fresh static index from a copy of the
+  shadow's graph (off-lock, so queries keep flowing) and atomically
+  publishes it with ``epoch + 1``.
+
+Deletions (``remove_edge`` / ``remove_node``) route by capability:
+a ``deletable`` shadow repairs its labels in place, any other shadow
+mutates its graph and re-derives its labels — either way the write
+follows the same visibility rules as inserts.
 
 ``mode="dynamic"`` flips the trade-off for mutation-heavy workloads:
 the published snapshot *is* the shadow, every write bumps the epoch
@@ -33,7 +40,12 @@ from repro.core.index import ChainIndex
 from repro.core.maintenance import DynamicChainIndex
 from repro.core.protocols import BatchReachability
 from repro.graph.digraph import DiGraph
-from repro.graph.errors import EdgeExistsError, NotADAGError
+from repro.graph.errors import (
+    EdgeExistsError,
+    EdgeNotFoundError,
+    NodeNotFoundError,
+    NotADAGError,
+)
 from repro.obs import OBS
 from repro.service.errors import WritesUnsupportedError
 
@@ -127,8 +139,8 @@ class IndexManager:
         (:func:`repro.engine.names`) as the packed backend; ``method``
         is the legacy spelling of the chain engines
         (``method="closure"`` ≡ ``engine="chain-closure"``) and the two
-        cannot disagree.  ``engine="dynamic"`` implies
-        ``mode="dynamic"``.  Whether writes are accepted is a
+        cannot disagree.  ``engine="dynamic"`` / ``"dynamic-tol"``
+        imply ``mode="dynamic"``.  Whether writes are accepted is a
         *capability* question, not a type question: writes flow when
         the shadow exists (DAG input), whatever engine answers reads.
         Static mode accepts cyclic graphs for read-only service (the
@@ -139,7 +151,11 @@ class IndexManager:
         engine, method, mode = cls._resolve_engine(engine, method, mode)
         version = graph.copy()
         try:
-            shadow = DynamicChainIndex.from_graph(version)
+            if engine == "dynamic-tol":
+                from repro.dynamic import TolIndex
+                shadow = TolIndex.from_graph(version)
+            else:
+                shadow = DynamicChainIndex.from_graph(version)
         except NotADAGError:
             if mode == "dynamic":
                 raise
@@ -169,7 +185,7 @@ class IndexManager:
                     f"engine {engine!r} conflicts with "
                     f"method {method!r}")
             method = chain_method
-        elif engine == "dynamic":
+        elif engine in ("dynamic", "dynamic-tol"):
             mode = "dynamic"
         return engine, method, mode
 
@@ -286,7 +302,7 @@ class IndexManager:
                     shadow.add_edge(tail, head)
                 except EdgeExistsError:
                     return False
-            self._record_write()
+            self._record_write("add_edge")
         self._maybe_auto_swap()
         return True
 
@@ -297,7 +313,60 @@ class IndexManager:
             if node in shadow.graph:
                 return False
             shadow.add_node(node)
-            self._record_write()
+            self._record_write("add_node")
+        self._maybe_auto_swap()
+        return True
+
+    def remove_edge(self, source, target) -> bool:
+        """Remove ``source → target`` from the shadow.
+
+        Returns ``True`` when the edge was removed, ``False`` when it
+        was not present (the mirror of :meth:`add_edge` returning
+        ``False`` for a duplicate).  Raises
+        :class:`~repro.graph.errors.NodeNotFoundError` (with ``role``)
+        for unknown endpoints and :class:`WritesUnsupportedError` on a
+        read-only manager.  A ``deletable`` shadow (``dynamic-tol``)
+        repairs its labels in place; any other shadow mutates its
+        graph and re-derives its labels, the same rebuild-and-swap
+        cost model as inserts.
+        """
+        with self._lock:
+            shadow = self._require_shadow()
+            graph = shadow.graph
+            for node, role in ((source, "source"), (target, "target")):
+                if node not in graph:
+                    raise NodeNotFoundError(node, role=role)
+            try:
+                if hasattr(shadow, "remove_edge"):
+                    shadow.remove_edge(source, target)
+                else:
+                    graph.remove_edge(source, target)
+                    shadow.rebuild()
+            except EdgeNotFoundError:
+                return False
+            self._record_write("remove_edge")
+        self._maybe_auto_swap()
+        return True
+
+    def remove_node(self, node) -> bool:
+        """Remove ``node`` and its incident edges from the shadow.
+
+        Returns ``True``; raises
+        :class:`~repro.graph.errors.NodeNotFoundError` with
+        ``role="node"`` when the node is absent, and
+        :class:`WritesUnsupportedError` on a read-only manager.
+        Routing mirrors :meth:`remove_edge`.
+        """
+        with self._lock:
+            shadow = self._require_shadow()
+            if node not in shadow.graph:
+                raise NodeNotFoundError(node, role="node")
+            if hasattr(shadow, "remove_node"):
+                shadow.remove_node(node)
+            else:
+                shadow.graph.remove_node(node)
+                shadow.rebuild()
+            self._record_write("remove_node")
         self._maybe_auto_swap()
         return True
 
@@ -308,15 +377,17 @@ class IndexManager:
                 "time, or loaded from an index file)")
         return self._shadow
 
-    def _record_write(self) -> None:
+    def _record_write(self, verb: str) -> None:
         """Bump write accounting; publish immediately in dynamic mode.
 
-        Caller holds ``self._lock``.
+        Caller holds ``self._lock``.  ``verb`` feeds the per-verb
+        ``service/writes/{verb}`` counter.
         """
         self._pending += 1
         self._writes += 1
         if OBS.enabled:
             OBS.count("service/writes")
+            OBS.count(f"service/writes/{verb}")
         if self._mode == "dynamic":
             shadow = self._shadow
             self._snapshot = Snapshot(self._snapshot.epoch + 1, shadow,

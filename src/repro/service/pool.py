@@ -29,8 +29,9 @@ retired name while a straggler still *maps* it is safe (POSIX keeps
 the mapping alive until the last detach).
 
 The control pipe is also the pool's data plane for everything that is
-not a query: workers proxy ``add_edge`` / ``add_node`` / ``reload`` to
-the parent (RPC with id-matched responses), and ``stats`` /
+not a query: workers proxy ``add_edge`` / ``add_node`` /
+``remove_edge`` / ``remove_node`` / ``reload`` to the parent (RPC
+with id-matched responses), and ``stats`` /
 ``metrics`` return pool-wide aggregates — the parent polls every
 worker for an export (counters, histogram states, registry state) and
 merges them exactly (histograms by bucket count, counters by sum), so
@@ -186,6 +187,17 @@ class _AttachedManager:
         result = self._control.rpc("add_node", node=node)
         self.pending_writes = result["pending_writes"]
         return result["added"]
+
+    def remove_edge(self, source, target) -> bool:
+        result = self._control.rpc("remove_edge", source=source,
+                                   target=target)
+        self.pending_writes = result["pending_writes"]
+        return result["removed"]
+
+    def remove_node(self, node) -> bool:
+        result = self._control.rpc("remove_node", node=node)
+        self.pending_writes = result["pending_writes"]
+        return result["removed"]
 
     def swap(self, force: bool = False) -> Snapshot:
         result = self._control.rpc("reload", force=force)
@@ -771,6 +783,19 @@ class WorkerPool:
             elif op == "add_node":
                 added = self.manager.add_node(kwargs["node"])
                 result = {"added": added, "epoch": self.manager.epoch,
+                          "pending_writes": self.manager.pending_writes}
+                self._maybe_swap_after()
+            elif op == "remove_edge":
+                removed = self.manager.remove_edge(
+                    kwargs["source"], kwargs["target"])
+                result = {"removed": removed,
+                          "epoch": self.manager.epoch,
+                          "pending_writes": self.manager.pending_writes}
+                self._maybe_swap_after()
+            elif op == "remove_node":
+                removed = self.manager.remove_node(kwargs["node"])
+                result = {"removed": removed,
+                          "epoch": self.manager.epoch,
                           "pending_writes": self.manager.pending_writes}
                 self._maybe_swap_after()
             elif op == "reload":

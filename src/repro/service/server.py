@@ -3,8 +3,9 @@
 One request per line, one JSON response per line, in order, per
 connection (concurrency comes from many connections — which is exactly
 what the micro-batcher coalesces).  Verbs: ``query``, ``query_batch``,
-``add_edge``, ``add_node``, ``stats``, ``metrics``, ``reload``,
-``ping``; the wire contract is specified in ``docs/SERVICE.md``.
+``add_edge``, ``add_node``, ``remove_edge``, ``remove_node``,
+``stats``, ``metrics``, ``reload``, ``ping``; the wire contract is
+specified in ``docs/SERVICE.md``.
 
 Telemetry: every query request carries a
 :class:`~repro.service.tracing.Trace` through the serving path
@@ -400,6 +401,21 @@ class ReachabilityService:
             added = await asyncio.to_thread(
                 self.manager.add_node, _scalar(request["node"], "node"))
             return {"ok": True, "added": added,
+                    "epoch": self.manager.epoch,
+                    "pending_writes": self.manager.pending_writes}
+        if op == "remove_edge":
+            source = _scalar(request["source"], "source")
+            target = _scalar(request["target"], "target")
+            removed = await asyncio.to_thread(
+                self.manager.remove_edge, source, target)
+            return {"ok": True, "removed": removed,
+                    "epoch": self.manager.epoch,
+                    "pending_writes": self.manager.pending_writes}
+        if op == "remove_node":
+            removed = await asyncio.to_thread(
+                self.manager.remove_node,
+                _scalar(request["node"], "node"))
+            return {"ok": True, "removed": removed,
                     "epoch": self.manager.epoch,
                     "pending_writes": self.manager.pending_writes}
         if op == "reload":

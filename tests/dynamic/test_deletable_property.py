@@ -1,0 +1,164 @@
+"""Property: every ``deletable`` engine survives interleaved mutation.
+
+The acceptance bar for the dynamic subsystem: under a random
+interleaving of edge/node inserts and deletes, every engine that
+advertises the ``deletable`` capability — and its ``observed:``
+wrapping — answers exactly like a BFS oracle over a model graph that
+absorbed the same operations, after *every* step.  Plus the write-path
+error contracts: read-only managers refuse the delete verbs with
+:class:`WritesUnsupportedError`, and unknown operands surface
+:class:`NodeNotFoundError` carrying the operand's role.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.engine as engine
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import NodeNotFoundError
+from repro.service import IndexManager
+from repro.service.errors import WritesUnsupportedError
+
+from tests.conftest import bfs_reachable, small_dags
+
+OPS = ("add_node", "add_edge", "remove_edge", "remove_node")
+
+
+def deletable_names() -> list[str]:
+    return [spec.name for spec in engine.specs() if spec.deletable]
+
+
+def test_dynamic_tol_is_registered_as_deletable():
+    assert "dynamic-tol" in deletable_names()
+
+
+def _apply(target, model: DiGraph, op, fresh: int) -> int:
+    """Interpret one drawn op against both the engine and the model.
+
+    Node labels are ints and every edge runs small-label → big-label,
+    so any insert the interpreter picks keeps the graph a DAG.
+    """
+    kind, i, j = op
+    if kind == "add_node":
+        target.add_node(fresh)
+        model.add_node(fresh)
+        return fresh + 1
+    if kind == "add_edge":
+        nodes = sorted(model.nodes())
+        if len(nodes) >= 2:
+            a, b = nodes[i % len(nodes)], nodes[j % len(nodes)]
+            if a != b:
+                tail, head = min(a, b), max(a, b)
+                if not model.has_edge(tail, head):
+                    target.add_edge(tail, head)
+                    model.add_edge(tail, head)
+    elif kind == "remove_edge":
+        edges = sorted(model.edges())
+        if edges:
+            tail, head = edges[i % len(edges)]
+            target.remove_edge(tail, head)
+            model.remove_edge(tail, head)
+    elif kind == "remove_node":
+        nodes = sorted(model.nodes())
+        if nodes:
+            victim = nodes[i % len(nodes)]
+            target.remove_node(victim)
+            model.remove_node(victim)
+    return fresh
+
+
+def _assert_oracle(target, model: DiGraph, context) -> None:
+    nodes = model.nodes()
+    pairs = [(u, v) for u in nodes for v in nodes]
+    oracle = [bfs_reachable(model, u, v) for u, v in pairs]
+    assert target.is_reachable_many(pairs) == oracle, context
+
+
+@given(graph=small_dags(max_nodes=7),
+       ops=st.lists(st.tuples(st.sampled_from(OPS),
+                              st.integers(0, 2 ** 16),
+                              st.integers(0, 2 ** 16)),
+                    max_size=10))
+@settings(max_examples=25, deadline=None)
+def test_deletable_engines_equal_bfs_under_interleaved_ops(graph, ops):
+    for name in deletable_names():
+        for build_name in (name, f"observed:{name}"):
+            built = engine.build(build_name, graph)
+            model = DiGraph.from_edges(graph.edges(),
+                                       nodes=graph.nodes())
+            fresh = graph.num_nodes
+            for step, op in enumerate(ops):
+                fresh = _apply(built, model, op, fresh)
+                _assert_oracle(built, model, (build_name, step, op))
+
+
+@given(graph=small_dags(max_nodes=7, min_nodes=2),
+       ops=st.lists(st.tuples(st.sampled_from(OPS),
+                              st.integers(0, 2 ** 16),
+                              st.integers(0, 2 ** 16)),
+                    min_size=4, max_size=14))
+@settings(max_examples=25, deadline=None)
+def test_manager_shadow_absorbs_interleaved_ops(graph, ops):
+    """The same interleavings through ``IndexManager`` — the shadow is
+    the live ``dynamic-tol`` index, so every post-op answer is fresh
+    without a swap."""
+    manager = IndexManager.from_graph(graph, engine="dynamic-tol")
+    try:
+        model = DiGraph.from_edges(graph.edges(), nodes=graph.nodes())
+        fresh = graph.num_nodes
+        writes = 0
+        for op in ops:
+            before = model.num_nodes + model.num_edges
+            fresh = _apply(manager, model, op, fresh)
+            writes += (model.num_nodes + model.num_edges) != before
+            nodes = model.nodes()
+            pairs = [(u, v) for u in nodes for v in nodes]
+            oracle = [bfs_reachable(model, u, v) for u, v in pairs]
+            assert manager.query_many(pairs)[1] == oracle, op
+        assert manager.pending_writes == writes
+    finally:
+        manager.close()
+
+
+class TestWriteContracts:
+    @pytest.fixture
+    def read_only(self) -> IndexManager:
+        cyclic = DiGraph.from_edges([("a", "b"), ("b", "a")])
+        manager = IndexManager.from_graph(cyclic)
+        yield manager
+        manager.close()
+
+    def test_read_only_manager_refuses_delete_verbs(self, read_only):
+        assert not read_only.writable
+        with pytest.raises(WritesUnsupportedError):
+            read_only.remove_edge("a", "b")
+        with pytest.raises(WritesUnsupportedError):
+            read_only.remove_node("a")
+        assert read_only.pending_writes == 0
+
+    def test_unknown_operands_carry_roles(self):
+        graph = DiGraph.from_edges([("a", "b")])
+        manager = IndexManager.from_graph(graph, engine="dynamic-tol")
+        try:
+            with pytest.raises(NodeNotFoundError) as info:
+                manager.remove_edge("nope", "b")
+            assert info.value.role == "source"
+            with pytest.raises(NodeNotFoundError) as info:
+                manager.remove_edge("a", "nope")
+            assert info.value.role == "target"
+            with pytest.raises(NodeNotFoundError) as info:
+                manager.remove_node("nope")
+            assert info.value.role == "node"
+        finally:
+            manager.close()
+
+    def test_remove_edge_mirrors_add_edge_idempotence(self):
+        graph = DiGraph.from_edges([("a", "b"), ("b", "c")])
+        manager = IndexManager.from_graph(graph, engine="dynamic-tol")
+        try:
+            assert manager.remove_edge("a", "b") is True
+            assert manager.remove_edge("a", "b") is False
+            assert manager.remove_node("a") is True
+        finally:
+            manager.close()

@@ -1,0 +1,255 @@
+"""Unit tests for :class:`repro.dynamic.tol.TolIndex`.
+
+The fully dynamic 2-hop index: build equivalence against the BFS
+oracle, insert propagation, the two deletion paths (fast path when an
+alternate route survives, purge-and-repair when it does not), hub
+retirement on node removal, error contracts, and the maintenance
+metrics it publishes.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.dynamic import TolIndex
+from repro.graph.digraph import DiGraph
+from repro.graph.errors import (
+    EdgeExistsError,
+    EdgeNotFoundError,
+    NodeNotFoundError,
+    NotADAGError,
+)
+from repro.obs import OBS
+
+from tests.conftest import PAPER_FIG1_EDGES, bfs_reachable, small_dags
+
+
+def all_pairs(graph: DiGraph) -> list[tuple]:
+    nodes = graph.nodes()
+    return [(u, v) for u in nodes for v in nodes]
+
+
+def assert_equals_oracle(index: TolIndex, graph: DiGraph) -> None:
+    pairs = all_pairs(graph)
+    oracle = [bfs_reachable(graph, u, v) for u, v in pairs]
+    assert index.is_reachable_many(pairs) == oracle
+    assert [index.is_reachable(u, v) for u, v in pairs] == oracle
+
+
+class TestBuild:
+    def test_fig1_dag_matches_bfs(self):
+        graph = DiGraph.from_edges(PAPER_FIG1_EDGES)
+        index = TolIndex.from_graph(graph)
+        assert_equals_oracle(index, graph)
+
+    def test_reflexive_on_isolated_node(self):
+        graph = DiGraph()
+        graph.add_node("only")
+        index = TolIndex.from_graph(graph)
+        assert index.is_reachable("only", "only")
+
+    def test_empty_graph(self):
+        index = TolIndex.from_graph(DiGraph())
+        assert index.num_nodes == 0
+        assert index.label_entries() == 0
+        assert index.is_reachable_many([]) == []
+
+    def test_cyclic_input_is_rejected(self):
+        graph = DiGraph.from_edges([("a", "b"), ("b", "a")])
+        with pytest.raises(NotADAGError):
+            TolIndex.from_graph(graph)
+
+    def test_the_source_graph_is_copied(self):
+        graph = DiGraph.from_edges([("a", "b")])
+        index = TolIndex.from_graph(graph)
+        graph.remove_edge("a", "b")
+        assert index.is_reachable("a", "b")
+        assert index.graph is not graph
+
+    @given(graph=small_dags())
+    @settings(max_examples=40, deadline=None)
+    def test_random_dags_match_bfs(self, graph):
+        assert_equals_oracle(TolIndex.from_graph(graph), graph)
+
+    @given(graph=small_dags())
+    @settings(max_examples=20, deadline=None)
+    def test_entry_rank_never_exceeds_owner_rank(self, graph):
+        """The pruned landmark BFS only labels down the priority
+        order: every stored entry's hub outranks its owner."""
+        index = TolIndex.from_graph(graph)
+        for node in graph.nodes():
+            r = index._rank[node]  # noqa: SLF001
+            assert all(h <= r for h in index._lin[node])  # noqa: SLF001
+            assert all(h <= r for h in index._lout[node])  # noqa: SLF001
+
+
+class TestInsert:
+    def test_add_edge_extends_reachability(self):
+        graph = DiGraph.from_edges([("a", "b"), ("c", "d")])
+        index = TolIndex.from_graph(graph)
+        assert not index.is_reachable("a", "d")
+        index.add_edge("b", "c")
+        assert index.is_reachable("a", "d")
+        assert_equals_oracle(index, index.graph)
+
+    def test_cycle_closing_edge_rejected_before_mutation(self):
+        index = TolIndex.from_graph(
+            DiGraph.from_edges([("a", "b"), ("b", "c")]))
+        before = index.label_entries()
+        with pytest.raises(NotADAGError):
+            index.add_edge("c", "a")
+        assert not index.graph.has_edge("c", "a")
+        assert index.label_entries() == before
+        assert index.is_reachable("a", "c")
+
+    def test_duplicate_edge_raises(self):
+        index = TolIndex.from_graph(DiGraph.from_edges([("a", "b")]))
+        with pytest.raises(EdgeExistsError):
+            index.add_edge("a", "b")
+
+    def test_unknown_endpoint_raises_before_mutation(self):
+        index = TolIndex.from_graph(DiGraph.from_edges([("a", "b")]))
+        with pytest.raises(NodeNotFoundError):
+            index.add_edge("a", "nope")
+        assert index.graph.num_edges == 1
+
+    def test_self_loop_is_a_noop(self):
+        index = TolIndex.from_graph(DiGraph.from_edges([("a", "b")]))
+        index.add_edge("a", "a")
+        assert index.graph.num_edges == 1
+
+    def test_add_node_then_wire_it_in(self):
+        index = TolIndex.from_graph(DiGraph.from_edges([("a", "b")]))
+        index.add_node("c")
+        assert index.is_reachable("c", "c")
+        assert not index.is_reachable("a", "c")
+        index.add_edge("b", "c")
+        assert index.is_reachable("a", "c")
+
+    def test_new_nodes_take_fresh_ranks(self):
+        index = TolIndex.from_graph(DiGraph.from_edges([("a", "b")]))
+        ranks = set(index._rank.values())  # noqa: SLF001
+        index.add_node("c")
+        assert index._rank["c"] not in ranks  # noqa: SLF001
+
+
+class TestRemoveEdge:
+    def test_fast_path_keeps_answers_when_a_route_survives(self):
+        graph = DiGraph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+        index = TolIndex.from_graph(graph)
+        index.remove_edge("a", "c")          # a ⇝ c still via b
+        assert index.is_reachable("a", "c")
+        assert_equals_oracle(index, index.graph)
+
+    def test_repair_path_forgets_dead_pairs(self):
+        graph = DiGraph.from_edges(PAPER_FIG1_EDGES)
+        index = TolIndex.from_graph(graph)
+        assert index.is_reachable("f", "e")
+        index.remove_edge("c", "e")
+        index.remove_edge("h", "e")
+        assert not index.is_reachable("f", "e")
+        assert_equals_oracle(index, index.graph)
+
+    def test_reverse_edge_insertable_after_removal(self):
+        """The repaired labels must not remember the dead direction —
+        a stale certificate would falsely reject the reverse edge as a
+        cycle."""
+        index = TolIndex.from_graph(DiGraph.from_edges([("a", "b")]))
+        index.remove_edge("a", "b")
+        index.add_edge("b", "a")
+        assert index.is_reachable("b", "a")
+        assert not index.is_reachable("a", "b")
+
+    def test_missing_edge_raises(self):
+        index = TolIndex.from_graph(DiGraph.from_edges([("a", "b")]))
+        with pytest.raises(EdgeNotFoundError):
+            index.remove_edge("b", "a")
+        with pytest.raises(NodeNotFoundError):
+            index.remove_edge("a", "zzz")
+
+
+class TestRemoveNode:
+    def test_hub_retirement(self):
+        """Removing a high-degree node retires its rank everywhere."""
+        graph = DiGraph.from_edges(PAPER_FIG1_EDGES)
+        index = TolIndex.from_graph(graph)
+        index.remove_node("c")               # the Fig. 1 cut vertex
+        assert not index.is_reachable("a", "d")
+        assert index.is_reachable("f", "d")  # via g
+        with pytest.raises(NodeNotFoundError):
+            index.is_reachable("c", "d")
+        assert_equals_oracle(index, index.graph)
+
+    def test_removed_rank_is_a_permanent_hole(self):
+        index = TolIndex.from_graph(DiGraph.from_edges([("a", "b")]))
+        retired = index._rank["b"]  # noqa: SLF001
+        index.remove_node("b")
+        index.add_node("c")
+        assert index._rank["c"] != retired  # noqa: SLF001
+        for labels in index._lin.values():  # noqa: SLF001
+            assert retired not in labels
+        for labels in index._lout.values():  # noqa: SLF001
+            assert retired not in labels
+
+    def test_source_or_sink_removal_skips_repair(self):
+        graph = DiGraph.from_edges([("a", "b"), ("b", "c")])
+        index = TolIndex.from_graph(graph)
+        index.remove_node("a")               # pure source
+        assert index.is_reachable("b", "c")
+        index.remove_node("c")               # pure sink
+        assert index.is_reachable("b", "b")
+
+    def test_unknown_node_raises_with_role(self):
+        index = TolIndex.from_graph(DiGraph())
+        with pytest.raises(NodeNotFoundError) as info:
+            index.remove_node("nope")
+        assert info.value.role == "node"
+
+
+class TestMaintenanceCompaction:
+    def test_rebuild_compacts_without_changing_answers(self):
+        graph = DiGraph.from_edges(PAPER_FIG1_EDGES)
+        index = TolIndex.from_graph(graph)
+        for tail, head in [("c", "d"), ("g", "d")]:
+            index.remove_edge(tail, head)
+            index.add_edge(tail, head)
+        inflated = index.label_entries()
+        pairs = all_pairs(index.graph)
+        before = index.is_reachable_many(pairs)
+        index.rebuild()
+        assert index.is_reachable_many(pairs) == before
+        assert index.label_entries() <= inflated
+
+    def test_size_words_accounts_nodes_and_entries(self):
+        index = TolIndex.from_graph(
+            DiGraph.from_edges([("a", "b"), ("b", "c")]))
+        assert index.size_words() == (2 * index.num_nodes
+                                      + 2 * index.label_entries())
+
+
+class TestMetrics:
+    def test_removal_counters_and_gauge(self):
+        graph = DiGraph.from_edges(PAPER_FIG1_EDGES)
+        index = TolIndex.from_graph(graph)
+        with OBS.capture() as metrics:
+            index.remove_edge("c", "e")
+            index.remove_node("h")
+        assert metrics.counters["maintenance/edges_removed"] == 1
+        assert metrics.counters["maintenance/nodes_removed"] == 1
+        assert metrics.gauges["dynamic/label_entries"] == \
+            index.label_entries()
+
+    def test_insert_counters(self):
+        index = TolIndex.from_graph(
+            DiGraph.from_edges([("a", "b"), ("c", "d")]))
+        with OBS.capture() as metrics:
+            index.add_node("e")
+            index.add_edge("b", "c")
+        assert metrics.counters["maintenance/nodes_added"] == 1
+        assert metrics.counters["maintenance/edges_added"] == 1
+        assert metrics.counters["maintenance/label_updates"] >= 1
+
+    def test_build_runs_inside_a_rebuild_span(self):
+        with OBS.capture() as metrics:
+            TolIndex.from_graph(DiGraph.from_edges([("a", "b")]))
+        assert any(span.endswith("maintenance/rebuild")
+                   for span in metrics.spans)

@@ -25,7 +25,8 @@ def engines_under_test():
     """(name, built engine) for every registered engine."""
     built = []
     for name in engine.names():
-        graph = dag() if name == "dynamic" else cyclic_graph()
+        graph = (dag() if name in ("dynamic", "dynamic-tol")
+                 else cyclic_graph())
         built.append(pytest.param(engine.build(name, graph), id=name))
     return built
 

@@ -71,7 +71,7 @@ def test_every_registered_engine_equals_bfs(graph):
     pairs = all_pairs(graph)
     oracle = [bfs_reachable(graph, u, v) for u, v in pairs]
     for name in engine.names():
-        if name == "dynamic":
+        if name in ("dynamic", "dynamic-tol"):
             continue                     # DAG-only, covered below
         built = engine.build(name, graph)
         assert built.is_reachable_many(pairs) == oracle, name
@@ -91,4 +91,6 @@ def test_dynamic_engine_equals_bfs_on_dags(graph):
     pairs = all_pairs(graph)
     oracle = [bfs_reachable(graph, u, v) for u, v in pairs]
     assert engine.build("dynamic",
+                        graph).is_reachable_many(pairs) == oracle
+    assert engine.build("dynamic-tol",
                         graph).is_reachable_many(pairs) == oracle

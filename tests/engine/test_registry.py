@@ -33,15 +33,22 @@ class TestRegistryContents:
     def test_the_stratified_engine_is_ours(self):
         assert engine.paper_labels()["ours"].name == "chain-stratified"
 
-    def test_capabilities_dict_has_all_four_flags(self):
+    def test_capabilities_dict_has_all_five_flags(self):
         for spec in engine.specs():
             assert set(spec.capabilities) == set(
                 engine.CAPABILITY_FLAGS)
 
-    def test_only_dynamic_is_writable(self):
+    def test_only_the_dynamic_engines_are_writable(self):
         writable = [spec.name for spec in engine.specs()
                     if spec.writable]
-        assert writable == ["dynamic"]
+        assert writable == ["dynamic", "dynamic-tol"]
+
+    def test_only_dynamic_tol_is_deletable(self):
+        deletable = [spec.name for spec in engine.specs()
+                     if spec.deletable]
+        assert deletable == ["dynamic-tol"]
+        assert all(spec.writable for spec in engine.specs()
+                   if spec.deletable)
 
     def test_persistable_engines(self):
         persistable = {spec.name for spec in engine.specs()

@@ -7,6 +7,7 @@ from repro.graph.digraph import DiGraph
 from repro.graph.errors import (
     DuplicateNodeError,
     EdgeExistsError,
+    EdgeNotFoundError,
     NodeNotFoundError,
 )
 
@@ -103,6 +104,64 @@ class TestQueries:
         g = DiGraph.from_edges([("a", "b")])
         assert "nodes=2" in repr(g)
         assert "edges=1" in repr(g)
+
+
+class TestRemoval:
+    def test_remove_edge(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "c")])
+        g.remove_edge("a", "b")
+        assert not g.has_edge("a", "b")
+        assert g.has_edge("b", "c")
+        assert g.num_edges == 1
+        assert "a" in g                       # endpoints survive
+
+    def test_remove_missing_edge_raises(self):
+        g = DiGraph.from_edges([("a", "b")])
+        with pytest.raises(EdgeNotFoundError, match="'b'.*'a'"):
+            g.remove_edge("b", "a")
+        with pytest.raises(NodeNotFoundError):
+            g.remove_edge("a", "zzz")
+
+    def test_removed_edge_can_be_reinserted(self):
+        g = DiGraph.from_edges([("a", "b")])
+        g.remove_edge("a", "b")
+        g.add_edge("a", "b")                  # no EdgeExistsError
+        assert g.has_edge("a", "b")
+        assert g.num_edges == 1
+
+    def test_remove_node_detaches_incident_edges(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+        g.remove_node("b")
+        assert "b" not in g
+        assert g.num_nodes == 2
+        assert g.num_edges == 1
+        assert g.has_edge("a", "c")
+        assert g.successors("a") == ["c"]
+        assert g.predecessors("c") == ["a"]
+
+    def test_remove_unknown_node_raises(self):
+        g = DiGraph()
+        with pytest.raises(NodeNotFoundError):
+            g.remove_node("nope")
+
+    def test_remove_node_compacts_ids(self):
+        """Dense ids stay dense: the last node's id is recycled into
+        the removed slot (documented — ids of other nodes may change)."""
+        g = DiGraph.from_edges([("a", "b"), ("b", "c"), ("c", "d")])
+        g.remove_node("b")
+        assert sorted(g.node_id(n) for n in g.nodes()) == [0, 1, 2]
+        assert g.node_at(g.node_id("d")) == "d"
+        assert g.has_edge("c", "d")
+
+    @given(small_digraphs())
+    def test_remove_every_edge_then_every_node_empties(self, g):
+        for tail, head in list(g.edges()):
+            g.remove_edge(tail, head)
+        assert g.num_edges == 0
+        for node in list(g.nodes()):
+            g.remove_node(node)
+        assert g.num_nodes == 0
+        assert len(g) == 0
 
 
 class TestDerivedGraphs:

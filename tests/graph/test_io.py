@@ -47,6 +47,25 @@ class TestRoundTrip:
         assert sorted(map(tuple, h.edges())) == sorted(
             map(tuple, g.edges()))
 
+    def test_non_dense_labels_round_trip_exactly(self):
+        """``remove_node`` punches a hole in the dense 0..n-1 label
+        range; the rewrite must not resurrect the node (the old ``n``
+        header did) nor drop isolated survivors."""
+        g = DiGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+        g.remove_node(1)                     # isolates 0, hole at 1
+        h = loads(dumps(g))
+        assert sorted(h.nodes()) == sorted(g.nodes())
+        assert 1 not in h
+        assert 0 in h                        # isolated survivor kept
+        assert sorted(map(tuple, h.edges())) == sorted(
+            map(tuple, g.edges()))
+
+    def test_string_label_graphs_round_trip(self):
+        g = DiGraph.from_edges([("alpha", "beta")], nodes=["lone"])
+        h = loads(dumps(g), int_labels=False)
+        assert sorted(h.nodes()) == sorted(g.nodes())
+        assert h.has_edge("alpha", "beta")
+
 
 class TestParsing:
     def test_comments_and_blank_lines_skipped(self):
@@ -70,6 +89,16 @@ class TestParsing:
     def test_non_integer_label(self):
         with pytest.raises(GraphFormatError):
             loads("a b\n")
+
+    def test_node_declaration_lines(self):
+        g = loads("v 7\n0 1\n")
+        assert 7 in g
+        assert g.num_nodes == 3
+        with pytest.raises(GraphFormatError):
+            loads("v\n")
+        with pytest.raises(GraphFormatError):
+            loads("v x\n")                   # int_labels: must parse
+        assert "x" in loads("v x\n", int_labels=False)
 
     def test_bad_node_count_line(self):
         with pytest.raises(GraphFormatError):

@@ -37,7 +37,7 @@ def test_every_observed_engine_equals_bfs(graph):
     pairs = all_pairs(graph)
     oracle = [bfs_reachable(graph, u, v) for u, v in pairs]
     for name in engine.names():
-        if name == "dynamic":
+        if name in ("dynamic", "dynamic-tol"):
             continue                     # DAG-only, covered below
         observed = engine.build(f"observed:{name}", graph)
         assert observed.is_reachable_many(pairs) == oracle, name
@@ -58,6 +58,32 @@ def test_observed_dynamic_engine_tracks_writes(graph):
                                   nodes=list(graph.nodes()) + [n])
     if n:
         expected.add_edge(0, n)
+    pairs = all_pairs(expected)
+    oracle = [bfs_reachable(expected, u, v) for u, v in pairs]
+    assert observed.is_reachable_many(pairs) == oracle
+    assert [observed.is_reachable(u, v) for u, v in pairs] == oracle
+
+
+@given(graph=small_dags(max_nodes=7))
+@settings(max_examples=15, deadline=None)
+def test_observed_deletable_engine_tracks_removals(graph):
+    """Removals must dirty the observer tables too — without the mark
+    the ``__getattr__`` forwarding would delegate ``remove_edge`` to
+    the inner engine and keep answering from stale positive
+    certificates."""
+    observed = engine.build("observed:dynamic-tol", graph)
+    assert observed.deletable
+    edges = list(graph.edges())
+    expected = DiGraph.from_edges(edges, nodes=graph.nodes())
+    observed.is_reachable_many(all_pairs(graph))  # warm the tables
+    if edges:
+        tail, head = edges[0]
+        observed.remove_edge(tail, head)
+        expected.remove_edge(tail, head)
+    if expected.num_nodes:
+        victim = expected.nodes()[-1]
+        observed.remove_node(victim)
+        expected.remove_node(victim)
     pairs = all_pairs(expected)
     oracle = [bfs_reachable(expected, u, v) for u, v in pairs]
     assert observed.is_reachable_many(pairs) == oracle
@@ -246,10 +272,11 @@ class TestForwarding:
 
     def test_capability_flags_mirror_the_inner_engine(self, fig1_graph):
         check_dag(fig1_graph)            # Fig. 1(a): "dynamic" applies
-        for name in ("chain-stratified", "bfs", "dynamic"):
+        for name in ("chain-stratified", "bfs", "dynamic",
+                     "dynamic-tol"):
             bare = engine.build(name, fig1_graph)
             observed = engine.build(f"observed:{name}", fig1_graph)
             for flag in ("supports_batch", "writable", "persistable",
-                         "enumerable"):
+                         "enumerable", "deletable"):
                 assert getattr(observed, flag) == getattr(bare, flag), \
                     (name, flag)

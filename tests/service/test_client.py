@@ -104,3 +104,24 @@ class TestWritesAreNeverRetried:
             client.reload()
         client.close()
         assert flaky.connections == 1
+
+    def test_dropped_remove_edge_raises_without_reconnecting(
+            self, flaky):
+        # replaying a removal after a blind reconnect could delete an
+        # edge re-inserted in between; the whitelist must exclude it
+        client = ServiceClient(flaky.host, flaky.port)
+        with pytest.raises(ServiceError):
+            client.remove_edge("a", "b")
+        client.close()
+        assert flaky.connections == 1
+        assert len(flaky.requests) == 1
+        assert flaky.requests[0]["op"] == "remove_edge"
+
+    def test_dropped_remove_node_raises_without_reconnecting(
+            self, flaky):
+        client = ServiceClient(flaky.host, flaky.port)
+        with pytest.raises(ServiceError):
+            client.remove_node("a")
+        client.close()
+        assert flaky.connections == 1
+        assert flaky.requests[0]["op"] == "remove_node"

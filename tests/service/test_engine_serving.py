@@ -46,7 +46,8 @@ class TestServeAnyEngine:
                 stats = client.stats()
         assert stats["index"]["engine"] == engine
         assert set(stats["index"]["capabilities"]) == {
-            "supports_batch", "writable", "persistable", "enumerable"}
+            "supports_batch", "writable", "persistable", "enumerable",
+            "deletable"}
 
 
 class TestWritesThroughTheEngineSeam:
@@ -75,6 +76,81 @@ class TestWritesThroughTheEngineSeam:
             with ServiceClient(host, port) as client:
                 with pytest.raises(ServiceError):
                     client.add_edge("c", "x")
+
+
+class TestRemovalsThroughTheEngineSeam:
+    def test_dynamic_tol_serves_fresh_answers_after_removals(self):
+        """The deletable engine repairs in place: every answer after a
+        ``remove_edge`` / ``remove_node`` reflects it immediately,
+        with no reload in between."""
+        manager = IndexManager.from_graph(
+            DiGraph.from_edges(DAG_EDGES), engine="dynamic-tol")
+        assert manager.stats()["capabilities"]["deletable"]
+        with start_in_thread(manager, port=0) as handle:
+            host, port = handle.address
+            with ServiceClient(host, port) as client:
+                assert client.query("a", "c")[1] is True
+                ack = client.remove_edge("b", "c")
+                assert ack["removed"] is True
+                assert client.query("a", "c")[1] is False
+                # removing again: not present, mirrors add_edge dup
+                assert client.remove_edge("b", "c")["removed"] is False
+                ack = client.remove_node("b")
+                assert ack["removed"] is True
+                from repro.service import RemoteError
+                with pytest.raises(RemoteError) as info:
+                    client.query("a", "b")       # b is gone
+                assert info.value.code == "unknown_node"
+                assert client.query("x", "y")[1] is True
+
+    def test_non_deletable_shadow_removes_via_rebuild(self):
+        """Any writable manager accepts the verbs; a shadow without
+        in-place repair mutates its graph and re-derives labels."""
+        manager = IndexManager.from_graph(
+            DiGraph.from_edges(DAG_EDGES), engine="chain-stratified")
+        with start_in_thread(manager, port=0) as handle:
+            host, port = handle.address
+            with ServiceClient(host, port) as client:
+                client.remove_edge("a", "b")
+                assert client.reload() == 1
+                assert client.query("a", "c")[1] is False
+                # now (b, a) must be insertable: stale reach maps
+                # would falsely call it a cycle
+                client.add_edge("b", "a")
+                assert client.reload() == 2
+                assert client.query("b", "c")[1] is True
+
+    def test_remove_errors_carry_wire_codes_and_roles(self):
+        from repro.service import RemoteError
+        manager = IndexManager.from_graph(
+            DiGraph.from_edges(DAG_EDGES), engine="dynamic-tol")
+        with start_in_thread(manager, port=0) as handle:
+            host, port = handle.address
+            with ServiceClient(host, port) as client:
+                with pytest.raises(RemoteError) as info:
+                    client.remove_edge("nope", "b")
+                assert info.value.code == "unknown_node"
+                assert "source" in str(info.value)
+                with pytest.raises(RemoteError) as info:
+                    client.remove_edge("a", "nope")
+                assert "target" in str(info.value)
+                with pytest.raises(RemoteError) as info:
+                    client.remove_node("nope")
+                assert info.value.code == "unknown_node"
+
+    def test_read_only_manager_rejects_removals(self):
+        from repro.service import RemoteError
+        manager = IndexManager.from_graph(graph())   # cyclic: no shadow
+        assert not manager.writable
+        with start_in_thread(manager, port=0) as handle:
+            host, port = handle.address
+            with ServiceClient(host, port) as client:
+                with pytest.raises(RemoteError) as info:
+                    client.remove_edge("a", "b")
+                assert info.value.code == "unsupported"
+                with pytest.raises(RemoteError) as info:
+                    client.remove_node("a")
+                assert info.value.code == "unsupported"
 
 
 class TestServePersistedComposite:

@@ -83,6 +83,44 @@ class TestServing:
             WorkerPool(manager, workers=2, port=0)
 
 
+class TestRemovalsThroughThePool:
+    def test_remove_edge_rides_the_write_proxy(self, graph, pool):
+        """The delete verbs proxy to the parent's shadow over the
+        control pipe; a reload publishes the shrunken graph to every
+        worker."""
+        host, port = pool.address
+        tail, head = next(iter(graph.edges()))
+        with ServiceClient(host, port, timeout=30.0) as client:
+            ack = client.remove_edge(tail, head)
+            assert ack["removed"] is True
+            assert ack["pending_writes"] >= 1
+            # removing it again is a no-op, not an error
+            assert client.remove_edge(tail, head)["removed"] is False
+            new_epoch = client.reload()
+        assert new_epoch == 1
+        assert pool.wait_epoch(1, timeout=30)
+        shrunk = pool.manager.snapshot.graph
+        with ServiceClient(host, port, timeout=30.0) as client:
+            nodes = graph.nodes()[:12]
+            pairs = [(u, v) for u in nodes for v in nodes]
+            epoch, answers = client.query_batch(pairs)
+        assert epoch == 1
+        for (u, v), answer in zip(pairs, answers):
+            assert answer == bfs_reachable(shrunk, u, v)
+
+    def test_remove_node_errors_cross_the_rpc_boundary(self, pool):
+        from repro.service import RemoteError
+        host, port = pool.address
+        with ServiceClient(host, port, timeout=30.0) as client:
+            with pytest.raises(RemoteError) as info:
+                client.remove_node("never-existed")
+            assert info.value.code == "unknown_node"
+            with pytest.raises(RemoteError) as info:
+                client.remove_edge("never-existed", "also-not")
+            assert info.value.code == "unknown_node"
+            assert "source" in str(info.value)
+
+
 class TestZeroDowntimeSwap:
     def test_live_queries_never_fail_across_a_swap(self, graph, pool):
         host, port = pool.address

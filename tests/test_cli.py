@@ -295,6 +295,70 @@ class TestDot:
         assert "rank=same" in capsys.readouterr().out
 
 
+class TestRemove:
+    @pytest.fixture
+    def chain_file(self, tmp_path):
+        from repro.graph.digraph import DiGraph
+        path = tmp_path / "chain.txt"
+        write_edge_list(DiGraph.from_edges([(0, 1), (1, 2), (2, 3)]),
+                        path)
+        return str(path)
+
+    def test_remove_edge_rewrites_the_file(self, chain_file, tmp_path,
+                                           capsys):
+        from repro.graph.io import read_edge_list
+        out = tmp_path / "pruned.txt"
+        assert main(["remove-edge", chain_file, "1", "2",
+                     "--out", str(out)]) == 0
+        assert "removed edge 1 -> 2" in capsys.readouterr().out
+        pruned = read_edge_list(out)
+        assert not pruned.has_edge(1, 2)
+        assert pruned.num_nodes == 4         # endpoints survive
+        # without --out the rewrite is in place; removing an interior
+        # node punches a hole in the dense label range, which the
+        # writer must preserve (no resurrected node 1)
+        assert main(["remove-node", chain_file, "1"]) == 0
+        capsys.readouterr()
+        rewritten = read_edge_list(chain_file)
+        assert sorted(rewritten.nodes()) == [0, 2, 3]
+
+    def test_missing_edge_or_node_exits_1(self, chain_file, capsys):
+        assert main(["remove-edge", chain_file, "2", "1"]) == 1
+        assert "not in the graph" in capsys.readouterr().err
+        assert main(["remove-node", chain_file, "99"]) == 1
+        capsys.readouterr()
+
+    def test_no_graph_and_no_remote_is_a_usage_error(self, capsys):
+        assert main(["remove-edge", "0", "1"]) == 2
+        assert "--remote" in capsys.readouterr().err
+
+    def test_remote_removal_round_trip(self, chain_file, capsys):
+        from repro.graph.io import read_edge_list
+        from repro.service import IndexManager, start_in_thread
+        manager = IndexManager.from_graph(read_edge_list(chain_file),
+                                          engine="dynamic-tol")
+        with start_in_thread(manager, port=0) as handle:
+            remote = "%s:%d" % handle.address
+            assert main(["query", "--remote", remote, "0", "3"]) == 0
+            capsys.readouterr()
+            assert main(["remove-edge", "--remote", remote,
+                         "1", "2"]) == 0
+            assert "removed" in capsys.readouterr().out
+            # gone already: the deletable engine repairs in place
+            assert main(["query", "--remote", remote, "0", "3"]) == 1
+            capsys.readouterr()
+            # absent edge: reported, exit 1
+            assert main(["remove-edge", "--remote", remote,
+                         "1", "2"]) == 1
+            assert "not present" in capsys.readouterr().out
+            assert main(["remove-node", "--remote", remote, "3"]) == 0
+            capsys.readouterr()
+            # unknown node: same exit 1 as the file path, not the
+            # exit-2 transport-error class
+            assert main(["remove-node", "--remote", remote, "3"]) == 1
+            assert "not in the graph" in capsys.readouterr().err
+
+
 class TestRemoteQuery:
     @pytest.fixture
     def remote(self, graph_file):
