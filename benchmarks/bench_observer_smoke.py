@@ -22,7 +22,6 @@ Run it either way::
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 from pathlib import Path
@@ -31,9 +30,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_query.json"
 
 try:
+    from repro.bench.benchfile import merge_bench_json
     from repro.bench.harness import observer_smoke
 except ImportError:  # standalone run without an installed package
     sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.bench.benchfile import merge_bench_json
     from repro.bench.harness import observer_smoke
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
@@ -46,15 +47,7 @@ SPARSE_O1_FLOOR = 0.95
 def run_smoke(scale: float = SCALE) -> dict:
     """Measure once and merge into ``BENCH_query.json``."""
     result = observer_smoke(scale)
-    document: dict = {}
-    if OUTPUT.exists():
-        try:
-            document = json.loads(OUTPUT.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
-            document = {}
-    document["observers"] = result
-    OUTPUT.write_text(json.dumps(document, indent=2, sort_keys=True)
-                      + "\n", encoding="utf-8")
+    merge_bench_json(OUTPUT, {"observers": result})
     return result
 
 

@@ -16,7 +16,6 @@ Run it either way::
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 from pathlib import Path
@@ -25,9 +24,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_query.json"
 
 try:
+    from repro.bench.benchfile import merge_bench_json
     from repro.bench.harness import query_engine_smoke
 except ImportError:  # standalone run without an installed package
     sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.bench.benchfile import merge_bench_json
     from repro.bench.harness import query_engine_smoke
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
@@ -36,21 +37,13 @@ SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 def run_smoke(scale: float = SCALE) -> dict:
     """Measure once and write ``BENCH_query.json``.
 
-    The ``"observers"`` section written by
-    ``bench_observer_smoke.py`` is carried over, so the two smoke
-    runners can refresh the file in either order.
+    Sections owned by other runners (``"observers"`` from
+    ``bench_observer_smoke.py``, or anything newer) are carried over
+    by :func:`merge_bench_json`, so the smoke runners can refresh the
+    file in any order.
     """
     result = query_engine_smoke(scale)
-    document = dict(result)
-    if OUTPUT.exists():
-        try:
-            previous = json.loads(OUTPUT.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
-            previous = {}
-        if "observers" in previous:
-            document["observers"] = previous["observers"]
-    OUTPUT.write_text(json.dumps(document, indent=2, sort_keys=True)
-                      + "\n", encoding="utf-8")
+    merge_bench_json(OUTPUT, dict(result))
     return result
 
 

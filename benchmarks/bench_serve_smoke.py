@@ -21,7 +21,6 @@ Run it either way::
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 from pathlib import Path
@@ -30,19 +29,25 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_serve.json"
 
 try:
+    from repro.bench.benchfile import merge_bench_json
     from repro.bench.serving import serve_engine_smoke
 except ImportError:  # standalone run without an installed package
     sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.bench.benchfile import merge_bench_json
     from repro.bench.serving import serve_engine_smoke
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
 
 def run_smoke(scale: float = SCALE) -> dict:
-    """Measure once and write ``BENCH_serve.json``."""
+    """Measure once and write ``BENCH_serve.json``.
+
+    Written through :func:`merge_bench_json`, so top-level sections
+    owned by other runners survive a re-run instead of being
+    clobbered.
+    """
     result = serve_engine_smoke(scale, worker_counts=(2, 4))
-    OUTPUT.write_text(json.dumps(result, indent=2, sort_keys=True)
-                      + "\n", encoding="utf-8")
+    merge_bench_json(OUTPUT, dict(result))
     return result
 
 

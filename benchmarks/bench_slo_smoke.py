@@ -1,0 +1,147 @@
+"""Perf smoke: workload-zoo replay graded against per-class SLOs.
+
+Runs :func:`repro.bench.replay.slo_smoke` — every zoo family
+(sparse / citation / layered / deep-chain / dense) replayed in closed
+loop against a live TCP server, plus one open-loop pass — and writes
+the per-class p50/p99/p999 ladder, compliance ratios and SLO verdicts
+to ``BENCH_slo.json`` at the repository root.
+
+The gate: CI fails when any family breaches an objective
+(``healthy: false``).  The default objectives
+(:data:`repro.bench.replay.DEFAULT_OBJECTIVES`) are sized for the
+1-CPU CI runner — they catch a serving-path catastrophe, not noise.
+The negative test pins the gate's teeth: a deliberately impossible
+objective must produce a breach.
+
+Run it either way::
+
+    python benchmarks/bench_slo_smoke.py              # standalone
+    PYTHONPATH=src python -m pytest benchmarks/bench_slo_smoke.py
+
+``REPRO_BENCH_SCALE`` scales the workload as for the full bench suite.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_slo.json"
+
+try:
+    from repro.bench.benchfile import merge_bench_json
+    from repro.bench.replay import (
+        DEFAULT_OBJECTIVES,
+        SMOKE_FAMILIES,
+        evaluate_objectives,
+        replay_closed_loop,
+        slo_smoke,
+        synthetic_schedule,
+    )
+except ImportError:  # standalone run without an installed package
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.bench.benchfile import merge_bench_json
+    from repro.bench.replay import (
+        DEFAULT_OBJECTIVES,
+        SMOKE_FAMILIES,
+        evaluate_objectives,
+        replay_closed_loop,
+        slo_smoke,
+        synthetic_schedule,
+    )
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+_CACHED: dict | None = None
+
+
+def run_smoke(scale: float = SCALE) -> dict:
+    """Measure once and write ``BENCH_slo.json`` (merge-preserving)."""
+    global _CACHED
+    if _CACHED is None:
+        _CACHED = slo_smoke(scale)
+        merge_bench_json(OUTPUT, dict(_CACHED))
+    return _CACHED
+
+
+def test_slo_smoke_writes_bench_json():
+    report = run_smoke()
+    assert OUTPUT.exists()
+    assert len(report["families"]) >= 4
+
+
+def test_every_family_reports_the_class_ladder():
+    report = run_smoke()
+    for name, family in report["families"].items():
+        assert family["requests"] > 0, name
+        for klass, summary in family["classes"].items():
+            for key in ("count", "p50_ms", "p99_ms", "p999_ms",
+                        "compliance_ratio"):
+                assert key in summary, (name, klass, key)
+
+
+def test_the_gate_all_objectives_met():
+    """The CI gate: any breached objective fails the job."""
+    report = run_smoke()
+    breached = [
+        (name, row["spec"])
+        for name, family in report["families"].items()
+        for row in family["slo"] if not row["compliant"]
+    ]
+    assert report["healthy"], f"SLO breaches: {breached}"
+
+
+def test_negative_a_tightened_objective_breaches():
+    """The gate has teeth: an impossible objective must fail.
+
+    Replays one small family against ``positive p99 < 1ns`` — no real
+    server answers in a nanosecond, so the verdict must be a breach
+    and the would-be gate value ``healthy`` must be ``False``.
+    """
+    from repro.bench.workloads import ZOO_FAMILIES, build_zoo_graph
+    from repro.service import IndexManager, start_in_thread
+
+    spec = ZOO_FAMILIES["sparse"]
+    graph = build_zoo_graph(spec, min(SCALE, 0.25))
+    schedule = synthetic_schedule(spec, graph, count=60, seed=3)
+    manager = IndexManager.from_graph(graph)
+    with start_in_thread(manager) as handle:
+        host, port = handle.address
+        result = replay_closed_loop(host, port, schedule,
+                                    concurrency=2)
+    verdict = evaluate_objectives(
+        result, ["positive p99 < 1ns", "availability >= 99%"])
+    tightened = [row for row in verdict["objectives"]
+                 if row["spec"] == "positive p99 < 1ns"]
+    assert tightened and not tightened[0]["compliant"]
+    assert not verdict["healthy"]
+    assert verdict["breach_count"] >= 1 and verdict["breaches"]
+
+
+def main() -> int:
+    report = run_smoke()
+    print(f"scale {report['scale']}, families "
+          f"{', '.join(sorted(report['families']))}, "
+          f"objectives: {'; '.join(DEFAULT_OBJECTIVES)}")
+    for name in SMOKE_FAMILIES:
+        family = report["families"][name]
+        status = "ok" if family["healthy"] else "BREACH"
+        print(f"  {name:>10}: {family['requests']} req @ "
+              f"{family['qps']:,.0f} qps — {status}")
+        for klass, summary in family["classes"].items():
+            print(f"    {klass:>13}: n={summary['count']:<5} "
+                  f"p50={summary['p50_ms']:.2f}ms "
+                  f"p99={summary['p99_ms']:.2f}ms "
+                  f"p999={summary['p999_ms']:.2f}ms "
+                  f"compliance={100 * summary['compliance_ratio']:.1f}%")
+    open_loop = report["open_loop"]
+    print(f"  open loop: {open_loop['achieved_qps']:,.0f} qps achieved "
+          f"(target {open_loop['target_qps']:,.0f})")
+    print(f"\nwrote {OUTPUT}")
+    return 0 if report["healthy"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""One shared writer for the ``BENCH_*.json`` report files.
+
+Several smoke benchmarks share one JSON document (the observer smoke
+merges an ``observers`` section into ``BENCH_query.json``; the SLO
+smoke owns ``BENCH_slo.json`` but CI re-runs may interleave with other
+writers).  Before this helper each writer hand-rolled its own
+preserve-the-other-sections logic — or worse, clobbered the file —
+so a new top-level section silently vanished on the next re-run.
+
+:func:`merge_bench_json` is the single policy: read the existing
+document (tolerating a missing or corrupt file), overwrite exactly the
+top-level keys this run produced, keep every other section, and write
+back deterministically (sorted keys, trailing newline).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["merge_bench_json"]
+
+
+def merge_bench_json(path, fresh: dict) -> dict:
+    """Merge ``fresh``'s top-level sections into the JSON file at
+    ``path``; returns the merged document actually written."""
+    path = Path(path)
+    previous: dict = {}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            loaded = None
+        if isinstance(loaded, dict):
+            previous = loaded
+    document = {**previous, **fresh}
+    path.write_text(json.dumps(document, indent=2, sort_keys=True)
+                    + "\n")
+    return document

@@ -56,6 +56,7 @@ __all__ = [
     "run_query_smoke",
     "run_observer_smoke",
     "run_serve_smoke",
+    "run_slo_smoke",
     "run_dynamic_smoke",
     "run_ablation_chain_methods", "run_ablation_width",
     "run_ablation_matching", "ALL_EXPERIMENTS",
@@ -333,6 +334,49 @@ def run_serve_smoke(scale: float = 1.0, workers: int = 0) -> str:
         ["metric", "value"], rows)
 
 
+def run_slo_smoke(scale: float = 1.0) -> str:
+    """Workload-zoo replay graded against the per-class SLOs.
+
+    Drives every zoo family against a live server in closed loop
+    (plus one open-loop pass), then prints the class latency ladder
+    and each objective's verdict.  ``benchmarks/bench_slo_smoke.py``
+    persists the same payload as ``BENCH_slo.json`` and gates CI on
+    ``healthy``.
+    """
+    from repro.bench.replay import slo_smoke
+    report = slo_smoke(scale)
+    rows = []
+    for name, family in report["families"].items():
+        for klass, summary in family["classes"].items():
+            rows.append((
+                f"{name} {klass}",
+                f"n={summary['count']:,}",
+                f"{summary['p50_ms']:.2f}",
+                f"{summary['p99_ms']:.2f}",
+                f"{summary['p999_ms']:.2f}",
+                f"{100 * summary['compliance_ratio']:.1f}%",
+            ))
+        breached = [row["spec"] for row in family["slo"]
+                    if not row["compliant"]]
+        status = "ok" if family["healthy"] else \
+            "BREACH: " + "; ".join(breached)
+        rows.append((f"{name} verdict", f"{family['qps']:,.0f} qps",
+                     "", "", "", status))
+    open_loop = report["open_loop"]
+    rows.append(("open-loop sparse",
+                 f"n={open_loop['requests']:,}",
+                 f"{open_loop['achieved_qps']:,.0f} qps",
+                 f"target {open_loop['target_qps']:,.0f}", "", ""))
+    title = ("Workload zoo vs SLOs — " +
+             ("all objectives met" if report["healthy"]
+              else "OBJECTIVES BREACHED"))
+    return render_table(
+        title,
+        ["workload/class", "count", "p50 ms", "p99 ms", "p999 ms",
+         "compliance"],
+        rows)
+
+
 def run_dynamic_smoke(scale: float = 1.0) -> str:
     """In-place dynamic-tol maintenance vs rebuild-and-swap under a
     sustained mixed read/write stream (same ops, fresh answers)."""
@@ -438,6 +482,7 @@ ALL_EXPERIMENTS = {
     "query-smoke": run_query_smoke,
     "observer-smoke": run_observer_smoke,
     "serve-smoke": run_serve_smoke,
+    "slo-smoke": run_slo_smoke,
     "dynamic-smoke": run_dynamic_smoke,
     "ablation-chain-methods": run_ablation_chain_methods,
     "ablation-width": run_ablation_width,

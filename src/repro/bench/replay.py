@@ -1,0 +1,464 @@
+"""Workload replay: drive the live TCP server with real schedules.
+
+A **schedule** is a list of wire requests with arrival offsets::
+
+    {"at_ms": 3.1, "op": "query", "source": 5, "target": 41}
+    {"at_ms": 5.9, "op": "query_batch", "pairs": [[2, 7], ...]}
+    {"at_ms": 8.2, "op": "add_edge", "source": 5, "target": "w12",
+     "create": true}
+
+:func:`synthetic_schedule` builds one deterministically from a
+:class:`~repro.bench.workloads.WorkloadSpec` and a seed — Zipf-skewed
+hot-key endpoints, configurable read/write/batch mix, exponential
+(Poisson) inter-arrivals at a target rate, all drawn from one
+``random.Random`` so the same seed reproduces the same schedule to the
+byte (:func:`schedule_to_bytes` is the canonical form the determinism
+test hashes).  :func:`schedule_from_journal` converts a journal
+captured by ``serve --capture`` (:mod:`repro.service.capture`) into
+the same shape, so captured production traffic replays through the
+identical path.
+
+Two replay modes, the classic load-generation pair:
+
+* **closed loop** (:func:`replay_closed_loop`) — ``concurrency``
+  threads, each with its own :class:`ServiceClient`, issuing its share
+  of the schedule back-to-back; arrival offsets are ignored.  Measures
+  the server at a fixed concurrency.
+* **open loop** (:func:`replay_open_loop`) — requests are dispatched
+  at their scheduled arrival times over a pool of connections, and
+  latency is measured **from the scheduled time**, so queueing delay
+  when the server falls behind is charged to the server (no
+  coordinated omission).
+
+Both modes classify every response client-side (``positive`` /
+``negative`` / ``batch`` / ``write`` / ``error``) into per-class
+:class:`~repro.obs.histogram.Histogram`\\ s; class counts depend only
+on the schedule and the graph, never on timing, which is what makes
+the replay acceptance test's "identical class counts" assertion hold.
+:func:`evaluate_objectives` feeds the result into a
+:class:`~repro.obs.slo.SloTracker` (exact histogram merges) and
+returns the SLO report; :func:`slo_smoke` runs the whole zoo and is
+the engine behind ``repro-bench slo-smoke`` / ``BENCH_slo.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import math
+import random
+import threading
+import time
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from itertools import accumulate
+
+from repro.bench.workloads import (
+    ZOO_FAMILIES,
+    WorkloadSpec,
+    build_zoo_graph,
+)
+from repro.graph.digraph import DiGraph
+from repro.obs.histogram import Histogram
+from repro.obs.slo import SloTracker
+from repro.service import IndexManager, start_in_thread
+from repro.service.capture import load_journal
+from repro.service.client import ServiceClient
+from repro.service.errors import ServiceError
+
+__all__ = [
+    "synthetic_schedule", "schedule_to_bytes", "schedule_sha256",
+    "schedule_from_journal", "replay_closed_loop", "replay_open_loop",
+    "ReplayResult", "evaluate_objectives", "slo_smoke",
+    "DEFAULT_OBJECTIVES", "SMOKE_FAMILIES",
+]
+
+#: wire fields a schedule entry may carry, per verb (everything else —
+#: ts_ms, class, latency_ms, ok, epoch — is journal metadata).
+_VERB_FIELDS = {
+    "query": ("source", "target"),
+    "query_batch": ("pairs",),
+    "add_edge": ("source", "target", "create"),
+    "add_node": ("node",),
+    "remove_edge": ("source", "target"),
+    "remove_node": ("node",),
+    "reload": ("force",),
+}
+
+#: conservative objectives for the 1-CPU CI runner: they catch a
+#: serving-path catastrophe (an accidental O(n) per query, a stuck
+#: batcher), not micro-regressions — the A/B overhead gates do that.
+DEFAULT_OBJECTIVES = [
+    "positive p99 < 500ms",
+    "negative p99 < 500ms",
+    "batch p99 < 1000ms",
+    "write p99 < 2000ms",
+    "availability >= 99%",
+]
+
+#: zoo families the smoke run drives (≥ 4 per the acceptance bar).
+SMOKE_FAMILIES = ("sparse", "citation", "layered", "deep-chain",
+                  "dense")
+
+
+# ----------------------------------------------------------------------
+# schedules
+# ----------------------------------------------------------------------
+def _zipf_sampler(graph: DiGraph, s: float, rng: random.Random):
+    """A cheap per-draw sampler over a precomputed Zipf CDF (the
+    batch form is :func:`repro.bench.workloads.zipf_nodes`)."""
+    nodes = list(graph.nodes())
+    if not nodes:
+        raise ValueError("graph has no nodes")
+    if s <= 0.0:
+        return lambda: nodes[rng.randrange(len(nodes))]
+    cumulative = list(accumulate((rank + 1) ** -s
+                                 for rank in range(len(nodes))))
+    total = cumulative[-1]
+    return lambda: nodes[bisect_left(cumulative, rng.random() * total)]
+
+
+def synthetic_schedule(spec: WorkloadSpec, graph: DiGraph, *,
+                       count: int = 400, rate_qps: float = 400.0,
+                       seed: int = 0) -> list[dict]:
+    """A deterministic schedule shaped by ``spec`` over ``graph``.
+
+    Same ``(spec, graph, count, rate_qps, seed)`` ⇒ the same list,
+    byte for byte under :func:`schedule_to_bytes`: every draw comes
+    from one seeded generator and the inter-arrival exponential is
+    computed from ``rng.random()`` directly (no library variate whose
+    algorithm might change between Python versions).
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    rng = random.Random(seed)
+    draw = _zipf_sampler(graph, spec.zipf_s, rng)
+    schedule: list[dict] = []
+    at_ms = 0.0
+    for index in range(count):
+        at_ms += -math.log(1.0 - rng.random()) / rate_qps * 1e3
+        roll = rng.random()
+        if roll < spec.read_fraction:
+            if rng.random() < spec.batch_fraction:
+                pairs = [[draw(), draw()]
+                         for _ in range(spec.batch_size)]
+                entry = {"at_ms": round(at_ms, 3),
+                         "op": "query_batch", "pairs": pairs}
+            else:
+                entry = {"at_ms": round(at_ms, 3), "op": "query",
+                         "source": draw(), "target": draw()}
+        else:
+            # writes grow the graph monotonically (create=True on a
+            # fresh sink), so every write succeeds and never cycles
+            entry = {"at_ms": round(at_ms, 3), "op": "add_edge",
+                     "source": draw(), "target": f"replay-w{index}",
+                     "create": True}
+        schedule.append(entry)
+    return schedule
+
+
+def schedule_to_bytes(schedule: list[dict]) -> bytes:
+    """Canonical NDJSON bytes (sorted keys, compact separators)."""
+    return b"".join(
+        json.dumps(entry, sort_keys=True,
+                   separators=(",", ":")).encode("utf-8") + b"\n"
+        for entry in schedule)
+
+
+def schedule_sha256(schedule: list[dict]) -> str:
+    """Hex digest of the canonical bytes — the determinism witness."""
+    return hashlib.sha256(schedule_to_bytes(schedule)).hexdigest()
+
+
+def schedule_from_journal(source) -> list[dict]:
+    """Turn a capture journal (path or record list) into a schedule.
+
+    Keeps each record's monotonic ``ts_ms`` as the arrival offset and
+    strips the observed metadata, so a captured stream replays with
+    its original shape and timing.
+    """
+    if isinstance(source, (list, tuple)):
+        records = list(source)
+    else:
+        _, records = load_journal(source)
+    schedule = []
+    for record in records:
+        op = record.get("op")
+        fields = _VERB_FIELDS.get(op)
+        if fields is None:
+            continue                      # not a replayable verb
+        entry = {"at_ms": float(record.get("ts_ms", 0.0)), "op": op}
+        for name in fields:
+            if name in record:
+                entry[name] = record[name]
+        schedule.append(entry)
+    return schedule
+
+
+def _wire_request(entry: dict) -> dict:
+    """The request object actually sent for one schedule entry."""
+    request = {"op": entry["op"]}
+    for name in _VERB_FIELDS[entry["op"]]:
+        if name in entry:
+            request[name] = entry[name]
+    return request
+
+
+# ----------------------------------------------------------------------
+# replay
+# ----------------------------------------------------------------------
+@dataclass
+class ReplayResult:
+    """Per-class latency + outcome tallies from one replay run."""
+
+    mode: str
+    sent: int = 0
+    ok: int = 0
+    errors: int = 0
+    wall_seconds: float = 0.0
+    latency: dict[str, Histogram] = field(default_factory=dict)
+
+    def observe(self, klass: str, seconds: float, ok: bool) -> None:
+        self.sent += 1
+        if ok:
+            self.ok += 1
+        else:
+            self.errors += 1
+        histogram = self.latency.get(klass)
+        if histogram is None:
+            histogram = self.latency.setdefault(klass, Histogram())
+        histogram.observe(seconds)
+
+    def merge(self, other: "ReplayResult") -> "ReplayResult":
+        self.sent += other.sent
+        self.ok += other.ok
+        self.errors += other.errors
+        for klass, histogram in other.latency.items():
+            mine = self.latency.setdefault(klass, Histogram())
+            mine.merge(histogram)
+        return self
+
+    @property
+    def qps(self) -> float:
+        return (self.sent / self.wall_seconds
+                if self.wall_seconds > 0 else 0.0)
+
+    def class_counts(self) -> dict[str, int]:
+        return {klass: histogram.count
+                for klass, histogram in sorted(self.latency.items())}
+
+    def class_summaries(self) -> dict[str, dict]:
+        """``{class: {count, p50_ms, p99_ms, p999_ms}}``."""
+        out = {}
+        for klass, histogram in sorted(self.latency.items()):
+            p50, p99, p999 = histogram.percentiles(0.50, 0.99, 0.999)
+            out[klass] = {"count": histogram.count,
+                          "p50_ms": 1e3 * p50, "p99_ms": 1e3 * p99,
+                          "p999_ms": 1e3 * p999}
+        return out
+
+
+def _classify(entry: dict, response: dict | None) -> tuple[str, bool]:
+    """Client-side answer class + ok flag for one settled request."""
+    if response is None or not response.get("ok", False):
+        return "error", False
+    op = entry["op"]
+    if op == "query":
+        return ("positive" if response.get("reachable")
+                else "negative"), True
+    if op == "query_batch":
+        return "batch", True
+    return "write", True
+
+
+def replay_closed_loop(host: str, port: int, schedule: list[dict], *,
+                       concurrency: int = 4,
+                       timeout: float = 30.0) -> ReplayResult:
+    """Fixed-concurrency replay: ``concurrency`` threads, each its own
+    connection, issuing its round-robin share back-to-back."""
+    if concurrency <= 0:
+        raise ValueError("concurrency must be positive")
+    shards = [schedule[index::concurrency]
+              for index in range(concurrency)]
+    results = [ReplayResult("closed") for _ in shards]
+
+    def drive(shard: list[dict], result: ReplayResult) -> None:
+        client = ServiceClient(host, port, timeout=timeout)
+        try:
+            for entry in shard:
+                started = time.perf_counter()
+                try:
+                    response = client.call(_wire_request(entry))
+                except ServiceError:
+                    response = None
+                seconds = time.perf_counter() - started
+                klass, ok = _classify(entry, response)
+                result.observe(klass, seconds, ok)
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=drive, args=(shard, result),
+                                name=f"repro-replay-{index}")
+               for index, (shard, result)
+               in enumerate(zip(shards, results))]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    total = ReplayResult("closed")
+    for result in results:
+        total.merge(result)
+    total.wall_seconds = time.perf_counter() - started
+    return total
+
+
+def replay_open_loop(host: str, port: int, schedule: list[dict], *,
+                     connections: int = 4,
+                     timeout: float = 30.0) -> ReplayResult:
+    """Fixed-arrival-rate replay honouring each entry's ``at_ms``.
+
+    Latency is measured from the *scheduled* send time: if the server
+    (or a busy connection) falls behind, the backlog shows up in the
+    tail instead of silently stretching the run.
+    """
+    if connections <= 0:
+        raise ValueError("connections must be positive")
+    result = ReplayResult("open")
+
+    async def drive(entries, reader, writer, origin) -> None:
+        for entry in entries:
+            scheduled = origin + entry["at_ms"] / 1e3
+            delay = scheduled - time.perf_counter()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            payload = json.dumps(_wire_request(entry),
+                                 separators=(",", ":"))
+            response = None
+            try:
+                writer.write(payload.encode("utf-8") + b"\n")
+                await writer.drain()
+                line = await asyncio.wait_for(reader.readline(),
+                                              timeout)
+                if line:
+                    response = json.loads(line)
+            except (ConnectionError, asyncio.TimeoutError,
+                    json.JSONDecodeError):
+                response = None
+            seconds = time.perf_counter() - scheduled
+            klass, ok = _classify(entry, response)
+            result.observe(klass, seconds, ok)
+
+    async def main() -> None:
+        pool = [await asyncio.open_connection(host, port)
+                for _ in range(connections)]
+        origin = time.perf_counter()
+        try:
+            await asyncio.gather(*(
+                drive(schedule[index::connections], reader, writer,
+                      origin)
+                for index, (reader, writer) in enumerate(pool)))
+        finally:
+            for _, writer in pool:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+    started = time.perf_counter()
+    asyncio.run(main())
+    result.wall_seconds = time.perf_counter() - started
+    return result
+
+
+# ----------------------------------------------------------------------
+# SLO evaluation + the smoke experiment
+# ----------------------------------------------------------------------
+def evaluate_objectives(result: ReplayResult, objectives) -> dict:
+    """SLO report for one replay: exact merges into a fresh tracker."""
+    tracker = SloTracker(objectives)
+    tracker.absorb("availability", Histogram(),
+                   ok=result.ok, errors=result.errors)
+    for klass, histogram in result.latency.items():
+        tracker.absorb(klass, histogram)
+    return tracker.evaluate()
+
+
+def slo_smoke(scale: float = 1.0, *,
+              objectives=None,
+              families=SMOKE_FAMILIES,
+              concurrency: int = 4,
+              seed: int = 0) -> dict:
+    """Replay the zoo against live servers and grade the objectives.
+
+    The payload behind ``BENCH_slo.json``: per family, the class
+    latency ladder (p50/p99/p999 + compliance ratio) and the SLO
+    verdicts; overall ``healthy`` is the CI gate.
+    """
+    objectives = list(objectives
+                      if objectives is not None else DEFAULT_OBJECTIVES)
+    count = max(120, int(400 * scale))
+    rate = max(50.0, 400.0 * scale)
+    report: dict = {
+        "scale": scale,
+        "mode": "closed",
+        "concurrency": concurrency,
+        "requests_per_family": count,
+        "objectives": objectives,
+        "families": {},
+    }
+    for name in families:
+        spec = ZOO_FAMILIES[name]
+        graph = build_zoo_graph(spec, scale)
+        schedule = synthetic_schedule(spec, graph, count=count,
+                                      rate_qps=rate, seed=seed)
+        manager = IndexManager.from_graph(graph)
+        with start_in_thread(manager) as handle:
+            host, port = handle.address
+            result = replay_closed_loop(host, port, schedule,
+                                        concurrency=concurrency)
+        verdict = evaluate_objectives(result, objectives)
+        compliance = {row["class"]: row["compliance_ratio"]
+                      for row in verdict["objectives"]}
+        classes = result.class_summaries()
+        for klass, summary in classes.items():
+            summary["compliance_ratio"] = compliance.get(klass, 1.0)
+        report["families"][name] = {
+            "family": spec.family,
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+            "zipf_s": spec.zipf_s,
+            "read_fraction": spec.read_fraction,
+            "schedule_sha256": schedule_sha256(schedule),
+            "requests": result.sent,
+            "errors": result.errors,
+            "qps": result.qps,
+            "classes": classes,
+            "slo": verdict["objectives"],
+            "healthy": verdict["healthy"],
+        }
+    # one open-loop pass over the sparse family: exercises the
+    # arrival-time path and reports rate-conditioned latency
+    spec = ZOO_FAMILIES["sparse"]
+    graph = build_zoo_graph(spec, scale)
+    schedule = synthetic_schedule(spec, graph,
+                                  count=max(60, count // 2),
+                                  rate_qps=rate, seed=seed + 1)
+    manager = IndexManager.from_graph(graph)
+    with start_in_thread(manager) as handle:
+        host, port = handle.address
+        open_result = replay_open_loop(host, port, schedule,
+                                       connections=concurrency)
+    report["open_loop"] = {
+        "family": "sparse",
+        "requests": open_result.sent,
+        "errors": open_result.errors,
+        "target_qps": rate,
+        "achieved_qps": open_result.qps,
+        "classes": open_result.class_summaries(),
+    }
+    report["healthy"] = all(entry["healthy"]
+                            for entry in report["families"].values())
+    return report

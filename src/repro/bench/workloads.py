@@ -12,16 +12,32 @@ carries a paper label — the paper's six evaluated methods plus the
 no-index traversal reference — appears under that label, so adding an
 engine to the registry adds it to the benchmark surface.  "ours" is the
 chain-cover index built with the paper's stratified algorithm.
+
+The **workload zoo** (:data:`ZOO_FAMILIES`) extends the paper's static
+tables into *serving* workloads: each :class:`WorkloadSpec` names a
+graph family (citation / preferential attachment, layered, deep-chain,
+dense, sparse), a Zipf hot-key skew for the query mix, and a
+read/write/batch ratio.  :func:`build_zoo_graph` instantiates the
+graph, :func:`zipf_nodes` draws the skewed endpoints, and
+:mod:`repro.bench.replay` turns a spec into a deterministic request
+schedule driven against the live TCP server.  Spec reference:
+``docs/WORKLOADS.md``.
 """
 
 from __future__ import annotations
 
+import random
+from bisect import bisect_left
 from dataclasses import dataclass
+from itertools import accumulate
 
 import repro.engine as engine
 from repro.graph.digraph import DiGraph
 from repro.graph.generators import (
+    chain_graph,
+    citation_dag,
     dense_dag,
+    layered_random_dag,
     semi_random_dag,
     sparse_random_dag,
     systematic_dag,
@@ -39,6 +55,10 @@ __all__ = [
     "group3_dense_graph",
     "smoke_workload",
     "query_counts",
+    "WorkloadSpec",
+    "ZOO_FAMILIES",
+    "build_zoo_graph",
+    "zipf_nodes",
 ]
 
 
@@ -134,3 +154,82 @@ def query_counts(scale: float = 1.0) -> list[int]:
     """Figures 10–13 x-axis: paper 10k–100k queries; default 1k–10k."""
     unit = max(10, int(1000 * scale))
     return [unit * i for i in range(1, 11)]
+
+
+# ----------------------------------------------------------------------
+# the workload zoo: serving-shaped traffic over the paper's families
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One zoo family: a graph shape plus a query-mix shape.
+
+    ``zipf_s`` is the exponent of the Zipf law the query endpoints are
+    drawn from (0.0 = uniform; ≥ 1.0 concentrates most traffic on a
+    few hot nodes).  ``read_fraction`` of the schedule is queries;
+    within the reads, ``batch_fraction`` are ``query_batch`` requests
+    of ``batch_size`` pairs.  The remainder are writes (``add_edge``
+    with ``create``, so they always succeed).
+    """
+
+    name: str
+    family: str            #: "citation" | "layered" | "deep-chain" | ...
+    nodes: int             #: node budget at scale 1.0
+    read_fraction: float = 0.95
+    zipf_s: float = 1.1
+    batch_fraction: float = 0.05
+    batch_size: int = 16
+    seed: int = 0
+
+
+#: The zoo.  Families map to the generators used by the paper's
+#: experiments plus the shapes the static tables never exercise
+#: (preferential attachment, long dependency chains).
+ZOO_FAMILIES: dict[str, WorkloadSpec] = {
+    "sparse": WorkloadSpec("sparse", "sparse", nodes=1200, seed=7),
+    "citation": WorkloadSpec("citation", "citation", nodes=900,
+                             zipf_s=1.2, seed=19),
+    "layered": WorkloadSpec("layered", "layered", nodes=800,
+                            zipf_s=0.8, seed=23),
+    "deep-chain": WorkloadSpec("deep-chain", "deep-chain", nodes=600,
+                               zipf_s=1.0, read_fraction=0.9, seed=29),
+    "dense": WorkloadSpec("dense", "dense", nodes=140,
+                          zipf_s=0.5, seed=31),
+}
+
+
+def build_zoo_graph(spec: WorkloadSpec, scale: float = 1.0) -> DiGraph:
+    """Instantiate the family's graph at ``scale`` (deterministic)."""
+    nodes = max(10, int(spec.nodes * scale))
+    if spec.family == "sparse":
+        return sparse_random_dag(nodes, int(nodes * 1.2), seed=spec.seed)
+    if spec.family == "citation":
+        return citation_dag(nodes, citations_per_node=3, seed=spec.seed)
+    if spec.family == "layered":
+        layers = max(3, nodes // 100)
+        width = max(2, nodes // layers)
+        return layered_random_dag([width] * layers, 0.08,
+                                  seed=spec.seed)
+    if spec.family == "deep-chain":
+        return chain_graph(nodes)
+    if spec.family == "dense":
+        return dense_dag(nodes, density=0.25, seed=spec.seed)
+    raise ValueError(f"unknown zoo family {spec.family!r}")
+
+
+def zipf_nodes(graph: DiGraph, count: int, s: float,
+               rng: random.Random) -> list:
+    """Draw ``count`` node ids Zipf(s)-skewed over the node order.
+
+    Rank r (0-based) gets weight ``(r + 1) ** -s``; ``s = 0`` is
+    uniform.  Deterministic given the caller's seeded ``rng``.
+    """
+    nodes = list(graph.nodes())
+    if not nodes:
+        raise ValueError("graph has no nodes")
+    if s <= 0.0:
+        return [nodes[rng.randrange(len(nodes))] for _ in range(count)]
+    cumulative = list(accumulate((rank + 1) ** -s
+                                 for rank in range(len(nodes))))
+    total = cumulative[-1]
+    return [nodes[bisect_left(cumulative, rng.random() * total)]
+            for _ in range(count)]

@@ -13,6 +13,9 @@ Subcommands operate on the edge-list format of :mod:`repro.graph.io`::
     python -m repro query --index graph.idx 0 1      # query without rebuild
     python -m repro serve graph.txt --port 7431      # TCP query service
     python -m repro query --remote 127.0.0.1:7431 0 1    # query a server
+    python -m repro serve graph.txt --capture j.ndjson   # request journal
+    python -m repro serve graph.txt --slo "positive p99 < 2ms"
+    python -m repro slo-report --remote 127.0.0.1:7431   # objective status
     python -m repro remove-edge --remote 127.0.0.1:7431 0 1  # delete edge
     python -m repro remove-node graph.txt 7 --out g2.txt # edit edge list
     python -m repro dot graph.txt --chains           # Graphviz export
@@ -290,12 +293,22 @@ def _query_remote(address: str, query_pairs) -> int:
 def _cmd_serve(args) -> int:
     """Run the TCP reachability service until interrupted."""
     import asyncio
+    import signal
 
     from repro.service import IndexManager, ReachabilityService
 
     if args.method is not None:
         print("serve: --method is deprecated; use "
               f"--engine chain-{args.method}", file=sys.stderr)
+    slo_specs = list(args.slo or []) or None
+    if slo_specs:
+        # fail fast on a typo'd objective, before any index build
+        from repro.obs import parse_objectives
+        try:
+            parse_objectives(slo_specs)
+        except ValueError as exc:
+            print(f"serve: --slo: {exc}", file=sys.stderr)
+            return 2
     if args.index:
         if args.engine:
             print("serve: a persisted --index already fixes the "
@@ -340,7 +353,9 @@ def _cmd_serve(args) -> int:
         max_pending=args.max_pending, cache_size=args.cache_size,
         request_timeout=args.request_timeout,
         metrics_port=args.metrics_port,
-        log=args.log, slow_query_ms=args.slow_query_ms)
+        log=args.log, slow_query_ms=args.slow_query_ms,
+        capture=args.capture, capture_capacity=args.capture_capacity,
+        capture_sample=args.capture_sample, slo=slo_specs)
 
     async def run() -> None:
         host, port = await service.start()
@@ -352,6 +367,15 @@ def _cmd_serve(args) -> int:
             metrics_host, metrics_port = service.metrics_address
             print(f"metrics on http://{metrics_host}:{metrics_port}"
                   f"/metrics", flush=True)
+        if args.capture:
+            print(f"capturing requests to {args.capture} "
+                  f"(capacity {args.capture_capacity}, "
+                  f"sample {args.capture_sample}); journal is "
+                  f"written on shutdown", flush=True)
+        if slo_specs:
+            print(f"tracking {len(slo_specs)} SLO objective(s); read "
+                  f"with 'repro slo-report --remote {host}:{port}'",
+                  flush=True)
         if args.ready_file:
             _write_ready_file(args.ready_file, host, port,
                               epoch=manager.epoch, workers=0,
@@ -361,6 +385,12 @@ def _cmd_serve(args) -> int:
         finally:
             await service.shutdown()
 
+    def _terminate(signum, frame):
+        # orchestrators stop with SIGTERM; drain exactly like Ctrl-C
+        # (the capture journal is flushed on the drain path)
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
     try:
         asyncio.run(run())
     except KeyboardInterrupt:
@@ -395,6 +425,12 @@ def _serve_pool(args, manager, label) -> int:
             "max_pending": args.max_pending,
             "cache_size": args.cache_size,
             "request_timeout": args.request_timeout,
+            # a str capture path is rewritten per worker to
+            # PATH.worker<id>; slo trackers are per worker too
+            "capture": args.capture,
+            "capture_capacity": args.capture_capacity,
+            "capture_sample": args.capture_sample,
+            "slo": list(args.slo or []) or None,
         },
         log=args.log)
     try:
@@ -417,6 +453,10 @@ def _serve_pool(args, manager, label) -> int:
         metrics_host, metrics_port = pool.metrics_address
         print(f"metrics on http://{metrics_host}:{metrics_port}"
               f"/metrics", flush=True)
+    if args.capture:
+        print(f"capturing requests to {args.capture}.worker<id> "
+              f"(one journal per worker, written on shutdown)",
+              flush=True)
     if args.ready_file:
         _write_ready_file(args.ready_file, host, port,
                           epoch=pool.epoch,
@@ -430,6 +470,51 @@ def _serve_pool(args, manager, label) -> int:
         pool.stop()
     print("drained and stopped")
     return 0
+
+
+def _cmd_slo_report(args) -> int:
+    """Fetch and render a running server's SLO report."""
+    from repro.service import RemoteError, ServiceClient, ServiceError
+    try:
+        with ServiceClient.from_address(args.remote) as client:
+            report = client.slo()
+    except (ServiceError, RemoteError, ValueError, OSError) as exc:
+        print(f"slo-report: remote {args.remote}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if report.get("healthy", True) else 1
+    if not report.get("enabled"):
+        print("SLO tracking is off on this server "
+              "(start it with: repro serve ... --slo SPEC)")
+        return 0
+    windows = report["windows"]
+    print(f"windows: fast {windows['fast_seconds']:.0f}s / "
+          f"slow {windows['slow_seconds']:.0f}s "
+          f"(cells of {windows['cell_seconds']:.0f}s); verdicts are "
+          f"over the slow window")
+    width = max(len(row["spec"]) for row in report["objectives"]) \
+        if report["objectives"] else 0
+    for row in report["objectives"]:
+        if row["metric"] == "availability":
+            observed = f"{100 * row['observed']:.3f}%"
+        else:
+            observed = f"{1e3 * row['observed']:.3f}ms"
+        status = "ok" if row["compliant"] else "BREACH"
+        if row["alert"]:
+            status += " ALERT"
+        print(f"  {row['spec']:<{width}}  observed {observed:>10}  "
+              f"compliance {100 * row['compliance_ratio']:7.3f}%  "
+              f"burn {row['burn_rate_fast']:.2f}/"
+              f"{row['burn_rate_slow']:.2f}  "
+              f"n={row['samples']:<6} {status}")
+    print(f"breaches since start: {report['breach_count']}")
+    for breach in report["breaches"][-5:]:
+        print(f"  at +{breach['at']:.1f}s: {breach['spec']} "
+              f"(observed {breach['observed']:.6f}, "
+              f"n={breach['samples']})")
+    return 0 if report["healthy"] else 1
 
 
 def _cmd_remove(args) -> int:
@@ -703,7 +788,41 @@ def build_parser() -> argparse.ArgumentParser:
                        help="log a slow_query record (with the trace "
                             "breakdown) for requests slower than MS "
                             "milliseconds (needs --log)")
+    serve.add_argument("--capture", default=None, metavar="FILE",
+                       help="journal sampled requests (queries and "
+                            "writes) to FILE as NDJSON on shutdown, "
+                            "replayable with repro.bench.replay; "
+                            "under --workers each worker writes "
+                            "FILE.worker<id>")
+    serve.add_argument("--capture-capacity", type=int, default=65536,
+                       metavar="N",
+                       help="capture ring bound: keep the most recent "
+                            "N sampled requests, counting drops")
+    serve.add_argument("--capture-sample", type=float, default=1.0,
+                       metavar="P",
+                       help="capture sampling probability in [0, 1] "
+                            "(deterministic per seed)")
+    serve.add_argument("--slo", action="append", default=None,
+                       metavar="SPEC",
+                       help="track a per-class latency/availability "
+                            "objective, e.g. 'positive p99 < 2ms' or "
+                            "'availability >= 99.9%%' (repeatable; "
+                            "read back via the slo verb, the metrics "
+                            "listener and 'repro slo-report')")
     serve.set_defaults(func=_cmd_serve)
+
+    slo_report = sub.add_parser(
+        "slo-report",
+        help="objective compliance, burn rates and breaches of a "
+             "running server (needs serve --slo)")
+    slo_report.add_argument("--remote", required=True,
+                            metavar="HOST:PORT",
+                            help="address of the 'repro serve' "
+                                 "instance to interrogate")
+    slo_report.add_argument("--json", action="store_true",
+                            help="print the raw report as JSON "
+                                 "instead of the table")
+    slo_report.set_defaults(func=_cmd_slo_report)
 
     for what, operands, blurb in (
             ("edge", ("source", "target"),

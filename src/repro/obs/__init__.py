@@ -44,6 +44,12 @@ from repro.obs.registry import (
     SpanStats,
     Stopwatch,
 )
+from repro.obs.slo import (
+    Objective,
+    SloTracker,
+    parse_objective,
+    parse_objectives,
+)
 from repro.obs.summary import percentile, summarize
 
 __all__ = [
@@ -58,6 +64,10 @@ __all__ = [
     "RELATIVE_ERROR",
     "JsonLinesLogger",
     "open_log",
+    "Objective",
+    "SloTracker",
+    "parse_objective",
+    "parse_objectives",
     "percentile",
     "summarize",
     "CATALOG",

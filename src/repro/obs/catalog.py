@@ -177,6 +177,16 @@ CATALOG: tuple[MetricSpec, ...] = (
     MetricSpec("service/reattach", "counter", "count",
                "WorkerPool — segment re-attaches completed by workers "
                "after an epoch publish (one per worker per swap)"),
+    MetricSpec("service/capture_records", "counter", "count",
+               "RequestCapture — wire requests admitted into the "
+               "journal ring (serve --capture, after sampling)"),
+    MetricSpec("service/capture_dropped", "counter", "count",
+               "RequestCapture — oldest journal records evicted when "
+               "the bounded ring overflowed"),
+    MetricSpec("slo/breaches", "counter", "count",
+               "SloTracker.evaluate — objectives newly found "
+               "non-compliant over the slow window (each breach event "
+               "also lands in the bounded breach log)"),
     MetricSpec("engine/queries/{engine}", "counter", "count",
                "engine adapters — queries answered through the engine "
                "seam (batch calls count len(pairs) in one publish)"),
@@ -214,11 +224,22 @@ CATALOG: tuple[MetricSpec, ...] = (
     MetricSpec("observers/o1_answer_ratio", "gauge", "ratio",
                "ObserverChain — share of the last scalar call or batch "
                "answered by observers without touching the engine"),
+    MetricSpec("slo/compliance_ratio/{class}", "gauge", "ratio",
+               "SloTracker.evaluate — share of the class's slow-window "
+               "samples inside its objective threshold (min across the "
+               "class's objectives; 'availability' counts ok requests)"),
+    MetricSpec("slo/burn_rate_fast/{class}", "gauge", "ratio",
+               "SloTracker.evaluate — error-budget burn rate over the "
+               "fast window (default 5 m); 1.0 = exactly on budget, "
+               "max across the class's objectives"),
+    MetricSpec("slo/burn_rate_slow/{class}", "gauge", "ratio",
+               "SloTracker.evaluate — error-budget burn rate over the "
+               "slow window (default 1 h), the breach-verdict window"),
     # -- histograms (units: seconds; log-bucketed distributions) ------
     MetricSpec("service/latency/{class}", "histogram", "seconds",
                "ReachabilityService — end-to-end latency of one query "
                "request, by answer class (positive, negative, "
-               "prefilter_hit, cache_hit)"),
+               "prefilter_hit, cache_hit, batch, error)"),
     MetricSpec("service/request_latency", "histogram", "seconds",
                "ReachabilityService — end-to-end latency of every "
                "wire request, any op"),

@@ -38,6 +38,7 @@ and ``repro-graph query --remote HOST:PORT``.
 
 from repro.service.batching import BATCH_SIZE_BUCKETS, MicroBatcher
 from repro.service.cache import ResultCache
+from repro.service.capture import RequestCapture, load_journal
 from repro.service.client import ServiceClient
 from repro.service.errors import (
     OverloadedError,
@@ -65,6 +66,8 @@ __all__ = [
     "MicroBatcher",
     "BATCH_SIZE_BUCKETS",
     "ResultCache",
+    "RequestCapture",
+    "load_journal",
     "ReachabilityService",
     "Trace",
     "SlowTraceRing",

@@ -1,0 +1,158 @@
+"""Opt-in request journal: a bounded, sampled ring of wire requests.
+
+``repro-graph serve --capture PATH`` attaches a :class:`RequestCapture`
+to the service.  The serving path calls :meth:`RequestCapture.record`
+once per captured request — query, query_batch, and the write verbs —
+with the fields replay needs: a **monotonic** millisecond offset from
+journal start, the verb and its arguments, the answer class, the
+snapshot epoch, the measured latency, and the outcome.  When the
+service is off (``capture=None``, the default) the only cost on the
+request path is one ``is not None`` check, which is what keeps the
+feature inside the <2% disabled-overhead CI gate.
+
+Bounding: the ring holds at most ``capacity`` records; on overflow the
+*oldest* record is evicted and counted in :attr:`dropped` (and in the
+``service/capture_dropped`` counter when the OBS registry is enabled),
+so a long-running server journals its trailing window, never unbounded
+memory.  ``sample`` < 1.0 keeps that window representative under heavy
+traffic by admitting each request with fixed probability from a seeded
+:class:`random.Random` — deterministic for tests.
+
+On flush (and on service shutdown) the journal is written as NDJSON: a
+header line (``{"kind": "repro.capture", "v": 1, ...}``) followed by
+one record per line, ascending ``ts_ms``.  :func:`load_journal` reads
+it back; :func:`repro.bench.replay.schedule_from_journal` turns it
+into a replayable schedule.  Format reference: ``docs/WORKLOADS.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+from repro.obs import OBS
+
+__all__ = ["RequestCapture", "load_journal", "CAPTURE_KIND",
+           "CAPTURE_VERSION"]
+
+CAPTURE_KIND = "repro.capture"
+CAPTURE_VERSION = 1
+
+#: verbs worth journaling (responses to ping/stats/metrics/slo carry
+#: no replayable load).
+CAPTURED_OPS = frozenset({
+    "query", "query_batch",
+    "add_edge", "add_node", "remove_edge", "remove_node", "reload",
+})
+
+
+class RequestCapture:
+    """Bounded sampling NDJSON journal of wire requests."""
+
+    def __init__(self, path, *, capacity: int = 65536,
+                 sample: float = 1.0, seed: int = 0) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0.0 < sample <= 1.0:
+            raise ValueError("sample must be in (0, 1]")
+        self.path = Path(path)
+        self.capacity = capacity
+        self.sample = sample
+        self._ring: deque[dict] = deque()
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._origin = time.monotonic()
+        self._started_unix = time.time()
+        self.seen = 0        #: capturable requests offered
+        self.sampled = 0     #: requests admitted past the sampler
+        self.dropped = 0     #: oldest records evicted by the ring bound
+
+    def record(self, op: str, *, klass: str | None = None,
+               **fields) -> None:
+        """Journal one request (drops ``None`` fields; cheap when
+        sampled out).  Called from the serving path; ``klass`` lands
+        in the record as ``"class"``."""
+        now = time.monotonic()
+        with self._lock:
+            self.seen += 1
+            if self.sample < 1.0 and self._rng.random() >= self.sample:
+                return
+            self.sampled += 1
+            if len(self._ring) >= self.capacity:
+                self._ring.popleft()
+                self.dropped += 1
+                if OBS.enabled:
+                    OBS.count("service/capture_dropped")
+            entry = {"ts_ms": round(1e3 * (now - self._origin), 3),
+                     "op": op}
+            if klass is not None:
+                entry["class"] = klass
+            entry.update((key, value) for key, value in fields.items()
+                         if value is not None)
+            self._ring.append(entry)
+        if OBS.enabled:
+            OBS.count("service/capture_records")
+
+    # -- introspection ------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def describe(self) -> dict:
+        """Counters for logs and the serve shutdown summary."""
+        with self._lock:
+            return {"path": str(self.path), "records": len(self._ring),
+                    "seen": self.seen, "sampled": self.sampled,
+                    "dropped": self.dropped, "capacity": self.capacity,
+                    "sample": self.sample}
+
+    # -- persistence --------------------------------------------------
+    def flush(self) -> Path:
+        """Write header + ring to :attr:`path` (atomic via rename)."""
+        with self._lock:
+            records = list(self._ring)
+            header = {"kind": CAPTURE_KIND, "v": CAPTURE_VERSION,
+                      "started_unix": self._started_unix,
+                      "capacity": self.capacity, "sample": self.sample,
+                      "seen": self.seen, "sampled": self.sampled,
+                      "dropped": self.dropped, "records": len(records)}
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with tmp.open("w", encoding="utf-8") as stream:
+            stream.write(json.dumps(header, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+            for entry in records:
+                stream.write(json.dumps(entry, sort_keys=True,
+                                        separators=(",", ":")) + "\n")
+        tmp.replace(self.path)
+        return self.path
+
+    def close(self) -> Path:
+        """Flush; the journal is a plain file, nothing else to release."""
+        return self.flush()
+
+
+def load_journal(path) -> tuple[dict, list[dict]]:
+    """Read a capture journal back as ``(header, records)``.
+
+    Tolerates a missing header (plain NDJSON of records) so
+    hand-written schedules replay through the same loader.
+    """
+    header: dict = {}
+    records: list[dict] = []
+    with Path(path).open("r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            if not isinstance(entry, dict):
+                raise ValueError("journal lines must be JSON objects")
+            if entry.get("kind") == CAPTURE_KIND and not records:
+                header = entry
+                continue
+            records.append(entry)
+    return header, records

@@ -32,7 +32,7 @@ __all__ = ["ServiceClient"]
 #: nothing about whether the mutation landed, and replaying a removal
 #: could delete an edge re-inserted in between.
 _IDEMPOTENT_OPS = frozenset(
-    {"query", "query_batch", "stats", "metrics", "ping"})
+    {"query", "query_batch", "stats", "metrics", "slo", "ping"})
 
 
 class _ConnectionDropped(Exception):
@@ -122,6 +122,11 @@ class ServiceClient:
     def metrics(self) -> str:
         """The server's Prometheus text exposition document."""
         return self.call({"op": "metrics"})["text"]
+
+    def slo(self) -> dict:
+        """The server's SLO report (``enabled: False`` when the
+        server was started without objectives)."""
+        return self.call({"op": "slo"})["slo"]
 
     def ping(self) -> int:
         """Liveness check; returns the current epoch."""

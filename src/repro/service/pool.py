@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import json
 import os
 import signal
 import socket
@@ -374,6 +375,11 @@ async def _worker_amain(control: _WorkerControl, config: dict) -> None:
     manager = _AttachedManager(control, config["engine"])
     manager.publish(shm_mod.attach_index(config["segment"]))
     control.manager = manager
+    options = dict(config.get("service_options") or {})
+    capture = options.get("capture")
+    if isinstance(capture, (str, os.PathLike)):
+        # one journal per worker: siblings must not clobber each other
+        options["capture"] = f"{capture}.worker{control.worker_id}"
     service = ReachabilityService(
         manager,
         host=config["host"], port=config["port"],
@@ -381,7 +387,7 @@ async def _worker_amain(control: _WorkerControl, config: dict) -> None:
         sock=config.get("listen_sock"),
         stats_provider=lambda: control.rpc("stats"),
         metrics_provider=lambda: control.rpc("metrics"),
-        **(config.get("service_options") or {}))
+        **options)
     control.service = service
     reader = threading.Thread(target=control.reader, daemon=True,
                               name=f"repro-pool-control-{control.worker_id}")
@@ -505,6 +511,19 @@ class WorkerPool:
         with self._lock:
             return sum(1 for handle in self._handles.values()
                        if handle.process.is_alive())
+
+    def ready(self) -> bool:
+        """``/readyz`` condition: started, not stopping, the segment
+        published, and every configured worker alive and attached."""
+        if not self._started or self._stopping:
+            return False
+        with self._lock:
+            if self._current_segment is None:
+                return False
+            handles = list(self._handles.values())
+        live = [handle for handle in handles
+                if handle.process.is_alive() and handle.ready.is_set()]
+        return len(live) >= self.num_workers
 
     def describe(self) -> dict:
         """The ready-file payload: address, epoch, worker pids."""
@@ -1102,8 +1121,23 @@ class WorkerPool:
 
         class _Handler(BaseHTTPRequestHandler):
             def do_GET(self) -> None:  # noqa: N802 - stdlib contract
-                if self.path.split("?", 1)[0] not in ("/", "/metrics"):
-                    body = b"not found; scrape /metrics\n"
+                route = self.path.split("?", 1)[0]
+                if route == "/healthz":
+                    body = b"ok\n"
+                    self.send_response(200)
+                    content_type = "text/plain; charset=utf-8"
+                elif route == "/readyz":
+                    ready = pool.ready()
+                    body = (json.dumps({"ready": ready,
+                                        "epoch": pool.manager.epoch,
+                                        "workers": pool.alive_workers(),
+                                        "expected": pool.num_workers})
+                            .encode("utf-8") + b"\n")
+                    self.send_response(200 if ready else 503)
+                    content_type = "application/json"
+                elif route not in ("/", "/metrics"):
+                    body = (b"not found; scrape /metrics or probe "
+                            b"/healthz, /readyz\n")
                     self.send_response(404)
                     content_type = "text/plain; charset=utf-8"
                 else:

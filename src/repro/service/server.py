@@ -4,8 +4,8 @@ One request per line, one JSON response per line, in order, per
 connection (concurrency comes from many connections — which is exactly
 what the micro-batcher coalesces).  Verbs: ``query``, ``query_batch``,
 ``add_edge``, ``add_node``, ``remove_edge``, ``remove_node``,
-``stats``, ``metrics``, ``reload``, ``ping``; the wire contract is
-specified in ``docs/SERVICE.md``.
+``stats``, ``metrics``, ``slo``, ``reload``, ``ping``; the wire
+contract is specified in ``docs/SERVICE.md``.
 
 Telemetry: every query request carries a
 :class:`~repro.service.tracing.Trace` through the serving path
@@ -17,7 +17,20 @@ histograms (``positive`` / ``negative`` / ``prefilter_hit`` /
 — when the request carried ``"trace": true`` — a stage breakdown
 echoed in the response.  The ``metrics`` verb and the optional HTTP
 side listener (``metrics_port``) expose everything in Prometheus text
-format (:mod:`repro.obs.promtext`).
+format (:mod:`repro.obs.promtext`); the side listener also answers
+``/healthz`` (process up) and ``/readyz`` (snapshot published, not
+draining) so probes need not speak the NDJSON protocol.
+
+Two opt-in observability hooks ride the same path (both ``None`` by
+default, costing one ``is not None`` check each):
+
+* ``capture=`` — a :class:`~repro.service.capture.RequestCapture`
+  journaling query/write verbs with class, epoch and latency
+  (``serve --capture PATH``);
+* ``slo=`` — a :class:`~repro.obs.slo.SloTracker` (or a list of
+  objective sentences) fed per-class latencies and request outcomes;
+  read back through the ``slo`` verb, the Prometheus listener's
+  ``slo/*`` gauges, and ``repro-graph slo-report``.
 
 Operational guarantees:
 
@@ -50,8 +63,10 @@ from repro.graph.errors import (
     NotADAGError,
 )
 from repro.obs import OBS, Histogram, open_log, promtext
+from repro.obs.slo import SloTracker
 from repro.service.batching import MicroBatcher
 from repro.service.cache import ResultCache
+from repro.service.capture import CAPTURED_OPS, RequestCapture
 from repro.service.errors import (
     OverloadedError,
     ServiceError,
@@ -93,7 +108,9 @@ class ReachabilityService:
                  trace_capacity: int = 16,
                  reuse_port: bool = False, sock=None,
                  stats_provider=None,
-                 metrics_provider=None) -> None:
+                 metrics_provider=None,
+                 capture=None, capture_capacity: int = 65536,
+                 capture_sample: float = 1.0, slo=None) -> None:
         self.manager = manager
         #: pool integration — ``reuse_port`` binds the listener with
         #: SO_REUSEPORT so sibling worker processes share one port;
@@ -142,6 +159,18 @@ class ReachabilityService:
         self._metrics_server: asyncio.AbstractServer | None = None
         #: ``(host, port)`` of the HTTP exposition listener, once bound
         self.metrics_address: tuple[str, int] | None = None
+        #: opt-in request journal (a path coerces to a
+        #: :class:`RequestCapture` sized by ``capture_capacity`` /
+        #: ``capture_sample``); ``None`` keeps the request path at a
+        #: single pointer check
+        if capture is not None and not isinstance(capture, RequestCapture):
+            capture = RequestCapture(capture, capacity=capture_capacity,
+                                     sample=capture_sample)
+        self.capture: RequestCapture | None = capture
+        #: opt-in SLO tracker (a list of objective sentences coerces)
+        if slo is not None and not isinstance(slo, SloTracker):
+            slo = SloTracker(slo)
+        self.slo: SloTracker | None = slo
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -203,6 +232,9 @@ class ReachabilityService:
         await self.batcher.close(drain=True)
         for task in list(self._connections):
             task.cancel()
+        if self.capture is not None:
+            self.capture.close()
+            self._log_event("capture_flush", **self.capture.describe())
         self.manager.close()
         self._log_event("drain_finish", requests=self.requests,
                         errors=self.errors)
@@ -284,48 +316,74 @@ class ReachabilityService:
             trace = Trace(op)
             trace.mark("accept", queue_depth=self.batcher.queue_depth,
                        epoch=self.manager.epoch)
+        capture_write = (self.capture is not None and trace is None
+                         and op in CAPTURED_OPS)
+        started = time.perf_counter() if capture_write else 0.0
         with OBS.span("service/request"):
-            try:
-                response = await asyncio.wait_for(
-                    self._dispatch(request, trace), self.request_timeout)
-            except asyncio.TimeoutError:
-                return self._error(
-                    request_id, "timeout",
-                    f"request exceeded {self.request_timeout}s")
-            except OverloadedError as exc:
-                self._log_event("overloaded", op=op,
-                                queue_depth=self.batcher.queue_depth,
-                                max_pending=self.batcher.max_pending)
-                return self._error(request_id, "overloaded", str(exc))
-            except NodeNotFoundError as exc:
-                response = self._error(request_id, "unknown_node",
-                                       str(exc))
-                if exc.role:
-                    response["role"] = exc.role
-                return response
-            except NotADAGError as exc:
-                return self._error(request_id, "cycle", str(exc))
-            except WritesUnsupportedError as exc:
-                return self._error(request_id, "unsupported", str(exc))
-            except ServiceError as exc:      # e.g. draining batcher
-                return self._error(request_id, "unavailable", str(exc))
-            except (GraphError, TypeError, ValueError, KeyError) as exc:
-                return self._error(request_id, "bad_request", str(exc))
-            except Exception as exc:  # noqa: BLE001 - fail the request,
-                return self._error(request_id, "internal",  # not the server
-                                   f"{type(exc).__name__}: {exc}")
+            response = await self._dispatch_guarded(request, op,
+                                                    request_id, trace)
         if trace is not None:
             trace.mark("respond")
             trace.finish()
             self._finish_query(trace, request, response)
+        if self.slo is not None:
+            self.slo.note_request(bool(response.get("ok")))
+        if capture_write:
+            self.capture.record(
+                op, ok=bool(response.get("ok")),
+                epoch=response.get("epoch"),
+                latency_ms=1e3 * (time.perf_counter() - started),
+                source=request.get("source"),
+                target=request.get("target"),
+                node=request.get("node"),
+                create=(request.get("create") if op == "add_edge"
+                        else None),
+                force=request.get("force") if op == "reload" else None)
         if request_id is not None:
             response["id"] = request_id
         return response
 
+    async def _dispatch_guarded(self, request: dict, op,
+                                request_id, trace) -> dict:
+        """Dispatch with the error taxonomy: exceptions become error
+        responses (the request fails, never the server)."""
+        try:
+            return await asyncio.wait_for(
+                self._dispatch(request, trace), self.request_timeout)
+        except asyncio.TimeoutError:
+            return self._error(
+                request_id, "timeout",
+                f"request exceeded {self.request_timeout}s")
+        except OverloadedError as exc:
+            self._log_event("overloaded", op=op,
+                            queue_depth=self.batcher.queue_depth,
+                            max_pending=self.batcher.max_pending)
+            return self._error(request_id, "overloaded", str(exc))
+        except NodeNotFoundError as exc:
+            response = self._error(request_id, "unknown_node", str(exc))
+            if exc.role:
+                response["role"] = exc.role
+            return response
+        except NotADAGError as exc:
+            return self._error(request_id, "cycle", str(exc))
+        except WritesUnsupportedError as exc:
+            return self._error(request_id, "unsupported", str(exc))
+        except ServiceError as exc:          # e.g. draining batcher
+            return self._error(request_id, "unavailable", str(exc))
+        except (GraphError, TypeError, ValueError, KeyError) as exc:
+            return self._error(request_id, "bad_request", str(exc))
+        except Exception as exc:  # noqa: BLE001 - fail the request,
+            return self._error(request_id, "internal",  # not the server
+                               f"{type(exc).__name__}: {exc}")
+
     def _finish_query(self, trace: Trace, request: dict,
                       response: dict) -> None:
         """Route one finished query trace into the telemetry sinks."""
-        if trace.op == "query_batch":
+        if not response.get("ok"):
+            # failed queries get their own class: they must not skew
+            # the answer-class latencies, but SLOs still see them
+            trace.klass = "error"
+        elif trace.op == "query_batch":
             # a cached first pair must not reclassify the whole batch
             trace.klass = "batch"
         elif trace.klass is None:
@@ -338,6 +396,24 @@ class ReachabilityService:
         histogram.observe(seconds)
         if OBS.enabled:
             OBS.observe(f"service/latency/{trace.klass}", seconds)
+        if self.slo is not None:
+            self.slo.observe(trace.klass, seconds)
+        if self.capture is not None:
+            if trace.op == "query_batch":
+                self.capture.record(
+                    "query_batch", klass=trace.klass,
+                    pairs=request.get("pairs"),
+                    epoch=response.get("epoch"),
+                    latency_ms=1e3 * seconds,
+                    ok=bool(response.get("ok")))
+            else:
+                self.capture.record(
+                    "query", klass=trace.klass,
+                    source=request.get("source"),
+                    target=request.get("target"),
+                    epoch=response.get("epoch"),
+                    latency_ms=1e3 * seconds,
+                    ok=bool(response.get("ok")))
         self.slow_traces.offer(trace)
         if (self.log is not None and self.slow_query_ms is not None
                 and 1e3 * seconds >= self.slow_query_ms):
@@ -436,6 +512,14 @@ class ReachabilityService:
                 text = self.render_metrics()
             return {"ok": True, "content_type": promtext.CONTENT_TYPE,
                     "text": text}
+        if op == "slo":
+            if self.slo is not None:
+                payload = await asyncio.to_thread(self.slo.evaluate)
+            else:
+                payload = {"enabled": False, "objectives": [],
+                           "healthy": True, "breach_count": 0,
+                           "breaches": []}
+            return {"ok": True, "slo": payload}
         if op == "ping":
             return {"ok": True, "epoch": self.manager.epoch}
         raise ValueError(f"unknown op {op!r}")
@@ -466,9 +550,27 @@ class ReachabilityService:
             base = promtext.prom_name(name) + "_total"
             lines.append(f"# TYPE {base} counter")
             lines.append(f"{base} {value}")
-        for name, value in (("service/epoch", self.manager.epoch),
-                            ("service/connections",
-                             len(self._connections))):
+        if self.capture is not None:
+            for name, value in (
+                    ("service/capture_records", self.capture.sampled),
+                    ("service/capture_dropped", self.capture.dropped)):
+                if name in registry_counters:
+                    continue
+                base = promtext.prom_name(name) + "_total"
+                lines.append(f"# TYPE {base} counter")
+                lines.append(f"{base} {value}")
+        gauges = [("service/epoch", self.manager.epoch),
+                  ("service/connections", len(self._connections))]
+        if self.slo is not None:
+            # evaluating on scrape is what detects breaches without a
+            # background thread; slo/breaches rides the counter block
+            report = self.slo.evaluate()
+            gauges.extend(sorted(self.slo.gauge_values(report).items()))
+            if "slo/breaches" not in registry_counters:
+                base = promtext.prom_name("slo/breaches") + "_total"
+                lines.append(f"# TYPE {base} counter")
+                lines.append(f"{base} {self.slo.breach_count}")
+        for name, value in gauges:
             if name in registry_gauges:
                 continue
             base = promtext.prom_name(name)
@@ -488,14 +590,28 @@ class ReachabilityService:
             parts = request_line.split()
             path = (parts[1].decode("latin-1", "replace")
                     if len(parts) >= 2 else "/")
-            if path.split("?", 1)[0] in ("/", "/metrics"):
+            route = path.split("?", 1)[0]
+            if route in ("/", "/metrics"):
                 status = "200 OK"
                 content_type = promtext.CONTENT_TYPE
                 body = self.render_metrics().encode("utf-8")
+            elif route == "/healthz":
+                status = "200 OK"
+                content_type = "text/plain; charset=utf-8"
+                body = b"ok\n"
+            elif route == "/readyz":
+                ready = self.ready()
+                status = "200 OK" if ready else "503 Service Unavailable"
+                content_type = "application/json"
+                body = (json.dumps({"ready": ready,
+                                    "epoch": self.manager.epoch,
+                                    "draining": self._draining})
+                        .encode("utf-8") + b"\n")
             else:
                 status = "404 Not Found"
                 content_type = "text/plain; charset=utf-8"
-                body = b"not found; scrape /metrics\n"
+                body = (b"not found; scrape /metrics or probe "
+                        b"/healthz, /readyz\n")
             writer.write((f"HTTP/1.0 {status}\r\n"
                           f"Content-Type: {content_type}\r\n"
                           f"Content-Length: {len(body)}\r\n"
@@ -514,6 +630,12 @@ class ReachabilityService:
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    def ready(self) -> bool:
+        """``/readyz`` condition: bound, snapshot published, not
+        draining."""
+        return (self._server is not None and not self._draining
+                and self.manager.snapshot is not None)
+
     def stats(self) -> dict:
         """The ``stats`` verb payload: manager + batcher + cache +
         server + per-class latency + slowest traces."""

@@ -1,0 +1,45 @@
+"""Tests for the shared ``BENCH_*.json`` merge policy."""
+
+import json
+
+from repro.bench.benchfile import merge_bench_json
+
+
+class TestMergeBenchJson:
+    def test_creates_a_fresh_file(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        document = merge_bench_json(path, {"build_seconds": 1.5})
+        assert document == {"build_seconds": 1.5}
+        assert json.loads(path.read_text()) == document
+
+    def test_preserves_sections_owned_by_other_runners(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        merge_bench_json(path, {"observers": {"noop": 1}})
+        merge_bench_json(path, {"scalar_qps": 9000.0})
+        document = json.loads(path.read_text())
+        assert document == {"observers": {"noop": 1},
+                            "scalar_qps": 9000.0}
+
+    def test_fresh_keys_overwrite_stale_ones(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        merge_bench_json(path, {"scalar_qps": 1.0, "keep": True})
+        merge_bench_json(path, {"scalar_qps": 2.0})
+        document = json.loads(path.read_text())
+        assert document["scalar_qps"] == 2.0
+        assert document["keep"] is True
+
+    def test_corrupt_file_is_replaced_not_fatal(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text("{not json")
+        assert merge_bench_json(path, {"ok": 1}) == {"ok": 1}
+
+    def test_non_dict_document_is_replaced(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text("[1, 2, 3]\n")
+        assert merge_bench_json(path, {"ok": 1}) == {"ok": 1}
+
+    def test_output_is_deterministic(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        merge_bench_json(path, {"b": 1, "a": 2})
+        text = path.read_text()
+        assert text == '{\n  "a": 2,\n  "b": 1\n}\n'

@@ -1,0 +1,207 @@
+"""Tests for the workload replay harness (``repro.bench.replay``).
+
+Determinism is the contract under test: the same seed must produce
+the same schedule byte for byte, and replaying it — in either loop
+mode, any number of times — must land every request in the same
+answer class.  Timing may vary; classification may not.
+"""
+
+import pytest
+
+from repro.bench.replay import (
+    DEFAULT_OBJECTIVES,
+    SMOKE_FAMILIES,
+    ReplayResult,
+    evaluate_objectives,
+    replay_closed_loop,
+    replay_open_loop,
+    schedule_from_journal,
+    schedule_sha256,
+    schedule_to_bytes,
+    synthetic_schedule,
+)
+from repro.bench.workloads import ZOO_FAMILIES, build_zoo_graph
+from repro.service import IndexManager, RequestCapture, start_in_thread
+
+SPEC = ZOO_FAMILIES["sparse"]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_zoo_graph(SPEC, 0.1)
+
+
+@pytest.fixture(scope="module")
+def schedule(graph):
+    return synthetic_schedule(SPEC, graph, count=80, rate_qps=2000.0,
+                              seed=5)
+
+
+@pytest.fixture()
+def server(graph):
+    manager = IndexManager.from_graph(graph)
+    with start_in_thread(manager) as handle:
+        yield handle.address
+
+
+class TestScheduleDeterminism:
+    def test_same_seed_same_bytes(self, graph):
+        first = synthetic_schedule(SPEC, graph, count=120, seed=9)
+        second = synthetic_schedule(SPEC, graph, count=120, seed=9)
+        assert schedule_to_bytes(first) == schedule_to_bytes(second)
+        assert schedule_sha256(first) == schedule_sha256(second)
+
+    def test_different_seed_different_schedule(self, graph):
+        assert schedule_sha256(
+            synthetic_schedule(SPEC, graph, count=120, seed=9)
+        ) != schedule_sha256(
+            synthetic_schedule(SPEC, graph, count=120, seed=10))
+
+    def test_arrivals_are_monotonic(self, schedule):
+        stamps = [entry["at_ms"] for entry in schedule]
+        assert stamps == sorted(stamps)
+        assert stamps[0] >= 0.0
+
+    def test_mix_follows_the_spec(self, graph):
+        entries = synthetic_schedule(SPEC, graph, count=400, seed=3)
+        ops = [entry["op"] for entry in entries]
+        reads = ops.count("query") + ops.count("query_batch")
+        assert reads / len(ops) == pytest.approx(SPEC.read_fraction,
+                                                 abs=0.05)
+        # write targets are fresh sinks: replays cannot collide
+        writes = [entry for entry in entries
+                  if entry["op"] == "add_edge"]
+        assert all(entry["create"] for entry in writes)
+        targets = [entry["target"] for entry in writes]
+        assert len(targets) == len(set(targets))
+
+    def test_count_must_be_positive(self, graph):
+        with pytest.raises(ValueError):
+            synthetic_schedule(SPEC, graph, count=0)
+
+
+class TestScheduleFromJournal:
+    def test_round_trip_through_a_capture_file(self, tmp_path, graph):
+        capture = RequestCapture(tmp_path / "j.ndjson")
+        capture.record("query", klass="positive", source="a",
+                       target="b", latency_ms=0.2, ok=True, epoch=0)
+        capture.record("query_batch", klass="batch",
+                       pairs=[["a", "b"]], latency_ms=0.4, ok=True)
+        capture.record("add_edge", source="a", target="z",
+                       create=True, ok=True)
+        path = capture.flush()
+        entries = schedule_from_journal(path)
+        assert [entry["op"] for entry in entries] \
+            == ["query", "query_batch", "add_edge"]
+        assert all("at_ms" in entry for entry in entries)
+        # observed metadata does not leak into the replayed request
+        assert all("latency_ms" not in entry and "class" not in entry
+                   for entry in entries)
+
+    def test_accepts_record_lists_and_skips_foreign_verbs(self):
+        entries = schedule_from_journal([
+            {"ts_ms": 1.0, "op": "query", "source": "a",
+             "target": "b"},
+            {"ts_ms": 2.0, "op": "ping"},
+            {"ts_ms": 3.0, "op": "stats"},
+        ])
+        assert len(entries) == 1
+        assert entries[0]["at_ms"] == 1.0
+
+
+class TestReplay:
+    def test_closed_loop_answers_every_entry(self, server, schedule):
+        host, port = server
+        result = replay_closed_loop(host, port, schedule,
+                                    concurrency=3)
+        assert result.mode == "closed"
+        assert result.sent == len(schedule)
+        assert result.ok + result.errors == result.sent
+        assert result.errors == 0
+        assert result.qps > 0
+
+    def test_replays_classify_identically(self, server, schedule):
+        host, port = server
+        first = replay_closed_loop(host, port, schedule,
+                                   concurrency=3)
+        second = replay_closed_loop(host, port, schedule,
+                                    concurrency=2)
+        third = replay_open_loop(host, port, schedule, connections=2)
+        assert first.class_counts() == second.class_counts() \
+            == third.class_counts()
+        assert set(first.class_counts()) <= {"positive", "negative",
+                                             "batch", "write"}
+
+    def test_open_loop_honours_the_clock(self, server, schedule):
+        host, port = server
+        result = replay_open_loop(host, port, schedule,
+                                  connections=2)
+        assert result.sent == len(schedule)
+        # the run cannot finish before the last scheduled arrival
+        assert result.wall_seconds \
+            >= schedule[-1]["at_ms"] / 1e3 * 0.9
+
+    def test_concurrency_must_be_positive(self, server, schedule):
+        host, port = server
+        with pytest.raises(ValueError):
+            replay_closed_loop(*server, schedule, concurrency=0)
+        with pytest.raises(ValueError):
+            replay_open_loop(host, port, schedule, connections=0)
+
+    def test_class_summaries_carry_the_ladder(self, server, schedule):
+        host, port = server
+        result = replay_closed_loop(host, port, schedule,
+                                    concurrency=2)
+        for summary in result.class_summaries().values():
+            assert set(summary) == {"count", "p50_ms", "p99_ms",
+                                    "p999_ms"}
+            assert summary["p50_ms"] <= summary["p99_ms"] \
+                <= summary["p999_ms"]
+
+
+class TestReplayResult:
+    def test_merge_is_exact(self):
+        left = ReplayResult("closed")
+        right = ReplayResult("closed")
+        left.observe("positive", 1e-3, True)
+        right.observe("positive", 2e-3, True)
+        right.observe("error", 5e-3, False)
+        left.merge(right)
+        assert left.sent == 3
+        assert left.ok == 2 and left.errors == 1
+        assert left.class_counts() == {"error": 1, "positive": 2}
+
+
+class TestEvaluateObjectives:
+    def test_loose_objectives_pass(self, server, schedule):
+        host, port = server
+        result = replay_closed_loop(host, port, schedule,
+                                    concurrency=2)
+        report = evaluate_objectives(result, DEFAULT_OBJECTIVES)
+        assert report["healthy"]
+        assert {row["spec"] for row in report["objectives"]} \
+            == set(DEFAULT_OBJECTIVES)
+
+    def test_impossible_objective_breaches(self, server, schedule):
+        host, port = server
+        result = replay_closed_loop(host, port, schedule,
+                                    concurrency=2)
+        report = evaluate_objectives(result, ["positive p99 < 1ns"])
+        assert not report["healthy"]
+        assert report["breach_count"] == 1
+
+    def test_availability_feeds_from_outcomes(self):
+        result = ReplayResult("closed")
+        for _ in range(98):
+            result.observe("positive", 1e-3, True)
+        result.observe("error", 1e-3, False)
+        result.observe("error", 1e-3, False)
+        report = evaluate_objectives(result, ["availability >= 99%"])
+        (row,) = report["objectives"]
+        assert row["observed"] == pytest.approx(0.98)
+        assert not row["compliant"]
+
+
+def test_smoke_families_cover_the_zoo():
+    assert set(SMOKE_FAMILIES) <= set(ZOO_FAMILIES)
+    assert len(SMOKE_FAMILIES) >= 4

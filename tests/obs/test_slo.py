@@ -1,0 +1,317 @@
+"""Unit tests for the SLO engine (``repro.obs.slo``).
+
+The tracker's clock is injected, so every window edge here is pinned
+arithmetically — no sleeping, no flakes.
+"""
+
+import pytest
+
+from repro.obs import OBS, Objective, SloTracker, parse_objective, \
+    parse_objectives
+from repro.obs.histogram import Histogram
+from repro.obs.slo import FAST_BURN_ALERT, _fraction_within
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def tracker(objectives, clock, **kwargs):
+    kwargs.setdefault("fast_seconds", 10.0)
+    kwargs.setdefault("slow_seconds", 60.0)
+    kwargs.setdefault("cell_seconds", 1.0)
+    return SloTracker(objectives, clock=clock, **kwargs)
+
+
+class TestParse:
+    def test_latency_units(self):
+        assert parse_objective("positive p99 < 2ms").threshold \
+            == pytest.approx(2e-3)
+        assert parse_objective("negative p50 < 150us").threshold \
+            == pytest.approx(150e-6)
+        assert parse_objective("batch p999 < 1s").threshold \
+            == pytest.approx(1.0)
+        assert parse_objective("write p90 < 500ns").threshold \
+            == pytest.approx(500e-9)
+
+    def test_target_is_the_percentile_fraction(self):
+        assert parse_objective("positive p99 < 2ms").target == 0.99
+        assert parse_objective("positive p999 < 2ms").target == 0.999
+
+    def test_spec_is_normalised(self):
+        parsed = parse_objective("  positive   p99  <  2ms ")
+        assert parsed.spec == "positive p99 < 2ms"
+
+    def test_inclusive_spelling(self):
+        assert parse_objective("positive p99 <= 2ms").inclusive
+        assert not parse_objective("positive p99 < 2ms").inclusive
+
+    def test_availability(self):
+        parsed = parse_objective("availability >= 99.9%")
+        assert parsed.klass == "availability"
+        assert parsed.threshold == pytest.approx(0.999)
+        assert parsed.target == pytest.approx(0.999)
+
+    @pytest.mark.parametrize("text", [
+        "bogus",
+        "positive p42 < 1ms",          # unknown percentile
+        "positive p99 < 0ms",          # non-positive threshold
+        "positive p99 < 1parsec",      # unknown unit
+        "availability >= 200%",        # ratio out of range
+        "availability > 99%",          # only >= is defined
+        "Positive p99 < 1ms",          # classes are lowercase
+    ])
+    def test_rejects(self, text):
+        with pytest.raises(ValueError):
+            parse_objective(text)
+
+    def test_parse_objectives_passes_parsed_through(self):
+        parsed = parse_objective("positive p99 < 2ms")
+        assert parse_objectives([parsed, "batch p50 < 1ms"])[0] \
+            is parsed
+
+    def test_objective_is_frozen(self):
+        parsed = parse_objective("positive p99 < 2ms")
+        with pytest.raises(AttributeError):
+            parsed.threshold = 1.0
+
+
+class TestFractionWithin:
+    def test_empty_histogram_is_vacuously_within(self):
+        assert _fraction_within(Histogram(), 1e-3, False) == 1.0
+
+    def test_zero_observations_are_always_within(self):
+        histogram = Histogram()
+        histogram.observe(0.0)
+        assert _fraction_within(histogram, 1e-9, False) == 1.0
+
+    def test_exact_bucket_boundary_needs_inclusive(self):
+        # 0.99 lands in the bucket whose upper bound is exactly 1.0,
+        # so a 1s threshold counts it only under the <= spelling
+        histogram = Histogram()
+        histogram.observe(0.99)
+        assert _fraction_within(histogram, 1.0, True) == 1.0
+        assert _fraction_within(histogram, 1.0, False) == 0.0
+
+    def test_mixed(self):
+        histogram = Histogram()
+        for value in (1e-4, 2e-4, 5e-3):      # two within, one over 1ms
+            histogram.observe(value)
+        assert _fraction_within(histogram, 1e-3, False) \
+            == pytest.approx(2 / 3)
+
+
+class TestEvaluateEdges:
+    def test_empty_window_is_vacuously_compliant(self):
+        clock = FakeClock()
+        report = tracker(["positive p99 < 1ms"], clock).evaluate()
+        (row,) = report["objectives"]
+        assert row["samples"] == 0
+        assert row["observed"] == 0.0
+        assert row["compliance_ratio"] == 1.0
+        assert row["compliant"]
+        assert row["burn_rate_fast"] == 0.0
+        assert row["burn_rate_slow"] == 0.0
+        assert report["healthy"]
+        assert report["breach_count"] == 0
+
+    def test_single_compliant_sample(self):
+        clock = FakeClock()
+        slo = tracker(["positive p99 < 1ms"], clock)
+        slo.observe("positive", 1e-4)
+        (row,) = slo.evaluate()["objectives"]
+        assert row["samples"] == 1
+        assert row["compliant"]
+        assert row["compliance_ratio"] == 1.0
+
+    def test_sample_exactly_at_threshold_is_a_violation(self):
+        # a 1.0 s sample lands in the bucket *above* the 1 s bound
+        # (lower == 1.0), so the strict < objective must count it out
+        clock = FakeClock()
+        slo = tracker(["positive p99 < 1s"], clock)
+        slo.observe("positive", 1.0)
+        (row,) = slo.evaluate()["objectives"]
+        assert not row["compliant"]
+        assert row["compliance_ratio"] == 0.0
+        # the whole error budget (1 - 0.99) is burnt
+        assert row["burn_rate_slow"] == pytest.approx(100.0)
+
+    def test_other_classes_do_not_feed_the_objective(self):
+        clock = FakeClock()
+        slo = tracker(["positive p99 < 1ms"], clock)
+        slo.observe("negative", 5.0)           # way over, wrong class
+        (row,) = slo.evaluate()["objectives"]
+        assert row["samples"] == 0
+        assert row["compliant"]
+
+
+class TestWindows:
+    def test_fast_window_forgets_but_slow_remembers(self):
+        clock = FakeClock()
+        slo = tracker(["positive p99 < 1ms"], clock)
+        for _ in range(10):
+            slo.observe("positive", 5e-3)      # violations at t=0
+        clock.advance(15.0)                    # beyond fast, within slow
+        for _ in range(10):
+            slo.observe("positive", 1e-4)      # compliant now
+        (row,) = slo.evaluate()["objectives"]
+        assert row["burn_rate_fast"] == 0.0    # fast window is clean
+        assert row["burn_rate_slow"] == pytest.approx(50.0)
+        assert not row["compliant"]            # verdict is slow-window
+        assert row["samples"] == 20
+
+    def test_everything_ages_out_of_the_slow_window(self):
+        clock = FakeClock()
+        slo = tracker(["positive p99 < 1ms"], clock)
+        for _ in range(10):
+            slo.observe("positive", 5e-3)
+        assert not slo.evaluate()["healthy"]
+        clock.advance(61.0)
+        (row,) = slo.evaluate()["objectives"]
+        assert row["samples"] == 0
+        assert row["compliant"]
+
+    def test_window_histogram_merges_cells_exactly(self):
+        clock = FakeClock()
+        slo = tracker(["positive p99 < 1s"], clock)
+        source = Histogram()
+        for step in range(30):
+            slo.observe("positive", 1e-3 * (step + 1))
+            source.observe(1e-3 * (step + 1))
+            clock.advance(1.0)                 # one cell per sample
+        merged = slo.window_histogram("positive")
+        assert merged.count == 30
+        assert merged.buckets() == source.buckets()
+
+    def test_alert_needs_both_windows_burning(self):
+        clock = FakeClock()
+        slo = tracker(["positive p99 < 1ms"], clock)
+        for _ in range(10):
+            slo.observe("positive", 5e-3)
+        (row,) = slo.evaluate()["objectives"]
+        assert row["burn_rate_fast"] >= FAST_BURN_ALERT
+        assert row["alert"]
+        clock.advance(15.0)                    # fast window goes quiet
+        (row,) = slo.evaluate()["objectives"]
+        assert not row["alert"]                # still breaching, no page
+
+
+class TestAvailability:
+    def test_ratio_and_verdict(self):
+        clock = FakeClock()
+        slo = tracker(["availability >= 99%"], clock)
+        for _ in range(99):
+            slo.note_request(True)
+        slo.note_request(False)
+        (row,) = slo.evaluate()["objectives"]
+        assert row["observed"] == pytest.approx(0.99)
+        assert row["compliant"]                # >= is inclusive
+        assert row["burn_rate_slow"] == pytest.approx(1.0)
+        slo.note_request(False)
+        (row,) = slo.evaluate()["objectives"]
+        assert not row["compliant"]
+
+    def test_no_traffic_is_vacuously_available(self):
+        clock = FakeClock()
+        (row,) = tracker(["availability >= 99%"],
+                         clock).evaluate()["objectives"]
+        assert row["compliant"]
+        assert row["samples"] == 0
+
+
+class TestBreachLog:
+    def test_breach_logged_once_per_transition(self):
+        clock = FakeClock()
+        slo = tracker(["positive p99 < 1ms"], clock)
+        slo.observe("positive", 5e-3)
+        assert not slo.evaluate()["healthy"]
+        assert slo.evaluate()["breach_count"] == 1   # no re-log
+        clock.advance(61.0)                    # recover (ages out)
+        assert slo.evaluate()["healthy"]
+        slo.observe("positive", 5e-3)          # breach again
+        report = slo.evaluate()
+        assert report["breach_count"] == 2
+        assert [b["spec"] for b in report["breaches"]] \
+            == ["positive p99 < 1ms"] * 2
+
+    def test_breach_event_carries_the_evidence(self):
+        clock = FakeClock()
+        slo = tracker(["positive p99 < 1ms"], clock)
+        clock.advance(7.0)                     # ``at`` is since start
+        slo.observe("positive", 5e-3)
+        (event,) = slo.evaluate()["breaches"]
+        assert event["at"] == pytest.approx(7.0)
+        assert event["class"] == "positive"
+        assert event["threshold"] == pytest.approx(1e-3)
+        assert event["samples"] == 1
+        assert event["observed"] > 1e-3
+
+
+class TestAbsorb:
+    def test_absorb_merges_whole_histograms(self):
+        clock = FakeClock()
+        slo = tracker(["batch p50 < 1s"], clock)
+        source = Histogram()
+        for value in (1e-3, 2e-3, 3e-3):
+            source.observe(value)
+        slo.absorb("batch", source, ok=3)
+        (row,) = slo.evaluate()["objectives"]
+        assert row["samples"] == 3
+        assert row["compliant"]
+        assert slo.window_histogram("batch").count == 3
+
+
+class TestGauges:
+    def test_gauge_values_reduce_per_class(self):
+        clock = FakeClock()
+        slo = tracker(["positive p50 < 1ms", "positive p99 < 1s",
+                       "availability >= 99%"], clock)
+        slo.observe("positive", 5e-3)          # violates p50, not p99
+        slo.note_request(True)
+        gauges = slo.gauge_values()
+        assert gauges["slo/compliance_ratio/positive"] == 0.0  # min
+        assert gauges["slo/compliance_ratio/availability"] == 1.0
+        assert gauges["slo/burn_rate_slow/positive"] \
+            == pytest.approx(2.0)              # max over objectives
+        assert set(gauges) == {
+            f"slo/{kind}/{klass}"
+            for kind in ("compliance_ratio", "burn_rate_fast",
+                         "burn_rate_slow")
+            for klass in ("positive", "availability")}
+
+    def test_evaluate_publishes_obs_gauges_when_enabled(self):
+        clock = FakeClock()
+        slo = tracker(["positive p99 < 1ms"], clock)
+        slo.observe("positive", 5e-3)
+        OBS.reset()
+        OBS.enable()
+        try:
+            slo.evaluate()
+            assert OBS.gauges["slo/compliance_ratio/positive"] == 0.0
+            assert OBS.counters["slo/breaches"] == 1
+        finally:
+            OBS.disable()
+            OBS.reset()
+
+
+class TestConstruction:
+    def test_rejects_inverted_windows(self):
+        with pytest.raises(ValueError):
+            SloTracker(["positive p99 < 1ms"], fast_seconds=60,
+                       slow_seconds=10)
+
+    def test_accepts_objective_instances(self):
+        parsed = parse_objective("positive p99 < 1ms")
+        assert SloTracker([parsed]).objectives == [parsed]
+
+    def test_objective_dataclass_identity(self):
+        assert parse_objective("positive p99 < 2ms") == Objective(
+            spec="positive p99 < 2ms", klass="positive", metric="p99",
+            threshold=2e-3, target=0.99, inclusive=False)

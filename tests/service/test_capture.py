@@ -1,0 +1,205 @@
+"""Tests for the request-capture journal (``repro.service.capture``).
+
+Unit tests drive :class:`RequestCapture` directly; the integration
+tests attach one to a live threaded service and read the journal the
+shutdown flush wrote — the same path ``serve --capture`` exercises.
+"""
+
+import json
+
+import pytest
+
+from repro import DiGraph
+from repro.obs import OBS
+from repro.service import (
+    IndexManager,
+    RequestCapture,
+    ServiceClient,
+    load_journal,
+    start_in_thread,
+)
+from repro.service.capture import CAPTURE_KIND, CAPTURE_VERSION, \
+    CAPTURED_OPS
+
+from tests.conftest import PAPER_FIG1_EDGES
+
+
+class TestRing:
+    def test_capacity_bound_evicts_oldest_and_counts(self, tmp_path):
+        capture = RequestCapture(tmp_path / "j.ndjson", capacity=3)
+        for index in range(5):
+            capture.record("query", source=index, target=index + 1)
+        assert len(capture) == 3
+        assert capture.dropped == 2
+        assert capture.seen == capture.sampled == 5
+        capture.flush()
+        _, records = load_journal(capture.path)
+        assert [entry["source"] for entry in records] == [2, 3, 4]
+
+    def test_rejects_bad_parameters(self, tmp_path):
+        with pytest.raises(ValueError):
+            RequestCapture(tmp_path / "j", capacity=0)
+        with pytest.raises(ValueError):
+            RequestCapture(tmp_path / "j", sample=0.0)
+        with pytest.raises(ValueError):
+            RequestCapture(tmp_path / "j", sample=1.5)
+
+    def test_none_fields_are_dropped_and_class_is_renamed(
+            self, tmp_path):
+        capture = RequestCapture(tmp_path / "j.ndjson")
+        capture.record("query", klass="positive", source="a",
+                       target="b", node=None)
+        capture.flush()
+        _, (entry,) = load_journal(capture.path)
+        assert entry["class"] == "positive"
+        assert "node" not in entry
+        assert "klass" not in entry
+
+    def test_timestamps_are_monotonic_offsets(self, tmp_path):
+        capture = RequestCapture(tmp_path / "j.ndjson")
+        for _ in range(10):
+            capture.record("query", source="a", target="b")
+        stamps = [entry["ts_ms"] for entry in capture._ring]
+        assert stamps == sorted(stamps)
+        assert all(stamp >= 0.0 for stamp in stamps)
+
+
+class TestSampling:
+    def test_sampling_is_deterministic_per_seed(self, tmp_path):
+        kept = []
+        for run in range(2):
+            capture = RequestCapture(tmp_path / f"j{run}.ndjson",
+                                     sample=0.5, seed=42)
+            for index in range(200):
+                capture.record("query", source=index, target=0)
+            kept.append([entry["source"]
+                         for entry in capture._ring])
+        assert kept[0] == kept[1]
+        assert 0 < len(kept[0]) < 200
+
+    def test_sampled_counter_tracks_admissions(self, tmp_path):
+        capture = RequestCapture(tmp_path / "j.ndjson", sample=0.25,
+                                 seed=7)
+        for index in range(400):
+            capture.record("query", source=index, target=0)
+        assert capture.seen == 400
+        assert capture.sampled == len(capture)
+        assert 40 < capture.sampled < 160    # ~100, generous bounds
+
+
+class TestPersistence:
+    def test_flush_roundtrip_and_header(self, tmp_path):
+        capture = RequestCapture(tmp_path / "j.ndjson", capacity=8,
+                                 sample=1.0)
+        capture.record("query", klass="positive", source="a",
+                       target="e", epoch=0, latency_ms=0.2, ok=True)
+        capture.record("add_edge", source="x", target="y", create=True,
+                       ok=True, epoch=0, latency_ms=0.5)
+        path = capture.close()
+        header, records = load_journal(path)
+        assert header["kind"] == CAPTURE_KIND
+        assert header["v"] == CAPTURE_VERSION
+        assert header["records"] == len(records) == 2
+        assert header["capacity"] == 8
+        assert records[0]["op"] == "query"
+        assert records[1]["create"] is True
+
+    def test_flush_is_atomic(self, tmp_path):
+        capture = RequestCapture(tmp_path / "j.ndjson")
+        capture.record("query", source="a", target="b")
+        capture.flush()
+        assert not (tmp_path / "j.ndjson.tmp").exists()
+
+    def test_load_journal_tolerates_headerless_ndjson(self, tmp_path):
+        path = tmp_path / "hand.ndjson"
+        path.write_text('{"op":"query","source":"a","target":"b"}\n'
+                        "\n"
+                        '{"op":"ping"}\n')
+        header, records = load_journal(path)
+        assert header == {}
+        assert [entry["op"] for entry in records] == ["query", "ping"]
+
+    def test_load_journal_rejects_non_objects(self, tmp_path):
+        path = tmp_path / "bad.ndjson"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError):
+            load_journal(path)
+
+    def test_describe_counters(self, tmp_path):
+        capture = RequestCapture(tmp_path / "j.ndjson", capacity=2)
+        for _ in range(3):
+            capture.record("query", source="a", target="b")
+        info = capture.describe()
+        assert info["records"] == 2
+        assert info["seen"] == info["sampled"] == 3
+        assert info["dropped"] == 1
+
+
+class TestObsCounters:
+    def test_record_feeds_the_registry_when_enabled(self, tmp_path):
+        capture = RequestCapture(tmp_path / "j.ndjson", capacity=1)
+        OBS.reset()
+        OBS.enable()
+        try:
+            capture.record("query", source="a", target="b")
+            capture.record("query", source="b", target="c")
+            assert OBS.counters["service/capture_records"] == 2
+            assert OBS.counters["service/capture_dropped"] == 1
+        finally:
+            OBS.disable()
+            OBS.reset()
+
+
+class TestServerIntegration:
+    def test_journal_covers_queries_batches_and_writes(self, tmp_path):
+        journal = tmp_path / "served.ndjson"
+        manager = IndexManager.from_graph(
+            DiGraph.from_edges(PAPER_FIG1_EDGES))
+        with start_in_thread(manager, capture=str(journal)) as handle:
+            host, port = handle.address
+            with ServiceClient(host, port) as client:
+                client.query("a", "e")
+                client.query_batch([("a", "e"), ("e", "a")])
+                client.add_edge("z1", "z2", create=True)
+                client.ping()                 # not a captured verb
+        header, records = load_journal(journal)
+        assert header["records"] == 3
+        by_op = {entry["op"]: entry for entry in records}
+        assert set(by_op) == {"query", "query_batch", "add_edge"}
+        assert by_op["query"]["class"] == "positive"
+        assert by_op["query"]["source"] == "a"
+        assert by_op["query_batch"]["pairs"] == [["a", "e"],
+                                                 ["e", "a"]]
+        assert by_op["add_edge"]["create"] is True
+        assert all("latency_ms" in entry for entry in records)
+        assert all(entry["ok"] for entry in records)
+        assert "ping" not in CAPTURED_OPS
+
+    def test_error_responses_are_journaled_with_error_class(
+            self, tmp_path):
+        journal = tmp_path / "errors.ndjson"
+        manager = IndexManager.from_graph(
+            DiGraph.from_edges(PAPER_FIG1_EDGES))
+        with start_in_thread(manager, capture=str(journal)) as handle:
+            host, port = handle.address
+            with ServiceClient(host, port) as client:
+                with pytest.raises(Exception):
+                    client.query("nope", "also-nope")
+        _, (entry,) = load_journal(journal)
+        assert entry["class"] == "error"
+        assert entry["ok"] is False
+
+    def test_capture_object_can_be_shared_with_the_test(
+            self, tmp_path):
+        capture = RequestCapture(tmp_path / "shared.ndjson",
+                                 capacity=4)
+        manager = IndexManager.from_graph(
+            DiGraph.from_edges(PAPER_FIG1_EDGES))
+        with start_in_thread(manager, capture=capture) as handle:
+            host, port = handle.address
+            with ServiceClient(host, port) as client:
+                for _ in range(6):
+                    client.query("a", "e")
+        assert len(capture) == 4               # ring bound held
+        assert capture.dropped == 2
+        assert capture.path.exists()           # shutdown flushed

@@ -1,0 +1,112 @@
+"""Tests for the ``/healthz`` / ``/readyz`` probes.
+
+Both live on the ``--metrics-port`` HTTP side listener (single
+process and worker pool alike) so an orchestrator needs exactly one
+port for scraping and probing.  Liveness is unconditional; readiness
+means a published snapshot (and, under a pool, every worker attached).
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import DiGraph
+from repro.service import IndexManager, start_in_thread
+
+from tests.conftest import PAPER_FIG1_EDGES
+
+
+def _get(host, port, route):
+    """``(status, body_bytes)`` for one HTTP GET, 503 included."""
+    try:
+        with urllib.request.urlopen(
+                f"http://{host}:{port}{route}", timeout=10.0) as reply:
+            return reply.status, reply.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+@pytest.fixture
+def probed_service():
+    manager = IndexManager.from_graph(
+        DiGraph.from_edges(PAPER_FIG1_EDGES))
+    with start_in_thread(manager, port=0, metrics_port=0) as handle:
+        yield handle
+
+
+class TestSingleProcessProbes:
+    def test_healthz_is_unconditionally_ok(self, probed_service):
+        host, port = probed_service.service.metrics_address
+        status, body = _get(host, port, "/healthz")
+        assert status == 200
+        assert body == b"ok\n"
+
+    def test_readyz_reports_ready_with_a_snapshot(self,
+                                                  probed_service):
+        host, port = probed_service.service.metrics_address
+        status, body = _get(host, port, "/readyz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["ready"] is True
+        assert payload["epoch"] == 0
+        assert payload["draining"] is False
+
+    def test_readyz_goes_503_while_draining(self, probed_service):
+        service = probed_service.service
+        host, port = service.metrics_address
+        service._draining = True
+        try:
+            status, body = _get(host, port, "/readyz")
+        finally:
+            service._draining = False
+        assert status == 503
+        assert json.loads(body)["ready"] is False
+
+    def test_metrics_route_still_served(self, probed_service):
+        host, port = probed_service.service.metrics_address
+        status, body = _get(host, port, "/metrics")
+        assert status == 200
+        assert b"service_requests_total" in body
+
+    def test_404_mentions_the_probe_routes(self, probed_service):
+        host, port = probed_service.service.metrics_address
+        status, body = _get(host, port, "/nope")
+        assert status == 404
+        assert b"/healthz" in body and b"/readyz" in body
+
+    def test_ready_method_tracks_server_state(self):
+        manager = IndexManager.from_graph(
+            DiGraph.from_edges(PAPER_FIG1_EDGES))
+        with start_in_thread(manager) as handle:
+            assert handle.service.ready() is True
+        assert handle.service.ready() is False   # stopped
+
+
+class TestPoolReadiness:
+    def test_pool_ready_requires_start(self):
+        from repro.service import WorkerPool
+        manager = IndexManager.from_graph(
+            DiGraph.from_edges(PAPER_FIG1_EDGES))
+        pool = WorkerPool(manager, workers=1)
+        assert pool.ready() is False             # never started
+
+    def test_pool_probes_over_http(self):
+        from repro.service import WorkerPool
+        manager = IndexManager.from_graph(
+            DiGraph.from_edges(PAPER_FIG1_EDGES))
+        pool = WorkerPool(manager, workers=1, metrics_port=0)
+        try:
+            pool.start()
+            host, port = pool.metrics_address
+            status, body = _get(host, port, "/healthz")
+            assert status == 200 and body == b"ok\n"
+            status, body = _get(host, port, "/readyz")
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["ready"] is True
+            assert payload["workers"] == payload["expected"] == 1
+        finally:
+            pool.stop()
+        assert pool.ready() is False             # stopped
