@@ -1,0 +1,86 @@
+"""Perf smoke for million-node scale: concat builds + varint labels.
+
+Builds one large scale-family graph (a narrow chain cover over many
+strata — the shape that punishes per-stratum matching) under both
+chain engines, prices the same index under both label codecs, then
+persists the compressed index as a format-v4 file, reloads it and
+serves a query burst cross-checked against BFS.  Writes the result to
+``BENCH_scale.json`` at the repository root (merged section-wise, so
+the large-run trajectory entries survive re-runs).
+
+Two acceptance gates:
+
+* the varint codec must hold label memory to at most 0.6x the flat
+  CSR bytes (deterministic: same graph + cover = same bytes);
+* chain-concat must build at least 2x faster than chain-stratified
+  (min-of-N CPU time, noise-robust).
+
+Run it either way::
+
+    python benchmarks/bench_scale_smoke.py            # standalone
+    PYTHONPATH=src python -m pytest benchmarks/bench_scale_smoke.py
+
+``REPRO_BENCH_SCALE`` scales the workload as for the full bench suite.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_scale.json"
+
+try:
+    from repro.bench.benchfile import merge_bench_json
+    from repro.bench.scale import scale_engine_smoke
+except ImportError:  # standalone run without an installed package
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.bench.benchfile import merge_bench_json
+    from repro.bench.scale import scale_engine_smoke
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def run_smoke(scale: float = SCALE) -> dict:
+    """Measure once and merge into ``BENCH_scale.json``."""
+    result = scale_engine_smoke(scale)
+    merge_bench_json(OUTPUT, {"scale_smoke": result})
+    return result
+
+
+def test_scale_smoke_writes_bench_json():
+    result = run_smoke()
+    assert OUTPUT.exists()
+    assert result["concat_build_seconds"] > 0
+    assert result["stratified_build_seconds"] > 0
+    # the reloaded v4 compressed index answered the burst like BFS —
+    # the benchmark doubles as a build/persist/serve equivalence check
+    assert result["query_bfs_mismatches"] == 0, (
+        f"reloaded compressed index diverged from BFS: {result}")
+    assert result["file_codec"] == "compressed"
+    assert result["file_version"] == 4
+    # gate 1 (deterministic): varint labels must stay within 0.6x of
+    # the flat CSR footprint
+    assert result["compression_ratio"] <= 0.6, (
+        f"compressed labels only "
+        f"{result['compression_ratio']:.3f}x flat: {result}")
+    # gate 2 (min-of-N CPU time): the concatenation cover must build
+    # at least 2x faster than the per-stratum matching pipeline
+    assert result["build_speedup"] >= 2.0, (
+        f"chain-concat only {result['build_speedup']:.2f}x "
+        f"chain-stratified: {result}")
+
+
+def main() -> int:
+    result = run_smoke()
+    width = max(len(key) for key in result)
+    for key in sorted(result):
+        print(f"{key:<{width}}  {result[key]}")
+    print(f"\nwrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,6 +58,7 @@ __all__ = [
     "run_serve_smoke",
     "run_slo_smoke",
     "run_dynamic_smoke",
+    "run_scale_smoke", "run_scale_large",
     "run_ablation_chain_methods", "run_ablation_width",
     "run_ablation_matching", "ALL_EXPERIMENTS",
 ]
@@ -403,6 +404,72 @@ def run_dynamic_smoke(scale: float = 1.0) -> str:
         ["metric", "value"], rows)
 
 
+def run_scale_smoke(scale: float = 1.0) -> str:
+    """Concat vs stratified builds and flat vs varint labels on one
+    large chain-family graph, persisted and served end to end."""
+    from repro.bench.scale import scale_engine_smoke
+    result = scale_engine_smoke(scale)
+    rows = [
+        ("graph", f"{result['nodes']:,} nodes / "
+                  f"{result['edges']:,} edges"),
+        ("chain-concat build (CPU sec., min of "
+         f"{result['build_samples']})",
+         f"{result['concat_build_seconds']:.2f}"),
+        ("chain-stratified build (CPU sec.)",
+         f"{result['stratified_build_seconds']:.2f}"),
+        ("build speedup", f"{result['build_speedup']:.2f}x"),
+        ("chains (concat / stratified)",
+         f"{result['concat_chains']} / {result['stratified_chains']}"),
+        ("label entries", f"{result['label_entries']:,}"),
+        ("flat label bytes", f"{result['flat_label_bytes']:,}"),
+        ("compressed label bytes",
+         f"{result['compressed_label_bytes']:,}"),
+        ("compression ratio", f"{result['compression_ratio']:.3f}"),
+        ("v4 file bytes (compressed codec)",
+         f"{result['file_bytes']:,}"),
+        ("reloaded-index queries/sec", f"{result['query_qps']:,.0f}"),
+        ("BFS mismatches", f"{result['query_bfs_mismatches']}"),
+    ]
+    return render_table(
+        f"Scale smoke — {result['workload']}",
+        ["metric", "value"], rows)
+
+
+def run_scale_large(scale: float = 1.0) -> str:
+    """The release-cadence million-node trajectory: one wall-clock
+    build/persist/attach/serve pass over ``scale`` x (1M nodes / 10M
+    edges).  Heavy — minutes, not seconds."""
+    from repro.bench.scale import scale_large_trajectory
+    result = scale_large_trajectory(
+        nodes=max(10_000, int(1_000_000 * scale)),
+        edges=max(100_000, int(10_000_000 * scale)))
+    rows = [
+        ("graph", f"{result['nodes']:,} nodes / "
+                  f"{result['edges']:,} edges"),
+        ("generate (sec.)", f"{result['generate_seconds']:.1f}"),
+        ("chain-concat build (sec.)",
+         f"{result['concat_build_seconds']:.1f}"),
+        ("chains", f"{result['concat_chains']}"),
+        ("label entries", f"{result['label_entries']:,}"),
+        ("flat label bytes", f"{result['flat_label_bytes']:,}"),
+        ("compressed label bytes",
+         f"{result['compressed_label_bytes']:,}"),
+        ("compression ratio", f"{result['compression_ratio']:.3f}"),
+        ("persist / reload (sec.)",
+         f"{result['persist_seconds']:.1f} / "
+         f"{result['load_seconds']:.1f}"),
+        ("v4 file bytes", f"{result['file_bytes']:,}"),
+        ("shm-attached queries/sec",
+         f"{result['shm_query_qps']:,.0f}"),
+        ("BFS mismatches",
+         f"{result['bfs_mismatches']}/{result['bfs_checks']}"),
+        ("peak RSS", f"{result['peak_rss_bytes'] / 2**30:.2f} GiB"),
+    ]
+    return render_table(
+        f"Scale large — {result['workload']}",
+        ["metric", "value"], rows)
+
+
 # ----------------------------------------------------------------------
 # Ablations (not in the paper)
 # ----------------------------------------------------------------------
@@ -484,6 +551,8 @@ ALL_EXPERIMENTS = {
     "serve-smoke": run_serve_smoke,
     "slo-smoke": run_slo_smoke,
     "dynamic-smoke": run_dynamic_smoke,
+    "scale-smoke": run_scale_smoke,
+    "scale-large": run_scale_large,
     "ablation-chain-methods": run_ablation_chain_methods,
     "ablation-width": run_ablation_width,
     "ablation-matching": run_ablation_matching,

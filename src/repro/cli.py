@@ -10,6 +10,8 @@ Subcommands operate on the edge-list format of :mod:`repro.graph.io`::
     python -m repro query graph.txt --pairs-file q.txt   # batch query
     python -m repro generate dsrg 500 200 --seed 3 --out graph.txt
     python -m repro index graph.txt -o graph.idx     # persist the index
+    python -m repro index --edges huge.txt -o huge.idx --codec compressed
+    python -m repro stats --index graph.idx  # codec, on-disk vs RAM size
     python -m repro query --index graph.idx 0 1      # query without rebuild
     python -m repro serve graph.txt --port 7431      # TCP query service
     python -m repro query --remote 127.0.0.1:7431 0 1    # query a server
@@ -59,17 +61,19 @@ from contextlib import contextmanager
 from pathlib import Path
 
 from repro.core.index import ChainIndex
+from repro.core.labelstore import CODECS
 from repro.core.width import dag_width, maximum_antichain
 from repro.obs import OBS, maybe_profiled
 from repro.graph.generators import (
     citation_dag,
     dense_dag,
     graph_stats,
+    scale_chain_dag,
     semi_random_dag,
     sparse_random_dag,
     systematic_dag,
 )
-from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.io import iter_edges, read_edge_list, write_edge_list
 from repro.graph.scc import condense
 
 __all__ = ["main"]
@@ -77,6 +81,26 @@ __all__ = ["main"]
 
 def _load(path: str):
     return read_edge_list(Path(path))
+
+
+def _load_from_edges(path: str):
+    """Stream a (possibly huge) edge list straight into a DiGraph.
+
+    Uses :func:`repro.graph.io.iter_edges`, so one line of the file is
+    in memory at a time — no intermediate edge list, no adjacency
+    copies; 10M edges land directly in the graph's dense arrays.
+    """
+    from repro.graph.digraph import DiGraph
+    graph = DiGraph()
+    ensure_node = graph.ensure_node
+    has_edge = graph.has_edge
+    add_edge = graph.add_edge
+    for tail, head in iter_edges(Path(path)):
+        ensure_node(tail)
+        ensure_node(head)
+        if tail != head and not has_edge(tail, head):
+            add_edge(tail, head)
+    return graph
 
 
 def _engine_names() -> list[str]:
@@ -124,7 +148,44 @@ def _metrics_session(out: str | None):
         print(f"metrics -> {out}")
 
 
+def _print_index_stats(path: str) -> int:
+    """``stats --index``: on-disk vs in-memory size and codec."""
+    from repro.core.persistence import describe_index_file
+    from repro.graph.errors import GraphFormatError
+    try:
+        info = describe_index_file(Path(path))
+    except FileNotFoundError:
+        print(f"stats: no such index file: {path}", file=sys.stderr)
+        return 2
+    except GraphFormatError as exc:
+        print(f"stats: {path}: {exc}", file=sys.stderr)
+        return 2
+    codec = info["codec"]
+    if isinstance(codec, list):
+        codec = ", ".join(codec)
+    print(f"kind:                {info['kind']} "
+          f"(format v{info['version']})")
+    if info["kind"] == "composite":
+        print(f"sub-engine:          {info['sub_engine']} "
+              f"({info['partitions']} partitions)")
+    else:
+        print(f"method:              {info['method']}")
+    print(f"codec:               {codec}")
+    print(f"on-disk size:        {info['file_bytes']} bytes")
+    print(f"label bytes (RAM):   {info['label_bytes']}")
+    print(f"label entries:       {info['label_entries']}")
+    print(f"size (words):        {info['size_words']}")
+    print(f"components:          {info['components']}")
+    print(f"chains:              {info['chains']}")
+    return 0
+
+
 def _cmd_stats(args) -> int:
+    if args.index:
+        return _print_index_stats(args.index)
+    if not args.graph:
+        print("stats needs a graph file or --index", file=sys.stderr)
+        return 2
     graph = _load(args.graph)
     with maybe_profiled(args.profile):
         condensation = condense(graph)
@@ -582,13 +643,26 @@ _GENERATORS = {
                                  seed=a.seed),
     "citation": lambda a: citation_dag(a.size, max(1, a.extra),
                                        seed=a.seed),
+    "scale": lambda a: scale_chain_dag(a.size, a.extra, seed=a.seed),
 }
 
 
 def _cmd_index(args) -> int:
     from repro.core.persistence import save_index
     with _metrics_session(args.metrics_out):
-        graph = _load(args.graph)
+        if args.graph and args.edges:
+            print("index: pass a graph file or --edges, not both",
+                  file=sys.stderr)
+            return 2
+        if args.edges:
+            graph = _load_from_edges(args.edges)
+        elif args.graph:
+            graph = _load(args.graph)
+        else:
+            print("index needs a graph file or --edges",
+                  file=sys.stderr)
+            return 2
+        codec_note = f", {args.codec} labels" if args.codec else ""
         if args.engine and not args.engine.startswith("chain-"):
             import repro.engine as registry
             spec = registry.get(args.engine)
@@ -599,17 +673,19 @@ def _cmd_index(args) -> int:
                       file=sys.stderr)
                 return 2
             index = spec.build(graph)
-            save_index(index, Path(args.out))
+            save_index(index, Path(args.out), codec=args.codec)
             print(f"indexed {graph.num_nodes} nodes with "
-                  f"{args.engine} ({index.size_words()} words) "
-                  f"-> {args.out}")
+                  f"{args.engine} ({index.size_words()} words"
+                  f"{codec_note}) -> {args.out}")
             return 0
         method = args.engine[len("chain-"):] if args.engine \
             else args.method
-        index = ChainIndex.build(graph, method=method)
+        index = ChainIndex.build(graph, method=method,
+                                 codec=args.codec or "packed")
         save_index(index, Path(args.out))
     print(f"indexed {graph.num_nodes} nodes into {index.num_chains} "
-          f"chains ({index.size_words()} words) -> {args.out}")
+          f"chains ({index.size_words()} words{codec_note}) "
+          f"-> {args.out}")
     return 0
 
 
@@ -663,7 +739,11 @@ def build_parser() -> argparse.ArgumentParser:
     method_names = _chain_method_choices()
 
     stats = sub.add_parser("stats", help="graph statistics incl. width")
-    stats.add_argument("graph")
+    stats.add_argument("graph", nargs="?", default=None)
+    stats.add_argument("--index", default=None, metavar="FILE",
+                       help="describe a persisted index instead: "
+                            "format version, codec, on-disk vs "
+                            "in-memory size (v2/v3/v4 files)")
     stats.add_argument("--profile", action="store_true",
                        help="print a cProfile breakdown of the "
                             "width/stats computation")
@@ -719,10 +799,20 @@ def build_parser() -> argparse.ArgumentParser:
     query.set_defaults(func=_cmd_query)
 
     index = sub.add_parser("index", help="build and persist an index")
-    index.add_argument("graph")
+    index.add_argument("graph", nargs="?", default=None)
+    index.add_argument("--edges", default=None, metavar="FILE",
+                       help="stream the edge list from FILE instead "
+                            "of the graph positional — one line in "
+                            "memory at a time, for graphs too big to "
+                            "parse eagerly (n/v node declarations "
+                            "are skipped: only edge endpoints exist)")
     index.add_argument("-o", "--out", required=True)
     index.add_argument("--method", default="stratified",
                        choices=method_names)
+    index.add_argument("--codec", default=None, choices=CODECS,
+                       help="label codec to build and persist "
+                            "(default packed; compressed gap-encodes "
+                            "the sorted index sequences, format v4)")
     index.add_argument("--engine", default=None, choices=engine_names,
                        help="persist this engine instead (must be "
                             "persistable; 'composite' writes a "
@@ -865,9 +955,10 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("size", type=int,
                           help="node count (dsg: root count)")
     generate.add_argument("extra", type=int,
-                          help="edges (sparse) / extra edges (dsrg) / "
-                               "levels (dsg) / density%% (dense) / "
-                               "citations per paper (citation)")
+                          help="edges (sparse, scale) / extra edges "
+                               "(dsrg) / levels (dsg) / density%% "
+                               "(dense) / citations per paper "
+                               "(citation)")
     generate.add_argument("--seed", type=int, default=0)
     generate.add_argument("--out", default=None)
     generate.set_defaults(func=_cmd_generate)

@@ -29,7 +29,12 @@ from dataclasses import dataclass
 
 from repro.core.chains import ChainDecomposition
 from repro.core.closure_cover import closure_chain_cover
-from repro.core.labeling import ChainLabeling, build_labeling
+from repro.core.labeling import (
+    ChainLabeling,
+    build_labeling,
+    labeling_from_store,
+)
+from repro.core.labelstore import CODECS, probe_sequence
 from repro.core.stratified import (
     DecompositionStats,
     stratified_chain_cover_with_stats,
@@ -44,8 +49,8 @@ __all__ = ["ChainIndex", "CHAIN_METHODS"]
 #: The chain-cover algorithms :meth:`ChainIndex.build` accepts — the
 #: single definition site.  ``repro.engine`` registers one
 #: ``chain-<method>`` engine per entry and the CLI derives its
-#: ``--method`` choices from that registry, so the three can not drift.
-CHAIN_METHODS = ("stratified", "closure", "jagadish")
+#: ``--method`` choices from that registry, so the four can not drift.
+CHAIN_METHODS = ("stratified", "closure", "jagadish", "concat")
 
 
 @dataclass(frozen=True)
@@ -55,12 +60,15 @@ class _Kernel:
     ``tables`` holds the flat per-label lookup tables when the node
     labels are exactly the dense ints ``0..n-1``; it is ``None`` when
     the labels do not qualify and batches must run through the dict
-    translation fallback instead.  An unbuilt kernel is represented by
-    ``ChainIndex._kernel is None`` — there is no sentinel value with a
-    second meaning.
+    translation fallback instead.  ``codec`` records which table shape
+    ``tables`` carries: the packed 8-tuple ending in the CSR sequence
+    arrays, or the compressed 7-tuple ending in the varint byte blob.
+    An unbuilt kernel is represented by ``ChainIndex._kernel is None``
+    — there is no sentinel value with a second meaning.
     """
 
     tables: tuple | None
+    codec: str = "packed"
 
     @property
     def flat(self) -> bool:
@@ -90,25 +98,37 @@ class ChainIndex:
     # ------------------------------------------------------------------
     @classmethod
     def build(cls, graph: DiGraph, method: str = "stratified",
-              check: bool = False) -> "ChainIndex":
+              check: bool = False, codec: str = "packed"
+              ) -> "ChainIndex":
         """Index ``graph`` (cyclic allowed).
 
         ``method`` selects the chain-cover algorithm: ``"stratified"``
         (the paper's, default), ``"closure"`` (exact reference via
-        matching on the transitive closure), or ``"jagadish"`` (the DD
-        heuristic — more chains, larger labels; exists for comparisons).
-        ``check=True`` validates the decomposition against the graph
-        before labeling (slow; meant for tests).
+        matching on the transitive closure), ``"jagadish"`` (the DD
+        heuristic — more chains, larger labels; exists for
+        comparisons), or ``"concat"`` (the Kritikakis–Tollis greedy
+        concatenation — near-linear build, slightly wider cover; the
+        large-graph choice).  ``check=True`` validates the
+        decomposition against the graph before labeling (slow; meant
+        for tests).  ``codec`` selects the label storage:
+        ``"packed"`` flat CSR arrays (default) or ``"compressed"``
+        delta/varint sequences (~2-3x smaller labels, O(k) decode per
+        probe instead of an O(log k) bisect).
 
         When :data:`repro.obs.OBS` is enabled the build emits the
         phase spans and build counters of ``docs/OBSERVABILITY.md``
         (``condense``, ``stratify``, ``matching/level-*``,
-        ``resolution``, ``labeling``, ``build/chains``, ...).
+        ``resolution``, ``labeling``, ``build/chains``, ...) plus the
+        ``index/size_words`` / ``index/label_bytes`` /
+        ``index/label_entries`` size gauges.
         """
         if method not in CHAIN_METHODS:
             raise ValueError(
                 f"unknown method {method!r}; expected one of "
                 f"{CHAIN_METHODS}")
+        if codec not in CODECS:
+            raise ValueError(
+                f"unknown codec {codec!r}; expected one of {CODECS}")
         with OBS.span("condense"):
             condensation = condense(graph)
         dag = condensation.dag
@@ -117,6 +137,9 @@ class ChainIndex:
             decomposition, stats = stratified_chain_cover_with_stats(dag)
         elif method == "closure":
             decomposition = closure_chain_cover(dag)
+        elif method == "concat":
+            from repro.core.concat import concat_chain_cover
+            decomposition = concat_chain_cover(dag)
         else:
             from repro.baselines.jagadish import jagadish_chain_cover
             decomposition = jagadish_chain_cover(dag)
@@ -124,11 +147,29 @@ class ChainIndex:
             decomposition.check(dag)
         level_of = stats.level_of if stats is not None else None
         labeling = build_labeling(dag, decomposition, level_of=level_of)
+        if codec != "packed":
+            labeling = labeling_from_store(labeling.store.to_codec(codec))
         if OBS.enabled:
             OBS.count("build/chains", decomposition.num_chains)
             OBS.gauge("build/components", condensation.num_components)
             OBS.gauge("index/size_words", labeling.size_words())
+            OBS.gauge("index/label_bytes", labeling.nbytes())
+            OBS.gauge("index/label_entries", labeling.store.num_entries)
         return cls(condensation, decomposition, labeling, method, stats)
+
+    def with_codec(self, codec: str) -> "ChainIndex":
+        """This index under another label codec (self when unchanged).
+
+        Conversion re-encodes only the sequence columns; the
+        condensation, decomposition and scalar columns are shared with
+        the original, so flipping codecs is cheap relative to a build.
+        """
+        labeling = self._labeling
+        if codec in CODECS and codec == labeling.codec:
+            return self
+        converted = labeling_from_store(labeling.store.to_codec(codec))
+        return ChainIndex(self._condensation, self._decomposition,
+                          converted, self._method, self.stats)
 
     # ------------------------------------------------------------------
     # queries
@@ -172,7 +213,11 @@ class ChainIndex:
             pairs = list(pairs)
         kernel = self._kernel
         if kernel is None:
-            kernel = self._kernel = _Kernel(self._build_query_kernel())
+            kernel = self._kernel = _Kernel(
+                self._build_query_kernel(), self._labeling.codec)
+        if kernel.flat and kernel.codec == "compressed":
+            return self._is_reachable_many_compressed(pairs,
+                                                      kernel.tables)
         if not kernel.flat:
             component_of = self._condensation.component_of
             try:
@@ -250,6 +295,51 @@ class ChainIndex:
             OBS.count("query/probes", probes)
         return answers
 
+    def _is_reachable_many_compressed(self, pairs: list,
+                                      tables: tuple) -> list[bool]:
+        """The flat-table batch loop over the compressed codec.
+
+        Same pre-filters and table layout as the packed loop, but the
+        residual probe decodes the source's varint slice of the shared
+        byte blob (:func:`repro.core.labelstore.probe_sequence`) —
+        the blob stays a borrowed read-only view when the labeling is
+        attached to a shared-memory segment, so workers never copy
+        label bytes.
+        """
+        (rank_of, level_of, chain_of, position_of,
+         byte_lo, byte_hi, blob) = tables
+        probe = probe_sequence
+        answers: list[bool] = []
+        append = answers.append
+        reflexive = rejected = 0
+        try:
+            for source, target in pairs:
+                if (source | target) < 0:   # negatives would wrap around
+                    raise IndexError
+                source_rank = rank_of[source]
+                target_rank = rank_of[target]
+                if source_rank == target_rank:  # same component (or SCC)
+                    reflexive += 1
+                    append(True)
+                    continue
+                if (source_rank > target_rank
+                        or level_of[source] <= level_of[target]):
+                    rejected += 1
+                    append(False)
+                    continue
+                append(probe(blob, byte_lo[source], byte_hi[source],
+                             chain_of[target], position_of[target]))
+        except (IndexError, TypeError):
+            self._raise_batch_missing(pairs)
+        if OBS.enabled:
+            OBS.count("query/answered", len(answers))
+            if rejected:
+                OBS.count("query/prefilter_hits", rejected)
+            probes = len(answers) - reflexive - rejected
+            if probes:
+                OBS.count("query/probes", probes)
+        return answers
+
     def prefilter_rejects(self, source, target) -> bool:
         """O(1): would the rank/level pre-filter alone settle this pair?
 
@@ -319,6 +409,12 @@ class ChainIndex:
             position_of[label] = positions[component]
             seq_lo[label] = offsets[component]
             seq_hi[label] = offsets[component + 1]
+        if labeling.codec == "compressed":
+            # seq_lo/seq_hi are byte offsets here; the blob is shared
+            # (a borrowed read-only view when shm-attached) — never
+            # copied into the kernel.
+            return (rank_of, level_of, chain_of, position_of, seq_lo,
+                    seq_hi, labeling.store.seq_blob)
         seq_chains = labeling.seq_chains
         seq_positions = labeling.seq_positions
         if not isinstance(seq_chains, memoryview):
@@ -383,12 +479,17 @@ class ChainIndex:
         yield from members[component]
         chains = decomposition.chains
         own_chain = labeling.chain_of[component]
-        offsets = labeling.seq_offsets
-        seq_chains = labeling.seq_chains
-        seq_positions = labeling.seq_positions
-        for entry in range(offsets[component], offsets[component + 1]):
-            chain_id = seq_chains[entry]
-            for dag_node in chains[chain_id][seq_positions[entry]:]:
+        if labeling.codec == "packed":
+            offsets = labeling.seq_offsets
+            seq_chains = labeling.seq_chains
+            seq_positions = labeling.seq_positions
+            entries = ((seq_chains[entry], seq_positions[entry])
+                       for entry in range(offsets[component],
+                                          offsets[component + 1]))
+        else:
+            entries = labeling.sequence_items(component)
+        for chain_id, position in entries:
+            for dag_node in chains[chain_id][position:]:
                 if chain_id == own_chain and dag_node == component:
                     continue
                 yield from members[dag_node]
@@ -411,6 +512,11 @@ class ChainIndex:
     def method(self) -> str:
         """The chain-cover algorithm this index was built with."""
         return self._method
+
+    @property
+    def codec(self) -> str:
+        """The label storage codec (``packed`` or ``compressed``)."""
+        return self._labeling.codec
 
     @property
     def num_chains(self) -> int:
@@ -438,8 +544,12 @@ class ChainIndex:
         return self._labeling.size_words()
 
     def label_bytes(self) -> int:
-        """Actual bytes held by the packed label arrays."""
+        """Actual bytes held by the label columns (codec-dependent)."""
         return self._labeling.nbytes()
+
+    def label_entries(self) -> int:
+        """Total index-sequence entries across all components."""
+        return self._labeling.store.num_entries
 
     def __repr__(self) -> str:
         return (f"<ChainIndex method={self._method!r} "

@@ -66,12 +66,14 @@ from bisect import bisect_left
 from collections.abc import Iterable, Sequence
 
 from repro.core.chains import ChainDecomposition
+from repro.core.labelstore import LabelStore, probe_sequence
 from repro.graph.digraph import DiGraph
 from repro.graph.topology import topological_order_ids
 from repro.obs import OBS
 
-__all__ = ["ChainLabeling", "build_labeling", "merge_index_sequences",
-           "packed_fields"]
+__all__ = ["ChainLabeling", "CompressedChainLabeling",
+           "build_labeling", "labeling_from_store",
+           "merge_index_sequences", "packed_fields"]
 
 
 def merge_index_sequences(left: list[tuple[int, int]],
@@ -108,44 +110,36 @@ def merge_index_sequences(left: list[tuple[int, int]],
     return merged
 
 
-def _as_buffer(values):
-    """Coerce an int sequence to a native signed-long buffer.
-
-    An ``array('l')`` passes through untouched (the owning case); a
-    signed-long ``memoryview`` passes through too — that is the
-    *borrowed* case the shared-memory serving path relies on: a
-    labeling constructed from views over an attached segment indexes,
-    slices and bisects exactly like one over owned arrays, without
-    copying a byte.  Anything else (lists from JSON, generators) is
-    copied into a fresh ``array('l')``.
-    """
-    if isinstance(values, array) and values.typecode == "l":
-        return values
-    if isinstance(values, memoryview) and values.format == "l":
-        return values
-    return array("l", values)
-
-
 def packed_fields(labeling: "ChainLabeling") -> dict:
     """The seven packed buffers, keyed by their persistence names.
 
-    This is the single shared view of a labeling's storage: the
-    persistence v2 writer serialises exactly these fields, the
-    checksum (:func:`repro.core.persistence.labeling_checksum`) is
-    defined over them in this key order, and the shared-memory
-    publisher maps their raw bytes into a segment.  Values are the
-    live buffers — ``array('l')`` or borrowed ``memoryview`` — never
-    copies.
+    This is the packed-codec view of a labeling's storage (see
+    :meth:`repro.core.labelstore.LabelStore.fields` for the
+    codec-generic form): the persistence writer serialises exactly
+    these fields, the checksum is defined over them in this key order,
+    and the shared-memory publisher maps their raw bytes into a
+    segment.  Values are the live buffers — ``array('l')`` or
+    borrowed ``memoryview`` — never copies.  Raises
+    :class:`ValueError` for a compressed labeling, whose sequences do
+    not exist as flat arrays; use ``labeling.store.fields()`` instead.
     """
-    return {
-        "chain_of": labeling.chain_of,
-        "position_of": labeling.position_of,
-        "rank_of": labeling.rank_of,
-        "level_of": labeling.level_of,
-        "sequence_offsets": labeling.seq_offsets,
-        "sequence_chains": labeling.seq_chains,
-        "sequence_positions": labeling.seq_positions,
-    }
+    if labeling.codec != "packed":
+        raise ValueError(
+            f"packed_fields needs a packed labeling, got codec "
+            f"{labeling.codec!r}; use labeling.store.fields()")
+    return labeling.store.fields()
+
+
+def labeling_from_store(store: LabelStore) -> "ChainLabeling":
+    """Wrap a :class:`LabelStore` in the codec-matching labeling class."""
+    if store.codec == "packed":
+        return ChainLabeling(
+            num_chains=store.num_chains, chain_of=store.chain_of,
+            position_of=store.position_of, rank_of=store.rank_of,
+            level_of=store.level_of, seq_offsets=store.seq_offsets,
+            seq_chains=store.seq_chains,
+            seq_positions=store.seq_positions)
+    return CompressedChainLabeling(store)
 
 
 class ChainLabeling:
@@ -163,19 +157,26 @@ class ChainLabeling:
 
     __slots__ = ("num_chains", "chain_of", "position_of", "rank_of",
                  "level_of", "seq_offsets", "seq_chains",
-                 "seq_positions")
+                 "seq_positions", "store")
+
+    #: storage codec of this labeling's :class:`LabelStore`.
+    codec = "packed"
 
     def __init__(self, num_chains: int, chain_of, position_of,
                  rank_of, level_of, seq_offsets, seq_chains,
                  seq_positions) -> None:
+        store = LabelStore.packed(num_chains, chain_of, position_of,
+                                  rank_of, level_of, seq_offsets,
+                                  seq_chains, seq_positions)
+        self.store = store
         self.num_chains = num_chains
-        self.chain_of = _as_buffer(chain_of)
-        self.position_of = _as_buffer(position_of)
-        self.rank_of = _as_buffer(rank_of)
-        self.level_of = _as_buffer(level_of)
-        self.seq_offsets = _as_buffer(seq_offsets)
-        self.seq_chains = _as_buffer(seq_chains)
-        self.seq_positions = _as_buffer(seq_positions)
+        self.chain_of = store.chain_of
+        self.position_of = store.position_of
+        self.rank_of = store.rank_of
+        self.level_of = store.level_of
+        self.seq_offsets = store.seq_offsets
+        self.seq_chains = store.seq_chains
+        self.seq_positions = store.seq_positions
 
     # ------------------------------------------------------------------
     # queries
@@ -285,30 +286,144 @@ class ChainLabeling:
         return [tuple(positions[offsets[v]:offsets[v + 1]])
                 for v in range(len(self.chain_of))]
 
+    def sequence_items(self, node_id: int) -> list[tuple[int, int]]:
+        """Node's sorted ``(chain, position)`` pairs, decoded if needed."""
+        return self.store.sequence_items(node_id)
+
     def sequence_length(self, node_id: int) -> int:
         """Number of index-sequence entries for a node (<= k)."""
-        return (self.seq_offsets[node_id + 1]
-                - self.seq_offsets[node_id])
+        return self.store.sequence_length(node_id)
+
+    def num_entries(self) -> int:
+        """Total index-sequence entries across all nodes."""
+        return self.store.num_entries
 
     def size_words(self) -> int:
-        """Label size in 16-bit words (the unit of the paper's tables)."""
-        words = 2 * len(self.chain_of)  # one (chain, position) per node
-        words += 2 * len(self.seq_chains)
-        return words
+        """Label size in 16-bit words (the unit of the paper's tables).
+
+        The unit is *logical* — two words per coordinate and two per
+        sequence entry — so the figure is codec-independent and stays
+        comparable across the paper's tables; :meth:`nbytes` reports
+        the codec-dependent physical footprint.
+        """
+        return 2 * len(self.chain_of) + 2 * self.store.num_entries
 
     def nbytes(self) -> int:
-        """Actual bytes held by the packed label arrays."""
-        return sum(buffer.itemsize * len(buffer)
-                   for buffer in (self.chain_of, self.position_of,
-                                  self.rank_of, self.level_of,
-                                  self.seq_offsets, self.seq_chains,
-                                  self.seq_positions))
+        """Actual bytes held by the label columns under this codec."""
+        return self.store.nbytes()
 
     def average_sequence_length(self) -> float:
         """Mean sequence length across nodes."""
         if not len(self.chain_of):
             return 0.0
-        return len(self.seq_chains) / len(self.chain_of)
+        return self.store.num_entries / len(self.chain_of)
+
+
+class CompressedChainLabeling(ChainLabeling):
+    """A labeling over the ``compressed`` codec of the store.
+
+    The four scalar columns are flat buffers exactly as in the packed
+    codec — the rank/level pre-filters, observers and dense-label
+    kernel prep all read them unchanged — but the index sequences live
+    gap/varint-encoded in ``store.seq_blob``; ``seq_offsets`` holds
+    **byte** offsets and ``seq_chains`` / ``seq_positions`` are
+    ``None``.  Queries decode the source node's slice on demand with
+    an early exit once the running chain id passes the target's (see
+    :func:`repro.core.labelstore.probe_sequence`), trading the packed
+    codec's O(log k) bisect for an O(k) scan over far fewer bytes.
+    """
+
+    __slots__ = ()
+
+    codec = "compressed"
+
+    def __init__(self, store: LabelStore) -> None:
+        if store.codec != "compressed":
+            raise ValueError(
+                f"CompressedChainLabeling needs a compressed store, "
+                f"got codec {store.codec!r}")
+        self.store = store
+        self.num_chains = store.num_chains
+        self.chain_of = store.chain_of
+        self.position_of = store.position_of
+        self.rank_of = store.rank_of
+        self.level_of = store.level_of
+        self.seq_offsets = store.seq_offsets
+        self.seq_chains = None
+        self.seq_positions = None
+
+    def is_reachable_ids(self, source: int, target: int) -> bool:
+        enabled = OBS.enabled
+        if enabled:
+            OBS.count("query/answered")
+        rank_of = self.rank_of
+        source_rank = rank_of[source]
+        target_rank = rank_of[target]
+        if source_rank == target_rank:      # ranks are a permutation
+            return True                     # ⇒ source == target
+        if (source_rank > target_rank
+                or self.level_of[source] <= self.level_of[target]):
+            if enabled:
+                OBS.count("query/prefilter_hits")
+            return False
+        if enabled:
+            OBS.count("query/probes")
+        offsets = self.seq_offsets
+        return probe_sequence(self.store.seq_blob, offsets[source],
+                              offsets[source + 1],
+                              self.chain_of[target],
+                              self.position_of[target])
+
+    def is_reachable_many_ids(self,
+                              pairs: Iterable[tuple[int, int]]
+                              ) -> list[bool]:
+        rank_of = self.rank_of
+        level_of = self.level_of
+        chain_of = self.chain_of
+        position_of = self.position_of
+        offsets = self.seq_offsets
+        blob = self.store.seq_blob
+        probe = probe_sequence
+        answers: list[bool] = []
+        append = answers.append
+        reflexive = rejected = 0
+        for source, target in pairs:
+            source_rank = rank_of[source]
+            target_rank = rank_of[target]
+            if source_rank == target_rank:
+                reflexive += 1
+                append(True)
+                continue
+            if (source_rank > target_rank
+                    or level_of[source] <= level_of[target]):
+                rejected += 1
+                append(False)
+                continue
+            append(probe(blob, offsets[source], offsets[source + 1],
+                         chain_of[target], position_of[target]))
+        if OBS.enabled:
+            OBS.count("query/answered", len(answers))
+            if rejected:
+                OBS.count("query/prefilter_hits", rejected)
+            probes = len(answers) - reflexive - rejected
+            if probes:
+                OBS.count("query/probes", probes)
+        return answers
+
+    @property
+    def sequence_chains(self) -> list[tuple[int, ...]]:
+        """Per-node chain-id tuples (decoded from the varint blob)."""
+        store = self.store
+        return [tuple(chain for chain, _ in store.sequence_items(v))
+                for v in range(len(self.chain_of))]
+
+    @property
+    def sequence_positions(self) -> list[tuple[int, ...]]:
+        """Per-node position tuples (decoded from the varint blob)."""
+        store = self.store
+        return [tuple(position
+                      for _, position in store.sequence_items(v))
+                for v in range(len(self.chain_of))]
 
 
 def build_labeling(graph: DiGraph, decomposition: ChainDecomposition,
@@ -321,10 +436,14 @@ def build_labeling(graph: DiGraph, decomposition: ChainDecomposition,
     omitted, equivalent longest-path-to-sink levels are derived during
     the same sweep.
 
-    The merge refcounts consumers: each node's accumulator dictionary
-    is dropped as soon as its last parent has merged it (the pending
-    count starts at the in-degree), so peak memory is proportional to
-    the live frontier rather than all ``n`` dictionaries.
+    The merge refcounts consumers: each node's accumulator is dropped
+    as soon as its last parent has merged it (the pending count starts
+    at the in-degree), so peak memory is proportional to the live
+    frontier rather than all ``n`` accumulators.  When the cover is
+    narrow (``num_chains`` ≤ 64 — every scale-family graph) the
+    accumulator is a flat position list indexed by chain id instead of
+    a dict, turning each merge into a straight element-wise minimum;
+    wide covers (an antichain's is ``n`` chains) keep the sparse dict.
 
     Emits the ``labeling`` span; when observability is on it also
     counts ``labeling/merge_ops`` — one per (chain, position) candidate
@@ -344,28 +463,53 @@ def build_labeling(graph: DiGraph, decomposition: ChainDecomposition,
             rank_of[v] = rank
         compute_levels = level_of is None
         levels = [1] * n if compute_levels else level_of
-        pending = [len(graph.predecessor_ids(v)) for v in range(n)]
-        reach: list[dict[int, int] | None] = [None] * n
+        predecessor_ids = graph.predecessor_ids
+        successor_ids = graph.successor_ids
+        pending = [len(predecessor_ids(v)) for v in range(n)]
         sequences: list[list[tuple[int, int]] | None] = [None] * n
+        num_chains = decomposition.num_chains
+        if 0 < num_chains <= _FLAT_REACH_CHAINS:
+            merge_ops = _flat_sweep(
+                order, successor_ids, chain_of, position_of, pending,
+                sequences, num_chains, n, levels, compute_levels,
+                enabled)
+            if enabled:
+                OBS.count("labeling/merge_ops", merge_ops)
+            return _pack_labeling(decomposition, chain_of, position_of,
+                                  rank_of, levels, sequences, n)
+        reach: list[dict[int, int] | None] = [None] * n
         for v in reversed(order):
             accumulator: dict[int, int] = {}
             deepest_child_level = 0
-            for child in graph.successor_ids(v):
+            for child in successor_ids(v):
                 child_reach = reach[child]
-                if enabled:
-                    merge_ops += 1 + len(child_reach)
                 child_chain = chain_of[child]
                 child_position = position_of[child]
-                best = accumulator.get(child_chain)
-                if best is None or child_position < best:
-                    accumulator[child_chain] = child_position
-                for chain, position in child_reach.items():
-                    best = accumulator.get(chain)
-                    if best is None or position < best:
-                        accumulator[chain] = position
                 pending[child] -= 1
-                if not pending[child]:
+                consumed = not pending[child]
+                if consumed:
                     reach[child] = None     # last parent consumed it
+                if consumed and not accumulator:
+                    # Steal the child's dictionary outright instead of
+                    # merging entry by entry — on path-like graphs
+                    # (one parent, one child) this turns the whole
+                    # merge into an O(1) handoff.
+                    if enabled:
+                        merge_ops += 1
+                    accumulator = child_reach
+                    best = accumulator.get(child_chain)
+                    if best is None or child_position < best:
+                        accumulator[child_chain] = child_position
+                else:
+                    if enabled:
+                        merge_ops += 1 + len(child_reach)
+                    best = accumulator.get(child_chain)
+                    if best is None or child_position < best:
+                        accumulator[child_chain] = child_position
+                    for chain, position in child_reach.items():
+                        best = accumulator.get(chain)
+                        if best is None or position < best:
+                            accumulator[chain] = position
                 if compute_levels and levels[child] > deepest_child_level:
                     deepest_child_level = levels[child]
             if compute_levels:
@@ -378,26 +522,101 @@ def build_labeling(graph: DiGraph, decomposition: ChainDecomposition,
                 reach[v] = accumulator
             # sources (pending == 0) are never consumed: not retained.
 
-        seq_offsets = array("l", [0] * (n + 1))
-        seq_chains = array("l")
-        seq_positions = array("l")
-        filled = 0
-        for v in range(n):
-            items = sequences[v]
-            if items:
-                seq_chains.extend(chain for chain, _ in items)
-                seq_positions.extend(position for _, position in items)
-                filled += len(items)
-            seq_offsets[v + 1] = filled
         if enabled:
             OBS.count("labeling/merge_ops", merge_ops)
-        return ChainLabeling(
-            num_chains=decomposition.num_chains,
-            chain_of=chain_of,
-            position_of=position_of,
-            rank_of=rank_of,
-            level_of=levels,
-            seq_offsets=seq_offsets,
-            seq_chains=seq_chains,
-            seq_positions=seq_positions,
-        )
+        return _pack_labeling(decomposition, chain_of, position_of,
+                              rank_of, levels, sequences, n)
+
+
+#: Covers at most this wide use the flat (list-per-node) merge path in
+#: :func:`build_labeling`; wider ones fall back to sparse dicts so an
+#: antichain (one chain per node) cannot trigger O(n²) accumulators.
+_FLAT_REACH_CHAINS = 64
+
+
+def _flat_sweep(order, successor_ids, chain_of, position_of, pending,
+                sequences, num_chains, n, levels, compute_levels,
+                enabled) -> int:
+    """Reverse-topo merge sweep with flat position-list accumulators.
+
+    ``accumulator[chain]`` holds the minimum reachable position on
+    ``chain`` (``n`` = unreachable sentinel; real positions are < n),
+    so a merge is a straight element-wise minimum over ``num_chains``
+    slots — no hashing.  Fills ``sequences`` in place and returns the
+    merge-op count (0 when ``enabled`` is false).
+    """
+    unreachable = n
+    merge_ops = 0
+    reach: list[list[int] | None] = [None] * n
+    for v in reversed(order):
+        accumulator: list[int] | None = None
+        deepest_child_level = 0
+        for child in successor_ids(v):
+            child_reach = reach[child]
+            pending[child] -= 1
+            consumed = not pending[child]
+            if consumed:
+                reach[child] = None     # last parent consumed it
+            if accumulator is None:
+                if consumed:
+                    # Steal the child's list outright; O(1) handoff.
+                    if enabled:
+                        merge_ops += 1
+                    accumulator = child_reach
+                else:
+                    if enabled:
+                        merge_ops += 1 + num_chains
+                    accumulator = child_reach[:]
+            else:
+                if enabled:
+                    merge_ops += 1 + num_chains
+                for chain in range(num_chains):
+                    position = child_reach[chain]
+                    if position < accumulator[chain]:
+                        accumulator[chain] = position
+            child_position = position_of[child]
+            if child_position < accumulator[chain_of[child]]:
+                accumulator[chain_of[child]] = child_position
+            if compute_levels and levels[child] > deepest_child_level:
+                deepest_child_level = levels[child]
+        if compute_levels:
+            levels[v] = deepest_child_level + 1
+        if accumulator is not None:
+            items = [(chain, accumulator[chain])
+                     for chain in range(num_chains)
+                     if accumulator[chain] != unreachable]
+            if items:
+                sequences[v] = items
+            if pending[v]:
+                reach[v] = accumulator
+        elif pending[v]:
+            reach[v] = [unreachable] * num_chains
+        # sources (pending == 0) are never consumed: not retained.
+    return merge_ops
+
+
+def _pack_labeling(decomposition, chain_of, position_of, rank_of,
+                   levels, sequences, n) -> ChainLabeling:
+    """Pack per-node ``(chain, position)`` rows into the CSR columns."""
+    seq_offsets = array("l", [0] * (n + 1))
+    seq_chains = array("l")
+    seq_positions = array("l")
+    filled = 0
+    for v in range(n):
+        items = sequences[v]
+        if items:
+            chains_row, positions_row = zip(*items)
+            seq_chains.extend(chains_row)
+            seq_positions.extend(positions_row)
+            filled += len(items)
+        seq_offsets[v + 1] = filled
+    return ChainLabeling(
+        num_chains=decomposition.num_chains,
+        chain_of=chain_of,
+        position_of=position_of,
+        rank_of=rank_of,
+        level_of=levels,
+        seq_offsets=seq_offsets,
+        seq_chains=seq_chains,
+        seq_positions=seq_positions,
+    )

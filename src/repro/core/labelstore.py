@@ -1,0 +1,407 @@
+"""Columnar label storage: one layer under labeling, persistence and shm.
+
+A built chain labeling is seven logical columns — four per-node scalars
+(``chain_of`` / ``position_of`` / ``rank_of`` / ``level_of``) plus the
+per-node *index sequences* of sorted ``(chain, position)`` pairs.  The
+:class:`LabelStore` owns those columns in one of two on-the-wire
+codecs, selected by the ``codec`` flag:
+
+``packed``
+    The flat CSR triple introduced by persistence v2: entry offsets
+    ``seq_offsets`` (length ``n + 1``) delimiting slices of the
+    concatenated ``seq_chains`` / ``seq_positions`` arrays.
+
+``compressed``
+    Delta/varint bit-packing.  Every sequence is sorted by chain id,
+    so chains are stored as *gaps* (first chain verbatim, then strictly
+    positive deltas) and each gap/position pair is LEB128
+    varint-encoded into one shared byte blob ``seq_blob``;
+    ``seq_offsets`` then holds **byte** offsets (length ``n + 1``)
+    delimiting node ``v``'s slice of the blob.  The four per-node
+    scalar columns stay flat native-int buffers in both codecs, so the
+    O(1) rank/level pre-filters and the observer stack never pay a
+    decode.
+
+Both codecs expose the same memoryview-sliceable surface: every column
+is an ``array('l')`` (owning) or a signed-long ``memoryview``
+(borrowed, e.g. over an attached shared-memory segment), and the blob
+is ``bytes`` or a read-only byte ``memoryview``.  The store is the
+single definition site for the integrity checksums — persistence
+format v4 and the shm segment header both record
+:meth:`LabelStore.checksum`, so a file load and a segment attach
+validate identically, including CRC coverage over the compressed
+bytes themselves.
+"""
+
+from __future__ import annotations
+
+import zlib
+from array import array
+
+__all__ = ["LabelStore", "CODECS", "compress_sequences",
+           "decode_sequence", "probe_sequence", "packed_checksum",
+           "compressed_checksum", "PACKED_FIELD_NAMES",
+           "COMPRESSED_FIELD_NAMES"]
+
+CODECS = ("packed", "compressed")
+
+#: field order is part of the checksum definition — never reorder.
+PACKED_FIELD_NAMES = ("chain_of", "position_of", "rank_of", "level_of",
+                      "sequence_offsets", "sequence_chains",
+                      "sequence_positions")
+COMPRESSED_FIELD_NAMES = ("chain_of", "position_of", "rank_of",
+                          "level_of", "sequence_byte_offsets",
+                          "sequence_blob")
+
+
+def _as_buffer(values):
+    """Coerce an int sequence to a native signed-long buffer.
+
+    An ``array('l')`` passes through untouched (the owning case); a
+    signed-long ``memoryview`` passes through too — that is the
+    *borrowed* case the shared-memory serving path relies on: a store
+    built from views over an attached segment indexes, slices and
+    bisects exactly like one over owned arrays, without copying a
+    byte.  Anything else (lists from JSON, generators) is copied into
+    a fresh ``array('l')``.
+    """
+    if isinstance(values, array) and values.typecode == "l":
+        return values
+    if isinstance(values, memoryview) and values.format == "l":
+        return values
+    return array("l", values)
+
+
+def _as_blob(data):
+    """Coerce sequence bytes to ``bytes`` or pass a memoryview through."""
+    if isinstance(data, memoryview):
+        return data
+    return bytes(data)
+
+
+# ----------------------------------------------------------------------
+# varint gap codec
+# ----------------------------------------------------------------------
+def _append_uvarint(out: bytearray, value: int) -> None:
+    """LEB128: seven payload bits per byte, high bit = continuation."""
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def compress_sequences(seq_offsets, seq_chains, seq_positions):
+    """Gap/varint-encode packed CSR sequences into one byte blob.
+
+    Returns ``(byte_offsets, blob)`` where ``byte_offsets`` is an
+    ``array('l')`` of length ``n + 1`` delimiting each node's slice of
+    ``blob``.  Within a node's slice the stream is interleaved
+    ``(chain_gap, position)`` varint pairs; the first gap is the chain
+    id itself, later gaps are the strictly positive deltas of the
+    sorted chain ids.
+    """
+    n = len(seq_offsets) - 1
+    byte_offsets = array("l", [0]) * (n + 1)
+    blob = bytearray()
+    append = blob.append
+    for v in range(n):
+        previous = 0
+        for i in range(seq_offsets[v], seq_offsets[v + 1]):
+            gap = seq_chains[i] - previous
+            previous = seq_chains[i]
+            while gap >= 0x80:
+                append((gap & 0x7F) | 0x80)
+                gap >>= 7
+            append(gap)
+            position = seq_positions[i]
+            while position >= 0x80:
+                append((position & 0x7F) | 0x80)
+                position >>= 7
+            append(position)
+        byte_offsets[v + 1] = len(blob)
+    return byte_offsets, bytes(blob)
+
+
+def decode_sequence(blob, lo: int, hi: int) -> list[tuple[int, int]]:
+    """Decode one node's ``blob[lo:hi]`` slice to (chain, position) pairs.
+
+    Raises :class:`ValueError` when the slice is not a whole number of
+    well-formed varint pairs (a truncated or bit-flipped stream).
+    """
+    items: list[tuple[int, int]] = []
+    chain = 0
+    i = lo
+    while i < hi:
+        gap = 0
+        shift = 0
+        while True:
+            if i >= hi:
+                raise ValueError("truncated varint in sequence blob")
+            byte = blob[i]
+            i += 1
+            gap |= (byte & 0x7F) << shift
+            if byte < 0x80:
+                break
+            shift += 7
+        position = 0
+        shift = 0
+        while True:
+            if i >= hi:
+                raise ValueError("truncated varint in sequence blob")
+            byte = blob[i]
+            i += 1
+            position |= (byte & 0x7F) << shift
+            if byte < 0x80:
+                break
+            shift += 7
+        chain += gap
+        items.append((chain, position))
+    return items
+
+
+def probe_sequence(blob, lo: int, hi: int, target_chain: int,
+                   target_position: int) -> bool:
+    """The paper's index-sequence test, decoded on demand.
+
+    Scans node's varint stream accumulating the chain gaps and exits
+    as soon as the running chain id reaches ``target_chain`` — chains
+    are sorted, so overshooting proves absence without decoding the
+    tail.  Equivalent to the packed codec's binary search.
+    """
+    chain = 0
+    i = lo
+    while i < hi:
+        gap = 0
+        shift = 0
+        while True:
+            byte = blob[i]
+            i += 1
+            gap |= (byte & 0x7F) << shift
+            if byte < 0x80:
+                break
+            shift += 7
+        position = 0
+        shift = 0
+        while True:
+            byte = blob[i]
+            i += 1
+            position |= (byte & 0x7F) << shift
+            if byte < 0x80:
+                break
+            shift += 7
+        chain += gap
+        if chain >= target_chain:
+            return chain == target_chain and position <= target_position
+    return False
+
+
+# ----------------------------------------------------------------------
+# checksums — shared by persistence (file load) and shm (segment attach)
+# ----------------------------------------------------------------------
+def packed_checksum(fields: dict) -> int:
+    """CRC32 of the packed label arrays (persistence v2's checksum).
+
+    Computed over the decimal rendering of each array (not its raw
+    bytes) so the value is independent of the platform's ``array('l')``
+    item width; each field is prefixed by its name to keep array
+    boundaries unambiguous.
+    """
+    crc = 0
+    for name in PACKED_FIELD_NAMES:
+        crc = zlib.crc32(name.encode("ascii"), crc)
+        crc = zlib.crc32(
+            (":" + ",".join(map(str, fields[name]))).encode("ascii"), crc)
+    return crc
+
+
+def compressed_checksum(fields: dict) -> int:
+    """CRC32 of the compressed columns, covering the raw blob bytes.
+
+    The scalar columns and the byte-offset column hash through their
+    decimal rendering exactly like :func:`packed_checksum`; the
+    sequence blob hashes as its raw bytes (the varint stream is
+    platform-independent by construction), so a single bit flip in the
+    compressed stream fails validation on both file load and shm
+    attach.
+    """
+    crc = 0
+    for name in COMPRESSED_FIELD_NAMES[:-1]:
+        crc = zlib.crc32(name.encode("ascii"), crc)
+        crc = zlib.crc32(
+            (":" + ",".join(map(str, fields[name]))).encode("ascii"), crc)
+    crc = zlib.crc32(b"sequence_blob:", crc)
+    crc = zlib.crc32(bytes(fields["sequence_blob"]), crc)
+    return crc
+
+
+class LabelStore:
+    """The columnar label columns under one codec flag.
+
+    ``seq_offsets`` is entry offsets under ``packed`` and byte offsets
+    under ``compressed``; ``seq_chains`` / ``seq_positions`` exist only
+    under ``packed`` and ``seq_blob`` only under ``compressed``.  All
+    buffers may be owned arrays or borrowed memoryviews — the store
+    never copies what it is given.
+    """
+
+    __slots__ = ("codec", "num_chains", "chain_of", "position_of",
+                 "rank_of", "level_of", "seq_offsets", "seq_chains",
+                 "seq_positions", "seq_blob", "num_entries")
+
+    def __init__(self, codec: str, num_chains: int, chain_of,
+                 position_of, rank_of, level_of, seq_offsets,
+                 seq_chains=None, seq_positions=None, seq_blob=None,
+                 num_entries: int | None = None) -> None:
+        if codec not in CODECS:
+            raise ValueError(f"unknown label codec {codec!r}; "
+                             f"expected one of {CODECS}")
+        self.codec = codec
+        self.num_chains = num_chains
+        self.chain_of = _as_buffer(chain_of)
+        self.position_of = _as_buffer(position_of)
+        self.rank_of = _as_buffer(rank_of)
+        self.level_of = _as_buffer(level_of)
+        self.seq_offsets = _as_buffer(seq_offsets)
+        if codec == "packed":
+            self.seq_chains = _as_buffer(seq_chains)
+            self.seq_positions = _as_buffer(seq_positions)
+            self.seq_blob = None
+            self.num_entries = len(self.seq_chains)
+        else:
+            self.seq_chains = None
+            self.seq_positions = None
+            self.seq_blob = _as_blob(seq_blob)
+            if num_entries is None:
+                raise ValueError(
+                    "compressed stores must carry num_entries")
+            self.num_entries = num_entries
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def packed(cls, num_chains: int, chain_of, position_of, rank_of,
+               level_of, seq_offsets, seq_chains, seq_positions
+               ) -> "LabelStore":
+        return cls("packed", num_chains, chain_of, position_of,
+                   rank_of, level_of, seq_offsets, seq_chains,
+                   seq_positions)
+
+    @classmethod
+    def compressed(cls, num_chains: int, chain_of, position_of,
+                   rank_of, level_of, seq_byte_offsets, seq_blob,
+                   num_entries: int) -> "LabelStore":
+        return cls("compressed", num_chains, chain_of, position_of,
+                   rank_of, level_of, seq_byte_offsets,
+                   seq_blob=seq_blob, num_entries=num_entries)
+
+    # ------------------------------------------------------------------
+    # codec conversion
+    # ------------------------------------------------------------------
+    def to_codec(self, codec: str) -> "LabelStore":
+        if codec not in CODECS:
+            raise ValueError(f"unknown label codec {codec!r}; "
+                             f"expected one of {CODECS}")
+        if codec == self.codec:
+            return self
+        return (self.to_compressed() if codec == "compressed"
+                else self.to_packed())
+
+    def to_compressed(self) -> "LabelStore":
+        if self.codec == "compressed":
+            return self
+        byte_offsets, blob = compress_sequences(
+            self.seq_offsets, self.seq_chains, self.seq_positions)
+        return LabelStore.compressed(
+            self.num_chains, self.chain_of, self.position_of,
+            self.rank_of, self.level_of, byte_offsets, blob,
+            num_entries=len(self.seq_chains))
+
+    def to_packed(self) -> "LabelStore":
+        if self.codec == "packed":
+            return self
+        n = self.num_nodes
+        offsets = array("l", [0]) * (n + 1)
+        chains = array("l")
+        positions = array("l")
+        blob = self.seq_blob
+        byte_offsets = self.seq_offsets
+        for v in range(n):
+            for chain, position in decode_sequence(
+                    blob, byte_offsets[v], byte_offsets[v + 1]):
+                chains.append(chain)
+                positions.append(position)
+            offsets[v + 1] = len(chains)
+        return LabelStore.packed(
+            self.num_chains, self.chain_of, self.position_of,
+            self.rank_of, self.level_of, offsets, chains, positions)
+
+    # ------------------------------------------------------------------
+    # shared views and accounting
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.chain_of)
+
+    def fields(self) -> dict:
+        """The live column buffers, keyed by their persistence names.
+
+        This is the single shared view of the store: the persistence
+        writer serialises exactly these fields, :meth:`checksum` is
+        defined over them in this key order, and the shared-memory
+        publisher maps their raw bytes into a segment.  Values are the
+        live buffers — never copies.
+        """
+        if self.codec == "packed":
+            return {
+                "chain_of": self.chain_of,
+                "position_of": self.position_of,
+                "rank_of": self.rank_of,
+                "level_of": self.level_of,
+                "sequence_offsets": self.seq_offsets,
+                "sequence_chains": self.seq_chains,
+                "sequence_positions": self.seq_positions,
+            }
+        return {
+            "chain_of": self.chain_of,
+            "position_of": self.position_of,
+            "rank_of": self.rank_of,
+            "level_of": self.level_of,
+            "sequence_byte_offsets": self.seq_offsets,
+            "sequence_blob": self.seq_blob,
+        }
+
+    def checksum(self) -> int:
+        """The codec-appropriate CRC32 over :meth:`fields`."""
+        if self.codec == "packed":
+            return packed_checksum(self.fields())
+        return compressed_checksum(self.fields())
+
+    def sequence_items(self, node_id: int) -> list[tuple[int, int]]:
+        """Node's sorted ``(chain, position)`` pairs, decoded if needed."""
+        lo = self.seq_offsets[node_id]
+        hi = self.seq_offsets[node_id + 1]
+        if self.codec == "packed":
+            return list(zip(self.seq_chains[lo:hi],
+                            self.seq_positions[lo:hi]))
+        return decode_sequence(self.seq_blob, lo, hi)
+
+    def sequence_length(self, node_id: int) -> int:
+        if self.codec == "packed":
+            return (self.seq_offsets[node_id + 1]
+                    - self.seq_offsets[node_id])
+        return len(self.sequence_items(node_id))
+
+    def nbytes(self) -> int:
+        """Actual bytes held by the label columns under this codec."""
+        total = sum(buffer.itemsize * len(buffer)
+                    for buffer in (self.chain_of, self.position_of,
+                                   self.rank_of, self.level_of,
+                                   self.seq_offsets))
+        if self.codec == "packed":
+            total += self.seq_chains.itemsize * len(self.seq_chains)
+            total += (self.seq_positions.itemsize
+                      * len(self.seq_positions))
+        else:
+            total += len(self.seq_blob)
+        return total

@@ -9,23 +9,34 @@ document with a version header:
   JSON-representable: str, int, float, bool — the usual database key
   types);
 * ``chains`` — the decomposition over component ids;
-* ``labeling`` — the packed label arrays, serialized exactly as the
-  in-memory CSR layout of :class:`repro.core.labeling.ChainLabeling`:
-  flat ``chain_of`` / ``position_of`` / ``rank_of`` / ``level_of``
-  integer lists plus the ``sequence_offsets`` / ``sequence_chains`` /
-  ``sequence_positions`` triple (node ``v``'s sequence is the slice
-  ``[sequence_offsets[v], sequence_offsets[v+1])``).
+* ``labeling`` — the label columns of the index's
+  :class:`~repro.core.labelstore.LabelStore`, under the codec named by
+  the document's ``codec`` field.
 
 Format version 2 introduced the packed layout (version 1 stored
-per-node nested lists).  JSON keeps the format transparent and
-diff-able; the arrays are flat integer lists, so even large indexes
-stay compact after whatever transport compression the deployment
-applies, and loading is a straight ``array('l')`` fill per field.
+per-node nested lists): flat ``chain_of`` / ``position_of`` /
+``rank_of`` / ``level_of`` integer lists plus the
+``sequence_offsets`` / ``sequence_chains`` / ``sequence_positions``
+CSR triple (node ``v``'s sequence is the slice
+``[sequence_offsets[v], sequence_offsets[v+1])``).
 
-Every file written since the checksum was introduced also carries
-``labeling_crc32`` — a CRC32 over the packed label arrays in a
-platform-independent byte form.  :func:`load_index` recomputes and
-compares it, raising :class:`IndexFormatError` on mismatch, so a
+Format version 4 adds the ``codec`` field and the ``compressed``
+payload: the four scalar columns stay flat integer lists, while the
+sequences ship as one base64 ``sequence_blob`` of delta/varint pairs
+delimited by ``sequence_byte_offsets`` (see
+:mod:`repro.core.labelstore` for the bit layout) plus an ``entries``
+count.  A version-4 document with ``codec: "packed"`` carries exactly
+the version-2 labeling fields.  Version-2 files keep loading
+unchanged.
+
+Every file carries ``labeling_crc32`` — a CRC32 over the label
+columns in a platform-independent byte form
+(:func:`~repro.core.labelstore.packed_checksum` /
+:func:`~repro.core.labelstore.compressed_checksum`; for the
+compressed codec the CRC covers the raw varint bytes, and the
+shared-memory publisher records the *same* value, so a file load and
+an shm attach validate identically).  :func:`load_index` recomputes
+and compares it, raising :class:`IndexFormatError` on mismatch, so a
 truncated or bit-flipped index cannot be silently served; files
 written before the field existed (no ``labeling_crc32`` key) still
 load.
@@ -33,89 +44,105 @@ load.
 Format version 3 (additive — version-2 files keep loading unchanged)
 persists a :class:`~repro.engine.composite.CompositeEngine`: a manifest
 carrying the sub-engine name and a ``partitions`` list in which every
-entry is a complete version-2 document for one weak component's chain
-index.  Each partition therefore carries — and is verified against —
-its own ``labeling_crc32``, so corruption in any single component fails
-the whole load.  :func:`save_index` accepts a :class:`ChainIndex`, a
-``ChainEngine`` wrapper, or a chain-backed composite, and
-:func:`load_index` returns whichever of :class:`ChainIndex` /
-``CompositeEngine`` the file holds.
+entry is a complete single-index document for one weak component's
+chain index (version 2 or 4 — old manifests embed version-2 payloads
+and keep loading).  Each partition therefore carries — and is verified
+against — its own ``labeling_crc32``, so corruption in any single
+component fails the whole load.  :func:`save_index` accepts a
+:class:`ChainIndex`, a ``ChainEngine`` wrapper, or a chain-backed
+composite, and :func:`load_index` returns whichever of
+:class:`ChainIndex` / ``CompositeEngine`` the file holds.
 """
 
 from __future__ import annotations
 
+import base64
+import binascii
 import json
-import zlib
 from array import array
 from pathlib import Path
 from typing import TextIO
 
 from repro.core.chains import ChainDecomposition
 from repro.core.index import ChainIndex
-from repro.core.labeling import ChainLabeling, packed_fields
+from repro.core.labeling import ChainLabeling, labeling_from_store
+from repro.core.labelstore import (
+    CODECS,
+    LabelStore,
+    compressed_checksum,
+    packed_checksum,
+)
 from repro.graph.digraph import DiGraph
 from repro.graph.errors import GraphFormatError, IndexFormatError
 from repro.graph.scc import Condensation
 from repro.obs import OBS
 
-__all__ = ["save_index", "load_index", "labeling_checksum",
-           "FORMAT_VERSION", "COMPOSITE_FORMAT_VERSION"]
+__all__ = ["save_index", "load_index", "describe_index_file",
+           "labeling_checksum", "FORMAT_VERSION",
+           "LEGACY_FORMAT_VERSION", "COMPOSITE_FORMAT_VERSION"]
 
-FORMAT_VERSION = 2
+FORMAT_VERSION = 4
+LEGACY_FORMAT_VERSION = 2
 COMPOSITE_FORMAT_VERSION = 3
 _JSON_SAFE = (str, int, float, bool)
 
-#: field order is part of the checksum definition — never reorder.
-_CHECKSUM_FIELDS = ("chain_of", "position_of", "rank_of", "level_of",
-                    "sequence_offsets", "sequence_chains",
-                    "sequence_positions")
+#: the version-2 labeling payload fields (also version 4, codec packed)
+_PACKED_KEYS = ("chain_of", "position_of", "rank_of", "level_of",
+                "sequence_offsets", "sequence_chains",
+                "sequence_positions")
+#: the version-4 compressed labeling payload fields
+_COMPRESSED_KEYS = ("chain_of", "position_of", "rank_of", "level_of",
+                    "sequence_byte_offsets", "sequence_blob", "entries")
 
 
 def labeling_checksum(fields: dict) -> int:
-    """CRC32 of the packed label arrays of a format-v2 document.
+    """CRC32 of the packed label arrays (the v2 checksum definition).
 
-    Computed over the decimal rendering of each array (not its raw
-    bytes) so the value is independent of the platform's ``array('l')``
-    item width; each field is prefixed by its name to keep array
-    boundaries unambiguous.
+    Kept as the public name; the implementation lives in
+    :func:`repro.core.labelstore.packed_checksum`, which the
+    shared-memory publisher uses too.
     """
-    crc = 0
-    for name in _CHECKSUM_FIELDS:
-        crc = zlib.crc32(name.encode("ascii"), crc)
-        crc = zlib.crc32(
-            (":" + ",".join(map(str, fields[name]))).encode("ascii"), crc)
-    return crc
+    return packed_checksum(fields)
 
 
-def save_index(index, target: str | Path | TextIO) -> None:
+def save_index(index, target: str | Path | TextIO, *,
+               codec: str | None = None) -> None:
     """Serialise an index (or chain-backed engine) as JSON.
 
-    Accepts a :class:`ChainIndex` (written as a version-2 document), a
-    ``ChainEngine`` adapter (its wrapped index is written), or a
-    ``CompositeEngine`` whose partitions are chain-backed (written as a
-    version-3 manifest of per-component version-2 payloads).  Raises
-    :class:`GraphFormatError` when a node label is not a JSON scalar
-    (tuples and arbitrary objects do not round-trip) or when the engine
-    is not persistable.  Emits the ``persist/save`` span.
+    Accepts a :class:`ChainIndex` (written as a single-index
+    document), a ``ChainEngine`` adapter (its wrapped index is
+    written), or a ``CompositeEngine`` whose partitions are
+    chain-backed (written as a version-3 manifest of per-component
+    payloads).  ``codec`` forces the label codec on disk (``packed``
+    or ``compressed``); by default each index keeps its in-memory
+    codec.  Single-index documents are written as format version 4
+    with an explicit ``codec`` field (version-2 files written by
+    earlier releases keep loading).  Raises :class:`GraphFormatError` when a
+    node label is not a JSON scalar (tuples and arbitrary objects do
+    not round-trip) or when the engine is not persistable.  Emits the
+    ``persist/save`` span.
     """
+    if codec is not None and codec not in CODECS:
+        raise GraphFormatError(
+            f"unknown label codec {codec!r}; expected one of {CODECS}")
     with OBS.span("persist/save"):
-        _write(_to_document(index), target)
+        _write(_to_document(index, codec), target)
 
 
-def _to_document(index) -> dict:
+def _to_document(index, codec: str | None = None) -> dict:
     if isinstance(index, ChainIndex):
-        return _document(index)
+        return _document(index, codec)
     if hasattr(index, "engines") and hasattr(index, "sub_engine"):
-        return _composite_document(index)
+        return _composite_document(index, codec)
     inner = getattr(index, "index", None)
     if isinstance(inner, ChainIndex):
-        return _document(inner)
+        return _document(inner, codec)
     raise GraphFormatError(
         f"cannot persist {type(index).__name__}: only ChainIndex, "
         f"chain engines and chain-backed composites serialise")
 
 
-def _composite_document(engine) -> dict:
+def _composite_document(engine, codec: str | None = None) -> dict:
     partitions = []
     for sub in engine.engines:
         inner = sub if isinstance(sub, ChainIndex) \
@@ -124,7 +151,7 @@ def _composite_document(engine) -> dict:
             raise GraphFormatError(
                 f"composite partition {type(sub).__name__} is not "
                 f"chain-backed; only chain sub-engines persist")
-        partitions.append(_document(inner))
+        partitions.append(_document(inner, codec))
     return {
         "format": "repro-chain-index",
         "version": COMPOSITE_FORMAT_VERSION,
@@ -142,7 +169,7 @@ def _write(document: dict, target: str | Path | TextIO) -> None:
         json.dump(document, target, separators=(",", ":"))
 
 
-def _document(index: ChainIndex) -> dict:
+def _document(index: ChainIndex, codec: str | None = None) -> dict:
     condensation = index._condensation
     for members in condensation.members:
         for node in members:
@@ -150,36 +177,48 @@ def _document(index: ChainIndex) -> dict:
                 raise GraphFormatError(
                     f"node label {node!r} is not JSON-serialisable; "
                     f"persistence supports str/int/float/bool labels")
-    labeling = index._labeling
-    # packed_fields is the single shared view of the labeling's
-    # storage: the same seven buffers (owned arrays or borrowed
+    # store.fields() is the single shared view of the labeling's
+    # storage: the same buffers (owned arrays or borrowed
     # shared-memory views) feed this JSON dump, the checksum and the
     # repro.service.shm segment writer.
-    packed = {"num_chains": labeling.num_chains}
-    packed.update((name, buffer.tolist())
-                  for name, buffer in packed_fields(labeling).items())
+    store = index._labeling.store.to_codec(codec or index.codec)
+    if store.codec == "packed":
+        packed = {"num_chains": store.num_chains}
+        packed.update((name, buffer.tolist())
+                      for name, buffer in store.fields().items())
+    else:
+        fields = store.fields()
+        packed = {"num_chains": store.num_chains,
+                  "entries": store.num_entries}
+        packed.update(
+            (name, buffer.tolist()) for name, buffer in fields.items()
+            if name != "sequence_blob")
+        packed["sequence_blob"] = base64.b64encode(
+            bytes(fields["sequence_blob"])).decode("ascii")
     return {
         "format": "repro-chain-index",
         "version": FORMAT_VERSION,
+        "codec": store.codec,
         "method": index.method,
         "members": condensation.members,
         "dag_edges": [list(edge) for edge in condensation.dag.edges()],
         "chains": index._decomposition.chains,
         "labeling": packed,
-        "labeling_crc32": labeling_checksum(packed),
+        "labeling_crc32": store.checksum(),
     }
 
 
 def load_index(source: str | Path | TextIO):
     """Load an index written by :func:`save_index`.
 
-    Returns a :class:`ChainIndex` for a version-2 file and a
-    ``CompositeEngine`` for a version-3 composite manifest.  Raises
-    :class:`GraphFormatError` on malformed or wrong-version input and
-    :class:`IndexFormatError` on a checksum mismatch (any partition, for
-    composites).  The loaded index is fully equivalent: queries,
-    descendant and ancestor enumeration all behave as on the originally
-    built one.  Emits the ``persist/load`` span.
+    Returns a :class:`ChainIndex` for a single-index file (version 2
+    or 4, either codec) and a ``CompositeEngine`` for a version-3
+    composite manifest.  Raises :class:`GraphFormatError` on malformed
+    or wrong-version input and :class:`IndexFormatError` on a checksum
+    mismatch (any partition, for composites).  The loaded index is
+    fully equivalent: queries, descendant and ancestor enumeration all
+    behave as on the originally built one.  Emits the ``persist/load``
+    span.
     """
     with OBS.span("persist/load"):
         return _load_index(source)
@@ -236,6 +275,88 @@ def _load_composite(document: dict):
     return CompositeEngine(component_of, members, engines, sub_engine)
 
 
+def _document_codec(document: dict) -> str:
+    """The label codec a single-index document declares (or implies)."""
+    if document.get("version") == LEGACY_FORMAT_VERSION:
+        return "packed"
+    codec = document.get("codec")
+    if codec not in CODECS:
+        raise GraphFormatError(
+            f"version-{FORMAT_VERSION} document has invalid codec "
+            f"{codec!r}; expected one of {CODECS}")
+    return codec
+
+
+def _store_from_document(document: dict) -> LabelStore:
+    raw = document["labeling"]
+    codec = _document_codec(document)
+    try:
+        if codec == "packed":
+            store = LabelStore.packed(
+                raw["num_chains"],
+                chain_of=array("l", raw["chain_of"]),
+                position_of=array("l", raw["position_of"]),
+                rank_of=array("l", raw["rank_of"]),
+                level_of=array("l", raw["level_of"]),
+                seq_offsets=array("l", raw["sequence_offsets"]),
+                seq_chains=array("l", raw["sequence_chains"]),
+                seq_positions=array("l", raw["sequence_positions"]),
+            )
+        else:
+            blob_b64 = raw["sequence_blob"]
+            if not isinstance(blob_b64, str):
+                raise GraphFormatError(
+                    "sequence_blob must be a base64 string")
+            try:
+                blob = base64.b64decode(blob_b64.encode("ascii"),
+                                        validate=True)
+            except (binascii.Error, UnicodeEncodeError) as exc:
+                raise GraphFormatError(
+                    f"sequence_blob is not valid base64: {exc}"
+                ) from None
+            entries = raw["entries"]
+            if not isinstance(entries, int) or entries < 0:
+                raise GraphFormatError(
+                    "entries must be a non-negative integer")
+            store = LabelStore.compressed(
+                raw["num_chains"],
+                chain_of=array("l", raw["chain_of"]),
+                position_of=array("l", raw["position_of"]),
+                rank_of=array("l", raw["rank_of"]),
+                level_of=array("l", raw["level_of"]),
+                seq_byte_offsets=array(
+                    "l", raw["sequence_byte_offsets"]),
+                seq_blob=blob,
+                num_entries=entries,
+            )
+    except KeyError as exc:
+        raise GraphFormatError(
+            f"labeling is missing field {exc.args[0]!r}") from None
+    except (TypeError, ValueError, OverflowError) as exc:
+        if isinstance(exc, GraphFormatError):
+            raise
+        raise GraphFormatError(
+            f"labeling arrays must be flat integer lists: {exc}"
+        ) from None
+    if not isinstance(store.num_chains, int):
+        raise GraphFormatError("num_chains must be an integer")
+    return store
+
+
+def _verify_checksum(document: dict, store: LabelStore) -> None:
+    recorded_crc = document.get("labeling_crc32")
+    if recorded_crc is None:
+        return
+    actual_crc = (packed_checksum if store.codec == "packed"
+                  else compressed_checksum)(store.fields())
+    if actual_crc != recorded_crc:
+        raise IndexFormatError(
+            f"labeling checksum mismatch: file records CRC32 "
+            f"{recorded_crc}, arrays hash to {actual_crc} — the "
+            f"index file is truncated or corrupt; rebuild it with "
+            f"save_index")
+
+
 def _index_from_document(document: dict) -> ChainIndex:
     members = document["members"]
     component_of = {}
@@ -253,36 +374,9 @@ def _index_from_document(document: dict) -> ChainIndex:
     condensation = Condensation(dag=dag, component_of=component_of,
                                 members=members)
     decomposition = ChainDecomposition(chains=document["chains"])
-    raw = document["labeling"]
-    try:
-        labeling = ChainLabeling(
-            num_chains=raw["num_chains"],
-            chain_of=array("l", raw["chain_of"]),
-            position_of=array("l", raw["position_of"]),
-            rank_of=array("l", raw["rank_of"]),
-            level_of=array("l", raw["level_of"]),
-            seq_offsets=array("l", raw["sequence_offsets"]),
-            seq_chains=array("l", raw["sequence_chains"]),
-            seq_positions=array("l", raw["sequence_positions"]),
-        )
-    except KeyError as exc:
-        raise GraphFormatError(
-            f"labeling is missing field {exc.args[0]!r}") from None
-    except (TypeError, ValueError, OverflowError) as exc:
-        raise GraphFormatError(
-            f"labeling arrays must be flat integer lists: {exc}"
-        ) from None
-    if not isinstance(labeling.num_chains, int):
-        raise GraphFormatError("num_chains must be an integer")
-    recorded_crc = document.get("labeling_crc32")
-    if recorded_crc is not None:
-        actual_crc = labeling_checksum(raw)
-        if actual_crc != recorded_crc:
-            raise IndexFormatError(
-                f"labeling checksum mismatch: file records CRC32 "
-                f"{recorded_crc}, arrays hash to {actual_crc} — the "
-                f"index file is truncated or corrupt; rebuild it with "
-                f"save_index")
+    store = _store_from_document(document)
+    _verify_checksum(document, store)
+    labeling = labeling_from_store(store)
     _validate(members, decomposition, labeling)
     return ChainIndex(condensation, decomposition, labeling,
                       document["method"])
@@ -303,15 +397,17 @@ def _parse(handle: TextIO) -> dict:
 
 
 def _check_single(document: dict) -> dict:
-    """Validate the header + field skeleton of a version-2 document."""
-    if document.get("version") != FORMAT_VERSION:
+    """Validate the header + field skeleton of a single-index document."""
+    if document.get("version") not in (LEGACY_FORMAT_VERSION,
+                                       FORMAT_VERSION):
         raise GraphFormatError(
             f"unsupported format version {document.get('version')!r} "
-            f"(expected {FORMAT_VERSION} or "
-            f"{COMPOSITE_FORMAT_VERSION})")
+            f"(expected {LEGACY_FORMAT_VERSION}, {COMPOSITE_FORMAT_VERSION} "
+            f"or {FORMAT_VERSION})")
     for key in ("members", "chains", "labeling", "method", "dag_edges"):
         if key not in document:
             raise GraphFormatError(f"missing field {key!r}")
+    _document_codec(document)     # rejects a bad/missing v4 codec early
     return document
 
 
@@ -329,20 +425,96 @@ def _validate(members: list, decomposition: ChainDecomposition,
     offsets = labeling.seq_offsets
     if len(offsets) != count + 1 or offsets[0] != 0:
         raise GraphFormatError("sequence_offsets has wrong shape")
-    if len(labeling.seq_chains) != len(labeling.seq_positions):
-        raise GraphFormatError("ragged index sequence")
-    if offsets[-1] != len(labeling.seq_chains):
+    store = labeling.store
+    if store.codec == "packed":
+        if len(store.seq_chains) != len(store.seq_positions):
+            raise GraphFormatError("ragged index sequence")
+        if offsets[-1] != len(store.seq_chains):
+            raise GraphFormatError(
+                "sequence_offsets do not cover the sequence arrays")
+    elif offsets[-1] != len(store.seq_blob):
         raise GraphFormatError(
-            "sequence_offsets do not cover the sequence arrays")
-    seq_chains = labeling.seq_chains
+            "sequence_byte_offsets do not cover the sequence blob")
+    entries = 0
     for v in range(count):
-        lo, hi = offsets[v], offsets[v + 1]
-        if lo > hi:
+        if offsets[v] > offsets[v + 1]:
             raise GraphFormatError("sequence_offsets not monotone")
-        for i in range(lo + 1, hi):
-            if seq_chains[i - 1] >= seq_chains[i]:
+        try:
+            items = store.sequence_items(v)
+        except ValueError as exc:
+            raise GraphFormatError(
+                f"node {v}: corrupt sequence stream: {exc}") from None
+        entries += len(items)
+        for i in range(1, len(items)):
+            if items[i - 1][0] >= items[i][0]:
                 raise GraphFormatError(
                     "index sequence not sorted/unique")
+    if entries != store.num_entries:
+        raise GraphFormatError(
+            f"sequence entry count mismatch: document declares "
+            f"{store.num_entries}, stream decodes to {entries}")
     if sorted(labeling.rank_of) != list(range(count)):
         raise GraphFormatError(
             "rank_of is not a permutation of the component ids")
+
+
+# ----------------------------------------------------------------------
+# file inspection (CLI `stats --index`)
+# ----------------------------------------------------------------------
+def describe_index_file(path: str | Path) -> dict:
+    """Summarise an index file: versions, codecs and sizes.
+
+    Returns a dict with ``kind`` (``single`` | ``composite``),
+    ``version``, ``codec`` (for composites: the partitions' codecs,
+    deduplicated), ``method`` / ``sub_engine``, ``file_bytes`` (bytes
+    on disk), ``label_bytes`` (in-memory label-column footprint under
+    the stored codec), ``label_entries``, ``size_words``,
+    ``components`` and ``chains``.  The file is parsed but *not*
+    validated — checksums are not recomputed; use :func:`load_index`
+    to actually serve it.
+    """
+    path = Path(path)
+    file_bytes = path.stat().st_size
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise GraphFormatError(f"not valid JSON: {exc}") from None
+    if not isinstance(document, dict) or document.get(
+            "format") != "repro-chain-index":
+        raise GraphFormatError("not a repro chain-index file")
+    version = document.get("version")
+    if version == COMPOSITE_FORMAT_VERSION:
+        payloads = document.get("partitions")
+        if not isinstance(payloads, list):
+            raise GraphFormatError(
+                "composite manifest missing partitions list")
+        summary = {"kind": "composite", "version": version,
+                   "sub_engine": document.get("sub_engine"),
+                   "partitions": len(payloads)}
+    else:
+        payloads = [_check_single(document)]
+        summary = {"kind": "single", "version": version,
+                   "method": document.get("method")}
+    codecs: list[str] = []
+    label_bytes = label_entries = size_words = 0
+    components = chains = 0
+    for payload in payloads:
+        store = _store_from_document(_check_single(payload))
+        if store.codec not in codecs:
+            codecs.append(store.codec)
+        label_bytes += store.nbytes()
+        label_entries += store.num_entries
+        size_words += 2 * store.num_nodes + 2 * store.num_entries
+        components += store.num_nodes
+        chains += len(payload.get("chains", ()))
+    summary.update(
+        codec=codecs[0] if len(codecs) == 1 else sorted(codecs),
+        file_bytes=file_bytes,
+        label_bytes=label_bytes,
+        label_entries=label_entries,
+        size_words=size_words,
+        components=components,
+        chains=chains,
+    )
+    return summary

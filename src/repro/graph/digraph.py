@@ -75,6 +75,26 @@ class DiGraph:
                 graph.add_edge(tail, head)
         return graph
 
+    @classmethod
+    def dense(cls, num_nodes: int) -> "DiGraph":
+        """Build a graph whose nodes are exactly ``0..num_nodes-1``.
+
+        Equivalent to ``num_nodes`` :meth:`add_node` calls but built
+        in bulk — the constructor the condensation and the large-scale
+        generators use, where per-node Python call overhead would
+        dominate.  Labels equal dense ids, so :meth:`add_edge_ids` can
+        insert edges without any label lookups.
+        """
+        if num_nodes < 0:
+            raise ValueError("num_nodes must be >= 0")
+        graph = cls()
+        graph._id_of = {v: v for v in range(num_nodes)}
+        graph._node_of = list(range(num_nodes))
+        graph._succ = [[] for _ in range(num_nodes)]
+        graph._pred = [[] for _ in range(num_nodes)]
+        graph._succ_sets = [set() for _ in range(num_nodes)]
+        return graph
+
     def add_node(self, node: Node) -> int:
         """Add ``node`` and return its dense id.
 
@@ -113,6 +133,21 @@ class DiGraph:
             raise EdgeExistsError(tail, head)
         self._succ[tail_id].append(head_id)
         self._succ_sets[tail_id].add(head_id)
+        self._pred[head_id].append(tail_id)
+        self._num_edges += 1
+
+    def add_edge_ids(self, tail_id: int, head_id: int) -> None:
+        """O(1) edge insert on dense ids — the hot-loop counterpart of
+        :meth:`add_edge` (same self-loop/duplicate semantics, but the
+        caller vouches that both ids are valid)."""
+        if tail_id == head_id:
+            return
+        succ_set = self._succ_sets[tail_id]
+        if head_id in succ_set:
+            raise EdgeExistsError(self._node_of[tail_id],
+                                  self._node_of[head_id])
+        self._succ[tail_id].append(head_id)
+        succ_set.add(head_id)
         self._pred[head_id].append(tail_id)
         self._num_edges += 1
 

@@ -17,6 +17,10 @@ by the benchmark layer, not here):
   forward pair becoming an edge with the probability that yields the
   requested density ``e / n²`` (:func:`dense_dag`).
 
+Beyond the paper's families, :func:`scale_chain_dag` generates the
+million-node scale-bench workload (``width`` parallel chains plus
+random forward cross-links — see ``docs/SCALE.md``).
+
 All generators are deterministic in their ``seed`` and label nodes with
 consecutive integers.
 """
@@ -41,6 +45,7 @@ __all__ = [
     "citation_dag",
     "chain_graph",
     "antichain_graph",
+    "scale_chain_dag",
     "GraphStats",
     "graph_stats",
 ]
@@ -61,16 +66,16 @@ def sparse_random_dag(num_nodes: int, num_edges: int,
     raw = DiGraph()
     for v in range(num_nodes):
         raw.add_node(v)
-    added: set[tuple[int, int]] = set()
+    added = 0
     attempts = 0
     max_attempts = num_edges * 50 + 1000
-    while len(added) < num_edges and attempts < max_attempts:
+    while added < num_edges and attempts < max_attempts:
         attempts += 1
         tail = rng.randrange(num_nodes)
         head = rng.randrange(num_nodes)
-        if tail == head or (tail, head) in added:
+        if tail == head or raw.has_edge(tail, head):
             continue
-        added.add((tail, head))
+        added += 1
         raw.add_edge(tail, head)
     condensation = condense(raw)
     dag = condensation.dag
@@ -294,8 +299,13 @@ def citation_dag(num_nodes: int, citations_per_node: int = 3,
     return graph
 
 
-def chain_graph(num_nodes: int) -> DiGraph:
-    """The path 0 → 1 → … → n-1 (width 1)."""
+def chain_graph(num_nodes: int, seed: int = 0) -> DiGraph:
+    """The path 0 → 1 → … → n-1 (width 1).
+
+    Deterministic; ``seed`` is accepted so every generator in this
+    module has the same signature shape and can be driven uniformly.
+    """
+    del seed
     graph = DiGraph()
     for v in range(num_nodes):
         graph.add_node(v)
@@ -304,11 +314,71 @@ def chain_graph(num_nodes: int) -> DiGraph:
     return graph
 
 
-def antichain_graph(num_nodes: int) -> DiGraph:
-    """``num_nodes`` isolated nodes (width = n)."""
+def antichain_graph(num_nodes: int, seed: int = 0) -> DiGraph:
+    """``num_nodes`` isolated nodes (width = n).
+
+    Deterministic; ``seed`` is accepted for signature uniformity.
+    """
+    del seed
     graph = DiGraph()
     for v in range(num_nodes):
         graph.add_node(v)
+    return graph
+
+
+def scale_chain_dag(num_nodes: int, num_edges: int, width: int = 4,
+                    cross_span: int | None = None,
+                    seed: int = 0) -> DiGraph:
+    """The scale-bench family: ``width`` parallel chains, cross-linked.
+
+    Node ``v`` sits in chain ``v % width`` at position ``v // width``;
+    the backbone edges ``v → v + width`` realise the chains, and the
+    remaining ``num_edges - backbone`` edges are random forward links
+    (``tail < head`` in node order, so the result is always a DAG).
+    The chain cover of this graph has ≈ ``width`` chains regardless of
+    ``num_nodes``, which keeps every label's index sequence bounded by
+    ``width`` — a million-node graph stays buildable in pure Python —
+    while the ``num_nodes / width`` strata are what separate the
+    builders: the stratified pipeline runs one matching per stratum,
+    the concatenation heuristic one pass overall (``docs/SCALE.md``).
+
+    ``cross_span`` bounds how far forward a cross-link may jump
+    (default ``100 · width`` node ids, i.e. about 100 strata); local
+    links keep the reachable chain set rich without collapsing the
+    graph's depth.
+
+    Production streams: nodes and edges land directly in the graph's
+    dense arrays, no temporary edge lists, so peak memory is the
+    graph itself.  Deterministic in ``seed``.
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    if width <= 0:
+        raise ValueError("width must be positive")
+    width = min(width, num_nodes)
+    if cross_span is None:
+        cross_span = 100 * width
+    if cross_span <= 0:
+        raise ValueError("cross_span must be positive")
+    rng = random.Random(seed)
+    graph = DiGraph.dense(num_nodes)
+    add_edge_ids = graph.add_edge_ids
+    has_edge_ids = graph.has_edge_ids
+    for v in range(num_nodes - width):
+        add_edge_ids(v, v + width)
+    extra = num_edges - max(0, num_nodes - width)
+    added = 0
+    attempts = 0
+    max_attempts = extra * 50 + 1000 if extra > 0 else 0
+    while added < extra and attempts < max_attempts and num_nodes > 1:
+        attempts += 1
+        tail = rng.randrange(num_nodes - 1)
+        head = tail + rng.randrange(1, cross_span + 1)
+        if head >= num_nodes or head - tail == width \
+                or has_edge_ids(tail, head):
+            continue
+        add_edge_ids(tail, head)
+        added += 1
     return graph
 
 

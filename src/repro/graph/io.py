@@ -27,7 +27,8 @@ from typing import TextIO
 from repro.graph.digraph import DiGraph
 from repro.graph.errors import GraphFormatError
 
-__all__ = ["write_edge_list", "read_edge_list", "dumps", "loads"]
+__all__ = ["write_edge_list", "read_edge_list", "iter_edges", "dumps",
+           "loads"]
 
 
 def write_edge_list(graph: DiGraph, target: str | Path | TextIO) -> None:
@@ -70,9 +71,15 @@ def read_edge_list(source: str | Path | TextIO,
     return _read(source, int_labels)
 
 
-def _read(handle: TextIO, int_labels: bool) -> DiGraph:
-    graph = DiGraph()
-    declared = None
+def _records(handle: TextIO, int_labels: bool):
+    """Parse ``handle`` one line at a time into typed records.
+
+    Yields ``("n", count)``, ``("v", node)`` and ``("e", (tail, head))``
+    tuples in file order, never holding more than the current line in
+    memory — both :func:`read_edge_list` and :func:`iter_edges` are
+    thin consumers of this stream.  Raises :class:`GraphFormatError`
+    with a line number on bad input.
+    """
     for line_number, raw_line in enumerate(handle, start=1):
         line = raw_line.strip()
         if not line or line.startswith("#"):
@@ -90,10 +97,7 @@ def _read(handle: TextIO, int_labels: bool) -> DiGraph:
             if declared < 0:
                 raise GraphFormatError("node count must be >= 0",
                                        line_number)
-            for v in range(declared):
-                node = v if int_labels else str(v)
-                if node not in graph:
-                    graph.add_node(node)
+            yield "n", declared
             continue
         if parts[0] == "v":
             if len(parts) != 2:
@@ -106,7 +110,7 @@ def _read(handle: TextIO, int_labels: bool) -> DiGraph:
                     raise GraphFormatError(
                         f"non-integer label in {line!r}",
                         line_number) from None
-            graph.ensure_node(node)
+            yield "v", node
             continue
         if len(parts) != 2:
             raise GraphFormatError(
@@ -118,11 +122,51 @@ def _read(handle: TextIO, int_labels: bool) -> DiGraph:
             except ValueError:
                 raise GraphFormatError(
                     f"non-integer label in {line!r}", line_number) from None
-        graph.ensure_node(tail)
-        graph.ensure_node(head)
-        if tail != head and not graph.has_edge(tail, head):
-            graph.add_edge(tail, head)
+        yield "e", (tail, head)
+
+
+def _read(handle: TextIO, int_labels: bool) -> DiGraph:
+    graph = DiGraph()
+    for kind, payload in _records(handle, int_labels):
+        if kind == "n":
+            for v in range(payload):
+                node = v if int_labels else str(v)
+                if node not in graph:
+                    graph.add_node(node)
+        elif kind == "v":
+            graph.ensure_node(payload)
+        else:
+            tail, head = payload
+            graph.ensure_node(tail)
+            graph.ensure_node(head)
+            if tail != head and not graph.has_edge(tail, head):
+                graph.add_edge(tail, head)
     return graph
+
+
+def iter_edges(source: str | Path | TextIO, int_labels: bool = True):
+    """Stream the ``(tail, head)`` edge pairs of an edge-list file.
+
+    The streaming half of :func:`read_edge_list`: one line of the file
+    is in memory at a time and edges are yielded as they are parsed,
+    so a 10M-edge file can feed :meth:`DiGraph.add_edge` (or any other
+    sink) without an intermediate edge list.  ``n``/``v`` node
+    declarations and comments are skipped; pairs are yielded verbatim
+    — self-loops and duplicates included, since deduplicating here
+    would cost the O(edges) memory this generator exists to avoid
+    (sinks that care should check :meth:`DiGraph.has_edge` first, as
+    :func:`read_edge_list` does).  Raises :class:`GraphFormatError`
+    with a line number on malformed lines.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            for kind, payload in _records(handle, int_labels):
+                if kind == "e":
+                    yield payload
+        return
+    for kind, payload in _records(source, int_labels):
+        if kind == "e":
+            yield payload
 
 
 def dumps(graph: DiGraph) -> str:

@@ -20,41 +20,80 @@ from repro.graph.digraph import DiGraph
 __all__ = ["strongly_connected_components", "Condensation", "condense"]
 
 
-def strongly_connected_components(graph: DiGraph) -> list[list]:
-    """SCCs as lists of node objects, in reverse topological order.
+def _dag_singleton_ids(graph: DiGraph) -> list[list[int]] | None:
+    """Fast path for acyclic graphs: singleton SCCs in DFS finish order.
 
-    Reverse topological order means: if component A can reach component
-    B, then B appears *before* A in the returned list (a property of
-    Tarjan's algorithm that :func:`condense` relies on).
+    On a DAG, Tarjan emits every node as its own component exactly when
+    the DFS finishes it, so a plain postorder sweep (same start order,
+    same successor order) reproduces Tarjan's output bit for bit while
+    skipping all lowlink bookkeeping.  Returns ``None`` on the first
+    back edge — i.e. the graph has a cycle and the caller must run the
+    full algorithm.
     """
+    n = graph.num_nodes
+    state = bytearray(n)        # 0 unvisited, 1 on the DFS stack, 2 done
+    components: list[list[int]] = []
+    successor_ids = graph.successor_ids
+    for start in range(n):
+        if state[start]:
+            continue
+        state[start] = 1
+        work = [(start, iter(successor_ids(start)))]
+        while work:
+            v, succ = work[-1]
+            advanced = False
+            for w in succ:
+                visited = state[w]
+                if not visited:
+                    state[w] = 1
+                    work.append((w, iter(successor_ids(w))))
+                    advanced = True
+                    break
+                if visited == 1:
+                    return None  # back edge: cyclic
+            if advanced:
+                continue
+            work.pop()
+            state[v] = 2
+            components.append([v])
+    return components
+
+
+def _scc_ids(graph: DiGraph) -> list[list[int]]:
+    """SCCs as lists of dense node ids, in reverse topological order."""
+    singletons = _dag_singleton_ids(graph)
+    if singletons is not None:
+        return singletons
     n = graph.num_nodes
     index_of = [-1] * n          # discovery index, -1 = unvisited
     lowlink = [0] * n
     on_stack = [False] * n
     stack: list[int] = []
-    components: list[list] = []
+    components: list[list[int]] = []
     counter = 0
+    successor_ids = graph.successor_ids
 
     for start in range(n):
         if index_of[start] != -1:
             continue
-        # Each frame is (node, iterator position into its successors).
-        work: list[tuple[int, int]] = [(start, 0)]
+        # Each frame is (node, live iterator over its successors); the
+        # iterator resumes in place after a child returns, so an edge
+        # is looked at exactly once with no per-edge frame rewrites.
+        index_of[start] = lowlink[start] = counter
+        counter += 1
+        stack.append(start)
+        on_stack[start] = True
+        work = [(start, iter(successor_ids(start)))]
         while work:
-            v, pos = work[-1]
-            if pos == 0:
-                index_of[v] = lowlink[v] = counter
-                counter += 1
-                stack.append(v)
-                on_stack[v] = True
-            succ = graph.successor_ids(v)
+            v, succ = work[-1]
             advanced = False
-            while pos < len(succ):
-                w = succ[pos]
-                pos += 1
+            for w in succ:
                 if index_of[w] == -1:
-                    work[-1] = (v, pos)
-                    work.append((w, 0))
+                    index_of[w] = lowlink[w] = counter
+                    counter += 1
+                    stack.append(w)
+                    on_stack[w] = True
+                    work.append((w, iter(successor_ids(w))))
                     advanced = True
                     break
                 if on_stack[w] and index_of[w] < lowlink[v]:
@@ -62,20 +101,33 @@ def strongly_connected_components(graph: DiGraph) -> list[list]:
             if advanced:
                 continue
             work.pop()
+            low = lowlink[v]
             if work:
                 parent = work[-1][0]
-                if lowlink[v] < lowlink[parent]:
-                    lowlink[parent] = lowlink[v]
-            if lowlink[v] == index_of[v]:
-                component: list = []
+                if low < lowlink[parent]:
+                    lowlink[parent] = low
+            if low == index_of[v]:
+                component: list[int] = []
                 while True:
                     w = stack.pop()
                     on_stack[w] = False
-                    component.append(graph.node_at(w))
+                    component.append(w)
                     if w == v:
                         break
                 components.append(component)
     return components
+
+
+def strongly_connected_components(graph: DiGraph) -> list[list]:
+    """SCCs as lists of node objects, in reverse topological order.
+
+    Reverse topological order means: if component A can reach component
+    B, then B appears *before* A in the returned list (a property of
+    Tarjan's algorithm that :func:`condense` relies on).
+    """
+    node_at = graph.node_at
+    return [[node_at(v) for v in component]
+            for component in _scc_ids(graph)]
 
 
 @dataclass(frozen=True)
@@ -116,23 +168,32 @@ def condense(graph: DiGraph) -> Condensation:
     original graph iff ``component_of[u]`` reaches ``component_of[v]``
     in the condensation (or the two are equal).
     """
-    components = strongly_connected_components(graph)
+    id_components = _scc_ids(graph)
+    node_at = graph.node_at
+    comp_of_id = [0] * graph.num_nodes
     component_of: dict = {}
-    for comp_id, members in enumerate(components):
-        for node in members:
+    members: list[list] = []
+    for comp_id, id_members in enumerate(id_components):
+        component: list = []
+        for v in id_members:
+            comp_of_id[v] = comp_id
+            node = node_at(v)
             component_of[node] = comp_id
+            component.append(node)
+        members.append(component)
 
-    dag = DiGraph()
-    for comp_id in range(len(components)):
-        dag.add_node(comp_id)
-    seen: set[tuple[int, int]] = set()
-    for tail, head in graph.edges():
-        tail_comp = component_of[tail]
-        head_comp = component_of[head]
-        if tail_comp == head_comp:
-            continue
-        if (tail_comp, head_comp) not in seen:
-            seen.add((tail_comp, head_comp))
-            dag.add_edge(tail_comp, head_comp)
+    dag = DiGraph.dense(len(id_components))
+    # Dense-id sweep; the dag's own adjacency set is the dedupe, so
+    # peak extra memory is O(nodes), not O(edges).
+    successor_ids = graph.successor_ids
+    has_edge_ids = dag.has_edge_ids
+    add_edge_ids = dag.add_edge_ids
+    for v in range(graph.num_nodes):
+        tail_comp = comp_of_id[v]
+        for w in successor_ids(v):
+            head_comp = comp_of_id[w]
+            if tail_comp != head_comp \
+                    and not has_edge_ids(tail_comp, head_comp):
+                add_edge_ids(tail_comp, head_comp)
     return Condensation(dag=dag, component_of=component_of,
-                        members=components)
+                        members=members)

@@ -209,6 +209,13 @@ CATALOG: tuple[MetricSpec, ...] = (
                "phase 1 — matched pairs at one level"),
     MetricSpec("index/size_words", "gauge", "16-bit words",
                "ChainIndex.build — label size, the paper's table unit"),
+    MetricSpec("index/label_bytes", "gauge", "bytes",
+               "ChainIndex.build — in-memory label-column footprint "
+               "under the built codec (packed CSR words, or the "
+               "varint blob plus byte offsets when compressed)"),
+    MetricSpec("index/label_entries", "gauge", "entries",
+               "ChainIndex.build — total (chain, position) index-"
+               "sequence entries across all nodes, codec-independent"),
     MetricSpec("service/queue_depth", "gauge", "queries",
                "MicroBatcher — queue depth observed at each flush"),
     MetricSpec("service/epoch", "gauge", "epoch",

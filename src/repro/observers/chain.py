@@ -398,11 +398,14 @@ class ObserverChain:
             return None
         if index._kernel is None:            # noqa: SLF001
             index.is_reachable_many([])      # force the lazy build
-        tables = index._kernel.tables        # noqa: SLF001
-        if tables is None:
+        kernel = index._kernel               # noqa: SLF001
+        if kernel.tables is None or kernel.codec != "packed":
+            # compressed kernels probe through a varint decode, not a
+            # bisect — residual pairs go through the generic second
+            # pass instead of the inlined probe.
             return None
         (_rank_of, _level_of, chain_of, position_of,
-         seq_lo, seq_hi, seq_chains, seq_positions) = tables
+         seq_lo, seq_hi, seq_chains, seq_positions) = kernel.tables
         return (chain_of, position_of, seq_lo, seq_hi,
                 seq_chains, seq_positions)
 

@@ -21,16 +21,25 @@ Segment layout (one contiguous region)::
 
 The header describes everything needed to map the arrays back::
 
-    {"version": 1, "epoch": E, "labeling_crc32": CRC,
+    {"version": 2, "epoch": E, "labeling_crc32": CRC,
+     "codec": "packed" | "compressed", "entries": N,
      "itemsize": 8, "byteorder": "little", "num_chains": K,
      "method": "stratified",
      "fields": {"chain_of": [offset, count], ...},
      "meta": [offset, length]}
 
-``labeling_crc32`` is the *same* checksum persistence format v2
-records (:func:`repro.core.persistence.labeling_checksum`, computed
-over the decimal rendering of the arrays), so a segment corrupted or
-torn mid-publish is rejected at attach with
+Layout version 2 added the ``codec`` field: a ``compressed`` segment
+carries the four scalar columns as signed-long arrays plus the
+``sequence_byte_offsets`` array and the raw varint ``sequence_blob``
+(its ``fields`` count is a byte length), exactly the columns of
+:class:`repro.core.labelstore.LabelStore` — workers attach the blob
+as a read-only byte view and decode per query, so the zero-copy
+property holds for both codecs.
+
+``labeling_crc32`` is the *same* checksum persistence records for the
+segment's codec (:meth:`repro.core.labelstore.LabelStore.checksum` —
+for ``compressed`` the CRC covers the raw varint bytes), so a segment
+corrupted or torn mid-publish is rejected at attach with
 :class:`~repro.graph.errors.IndexFormatError` — exactly like a
 truncated index file.  ``itemsize`` / ``byteorder`` guard against a
 reader whose ``array('l')`` width or endianness differs from the
@@ -63,8 +72,13 @@ from multiprocessing.shared_memory import SharedMemory
 
 from repro.core.chains import ChainDecomposition
 from repro.core.index import ChainIndex
-from repro.core.labeling import ChainLabeling, packed_fields
-from repro.core.persistence import labeling_checksum
+from repro.core.labeling import ChainLabeling, labeling_from_store
+from repro.core.labelstore import (
+    CODECS,
+    LabelStore,
+    compressed_checksum,
+    packed_checksum,
+)
 from repro.graph.digraph import DiGraph
 from repro.graph.errors import GraphFormatError, IndexFormatError
 from repro.graph.scc import Condensation
@@ -73,7 +87,7 @@ __all__ = ["dump_index", "attach_index", "AttachedIndex",
            "segment_name", "SHM_VERSION", "MAGIC"]
 
 MAGIC = b"reproSHM"
-SHM_VERSION = 1
+SHM_VERSION = 2
 _ITEMSIZE = array("l").itemsize
 _BYTEORDER = sys.byteorder
 
@@ -91,15 +105,17 @@ def dump_index(index: ChainIndex, name: str | None = None, *,
                epoch: int = 0) -> SharedMemory:
     """Publish ``index`` into a named shared-memory segment.
 
-    Writes the seven packed label buffers
-    (:func:`~repro.core.labeling.packed_fields`) byte-for-byte plus a
-    JSON meta region (SCC members, condensation edges, chains) and the
-    self-describing header above.  Returns the created
-    :class:`SharedMemory` — the caller owns it and must ``close()``
-    and ``unlink()`` it when no attacher needs it any more.
+    Writes the label-store columns (``store.fields()`` under the
+    index's codec — the CSR arrays for ``packed``, the scalar columns
+    plus byte offsets and the raw varint blob for ``compressed``)
+    byte-for-byte plus a JSON meta region (SCC members, condensation
+    edges, chains) and the self-describing header above.  Returns the
+    created :class:`SharedMemory` — the caller owns it and must
+    ``close()`` and ``unlink()`` it when no attacher needs it any
+    more.
 
     Raises :class:`GraphFormatError` when a node label is not a JSON
-    scalar (same contract as persistence v2).
+    scalar (same contract as persistence).
     """
     if not isinstance(index, ChainIndex):
         raise GraphFormatError(
@@ -117,8 +133,8 @@ def dump_index(index: ChainIndex, name: str | None = None, *,
     except TypeError as exc:
         raise GraphFormatError(
             f"node labels are not JSON-serialisable: {exc}") from None
-    labeling = index._labeling
-    fields = packed_fields(labeling)
+    store = index._labeling.store
+    fields = store.fields()
     field_bytes = {field: bytes(buffer)
                    for field, buffer in fields.items()}
     itemsize = _ITEMSIZE
@@ -126,7 +142,10 @@ def dump_index(index: ChainIndex, name: str | None = None, *,
     offset = 0
     layout: dict[str, list[int]] = {}
     for field, raw in field_bytes.items():
-        layout[field] = [offset, len(fields[field])]
+        # counts are array items, except the blob's — a byte length.
+        count = (len(raw) if field == "sequence_blob"
+                 else len(fields[field]))
+        layout[field] = [offset, count]
         offset = _align8(offset + len(raw))
     meta_offset = offset
     offset = _align8(offset + len(meta_bytes))
@@ -134,10 +153,12 @@ def dump_index(index: ChainIndex, name: str | None = None, *,
     header = {
         "version": SHM_VERSION,
         "epoch": epoch,
-        "labeling_crc32": labeling_checksum(fields),
+        "labeling_crc32": store.checksum(),
+        "codec": store.codec,
+        "entries": store.num_entries,
         "itemsize": itemsize,
         "byteorder": _BYTEORDER,
-        "num_chains": labeling.num_chains,
+        "num_chains": store.num_chains,
         "method": index.method,
         "fields": layout,
         "meta": [meta_offset, len(meta_bytes)],
@@ -274,15 +295,24 @@ def _attach_validated(shm: SharedMemory) -> AttachedIndex:
         raise IndexFormatError(
             f"segment {shm.name!r} uses {header.get('itemsize')}-byte "
             f"items; this interpreter's array('l') is {itemsize} bytes")
+    codec = header.get("codec", "packed")
+    if codec not in CODECS:
+        raise IndexFormatError(
+            f"segment {shm.name!r} declares unknown label codec "
+            f"{codec!r}; this build reads {CODECS}")
     data_start = _align8(16 + header_len)
     views: dict[str, memoryview] = {}
     try:
         for field, (offset, count) in header["fields"].items():
             start = data_start + offset
-            views[field] = (buf[start:start + count * itemsize]
-                            .cast("l").toreadonly())
+            if field == "sequence_blob":     # count is a byte length
+                views[field] = buf[start:start + count].toreadonly()
+            else:
+                views[field] = (buf[start:start + count * itemsize]
+                                .cast("l").toreadonly())
         recorded = header["labeling_crc32"]
-        actual = labeling_checksum(views)
+        actual = (packed_checksum if codec == "packed"
+                  else compressed_checksum)(views)
         if actual != recorded:
             raise IndexFormatError(
                 f"segment {shm.name!r} checksum mismatch: header "
@@ -291,16 +321,28 @@ def _attach_validated(shm: SharedMemory) -> AttachedIndex:
         meta_offset, meta_len = header["meta"]
         meta = json.loads(bytes(buf[data_start + meta_offset:
                                     data_start + meta_offset + meta_len]))
-        labeling = ChainLabeling(
-            num_chains=header["num_chains"],
-            chain_of=views["chain_of"],
-            position_of=views["position_of"],
-            rank_of=views["rank_of"],
-            level_of=views["level_of"],
-            seq_offsets=views["sequence_offsets"],
-            seq_chains=views["sequence_chains"],
-            seq_positions=views["sequence_positions"],
-        )
+        if codec == "packed":
+            labeling = ChainLabeling(
+                num_chains=header["num_chains"],
+                chain_of=views["chain_of"],
+                position_of=views["position_of"],
+                rank_of=views["rank_of"],
+                level_of=views["level_of"],
+                seq_offsets=views["sequence_offsets"],
+                seq_chains=views["sequence_chains"],
+                seq_positions=views["sequence_positions"],
+            )
+        else:
+            labeling = labeling_from_store(LabelStore.compressed(
+                header["num_chains"],
+                chain_of=views["chain_of"],
+                position_of=views["position_of"],
+                rank_of=views["rank_of"],
+                level_of=views["level_of"],
+                seq_byte_offsets=views["sequence_byte_offsets"],
+                seq_blob=views["sequence_blob"],
+                num_entries=header["entries"],
+            ))
         index = _index_from_meta(meta, labeling, header["method"])
     except BaseException:
         views.clear()                        # release before shm.close()

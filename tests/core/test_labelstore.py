@@ -1,0 +1,199 @@
+"""The columnar :class:`LabelStore`: codecs, probes and checksums.
+
+The store is the single layer under labeling, persistence and the
+shared-memory publisher, so these tests pin its core contracts: the
+gap/varint codec round-trips every sequence exactly, the streaming
+probe answers like the packed binary search, corrupt streams raise
+instead of mis-answering, and the checksums notice every flipped bit.
+"""
+
+import pytest
+from array import array
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.labelstore import (
+    CODECS,
+    LabelStore,
+    compress_sequences,
+    compressed_checksum,
+    decode_sequence,
+    packed_checksum,
+    probe_sequence,
+)
+
+
+@st.composite
+def sequence_tables(draw):
+    """Per-node sorted (chain, position) sequences, CSR-packed."""
+    num_nodes = draw(st.integers(min_value=0, max_value=6))
+    offsets = array("l", [0])
+    chains = array("l")
+    positions = array("l")
+    for _ in range(num_nodes):
+        chain_ids = sorted(draw(st.sets(
+            st.integers(min_value=0, max_value=300), max_size=5)))
+        for chain in chain_ids:
+            chains.append(chain)
+            positions.append(draw(st.integers(min_value=0,
+                                              max_value=100_000)))
+        offsets.append(len(chains))
+    return offsets, chains, positions
+
+
+class TestVarintCodec:
+    @settings(max_examples=80)
+    @given(sequence_tables())
+    def test_round_trip(self, table):
+        offsets, chains, positions = table
+        byte_offsets, blob = compress_sequences(offsets, chains,
+                                                positions)
+        assert byte_offsets[0] == 0
+        assert byte_offsets[-1] == len(blob)
+        for v in range(len(offsets) - 1):
+            expected = list(zip(chains[offsets[v]:offsets[v + 1]],
+                                positions[offsets[v]:offsets[v + 1]]))
+            decoded = decode_sequence(blob, byte_offsets[v],
+                                      byte_offsets[v + 1])
+            assert decoded == expected
+
+    @settings(max_examples=80)
+    @given(sequence_tables(),
+           st.integers(min_value=0, max_value=300),
+           st.integers(min_value=0, max_value=100_000))
+    def test_probe_equals_membership(self, table, chain, position):
+        offsets, chains, positions = table
+        byte_offsets, blob = compress_sequences(offsets, chains,
+                                                positions)
+        for v in range(len(offsets) - 1):
+            items = dict(zip(chains[offsets[v]:offsets[v + 1]],
+                             positions[offsets[v]:offsets[v + 1]]))
+            expected = chain in items and items[chain] <= position
+            assert probe_sequence(blob, byte_offsets[v],
+                                  byte_offsets[v + 1], chain,
+                                  position) == expected
+
+    def test_truncated_stream_raises(self):
+        offsets = array("l", [0, 2])
+        chains = array("l", [3, 200])
+        positions = array("l", [1, 99_999])
+        byte_offsets, blob = compress_sequences(offsets, chains,
+                                                positions)
+        # a cut exactly between two (gap, position) pairs decodes as a
+        # shorter valid stream; every other cut must raise
+        pair_boundary = {0, len(blob)}
+        i = 0
+        while i < len(blob):
+            for _ in range(2):              # skip one varint pair
+                while blob[i] >= 0x80:
+                    i += 1
+                i += 1
+            pair_boundary.add(i)
+        for cut in range(1, len(blob)):
+            if cut in pair_boundary:
+                continue
+            with pytest.raises(ValueError):
+                decode_sequence(blob[:cut], 0, cut)
+
+    def test_continuation_bit_flip_raises(self):
+        # set the high bit on the final byte: the stream now ends
+        # mid-varint
+        offsets = array("l", [0, 1])
+        byte_offsets, blob = compress_sequences(
+            offsets, array("l", [5]), array("l", [7]))
+        corrupt = blob[:-1] + bytes([blob[-1] | 0x80])
+        with pytest.raises(ValueError):
+            decode_sequence(corrupt, 0, len(corrupt))
+
+
+def _store(codec="packed"):
+    store = LabelStore.packed(
+        2,
+        chain_of=[0, 0, 1, 1],
+        position_of=[0, 1, 0, 1],
+        rank_of=[0, 1, 2, 3],
+        level_of=[2, 1, 2, 1],
+        seq_offsets=[0, 2, 3, 4, 4],
+        seq_chains=[0, 1, 0, 1],
+        seq_positions=[1, 0, 1, 1],
+    )
+    return store.to_codec(codec)
+
+
+class TestLabelStore:
+    def test_rejects_unknown_codec(self):
+        with pytest.raises(ValueError, match="unknown label codec"):
+            _store().to_codec("gzip")
+        with pytest.raises(ValueError, match="unknown label codec"):
+            LabelStore("gzip", 1, [0], [0], [0], [1], [0, 0])
+
+    def test_codec_conversion_round_trips(self):
+        packed = _store("packed")
+        compressed = packed.to_compressed()
+        assert compressed.codec == "compressed"
+        assert compressed.num_entries == packed.num_entries
+        back = compressed.to_packed()
+        assert back.seq_offsets == packed.seq_offsets
+        assert back.seq_chains == packed.seq_chains
+        assert back.seq_positions == packed.seq_positions
+
+    def test_sequence_items_agree_across_codecs(self):
+        packed = _store("packed")
+        compressed = _store("compressed")
+        for v in range(packed.num_nodes):
+            assert (packed.sequence_items(v)
+                    == compressed.sequence_items(v))
+            assert (packed.sequence_length(v)
+                    == compressed.sequence_length(v))
+
+    def test_compressed_store_requires_entry_count(self):
+        with pytest.raises(ValueError, match="num_entries"):
+            LabelStore("compressed", 1, [0], [0], [0], [1], [0, 0],
+                       seq_blob=b"")
+
+    def test_nbytes_reflects_the_codec(self):
+        packed = _store("packed")
+        compressed = _store("compressed")
+        # scalar columns identical; sequences shrink from two native
+        # words per entry to a couple of varint bytes
+        assert compressed.nbytes() < packed.nbytes()
+
+    def test_borrowed_memoryviews_pass_through(self):
+        packed = _store("packed")
+        view = memoryview(packed.chain_of)
+        borrowed = LabelStore.packed(
+            packed.num_chains, view, packed.position_of,
+            packed.rank_of, packed.level_of, packed.seq_offsets,
+            packed.seq_chains, packed.seq_positions)
+        assert borrowed.chain_of is view
+        assert borrowed.sequence_items(0) == packed.sequence_items(0)
+
+
+class TestChecksums:
+    def test_codecs_hash_their_own_fields(self):
+        packed = _store("packed")
+        compressed = _store("compressed")
+        assert packed.checksum() == packed_checksum(packed.fields())
+        assert compressed.checksum() == compressed_checksum(
+            compressed.fields())
+
+    def test_blob_bit_flip_changes_the_checksum(self):
+        compressed = _store("compressed")
+        fields = dict(compressed.fields())
+        blob = bytearray(fields["sequence_blob"])
+        blob[0] ^= 0x01
+        fields["sequence_blob"] = bytes(blob)
+        assert compressed_checksum(fields) != compressed.checksum()
+
+    def test_scalar_flip_changes_the_checksum(self):
+        compressed = _store("compressed")
+        fields = dict(compressed.fields())
+        tweaked = array("l", fields["chain_of"])
+        tweaked[0] += 1
+        fields["chain_of"] = tweaked
+        assert compressed_checksum(fields) != compressed.checksum()
+
+
+def test_codecs_constant_is_the_public_pair():
+    assert CODECS == ("packed", "compressed")

@@ -171,7 +171,8 @@ class TestPersistenceV3:
         assert document["sub_engine"] == "chain-stratified"
         assert len(document["partitions"]) == 4
         for payload in document["partitions"]:
-            assert payload["version"] == 2
+            assert payload["version"] == 4
+            assert payload["codec"] == "packed"
             assert "labeling_crc32" in payload
 
     def test_partition_corruption_fails_the_load(self):

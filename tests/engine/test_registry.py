@@ -54,7 +54,8 @@ class TestRegistryContents:
         persistable = {spec.name for spec in engine.specs()
                        if spec.persistable}
         assert persistable == {"chain-stratified", "chain-closure",
-                               "chain-jagadish", "composite"}
+                               "chain-jagadish", "chain-concat",
+                               "composite"}
 
 
 class TestRegistryValidation:

@@ -206,3 +206,50 @@ class TestDerivedGraphs:
         assert sorted(map(tuple, h.edges())) == sorted(
             map(tuple, g.edges()))
         assert h.nodes() == g.nodes()
+
+
+class TestDenseConstruction:
+    def test_dense_equals_add_node_loop(self):
+        bulk = DiGraph.dense(5)
+        loop = DiGraph()
+        for v in range(5):
+            loop.add_node(v)
+        assert bulk.nodes() == loop.nodes()
+        assert bulk.num_nodes == 5
+        assert bulk.num_edges == 0
+        assert all(bulk.node_id(v) == v for v in range(5))
+
+    def test_dense_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DiGraph.dense(-1)
+
+    def test_dense_zero_is_empty(self):
+        g = DiGraph.dense(0)
+        assert g.num_nodes == 0 and g.num_edges == 0
+
+    def test_add_edge_ids_matches_add_edge(self):
+        by_ids = DiGraph.dense(4)
+        by_ids.add_edge_ids(0, 1)
+        by_ids.add_edge_ids(1, 2)
+        by_ids.add_edge_ids(1, 1)       # self-loop: stored nowhere
+        by_obj = DiGraph.dense(4)
+        by_obj.add_edge(0, 1)
+        by_obj.add_edge(1, 2)
+        assert sorted(by_ids.edges()) == sorted(by_obj.edges())
+        assert by_ids.num_edges == 2
+        assert by_ids.has_edge_ids(0, 1)
+        assert not by_ids.has_edge_ids(1, 1)
+
+    def test_add_edge_ids_rejects_duplicates(self):
+        g = DiGraph.dense(2)
+        g.add_edge_ids(0, 1)
+        with pytest.raises(EdgeExistsError):
+            g.add_edge_ids(0, 1)
+
+    def test_dense_graph_interoperates_with_node_objects(self):
+        g = DiGraph.dense(3)
+        g.add_edge_ids(0, 2)
+        assert g.successors(0) == [2]
+        assert g.predecessors(2) == [0]
+        g.remove_edge(0, 2)
+        assert g.num_edges == 0

@@ -11,6 +11,7 @@ from repro.graph.generators import (
     layered_random_dag,
     random_dag,
     random_digraph,
+    scale_chain_dag,
     semi_random_dag,
     sparse_random_dag,
     systematic_dag,
@@ -177,3 +178,49 @@ class TestGraphStats:
     def test_row_shape(self):
         stats = graph_stats(chain_graph(3), path_samples=10)
         assert stats.row() == (3, 2, 1.0, 3.0)
+
+
+class TestScaleChainDag:
+    def test_structure_matches_spec(self):
+        g = scale_chain_dag(400, 500, width=4, seed=3)
+        assert g.num_nodes == 400
+        assert g.num_edges == 500
+        assert is_dag(g)
+        # the backbone realises the width-4 parallel chains
+        for v in range(396):
+            assert g.has_edge(v, v + 4)
+
+    def test_cross_links_respect_the_span(self):
+        g = scale_chain_dag(2_000, 2_400, width=4, cross_span=40,
+                            seed=0)
+        for tail, head in g.edges():
+            assert 0 < head - tail <= 40
+
+    def test_deterministic_in_seed(self):
+        a = scale_chain_dag(300, 380, seed=9)
+        b = scale_chain_dag(300, 380, seed=9)
+        c = scale_chain_dag(300, 380, seed=10)
+        assert sorted(a.edges()) == sorted(b.edges())
+        assert sorted(a.edges()) != sorted(c.edges())
+
+    def test_width_clamped_to_node_count(self):
+        g = scale_chain_dag(3, 3, width=64, seed=0)
+        assert g.num_nodes == 3
+        assert is_dag(g)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scale_chain_dag(0, 5)
+        with pytest.raises(ValueError):
+            scale_chain_dag(10, 5, width=0)
+        with pytest.raises(ValueError):
+            scale_chain_dag(10, 5, cross_span=0)
+
+
+class TestSeedUniformity:
+    def test_every_family_accepts_a_seed(self):
+        # signature uniformity: deterministic families take (and
+        # ignore) the seed the random ones require
+        assert sorted(chain_graph(5, seed=3).edges()) == sorted(
+            chain_graph(5).edges())
+        assert antichain_graph(4, seed=3).num_edges == 0

@@ -112,3 +112,47 @@ class TestParsing:
         with pytest.raises(GraphFormatError) as excinfo:
             loads("0 1\nbroken line here\n")
         assert excinfo.value.line_number == 2
+
+
+class TestIterEdges:
+    def test_streams_pairs_verbatim(self, tmp_path):
+        from repro.graph.io import iter_edges
+        path = tmp_path / "edges.txt"
+        path.write_text("# comment\nn 4\n0 1\n1 2\nv 3\n0 1\n2 2\n")
+        # duplicates and self-loops are yielded as written; node and
+        # count declarations are not edges
+        assert list(iter_edges(path)) == [(0, 1), (1, 2), (0, 1),
+                                          (2, 2)]
+
+    def test_accepts_open_handles_and_str_labels(self):
+        from repro.graph.io import iter_edges
+        handle = io.StringIO("a b\nb c\n")
+        assert list(iter_edges(handle, int_labels=False)) == [
+            ("a", "b"), ("b", "c")]
+
+    def test_agrees_with_read_edge_list(self, tmp_path):
+        from repro.graph.io import iter_edges
+        graph = DiGraph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        path = tmp_path / "g.txt"
+        write_edge_list(graph, path)
+        streamed = DiGraph()
+        for tail, head in iter_edges(path):
+            streamed.ensure_node(tail)
+            streamed.ensure_node(head)
+            if tail != head and not streamed.has_edge(tail, head):
+                streamed.add_edge(tail, head)
+        reread = read_edge_list(path)
+        assert sorted(streamed.edges()) == sorted(reread.edges())
+
+    def test_bad_line_reports_line_number(self, tmp_path):
+        from repro.graph.io import iter_edges
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\n0 1 2\n")
+        with pytest.raises(GraphFormatError, match="line 2"):
+            list(iter_edges(path))
+
+    def test_lazy_no_read_before_iteration(self, tmp_path):
+        from repro.graph.io import iter_edges
+        iterator = iter_edges(tmp_path / "missing.txt")
+        with pytest.raises(FileNotFoundError):
+            next(iterator)

@@ -90,3 +90,26 @@ class TestCondensation:
                 cu, cv = cond.component_of[u], cond.component_of[v]
                 got = cu == cv or bfs_reachable(cond.dag, cu, cv)
                 assert expected == got, (u, v)
+
+
+class TestDagFastPath:
+    def test_dag_fast_path_matches_tarjan_exactly(self, monkeypatch):
+        """On a DAG the postorder fast path must reproduce the full
+        algorithm's component order bit for bit (downstream chain
+        numbering depends on it)."""
+        from repro.graph import scc as scc_module
+        from repro.graph.generators import semi_random_dag
+        graph = semi_random_dag(80, 60, seed=5)
+        fast = scc_module._dag_singleton_ids(graph)
+        assert fast is not None
+        # force the full Tarjan sweep and compare component orders
+        monkeypatch.setattr(scc_module, "_dag_singleton_ids",
+                            lambda g: None)
+        assert scc_module._scc_ids(graph) == fast
+
+    def test_cyclic_graph_falls_back_to_tarjan(self):
+        from repro.graph import scc as scc_module
+        graph = DiGraph.from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+        assert scc_module._dag_singleton_ids(graph) is None
+        components = strongly_connected_components(graph)
+        assert sorted(map(sorted, components)) == [[0, 1, 2], [3]]

@@ -544,3 +544,82 @@ class TestGenerate:
         capsys.readouterr()
         assert main(["stats", str(out)]) == 0
         assert "width" in capsys.readouterr().out
+
+
+class TestIndexCodecFlag:
+    def test_codec_flag_writes_compressed_v4(self, graph_file,
+                                             tmp_path, capsys):
+        out = tmp_path / "c.idx"
+        assert main(["index", graph_file, "-o", str(out),
+                     "--codec", "compressed"]) == 0
+        document = json.loads(out.read_text())
+        assert document["version"] == 4
+        assert document["codec"] == "compressed"
+        capsys.readouterr()
+        assert main(["query", "--index", str(out), "0", "1"]) in (0, 1)
+
+    def test_codec_flag_applies_to_concat_builds(self, graph_file,
+                                                 tmp_path, capsys):
+        out = tmp_path / "concat.idx"
+        assert main(["index", graph_file, "-o", str(out),
+                     "--method", "concat",
+                     "--codec", "compressed"]) == 0
+        document = json.loads(out.read_text())
+        assert document["codec"] == "compressed"
+        assert document["method"] == "concat"
+
+
+class TestIndexFromEdges:
+    def test_edges_flag_streams_a_graph(self, graph_file, tmp_path,
+                                        capsys):
+        out_graph = tmp_path / "from_graph.idx"
+        out_edges = tmp_path / "from_edges.idx"
+        assert main(["index", graph_file, "-o", str(out_graph)]) == 0
+        assert main(["index", "--edges", graph_file,
+                     "-o", str(out_edges)]) == 0
+        # same graph, either ingest path: identical labelled answers
+        capsys.readouterr()
+        for pair in (("0", "1"), ("3", "0"), ("5", "5")):
+            a = main(["query", "--index", str(out_graph), *pair])
+            b = main(["query", "--index", str(out_edges), *pair])
+            assert a == b
+
+    def test_graph_and_edges_together_rejected(self, graph_file,
+                                               capsys):
+        assert main(["index", graph_file, "--edges", graph_file,
+                     "-o", "x.idx"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_neither_graph_nor_edges_rejected(self, capsys):
+        assert main(["index", "-o", "x.idx"]) == 2
+
+
+class TestStatsIndex:
+    def test_reports_codec_and_sizes(self, graph_file, tmp_path,
+                                     capsys):
+        out = tmp_path / "s.idx"
+        main(["index", graph_file, "-o", str(out),
+              "--codec", "compressed"])
+        capsys.readouterr()
+        assert main(["stats", "--index", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "compressed" in text
+        assert "label bytes" in text
+        assert "on-disk" in text
+
+    def test_missing_index_file_errors(self, tmp_path, capsys):
+        assert main(["stats", "--index",
+                     str(tmp_path / "missing.idx")]) == 2
+
+    def test_stats_without_any_source_errors(self, capsys):
+        assert main(["stats"]) == 2
+
+
+class TestGenerateScale:
+    def test_scale_family_generates(self, tmp_path, capsys):
+        out = tmp_path / "scale.txt"
+        assert main(["generate", "scale", "200", "240",
+                     "--seed", "4", "--out", str(out)]) == 0
+        from repro.graph.io import read_edge_list
+        graph = read_edge_list(out)
+        assert graph.num_nodes == 200
